@@ -1,0 +1,18 @@
+//! Runs every figure/table reproduction in sequence (respects `QUICK=1`).
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let order = [
+        "table3", "table1", "fig5", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14", "table4",
+    ];
+    for bin in order {
+        println!("\n##################### {bin} #####################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 11 — File-system performance on the Optane 905P:
+//! (a) single-core throughput vs write size, (b) single-core latency,
+//! (c) multi-core throughput vs threads, (d) multi-core latency.
+//! Systems: MQFS, MQFS-atomic (fdataatomic), Ext4, HoraeFS, Ext4-NJ.
+
+use ccnvme_bench::{f1, header, measure_fs, row, scaled, Workload};
+use ccnvme_ssd::SsdProfile;
+use ccnvme_workloads::SyncMode;
+use mqfs::FsVariant;
+
+struct System {
+    label: &'static str,
+    variant: FsVariant,
+    sync: SyncMode,
+}
+
+fn systems() -> Vec<System> {
+    vec![
+        System {
+            label: "MQFS",
+            variant: FsVariant::Mqfs,
+            sync: SyncMode::Fsync,
+        },
+        System {
+            label: "MQFS-atomic",
+            variant: FsVariant::Mqfs,
+            sync: SyncMode::Fdataatomic,
+        },
+        System {
+            label: "Ext4",
+            variant: FsVariant::Ext4,
+            sync: SyncMode::Fsync,
+        },
+        System {
+            label: "HoraeFS",
+            variant: FsVariant::HoraeFs,
+            sync: SyncMode::Fsync,
+        },
+        System {
+            label: "Ext4-NJ",
+            variant: FsVariant::Ext4NoJournal,
+            sync: SyncMode::Fsync,
+        },
+    ]
+}
+
+fn main() {
+    let profile = SsdProfile::optane_905p();
+    let ops = scaled(150);
+
+    // (a)+(b): single core, write size 4 KB .. 128 KB.
+    let sizes_kb = [4u64, 8, 16, 32, 64, 128];
+    header("Figure 11(a) — single-core throughput (MB/s) vs write size");
+    row(
+        "write size (KB)",
+        &sizes_kb.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let mut lat_rows = Vec::new();
+    for sys in systems() {
+        let mut tput = Vec::new();
+        let mut lat = Vec::new();
+        for &kb in &sizes_kb {
+            let p = measure_fs(
+                sys.variant,
+                profile.clone(),
+                &Workload::Fio {
+                    threads: 1,
+                    write_size: kb * 1024,
+                    ops,
+                    sync: sys.sync,
+                },
+            );
+            tput.push(f1(p.mbps));
+            lat.push(f1(p.lat_us));
+        }
+        row(sys.label, &tput);
+        lat_rows.push((sys.label, lat));
+    }
+    header("Figure 11(b) — single-core latency (us) vs write size");
+    row(
+        "write size (KB)",
+        &sizes_kb.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    for (label, lat) in lat_rows {
+        row(label, &lat);
+    }
+
+    // (c)+(d): 4 KB writes, 1..24 threads.
+    let threads = [1usize, 4, 8, 12, 16, 20, 24];
+    header("Figure 11(c) — multi-core throughput (KIOPS, 4 KB) vs threads");
+    row(
+        "threads",
+        &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+    );
+    let mut lat_rows = Vec::new();
+    for sys in systems() {
+        let mut kiops = Vec::new();
+        let mut lat = Vec::new();
+        for &t in &threads {
+            let p = measure_fs(
+                sys.variant,
+                profile.clone(),
+                &Workload::Fio {
+                    threads: t,
+                    write_size: 4096,
+                    ops,
+                    sync: sys.sync,
+                },
+            );
+            kiops.push(f1(p.kiops));
+            lat.push(f1(p.lat_us));
+        }
+        row(sys.label, &kiops);
+        lat_rows.push((sys.label, lat));
+    }
+    header("Figure 11(d) — multi-core latency (us) vs threads");
+    row(
+        "threads",
+        &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+    );
+    for (label, lat) in lat_rows {
+        row(label, &lat);
+    }
+
+    println!();
+    println!(
+        "Paper shape: single-core MQFS ≈2.1×/1.9×/1.2× the throughput of \
+         Ext4/HoraeFS/Ext4-NJ; multi-core MQFS beats Ext4 and HoraeFS \
+         throughout, approaches Ext4-NJ, and MQFS-atomic exceeds even \
+         Ext4-NJ by decoupling atomicity from durability."
+    );
+}

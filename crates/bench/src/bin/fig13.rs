@@ -1,0 +1,52 @@
+//! Figure 13 — Performance contribution of each MQFS technique:
+//! Base (Ext4) → +ccNVMe → +MQJournal → +MetaPaging(MQFS),
+//! 4 KB append + fsync, 1–12 threads, on the 905P and P5800X.
+
+use ccnvme_bench::{f1, header, measure_fs, row, scaled, Workload};
+use ccnvme_ssd::SsdProfile;
+use ccnvme_workloads::SyncMode;
+use mqfs::FsVariant;
+
+fn main() {
+    let steps = [
+        ("Base (Ext4)", FsVariant::Ext4),
+        ("+ccNVMe", FsVariant::Ext4CcNvme),
+        ("+MQJournal", FsVariant::MqfsNoShadow),
+        ("+MetaPaging", FsVariant::Mqfs),
+    ];
+    let threads = [1usize, 2, 4, 8, 12];
+    let ops = scaled(150);
+    for profile in [SsdProfile::optane_905p(), SsdProfile::optane_p5800x()] {
+        header(&format!(
+            "Figure 13 — {} — KIOPS (4 KB append+fsync)",
+            profile.name
+        ));
+        row(
+            "threads",
+            &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        );
+        for (label, variant) in steps {
+            let mut cells = Vec::new();
+            for &t in &threads {
+                let p = measure_fs(
+                    variant,
+                    profile.clone(),
+                    &Workload::Fio {
+                        threads: t,
+                        write_size: 4096,
+                        ops,
+                        sync: SyncMode::Fsync,
+                    },
+                );
+                cells.push(f1(p.kiops));
+            }
+            row(label, &cells);
+        }
+    }
+    println!();
+    println!(
+        "Paper shape: every step adds throughput — ccNVMe ≈1.4× (905P) to \
+         2.1× (P5800X) over the baseline, multi-queue journaling ≈+47-53%, \
+         metadata shadow paging ≈+20-23%."
+    );
+}

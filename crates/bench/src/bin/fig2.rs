@@ -1,0 +1,60 @@
+//! Figure 2 — Motivation: 4 KB append + fsync throughput of Ext4,
+//! HoraeFS and Ext4-NJ over 1–24 threads on the three SSD generations,
+//! plus write-bandwidth utilization at 24 threads.
+
+use ccnvme_bench::{f1, header, measure_fs, row, scaled, Workload};
+use ccnvme_ssd::SsdProfile;
+use ccnvme_workloads::SyncMode;
+use mqfs::FsVariant;
+
+fn main() {
+    let systems = [
+        FsVariant::Ext4NoJournal,
+        FsVariant::Ext4,
+        FsVariant::HoraeFs,
+    ];
+    let threads = [1usize, 4, 8, 12, 16, 20, 24];
+    let ops = scaled(200);
+    for profile in SsdProfile::all() {
+        header(&format!(
+            "Figure 2 — {} — KIOPS (4 KB append+fsync)",
+            profile.name
+        ));
+        row(
+            "threads",
+            &threads.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        );
+        let mut util_cells = Vec::new();
+        for variant in systems {
+            let mut cells = Vec::new();
+            let mut last_util = 0.0;
+            for &t in &threads {
+                let p = measure_fs(
+                    variant,
+                    profile.clone(),
+                    &Workload::Fio {
+                        threads: t,
+                        write_size: 4096,
+                        ops,
+                        sync: SyncMode::Fsync,
+                    },
+                );
+                cells.push(f1(p.kiops));
+                last_util = p.bw_util;
+            }
+            row(variant.name(), &cells);
+            util_cells.push((variant.name(), last_util));
+        }
+        println!("-- (d) bandwidth utilization at 24 threads --");
+        for (name, util) in util_cells {
+            row(name, &[format!("{util:.0}%")]);
+        }
+    }
+    println!();
+    println!(
+        "Paper shape: on the 2015 flash drive journaling keeps up with \
+         (even beats) no-journaling; on the 2018/2020 Optane drives the \
+         crash-consistency gap opens (≈66% at 24 threads on the P5800X), \
+         and only Ext4-NJ approaches full bandwidth."
+    );
+}

@@ -1,0 +1,207 @@
+//! Shared measurement harness for the figure/table reproduction
+//! binaries.
+//!
+//! Every measurement builds a complete stack (controller → driver →
+//! journal → file system) inside its own deterministic simulation, runs
+//! a workload in virtual time and extracts throughput/latency/traffic.
+//! Setting the environment variable `QUICK=1` shrinks every sweep for a
+//! fast smoke run; the defaults match the paper's parameter ranges
+//! (scaled operation counts — the shapes, not the absolute run lengths,
+//! are what reproduce).
+
+use std::sync::Arc;
+
+use ccnvme_sim::Sim;
+use ccnvme_ssd::SsdProfile;
+use ccnvme_workloads::{
+    run_fillsync, run_fio, run_varmail, FillsyncConfig, FioConfig, SyncMode, VarmailConfig,
+    WorkloadResult,
+};
+use mqfs::{FileSystem, FsVariant};
+use parking_lot::Mutex;
+
+pub use ccnvme_crashtest::{Stack, StackConfig};
+
+/// Returns whether quick (smoke) mode is requested.
+pub fn quick() -> bool {
+    std::env::var("QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Scales an operation count down in quick mode.
+pub fn scaled(n: u64) -> u64 {
+    if quick() {
+        (n / 10).max(4)
+    } else {
+        n
+    }
+}
+
+/// Runs `f` inside a fresh simulation with `cores` simulated cores and
+/// returns its result.
+pub fn in_sim<T, F>(cores: usize, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let out: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let mut sim = Sim::new(cores);
+    sim.spawn("bench-main", 0, move || {
+        *out2.lock() = Some(f());
+    });
+    sim.run();
+    let v = out.lock().take().expect("bench closure ran");
+    v
+}
+
+/// One measured point of a file-system workload.
+#[derive(Debug, Clone)]
+pub struct FsPoint {
+    /// Thousands of operations per second.
+    pub kiops: f64,
+    /// Payload throughput, MB/s.
+    pub mbps: f64,
+    /// Mean operation latency, microseconds.
+    pub lat_us: f64,
+    /// Latency standard deviation, microseconds.
+    pub lat_stddev_us: f64,
+    /// Device write-bandwidth utilization (block bytes over the link ÷
+    /// sequential write bandwidth), percent.
+    pub bw_util: f64,
+}
+
+impl FsPoint {
+    fn from_result(res: &WorkloadResult, block_bytes: u64, profile: &SsdProfile) -> FsPoint {
+        let secs = res.elapsed as f64 / 1e9;
+        let bw = if secs > 0.0 {
+            block_bytes as f64 / secs
+        } else {
+            0.0
+        };
+        FsPoint {
+            kiops: res.kiops(),
+            mbps: res.throughput_mbps(),
+            lat_us: res.latency.mean / 1e3,
+            lat_stddev_us: res.latency.stddev / 1e3,
+            bw_util: 100.0 * bw / profile.seq_write_bw as f64,
+        }
+    }
+}
+
+/// Which workload a measurement runs.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// FIO append + sync.
+    Fio {
+        /// Worker threads.
+        threads: usize,
+        /// Bytes per append.
+        write_size: u64,
+        /// Operations per thread.
+        ops: u64,
+        /// Persistence primitive.
+        sync: SyncMode,
+    },
+    /// Filebench Varmail.
+    Varmail {
+        /// Worker threads.
+        threads: usize,
+        /// Iterations per thread.
+        iterations: u64,
+    },
+    /// RocksDB-style fillsync on the mini-KV store.
+    Fillsync {
+        /// Writer threads.
+        threads: usize,
+        /// Puts per thread.
+        puts: u64,
+    },
+}
+
+/// Builds the full stack for (variant, profile), runs `workload`, and
+/// returns the measured point.
+pub fn measure_fs(variant: FsVariant, profile: SsdProfile, workload: &Workload) -> FsPoint {
+    let threads = match workload {
+        Workload::Fio { threads, .. }
+        | Workload::Varmail { threads, .. }
+        | Workload::Fillsync { threads, .. } => *threads,
+    };
+    let scfg = StackConfig::new(variant, profile.clone(), threads);
+    let workload = workload.clone();
+    let prof2 = profile.clone();
+    in_sim(scfg.sim_cores(), move || {
+        let (stack, fs) = Stack::format(&scfg);
+        let t0 = stack.controller().link().traffic.snapshot();
+        let res = run_workload(&fs, &workload);
+        let t1 = stack.controller().link().traffic.snapshot();
+        FsPoint::from_result(&res, t1.since(&t0).block_bytes, &prof2)
+    })
+}
+
+fn run_workload(fs: &Arc<FileSystem>, w: &Workload) -> WorkloadResult {
+    match w {
+        Workload::Fio {
+            threads,
+            write_size,
+            ops,
+            sync,
+        } => run_fio(
+            fs,
+            &FioConfig {
+                threads: *threads,
+                write_size: *write_size,
+                ops_per_thread: *ops,
+                sync: *sync,
+            },
+        ),
+        Workload::Varmail {
+            threads,
+            iterations,
+        } => run_varmail(
+            fs,
+            &VarmailConfig {
+                threads: *threads,
+                nfiles: 200,
+                iterations: *iterations,
+                ..Default::default()
+            },
+        ),
+        Workload::Fillsync { threads, puts } => run_fillsync(
+            fs,
+            &FillsyncConfig {
+                threads: *threads,
+                puts_per_thread: *puts,
+                ..Default::default()
+            },
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Output formatting
+// ---------------------------------------------------------------------------
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one row of right-aligned cells under a label.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<22}");
+    for c in cells {
+        print!("{c:>12}");
+    }
+    println!();
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with zero decimals.
+pub fn f0(v: f64) -> String {
+    format!("{v:.0}")
+}

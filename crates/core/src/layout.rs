@@ -1,0 +1,155 @@
+//! Layout of the ccNVMe structures inside the Persistent Memory Region.
+//!
+//! The PMR hosts, per hardware queue: the persistent submission queue
+//! ring (P-SQ), the persistent tail doorbell (P-SQDB) and the persistent
+//! head pointer (P-SQ-head) that the driver advances as transactions
+//! complete. A small header identifies a formatted PMR across power
+//! cycles. Doorbells and head pointers live on separate 64-byte lines so
+//! write-combining of ring entries never merges with doorbell updates.
+
+/// Magic value identifying a ccNVMe-formatted PMR.
+pub const PMR_MAGIC: u64 = 0x6363_4e56_4d65_3031; // "ccNVMe01"
+
+/// Size of one submission queue entry.
+pub const SQE_SIZE: u64 = 64;
+
+const HEADER_SIZE: u64 = 64;
+const META_LINE: u64 = 64;
+
+/// Computes the byte offsets of every ccNVMe structure in the PMR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmrLayout {
+    /// Number of hardware queues.
+    pub nqueues: u16,
+    /// Slots per queue.
+    pub depth: u32,
+}
+
+impl PmrLayout {
+    /// Creates a layout for `nqueues` queues of `depth` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(nqueues: u16, depth: u32) -> Self {
+        assert!(nqueues > 0 && depth > 0, "layout must be non-empty");
+        PmrLayout { nqueues, depth }
+    }
+
+    /// Offset of the P-SQ-head line of queue `q` (0-based).
+    pub fn head_off(&self, q: u16) -> u64 {
+        assert!(q < self.nqueues);
+        HEADER_SIZE + q as u64 * META_LINE
+    }
+
+    /// Offset of the P-SQDB line of queue `q`.
+    pub fn db_off(&self, q: u16) -> u64 {
+        assert!(q < self.nqueues);
+        HEADER_SIZE + (self.nqueues as u64 + q as u64) * META_LINE
+    }
+
+    /// Offset of slot 0 of queue `q`'s P-SQ ring.
+    pub fn ring_off(&self, q: u16) -> u64 {
+        assert!(q < self.nqueues);
+        HEADER_SIZE + 2 * self.nqueues as u64 * META_LINE + q as u64 * self.depth as u64 * SQE_SIZE
+    }
+
+    /// Offset of slot `slot` of queue `q`.
+    pub fn slot_off(&self, q: u16, slot: u32) -> u64 {
+        assert!(slot < self.depth);
+        self.ring_off(q) + slot as u64 * SQE_SIZE
+    }
+
+    /// Total bytes the layout occupies.
+    pub fn total_size(&self) -> u64 {
+        self.ring_off(self.nqueues - 1) + self.depth as u64 * SQE_SIZE
+    }
+
+    /// Serializes the header (magic + geometry).
+    pub fn encode_header(&self) -> [u8; 64] {
+        let mut h = [0u8; 64];
+        h[0..8].copy_from_slice(&PMR_MAGIC.to_le_bytes());
+        h[8..10].copy_from_slice(&self.nqueues.to_le_bytes());
+        h[12..16].copy_from_slice(&self.depth.to_le_bytes());
+        h
+    }
+
+    /// Parses a header; `None` if the magic does not match (unformatted
+    /// or foreign PMR).
+    pub fn decode_header(h: &[u8]) -> Option<PmrLayout> {
+        if h.len() < 16 {
+            return None;
+        }
+        let magic = u64::from_le_bytes(h[0..8].try_into().expect("8 bytes"));
+        if magic != PMR_MAGIC {
+            return None;
+        }
+        let nqueues = u16::from_le_bytes([h[8], h[9]]);
+        let depth = u32::from_le_bytes(h[12..16].try_into().expect("4 bytes"));
+        if nqueues == 0 || depth == 0 {
+            return None;
+        }
+        Some(PmrLayout { nqueues, depth })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_do_not_overlap() {
+        let l = PmrLayout::new(24, 256);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for q in 0..24 {
+            regions.push((l.head_off(q), 8));
+            regions.push((l.db_off(q), 4));
+            regions.push((l.ring_off(q), 256 * SQE_SIZE));
+        }
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn fits_in_2mb_pmr() {
+        let l = PmrLayout::new(24, 256);
+        assert!(l.total_size() <= 2 << 20, "size={}", l.total_size());
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let l = PmrLayout::new(8, 128);
+        let h = l.encode_header();
+        assert_eq!(PmrLayout::decode_header(&h), Some(l));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut h = PmrLayout::new(1, 1).encode_header();
+        h[0] ^= 0xff;
+        assert!(PmrLayout::decode_header(&h).is_none());
+    }
+
+    #[test]
+    fn doorbells_on_distinct_lines() {
+        let l = PmrLayout::new(4, 64);
+        for q in 0..4 {
+            for p in 0..4 {
+                if q != p {
+                    assert_ne!(l.db_off(q) / 64, l.db_off(p) / 64);
+                    assert_ne!(l.head_off(q) / 64, l.head_off(p) / 64);
+                }
+            }
+            assert_ne!(l.db_off(q) / 64, l.head_off(q) / 64);
+        }
+    }
+
+    #[test]
+    fn slot_offsets_are_contiguous() {
+        let l = PmrLayout::new(2, 16);
+        assert_eq!(l.slot_off(0, 1) - l.slot_off(0, 0), SQE_SIZE);
+        assert_eq!(l.slot_off(1, 0), l.ring_off(0) + 16 * SQE_SIZE);
+    }
+}

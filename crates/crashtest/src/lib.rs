@@ -1,0 +1,212 @@
+//! Crash-consistency testing in the spirit of CrashMonkey (OSDI '18),
+//! reproducing the methodology of the paper's §7.6 / Table 4.
+//!
+//! A [`CrashWorkload`] is a deterministic script of file-system
+//! operations; after every *persistence point* (a returned `fsync`) it
+//! records a mark carrying the guarantee that point established. The
+//! harness runs the script once while a crasher thread takes
+//! non-destructive [`crash snapshots`](ccnvme_ssd::NvmeController::crash_snapshot)
+//! at many virtual-time instants — each snapshot is exactly the device
+//! state a power cut at that instant would leave (committed PMR bytes
+//! plus a prefix of in-flight posted writes; a seeded subset of the
+//! volatile cache). Every snapshot is then booted into a fresh stack,
+//! the file system remounts (journal recovery + ccNVMe unfinished-window
+//! handling), and two checks run:
+//!
+//! 1. **Consistency** — `FileSystem::check` (an fsck) finds no
+//!    structural damage;
+//! 2. **Durability/atomicity oracle** — the workload's `verify` method
+//!    confirms every guarantee whose persistence point completed before
+//!    the snapshot instant.
+
+pub mod stack;
+pub mod workloads;
+
+use std::{collections::HashSet, sync::Arc};
+
+use ccnvme_sim::{Ns, Sim};
+use ccnvme_ssd::{CrashMode, DurableImage};
+use mqfs::FileSystem;
+use parking_lot::Mutex;
+
+pub use stack::{Stack, StackConfig};
+pub use workloads::table4_workloads;
+
+/// Record of persistence points reached by a workload run.
+#[derive(Default)]
+pub struct OpLog {
+    marks: Mutex<Vec<(u64, Ns)>>,
+}
+
+impl OpLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        OpLog::default()
+    }
+
+    /// Records that persistence point `op` completed now.
+    pub fn mark(&self, op: u64) {
+        self.marks.lock().push((op, ccnvme_sim::now()));
+    }
+
+    /// Persistence points completed at or before `t`.
+    pub fn persisted_at(&self, t: Ns) -> HashSet<u64> {
+        self.marks
+            .lock()
+            .iter()
+            .filter(|(_, m)| *m <= t)
+            .map(|(op, _)| *op)
+            .collect()
+    }
+
+    /// Total marks recorded.
+    pub fn len(&self) -> usize {
+        self.marks.lock().len()
+    }
+
+    /// Returns whether no marks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A deterministic crash-consistency workload.
+pub trait CrashWorkload: Send + Sync {
+    /// Workload name (Table 4's first column).
+    fn name(&self) -> &'static str;
+
+    /// Runs the script, recording persistence points into `log`.
+    fn run(&self, fs: &Arc<FileSystem>, log: &OpLog);
+
+    /// Verifies a recovered file system given the set of persistence
+    /// points that had completed before the crash. Returns violations.
+    fn verify(&self, fs: &Arc<FileSystem>, persisted: &HashSet<u64>) -> Vec<String>;
+}
+
+/// Result of a crash-testing campaign for one workload.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Crash points exercised.
+    pub total: usize,
+    /// Crash points that recovered to a correct state.
+    pub passed: usize,
+    /// Descriptions of the first few failures.
+    pub failures: Vec<String>,
+}
+
+/// Harness configuration.
+#[derive(Clone)]
+pub struct CrashTestConfig {
+    /// Stack (variant, device, cores).
+    pub stack: StackConfig,
+    /// Number of crash points.
+    pub crash_points: usize,
+    /// Base seed for cache-subset decisions.
+    pub seed: u64,
+}
+
+/// Runs the campaign: one instrumented execution producing
+/// `crash_points` snapshots, each recovered and verified in isolation.
+pub fn run_crash_campaign(w: Arc<dyn CrashWorkload>, cfg: &CrashTestConfig) -> CrashReport {
+    // Pass 1: measure the run's duration (deterministic).
+    let duration = {
+        let scfg = cfg.stack.clone();
+        let wname = w.name();
+        let out = Arc::new(ccnvme_sim::Counter::new());
+        let out2 = Arc::clone(&out);
+        let mut sim = Sim::new(scfg.sim_cores());
+        let wref = Arc::clone(&w);
+        sim.spawn(&format!("{wname}-probe"), 0, move || {
+            let (_stack, fs) = Stack::format(&scfg);
+            let log = OpLog::new();
+            let t0 = ccnvme_sim::now();
+            wref.run(&fs, &log);
+            out2.add(ccnvme_sim::now() - t0);
+        });
+        sim.run();
+        out.get()
+    };
+    // Pass 2: same run, with snapshots spread over (0, duration].
+    let n = cfg.crash_points;
+    let snapshots: Arc<Mutex<Vec<(Ns, DurableImage, HashSet<u64>)>>> =
+        Arc::new(Mutex::new(Vec::with_capacity(n)));
+    {
+        let scfg = cfg.stack.clone();
+        let seed = cfg.seed;
+        let snaps = Arc::clone(&snapshots);
+        let mut sim = Sim::new(scfg.sim_cores());
+        let wref = Arc::clone(&w);
+        sim.spawn("crash-run", 0, move || {
+            let (stack, fs) = Stack::format(&scfg);
+            let stack = Arc::new(stack);
+            let log = Arc::new(OpLog::new());
+            let t0 = ccnvme_sim::now();
+            // Crasher thread: snapshot at evenly spread instants.
+            let crasher = {
+                let stack = Arc::clone(&stack);
+                let log = Arc::clone(&log);
+                let snaps = Arc::clone(&snaps);
+                ccnvme_sim::spawn_daemon("crasher", 0, move || {
+                    for i in 0..n {
+                        // Strictly inside (0, duration): the final point
+                        // must fire before the workload's last event, or
+                        // the daemon is torn down first.
+                        let target = t0 + duration * (i as u64 + 1) / (n as u64 + 1);
+                        let now = ccnvme_sim::now();
+                        if target > now {
+                            ccnvme_sim::delay(target - now);
+                        }
+                        let t = ccnvme_sim::now();
+                        let mode = CrashMode {
+                            pmr_extra_prefix: 0,
+                            cache_keep_prob: if i % 3 == 0 { 0.0 } else { 0.5 },
+                            seed: seed.wrapping_add(i as u64),
+                        };
+                        let image = stack.crash_snapshot(mode);
+                        snaps.lock().push((t, image, log.persisted_at(t)));
+                    }
+                })
+            };
+            wref.run(&fs, &log);
+            let _ = crasher;
+        });
+        sim.run();
+    }
+    // Pass 3: recover + verify each snapshot in its own simulation.
+    let taken = std::mem::take(&mut *snapshots.lock());
+    let total_taken = taken.len();
+    let mut passed = 0;
+    let mut failures = Vec::new();
+    for (idx, (t, image, persisted)) in taken.into_iter().enumerate() {
+        let scfg = cfg.stack.clone();
+        let issues: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let issues2 = Arc::clone(&issues);
+        let wref = Arc::clone(&w);
+        let mut sim = Sim::new(scfg.sim_cores());
+        sim.spawn("verify", 0, move || match Stack::recover(&scfg, &image) {
+            Ok((_stack, fs)) => {
+                let mut problems = fs.check();
+                problems.extend(wref.verify(&fs, &persisted));
+                *issues2.lock() = problems;
+            }
+            Err(e) => {
+                issues2.lock().push(format!("remount failed: {e}"));
+            }
+        });
+        sim.run();
+        let problems = std::mem::take(&mut *issues.lock());
+        if problems.is_empty() {
+            passed += 1;
+        } else if failures.len() < 8 {
+            failures.push(format!("crash #{idx} at t={t}ns: {}", problems.join("; ")));
+        }
+    }
+    CrashReport {
+        workload: w.name(),
+        total: total_taken,
+        passed,
+        failures,
+    }
+}

@@ -1,0 +1,148 @@
+//! Full-stack construction helpers shared by the crash harness, the
+//! integration tests and the benchmarks.
+
+use std::{collections::HashSet, sync::Arc};
+
+use ccnvme::{CcNvmeDriver, NvmeDriver};
+use ccnvme_block::BlockDevice;
+use ccnvme_ssd::{CrashMode, CtrlConfig, DurableImage, NvmeController, SsdProfile};
+use mqfs::{FileSystem, FsConfig, FsError, FsVariant};
+
+/// A running device + driver pair.
+pub struct Stack {
+    /// The device as seen by the file system.
+    pub dev: Arc<dyn BlockDevice>,
+    cc: Option<Arc<CcNvmeDriver>>,
+    nv: Option<Arc<NvmeDriver>>,
+}
+
+/// Everything needed to build (and rebuild) a stack deterministically.
+#[derive(Clone)]
+pub struct StackConfig {
+    /// FS variant, which also selects the driver (ccNVMe for the MQFS
+    /// family and the +ccNVMe ablation, plain NVMe otherwise).
+    pub variant: FsVariant,
+    /// Device profile.
+    pub profile: SsdProfile,
+    /// Host cores (hardware queues). Device threads run on `cores`,
+    /// kjournald (if any) on `cores + 1`.
+    pub cores: usize,
+    /// ccNVMe hardware queue depth.
+    pub queue_depth: u32,
+    /// Journal region size in blocks.
+    pub journal_blocks: u64,
+    /// Transaction-aware interrupt coalescing (§4.6 device extension).
+    pub irq_coalesce_tx: bool,
+    /// Data journaling instead of ordered metadata journaling (§5.2).
+    pub data_journaling: bool,
+}
+
+impl StackConfig {
+    /// Defaults for `variant` on `profile` with `cores` host cores.
+    pub fn new(variant: FsVariant, profile: SsdProfile, cores: usize) -> Self {
+        StackConfig {
+            variant,
+            profile,
+            cores,
+            queue_depth: 256,
+            journal_blocks: 4_096,
+            irq_coalesce_tx: false,
+            data_journaling: false,
+        }
+    }
+
+    /// Simulated cores a `Sim` must provide for this stack: host cores,
+    /// one device core and one journald core.
+    pub fn sim_cores(&self) -> usize {
+        self.cores + 2
+    }
+
+    fn uses_ccnvme(&self) -> bool {
+        self.variant.mq_journal() || self.variant == FsVariant::Ext4CcNvme
+    }
+
+    fn fs_config(&self) -> FsConfig {
+        FsConfig {
+            variant: self.variant,
+            journal_blocks: self.journal_blocks,
+            queues: self.cores,
+            journald_core: self.cores + 1,
+            data_journaling: self.data_journaling,
+        }
+    }
+
+    fn ctrl_config(&self) -> CtrlConfig {
+        let mut c = CtrlConfig::new(self.profile.clone());
+        c.device_core = self.cores;
+        c.irq_coalesce_tx = self.irq_coalesce_tx;
+        c
+    }
+}
+
+impl Stack {
+    fn from_ctrl(cfg: &StackConfig, ctrl: NvmeController) -> (Stack, HashSet<u64>) {
+        if cfg.uses_ccnvme() {
+            // One hardware queue per simulated core (including the
+            // journald and device cores) so in-order transaction
+            // completion never couples unrelated threads.
+            let queues = (cfg.cores + 2) as u16;
+            let (drv, report) = CcNvmeDriver::probe(ctrl, queues, cfg.queue_depth);
+            let drv = Arc::new(drv);
+            (
+                Stack {
+                    dev: Arc::clone(&drv) as Arc<dyn BlockDevice>,
+                    cc: Some(drv),
+                    nv: None,
+                },
+                report.unfinished_tx_ids(),
+            )
+        } else {
+            let drv = Arc::new(NvmeDriver::new(ctrl, cfg.cores + 2));
+            (
+                Stack {
+                    dev: Arc::clone(&drv) as Arc<dyn BlockDevice>,
+                    cc: None,
+                    nv: Some(drv),
+                },
+                HashSet::new(),
+            )
+        }
+    }
+
+    /// Builds a fresh stack and formats a file system on it.
+    pub fn format(cfg: &StackConfig) -> (Stack, Arc<FileSystem>) {
+        let (stack, _discard) = Self::from_ctrl(cfg, NvmeController::new(cfg.ctrl_config()));
+        let fs = FileSystem::format(Arc::clone(&stack.dev), cfg.fs_config());
+        (stack, fs)
+    }
+
+    /// Boots a stack from a crash image and mounts (running recovery).
+    pub fn recover(
+        cfg: &StackConfig,
+        image: &DurableImage,
+    ) -> Result<(Stack, Arc<FileSystem>), FsError> {
+        let ctrl = NvmeController::from_image(cfg.ctrl_config(), image);
+        let (stack, discard) = Self::from_ctrl(cfg, ctrl);
+        let fs = FileSystem::mount(Arc::clone(&stack.dev), cfg.fs_config(), &discard)?;
+        Ok((stack, fs))
+    }
+
+    /// The controller (for traffic counters and crash injection).
+    pub fn controller(&self) -> &NvmeController {
+        match (&self.cc, &self.nv) {
+            (Some(d), _) => d.controller(),
+            (_, Some(d)) => d.controller(),
+            _ => unreachable!("stack always has a driver"),
+        }
+    }
+
+    /// Non-destructive crash snapshot at the current instant.
+    pub fn crash_snapshot(&self, mode: CrashMode) -> DurableImage {
+        self.controller().crash_snapshot(mode)
+    }
+
+    /// Destructive power failure.
+    pub fn power_fail(&self, mode: CrashMode) -> DurableImage {
+        self.controller().power_fail(mode)
+    }
+}

@@ -1,0 +1,361 @@
+//! The four crash-consistency workloads of Table 4.
+//!
+//! Each script interleaves *issue marks* (recorded before an operation
+//! mutates the namespace) with *persistence marks* (recorded after the
+//! covering `fsync` returned). The verifier reasons with both:
+//!
+//! * a fact whose persistence mark completed **must** hold after the
+//!   crash;
+//! * a fact invalidated by an operation whose issue mark has *not* been
+//!   recorded **must still** hold;
+//! * anything in between may go either way (the crash caught the
+//!   operation mid-flight), but the file system must stay consistent.
+
+use std::{collections::HashSet, sync::Arc};
+
+use mqfs::FileSystem;
+
+use crate::{CrashWorkload, OpLog};
+
+fn exists(fs: &Arc<FileSystem>, path: &str) -> Option<u64> {
+    fs.resolve(path).ok()
+}
+
+fn content_is(fs: &Arc<FileSystem>, ino: u64, byte: u8, len: usize) -> bool {
+    match fs.read(ino, 0, len) {
+        Ok(data) => data.len() == len && data.iter().all(|b| *b == byte),
+        Err(_) => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// create_delete
+// ---------------------------------------------------------------------------
+
+/// `create()` and `remove()` on files (Table 4 row 1).
+pub struct CreateDelete {
+    /// Rounds of create/delete.
+    pub rounds: u64,
+}
+
+// Mark ids per round r: CREATE_P = 4r, DELETE_I = 4r+2, DELETE_P = 4r+3.
+impl CrashWorkload for CreateDelete {
+    fn name(&self) -> &'static str {
+        "create_delete"
+    }
+
+    fn run(&self, fs: &Arc<FileSystem>, log: &OpLog) {
+        fs.mkdir_path("/cd").expect("mkdir");
+        let dir = fs.resolve("/cd").expect("resolve");
+        fs.fsync(dir).expect("persist dir");
+        for r in 0..self.rounds {
+            let ino = fs.create_path(&format!("/cd/f{r}")).expect("create");
+            fs.write(ino, 0, &vec![r as u8 + 1; 4096]).expect("write");
+            fs.fsync(ino).expect("fsync");
+            log.mark(4 * r);
+            if r >= 1 {
+                log.mark(4 * (r - 1) + 2); // Delete issued for f{r-1}.
+                fs.unlink_path(&format!("/cd/f{}", r - 1)).expect("unlink");
+                fs.fsync(dir).expect("fsync dir");
+                log.mark(4 * (r - 1) + 3);
+            }
+        }
+    }
+
+    fn verify(&self, fs: &Arc<FileSystem>, persisted: &HashSet<u64>) -> Vec<String> {
+        let mut problems = Vec::new();
+        for r in 0..self.rounds {
+            let path = format!("/cd/f{r}");
+            let created = persisted.contains(&(4 * r));
+            let delete_issued = persisted.contains(&(4 * r + 2));
+            let deleted = persisted.contains(&(4 * r + 3));
+            let ino = exists(fs, &path);
+            if deleted {
+                if ino.is_some() {
+                    problems.push(format!("{path}: persisted delete, file resurrected"));
+                }
+            } else if created && !delete_issued {
+                match ino {
+                    None => problems.push(format!("{path}: fsynced create lost")),
+                    Some(ino) => {
+                        if !content_is(fs, ino, r as u8 + 1, 4096) {
+                            problems.push(format!("{path}: fsynced content damaged"));
+                        }
+                    }
+                }
+            } else if let Some(ino) = ino {
+                // Optional existence: content must still be untorn.
+                let (size, _, _) = fs.stat(ino);
+                if size != 0 && !content_is(fs, ino, r as u8 + 1, 4096) {
+                    problems.push(format!("{path}: torn content"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generic_035: rename overwrite
+// ---------------------------------------------------------------------------
+
+/// `rename()` overwrite on existing files and directories (xfstest 035).
+pub struct Generic035 {
+    /// Rename rounds.
+    pub rounds: u64,
+}
+
+// Marks per round r (1-based): STAGE_P = 4r, REN_I = 4r+1, REN_P = 4r+2.
+// Round 0: TARGET_P = 0 (initial target).
+impl CrashWorkload for Generic035 {
+    fn name(&self) -> &'static str {
+        "generic_035"
+    }
+
+    fn run(&self, fs: &Arc<FileSystem>, log: &OpLog) {
+        fs.mkdir_path("/g35").expect("mkdir");
+        let dir = fs.resolve("/g35").expect("resolve");
+        let t = fs.create_path("/g35/target").expect("create");
+        fs.write(t, 0, &vec![1u8; 4096]).expect("write");
+        fs.fsync(t).expect("fsync");
+        log.mark(0);
+        for r in 1..=self.rounds {
+            let s = fs.create_path("/g35/staging").expect("create staging");
+            fs.write(s, 0, &vec![r as u8 + 1; 4096]).expect("write");
+            fs.fsync(s).expect("fsync staging");
+            log.mark(4 * r);
+            log.mark(4 * r + 1); // Rename issued.
+            fs.rename(dir, "staging", dir, "target").expect("rename");
+            fs.fsync(dir).expect("fsync dir");
+            log.mark(4 * r + 2);
+        }
+        // Directory overwrite leg: rename an empty dir over another.
+        fs.mkdir_path("/g35/dsrc").expect("mkdir");
+        fs.mkdir_path("/g35/dtgt").expect("mkdir");
+        fs.fsync(dir).expect("fsync");
+        log.mark(1_000);
+        log.mark(1_001); // Dir rename issued.
+        fs.rename(dir, "dsrc", dir, "dtgt").expect("dir rename");
+        fs.fsync(dir).expect("fsync");
+        log.mark(1_002);
+    }
+
+    fn verify(&self, fs: &Arc<FileSystem>, persisted: &HashSet<u64>) -> Vec<String> {
+        let mut problems = Vec::new();
+        // The newest persisted rename fixes the floor version of target.
+        let mut floor: u64 = if persisted.contains(&0) { 1 } else { 0 };
+        for r in 1..=self.rounds {
+            if persisted.contains(&(4 * r + 2)) {
+                floor = r + 1;
+            }
+        }
+        match exists(fs, "/g35/target") {
+            None => {
+                if floor > 0 {
+                    problems.push("target: persisted version lost".into());
+                }
+            }
+            Some(ino) => {
+                // Content must be a whole version >= floor, never torn.
+                let data = fs.read(ino, 0, 4096).unwrap_or_default();
+                if data.len() == 4096 {
+                    let v = data[0] as u64;
+                    if !data.iter().all(|b| *b as u64 == v) {
+                        problems.push("target: torn rename content".into());
+                    } else if v < floor {
+                        problems.push(format!("target: version regressed to {v}, floor {floor}"));
+                    }
+                } else if floor > 0 {
+                    problems.push("target: persisted content missing".into());
+                }
+            }
+        }
+        // Directory overwrite leg.
+        if persisted.contains(&1_002) {
+            if exists(fs, "/g35/dsrc").is_some() {
+                problems.push("dsrc: persisted dir rename left source".into());
+            }
+            if exists(fs, "/g35/dtgt").is_none() {
+                problems.push("dtgt: persisted dir rename lost target".into());
+            }
+        } else if persisted.contains(&1_000) && !persisted.contains(&1_001) {
+            if exists(fs, "/g35/dsrc").is_none() || exists(fs, "/g35/dtgt").is_none() {
+                problems.push("dir pair: fsynced mkdir lost".into());
+            }
+        }
+        problems
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generic_106: link / unlink
+// ---------------------------------------------------------------------------
+
+/// `link()` and `unlink()` on files, `remove()` of a directory
+/// (xfstest 106).
+pub struct Generic106;
+
+// Marks: 0 = orig created; 1 = link1 added; 2 = unlink(orig) issued;
+// 3 = unlink(orig) persisted; 4 = subdir created; 5 = rmdir issued;
+// 6 = rmdir persisted.
+impl CrashWorkload for Generic106 {
+    fn name(&self) -> &'static str {
+        "generic_106"
+    }
+
+    fn run(&self, fs: &Arc<FileSystem>, log: &OpLog) {
+        fs.mkdir_path("/g106").expect("mkdir");
+        let dir = fs.resolve("/g106").expect("resolve");
+        let orig = fs.create_path("/g106/orig").expect("create");
+        fs.write(orig, 0, &vec![0x66u8; 4096]).expect("write");
+        fs.fsync(orig).expect("fsync");
+        log.mark(0);
+        fs.link(orig, dir, "link1").expect("link");
+        fs.fsync(dir).expect("fsync");
+        log.mark(1);
+        log.mark(2);
+        fs.unlink_path("/g106/orig").expect("unlink");
+        fs.fsync(dir).expect("fsync");
+        log.mark(3);
+        fs.mkdir_path("/g106/sub").expect("mkdir");
+        fs.fsync(dir).expect("fsync");
+        log.mark(4);
+        log.mark(5);
+        fs.rmdir(dir, "sub").expect("rmdir");
+        fs.fsync(dir).expect("fsync");
+        log.mark(6);
+    }
+
+    fn verify(&self, fs: &Arc<FileSystem>, persisted: &HashSet<u64>) -> Vec<String> {
+        let mut problems = Vec::new();
+        let orig = exists(fs, "/g106/orig");
+        let link1 = exists(fs, "/g106/link1");
+        if persisted.contains(&3) {
+            if orig.is_some() {
+                problems.push("orig: persisted unlink resurrected".into());
+            }
+            match link1 {
+                None => problems.push("link1: lost although unlink(orig) persisted".into()),
+                Some(ino) => {
+                    let (_, _, nlink) = fs.stat(ino);
+                    if nlink != 1 {
+                        problems.push(format!("link1: nlink {nlink}, expected 1"));
+                    }
+                    if !content_is(fs, ino, 0x66, 4096) {
+                        problems.push("link1: content damaged".into());
+                    }
+                }
+            }
+        } else if persisted.contains(&1) {
+            // Both names must exist and share the inode.
+            match (orig, link1) {
+                (Some(a), Some(b)) if a == b => {
+                    let (_, _, nlink) = fs.stat(a);
+                    if nlink != 2 && !persisted.contains(&2) {
+                        problems.push(format!("hardlink pair: nlink {nlink}, expected 2"));
+                    }
+                }
+                (Some(_), Some(_)) => {
+                    problems.push("orig and link1 stopped sharing an inode".into())
+                }
+                _ if !persisted.contains(&2) => {
+                    problems.push("hardlink pair: persisted names lost".into())
+                }
+                _ => {}
+            }
+        } else if persisted.contains(&0) && orig.is_none() {
+            problems.push("orig: fsynced create lost".into());
+        }
+        let sub = exists(fs, "/g106/sub");
+        if persisted.contains(&6) {
+            if sub.is_some() {
+                problems.push("sub: persisted rmdir resurrected".into());
+            }
+        } else if persisted.contains(&4) && !persisted.contains(&5) && sub.is_none() {
+            problems.push("sub: fsynced mkdir lost".into());
+        }
+        problems
+    }
+}
+
+// ---------------------------------------------------------------------------
+// generic_321: directory fsync
+// ---------------------------------------------------------------------------
+
+/// Various directory `fsync()` tests (xfstest 321).
+pub struct Generic321;
+
+// Marks: 0 = a/foo visible via fsync(a); 1 = b visible via fsync(root);
+// 2 = cross-dir rename issued; 3 = rename persisted via fsync(b)+fsync(a);
+// 4 = a/baz visible via fsync(a).
+impl CrashWorkload for Generic321 {
+    fn name(&self) -> &'static str {
+        "generic_321"
+    }
+
+    fn run(&self, fs: &Arc<FileSystem>, log: &OpLog) {
+        fs.mkdir_path("/g321").expect("mkdir");
+        let root = fs.resolve("/g321").expect("resolve");
+        fs.fsync(root).expect("fsync");
+        fs.mkdir_path("/g321/a").expect("mkdir");
+        let a = fs.resolve("/g321/a").expect("resolve");
+        fs.create_path("/g321/a/foo").expect("create");
+        // fsync of the DIRECTORY must persist the entry (and, through
+        // the dependency set, the child inode).
+        fs.fsync(a).expect("fsync dir a");
+        log.mark(0);
+        fs.mkdir_path("/g321/b").expect("mkdir");
+        fs.fsync(root).expect("fsync root");
+        log.mark(1);
+        let b = fs.resolve("/g321/b").expect("resolve");
+        log.mark(2);
+        fs.rename(a, "foo", b, "bar").expect("rename");
+        fs.fsync(b).expect("fsync b");
+        fs.fsync(a).expect("fsync a");
+        log.mark(3);
+        fs.create_path("/g321/a/baz").expect("create");
+        fs.fsync(a).expect("fsync a");
+        log.mark(4);
+    }
+
+    fn verify(&self, fs: &Arc<FileSystem>, persisted: &HashSet<u64>) -> Vec<String> {
+        let mut problems = Vec::new();
+        let foo = exists(fs, "/g321/a/foo");
+        let bar = exists(fs, "/g321/b/bar");
+        if persisted.contains(&3) {
+            if foo.is_some() {
+                problems.push("a/foo: persisted rename left source entry".into());
+            }
+            if bar.is_none() {
+                problems.push("b/bar: persisted rename lost target".into());
+            }
+        } else if persisted.contains(&0) && !persisted.contains(&2) {
+            if foo.is_none() {
+                problems.push("a/foo: entry persisted by fsync(a) lost".into());
+            }
+        }
+        if persisted.contains(&1) && exists(fs, "/g321/b").is_none() {
+            problems.push("b: persisted mkdir lost".into());
+        }
+        if persisted.contains(&3) || persisted.contains(&0) {
+            // The file inode must exist under exactly one name.
+            if foo.is_some() && bar.is_some() {
+                problems.push("foo and bar both present".into());
+            }
+        }
+        if persisted.contains(&4) && exists(fs, "/g321/a/baz").is_none() {
+            problems.push("a/baz: persisted create lost".into());
+        }
+        problems
+    }
+}
+
+/// The four Table 4 workloads with the paper's row order.
+pub fn table4_workloads() -> Vec<Arc<dyn CrashWorkload>> {
+    vec![
+        Arc::new(CreateDelete { rounds: 6 }),
+        Arc::new(Generic035 { rounds: 4 }),
+        Arc::new(Generic106),
+        Arc::new(Generic321),
+    ]
+}

@@ -1,0 +1,638 @@
+//! Classic journaling (JBD2-style) and its Horae variant.
+//!
+//! A single journal area and a single dedicated commit thread
+//! ("kjournald"): application threads hand their transactions over and
+//! sleep; the commit thread merges everything queued into one compound
+//! transaction (group commit) and runs the protocol of §3:
+//!
+//! 1. write the journal description block and the journaled blocks, wait;
+//! 2. FLUSH (ordering point);
+//! 3. write the commit record with FUA, wait.
+//!
+//! The Horae variant (HoraeFS, OSDI '20 \[27\]) removes the ordering points: the
+//! descriptor, journaled blocks and commit record are all submitted
+//! together and awaited once. Both variants keep the commit record and
+//! the dedicated-thread context switches — the costs that MQFS/ccNVMe
+//! eliminate.
+
+use std::{
+    collections::{HashMap, HashSet},
+    sync::{
+        atomic::{AtomicU64, Ordering},
+        Arc,
+    },
+};
+
+use ccnvme_block::{Bio, BioBuf, BioFlags, BioWaiter};
+use ccnvme_sim::{Ns, SimCondvar, SimMutex};
+
+use crate::{
+    area::{AreaRing, AreaSpec},
+    format::{self, JdBlock, JdEntry},
+    recover::{recover_areas, RecoverMode, RecoveredUpdate},
+    Dev, Durability, Journal, ReuseAction, TxDescriptor,
+};
+
+/// How the commit thread seals a compound transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitStyle {
+    /// JBD2: journal blocks, wait, FLUSH, commit record with FUA, wait.
+    Classic,
+    /// HoraeFS: everything submitted together, commit record FUA, one
+    /// wait, trailing durability flush on volatile-cache devices.
+    Horae,
+    /// Figure 13's "+ccNVMe" ablation: keep the single-area, dedicated-
+    /// thread structure but commit through a ccNVMe transaction — the
+    /// journal blocks are `REQ_TX` members and the JD is the
+    /// `REQ_TX_COMMIT`; no commit record, no FLUSH bios.
+    CcTx,
+}
+
+/// Context-switch cost between the application and the commit thread.
+const CTX_SWITCH: Ns = 1_300;
+
+/// CPU cost of preparing one compound commit (list management, tags).
+const COMMIT_PREP_CPU: Ns = 1_500;
+
+struct Ticket {
+    st: SimMutex<bool>,
+    cv: SimCondvar,
+}
+
+struct PendingTx {
+    tx: TxDescriptor,
+    ticket: Arc<Ticket>,
+}
+
+struct CommitQ {
+    queue: Vec<PendingTx>,
+    shutdown: bool,
+}
+
+/// A journaled block awaiting checkpoint.
+struct CheckpointEntry {
+    buf: BioBuf,
+}
+
+struct ClassicInner {
+    dev: Dev,
+    ring: AreaRing,
+    style: CommitStyle,
+    /// Block holding the persistent replay floor (journal superblock).
+    horizon_lba: u64,
+    /// Highest committed compound transaction ID.
+    max_committed: AtomicU64,
+    next_tx: AtomicU64,
+    q: SimMutex<CommitQ>,
+    q_cv: SimCondvar,
+    /// Journaled-but-not-checkpointed blocks, keyed by home LBA.
+    /// A `SimMutex` because checkpointing holds it across device waits.
+    pending: SimMutex<HashMap<u64, CheckpointEntry>>,
+    /// Home LBAs whose stale journal copies must be revoked in the next
+    /// compound commit.
+    revokes: SimMutex<Vec<u64>>,
+}
+
+/// The classic (JBD2-style) journal engine; `horae: true` removes the
+/// ordering points.
+pub struct ClassicJournal {
+    inner: Arc<ClassicInner>,
+}
+
+impl ClassicJournal {
+    /// Creates the engine over one journal area and starts the commit
+    /// thread pinned to `thread_core`. `horizon_lba` is the journal
+    /// superblock location holding the persistent replay floor.
+    pub fn new(
+        dev: Dev,
+        area: AreaSpec,
+        horizon_lba: u64,
+        style: CommitStyle,
+        thread_core: usize,
+    ) -> Self {
+        let inner = Arc::new(ClassicInner {
+            dev,
+            ring: AreaRing::new(area),
+            style,
+            horizon_lba,
+            max_committed: AtomicU64::new(0),
+            next_tx: AtomicU64::new(1),
+            q: SimMutex::new(CommitQ {
+                queue: Vec::new(),
+                shutdown: false,
+            }),
+            q_cv: SimCondvar::new(),
+            pending: SimMutex::new(HashMap::new()),
+            revokes: SimMutex::new(Vec::new()),
+        });
+        let worker = Arc::clone(&inner);
+        let name = match style {
+            CommitStyle::Classic => "kjournald",
+            CommitStyle::Horae => "horae-journald",
+            CommitStyle::CcTx => "cc-journald",
+        };
+        ccnvme_sim::spawn_daemon(name, thread_core, move || commit_thread(worker));
+        ClassicJournal { inner }
+    }
+
+    /// The journal area (for recovery configuration).
+    pub fn area(&self) -> AreaSpec {
+        self.inner.ring.spec()
+    }
+}
+
+fn commit_thread(inner: Arc<ClassicInner>) {
+    loop {
+        let batch: Vec<PendingTx> = {
+            let mut q = inner.q.lock();
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if !q.queue.is_empty() {
+                    break std::mem::take(&mut q.queue);
+                }
+                q = inner.q_cv.wait(q);
+            }
+        };
+        // Waking up and assembling the compound costs CPU (the overhead
+        // §3 attributes to the separate journaling thread).
+        ccnvme_sim::cpu(CTX_SWITCH + COMMIT_PREP_CPU);
+        let mut batch = batch;
+        commit_compound(&inner, &mut batch);
+        // Safety net: thaw anything the compound path did not.
+        for p in batch.iter_mut() {
+            p.tx.run_unpin();
+        }
+        let batch = batch;
+        for p in &batch {
+            let mut done = p.ticket.st.lock();
+            *done = true;
+            drop(done);
+            p.ticket.cv.notify_all();
+        }
+    }
+}
+
+/// Thaws every frozen page of the batch (journal copies are on media).
+fn unpin_batch(batch: &mut [PendingTx]) {
+    for p in batch.iter_mut() {
+        p.tx.run_unpin();
+    }
+}
+
+/// Runs the compound-commit protocol for a batch of transactions.
+fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
+    // Merge: one copy per home block (the last writer wins), compound
+    // revoke list, highest tx id stamps the compound.
+    let mut merged: HashMap<u64, crate::TxBlock> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let mut compound_id = 0;
+    for p in batch.iter() {
+        compound_id = compound_id.max(p.tx.tx_id);
+        for blk in &p.tx.meta {
+            if merged.insert(blk.final_lba, blk.clone()).is_none() {
+                order.push(blk.final_lba);
+            }
+        }
+    }
+    let mut revokes: Vec<u64> = {
+        let mut r = inner.revokes.lock();
+        std::mem::take(&mut *r)
+    };
+    for p in batch.iter() {
+        revokes.extend_from_slice(&p.tx.revokes);
+    }
+    revokes.truncate(format::MAX_REVOKES);
+    if merged.is_empty() && revokes.is_empty() {
+        return;
+    }
+    // Compounds larger than one descriptor (or than the hardware queue,
+    // for the ccNVMe commit style) are split into chained chunks sharing
+    // the compound ID; the classic styles seal them all with one commit
+    // record, exactly like JBD2's multi-descriptor transactions.
+    const CHUNK: usize = 64;
+    if order.len() > CHUNK {
+        let mut rest: Vec<u64> = order;
+        let mut first = true;
+        while !rest.is_empty() {
+            let take = rest.len().min(CHUNK);
+            let chunk_order: Vec<u64> = rest.drain(..take).collect();
+            let chunk_batch: Vec<&crate::TxBlock> =
+                chunk_order.iter().map(|l| &merged[l]).collect();
+            let chunk_revokes = if first {
+                std::mem::take(&mut revokes)
+            } else {
+                Vec::new()
+            };
+            first = false;
+            commit_chunk(
+                inner,
+                compound_id,
+                &chunk_order,
+                &chunk_batch,
+                chunk_revokes,
+            );
+        }
+        inner.max_committed.fetch_max(compound_id, Ordering::SeqCst);
+        unpin_batch(batch);
+        let mut pending = inner.pending.lock();
+        for (lba, blk) in merged {
+            pending.insert(
+                lba,
+                CheckpointEntry {
+                    buf: Arc::clone(&blk.buf),
+                },
+            );
+        }
+        return;
+    }
+    // Journal space: JD + blocks (+ commit record for the classic styles).
+    let need = order.len() as u64
+        + if inner.style == CommitStyle::CcTx {
+            1
+        } else {
+            2
+        };
+    let lbas = loop {
+        match inner.ring.alloc(need) {
+            Some(l) => break l,
+            None => checkpoint_now(inner),
+        }
+    };
+    let (jd_lba, block_lbas): (u64, &[u64]) = if inner.style == CommitStyle::CcTx {
+        // ccNVMe style: the JD is the commit request and goes LAST.
+        let (jd, blocks) = lbas.split_last().expect("need >= 1");
+        (*jd, blocks)
+    } else {
+        let (jd, rest) = lbas.split_first().expect("need >= 2");
+        (*jd, &rest[..rest.len() - 1])
+    };
+    // Build the descriptor.
+    let mut entries = Vec::with_capacity(order.len());
+    for (i, final_lba) in order.iter().enumerate() {
+        let blk = &merged[final_lba];
+        let sum = format::block_checksum(&blk.buf.lock());
+        entries.push(JdEntry {
+            final_lba: *final_lba,
+            journal_lba: block_lbas[i],
+            checksum: sum,
+        });
+    }
+    let jd = JdBlock {
+        tx_id: compound_id,
+        entries,
+        revokes: revokes.clone(),
+    };
+    let jd_buf: BioBuf = Arc::new(parking_lot::Mutex::new(jd.encode()));
+
+    let waiter = BioWaiter::new();
+    match inner.style {
+        CommitStyle::CcTx => {
+            // Members first, the JD commit last; atomicity and implicit
+            // durability barrier come from the ccNVMe transaction.
+            for (i, final_lba) in order.iter().enumerate() {
+                let blk = &merged[final_lba];
+                let mut bio = Bio::write(block_lbas[i], Arc::clone(&blk.buf), BioFlags::TX)
+                    .with_tx_id(compound_id);
+                waiter.attach(&mut bio);
+                inner.dev.submit_bio(bio);
+            }
+            let mut jd_bio =
+                Bio::write(jd_lba, jd_buf, BioFlags::TX_COMMIT).with_tx_id(compound_id);
+            waiter.attach(&mut jd_bio);
+            inner.dev.submit_bio(jd_bio);
+            let _ = waiter.wait();
+            unpin_batch(batch);
+        }
+        CommitStyle::Horae | CommitStyle::Classic => {
+            let mut jd_bio = Bio::write(jd_lba, jd_buf, BioFlags::NONE);
+            waiter.attach(&mut jd_bio);
+            inner.dev.submit_bio(jd_bio);
+            for (i, final_lba) in order.iter().enumerate() {
+                let blk = &merged[final_lba];
+                let mut bio = Bio::write(block_lbas[i], Arc::clone(&blk.buf), BioFlags::NONE);
+                waiter.attach(&mut bio);
+                inner.dev.submit_bio(bio);
+            }
+            let commit_lba = *lbas.last().expect("need >= 2");
+            let commit_buf: BioBuf = Arc::new(parking_lot::Mutex::new(
+                format::encode_commit_record(compound_id),
+            ));
+            if inner.style == CommitStyle::Horae {
+                // Horae: no ordering point — the commit record goes out
+                // with the journal blocks; a single wait at the end.
+                let mut commit_bio = Bio::write(
+                    commit_lba,
+                    commit_buf,
+                    BioFlags {
+                        preflush: false,
+                        fua: true,
+                        tx: false,
+                        tx_commit: false,
+                    },
+                );
+                waiter.attach(&mut commit_bio);
+                inner.dev.submit_bio(commit_bio);
+                let _ = waiter.wait();
+                unpin_batch(batch);
+                // Durability (not ordering): one trailing cache drain so
+                // the journal blocks are stable before fsync returns.
+                // Horae's ordering layer guarantees this on real HW.
+                if inner.dev.has_volatile_cache() {
+                    let fw = BioWaiter::new();
+                    let mut flush = Bio::flush();
+                    fw.attach(&mut flush);
+                    inner.dev.submit_bio(flush);
+                    let _ = fw.wait();
+                }
+            } else {
+                // Classic: wait for the journal blocks, then FLUSH + FUA
+                // commit record (the two ordering points of §3). The
+                // pages thaw as soon as their journal copies are written
+                // (JBD2 clears BJ_Shadow here), letting the next compound
+                // assemble during the commit-record wait.
+                let _ = waiter.wait();
+                unpin_batch(batch);
+                let commit_waiter = BioWaiter::new();
+                let mut commit_bio = Bio::write(commit_lba, commit_buf, BioFlags::PREFLUSH_FUA);
+                commit_waiter.attach(&mut commit_bio);
+                inner.dev.submit_bio(commit_bio);
+                let _ = commit_waiter.wait();
+            }
+        }
+    }
+    inner.max_committed.fetch_max(compound_id, Ordering::SeqCst);
+    // Account the journaled blocks for checkpointing.
+    {
+        let mut pending = inner.pending.lock();
+        for final_lba in &order {
+            let blk = &merged[final_lba];
+            pending.insert(
+                *final_lba,
+                CheckpointEntry {
+                    buf: Arc::clone(&blk.buf),
+                },
+            );
+        }
+        for r in &revokes {
+            pending.remove(r);
+        }
+    }
+}
+
+/// Commits one chunk of an oversized compound (journal blocks + JD; the
+/// chunk is sealed by its own commit record / ccNVMe commit request).
+fn commit_chunk(
+    inner: &Arc<ClassicInner>,
+    compound_id: u64,
+    order: &[u64],
+    blocks: &[&crate::TxBlock],
+    revokes: Vec<u64>,
+) {
+    let need = order.len() as u64
+        + if inner.style == CommitStyle::CcTx {
+            1
+        } else {
+            2
+        };
+    let lbas = loop {
+        match inner.ring.alloc(need) {
+            Some(l) => break l,
+            None => checkpoint_now(inner),
+        }
+    };
+    let (jd_lba, block_lbas): (u64, &[u64]) = if inner.style == CommitStyle::CcTx {
+        let (jd, b) = lbas.split_last().expect("need >= 1");
+        (*jd, b)
+    } else {
+        let (jd, rest) = lbas.split_first().expect("need >= 2");
+        (*jd, &rest[..rest.len() - 1])
+    };
+    let mut entries = Vec::with_capacity(order.len());
+    for (i, blk) in blocks.iter().enumerate() {
+        let sum = format::block_checksum(&blk.buf.lock());
+        entries.push(JdEntry {
+            final_lba: order[i],
+            journal_lba: block_lbas[i],
+            checksum: sum,
+        });
+    }
+    let jd = JdBlock {
+        tx_id: compound_id,
+        entries,
+        revokes,
+    };
+    let jd_buf: BioBuf = Arc::new(parking_lot::Mutex::new(jd.encode()));
+    let waiter = BioWaiter::new();
+    match inner.style {
+        CommitStyle::CcTx => {
+            for (i, blk) in blocks.iter().enumerate() {
+                let mut bio = Bio::write(block_lbas[i], Arc::clone(&blk.buf), BioFlags::TX)
+                    .with_tx_id(compound_id);
+                waiter.attach(&mut bio);
+                inner.dev.submit_bio(bio);
+            }
+            let mut jd_bio =
+                Bio::write(jd_lba, jd_buf, BioFlags::TX_COMMIT).with_tx_id(compound_id);
+            waiter.attach(&mut jd_bio);
+            inner.dev.submit_bio(jd_bio);
+            let _ = waiter.wait();
+        }
+        CommitStyle::Horae | CommitStyle::Classic => {
+            let mut jd_bio = Bio::write(jd_lba, jd_buf, BioFlags::NONE);
+            waiter.attach(&mut jd_bio);
+            inner.dev.submit_bio(jd_bio);
+            for (i, blk) in blocks.iter().enumerate() {
+                let mut bio = Bio::write(block_lbas[i], Arc::clone(&blk.buf), BioFlags::NONE);
+                waiter.attach(&mut bio);
+                inner.dev.submit_bio(bio);
+            }
+            let commit_lba = *lbas.last().expect("need >= 2");
+            let commit_buf: BioBuf = Arc::new(parking_lot::Mutex::new(
+                format::encode_commit_record(compound_id),
+            ));
+            if inner.style == CommitStyle::Horae {
+                let mut commit_bio = Bio::write(
+                    commit_lba,
+                    commit_buf,
+                    BioFlags {
+                        preflush: false,
+                        fua: true,
+                        tx: false,
+                        tx_commit: false,
+                    },
+                );
+                waiter.attach(&mut commit_bio);
+                inner.dev.submit_bio(commit_bio);
+                let _ = waiter.wait();
+                if inner.dev.has_volatile_cache() {
+                    let fw = BioWaiter::new();
+                    let mut flush = Bio::flush();
+                    fw.attach(&mut flush);
+                    inner.dev.submit_bio(flush);
+                    let _ = fw.wait();
+                }
+            } else {
+                let _ = waiter.wait();
+                let commit_waiter = BioWaiter::new();
+                let mut commit_bio = Bio::write(commit_lba, commit_buf, BioFlags::PREFLUSH_FUA);
+                commit_waiter.attach(&mut commit_bio);
+                inner.dev.submit_bio(commit_bio);
+                let _ = commit_waiter.wait();
+            }
+        }
+    }
+}
+
+/// Writes every pending journaled block home and resets the ring.
+/// Runs in the commit thread; holds the pending map for the duration so
+/// block reuse cannot race with the checkpoint writes.
+fn checkpoint_now(inner: &Arc<ClassicInner>) {
+    let mut pending = inner.pending.lock();
+    if !pending.is_empty() {
+        let waiter = BioWaiter::new();
+        for (lba, entry) in pending.iter() {
+            let mut bio = Bio::write(*lba, Arc::clone(&entry.buf), BioFlags::NONE);
+            waiter.attach(&mut bio);
+            inner.dev.submit_bio(bio);
+        }
+        let _ = waiter.wait();
+        if inner.dev.has_volatile_cache() {
+            let fw = BioWaiter::new();
+            let mut flush = Bio::flush();
+            fw.attach(&mut flush);
+            inner.dev.submit_bio(flush);
+            let _ = fw.wait();
+        }
+        pending.clear();
+    }
+    // Persist the replay floor before reusing any journal space, so
+    // recovery never replays a transaction whose journal blocks may have
+    // been overwritten (the JBD2 journal-superblock protocol).
+    let h = inner.max_committed.load(Ordering::SeqCst) + 1;
+    let hw = BioWaiter::new();
+    let hbuf: BioBuf = Arc::new(parking_lot::Mutex::new(format::encode_horizon(h)));
+    let mut hbio = Bio::write(
+        inner.horizon_lba,
+        hbuf,
+        BioFlags {
+            preflush: false,
+            fua: true,
+            tx: false,
+            tx_commit: false,
+        },
+    );
+    hw.attach(&mut hbio);
+    inner.dev.submit_bio(hbio);
+    let _ = hw.wait();
+    inner.ring.release_all();
+}
+
+impl Journal for ClassicJournal {
+    fn commit_tx(&self, tx: TxDescriptor, _durability: Durability) {
+        // Classic journaling cannot decouple atomicity from durability;
+        // `fatomic` degenerates to `fsync` here.
+        if tx.is_empty() {
+            return;
+        }
+        // Ordered mode: data reaches its final location before the
+        // metadata commits.
+        if !tx.data.is_empty() {
+            let waiter = BioWaiter::new();
+            for blk in &tx.data {
+                let mut bio = Bio::write(blk.final_lba, Arc::clone(&blk.buf), BioFlags::NONE);
+                waiter.attach(&mut bio);
+                self.inner.dev.submit_bio(bio);
+            }
+            let _ = waiter.wait();
+        }
+        let ticket = Arc::new(Ticket {
+            st: SimMutex::new(false),
+            cv: SimCondvar::new(),
+        });
+        {
+            let mut q = self.inner.q.lock();
+            q.queue.push(PendingTx {
+                tx,
+                ticket: Arc::clone(&ticket),
+            });
+        }
+        self.inner.q_cv.notify_one();
+        {
+            let mut done = ticket.st.lock();
+            while !*done {
+                done = ticket.cv.wait(done);
+            }
+        }
+        // Returning from the journald handoff costs a context switch.
+        ccnvme_sim::cpu(CTX_SWITCH);
+    }
+
+    fn note_block_reuse(&self, lba: u64) -> ReuseAction {
+        let mut pending = self.inner.pending.lock();
+        if pending.remove(&lba).is_some() {
+            drop(pending);
+            self.inner.revokes.lock().push(lba);
+            ReuseAction::Revoked
+        } else {
+            ReuseAction::None
+        }
+    }
+
+    fn checkpoint_all(&self) {
+        // Drain queued commits first so their blocks are checkpointed.
+        // Push an empty marker through the commit thread to serialize.
+        let ticket = Arc::new(Ticket {
+            st: SimMutex::new(false),
+            cv: SimCondvar::new(),
+        });
+        {
+            let mut q = self.inner.q.lock();
+            q.queue.push(PendingTx {
+                tx: TxDescriptor::new(0),
+                ticket: Arc::clone(&ticket),
+            });
+        }
+        self.inner.q_cv.notify_one();
+        {
+            let mut done = ticket.st.lock();
+            while !*done {
+                done = ticket.cv.wait(done);
+            }
+        }
+        checkpoint_now(&self.inner);
+    }
+
+    fn alloc_tx_id(&self) -> u64 {
+        self.inner.next_tx.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn set_tx_floor(&self, floor: u64) {
+        self.inner.next_tx.fetch_max(floor + 1, Ordering::SeqCst);
+        self.inner.max_committed.fetch_max(floor, Ordering::SeqCst);
+    }
+
+    fn recover(&self, discard: &HashSet<u64>) -> Vec<RecoveredUpdate> {
+        let min_tx = crate::recover::read_horizon(&self.inner.dev, self.inner.horizon_lba);
+        let mode = if self.inner.style == CommitStyle::CcTx {
+            RecoverMode::ChecksumOnly
+        } else {
+            RecoverMode::RequireCommitRecord
+        };
+        recover_areas(
+            &self.inner.dev,
+            &[self.inner.ring.spec()],
+            mode,
+            min_tx,
+            discard,
+        )
+    }
+
+    fn shutdown(&self) {
+        let mut q = self.inner.q.lock();
+        q.shutdown = true;
+        drop(q);
+        self.inner.q_cv.notify_all();
+    }
+}

@@ -1,0 +1,289 @@
+//! On-disk formats of the journal blocks.
+//!
+//! A *journal description block* (JD) carries the transaction ID, the
+//! home-location mapping of every journaled block, per-block checksums
+//! and the revocation list. In MQFS the JD is written last and doubles as
+//! the commit point (`REQ_TX_COMMIT`) — ringing the doorbell plays the
+//! role of the commit record (§5.1). The classic engines write the JD
+//! first and seal the transaction with a separate *commit record*.
+
+use ccnvme_block::BLOCK_SIZE;
+
+/// Magic of a journal description block.
+pub const JD_MAGIC: u64 = 0x4a44_5f4d_5146_5331;
+
+/// Magic of a classic commit record.
+pub const COMMIT_MAGIC: u64 = 0x434f_4d4d_4954_5f31;
+
+/// Magic of a journal horizon block.
+pub const HORIZON_MAGIC: u64 = 0x484f_525a_4d51_4653;
+
+/// Maximum journaled blocks described by one JD.
+pub const MAX_ENTRIES: usize = 120;
+
+/// Maximum revoke records in one JD.
+pub const MAX_REVOKES: usize = 100;
+
+/// FNV-1a 64-bit checksum of a block's content.
+pub fn block_checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One mapping entry of a JD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JdEntry {
+    /// Home location in the file-system area.
+    pub final_lba: u64,
+    /// Where the journaled copy lives in the journal area.
+    pub journal_lba: u64,
+    /// Checksum of the journaled copy.
+    pub checksum: u64,
+}
+
+/// A decoded journal description block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JdBlock {
+    /// Transaction ID.
+    pub tx_id: u64,
+    /// Journaled-block mappings.
+    pub entries: Vec<JdEntry>,
+    /// Revoked home locations (suppress older journal copies).
+    pub revokes: Vec<u64>,
+}
+
+impl JdBlock {
+    /// Serializes into one 4 KB block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entry or revoke counts exceed the format limits.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.entries.len() <= MAX_ENTRIES, "too many JD entries");
+        assert!(self.revokes.len() <= MAX_REVOKES, "too many revokes");
+        let mut b = vec![0u8; BLOCK_SIZE as usize];
+        b[0..8].copy_from_slice(&JD_MAGIC.to_le_bytes());
+        b[8..16].copy_from_slice(&self.tx_id.to_le_bytes());
+        b[16..20].copy_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        b[20..24].copy_from_slice(&(self.revokes.len() as u32).to_le_bytes());
+        let mut off = 32;
+        for e in &self.entries {
+            b[off..off + 8].copy_from_slice(&e.final_lba.to_le_bytes());
+            b[off + 8..off + 16].copy_from_slice(&e.journal_lba.to_le_bytes());
+            b[off + 16..off + 24].copy_from_slice(&e.checksum.to_le_bytes());
+            off += 24;
+        }
+        for r in &self.revokes {
+            b[off..off + 8].copy_from_slice(&r.to_le_bytes());
+            off += 8;
+        }
+        // Header checksum protects the JD itself against torn writes.
+        let hsum = block_checksum(&b[0..off]);
+        let end = BLOCK_SIZE as usize;
+        b[end - 8..end].copy_from_slice(&hsum.to_le_bytes());
+        b
+    }
+
+    /// Parses a block; `None` if it is not a valid, untorn JD.
+    pub fn decode(b: &[u8]) -> Option<JdBlock> {
+        if b.len() != BLOCK_SIZE as usize {
+            return None;
+        }
+        if u64::from_le_bytes(b[0..8].try_into().ok()?) != JD_MAGIC {
+            return None;
+        }
+        let tx_id = u64::from_le_bytes(b[8..16].try_into().ok()?);
+        let n_entries = u32::from_le_bytes(b[16..20].try_into().ok()?) as usize;
+        let n_revokes = u32::from_le_bytes(b[20..24].try_into().ok()?) as usize;
+        if n_entries > MAX_ENTRIES || n_revokes > MAX_REVOKES {
+            return None;
+        }
+        let body_len = 32 + n_entries * 24 + n_revokes * 8;
+        let end = BLOCK_SIZE as usize;
+        let stored = u64::from_le_bytes(b[end - 8..end].try_into().ok()?);
+        if block_checksum(&b[0..body_len]) != stored {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n_entries);
+        let mut off = 32;
+        for _ in 0..n_entries {
+            entries.push(JdEntry {
+                final_lba: u64::from_le_bytes(b[off..off + 8].try_into().ok()?),
+                journal_lba: u64::from_le_bytes(b[off + 8..off + 16].try_into().ok()?),
+                checksum: u64::from_le_bytes(b[off + 16..off + 24].try_into().ok()?),
+            });
+            off += 24;
+        }
+        let mut revokes = Vec::with_capacity(n_revokes);
+        for _ in 0..n_revokes {
+            revokes.push(u64::from_le_bytes(b[off..off + 8].try_into().ok()?));
+            off += 8;
+        }
+        Some(JdBlock {
+            tx_id,
+            entries,
+            revokes,
+        })
+    }
+}
+
+/// Serializes a classic commit record for `tx_id`.
+pub fn encode_commit_record(tx_id: u64) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK_SIZE as usize];
+    b[0..8].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+    b[8..16].copy_from_slice(&tx_id.to_le_bytes());
+    let sum = block_checksum(&b[0..16]);
+    b[16..24].copy_from_slice(&sum.to_le_bytes());
+    b
+}
+
+/// Parses a commit record; returns the committed `tx_id` if valid.
+pub fn decode_commit_record(b: &[u8]) -> Option<u64> {
+    if b.len() != BLOCK_SIZE as usize {
+        return None;
+    }
+    if u64::from_le_bytes(b[0..8].try_into().ok()?) != COMMIT_MAGIC {
+        return None;
+    }
+    let tx_id = u64::from_le_bytes(b[8..16].try_into().ok()?);
+    let stored = u64::from_le_bytes(b[16..24].try_into().ok()?);
+    if block_checksum(&b[0..16]) != stored {
+        return None;
+    }
+    Some(tx_id)
+}
+
+/// Serializes the journal horizon (replay floor): transactions with an
+/// ID below the horizon are fully checkpointed and must not be replayed.
+/// Persisted (FUA) *before* journal ring space is reused, so recovery
+/// never replays a transaction whose newer superseding copies may have
+/// been overwritten.
+pub fn encode_horizon(h: u64) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK_SIZE as usize];
+    b[0..8].copy_from_slice(&HORIZON_MAGIC.to_le_bytes());
+    b[8..16].copy_from_slice(&h.to_le_bytes());
+    let sum = block_checksum(&b[0..16]);
+    b[16..24].copy_from_slice(&sum.to_le_bytes());
+    b
+}
+
+/// Parses a horizon block; zero (replay everything) if invalid/blank.
+pub fn decode_horizon(b: &[u8]) -> u64 {
+    if b.len() != BLOCK_SIZE as usize {
+        return 0;
+    }
+    let magic = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+    if magic != HORIZON_MAGIC {
+        return 0;
+    }
+    let h = u64::from_le_bytes(b[8..16].try_into().expect("8 bytes"));
+    let stored = u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"));
+    if block_checksum(&b[0..16]) != stored {
+        return 0;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jd_roundtrip() {
+        let jd = JdBlock {
+            tx_id: 42,
+            entries: vec![
+                JdEntry {
+                    final_lba: 100,
+                    journal_lba: 9000,
+                    checksum: 7,
+                },
+                JdEntry {
+                    final_lba: 200,
+                    journal_lba: 9001,
+                    checksum: 8,
+                },
+            ],
+            revokes: vec![55, 66],
+        };
+        let b = jd.encode();
+        assert_eq!(JdBlock::decode(&b), Some(jd));
+    }
+
+    #[test]
+    fn torn_jd_rejected() {
+        let jd = JdBlock {
+            tx_id: 1,
+            entries: vec![],
+            revokes: vec![],
+        };
+        let mut b = jd.encode();
+        b[9] ^= 0x10; // Corrupt the tx_id.
+        assert!(JdBlock::decode(&b).is_none());
+    }
+
+    #[test]
+    fn garbage_block_rejected() {
+        let b = vec![0xa5u8; BLOCK_SIZE as usize];
+        assert!(JdBlock::decode(&b).is_none());
+        assert!(decode_commit_record(&b).is_none());
+    }
+
+    #[test]
+    fn horizon_roundtrip() {
+        let b = encode_horizon(12345);
+        assert_eq!(decode_horizon(&b), 12345);
+        assert_eq!(decode_horizon(&vec![0u8; BLOCK_SIZE as usize]), 0);
+    }
+
+    #[test]
+    fn commit_record_roundtrip() {
+        let b = encode_commit_record(77);
+        assert_eq!(decode_commit_record(&b), Some(77));
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let data = vec![3u8; 4096];
+        let base = block_checksum(&data);
+        let mut tweaked = data.clone();
+        tweaked[1000] ^= 1;
+        assert_ne!(base, block_checksum(&tweaked));
+    }
+
+    #[test]
+    fn zero_block_is_not_a_jd() {
+        let b = vec![0u8; BLOCK_SIZE as usize];
+        assert!(JdBlock::decode(&b).is_none());
+    }
+
+    #[cfg(test)]
+    mod prop {
+        use proptest::prelude::*;
+
+        use super::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_random_jd(
+                tx_id in any::<u64>(),
+                lbas in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..MAX_ENTRIES),
+                revokes in proptest::collection::vec(any::<u64>(), 0..MAX_REVOKES),
+            ) {
+                let jd = JdBlock {
+                    tx_id,
+                    entries: lbas
+                        .into_iter()
+                        .map(|(f, j, c)| JdEntry { final_lba: f, journal_lba: j, checksum: c })
+                        .collect(),
+                    revokes,
+                };
+                prop_assert_eq!(JdBlock::decode(&jd.encode()), Some(jd));
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Journaling engines for the MQFS file-system family.
+//!
+//! One transaction abstraction, four commit strategies — this is what
+//! lets the evaluation compare Ext4, Ext4-NJ, HoraeFS and MQFS on a
+//! single code base, as the paper does (§7.1):
+//!
+//! * [`ClassicJournal`] — JBD2-style: a single journal area, a dedicated
+//!   commit thread (kjournald), group commit, and the full ordering
+//!   protocol: journal description + journaled blocks, *wait*, FLUSH,
+//!   commit record with FUA, *wait*. Two extra blocks and two ordering
+//!   points per compound transaction (§3).
+//! * [`ClassicJournal`] in Horae mode — the ordering points removed
+//!   (HoraeFS, OSDI '20 \[27\]): descriptor, journaled blocks and the commit record
+//!   are submitted together; one wait at the end.
+//! * [`MqJournal`] — the paper's multi-queue journaling (§5.2): per-core
+//!   journal areas mapped to ccNVMe hardware queues, commits performed in
+//!   the application's context as one ccNVMe transaction (`REQ_TX`
+//!   members + a `REQ_TX_COMMIT` journal-description block), no commit
+//!   record, no FLUSH bios, per-core in-memory indexes that let one core
+//!   checkpoint while others keep logging, and *selective revocation*
+//!   (§5.4) for block reuse across queues.
+//! * [`NoJournal`] — Ext4-NJ: metadata written in place; the paper's
+//!   "ideal upper bound" for Ext4.
+//!
+//! All engines speak [`ccnvme_block::BlockDevice`], so they run unchanged
+//! on the baseline NVMe driver or the ccNVMe driver.
+
+pub mod area;
+pub mod classic;
+pub mod format;
+pub mod mq;
+pub mod nojournal;
+pub mod recover;
+
+use std::{collections::HashSet, sync::Arc};
+
+use ccnvme_block::BioBuf;
+
+pub use area::AreaSpec;
+pub use classic::{ClassicJournal, CommitStyle};
+pub use format::block_checksum;
+pub use mq::MqJournal;
+pub use nojournal::NoJournal;
+pub use recover::{recover_areas, RecoveredUpdate};
+
+/// Durability demanded from a commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// `fsync`: atomic and durable — return only when everything is on
+    /// stable media.
+    Durable,
+    /// `fatomic`: atomic only — return once the crash-consistency point
+    /// is reached (for ccNVMe, after the two MMIOs of §4).
+    Atomic,
+}
+
+/// One block belonging to a transaction.
+#[derive(Clone)]
+pub struct TxBlock {
+    /// Home location of the block in the file-system area.
+    pub final_lba: u64,
+    /// Content (for journaled metadata this is the shadow copy).
+    pub buf: BioBuf,
+}
+
+/// Callback releasing a frozen metadata page once its journal copy is
+/// on media (the JBD2 "shadow buffer" discipline: writers touching the
+/// page block until then — the serialization §5.3's shadow paging
+/// removes).
+pub type UnpinFn = Box<dyn FnOnce() + Send>;
+
+/// A file-system transaction handed to a journal engine.
+pub struct TxDescriptor {
+    /// Globally ordered transaction ID (the linearization point, §5.1).
+    pub tx_id: u64,
+    /// Ordered-mode data blocks: written to their final location as part
+    /// of the transaction, not journaled.
+    pub data: Vec<TxBlock>,
+    /// Journaled blocks (metadata; or data too in data-journaling mode).
+    pub meta: Vec<TxBlock>,
+    /// Blocks revoked by this transaction (freed metadata whose stale
+    /// journal copies must not be replayed).
+    pub revokes: Vec<u64>,
+    /// Page-unfreeze callbacks, invoked once the journal copies are
+    /// written (empty when the file system uses shadow paging).
+    pub unpin: Vec<UnpinFn>,
+}
+
+impl TxDescriptor {
+    /// Creates an empty transaction with the given ID.
+    pub fn new(tx_id: u64) -> Self {
+        TxDescriptor {
+            tx_id,
+            data: Vec::new(),
+            meta: Vec::new(),
+            revokes: Vec::new(),
+            unpin: Vec::new(),
+        }
+    }
+
+    /// Returns whether the transaction carries no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty() && self.meta.is_empty() && self.revokes.is_empty()
+    }
+
+    /// Runs and clears the unpin callbacks.
+    pub fn run_unpin(&mut self) {
+        for f in self.unpin.drain(..) {
+            f();
+        }
+    }
+}
+
+/// A journal engine: commits transactions and replays them after a crash.
+pub trait Journal: Send + Sync {
+    /// Commits `tx` with the requested durability. Blocks (in virtual
+    /// time) according to the engine's protocol; on return with
+    /// [`Durability::Durable`] the transaction is atomic and durable, and
+    /// with [`Durability::Atomic`] it is crash-atomic.
+    fn commit_tx(&self, tx: TxDescriptor, durability: Durability);
+
+    /// Notifies the journal that `lba` is being reused for a
+    /// non-journaled (data) write. Returns blocks that must be journaled
+    /// instead of revoked ("case 1" of §5.4 — the block is mid-
+    /// checkpoint, so the engine regresses to data journaling for it).
+    fn note_block_reuse(&self, lba: u64) -> ReuseAction;
+
+    /// Forces every journaled block to its final location and empties
+    /// the journal (graceful unmount).
+    fn checkpoint_all(&self);
+
+    /// Allocates the next transaction ID.
+    fn alloc_tx_id(&self) -> u64;
+
+    /// Ensures future transaction IDs exceed `floor` (called after
+    /// recovery so new transactions sort after every replayed or
+    /// discarded one).
+    fn set_tx_floor(&self, floor: u64);
+
+    /// Scans the journal area(s) and returns the updates to replay,
+    /// ordered by transaction ID. `discard` holds transaction IDs known
+    /// to be unfinished (from the ccNVMe recovery window); their journal
+    /// content is ignored even if intact.
+    fn recover(&self, discard: &HashSet<u64>) -> Vec<RecoveredUpdate>;
+
+    /// Stops any background threads (graceful detach).
+    fn shutdown(&self);
+}
+
+/// Outcome of [`Journal::note_block_reuse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseAction {
+    /// No stale journal copy exists; proceed with the plain data write.
+    None,
+    /// A revoke record will be written with the next transaction; the
+    /// caller proceeds with the plain data write.
+    Revoked,
+    /// The stale copy is being checkpointed right now: the caller must
+    /// journal the new content (data journaling for this block) instead
+    /// of writing it in place (§5.4 case 1).
+    MustJournal,
+}
+
+/// Convenience alias used across the engines.
+pub type Dev = Arc<dyn ccnvme_block::BlockDevice>;

@@ -1,0 +1,93 @@
+//! Ext4-NJ: no journaling at all.
+//!
+//! Metadata is written in place; `fsync` still waits for the writes (and
+//! drains the volatile cache for durability) but offers no atomicity.
+//! The paper uses this configuration as the ideal performance upper
+//! bound of Ext4 on fast NVMe drives (§3, §7.1).
+
+use std::{
+    collections::HashSet,
+    sync::{
+        atomic::{AtomicU64, Ordering},
+        Arc,
+    },
+};
+
+use ccnvme_block::{Bio, BioFlags, BioWaiter};
+
+use crate::{recover::RecoveredUpdate, Dev, Durability, Journal, ReuseAction, TxDescriptor};
+
+/// The no-journal engine.
+pub struct NoJournal {
+    dev: Dev,
+    next_tx: AtomicU64,
+}
+
+impl NoJournal {
+    /// Creates the engine over `dev`.
+    pub fn new(dev: Dev) -> Self {
+        NoJournal {
+            dev,
+            next_tx: AtomicU64::new(1),
+        }
+    }
+}
+
+impl Journal for NoJournal {
+    fn commit_tx(&self, tx: TxDescriptor, durability: Durability) {
+        let mut tx = tx;
+        if tx.is_empty() {
+            tx.run_unpin();
+            return;
+        }
+        // Ext4-NJ synchronously processes each category of block: data
+        // first, then metadata in place (Figure 14(b): S-iD + W-iD, then
+        // S-iM + W-iM, ...).
+        if !tx.data.is_empty() {
+            let waiter = BioWaiter::new();
+            for blk in &tx.data {
+                let mut bio = Bio::write(blk.final_lba, Arc::clone(&blk.buf), BioFlags::NONE);
+                waiter.attach(&mut bio);
+                self.dev.submit_bio(bio);
+            }
+            let _ = waiter.wait();
+        }
+        if !tx.meta.is_empty() {
+            let waiter = BioWaiter::new();
+            for blk in &tx.meta {
+                let mut bio = Bio::write(blk.final_lba, Arc::clone(&blk.buf), BioFlags::NONE);
+                waiter.attach(&mut bio);
+                self.dev.submit_bio(bio);
+            }
+            let _ = waiter.wait();
+        }
+        if durability == Durability::Durable && self.dev.has_volatile_cache() {
+            let waiter = BioWaiter::new();
+            let mut flush = Bio::flush();
+            waiter.attach(&mut flush);
+            self.dev.submit_bio(flush);
+            let _ = waiter.wait();
+        }
+        tx.run_unpin();
+    }
+
+    fn note_block_reuse(&self, _lba: u64) -> ReuseAction {
+        ReuseAction::None
+    }
+
+    fn checkpoint_all(&self) {}
+
+    fn alloc_tx_id(&self) -> u64 {
+        self.next_tx.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn set_tx_floor(&self, floor: u64) {
+        self.next_tx.fetch_max(floor + 1, Ordering::SeqCst);
+    }
+
+    fn recover(&self, _discard: &HashSet<u64>) -> Vec<RecoveredUpdate> {
+        Vec::new()
+    }
+
+    fn shutdown(&self) {}
+}

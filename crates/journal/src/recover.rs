@@ -1,0 +1,167 @@
+//! Journal recovery: scan, validate, order, replay.
+//!
+//! The scan walks every block of each journal area looking for valid
+//! journal description blocks. A transaction is *replayable* when
+//!
+//! * its ID is at or above the persistent horizon (otherwise its journal
+//!   space may have been reused and newer copies lost),
+//! * its ID is not in the caller's discard set (the ccNVMe unfinished
+//!   window, §5.5),
+//! * every journaled block's content matches the checksum recorded in
+//!   the JD (a torn transaction fails this), and
+//! * in classic mode, a commit record with its ID exists.
+//!
+//! Replayable transactions are applied in transaction-ID order — the
+//! global persistence order that MQFS embeds in the ccNVMe command
+//! (§4.4) — with revocation records suppressing older copies of reused
+//! blocks (§5.4).
+
+use std::{
+    collections::{HashMap, HashSet},
+    sync::Arc,
+};
+
+use ccnvme_block::{submit_and_wait, Bio, BioBuf, BLOCK_SIZE};
+
+use crate::{
+    area::AreaSpec,
+    format::{self, JdBlock},
+    Dev,
+};
+
+/// How transactions are validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverMode {
+    /// MQFS/ccNVMe: per-block checksums prove completeness (the doorbell
+    /// was the commit record).
+    ChecksumOnly,
+    /// Classic/Horae: additionally require a commit record.
+    RequireCommitRecord,
+}
+
+/// One block to rewrite during replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredUpdate {
+    /// Home location.
+    pub final_lba: u64,
+    /// Content to restore.
+    pub data: Vec<u8>,
+    /// Transaction that produced it (already ordered; informational).
+    pub tx_id: u64,
+}
+
+/// Reads one block from the device.
+fn read_block(dev: &Dev, lba: u64) -> Vec<u8> {
+    let buf: BioBuf = Arc::new(parking_lot::Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+    submit_and_wait(&**dev, Bio::read(lba, Arc::clone(&buf)));
+    let data = buf.lock().clone();
+    data
+}
+
+/// Reads the persistent replay floor at `horizon_lba`.
+pub fn read_horizon(dev: &Dev, horizon_lba: u64) -> u64 {
+    format::decode_horizon(&read_block(dev, horizon_lba))
+}
+
+/// Scans `areas` and produces the ordered, validated update list.
+pub fn recover_areas(
+    dev: &Dev,
+    areas: &[AreaSpec],
+    mode: RecoverMode,
+    min_tx: u64,
+    discard: &HashSet<u64>,
+) -> Vec<RecoveredUpdate> {
+    // Pass 1: find all JDs and (classic) commit records.
+    let mut jds: Vec<JdBlock> = Vec::new();
+    let mut commits: HashSet<u64> = HashSet::new();
+    for area in areas {
+        for i in 0..area.len {
+            let raw = read_block(dev, area.start + i);
+            if let Some(jd) = JdBlock::decode(&raw) {
+                jds.push(jd);
+            } else if let Some(tx_id) = format::decode_commit_record(&raw) {
+                commits.insert(tx_id);
+            }
+        }
+    }
+    // Pass 2: validate.
+    let mut valid: Vec<(JdBlock, Vec<Vec<u8>>)> = Vec::new();
+    'jd: for jd in jds {
+        if jd.tx_id < min_tx || discard.contains(&jd.tx_id) {
+            continue;
+        }
+        if mode == RecoverMode::RequireCommitRecord && !commits.contains(&jd.tx_id) {
+            continue;
+        }
+        let mut contents = Vec::with_capacity(jd.entries.len());
+        for e in &jd.entries {
+            let data = read_block(dev, e.journal_lba);
+            if format::block_checksum(&data) != e.checksum {
+                // Torn transaction: some journaled block never landed.
+                continue 'jd;
+            }
+            contents.push(data);
+        }
+        valid.push((jd, contents));
+    }
+    // Pass 3: order by transaction ID and apply, honouring revokes: a
+    // revoke in transaction R suppresses copies of that block from
+    // transactions <= R.
+    valid.sort_by_key(|(jd, _)| jd.tx_id);
+    let mut max_revoke: HashMap<u64, u64> = HashMap::new();
+    for (jd, _) in &valid {
+        for r in &jd.revokes {
+            let e = max_revoke.entry(*r).or_insert(0);
+            *e = (*e).max(jd.tx_id);
+        }
+    }
+    let mut newest: HashMap<u64, (u64, Vec<u8>)> = HashMap::new();
+    for (jd, contents) in valid {
+        for (e, data) in jd.entries.iter().zip(contents) {
+            if let Some(&r) = max_revoke.get(&e.final_lba) {
+                if jd.tx_id <= r {
+                    continue; // Revoked: never replay this copy.
+                }
+            }
+            match newest.get(&e.final_lba) {
+                Some((t, _)) if *t >= jd.tx_id => {}
+                _ => {
+                    newest.insert(e.final_lba, (jd.tx_id, data));
+                }
+            }
+        }
+    }
+    let mut updates: Vec<RecoveredUpdate> = newest
+        .into_iter()
+        .map(|(final_lba, (tx_id, data))| RecoveredUpdate {
+            final_lba,
+            data,
+            tx_id,
+        })
+        .collect();
+    updates.sort_by_key(|u| (u.tx_id, u.final_lba));
+    updates
+}
+
+/// Applies recovered updates to the device and flushes.
+pub fn replay_updates(dev: &Dev, updates: &[RecoveredUpdate]) {
+    use ccnvme_block::{BioFlags, BioWaiter};
+    if updates.is_empty() {
+        return;
+    }
+    let waiter = BioWaiter::new();
+    for u in updates {
+        let buf: BioBuf = Arc::new(parking_lot::Mutex::new(u.data.clone()));
+        let mut bio = Bio::write(u.final_lba, buf, BioFlags::NONE);
+        waiter.attach(&mut bio);
+        dev.submit_bio(bio);
+    }
+    let _ = waiter.wait();
+    if dev.has_volatile_cache() {
+        let fw = BioWaiter::new();
+        let mut flush = Bio::flush();
+        fw.attach(&mut flush);
+        dev.submit_bio(flush);
+        let _ = fw.wait();
+    }
+}

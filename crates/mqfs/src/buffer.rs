@@ -1,0 +1,352 @@
+//! Buffer cache for metadata blocks (inode table, bitmaps, indirect
+//! blocks).
+//!
+//! Each cached block carries a *page lock* ([`MetaBlock::acquire`]): the
+//! serialization point the paper's §5.3 identifies — threads updating
+//! disjoint inodes in the same table block still contend on it. In the
+//! classic variants the lock is held for the whole journal commit; MQFS's
+//! metadata shadow paging holds it only long enough to copy the block.
+
+use std::{collections::HashMap, sync::Arc};
+
+use ccnvme_block::{submit_and_wait, Bio, BioBuf, BioStatus, BLOCK_SIZE};
+use ccnvme_sim::{SimCondvar, SimMutex};
+use mqfs_journal::Dev;
+use parking_lot::Mutex;
+
+/// Content and state of one cached metadata block.
+pub struct MetaData {
+    /// Block content (always `BLOCK_SIZE` bytes once loaded).
+    pub data: Vec<u8>,
+    /// Dirty since the last journal commit that included it.
+    pub dirty: bool,
+    loaded: bool,
+}
+
+/// Page-lock state: one modifier at a time, any number of freezers.
+#[derive(Default)]
+struct Gate {
+    /// A thread is mutating the page (brief, never across yields).
+    modifying: bool,
+    /// Journal commits holding the page frozen (JBD2 shadow buffers):
+    /// modifications wait until every freeze thaws, but freezes stack —
+    /// many fsyncs can journal the same page in one compound.
+    frozen: u32,
+}
+
+/// One cached metadata block with an explicit page lock.
+pub struct MetaBlock {
+    lba: u64,
+    gate: SimMutex<Gate>,
+    gate_cv: SimCondvar,
+    data: Mutex<MetaData>,
+}
+
+impl MetaBlock {
+    fn new(lba: u64, loaded: bool) -> Self {
+        MetaBlock {
+            lba,
+            gate: SimMutex::new(Gate::default()),
+            gate_cv: SimCondvar::new(),
+            data: Mutex::new(MetaData {
+                data: vec![0; BLOCK_SIZE as usize],
+                dirty: false,
+                loaded,
+            }),
+        }
+    }
+
+    /// The block's device address.
+    pub fn lba(&self) -> u64 {
+        self.lba
+    }
+
+    /// Takes the page lock for modification (blocking in virtual time
+    /// while another modifier holds it or journal commits have it
+    /// frozen — the serialization shadow paging removes, §5.3).
+    pub fn acquire(&self) {
+        let mut gate = self.gate.lock();
+        while gate.modifying || gate.frozen > 0 {
+            gate = self.gate_cv.wait(gate);
+        }
+        gate.modifying = true;
+    }
+
+    /// Releases the modification lock.
+    pub fn release(&self) {
+        let mut gate = self.gate.lock();
+        assert!(gate.modifying, "releasing an unheld page lock");
+        gate.modifying = false;
+        drop(gate);
+        self.gate_cv.notify_all();
+    }
+
+    /// Freezes the page for a journal commit: modifications block until
+    /// the matching [`MetaBlock::thaw`], but other freezes stack.
+    pub fn freeze(&self) {
+        let mut gate = self.gate.lock();
+        while gate.modifying {
+            gate = self.gate_cv.wait(gate);
+        }
+        gate.frozen += 1;
+    }
+
+    /// Thaws one freeze.
+    pub fn thaw(&self) {
+        let mut gate = self.gate.lock();
+        assert!(gate.frozen > 0, "thawing an unfrozen page");
+        gate.frozen -= 1;
+        let free = gate.frozen == 0;
+        drop(gate);
+        if free {
+            self.gate_cv.notify_all();
+        }
+    }
+
+    /// Runs `f` on the block content (the caller holds the page lock when
+    /// mutating shared state; reads during recovery tooling may skip it).
+    pub fn with_data<R>(&self, f: impl FnOnce(&mut MetaData) -> R) -> R {
+        let mut d = self.data.lock();
+        f(&mut d)
+    }
+
+    /// Copies the content into a fresh bio buffer (the shadow copy of
+    /// §5.3) and clears the dirty flag.
+    pub fn shadow_copy(&self) -> BioBuf {
+        let mut d = self.data.lock();
+        d.dirty = false;
+        Arc::new(Mutex::new(d.data.clone()))
+    }
+}
+
+/// The metadata buffer cache.
+pub struct BufferCache {
+    dev: Dev,
+    map: SimMutex<HashMap<u64, Arc<MetaBlock>>>,
+}
+
+impl BufferCache {
+    /// Creates an empty cache over `dev`.
+    pub fn new(dev: Dev) -> Self {
+        BufferCache {
+            dev,
+            map: SimMutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cached block, reading it from the device on a miss.
+    pub fn get(&self, lba: u64) -> Arc<MetaBlock> {
+        let blk = {
+            let mut map = self.map.lock();
+            Arc::clone(
+                map.entry(lba)
+                    .or_insert_with(|| Arc::new(MetaBlock::new(lba, false))),
+            )
+        };
+        // Load outside the map lock; the page lock serializes loaders.
+        let needs_load = blk.with_data(|d| !d.loaded);
+        if needs_load {
+            blk.acquire();
+            let still_needs = blk.with_data(|d| !d.loaded);
+            if still_needs {
+                let buf: BioBuf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+                let status = submit_and_wait(&*self.dev, Bio::read(lba, Arc::clone(&buf)));
+                assert_eq!(status, BioStatus::Ok, "metadata read failed at lba {lba}");
+                blk.with_data(|d| {
+                    d.data.copy_from_slice(&buf.lock());
+                    d.loaded = true;
+                });
+            }
+            blk.release();
+        }
+        blk
+    }
+
+    /// Returns a zero-filled cached block without touching the device
+    /// (for freshly allocated metadata such as indirect blocks).
+    pub fn get_zeroed(&self, lba: u64) -> Arc<MetaBlock> {
+        let mut map = self.map.lock();
+        Arc::clone(
+            map.entry(lba)
+                .or_insert_with(|| Arc::new(MetaBlock::new(lba, true))),
+        )
+    }
+
+    /// Drops a block from the cache (the block was freed).
+    pub fn evict(&self, lba: u64) {
+        self.map.lock().remove(&lba);
+    }
+
+    /// Every dirty block currently cached (unmount writeback).
+    pub fn dirty_blocks(&self) -> Vec<Arc<MetaBlock>> {
+        let map = self.map.lock();
+        map.values()
+            .filter(|b| b.with_data(|d| d.dirty))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ccnvme_sim::Sim;
+
+    use super::*;
+
+    /// A trivial in-memory device for cache tests.
+    struct MemDev {
+        blocks: Mutex<HashMap<u64, Vec<u8>>>,
+    }
+
+    impl ccnvme_block::BlockDevice for MemDev {
+        fn submit_bio(&self, mut bio: Bio) {
+            match bio.op {
+                ccnvme_block::BioOp::Read => {
+                    let blocks = self.blocks.lock();
+                    let data = blocks
+                        .get(&bio.lba)
+                        .cloned()
+                        .unwrap_or_else(|| vec![0; BLOCK_SIZE as usize]);
+                    bio.data
+                        .as_ref()
+                        .expect("read buf")
+                        .lock()
+                        .copy_from_slice(&data);
+                }
+                ccnvme_block::BioOp::Write => {
+                    let data = bio.data.as_ref().expect("write buf").lock().clone();
+                    self.blocks.lock().insert(bio.lba, data);
+                }
+                ccnvme_block::BioOp::Flush => {}
+            }
+            bio.complete(BioStatus::Ok);
+        }
+
+        fn num_queues(&self) -> usize {
+            1
+        }
+
+        fn has_volatile_cache(&self) -> bool {
+            false
+        }
+
+        fn capacity_blocks(&self) -> u64 {
+            1 << 20
+        }
+    }
+
+    fn memdev_with(lba: u64, byte: u8) -> Dev {
+        let mut blocks = HashMap::new();
+        blocks.insert(lba, vec![byte; BLOCK_SIZE as usize]);
+        Arc::new(MemDev {
+            blocks: Mutex::new(blocks),
+        })
+    }
+
+    #[test]
+    fn miss_loads_from_device() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let cache = BufferCache::new(memdev_with(7, 0xee));
+            let blk = cache.get(7);
+            assert_eq!(blk.with_data(|d| d.data[0]), 0xee);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn hit_returns_same_block() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let cache = BufferCache::new(memdev_with(7, 1));
+            let a = cache.get(7);
+            let b = cache.get(7);
+            assert!(Arc::ptr_eq(&a, &b));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn page_lock_serializes_holders() {
+        let mut sim = Sim::new(2);
+        sim.spawn("main", 0, || {
+            let cache = Arc::new(BufferCache::new(memdev_with(3, 0)));
+            let blk = cache.get(3);
+            blk.acquire();
+            let blk2 = Arc::clone(&blk);
+            let h = ccnvme_sim::spawn("w", 1, move || {
+                blk2.acquire();
+                let t = ccnvme_sim::now();
+                blk2.release();
+                t
+            });
+            ccnvme_sim::delay(1_000);
+            blk.release();
+            assert!(h.join() >= 1_000);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn shadow_copy_snapshots_and_cleans() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let cache = BufferCache::new(memdev_with(9, 0xaa));
+            let blk = cache.get(9);
+            blk.with_data(|d| {
+                d.data[0] = 0xbb;
+                d.dirty = true;
+            });
+            let copy = blk.shadow_copy();
+            assert_eq!(copy.lock()[0], 0xbb);
+            assert!(!blk.with_data(|d| d.dirty));
+            // Later mutation does not affect the shadow.
+            blk.with_data(|d| d.data[0] = 0xcc);
+            assert_eq!(copy.lock()[0], 0xbb);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn get_zeroed_skips_device_read() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let cache = BufferCache::new(memdev_with(5, 0xff));
+            let blk = cache.get_zeroed(5);
+            assert_eq!(
+                blk.with_data(|d| d.data[0]),
+                0,
+                "fresh block, not device content"
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn evict_forgets_block() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let cache = BufferCache::new(memdev_with(4, 1));
+            let a = cache.get(4);
+            cache.evict(4);
+            let b = cache.get(4);
+            assert!(!Arc::ptr_eq(&a, &b));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dirty_blocks_lists_only_dirty() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let cache = BufferCache::new(memdev_with(1, 0));
+            let a = cache.get(1);
+            let _b = cache.get(2);
+            a.with_data(|d| d.dirty = true);
+            let dirty = cache.dirty_blocks();
+            assert_eq!(dirty.len(), 1);
+            assert_eq!(dirty[0].lba(), 1);
+        });
+        sim.run();
+    }
+}

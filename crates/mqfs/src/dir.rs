@@ -1,0 +1,261 @@
+//! Directory-content encoding.
+//!
+//! Directory data blocks hold packed entries: `[ino u64][len u8][name]`
+//! behind a 4-byte header (`count u16`, `used u16`). A directory's
+//! in-memory state indexes entries by name and tracks per-block usage so
+//! a single create/unlink rewrites exactly one block.
+
+use std::collections::HashMap;
+
+use ccnvme_block::BLOCK_SIZE;
+
+use crate::error::{FsError, FsResult};
+
+/// Maximum file-name length.
+pub const MAX_NAME: usize = 255;
+
+const HEADER: usize = 4;
+
+/// Bytes one entry occupies in a directory block.
+pub fn entry_size(name: &str) -> usize {
+    8 + 1 + name.len()
+}
+
+/// Validates a directory-entry name.
+pub fn check_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name.len() > MAX_NAME || name.contains('/') || name == "." || name == ".."
+    {
+        return Err(FsError::InvalidName);
+    }
+    Ok(())
+}
+
+/// Serializes the given entries into one directory block.
+pub fn encode_block(entries: &[(String, u64)]) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK_SIZE as usize];
+    b[0..2].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+    let mut off = HEADER;
+    for (name, ino) in entries {
+        b[off..off + 8].copy_from_slice(&ino.to_le_bytes());
+        b[off + 8] = name.len() as u8;
+        b[off + 9..off + 9 + name.len()].copy_from_slice(name.as_bytes());
+        off += entry_size(name);
+    }
+    b[2..4].copy_from_slice(&(off as u16).to_le_bytes());
+    b
+}
+
+/// Parses one directory block (best-effort: a corrupt block yields the
+/// entries that decode cleanly).
+pub fn decode_block(b: &[u8]) -> Vec<(String, u64)> {
+    if b.len() < HEADER {
+        return Vec::new();
+    }
+    let count = u16::from_le_bytes([b[0], b[1]]) as usize;
+    let mut entries = Vec::with_capacity(count);
+    let mut off = HEADER;
+    for _ in 0..count {
+        if off + 9 > b.len() {
+            break;
+        }
+        let ino = u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"));
+        let len = b[off + 8] as usize;
+        if off + 9 + len > b.len() {
+            break;
+        }
+        match std::str::from_utf8(&b[off + 9..off + 9 + len]) {
+            Ok(name) if ino != 0 => entries.push((name.to_string(), ino)),
+            _ => break,
+        }
+        off += 9 + len;
+    }
+    entries
+}
+
+/// In-memory index of a directory.
+#[derive(Default)]
+pub struct DirState {
+    /// name → (child ino, block index within the directory file).
+    pub map: HashMap<String, (u64, u32)>,
+    /// Bytes used per directory block.
+    pub used: Vec<usize>,
+}
+
+impl DirState {
+    /// Rebuilds the index from decoded blocks.
+    pub fn from_blocks(blocks: &[Vec<(String, u64)>]) -> DirState {
+        let mut st = DirState::default();
+        for (blk, entries) in blocks.iter().enumerate() {
+            let mut used = HEADER;
+            for (name, ino) in entries {
+                used += entry_size(name);
+                st.map.insert(name.clone(), (*ino, blk as u32));
+            }
+            st.used.push(used);
+        }
+        st
+    }
+
+    /// Picks a block with room for `name`, or `None` (caller appends a
+    /// new block).
+    pub fn block_with_space(&self, name: &str) -> Option<u32> {
+        let need = entry_size(name);
+        self.used
+            .iter()
+            .position(|&u| u + need <= BLOCK_SIZE as usize)
+            .map(|i| i as u32)
+    }
+
+    /// Entries living in directory block `blk` (for re-encoding it).
+    pub fn entries_in_block(&self, blk: u32) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, (_, b))| *b == blk)
+            .map(|(n, (i, _))| (n.clone(), *i))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Inserts an entry into `blk`, updating usage.
+    pub fn insert(&mut self, name: &str, ino: u64, blk: u32) {
+        while self.used.len() <= blk as usize {
+            self.used.push(HEADER);
+        }
+        self.used[blk as usize] += entry_size(name);
+        self.map.insert(name.to_string(), (ino, blk));
+    }
+
+    /// Removes an entry; returns its `(ino, blk)`.
+    pub fn remove(&mut self, name: &str) -> Option<(u64, u32)> {
+        let (ino, blk) = self.map.remove(name)?;
+        self.used[blk as usize] -= entry_size(name);
+        Some((ino, blk))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns whether the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let entries = vec![
+            ("hello".to_string(), 42),
+            ("a-much-longer-file-name.txt".to_string(), 7),
+        ];
+        let b = encode_block(&entries);
+        assert_eq!(decode_block(&b), entries);
+    }
+
+    #[test]
+    fn empty_block_decodes_empty() {
+        assert!(decode_block(&vec![0u8; 4096]).is_empty());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(check_name("ok.txt").is_ok());
+        assert!(check_name("").is_err());
+        assert!(check_name("a/b").is_err());
+        assert!(check_name(".").is_err());
+        assert!(check_name("..").is_err());
+        assert!(check_name(&"x".repeat(256)).is_err());
+    }
+
+    #[test]
+    fn dir_state_insert_remove() {
+        let mut st = DirState::default();
+        st.insert("a", 2, 0);
+        st.insert("b", 3, 0);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.remove("a"), Some((2, 0)));
+        assert_eq!(st.remove("a"), None);
+        assert_eq!(st.entries_in_block(0), vec![("b".to_string(), 3)]);
+    }
+
+    #[test]
+    fn block_with_space_considers_usage() {
+        let mut st = DirState::default();
+        // Fill block 0 almost completely.
+        let big = "n".repeat(200);
+        let mut i = 0;
+        while st.used.first().copied().unwrap_or(0) + entry_size(&big) <= 4096 {
+            st.insert(&format!("{big}{i}"), 10 + i as u64, 0);
+            i += 1;
+        }
+        assert_eq!(st.block_with_space(&big), None);
+        st.insert("tiny", 1, 1);
+        assert_eq!(st.block_with_space(&big), Some(1));
+    }
+
+    #[test]
+    fn from_blocks_reconstructs() {
+        let blocks = vec![
+            vec![("x".to_string(), 5)],
+            vec![("y".to_string(), 6), ("z".to_string(), 7)],
+        ];
+        let st = DirState::from_blocks(&blocks);
+        assert_eq!(st.map["x"], (5, 0));
+        assert_eq!(st.map["z"], (7, 1));
+        assert_eq!(st.used.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use std::collections::HashMap;
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// DirState under random insert/remove sequences always agrees
+        /// with a plain map, and per-block re-encoding round-trips.
+        #[test]
+        fn dir_state_matches_model(
+            ops in proptest::collection::vec((any::<bool>(), 0u8..24, 1u64..1000), 1..120),
+        ) {
+            let mut st = DirState::default();
+            let mut model: HashMap<String, u64> = HashMap::new();
+            for (insert, name_id, ino) in ops {
+                let name = format!("file-{name_id}");
+                if insert {
+                    if !model.contains_key(&name) {
+                        let blk = st.block_with_space(&name).unwrap_or(st.used.len() as u32);
+                        st.insert(&name, ino, blk);
+                        model.insert(name, ino);
+                    }
+                } else {
+                    let removed = st.remove(&name);
+                    prop_assert_eq!(removed.map(|(i, _)| i), model.remove(&name));
+                }
+            }
+            prop_assert_eq!(st.len(), model.len());
+            for (name, ino) in &model {
+                prop_assert_eq!(st.map.get(name).map(|(i, _)| *i), Some(*ino));
+            }
+            // Every block's encoding round-trips and respects capacity.
+            for blk in 0..st.used.len() as u32 {
+                let entries = st.entries_in_block(blk);
+                let bytes: usize = 4 + entries.iter().map(|(n, _)| entry_size(n)).sum::<usize>();
+                prop_assert!(bytes <= 4096);
+                prop_assert_eq!(decode_block(&encode_block(&entries)), entries);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! File-system error type.
+
+use std::fmt;
+
+/// Errors returned by MQFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file or directory.
+    NotFound,
+    /// A directory entry with this name already exists.
+    Exists,
+    /// The operation targets the wrong kind of inode.
+    NotADirectory,
+    /// The operation targets the wrong kind of inode.
+    IsADirectory,
+    /// Directory not empty (rmdir).
+    NotEmpty,
+    /// Out of blocks, inodes or journal space.
+    NoSpace,
+    /// A name component is invalid (empty, contains '/', too long).
+    InvalidName,
+    /// The file would exceed the maximum mappable size.
+    FileTooBig,
+    /// I/O failure reported by the device.
+    Io,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NotADirectory => "not a directory",
+            FsError::IsADirectory => "is a directory",
+            FsError::NotEmpty => "directory not empty",
+            FsError::NoSpace => "no space left on device",
+            FsError::InvalidName => "invalid file name",
+            FsError::FileTooBig => "file too large",
+            FsError::Io => "input/output error",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;

@@ -1,0 +1,1553 @@
+//! The file system proper: namespace operations, the write/read paths
+//! and the `fsync`/`fatomic` family (§5.1).
+//!
+//! All metadata — bitmap blocks, inode-table blocks, directory blocks and
+//! indirect blocks — lives in the [`BufferCache`] keyed by device LBA.
+//! Namespace operations mutate those blocks under their page locks and
+//! record the dirtied LBAs in the *dependency set* of every inode whose
+//! later `fsync` must persist the operation ("MQFS always packs the
+//! target files of a file operation into a single transaction", §7.6).
+//!
+//! `fsync` assembles one transaction: the file's dirty data pages
+//! (ordered-mode data), the dependent metadata blocks and — through the
+//! journal engine — a journal description block. The variants differ in
+//! how the shared metadata blocks are captured:
+//!
+//! * **Metadata shadow paging** (MQFS, §5.3): lock, copy, unlock — the
+//!   page lock is held only for the copy, so concurrent `fsync`s that
+//!   share an inode-table block proceed in parallel.
+//! * **Lock-based** (Ext4/HoraeFS and the ablation variants): the page
+//!   locks are held for the whole commit, serializing such `fsync`s.
+
+use std::{
+    collections::{BTreeMap, BTreeSet, HashMap, HashSet},
+    sync::{
+        atomic::{AtomicBool, Ordering},
+        Arc,
+    },
+};
+
+use ccnvme_block::{submit_and_wait, Bio, BioBuf, BioStatus, BLOCK_SIZE};
+use ccnvme_sim::{Counter, Ns, SimMutex, SimRwLock};
+use mqfs_journal::{
+    AreaSpec, ClassicJournal, CommitStyle, Dev, Durability, Journal, MqJournal, NoJournal,
+    ReuseAction, TxBlock, TxDescriptor,
+};
+use parking_lot::Mutex;
+
+use crate::{
+    alloc::Allocator,
+    buffer::BufferCache,
+    dir::{self, DirState},
+    error::{FsError, FsResult},
+    inode::{BlockClass, Inode, InodeKind},
+    layout::{Layout, ROOT_INO},
+};
+
+// CPU cost model of the syscall paths (calibrated against Figure 14).
+const FSYNC_ENTRY_CPU: Ns = 900;
+const PAGE_COLLECT_CPU: Ns = 400;
+const INODE_SER_CPU: Ns = 800;
+const META_COPY_CPU: Ns = 600;
+const DIRENT_CPU: Ns = 600;
+const NAMEI_CPU: Ns = 350;
+const WRITE_BASE_CPU: Ns = 700;
+const WRITE_PAGE_CPU: Ns = 450;
+const READ_BASE_CPU: Ns = 500;
+const READ_PAGE_CPU: Ns = 350;
+const CREATE_CPU: Ns = 1_200;
+
+/// Which system the file system emulates (Table: see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsVariant {
+    /// Full MQFS: multi-queue journaling + metadata shadow paging.
+    Mqfs,
+    /// MQFS without shadow paging (Figure 13 ablation step 3 minus 4).
+    MqfsNoShadow,
+    /// Ext4 structure with ccNVMe transaction commits (Figure 13
+    /// "+ccNVMe").
+    Ext4CcNvme,
+    /// HoraeFS: classic structure, ordering points removed.
+    HoraeFs,
+    /// Ext4 with JBD2-style journaling.
+    Ext4,
+    /// Ext4 with journaling disabled (the paper's upper bound).
+    Ext4NoJournal,
+}
+
+impl FsVariant {
+    /// Whether fsync uses metadata shadow paging (§5.3).
+    pub fn shadow_paging(&self) -> bool {
+        matches!(self, FsVariant::Mqfs)
+    }
+
+    /// Whether the variant uses the per-core multi-queue journal.
+    pub fn mq_journal(&self) -> bool {
+        matches!(self, FsVariant::Mqfs | FsVariant::MqfsNoShadow)
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FsVariant::Mqfs => "MQFS",
+            FsVariant::MqfsNoShadow => "MQFS-noshadow",
+            FsVariant::Ext4CcNvme => "Ext4+ccNVMe",
+            FsVariant::HoraeFs => "HoraeFS",
+            FsVariant::Ext4 => "Ext4",
+            FsVariant::Ext4NoJournal => "Ext4-NJ",
+        }
+    }
+}
+
+/// Mount/format configuration.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Which system to emulate.
+    pub variant: FsVariant,
+    /// Journal region length in blocks (the paper uses 1 GB total; scale
+    /// down for fast experiments).
+    pub journal_blocks: u64,
+    /// Number of per-core journal areas for the multi-queue engine.
+    pub queues: usize,
+    /// Core for the dedicated commit thread of the classic engines.
+    pub journald_core: usize,
+    /// Data journaling (§5.2): journal user data blocks too, instead of
+    /// the default ordered metadata journaling. Data writes become
+    /// atomic at the cost of double-writing them.
+    pub data_journaling: bool,
+}
+
+impl FsConfig {
+    /// A sensible default configuration for `variant`.
+    pub fn new(variant: FsVariant) -> Self {
+        FsConfig {
+            variant,
+            journal_blocks: 4_096,
+            queues: 1,
+            journald_core: 0,
+            data_journaling: false,
+        }
+    }
+}
+
+/// Operation counters (exported to the benchmarks).
+#[derive(Debug, Default)]
+pub struct FsStats {
+    /// `fsync`/`fdatasync` calls completed.
+    pub fsyncs: Counter,
+    /// `fatomic`/`fdataatomic` calls completed.
+    pub fatomics: Counter,
+    /// Bytes accepted by `write`.
+    pub bytes_written: Counter,
+    /// Transactions committed.
+    pub txs: Counter,
+}
+
+/// Latency breakdown of one `fsync`, mirroring Figure 14's segments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsyncTrace {
+    /// S-iD: collect/allocate dirty data.
+    pub s_data: Ns,
+    /// S-iM: serialize this file's inode (and its table block).
+    pub s_inode: Ns,
+    /// S-pM: parent-directory metadata capture.
+    pub s_parent: Ns,
+    /// S-JH + W-*: journal commit (submit and wait).
+    pub commit: Ns,
+    /// End-to-end latency.
+    pub total: Ns,
+}
+
+/// A page of file data in the page cache.
+struct Page {
+    data: Vec<u8>,
+}
+
+/// How dirty the inode metadata is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetaDirty {
+    Clean,
+    /// Only timestamps changed (fdatasync may skip the inode).
+    Timestamps,
+    /// Size or mapping changed.
+    Full,
+}
+
+struct InodeSt {
+    inode: Inode,
+    /// File-data page cache (file block index → content).
+    pages: HashMap<u64, Page>,
+    dirty_pages: BTreeSet<u64>,
+    meta_dirty: MetaDirty,
+    /// Metadata block LBAs the next fsync must journal.
+    dep_meta: BTreeSet<u64>,
+    /// Directory index (directories only).
+    dir: Option<DirState>,
+}
+
+struct InodeHandle {
+    st: SimMutex<InodeSt>,
+}
+
+/// Index of *open operation groups*: each namespace operation (create,
+/// unlink, rename, link, mkdir, rmdir) dirties several metadata blocks
+/// that must reach disk **together** — committing a shared inode-table
+/// block without the matching directory block would tear the operation
+/// across transactions. `fsync` seeds its transaction with the file's
+/// dependency set and expands it to the closure over open groups
+/// ("MQFS always packs the target files of a file operation into a
+/// single transaction", §7.6).
+#[derive(Default)]
+struct OpIndex {
+    groups: HashMap<u64, BTreeSet<u64>>,
+    by_lba: HashMap<u64, Vec<u64>>,
+    next: u64,
+}
+
+impl OpIndex {
+    fn register(&mut self, lbas: &BTreeSet<u64>) {
+        let gid = self.next;
+        self.next += 1;
+        for lba in lbas {
+            self.by_lba.entry(*lba).or_default().push(gid);
+        }
+        self.groups.insert(gid, lbas.clone());
+    }
+
+    /// Expands `seed` to the closure over open groups; returns the
+    /// closed set and the group ids it absorbed.
+    fn closure(&self, seed: &BTreeSet<u64>) -> (BTreeSet<u64>, Vec<u64>) {
+        let mut out = seed.clone();
+        let mut gids = Vec::new();
+        let mut frontier: Vec<u64> = seed.iter().copied().collect();
+        let mut seen_gids: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        while let Some(lba) = frontier.pop() {
+            if let Some(groups) = self.by_lba.get(&lba) {
+                for gid in groups {
+                    if seen_gids.insert(*gid) {
+                        gids.push(*gid);
+                        for l in &self.groups[gid] {
+                            if out.insert(*l) {
+                                frontier.push(*l);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (out, gids)
+    }
+
+    fn close(&mut self, gids: &[u64]) {
+        for gid in gids {
+            if let Some(lbas) = self.groups.remove(gid) {
+                for lba in lbas {
+                    if let Some(v) = self.by_lba.get_mut(&lba) {
+                        v.retain(|g| g != gid);
+                        if v.is_empty() {
+                            self.by_lba.remove(&lba);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The mounted file system.
+pub struct FileSystem {
+    dev: Dev,
+    cfg: FsConfig,
+    layout: Layout,
+    cache: Arc<BufferCache>,
+    alloc: Allocator,
+    journal: Arc<dyn Journal>,
+    icache: SimMutex<HashMap<u64, Arc<InodeHandle>>>,
+    /// Open namespace-operation groups (see [`OpIndex`]).
+    ops: SimMutex<OpIndex>,
+    /// Capture barrier: namespace operations hold it shared for their
+    /// multi-block mutation span; `fsync`'s capture phase takes it
+    /// exclusively so it never snapshots a half-applied operation (the
+    /// running-transaction `t_updates` discipline of JBD2). Lock order:
+    /// barrier before inode handles.
+    op_barrier: SimRwLock<()>,
+    /// Statistics counters.
+    pub stats: FsStats,
+    trace_enabled: AtomicBool,
+    traces: Mutex<Vec<FsyncTrace>>,
+}
+
+impl FileSystem {
+    /// Formats `dev` and mounts the fresh volume.
+    pub fn format(dev: Dev, cfg: FsConfig) -> Arc<FileSystem> {
+        let layout = Layout::new(dev.capacity_blocks(), cfg.journal_blocks);
+        // Write the superblock and a blank horizon directly.
+        let sb: BioBuf = Arc::new(Mutex::new(layout.encode_superblock()));
+        submit_and_wait(
+            &*dev,
+            Bio::write(layout.superblock(), sb, ccnvme_block::BioFlags::NONE),
+        );
+        let hz: BioBuf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+        submit_and_wait(
+            &*dev,
+            Bio::write(layout.horizon(), hz, ccnvme_block::BioFlags::NONE),
+        );
+        let cache = Arc::new(BufferCache::new(Arc::clone(&dev)));
+        let alloc = Allocator::format(layout, Arc::clone(&cache));
+        let journal = build_journal(&cfg, &dev, &layout);
+        let fs = Arc::new(FileSystem {
+            dev,
+            cfg,
+            layout,
+            cache,
+            alloc,
+            journal,
+            icache: SimMutex::new(HashMap::new()),
+            ops: SimMutex::new(OpIndex::default()),
+            op_barrier: SimRwLock::new(()),
+            stats: FsStats::default(),
+            trace_enabled: AtomicBool::new(false),
+            traces: Mutex::new(Vec::new()),
+        });
+        // Root inode: an empty directory. mkfs writes the initial
+        // metadata directly (formatting is not crash-protected), ending
+        // with a durability barrier.
+        let root = Inode::new(InodeKind::Dir);
+        let (iblk_lba, off) = fs.layout.inode_pos(ROOT_INO);
+        let blk = fs.cache.get_zeroed(iblk_lba);
+        blk.with_data(|d| {
+            d.data[off..off + 256].copy_from_slice(&root.encode());
+            d.dirty = true;
+        });
+        let mut lbas: BTreeSet<u64> = BTreeSet::new();
+        lbas.insert(iblk_lba);
+        for b in 0..layout.block_bitmap_len() {
+            lbas.insert(layout.block_bitmap_start() + b);
+        }
+        for b in 0..layout.inode_bitmap_len() {
+            lbas.insert(layout.inode_bitmap_start() + b);
+        }
+        let waiter = ccnvme_block::BioWaiter::new();
+        for lba in lbas {
+            let blk = fs.cache.get(lba);
+            let mut bio = Bio::write(lba, blk.shadow_copy(), ccnvme_block::BioFlags::NONE);
+            waiter.attach(&mut bio);
+            fs.dev.submit_bio(bio);
+        }
+        let _ = waiter.wait();
+        if fs.dev.has_volatile_cache() {
+            submit_and_wait(&*fs.dev, Bio::flush());
+        }
+        fs
+    }
+
+    /// Mounts an existing volume, replaying the journal first. `discard`
+    /// carries the unfinished-transaction IDs from the ccNVMe recovery
+    /// window (empty for the baseline variants).
+    pub fn mount(dev: Dev, cfg: FsConfig, discard: &HashSet<u64>) -> FsResult<Arc<FileSystem>> {
+        // Read the superblock directly.
+        let sb_buf: BioBuf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+        let status = submit_and_wait(&*dev, Bio::read(0, Arc::clone(&sb_buf)));
+        if status != BioStatus::Ok {
+            return Err(FsError::Io);
+        }
+        let layout = {
+            let b = sb_buf.lock();
+            Layout::decode_superblock(&b).ok_or(FsError::Io)?
+        };
+        let journal = build_journal(&cfg, &dev, &layout);
+        // Journal recovery: replay valid transactions in ID order.
+        let updates = journal.recover(discard);
+        let max_tx = updates.iter().map(|u| u.tx_id).max().unwrap_or(0);
+        let max_discard = discard.iter().copied().max().unwrap_or(0);
+        mqfs_journal::recover::replay_updates(&dev, &updates);
+        journal.set_tx_floor(max_tx.max(max_discard));
+        let cache = Arc::new(BufferCache::new(Arc::clone(&dev)));
+        let alloc = Allocator::load(layout, Arc::clone(&cache));
+        Ok(Arc::new(FileSystem {
+            dev,
+            cfg,
+            layout,
+            cache,
+            alloc,
+            journal,
+            icache: SimMutex::new(HashMap::new()),
+            ops: SimMutex::new(OpIndex::default()),
+            op_barrier: SimRwLock::new(()),
+            stats: FsStats::default(),
+            trace_enabled: AtomicBool::new(false),
+            traces: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Gracefully unmounts: flushes every dirty inode, checkpoints the
+    /// journal and stops its threads (§5.5 graceful shutdown).
+    pub fn unmount(&self) {
+        let inos: Vec<u64> = {
+            let ic = self.icache.lock();
+            ic.keys().copied().collect()
+        };
+        for ino in inos {
+            let _ = self.fsync(ino);
+        }
+        self.journal.checkpoint_all();
+        self.journal.shutdown();
+        // Final durability barrier.
+        if self.dev.has_volatile_cache() {
+            submit_and_wait(&*self.dev, Bio::flush());
+        }
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> FsVariant {
+        self.cfg.variant
+    }
+
+    /// The volume layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Root directory inode number.
+    pub fn root(&self) -> u64 {
+        ROOT_INO
+    }
+
+    /// Number of open (uncommitted) namespace-operation groups
+    /// (diagnostics).
+    pub fn open_op_groups(&self) -> usize {
+        self.ops.lock().groups.len()
+    }
+
+    /// Enables per-fsync latency tracing (Figure 14).
+    pub fn enable_tracing(&self) {
+        self.trace_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains the recorded fsync traces.
+    pub fn take_traces(&self) -> Vec<FsyncTrace> {
+        std::mem::take(&mut self.traces.lock())
+    }
+
+    // ------------------------------------------------------------------
+    // Inode handles
+    // ------------------------------------------------------------------
+
+    fn handle(&self, ino: u64) -> Arc<InodeHandle> {
+        {
+            let ic = self.icache.lock();
+            if let Some(h) = ic.get(&ino) {
+                return Arc::clone(h);
+            }
+        }
+        // Load outside the icache lock, then race to insert.
+        let (iblk_lba, off) = self.layout.inode_pos(ino);
+        let blk = self.cache.get(iblk_lba);
+        let inode = blk.with_data(|d| Inode::decode(&d.data[off..off + 256]));
+        let handle = Arc::new(InodeHandle {
+            st: SimMutex::new(InodeSt {
+                inode,
+                pages: HashMap::new(),
+                dirty_pages: BTreeSet::new(),
+                meta_dirty: MetaDirty::Clean,
+                dep_meta: BTreeSet::new(),
+                dir: None,
+            }),
+        });
+        let mut ic = self.icache.lock();
+        Arc::clone(ic.entry(ino).or_insert(handle))
+    }
+
+    /// Ensures the directory index is loaded for a dir inode.
+    fn load_dir(&self, st: &mut InodeSt) {
+        if st.dir.is_some() {
+            return;
+        }
+        assert_eq!(st.inode.kind, InodeKind::Dir, "load_dir on a non-directory");
+        let nblocks = st.inode.nblocks();
+        let mut blocks = Vec::with_capacity(nblocks as usize);
+        for b in 0..nblocks {
+            let lba = self.bmap(st, b).expect("directory block mapped");
+            let blk = self.cache.get(lba);
+            blocks.push(blk.with_data(|d| dir::decode_block(&d.data)));
+        }
+        st.dir = Some(DirState::from_blocks(&blocks));
+    }
+
+    // ------------------------------------------------------------------
+    // Block mapping
+    // ------------------------------------------------------------------
+
+    /// Maps a file block to its LBA (`None` = hole).
+    fn bmap(&self, st: &InodeSt, file_block: u64) -> Option<u64> {
+        match Inode::classify(file_block).ok()? {
+            BlockClass::Direct(i) => match st.inode.direct[i] {
+                0 => None,
+                lba => Some(lba),
+            },
+            BlockClass::Indirect { slot } => {
+                if st.inode.indirect == 0 {
+                    return None;
+                }
+                self.read_ptr(st.inode.indirect, slot)
+            }
+            BlockClass::DoubleIndirect { outer, inner } => {
+                if st.inode.double_indirect == 0 {
+                    return None;
+                }
+                let mid = self.read_ptr(st.inode.double_indirect, outer)?;
+                self.read_ptr(mid, inner)
+            }
+        }
+    }
+
+    fn read_ptr(&self, indirect_lba: u64, slot: u64) -> Option<u64> {
+        let blk = self.cache.get(indirect_lba);
+        let v = blk.with_data(|d| {
+            let off = (slot * 8) as usize;
+            u64::from_le_bytes(d.data[off..off + 8].try_into().expect("8 bytes"))
+        });
+        if v == 0 {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    fn write_ptr(&self, indirect_lba: u64, slot: u64, value: u64) {
+        let blk = self.cache.get(indirect_lba);
+        blk.acquire();
+        blk.with_data(|d| {
+            let off = (slot * 8) as usize;
+            d.data[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            d.dirty = true;
+        });
+        blk.release();
+    }
+
+    /// Maps a file block, allocating data and indirect blocks as needed;
+    /// dirtied metadata LBAs are added to the inode's dependency set.
+    fn bmap_alloc(&self, st: &mut InodeSt, ino: u64, file_block: u64) -> FsResult<u64> {
+        if let Some(lba) = self.bmap(st, file_block) {
+            return Ok(lba);
+        }
+        let class = Inode::classify(file_block)?;
+        // Goal allocation: continue after the file's previous block, or
+        // start in the inode's block group for its first one.
+        let goal = if file_block > 0 {
+            self.bmap(st, file_block - 1)
+                .map(|l| l + 1)
+                .unwrap_or_else(|| self.group_goal(ino))
+        } else {
+            self.group_goal(ino)
+        };
+        let (lba, bitmap) = self.alloc.alloc_block_near(goal)?;
+        st.dep_meta.insert(bitmap);
+        st.meta_dirty = MetaDirty::Full;
+        match class {
+            BlockClass::Direct(i) => {
+                st.inode.direct[i] = lba;
+            }
+            BlockClass::Indirect { slot } => {
+                if st.inode.indirect == 0 {
+                    // Indirect blocks are journaled metadata: any stale
+                    // journal copy of a previous life is superseded by
+                    // transaction-ID order at replay.
+                    let (ind, bm) = self.alloc.alloc_block()?;
+                    st.dep_meta.insert(bm);
+                    self.cache.get_zeroed(ind).with_data(|d| d.dirty = true);
+                    st.inode.indirect = ind;
+                }
+                self.write_ptr(st.inode.indirect, slot, lba);
+                st.dep_meta.insert(st.inode.indirect);
+            }
+            BlockClass::DoubleIndirect { outer, inner } => {
+                if st.inode.double_indirect == 0 {
+                    let (ind, bm) = self.alloc.alloc_block()?;
+                    st.dep_meta.insert(bm);
+                    self.cache.get_zeroed(ind).with_data(|d| d.dirty = true);
+                    st.inode.double_indirect = ind;
+                }
+                let mid = match self.read_ptr(st.inode.double_indirect, outer) {
+                    Some(m) => m,
+                    None => {
+                        let (mid, bm) = self.alloc.alloc_block()?;
+                        st.dep_meta.insert(bm);
+                        self.cache.get_zeroed(mid).with_data(|d| d.dirty = true);
+                        self.write_ptr(st.inode.double_indirect, outer, mid);
+                        st.dep_meta.insert(st.inode.double_indirect);
+                        mid
+                    }
+                };
+                self.write_ptr(mid, inner, lba);
+                st.dep_meta.insert(mid);
+            }
+        }
+        Ok(lba)
+    }
+
+    /// First block of the allocation group a seed value maps to.
+    fn group_goal(&self, seed: u64) -> u64 {
+        let data = self.layout.data_start();
+        let span = self.layout.capacity - data;
+        let groups = span / crate::layout::BITS_PER_BLOCK + 1;
+        data + (seed % groups) * crate::layout::BITS_PER_BLOCK
+    }
+
+    fn note_reuse_into(&self, tx: &mut TxDescriptor, lba: u64) -> ReuseAction {
+        let action = self.journal.note_block_reuse(lba);
+        if action == ReuseAction::Revoked {
+            tx.revokes.push(lba);
+        }
+        action
+    }
+
+    // ------------------------------------------------------------------
+    // File I/O
+    // ------------------------------------------------------------------
+
+    /// Writes `data` at byte `offset`, growing the file as needed. Data
+    /// stays in the page cache until `fsync`/`fatomic`.
+    pub fn write(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
+        ccnvme_sim::cpu(WRITE_BASE_CPU);
+        let h = self.handle(ino);
+        let mut st = h.st.lock();
+        if st.inode.kind == InodeKind::Dir {
+            return Err(FsError::IsADirectory);
+        }
+        let end = offset + data.len() as u64;
+        let mut pos = offset;
+        let mut src = 0usize;
+        while pos < end {
+            ccnvme_sim::cpu(WRITE_PAGE_CPU);
+            let fb = pos / BLOCK_SIZE;
+            let in_page = (pos % BLOCK_SIZE) as usize;
+            let n = ((BLOCK_SIZE as usize - in_page) as u64).min(end - pos) as usize;
+            self.bmap_alloc(&mut st, ino, fb)?;
+            // Read-modify-write for partial pages that exist on disk.
+            if !st.pages.contains_key(&fb) {
+                let need_read =
+                    (in_page != 0 || n != BLOCK_SIZE as usize) && fb * BLOCK_SIZE < st.inode.size;
+                let page = if need_read {
+                    self.read_page_from_disk(&st, fb)
+                } else {
+                    vec![0u8; BLOCK_SIZE as usize]
+                };
+                st.pages.insert(fb, Page { data: page });
+            }
+            let page = st.pages.get_mut(&fb).expect("inserted above");
+            page.data[in_page..in_page + n].copy_from_slice(&data[src..src + n]);
+            st.dirty_pages.insert(fb);
+            pos += n as u64;
+            src += n;
+        }
+        if end > st.inode.size {
+            st.inode.size = end;
+            st.meta_dirty = MetaDirty::Full;
+        } else if st.meta_dirty == MetaDirty::Clean {
+            st.meta_dirty = MetaDirty::Timestamps;
+        }
+        st.inode.mtime = ccnvme_sim::now();
+        self.stats.bytes_written.add(data.len() as u64);
+        Ok(())
+    }
+
+    fn read_page_from_disk(&self, st: &InodeSt, fb: u64) -> Vec<u8> {
+        match self.bmap(st, fb) {
+            Some(lba) => {
+                let buf: BioBuf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+                submit_and_wait(&*self.dev, Bio::read(lba, Arc::clone(&buf)));
+                let v = buf.lock().clone();
+                v
+            }
+            None => vec![0u8; BLOCK_SIZE as usize],
+        }
+    }
+
+    /// Reads up to `len` bytes at `offset`; short reads happen at EOF.
+    pub fn read(&self, ino: u64, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        ccnvme_sim::cpu(READ_BASE_CPU);
+        let h = self.handle(ino);
+        let mut st = h.st.lock();
+        if st.inode.kind == InodeKind::Dir {
+            return Err(FsError::IsADirectory);
+        }
+        if offset >= st.inode.size {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len as u64).min(st.inode.size);
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            ccnvme_sim::cpu(READ_PAGE_CPU);
+            let fb = pos / BLOCK_SIZE;
+            let in_page = (pos % BLOCK_SIZE) as usize;
+            let n = ((BLOCK_SIZE as usize - in_page) as u64).min(end - pos) as usize;
+            if !st.pages.contains_key(&fb) {
+                let page = self.read_page_from_disk(&st, fb);
+                st.pages.insert(fb, Page { data: page });
+            }
+            let page = &st.pages[&fb];
+            out.extend_from_slice(&page.data[in_page..in_page + n]);
+            pos += n as u64;
+        }
+        Ok(out)
+    }
+
+    /// File size and kind.
+    pub fn stat(&self, ino: u64) -> (u64, InodeKind, u16) {
+        let h = self.handle(ino);
+        let st = h.st.lock();
+        (st.inode.size, st.inode.kind, st.inode.nlink)
+    }
+
+    // ------------------------------------------------------------------
+    // fsync family
+    // ------------------------------------------------------------------
+
+    /// `fsync`: atomic and durable persistence of the file and the
+    /// operations that created it.
+    pub fn fsync(&self, ino: u64) -> FsResult<()> {
+        self.sync_inner(ino, Durability::Durable, false)
+    }
+
+    /// `fdatasync`: durable, but skips the inode when only timestamps
+    /// changed.
+    pub fn fdatasync(&self, ino: u64) -> FsResult<()> {
+        self.sync_inner(ino, Durability::Durable, true)
+    }
+
+    /// `fatomic` (§5.1): atomic but not durable — returns once the
+    /// transaction is crash-consistent (for ccNVMe, after two MMIOs).
+    pub fn fatomic(&self, ino: u64) -> FsResult<()> {
+        self.sync_inner(ino, Durability::Atomic, false)
+    }
+
+    /// `fdataatomic`: like `fatomic`, minus timestamp-only metadata.
+    pub fn fdataatomic(&self, ino: u64) -> FsResult<()> {
+        self.sync_inner(ino, Durability::Atomic, true)
+    }
+
+    fn sync_inner(&self, ino: u64, durability: Durability, data_only: bool) -> FsResult<()> {
+        ccnvme_sim::cpu(FSYNC_ENTRY_CPU);
+        let t0 = ccnvme_sim::now();
+        // Exclusive capture barrier: no namespace operation is mid-
+        // flight while this transaction snapshots metadata (lock order:
+        // barrier, then inode).
+        let barrier = self.op_barrier.write();
+        let h = self.handle(ino);
+        let mut st = h.st.lock();
+        let mut tx = TxDescriptor::new(self.journal.alloc_tx_id());
+        // --- S-iD: collect dirty data pages (ordered-mode data). ---
+        let dirty: Vec<u64> = st.dirty_pages.iter().copied().collect();
+        for fb in dirty {
+            ccnvme_sim::cpu(PAGE_COLLECT_CPU);
+            let lba = self.bmap(&st, fb).expect("dirty page must be mapped");
+            let buf: BioBuf = Arc::new(Mutex::new(st.pages[&fb].data.clone()));
+            if st.inode.kind == InodeKind::Dir {
+                // Directory content is metadata: journal it.
+                tx.meta.push(TxBlock {
+                    final_lba: lba,
+                    buf,
+                });
+            } else {
+                match self.note_reuse_into(&mut tx, lba) {
+                    ReuseAction::MustJournal => {
+                        // §5.4 case 1: regress to data journaling.
+                        tx.meta.push(TxBlock {
+                            final_lba: lba,
+                            buf,
+                        });
+                    }
+                    _ => tx.data.push(TxBlock {
+                        final_lba: lba,
+                        buf,
+                    }),
+                }
+            }
+        }
+        st.dirty_pages.clear();
+        let t_data = ccnvme_sim::now();
+        // --- S-iM: serialize the inode into its table block. ---
+        let mut seed: BTreeSet<u64> = std::mem::take(&mut st.dep_meta);
+        let skip_inode = data_only && st.meta_dirty != MetaDirty::Full && seed.is_empty();
+        if !skip_inode {
+            ccnvme_sim::cpu(INODE_SER_CPU);
+            let (iblk_lba, off) = self.layout.inode_pos(ino);
+            let blk = self.cache.get(iblk_lba);
+            blk.acquire();
+            blk.with_data(|d| {
+                d.data[off..off + 256].copy_from_slice(&st.inode.encode());
+                d.dirty = true;
+            });
+            blk.release();
+            seed.insert(iblk_lba);
+        }
+        st.meta_dirty = MetaDirty::Clean;
+        // Operation-atomicity closure: every open namespace operation
+        // that touched one of these blocks (including this inode's
+        // table block) contributes all of its blocks.
+        let (meta_lbas, gids) = {
+            let ops = self.ops.lock();
+            ops.closure(&seed)
+        };
+        let t_inode = ccnvme_sim::now();
+        // --- S-pM + S-JH: capture the dependent metadata blocks. ---
+        for lba in &meta_lbas {
+            ccnvme_sim::cpu(META_COPY_CPU);
+            let blk = self.cache.get(*lba);
+            if self.cfg.variant.shadow_paging() {
+                // Shadow paging: freeze, copy, thaw (§5.3). Writers can
+                // touch the page again immediately.
+                blk.freeze();
+                let buf = blk.shadow_copy();
+                blk.thaw();
+                tx.meta.push(TxBlock {
+                    final_lba: *lba,
+                    buf,
+                });
+            } else {
+                // Lock-based (JBD2 shadow-buffer discipline): the page
+                // stays frozen until its journal copy is on media; the
+                // engine thaws it via the unpin hook. Freezes stack, so
+                // concurrent fsyncs still join one compound commit.
+                blk.freeze();
+                let buf = blk.shadow_copy();
+                tx.meta.push(TxBlock {
+                    final_lba: *lba,
+                    buf,
+                });
+                let blk2 = Arc::clone(&blk);
+                tx.unpin.push(Box::new(move || blk2.thaw()));
+            }
+        }
+        let t_parent = ccnvme_sim::now();
+        // Snapshots taken; operations may proceed during the commit.
+        drop(barrier);
+        // The absorbed operation groups are covered by this transaction.
+        if !gids.is_empty() {
+            self.ops.lock().close(&gids);
+        }
+        // --- Commit. ---
+        let committed = !tx.is_empty();
+        if committed {
+            self.journal.commit_tx(tx, durability);
+            self.stats.txs.inc();
+        } else {
+            let mut tx = tx;
+            tx.run_unpin();
+        }
+        drop(st);
+        match durability {
+            Durability::Durable => self.stats.fsyncs.inc(),
+            Durability::Atomic => self.stats.fatomics.inc(),
+        }
+        if self.trace_enabled.load(Ordering::Relaxed) {
+            let now = ccnvme_sim::now();
+            self.traces.lock().push(FsyncTrace {
+                s_data: t_data - t0,
+                s_inode: t_inode - t_data,
+                s_parent: t_parent - t_inode,
+                commit: now - t_parent,
+                total: now - t0,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace operations
+    // ------------------------------------------------------------------
+
+    /// Creates a regular file in `parent`; returns the new inode number.
+    pub fn create(&self, parent: u64, name: &str) -> FsResult<u64> {
+        self.make_node(parent, name, InodeKind::File)
+    }
+
+    /// Creates a directory in `parent`.
+    pub fn mkdir(&self, parent: u64, name: &str) -> FsResult<u64> {
+        self.make_node(parent, name, InodeKind::Dir)
+    }
+
+    fn make_node(&self, parent: u64, name: &str, kind: InodeKind) -> FsResult<u64> {
+        dir::check_name(name)?;
+        ccnvme_sim::cpu(CREATE_CPU);
+        let _op = self.op_barrier.read();
+        let ph = self.handle(parent);
+        let mut pst = ph.st.lock();
+        if pst.inode.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        self.load_dir(&mut pst);
+        if pst.dir.as_ref().expect("loaded").map.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let goal = (h ^ parent.wrapping_mul(0x9e37)) % self.layout.ninodes;
+        let (ino, ibm) = self.alloc.alloc_inode_near(goal)?;
+        // Initialize the child inode in memory and in its table block.
+        let child = Inode::new(kind);
+        let (iblk_lba, off) = self.layout.inode_pos(ino);
+        let blk = self.cache.get(iblk_lba);
+        blk.acquire();
+        blk.with_data(|d| {
+            d.data[off..off + 256].copy_from_slice(&child.encode());
+            d.dirty = true;
+        });
+        blk.release();
+        // Directory entry.
+        let deps = self.dir_insert(&mut pst, parent, name, ino)?;
+        if kind == InodeKind::Dir {
+            pst.inode.nlink += 1;
+        }
+        pst.inode.mtime = ccnvme_sim::now();
+        if pst.meta_dirty == MetaDirty::Clean {
+            pst.meta_dirty = MetaDirty::Timestamps;
+        }
+        // Parent inode block must be journaled too (size/nlink/mtime).
+        let (pblk, _) = self.layout.inode_pos(parent);
+        self.serialize_inode_locked(&pst, parent);
+        // Dependency bookkeeping: fsync(child) or fsync(parent) persists
+        // this create.
+        let mut all_deps: BTreeSet<u64> = deps;
+        all_deps.insert(ibm);
+        all_deps.insert(iblk_lba);
+        all_deps.insert(pblk);
+        self.ops.lock().register(&all_deps);
+        pst.dep_meta.extend(all_deps.iter().copied());
+        drop(pst);
+        // Install the child handle (fresh inode) and record its deps.
+        let h = self.handle(ino);
+        let mut cst = h.st.lock();
+        cst.inode = child;
+        cst.dep_meta.extend(all_deps);
+        cst.meta_dirty = MetaDirty::Full;
+        if kind == InodeKind::Dir {
+            cst.dir = Some(DirState::default());
+        }
+        Ok(ino)
+    }
+
+    /// Writes the current in-memory inode into its table block (caller
+    /// holds the inode's handle lock).
+    fn serialize_inode_locked(&self, st: &InodeSt, ino: u64) {
+        let (lba, off) = self.layout.inode_pos(ino);
+        let blk = self.cache.get(lba);
+        blk.acquire();
+        blk.with_data(|d| {
+            d.data[off..off + 256].copy_from_slice(&st.inode.encode());
+            d.dirty = true;
+        });
+        blk.release();
+    }
+
+    /// Inserts a directory entry; returns the dirtied metadata LBAs.
+    fn dir_insert(
+        &self,
+        pst: &mut InodeSt,
+        parent: u64,
+        name: &str,
+        ino: u64,
+    ) -> FsResult<BTreeSet<u64>> {
+        ccnvme_sim::cpu(DIRENT_CPU);
+        let mut deps = BTreeSet::new();
+        // Capture only the metadata THIS operation dirties: stash the
+        // parent's accumulated dependency set aside so a directory-grow
+        // allocation records its bitmap/indirect blocks into a fresh one.
+        let saved = std::mem::take(&mut pst.dep_meta);
+        let blk_idx = match pst.dir.as_ref().expect("dir loaded").block_with_space(name) {
+            Some(b) => b,
+            None => {
+                // Grow the directory by one block.
+                let nb = pst.inode.nblocks();
+                if let Err(e) = self.bmap_alloc(pst, parent, nb) {
+                    pst.dep_meta.extend(saved);
+                    return Err(e);
+                }
+                pst.inode.size = (nb + 1) * BLOCK_SIZE;
+                pst.meta_dirty = MetaDirty::Full;
+                nb as u32
+            }
+        };
+        deps.extend(pst.dep_meta.iter().copied());
+        pst.dep_meta.extend(saved);
+        let dir_lba = self.bmap(pst, blk_idx as u64).expect("dir block mapped");
+        pst.dir
+            .as_mut()
+            .expect("dir loaded")
+            .insert(name, ino, blk_idx);
+        self.rewrite_dir_block(pst, blk_idx, dir_lba);
+        deps.insert(dir_lba);
+        Ok(deps)
+    }
+
+    fn rewrite_dir_block(&self, pst: &InodeSt, blk_idx: u32, dir_lba: u64) {
+        let entries = pst
+            .dir
+            .as_ref()
+            .expect("dir loaded")
+            .entries_in_block(blk_idx);
+        let encoded = dir::encode_block(&entries);
+        let blk = self.cache.get(dir_lba);
+        blk.acquire();
+        blk.with_data(|d| {
+            d.data.copy_from_slice(&encoded);
+            d.dirty = true;
+        });
+        blk.release();
+    }
+
+    /// Looks up `name` in directory `parent`.
+    pub fn lookup(&self, parent: u64, name: &str) -> FsResult<u64> {
+        ccnvme_sim::cpu(NAMEI_CPU);
+        let ph = self.handle(parent);
+        let mut pst = ph.st.lock();
+        if pst.inode.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        self.load_dir(&mut pst);
+        pst.dir
+            .as_ref()
+            .expect("loaded")
+            .map
+            .get(name)
+            .map(|(ino, _)| *ino)
+            .ok_or(FsError::NotFound)
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&self, ino: u64) -> FsResult<Vec<(String, u64)>> {
+        let h = self.handle(ino);
+        let mut st = h.st.lock();
+        if st.inode.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        self.load_dir(&mut st);
+        let mut v: Vec<(String, u64)> = st
+            .dir
+            .as_ref()
+            .expect("loaded")
+            .map
+            .iter()
+            .map(|(n, (i, _))| (n.clone(), *i))
+            .collect();
+        v.sort();
+        Ok(v)
+    }
+
+    /// Removes a file entry; frees the inode when the link count drops
+    /// to zero.
+    pub fn unlink(&self, parent: u64, name: &str) -> FsResult<()> {
+        ccnvme_sim::cpu(CREATE_CPU);
+        let _op = self.op_barrier.read();
+        let mut op_lbas: BTreeSet<u64> = BTreeSet::new();
+        let ph = self.handle(parent);
+        let mut pst = ph.st.lock();
+        self.load_dir(&mut pst);
+        let (ino, blk_idx) = pst
+            .dir
+            .as_mut()
+            .expect("loaded")
+            .remove(name)
+            .ok_or(FsError::NotFound)?;
+        let ch = self.handle(ino);
+        let mut cst = ch.st.lock();
+        if cst.inode.kind == InodeKind::Dir {
+            // Restore the entry; use rmdir for directories.
+            pst.dir.as_mut().expect("loaded").insert(name, ino, blk_idx);
+            return Err(FsError::IsADirectory);
+        }
+        let dir_lba = self.bmap(&pst, blk_idx as u64).expect("dir block mapped");
+        self.rewrite_dir_block(&pst, blk_idx, dir_lba);
+        pst.inode.mtime = ccnvme_sim::now();
+        self.serialize_inode_locked(&pst, parent);
+        let (pblk, _) = self.layout.inode_pos(parent);
+        op_lbas.insert(dir_lba);
+        op_lbas.insert(pblk);
+        cst.inode.nlink -= 1;
+        if cst.inode.nlink == 0 {
+            let freed = self.free_inode_blocks(&mut cst);
+            op_lbas.extend(freed);
+            let ibm = self.alloc.free_inode(ino);
+            op_lbas.insert(ibm);
+            cst.inode.kind = InodeKind::Free;
+            let (iblk, _) = self.layout.inode_pos(ino);
+            self.serialize_inode_locked(&cst, ino);
+            op_lbas.insert(iblk);
+            self.ops.lock().register(&op_lbas);
+            pst.dep_meta.extend(op_lbas.iter().copied());
+            drop(cst);
+            self.icache.lock().remove(&ino);
+        } else {
+            self.serialize_inode_locked(&cst, ino);
+            let (iblk, _) = self.layout.inode_pos(ino);
+            op_lbas.insert(iblk);
+            self.ops.lock().register(&op_lbas);
+            pst.dep_meta.extend(op_lbas.iter().copied());
+            cst.dep_meta.extend(op_lbas.iter().copied());
+        }
+        Ok(())
+    }
+
+    /// Frees all data and indirect blocks of an inode; returns dirtied
+    /// bitmap LBAs.
+    fn free_inode_blocks(&self, st: &mut InodeSt) -> BTreeSet<u64> {
+        let mut bitmaps = BTreeSet::new();
+        let nblocks = st.inode.nblocks();
+        for fb in 0..nblocks {
+            if let Some(lba) = self.bmap(st, fb) {
+                bitmaps.insert(self.alloc.free_block(lba));
+            }
+        }
+        if st.inode.indirect != 0 {
+            bitmaps.insert(self.alloc.free_block(st.inode.indirect));
+            self.cache.evict(st.inode.indirect);
+        }
+        if st.inode.double_indirect != 0 {
+            for outer in 0..crate::inode::PTRS_PER_BLOCK {
+                if let Some(mid) = self.read_ptr(st.inode.double_indirect, outer) {
+                    bitmaps.insert(self.alloc.free_block(mid));
+                    self.cache.evict(mid);
+                }
+            }
+            bitmaps.insert(self.alloc.free_block(st.inode.double_indirect));
+            self.cache.evict(st.inode.double_indirect);
+        }
+        st.inode.direct = [0; crate::inode::NDIRECT];
+        st.inode.indirect = 0;
+        st.inode.double_indirect = 0;
+        st.inode.size = 0;
+        st.pages.clear();
+        st.dirty_pages.clear();
+        bitmaps
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, parent: u64, name: &str) -> FsResult<()> {
+        ccnvme_sim::cpu(CREATE_CPU);
+        let _op = self.op_barrier.read();
+        let mut op_lbas: BTreeSet<u64> = BTreeSet::new();
+        let ph = self.handle(parent);
+        let mut pst = ph.st.lock();
+        self.load_dir(&mut pst);
+        let (ino, blk_idx) = *pst
+            .dir
+            .as_ref()
+            .expect("loaded")
+            .map
+            .get(name)
+            .ok_or(FsError::NotFound)?;
+        let ch = self.handle(ino);
+        let mut cst = ch.st.lock();
+        if cst.inode.kind != InodeKind::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        self.load_dir(&mut cst);
+        if !cst.dir.as_ref().expect("loaded").is_empty() {
+            return Err(FsError::NotEmpty);
+        }
+        pst.dir.as_mut().expect("loaded").remove(name);
+        let dir_lba = self.bmap(&pst, blk_idx as u64).expect("dir block mapped");
+        self.rewrite_dir_block(&pst, blk_idx, dir_lba);
+        pst.inode.nlink -= 1;
+        pst.inode.mtime = ccnvme_sim::now();
+        self.serialize_inode_locked(&pst, parent);
+        let (pblk, _) = self.layout.inode_pos(parent);
+        op_lbas.insert(dir_lba);
+        op_lbas.insert(pblk);
+        // Free the child directory.
+        let freed = self.free_inode_blocks(&mut cst);
+        op_lbas.extend(freed);
+        let ibm = self.alloc.free_inode(ino);
+        op_lbas.insert(ibm);
+        cst.inode.kind = InodeKind::Free;
+        cst.inode.nlink = 0;
+        self.serialize_inode_locked(&cst, ino);
+        let (iblk, _) = self.layout.inode_pos(ino);
+        op_lbas.insert(iblk);
+        self.ops.lock().register(&op_lbas);
+        pst.dep_meta.extend(op_lbas.iter().copied());
+        drop(cst);
+        self.icache.lock().remove(&ino);
+        Ok(())
+    }
+
+    /// Creates a hard link to `ino` in `parent` under `name`.
+    pub fn link(&self, ino: u64, parent: u64, name: &str) -> FsResult<()> {
+        dir::check_name(name)?;
+        ccnvme_sim::cpu(CREATE_CPU);
+        let _op = self.op_barrier.read();
+        let ph = self.handle(parent);
+        let mut pst = ph.st.lock();
+        self.load_dir(&mut pst);
+        if pst.dir.as_ref().expect("loaded").map.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let ch = self.handle(ino);
+        let mut cst = ch.st.lock();
+        if cst.inode.kind == InodeKind::Dir {
+            return Err(FsError::IsADirectory);
+        }
+        cst.inode.nlink += 1;
+        self.serialize_inode_locked(&cst, ino);
+        let deps = self.dir_insert(&mut pst, parent, name, ino)?;
+        pst.inode.mtime = ccnvme_sim::now();
+        self.serialize_inode_locked(&pst, parent);
+        let (pblk, _) = self.layout.inode_pos(parent);
+        let (iblk, _) = self.layout.inode_pos(ino);
+        let mut op_lbas = deps;
+        op_lbas.insert(pblk);
+        op_lbas.insert(iblk);
+        self.ops.lock().register(&op_lbas);
+        pst.dep_meta.extend(op_lbas.iter().copied());
+        cst.dep_meta.extend(op_lbas.iter().copied());
+        Ok(())
+    }
+
+    /// Renames `src_parent/src_name` to `dst_parent/dst_name`.
+    /// An existing destination file (or empty directory) is replaced,
+    /// POSIX-style.
+    pub fn rename(
+        &self,
+        src_parent: u64,
+        src_name: &str,
+        dst_parent: u64,
+        dst_name: &str,
+    ) -> FsResult<()> {
+        dir::check_name(dst_name)?;
+        ccnvme_sim::cpu(CREATE_CPU);
+        let _op = self.op_barrier.read();
+        // Lock parents in inode order to avoid deadlock.
+        let (ph1, ph2) = (self.handle(src_parent), self.handle(dst_parent));
+        let same = src_parent == dst_parent;
+        let (mut pst1, mut pst2_opt) = if same {
+            (ph1.st.lock(), None)
+        } else if src_parent < dst_parent {
+            let a = ph1.st.lock();
+            let b = ph2.st.lock();
+            (a, Some(b))
+        } else {
+            let b = ph2.st.lock();
+            let a = ph1.st.lock();
+            (a, Some(b))
+        };
+        self.load_dir(&mut pst1);
+        if let Some(pst2) = pst2_opt.as_mut() {
+            self.load_dir(&mut **pst2);
+        }
+        // Validate source and destination before mutating anything.
+        let (ino, _src_blk) = *pst1
+            .dir
+            .as_ref()
+            .expect("loaded")
+            .map
+            .get(src_name)
+            .ok_or(FsError::NotFound)?;
+        let moving_dir = self.handle(ino).st.lock().inode.kind == InodeKind::Dir;
+        let old_target: Option<u64> = {
+            let dst_st: &InodeSt = match pst2_opt.as_ref() {
+                Some(p) => p,
+                None => &pst1,
+            };
+            dst_st
+                .dir
+                .as_ref()
+                .expect("loaded")
+                .map
+                .get(dst_name)
+                .map(|(i, _)| *i)
+        };
+        if let Some(old_ino) = old_target {
+            if old_ino == ino {
+                return Ok(()); // Renaming onto itself.
+            }
+            let oh = self.handle(old_ino);
+            let mut ost = oh.st.lock();
+            if ost.inode.kind == InodeKind::Dir {
+                self.load_dir(&mut ost);
+                if !ost.dir.as_ref().expect("loaded").is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+            }
+        }
+        let mut deps: BTreeSet<u64> = BTreeSet::new();
+        // Remove the source entry.
+        let (_, src_blk) = pst1
+            .dir
+            .as_mut()
+            .expect("loaded")
+            .remove(src_name)
+            .expect("checked above");
+        let src_lba = self.bmap(&pst1, src_blk as u64).expect("dir block mapped");
+        self.rewrite_dir_block(&pst1, src_blk, src_lba);
+        deps.insert(src_lba);
+        // Drop the old destination target, if any.
+        if let Some(old_ino) = old_target {
+            let dst_st: &mut InodeSt = match pst2_opt.as_mut() {
+                Some(p) => &mut **p,
+                None => &mut pst1,
+            };
+            let (_, old_blk) = dst_st
+                .dir
+                .as_mut()
+                .expect("loaded")
+                .remove(dst_name)
+                .expect("present");
+            let _ = old_blk;
+            let oh = self.handle(old_ino);
+            let mut ost = oh.st.lock();
+            let was_dir = ost.inode.kind == InodeKind::Dir;
+            if was_dir {
+                ost.inode.nlink = 0;
+                dst_st.inode.nlink -= 1; // The dir's ".." link on its parent.
+            } else {
+                ost.inode.nlink = ost.inode.nlink.saturating_sub(1);
+            }
+            if ost.inode.nlink == 0 {
+                for bm in self.free_inode_blocks(&mut ost) {
+                    deps.insert(bm);
+                }
+                deps.insert(self.alloc.free_inode(old_ino));
+                ost.inode.kind = InodeKind::Free;
+            }
+            self.serialize_inode_locked(&ost, old_ino);
+            let (oblk, _) = self.layout.inode_pos(old_ino);
+            deps.insert(oblk);
+            let gone = ost.inode.kind == InodeKind::Free;
+            drop(ost);
+            if gone {
+                self.icache.lock().remove(&old_ino);
+            }
+        }
+        // Insert at the destination.
+        {
+            let dst_st: &mut InodeSt = match pst2_opt.as_mut() {
+                Some(p) => &mut **p,
+                None => &mut pst1,
+            };
+            let d = self.dir_insert_any(dst_st, dst_parent, dst_name, ino)?;
+            deps.extend(d);
+        }
+        // Moving a directory across parents moves its ".." link.
+        if moving_dir && !same {
+            pst1.inode.nlink -= 1;
+            pst2_opt.as_mut().expect("different parents").inode.nlink += 1;
+        }
+        // Serialize both parents.
+        pst1.inode.mtime = ccnvme_sim::now();
+        self.serialize_inode_locked(&pst1, src_parent);
+        let (p1blk, _) = self.layout.inode_pos(src_parent);
+        deps.insert(p1blk);
+        if let Some(pst2) = pst2_opt.as_mut() {
+            pst2.inode.mtime = ccnvme_sim::now();
+            self.serialize_inode_locked(pst2, dst_parent);
+            let (p2blk, _) = self.layout.inode_pos(dst_parent);
+            deps.insert(p2blk);
+            pst2.dep_meta.extend(deps.iter().copied());
+        }
+        self.ops.lock().register(&deps);
+        pst1.dep_meta.extend(deps.iter().copied());
+        // The moved child also depends on this operation.
+        drop(pst1);
+        drop(pst2_opt);
+        let ch = self.handle(ino);
+        ch.st.lock().dep_meta.extend(deps);
+        Ok(())
+    }
+
+    /// `dir_insert` without the parent-ino bookkeeping (rename path).
+    fn dir_insert_any(
+        &self,
+        pst: &mut InodeSt,
+        parent: u64,
+        name: &str,
+        ino: u64,
+    ) -> FsResult<BTreeSet<u64>> {
+        ccnvme_sim::cpu(DIRENT_CPU);
+        let mut deps = BTreeSet::new();
+        // Only the metadata THIS operation dirties (see `dir_insert`).
+        let saved = std::mem::take(&mut pst.dep_meta);
+        let blk_idx = match pst.dir.as_ref().expect("dir loaded").block_with_space(name) {
+            Some(b) => b,
+            None => {
+                let nb = pst.inode.nblocks();
+                if let Err(e) = self.bmap_alloc(pst, parent, nb) {
+                    pst.dep_meta.extend(saved);
+                    return Err(e);
+                }
+                pst.inode.size = (nb + 1) * BLOCK_SIZE;
+                pst.meta_dirty = MetaDirty::Full;
+                nb as u32
+            }
+        };
+        deps.extend(pst.dep_meta.iter().copied());
+        pst.dep_meta.extend(saved);
+        let dir_lba = self.bmap(pst, blk_idx as u64).expect("dir block mapped");
+        pst.dir
+            .as_mut()
+            .expect("dir loaded")
+            .insert(name, ino, blk_idx);
+        self.rewrite_dir_block(pst, blk_idx, dir_lba);
+        deps.insert(dir_lba);
+        Ok(deps)
+    }
+
+    // ------------------------------------------------------------------
+    // Path helpers
+    // ------------------------------------------------------------------
+
+    /// Resolves an absolute path to an inode number.
+    pub fn resolve(&self, path: &str) -> FsResult<u64> {
+        let mut ino = ROOT_INO;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            ino = self.lookup(ino, comp)?;
+        }
+        Ok(ino)
+    }
+
+    /// Creates a file at an absolute path (parents must exist).
+    pub fn create_path(&self, path: &str) -> FsResult<u64> {
+        let (parent, name) = self.split_path(path)?;
+        self.create(parent, name)
+    }
+
+    /// Creates a directory at an absolute path (parents must exist).
+    pub fn mkdir_path(&self, path: &str) -> FsResult<u64> {
+        let (parent, name) = self.split_path(path)?;
+        self.mkdir(parent, name)
+    }
+
+    /// Removes the file at an absolute path.
+    pub fn unlink_path(&self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.split_path(path)?;
+        self.unlink(parent, name)
+    }
+
+    fn split_path<'a>(&self, path: &'a str) -> FsResult<(u64, &'a str)> {
+        let trimmed = path.trim_end_matches('/');
+        let (dir, name) = match trimmed.rfind('/') {
+            Some(i) => (&trimmed[..i], &trimmed[i + 1..]),
+            None => ("", trimmed),
+        };
+        if name.is_empty() {
+            return Err(FsError::InvalidName);
+        }
+        Ok((self.resolve(dir)?, name))
+    }
+
+    // ------------------------------------------------------------------
+    // Consistency check (fsck)
+    // ------------------------------------------------------------------
+
+    /// Walks the namespace and cross-checks it against the allocators.
+    /// Returns human-readable inconsistencies (empty = consistent).
+    pub fn check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen_blocks: HashSet<u64> = HashSet::new();
+        let mut link_counts: BTreeMap<u64, u16> = BTreeMap::new();
+        let mut stack = vec![ROOT_INO];
+        let mut visited: HashSet<u64> = HashSet::new();
+        link_counts.insert(ROOT_INO, 1); // "/" itself.
+        while let Some(ino) = stack.pop() {
+            if !visited.insert(ino) {
+                continue;
+            }
+            if !self.alloc.inode_allocated(ino) {
+                problems.push(format!("inode {ino} reachable but not allocated"));
+            }
+            let h = self.handle(ino);
+            let mut st = h.st.lock();
+            let kind = st.inode.kind;
+            let nblocks = st.inode.nblocks();
+            for fb in 0..nblocks {
+                if let Some(lba) = self.bmap(&st, fb) {
+                    if !seen_blocks.insert(lba) {
+                        problems.push(format!("block {lba} multiply referenced (ino {ino})"));
+                    }
+                    if !self.alloc.block_allocated(lba) {
+                        problems.push(format!("block {lba} in use by ino {ino} but free"));
+                    }
+                }
+            }
+            let children: Vec<u64> = if kind == InodeKind::Dir {
+                self.load_dir(&mut st);
+                *link_counts.entry(ino).or_insert(0) += 1; // its own "."
+                st.dir
+                    .as_ref()
+                    .expect("loaded")
+                    .map
+                    .values()
+                    .map(|(child, _)| *child)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            drop(st);
+            for child in children {
+                *link_counts.entry(child).or_insert(0) += 1;
+                let child_kind = self.handle(child).st.lock().inode.kind;
+                if child_kind == InodeKind::Dir {
+                    *link_counts.entry(ino).or_insert(0) += 1; // child's ".."
+                }
+                stack.push(child);
+            }
+        }
+        for (ino, expect) in link_counts {
+            let h = self.handle(ino);
+            let nlink = h.st.lock().inode.nlink;
+            if nlink != expect {
+                problems.push(format!("inode {ino} nlink {nlink}, expected {expect}"));
+            }
+        }
+        problems
+    }
+}
+
+/// Builds the journal engine demanded by the configuration.
+fn build_journal(cfg: &FsConfig, dev: &Dev, layout: &Layout) -> Arc<dyn Journal> {
+    let horizon = layout.horizon();
+    match cfg.variant {
+        FsVariant::Mqfs | FsVariant::MqfsNoShadow => {
+            let areas = AreaSpec::split(
+                layout.journal_start(),
+                layout.journal_len,
+                cfg.queues.max(1),
+            );
+            Arc::new(MqJournal::new(Arc::clone(dev), areas, horizon))
+        }
+        FsVariant::Ext4CcNvme => Arc::new(ClassicJournal::new(
+            Arc::clone(dev),
+            AreaSpec {
+                start: layout.journal_start(),
+                len: layout.journal_len,
+            },
+            horizon,
+            CommitStyle::CcTx,
+            cfg.journald_core,
+        )),
+        FsVariant::HoraeFs => Arc::new(ClassicJournal::new(
+            Arc::clone(dev),
+            AreaSpec {
+                start: layout.journal_start(),
+                len: layout.journal_len,
+            },
+            horizon,
+            CommitStyle::Horae,
+            cfg.journald_core,
+        )),
+        FsVariant::Ext4 => Arc::new(ClassicJournal::new(
+            Arc::clone(dev),
+            AreaSpec {
+                start: layout.journal_start(),
+                len: layout.journal_len,
+            },
+            horizon,
+            CommitStyle::Classic,
+            cfg.journald_core,
+        )),
+        FsVariant::Ext4NoJournal => Arc::new(NoJournal::new(Arc::clone(dev))),
+    }
+}

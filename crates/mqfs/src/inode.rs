@@ -1,0 +1,220 @@
+//! On-disk inode representation and block mapping.
+//!
+//! 256 bytes per inode: 12 direct block pointers, one indirect and one
+//! double-indirect pointer (4 KB blocks of 512 LBAs each), covering
+//! files up to ~1 GB — enough for every workload in the evaluation.
+
+use crate::{
+    error::{FsError, FsResult},
+    layout::INODE_SIZE,
+};
+
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 12;
+
+/// Pointers per indirect block.
+pub const PTRS_PER_BLOCK: u64 = 512;
+
+/// Maximum file size in blocks.
+pub const MAX_BLOCKS: u64 = NDIRECT as u64 + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK;
+
+/// Inode kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Unallocated slot.
+    Free,
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+impl InodeKind {
+    fn to_u16(self) -> u16 {
+        match self {
+            InodeKind::Free => 0,
+            InodeKind::File => 1,
+            InodeKind::Dir => 2,
+        }
+    }
+
+    fn from_u16(v: u16) -> InodeKind {
+        match v {
+            1 => InodeKind::File,
+            2 => InodeKind::Dir,
+            _ => InodeKind::Free,
+        }
+    }
+}
+
+/// An in-memory inode (mirrors the 256-byte on-disk form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Kind (file/dir/free).
+    pub kind: InodeKind,
+    /// Hard-link count.
+    pub nlink: u16,
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification timestamp (virtual nanoseconds).
+    pub mtime: u64,
+    /// Direct block pointers (0 = hole).
+    pub direct: [u64; NDIRECT],
+    /// Single-indirect block (0 = none).
+    pub indirect: u64,
+    /// Double-indirect block (0 = none).
+    pub double_indirect: u64,
+}
+
+impl Inode {
+    /// A fresh empty inode of the given kind.
+    pub fn new(kind: InodeKind) -> Self {
+        Inode {
+            kind,
+            nlink: if kind == InodeKind::Dir { 2 } else { 1 },
+            size: 0,
+            mtime: 0,
+            direct: [0; NDIRECT],
+            indirect: 0,
+            double_indirect: 0,
+        }
+    }
+
+    /// File length in blocks.
+    pub fn nblocks(&self) -> u64 {
+        self.size.div_ceil(ccnvme_block::BLOCK_SIZE)
+    }
+
+    /// Serializes into the 256-byte on-disk form.
+    pub fn encode(&self) -> [u8; INODE_SIZE as usize] {
+        let mut b = [0u8; INODE_SIZE as usize];
+        b[0..2].copy_from_slice(&self.kind.to_u16().to_le_bytes());
+        b[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        b[8..16].copy_from_slice(&self.size.to_le_bytes());
+        b[16..24].copy_from_slice(&self.mtime.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            let off = 24 + i * 8;
+            b[off..off + 8].copy_from_slice(&d.to_le_bytes());
+        }
+        b[120..128].copy_from_slice(&self.indirect.to_le_bytes());
+        b[128..136].copy_from_slice(&self.double_indirect.to_le_bytes());
+        b
+    }
+
+    /// Parses the on-disk form.
+    pub fn decode(b: &[u8]) -> Inode {
+        assert!(b.len() >= INODE_SIZE as usize, "short inode buffer");
+        let mut direct = [0u64; NDIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            let off = 24 + i * 8;
+            *d = u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"));
+        }
+        Inode {
+            kind: InodeKind::from_u16(u16::from_le_bytes([b[0], b[1]])),
+            nlink: u16::from_le_bytes([b[2], b[3]]),
+            size: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            mtime: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+            direct,
+            indirect: u64::from_le_bytes(b[120..128].try_into().expect("8 bytes")),
+            double_indirect: u64::from_le_bytes(b[128..136].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// Classifies a file-block index into the mapping tree.
+    pub fn classify(file_block: u64) -> FsResult<BlockClass> {
+        if file_block < NDIRECT as u64 {
+            Ok(BlockClass::Direct(file_block as usize))
+        } else if file_block < NDIRECT as u64 + PTRS_PER_BLOCK {
+            Ok(BlockClass::Indirect {
+                slot: file_block - NDIRECT as u64,
+            })
+        } else if file_block < MAX_BLOCKS {
+            let rel = file_block - NDIRECT as u64 - PTRS_PER_BLOCK;
+            Ok(BlockClass::DoubleIndirect {
+                outer: rel / PTRS_PER_BLOCK,
+                inner: rel % PTRS_PER_BLOCK,
+            })
+        } else {
+            Err(FsError::FileTooBig)
+        }
+    }
+}
+
+/// Where a file block lives in the inode mapping tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockClass {
+    /// `direct[i]`.
+    Direct(usize),
+    /// Slot within the single-indirect block.
+    Indirect {
+        /// Pointer index inside the indirect block.
+        slot: u64,
+    },
+    /// Slot within the double-indirect tree.
+    DoubleIndirect {
+        /// Index in the top-level block.
+        outer: u64,
+        /// Index in the second-level block.
+        inner: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut ino = Inode::new(InodeKind::File);
+        ino.size = 123_456;
+        ino.mtime = 42;
+        ino.direct[0] = 777;
+        ino.direct[11] = 888;
+        ino.indirect = 999;
+        ino.double_indirect = 1_000;
+        let d = Inode::decode(&ino.encode());
+        assert_eq!(ino, d);
+    }
+
+    #[test]
+    fn fresh_dir_has_two_links() {
+        assert_eq!(Inode::new(InodeKind::Dir).nlink, 2);
+        assert_eq!(Inode::new(InodeKind::File).nlink, 1);
+    }
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(Inode::classify(0).unwrap(), BlockClass::Direct(0));
+        assert_eq!(Inode::classify(11).unwrap(), BlockClass::Direct(11));
+        assert_eq!(
+            Inode::classify(12).unwrap(),
+            BlockClass::Indirect { slot: 0 }
+        );
+        assert_eq!(
+            Inode::classify(523).unwrap(),
+            BlockClass::Indirect { slot: 511 }
+        );
+        assert_eq!(
+            Inode::classify(524).unwrap(),
+            BlockClass::DoubleIndirect { outer: 0, inner: 0 }
+        );
+        assert!(Inode::classify(MAX_BLOCKS).is_err());
+    }
+
+    #[test]
+    fn nblocks_rounds_up() {
+        let mut ino = Inode::new(InodeKind::File);
+        ino.size = 1;
+        assert_eq!(ino.nblocks(), 1);
+        ino.size = 4096;
+        assert_eq!(ino.nblocks(), 1);
+        ino.size = 4097;
+        assert_eq!(ino.nblocks(), 2);
+    }
+
+    #[test]
+    fn zeroed_bytes_decode_as_free() {
+        let d = Inode::decode(&[0u8; 256]);
+        assert_eq!(d.kind, InodeKind::Free);
+    }
+}

@@ -1,0 +1,32 @@
+//! PCI Express transport model.
+//!
+//! This crate models the pieces of the PCIe fabric that the ccNVMe paper's
+//! argument rests on:
+//!
+//! * **MMIO** with CPU write-combining and the *persistent MMIO write*
+//!   protocol of §4.3 — stores coalesce in the write-combining buffer,
+//!   posted writes drain over the link asynchronously, and persistence is
+//!   reached by a cache-line flush followed by a (zero-byte) read that
+//!   exploits the PCIe rule that a read must not pass a posted write
+//!   (PCIe 3.1a, Table 2-39).
+//! * **DMA** transfers (queue entries and 4 KB data blocks) sharing link
+//!   bandwidth with MMIO traffic.
+//! * **Traffic accounting** — the MMIO / DMA(Q) / block-I/O / IRQ counters
+//!   that Table 1 of the paper reports.
+//! * **Crash semantics** — posted writes arrive in FIFO order, so the
+//!   device state after a power cut is the committed bytes plus a *prefix*
+//!   of the in-flight writes. The crash-consistency harness exploits this
+//!   to enumerate crash states.
+//!
+//! All timing is in virtual nanoseconds on the [`ccnvme_sim`] clock.
+
+pub mod cost;
+pub mod gate;
+pub mod link;
+pub mod mmio;
+pub mod traffic;
+
+pub use gate::{BandwidthGate, ChannelBank};
+pub use link::{DmaKind, PcieLink};
+pub use mmio::{MmioRegion, WriteHook};
+pub use traffic::{TrafficCounters, TrafficSnapshot};

@@ -1,0 +1,27 @@
+//! Virtual time units.
+//!
+//! The simulation clock counts nanoseconds in a `u64`, which covers more
+//! than 500 simulated years — far beyond any experiment in this workspace.
+
+/// Virtual time or duration, in nanoseconds.
+pub type Ns = u64;
+
+/// One microsecond, in nanoseconds.
+pub const US: Ns = 1_000;
+
+/// One millisecond, in nanoseconds.
+pub const MS: Ns = 1_000_000;
+
+/// One second, in nanoseconds.
+pub const SEC: Ns = 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_ratios() {
+        assert_eq!(MS, 1_000 * US);
+        assert_eq!(SEC, 1_000 * MS);
+    }
+}

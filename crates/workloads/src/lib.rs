@@ -1,0 +1,18 @@
+//! Workload generators for the evaluation.
+//!
+//! * [`fio`] — the FIO job of §3/§7.3: per-thread private files, append
+//!   writes of a configurable size followed by `fsync` (or the paper's
+//!   `fdataatomic`).
+//! * [`varmail`] — the Filebench Varmail personality of §7.4: a mail-
+//!   server mix of create/append/fsync/read/delete over a directory.
+//! * [`minikv`] — a small log-structured merge KV store standing in for
+//!   RocksDB's `fillsync` benchmark: a group-committed write-ahead log,
+//!   memtables flushed into sorted run files, all through the MQFS API.
+
+pub mod fio;
+pub mod minikv;
+pub mod varmail;
+
+pub use fio::{run_fio, FioConfig, SyncMode, WorkloadResult};
+pub use minikv::{run_fillsync, FillsyncConfig, MiniKv};
+pub use varmail::{run_varmail, VarmailConfig};

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs every figure/table reproduction sequentially; output goes to
+# bench_results_full.txt. CRASH_POINTS trims the Table 4 campaign.
+set -u
+BIN=target/release
+OUT=/root/repo/bench_results_full.txt
+: > "$OUT"
+for b in table3 table1 fig5 fig2 fig10 fig11 fig12 fig13 fig14 table4; do
+  echo "" >> "$OUT"
+  echo "##################### $b #####################" >> "$OUT"
+  "$BIN/$b" >> "$OUT" 2>/dev/null
+  echo "[$b done rc=$?]" >> "$OUT"
+done
+echo "ALL-DONE" >> "$OUT"

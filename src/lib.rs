@@ -1,0 +1,10 @@
+//! Workspace root crate: re-exports for examples and integration tests.
+pub use ccnvme;
+pub use ccnvme_block as block;
+pub use ccnvme_crashtest as crashtest;
+pub use ccnvme_pcie as pcie;
+pub use ccnvme_sim as sim;
+pub use ccnvme_ssd as ssd;
+pub use ccnvme_workloads as workloads;
+pub use mqfs;
+pub use mqfs_journal as journal;
