@@ -1,0 +1,84 @@
+//! Error-path overhead: the same fsync-heavy FIO workload with and
+//! without a storm of *transient* device faults (busy completions and
+//! dropped doorbell MMIOs — everything the host absorbs without
+//! failing a single operation). Reports throughput, the retry/kick
+//! counters behind the recovery work, and the net overhead the error
+//! path adds. Not a paper figure; it quantifies the cost of the host
+//! error-handling ladder described in DESIGN.md §8.
+
+use ccnvme_bench::{f1, header, in_sim, row, scaled, Stack, StackConfig};
+use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, OpMask, Trigger};
+use ccnvme_ssd::SsdProfile;
+use ccnvme_workloads::{run_fio, FioConfig, SyncMode};
+use mqfs::FsVariant;
+
+struct Point {
+    kiops: f64,
+    injected: u64,
+    retries: u64,
+    kicks: u64,
+}
+
+fn measure(variant: FsVariant, busy_pct: f64, drop_pct: f64) -> Point {
+    let mut cfg = StackConfig::new(variant, SsdProfile::optane_905p(), 4);
+    if busy_pct > 0.0 || drop_pct > 0.0 {
+        cfg.fault = Some(
+            FaultPlan::new(0xbadd_ecaf)
+                .rule(
+                    FaultRule::new(FaultKind::Busy, Trigger::Probability(busy_pct / 100.0))
+                        .ops(OpMask::WRITES),
+                )
+                .rule(
+                    FaultRule::new(
+                        FaultKind::DoorbellDrop,
+                        Trigger::Probability(drop_pct / 100.0),
+                    )
+                    .ops(OpMask::DOORBELLS),
+                ),
+        );
+    }
+    in_sim(cfg.sim_cores(), move || {
+        let (stack, fs) = Stack::format(&cfg);
+        let res = run_fio(
+            &fs,
+            &FioConfig {
+                threads: 4,
+                write_size: 4096,
+                ops_per_thread: scaled(2000),
+                sync: SyncMode::Fsync,
+            },
+        );
+        let e = stack.err_stats();
+        let f = stack.fault_stats();
+        Point {
+            kiops: res.kiops(),
+            injected: f.total(),
+            retries: e.retries,
+            kicks: e.doorbell_kicks,
+        }
+    })
+}
+
+fn main() {
+    header("Error-path overhead (FIO 4 KB append+fsync, 4 threads, Optane 905P)");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "variant (busy/drop)", "kiops", "injected", "retries", "kicks", "overhead"
+    );
+    for variant in [FsVariant::Mqfs, FsVariant::Ext4] {
+        let base = measure(variant, 0.0, 0.0);
+        for (label, busy, drop) in [("1%/0.5%", 1.0, 0.5), ("5%/2%", 5.0, 2.0)] {
+            let p = measure(variant, busy, drop);
+            row(
+                &format!("{variant:?} {label}"),
+                &[
+                    format!("{} -> {}", f1(base.kiops), f1(p.kiops)),
+                    format!("{}", p.injected),
+                    format!("{}", p.retries),
+                    format!("{}", p.kicks),
+                    format!("{:.1}%", 100.0 * (1.0 - p.kiops / base.kiops)),
+                ],
+            );
+        }
+    }
+}

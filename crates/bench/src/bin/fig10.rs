@@ -120,7 +120,7 @@ fn measure(engine: Engine, threads: usize, write_kb: u64, txs_per_thread: u64) -
                             buf,
                         });
                     }
-                    journal.commit_tx(tx, durability);
+                    journal.commit_tx(tx, durability).expect("commit ok");
                 }
             }));
         }

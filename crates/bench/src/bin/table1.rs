@@ -90,7 +90,7 @@ fn main() {
                 format!("{}", t.irqs),
             ],
         );
-        row("  (paper)", &paper_cells.to_vec());
+        row("  (paper)", paper_cells.as_ref());
     }
     println!();
     println!(

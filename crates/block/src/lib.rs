@@ -35,12 +35,36 @@ pub enum BioOp {
 }
 
 /// Completion status of a bio.
+///
+/// The error variants preserve the NVMe status-code class so upper
+/// layers can pick a recovery strategy: media errors and timeouts are
+/// unrecoverable at the block layer (the journal aborts and the file
+/// system degrades to read-only), while `Busy` only surfaces after the
+/// driver has exhausted its transparent retry budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BioStatus {
     /// Success.
     Ok,
-    /// The device rejected or failed the request.
+    /// The device rejected the request (malformed, internal error).
     Error,
+    /// Unrecoverable media error (read or write fault, torn DMA).
+    Media,
+    /// The command timed out and was aborted by the driver's watchdog.
+    Timeout,
+    /// The device stayed busy past the driver's retry budget.
+    Busy,
+}
+
+impl BioStatus {
+    /// Whether the bio completed successfully.
+    pub fn is_ok(self) -> bool {
+        self == BioStatus::Ok
+    }
+
+    /// Whether the bio failed (any error variant).
+    pub fn failed(self) -> bool {
+        self != BioStatus::Ok
+    }
 }
 
 /// Request flags, a subset of Linux `req_opf` modifiers plus the ccNVMe
@@ -120,7 +144,7 @@ impl Bio {
         let nblocks = {
             let len = data.lock().len() as u64;
             assert!(
-                len > 0 && len % BLOCK_SIZE == 0,
+                len > 0 && len.is_multiple_of(BLOCK_SIZE),
                 "bio data must be whole blocks"
             );
             (len / BLOCK_SIZE) as u16
@@ -141,7 +165,7 @@ impl Bio {
         let nblocks = {
             let len = data.lock().len() as u64;
             assert!(
-                len > 0 && len % BLOCK_SIZE == 0,
+                len > 0 && len.is_multiple_of(BLOCK_SIZE),
                 "bio data must be whole blocks"
             );
             (len / BLOCK_SIZE) as u16
@@ -239,6 +263,7 @@ struct WaitSt {
     outstanding: usize,
     errors: usize,
     irq_wakeups: usize,
+    first_error: Option<BioStatus>,
 }
 
 impl BioWaiter {
@@ -250,6 +275,7 @@ impl BioWaiter {
                     outstanding: 0,
                     errors: 0,
                     irq_wakeups: 0,
+                    first_error: None,
                 }),
                 cv: SimCondvar::new(),
             }),
@@ -269,8 +295,9 @@ impl BioWaiter {
             let mut st = inner.st.lock();
             st.outstanding -= 1;
             st.irq_wakeups += 1;
-            if status == BioStatus::Error {
+            if status.failed() {
                 st.errors += 1;
+                st.first_error.get_or_insert(status);
             }
             let done = st.outstanding == 0;
             drop(st);
@@ -283,6 +310,12 @@ impl BioWaiter {
     /// Returns the number of bios not yet completed.
     pub fn outstanding(&self) -> usize {
         self.inner.st.lock().outstanding
+    }
+
+    /// The status of the first failed bio, if any completed with an
+    /// error so far.
+    pub fn first_error(&self) -> Option<BioStatus> {
+        self.inner.st.lock().first_error
     }
 
     /// Returns another handle observing the same completion set (e.g. to
@@ -432,6 +465,25 @@ mod tests {
     }
 
     #[test]
+    fn waiter_records_first_typed_error() {
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let w = BioWaiter::new();
+            let mut a = Bio::flush();
+            let mut b = Bio::flush();
+            w.attach(&mut a);
+            w.attach(&mut b);
+            a.complete(BioStatus::Media);
+            b.complete(BioStatus::Timeout);
+            assert_eq!(w.wait(), Err(2));
+            assert_eq!(w.first_error(), Some(BioStatus::Media));
+            assert!(BioStatus::Media.failed() && !BioStatus::Media.is_ok());
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flags_constants_are_consistent() {
         assert!(BioFlags::TX_COMMIT.tx && BioFlags::TX_COMMIT.tx_commit);
         assert!(BioFlags::TX.tx && !BioFlags::TX.tx_commit);

@@ -20,7 +20,7 @@
 //!   P-SQ-head and P-SQDB are returned as the unfinished transactions.
 
 use std::{
-    collections::VecDeque,
+    collections::{HashMap, VecDeque},
     sync::{
         atomic::{AtomicU64, Ordering},
         Arc,
@@ -29,13 +29,14 @@ use std::{
 
 use ccnvme_block::{Bio, BioOp, BioStatus, BlockDevice};
 use ccnvme_pcie::MmioRegion;
-use ccnvme_sim::{SimCondvar, SimMutex};
+use ccnvme_sim::{mpsc_channel, Ns, Receiver, Sender, SimCondvar, SimMutex};
 use ccnvme_ssd::{
     CompletionEntry, DoorbellLoc, HostMemory, NvmeCommand, NvmeController, Opcode, QueueParams,
     SqBacking, Status, TxFlags,
 };
 
 use crate::{
+    errpolicy::{map_status, ErrPolicy, HostErrStats},
     layout::PmrLayout,
     recovery::{scan_pmr, RecoveryReport},
     DEFAULT_CAPACITY_BLOCKS, SUBMIT_CPU,
@@ -53,6 +54,26 @@ struct Slot {
     /// Transaction boundary: a commit request or a non-transactional
     /// request completes the done-prefix up to and including itself.
     boundary: bool,
+    /// Transaction membership, for transaction-atomic error handling.
+    is_tx: bool,
+    tx_id: u64,
+    /// The encoded command (for transparent resubmission). `None` for
+    /// retry-incarnation slots.
+    cmd: Option<NvmeCommand>,
+    /// When this slot's latest attempt became device-visible.
+    submitted_at: Ns,
+    /// Resubmissions performed so far.
+    attempts: u32,
+    /// When the watchdog last re-rang the doorbell for this attempt
+    /// (0 = never). Kicks repeat every `kick_after` until the timeout:
+    /// the kick MMIO is posted and may itself be lost.
+    last_kick: Ns,
+    /// `Some(orig_ring_idx)`: this slot is a retry incarnation; its
+    /// completion resolves the original slot at that ring index. A
+    /// retried command cannot be re-fetched in place (the device's head
+    /// is already past it), so the retry occupies a fresh P-SQ slot
+    /// whose result is forwarded backwards.
+    retry_for: Option<u16>,
 }
 
 struct CcqSt {
@@ -62,6 +83,18 @@ struct CcqSt {
     head_idx: u32,
     /// Outstanding requests in submission order.
     slots: VecDeque<Slot>,
+    /// Tail value of the last P-SQDB ring. The watchdog re-rings this —
+    /// not the current tail — so a kick never exposes entries of a
+    /// not-yet-committed transaction to the device.
+    last_rung: u32,
+    /// Transactions with at least one failed member, keyed by tx id.
+    /// Every bio of such a transaction completes with the recorded
+    /// status (transaction-atomic error handling); the entry is dropped
+    /// when the transaction's boundary slot pops.
+    failed_txs: HashMap<u64, BioStatus>,
+    /// Entries written to the queue's persistent abort log so far
+    /// (mirrors the count line in the PMR).
+    abort_logged: u32,
 }
 
 struct CcQueue {
@@ -70,8 +103,26 @@ struct CcQueue {
     db_off: u64,
     head_off: u64,
     cqdb_off: u64,
+    abort_cnt_off: u64,
+    abort_base_off: u64,
+    abort_cap: u32,
     st: SimMutex<CcqSt>,
     cv: SimCondvar,
+}
+
+/// A command scheduled for resubmission once its backoff elapses.
+struct CcRetryReq {
+    q: Arc<CcQueue>,
+    /// Ring index of the original (not the retry) slot.
+    cid: u16,
+    due: Ns,
+}
+
+/// Error-path state shared by completion callbacks and daemons.
+struct CcErrCtx {
+    policy: ErrPolicy,
+    stats: HostErrStats,
+    retry_tx: Sender<CcRetryReq>,
 }
 
 struct CcInner {
@@ -83,6 +134,7 @@ struct CcInner {
     capacity: u64,
     volatile_cache: bool,
     next_tx: AtomicU64,
+    errctx: Arc<CcErrCtx>,
 }
 
 /// The ccNVMe host driver.
@@ -104,6 +156,16 @@ impl CcNvmeDriver {
     /// are unfinished ones"). The report is empty when the PMR was never
     /// formatted or the previous shutdown was clean.
     pub fn probe(ctrl: NvmeController, num_queues: u16, depth: u32) -> (Self, RecoveryReport) {
+        Self::probe_with_policy(ctrl, num_queues, depth, ErrPolicy::default())
+    }
+
+    /// [`CcNvmeDriver::probe`] with an explicit error-handling policy.
+    pub fn probe_with_policy(
+        ctrl: NvmeController,
+        num_queues: u16,
+        depth: u32,
+        policy: ErrPolicy,
+    ) -> (Self, RecoveryReport) {
         assert!(num_queues > 0 && depth > 1, "need queues with capacity");
         let pmr = ctrl.pmr();
         let regs = ctrl.regs();
@@ -123,8 +185,15 @@ impl CcNvmeDriver {
         for q in 0..num_queues {
             pmr.write(layout.head_off(q), &0u32.to_le_bytes());
             pmr.write(layout.db_off(q), &0u32.to_le_bytes());
+            pmr.write(layout.abort_count_off(q), &0u32.to_le_bytes());
         }
         pmr.flush();
+        let (retry_tx, retry_rx) = mpsc_channel(None);
+        let errctx = Arc::new(CcErrCtx {
+            policy,
+            stats: HostErrStats::default(),
+            retry_tx,
+        });
         let mut queues = Vec::with_capacity(num_queues as usize);
         for i in 0..num_queues {
             let qid = i + 1;
@@ -134,10 +203,16 @@ impl CcNvmeDriver {
                 db_off: layout.db_off(i),
                 head_off: layout.head_off(i),
                 cqdb_off: DB_BASE + qid as u64 * 8 + 4,
+                abort_cnt_off: layout.abort_count_off(i),
+                abort_base_off: layout.abort_entry_off(i, 0),
+                abort_cap: layout.abort_capacity(),
                 st: SimMutex::new(CcqSt {
                     tail: 0,
                     head_idx: 0,
                     slots: VecDeque::new(),
+                    last_rung: 0,
+                    failed_txs: HashMap::new(),
+                    abort_logged: 0,
                 }),
                 cv: SimCondvar::new(),
             });
@@ -145,13 +220,14 @@ impl CcNvmeDriver {
             let cb_pmr = Arc::clone(&pmr);
             let cb_regs = Arc::clone(&regs);
             let cb_hostmem = Arc::clone(&hostmem);
+            let cb_err = Arc::clone(&errctx);
             ctrl.create_io_queue(QueueParams {
                 qid,
                 depth,
                 sq: SqBacking::Pmr { offset: q.ring_off },
                 sqdb: DoorbellLoc::Pmr { offset: q.db_off },
                 on_complete: Arc::new(move |entry: CompletionEntry| {
-                    complete_in_order(&cb_q, &cb_pmr, &cb_regs, &cb_hostmem, entry);
+                    complete_in_order(&cb_q, &cb_pmr, &cb_regs, &cb_hostmem, &cb_err, entry);
                 }),
             });
             queues.push(q);
@@ -167,9 +243,20 @@ impl CcNvmeDriver {
                 capacity: DEFAULT_CAPACITY_BLOCKS,
                 volatile_cache,
                 next_tx: AtomicU64::new(1),
+                errctx,
             }),
         };
+        let wd = Arc::clone(&driver.inner);
+        ccnvme_sim::spawn_daemon("ccnvme-wdog", 0, move || cc_watchdog_loop(wd));
+        let rt = Arc::clone(&driver.inner);
+        ccnvme_sim::spawn_daemon("ccnvme-errd", 0, move || cc_retry_loop(rt, retry_rx));
         (driver, report)
+    }
+
+    /// Host error-path counters (retries, kicks, timeouts, whole-tx
+    /// failures).
+    pub fn err_stats(&self) -> crate::HostErrSnapshot {
+        self.inner.errctx.stats.snapshot()
     }
 
     /// The underlying controller (power-fail injection, traffic).
@@ -228,38 +315,45 @@ impl CcNvmeDriver {
         // Reserve the next ring slot (block while the ring is full). The
         // slot index doubles as the command id; it stays unique because a
         // slot is only reused after its in-order completion.
-        let (slot, new_tail) = {
+        let cmd = {
             let mut st = q.st.lock();
             while st.slots.len() as u32 >= q.depth - 1 {
                 st = q.cv.wait(st);
             }
             let slot = st.tail;
             st.tail = (st.tail + 1) % q.depth;
+            let cmd = NvmeCommand {
+                opcode,
+                cid: slot as u16,
+                nsid: 1,
+                lba,
+                nblocks: if opcode == Opcode::Flush { 0 } else { nblocks },
+                fua,
+                tx_id,
+                tx_flags,
+                data_token: token,
+            };
             st.slots.push_back(Slot {
                 bio: Some(bio),
                 token,
                 done: false,
                 status: BioStatus::Ok,
                 boundary,
+                is_tx: tx_flags.tx || tx_flags.tx_commit,
+                tx_id,
+                cmd: Some(cmd.clone()),
+                submitted_at: ccnvme_sim::now(),
+                attempts: 0,
+                last_kick: 0,
+                retry_for: None,
             });
-            (slot, st.tail)
-        };
-        let cmd = NvmeCommand {
-            opcode,
-            cid: slot as u16,
-            nsid: 1,
-            lba,
-            nblocks: if opcode == Opcode::Flush { 0 } else { nblocks },
-            fua,
-            tx_id,
-            tx_flags,
-            data_token: token,
+            cmd
         };
         // Insert the entry into the P-SQ with posted write-combining
         // stores (step 1 of Figure 3).
         self.inner
             .pmr
-            .write(q.ring_off + slot as u64 * 64, &cmd.encode());
+            .write(q.ring_off + cmd.cid as u64 * 64, &cmd.encode());
         if ring {
             if flush_first {
                 // Persistent-MMIO flush: clflush + mfence + zero-byte
@@ -272,51 +366,164 @@ impl CcNvmeDriver {
             // sibling threads on this core, which is safe: the doorbell
             // value is a queue position, not a transaction boundary.
             let tail_now = {
-                let st = q.st.lock();
+                let mut st = q.st.lock();
+                st.last_rung = st.tail;
                 st.tail
             };
-            let _ = new_tail;
             self.inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
         }
     }
 }
 
 /// Completion-side logic: first-come-first-complete per queue, in
-/// transaction units (§4.4).
+/// transaction units (§4.4). Error completions are resolved through the
+/// host error ladder first: transient busy schedules a transparent
+/// retry, retry incarnations forward their result to the original slot,
+/// and everything else records a typed status for the in-order pop.
 fn complete_in_order(
     q: &Arc<CcQueue>,
     pmr: &Arc<MmioRegion>,
     regs: &Arc<MmioRegion>,
     hostmem: &Arc<HostMemory>,
+    errctx: &Arc<CcErrCtx>,
     entry: CompletionEntry,
+) {
+    {
+        let mut st = q.st.lock();
+        let pos = (entry.cid as u32 + q.depth - st.head_idx) % q.depth;
+        if (pos as usize) < st.slots.len() {
+            match st.slots[pos as usize].retry_for {
+                None => apply_result(&mut st, q, pmr, errctx, pos as usize, entry.status),
+                Some(orig) => {
+                    // Retry incarnation: it is done either way; its
+                    // result resolves the original slot (which may
+                    // schedule yet another retry).
+                    st.slots[pos as usize].done = true;
+                    let opos = ((orig as u32 + q.depth - st.head_idx) % q.depth) as usize;
+                    if opos < st.slots.len() && st.slots[opos].retry_for.is_none() {
+                        apply_result(&mut st, q, pmr, errctx, opos, entry.status);
+                    }
+                }
+            }
+        }
+    }
+    advance_queue(q, pmr, regs, hostmem);
+}
+
+/// Persists `tx_id` into the queue's abort log in the PMR. Posted MMIO
+/// writes stay ordered, and the log entry is written before the
+/// in-order pop advances the P-SQ-head — so after any crash a failed
+/// transaction is visible either inside the unfinished window or in the
+/// abort log, and recovery discards it. Without this, a transaction
+/// whose only failed member was an ordered-data write would leave
+/// intact, checksummed journal content that recovery would replay.
+/// Caller holds the queue lock.
+fn log_aborted_tx(st: &mut CcqSt, q: &CcQueue, pmr: &MmioRegion, tx_id: u64) {
+    if st.abort_logged >= q.abort_cap {
+        // Cannot happen in practice: the file system degrades to
+        // read-only at the first unrecoverable failure, bounding failed
+        // transactions by the in-flight count (< one ring of slots).
+        return;
+    }
+    pmr.write(
+        q.abort_base_off + st.abort_logged as u64 * 8,
+        &tx_id.to_le_bytes(),
+    );
+    st.abort_logged += 1;
+    pmr.write(q.abort_cnt_off, &st.abort_logged.to_le_bytes());
+}
+
+/// Records the outcome of one command attempt on its (original) slot:
+/// transparent retry for transient busy, typed terminal status
+/// otherwise. Caller holds the queue lock.
+fn apply_result(
+    st: &mut CcqSt,
+    q: &Arc<CcQueue>,
+    pmr: &MmioRegion,
+    errctx: &Arc<CcErrCtx>,
+    pos: usize,
+    status: Status,
+) {
+    let ring_idx = (st.head_idx + pos as u32) % q.depth;
+    {
+        let s = &mut st.slots[pos];
+        if s.done {
+            return;
+        }
+        if status == Status::Busy && s.attempts < errctx.policy.max_retries {
+            s.attempts += 1;
+            s.last_kick = 0;
+            s.submitted_at = ccnvme_sim::now();
+            errctx.stats.busy_completions.inc();
+            let due = ccnvme_sim::now() + errctx.policy.backoff(s.attempts);
+            let _ = errctx.retry_tx.send(CcRetryReq {
+                q: Arc::clone(q),
+                cid: ring_idx as u16,
+                due,
+            });
+            return;
+        }
+        s.done = true;
+        let mapped = map_status(status);
+        if mapped == BioStatus::Busy {
+            errctx.stats.busy_completions.inc();
+            errctx.stats.retries_exhausted.inc();
+        }
+        if mapped == BioStatus::Media {
+            errctx.stats.media_errors.inc();
+        }
+        if mapped.is_ok() {
+            return;
+        }
+        s.status = mapped;
+    }
+    let (is_tx, tx_id, failed) = {
+        let s = &st.slots[pos];
+        (s.is_tx, s.tx_id, s.status)
+    };
+    if is_tx && !st.failed_txs.contains_key(&tx_id) {
+        st.failed_txs.insert(tx_id, failed);
+        errctx.stats.tx_failures.inc();
+        log_aborted_tx(st, q, pmr, tx_id);
+    }
+}
+
+/// Pops the longest done-prefix that ends at a transaction boundary,
+/// persists the new P-SQ-head and rings the CQ doorbell, completing the
+/// popped bios (a failed transaction fails every one of its bios).
+fn advance_queue(
+    q: &Arc<CcQueue>,
+    pmr: &Arc<MmioRegion>,
+    regs: &Arc<MmioRegion>,
+    hostmem: &Arc<HostMemory>,
 ) {
     let mut finished: Vec<(Bio, BioStatus)> = Vec::new();
     let mut tokens: Vec<u64> = Vec::new();
     let new_head = {
         let mut st = q.st.lock();
-        let pos = (entry.cid as u32 + q.depth - st.head_idx) % q.depth;
-        if (pos as usize) < st.slots.len() {
-            let s = &mut st.slots[pos as usize];
-            s.done = true;
-            if entry.status != Status::Success {
-                s.status = BioStatus::Error;
-            }
-        }
         // Longest done-prefix, truncated at the last transaction
         // boundary inside it: requests complete to the upper layer only
-        // in whole transactions.
-        let mut done_len = 0;
+        // in whole transactions. A retry incarnation closes the prefix
+        // only when it is not interleaved inside an open transaction
+        // group — advancing the persistent head past uncommitted members
+        // would let recovery replay a commit without them.
         let mut boundary_len = 0;
+        let mut open_tx = false;
         for (i, s) in st.slots.iter().enumerate() {
             if !s.done {
                 break;
             }
-            done_len = i + 1;
-            if s.boundary {
-                boundary_len = done_len;
+            if s.retry_for.is_some() {
+                if !open_tx {
+                    boundary_len = i + 1;
+                }
+            } else if s.boundary {
+                boundary_len = i + 1;
+                open_tx = false;
+            } else {
+                open_tx = true;
             }
         }
-        let _ = done_len;
         if boundary_len == 0 {
             None
         } else {
@@ -326,8 +533,18 @@ fn complete_in_order(
                 if s.token != 0 {
                     tokens.push(s.token);
                 }
+                // Transaction-atomic error handling: one failed member
+                // fails the whole transaction.
+                let status = if s.is_tx {
+                    st.failed_txs.get(&s.tx_id).copied().unwrap_or(s.status)
+                } else {
+                    s.status
+                };
+                if s.is_tx && s.boundary {
+                    st.failed_txs.remove(&s.tx_id);
+                }
                 if let Some(bio) = s.bio.take() {
-                    finished.push((bio, s.status));
+                    finished.push((bio, status));
                 }
             }
             Some(st.head_idx)
@@ -340,7 +557,9 @@ fn complete_in_order(
     // Chained completion doorbell (§4.4): persist the new P-SQ-head
     // (posted MMIO into the PMR — a lost update only widens the recovery
     // window), then ring the CQ doorbell. One pair per transaction, not
-    // per request: two of Table 1's four MMIOs.
+    // per request: two of Table 1's four MMIOs. The head also advances
+    // past failed or aborted transactions — they were completed to the
+    // upper layer as failures, so recovery must never replay them.
     pmr.write(q.head_off, &new_head.to_le_bytes());
     regs.write(q.cqdb_off, &new_head.to_le_bytes());
     for (mut bio, status) in finished {
@@ -349,6 +568,189 @@ fn complete_in_order(
     // Wake slot waiters (and quiescers) only after the upper layer saw
     // the completions.
     q.cv.notify_all();
+}
+
+/// Marks a silent slot as timed out. A timed-out retry incarnation
+/// forwards the abort to its original; a timed-out transaction member
+/// dooms its whole transaction. Caller holds the queue lock.
+fn abort_slot(st: &mut CcqSt, q: &CcQueue, pmr: &MmioRegion, errctx: &Arc<CcErrCtx>, pos: usize) {
+    let target = match st.slots[pos].retry_for {
+        None => pos,
+        Some(orig) => {
+            st.slots[pos].done = true;
+            let opos = ((orig as u32 + q.depth - st.head_idx) % q.depth) as usize;
+            if opos >= st.slots.len() || st.slots[opos].retry_for.is_some() {
+                return;
+            }
+            opos
+        }
+    };
+    {
+        let s = &mut st.slots[target];
+        if s.done {
+            return;
+        }
+        s.done = true;
+        s.status = BioStatus::Timeout;
+    }
+    errctx.stats.timeouts.inc();
+    let (is_tx, tx_id) = {
+        let s = &st.slots[target];
+        (s.is_tx, s.tx_id)
+    };
+    if is_tx && !st.failed_txs.contains_key(&tx_id) {
+        st.failed_txs.insert(tx_id, BioStatus::Timeout);
+        errctx.stats.tx_failures.inc();
+        log_aborted_tx(st, q, pmr, tx_id);
+    }
+}
+
+/// Stage 1/2 of the timeout ladder for the ccNVMe driver. Unlike the
+/// baseline driver there is no queue re-creation: the P-SQ is
+/// persistent state, so a wedged transaction is aborted in place and the
+/// in-order pop advances the persistent head past it (recovery must not
+/// replay an aborted transaction anyway).
+fn cc_watchdog_loop(inner: Arc<CcInner>) {
+    let policy = inner.errctx.policy;
+    let period = (policy.kick_after / 2).max(1_000_000);
+    loop {
+        ccnvme_sim::delay(period);
+        for q in &inner.queues {
+            let now = ccnvme_sim::now();
+            let mut kick = false;
+            let mut aborted = false;
+            {
+                let mut st = q.st.lock();
+                let mut to_abort: Vec<usize> = Vec::new();
+                for (i, s) in st.slots.iter_mut().enumerate() {
+                    if s.done {
+                        continue;
+                    }
+                    let age = now.saturating_sub(s.submitted_at);
+                    if age >= policy.timeout {
+                        to_abort.push(i);
+                    } else if age >= policy.kick_after
+                        && now.saturating_sub(s.last_kick) >= policy.kick_after
+                    {
+                        s.last_kick = now;
+                        kick = true;
+                    }
+                }
+                for i in to_abort {
+                    abort_slot(&mut st, q, &inner.pmr, &inner.errctx, i);
+                    aborted = true;
+                }
+            }
+            if aborted {
+                let regs = inner.ctrl.regs();
+                advance_queue(q, &inner.pmr, &regs, &inner.hostmem);
+            } else if kick {
+                // Re-ring the last rung tail: recovers a dropped P-SQDB
+                // MMIO without exposing uncommitted transaction members.
+                inner.errctx.stats.doorbell_kicks.inc();
+                let tail = q.st.lock().last_rung;
+                inner.pmr.write(q.db_off, &tail.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Resubmits the command of `orig_cid` as a fresh retry-incarnation
+/// P-SQ entry (the device's fetch head is already past the original
+/// slot, so in-place resubmission is impossible).
+fn cc_resubmit(inner: &Arc<CcInner>, q: &Arc<CcQueue>, orig_cid: u16) {
+    let (slot, cmd) = {
+        let mut st = q.st.lock();
+        loop {
+            let opos = ((orig_cid as u32 + q.depth - st.head_idx) % q.depth) as usize;
+            if opos >= st.slots.len() {
+                return; // popped (e.g. aborted by the watchdog) meanwhile
+            }
+            {
+                let o = &st.slots[opos];
+                if o.done || o.retry_for.is_some() {
+                    return;
+                }
+            }
+            if (st.slots.len() as u32) < q.depth - 1 {
+                let slot = st.tail;
+                st.tail = (st.tail + 1) % q.depth;
+                let (mut cmd, tx_id) = {
+                    let o = &mut st.slots[opos];
+                    o.submitted_at = ccnvme_sim::now();
+                    o.last_kick = 0;
+                    (
+                        o.cmd.clone().expect("original slots carry their command"),
+                        o.tx_id,
+                    )
+                };
+                cmd.cid = slot as u16;
+                st.slots.push_back(Slot {
+                    bio: None,
+                    token: 0,
+                    done: false,
+                    status: BioStatus::Ok,
+                    boundary: true,
+                    is_tx: false,
+                    tx_id,
+                    cmd: None,
+                    submitted_at: ccnvme_sim::now(),
+                    attempts: 0,
+                    last_kick: 0,
+                    retry_for: Some(orig_cid),
+                });
+                break (slot, cmd);
+            }
+            st = q.cv.wait(st);
+        }
+    };
+    // The retry entry must be durable before the doorbell exposes it —
+    // same discipline as a commit.
+    inner
+        .pmr
+        .write(q.ring_off + slot as u64 * 64, &cmd.encode());
+    inner.pmr.flush();
+    inner.errctx.stats.retries.inc();
+    let tail_now = {
+        let mut st = q.st.lock();
+        st.last_rung = st.tail;
+        st.tail
+    };
+    inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
+}
+
+/// Daemon draining the retry channel: holds each request until its
+/// backoff elapses, then resubmits. Exits when the driver (the only
+/// sender) is dropped.
+fn cc_retry_loop(inner: Arc<CcInner>, rx: Receiver<CcRetryReq>) {
+    let mut pending: Vec<CcRetryReq> = Vec::new();
+    loop {
+        let now = ccnvme_sim::now();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].due <= now {
+                let req = pending.swap_remove(i);
+                cc_resubmit(&inner, &req.q, req.cid);
+            } else {
+                i += 1;
+            }
+        }
+        match pending.iter().map(|r| r.due).min() {
+            None => match rx.recv() {
+                Ok(req) => pending.push(req),
+                Err(_) => return,
+            },
+            Some(due) => {
+                let now = ccnvme_sim::now();
+                if due <= now {
+                    continue;
+                }
+                if let Some(req) = rx.recv_timeout(due - now) {
+                    pending.push(req);
+                }
+            }
+        }
+    }
 }
 
 impl BlockDevice for CcNvmeDriver {
@@ -621,5 +1023,181 @@ mod tests {
             drv.quiesce();
         });
         sim.run();
+    }
+
+    mod faults {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+
+        use super::*;
+
+        fn driver_on_faulty(profile: SsdProfile, plan: FaultPlan) -> CcNvmeDriver {
+            let mut cfg = CtrlConfig::new(profile).with_fault(Arc::new(plan.injector()));
+            cfg.device_core = 1;
+            CcNvmeDriver::new(NvmeController::new(cfg), 1, 64)
+        }
+
+        /// Submits a transaction and collects every member's completion
+        /// status, in submission order.
+        fn submit_tx_statuses(
+            drv: &CcNvmeDriver,
+            tx_id: u64,
+            base_lba: u64,
+            n: u64,
+        ) -> Arc<Mutex<Vec<BioStatus>>> {
+            let statuses: Arc<Mutex<Vec<BioStatus>>> = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..=n {
+                let flags = if i == n {
+                    BioFlags::TX_COMMIT
+                } else {
+                    BioFlags::TX
+                };
+                let mut bio = Bio::write(base_lba + i, buf(i as u8 + 1), flags).with_tx_id(tx_id);
+                let st2 = Arc::clone(&statuses);
+                bio.end_io = Some(Box::new(move |status| st2.lock().push(status)));
+                drv.submit_bio(bio);
+            }
+            statuses
+        }
+
+        #[test]
+        fn busy_member_is_retried_and_tx_succeeds() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan = FaultPlan::new(7).rule(FaultRule::new(FaultKind::Busy, Trigger::Nth(1)));
+                let drv = driver_on_faulty(SsdProfile::optane_p5800x(), plan);
+                let w = submit_tx(&drv, drv.alloc_tx_id(), 100, 3);
+                w.wait()
+                    .expect("transaction durable despite transient busy");
+                for (i, lba) in (100..103).enumerate() {
+                    assert_eq!(drv.controller().store().read_block(lba)[0], i as u8 + 1);
+                }
+                let e = drv.err_stats();
+                assert_eq!(e.busy_completions, 1);
+                assert_eq!(e.retries, 1);
+                assert_eq!(e.retries_exhausted, 0);
+                assert_eq!(e.tx_failures, 0);
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn media_error_fails_the_whole_transaction() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                // Fault exactly one member write (lba 201).
+                let plan = FaultPlan::new(7).rule(FaultRule::new(
+                    FaultKind::MediaWrite,
+                    Trigger::LbaRange {
+                        start: 201,
+                        end: 202,
+                    },
+                ));
+                let drv = driver_on_faulty(SsdProfile::optane_p5800x(), plan);
+                let statuses = submit_tx_statuses(&drv, drv.alloc_tx_id(), 200, 3);
+                drv.quiesce();
+                // Transaction-atomic failure: every bio of the tx —
+                // including the untouched members and the commit — fails
+                // with the member's media status.
+                assert_eq!(*statuses.lock(), vec![BioStatus::Media; 4]);
+                let e = drv.err_stats();
+                assert_eq!(e.media_errors, 1);
+                assert_eq!(e.tx_failures, 1);
+                // The queue keeps working: an independent follow-up
+                // transaction succeeds.
+                let w = submit_tx(&drv, drv.alloc_tx_id(), 300, 2);
+                w.wait().expect("next tx unaffected");
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn stalled_commit_times_out_and_fails_tx() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                // The 4th write command fetched is the commit.
+                let plan =
+                    FaultPlan::new(7).rule(FaultRule::new(FaultKind::Stall, Trigger::Nth(4)));
+                let drv = driver_on_faulty(SsdProfile::optane_p5800x(), plan);
+                let policy = ErrPolicy::default();
+                let t0 = ccnvme_sim::now();
+                let statuses = submit_tx_statuses(&drv, drv.alloc_tx_id(), 400, 3);
+                drv.quiesce();
+                let elapsed = ccnvme_sim::now() - t0;
+                assert!(elapsed >= policy.timeout, "elapsed={elapsed}");
+                assert_eq!(*statuses.lock(), vec![BioStatus::Timeout; 4]);
+                let e = drv.err_stats();
+                assert_eq!(e.timeouts, 1);
+                assert_eq!(e.tx_failures, 1);
+                // The stalled transaction was aborted in place; the ring
+                // still serves new transactions.
+                let w = submit_tx(&drv, drv.alloc_tx_id(), 500, 2);
+                w.wait().expect("queue alive after tx abort");
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn failed_tx_is_in_the_discard_set_after_power_fail() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                // Fail one ordered member; the commit and the other
+                // members land intact — exactly the case where journal
+                // content would look replayable.
+                let plan = FaultPlan::new(3).rule(FaultRule::new(
+                    FaultKind::MediaWrite,
+                    Trigger::LbaRange {
+                        start: 701,
+                        end: 702,
+                    },
+                ));
+                let drv = driver_on_faulty(SsdProfile::optane_p5800x(), plan);
+                let tx = drv.alloc_tx_id();
+                let statuses = submit_tx_statuses(&drv, tx, 700, 3);
+                drv.quiesce();
+                assert_eq!(*statuses.lock(), vec![BioStatus::Media; 4]);
+                // A later healthy transaction advances the head past the
+                // failed one.
+                let ok_tx = drv.alloc_tx_id();
+                submit_tx(&drv, ok_tx, 800, 2).wait().expect("tx ok");
+                drv.quiesce();
+                let image = drv.controller().power_fail(CrashMode::adversarial(5));
+                let ctrl2 = NvmeController::from_image(
+                    CtrlConfig::new(SsdProfile::optane_p5800x()),
+                    &image,
+                );
+                let (_drv2, report) = CcNvmeDriver::probe(ctrl2, 1, 64);
+                // The abort log preserves the failure across the crash:
+                // the tx is discarded even though the window moved on.
+                assert!(report.aborted.contains(&tx), "abort log persisted");
+                assert!(report.unfinished_tx_ids().contains(&tx));
+                assert!(!report.unfinished_tx_ids().contains(&ok_tx));
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn dropped_psqdb_is_recovered_by_watchdog_kick() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan = FaultPlan::new(7)
+                    .rule(FaultRule::new(FaultKind::DoorbellDrop, Trigger::Nth(1)));
+                let drv = driver_on_faulty(SsdProfile::optane_p5800x(), plan);
+                let policy = ErrPolicy::default();
+                let t0 = ccnvme_sim::now();
+                let w = submit_tx(&drv, drv.alloc_tx_id(), 600, 2);
+                w.wait().expect("tx durable after re-rung doorbell");
+                let elapsed = ccnvme_sim::now() - t0;
+                assert!(elapsed >= policy.kick_after, "elapsed={elapsed}");
+                assert!(elapsed < policy.timeout, "kick, not abort: {elapsed}");
+                let e = drv.err_stats();
+                assert!(e.doorbell_kicks >= 1);
+                assert_eq!(e.timeouts, 0);
+                assert_eq!(e.tx_failures, 0);
+                for (i, lba) in (600..602).enumerate() {
+                    assert_eq!(drv.controller().store().read_block(lba)[0], i as u8 + 1);
+                }
+            });
+            sim.run();
+        }
     }
 }

@@ -7,17 +7,25 @@
 //! systems. Barrier semantics follow the Linux block layer: a `PREFLUSH`
 //! bio first issues (and waits for) a Flush command; `FUA` sets the
 //! force-unit-access bit in the write command.
+//!
+//! The driver also implements the host error path (see
+//! [`crate::errpolicy`]): transient busy completions are retried after
+//! capped exponential backoff, and a per-driver watchdog tracks every
+//! in-flight command's age against the virtual clock — first re-ringing
+//! the SQ doorbell (which recovers a dropped doorbell MMIO), then
+//! aborting the command and draining/re-creating its hardware queue.
 
 use std::{collections::HashMap, sync::Arc};
 
 use ccnvme_block::{Bio, BioOp, BioStatus, BioWaiter, BlockDevice};
-use ccnvme_sim::{SimCondvar, SimMutex};
+use ccnvme_sim::{mpsc_channel, Ns, Receiver, Sender, SimCondvar, SimMutex};
 use ccnvme_ssd::{
     CompletionEntry, DoorbellLoc, HostMemory, NvmeCommand, NvmeController, Opcode, QueueParams,
     SqBacking, Status, TxFlags,
 };
 use parking_lot::Mutex;
 
+use crate::errpolicy::{map_status, ErrPolicy, HostErrStats};
 use crate::{DEFAULT_CAPACITY_BLOCKS, QUEUE_DEPTH, SUBMIT_CPU};
 
 /// CPU cost of formatting one 64-byte SQE into host memory.
@@ -29,21 +37,50 @@ const DB_BASE: u64 = 0x1000;
 struct Inflight {
     bio: Bio,
     token: u64,
+    /// The encoded command, kept for transparent resubmission.
+    cmd: NvmeCommand,
+    /// When this attempt was made device-visible (watchdog reference).
+    submitted_at: Ns,
+    /// Resubmissions performed so far.
+    attempts: u32,
+    /// When the watchdog last re-rang the doorbell for this attempt
+    /// (0 = never; stage 1 of the timeout ladder). Kicks repeat every
+    /// `kick_after` until the timeout: the kick MMIO is posted and may
+    /// itself be lost.
+    last_kick: Ns,
 }
 
 struct DqSt {
     tail: u32,
     inflight: HashMap<u16, Inflight>,
     free_cids: Vec<u16>,
+    /// Bumped on every queue drain/re-create; completions carrying a
+    /// stale epoch belong to an aborted incarnation and are dropped.
+    epoch: u64,
 }
 
 struct DrvQueue {
+    qid: u16,
     depth: u32,
     sqmem: Arc<Mutex<Vec<u8>>>,
     sqdb_off: u64,
     cqdb_off: u64,
     st: SimMutex<DqSt>,
     cv: SimCondvar,
+}
+
+/// A command scheduled for resubmission after its backoff elapses.
+struct RetryReq {
+    q: Arc<DrvQueue>,
+    cid: u16,
+    due: Ns,
+}
+
+/// Error-path state shared by completion callbacks and daemons.
+struct ErrCtx {
+    policy: ErrPolicy,
+    stats: HostErrStats,
+    retry_tx: Sender<RetryReq>,
 }
 
 struct DrvInner {
@@ -53,6 +90,7 @@ struct DrvInner {
     queues: Vec<Arc<DrvQueue>>,
     capacity: u64,
     volatile_cache: bool,
+    errctx: Arc<ErrCtx>,
 }
 
 /// The baseline multi-queue NVMe driver.
@@ -62,18 +100,31 @@ pub struct NvmeDriver {
 
 impl NvmeDriver {
     /// Attaches to `ctrl` with one hardware queue per host core
-    /// (`num_queues`), each [`QUEUE_DEPTH`] deep.
+    /// (`num_queues`), each [`QUEUE_DEPTH`] deep, using the default
+    /// [`ErrPolicy`].
     pub fn new(ctrl: NvmeController, num_queues: usize) -> Self {
+        NvmeDriver::with_policy(ctrl, num_queues, ErrPolicy::default())
+    }
+
+    /// Like [`NvmeDriver::new`] with an explicit error policy.
+    pub fn with_policy(ctrl: NvmeController, num_queues: usize, policy: ErrPolicy) -> Self {
         assert!(num_queues > 0, "need at least one queue");
         let regs = ctrl.regs();
         let hostmem = ctrl.hostmem();
         let volatile_cache = ctrl.profile().volatile_cache;
+        let (retry_tx, retry_rx) = mpsc_channel::<RetryReq>(None);
+        let errctx = Arc::new(ErrCtx {
+            policy,
+            stats: HostErrStats::default(),
+            retry_tx,
+        });
         let mut queues = Vec::with_capacity(num_queues);
         for i in 0..num_queues {
             let qid = (i + 1) as u16;
             let depth = QUEUE_DEPTH;
             let sqmem = Arc::new(Mutex::new(vec![0u8; depth as usize * 64]));
             let q = Arc::new(DrvQueue {
+                qid,
                 depth,
                 sqmem: Arc::clone(&sqmem),
                 sqdb_off: DB_BASE + qid as u64 * 8,
@@ -82,38 +133,37 @@ impl NvmeDriver {
                     tail: 0,
                     inflight: HashMap::new(),
                     free_cids: (0..depth as u16).collect(),
+                    epoch: 0,
                 }),
                 cv: SimCondvar::new(),
             });
-            let cb_q = Arc::clone(&q);
-            let cb_regs = Arc::clone(&regs);
-            let cb_hostmem = Arc::clone(&hostmem);
-            ctrl.create_io_queue(QueueParams {
-                qid,
-                depth,
-                sq: SqBacking::Host(sqmem),
-                sqdb: DoorbellLoc::Register { offset: q.sqdb_off },
-                on_complete: Arc::new(move |entry: CompletionEntry| {
-                    complete_one(&cb_q, &cb_regs, &cb_hostmem, entry);
-                }),
-            });
+            attach_queue(&ctrl, &regs, &hostmem, &errctx, &q, 0);
             queues.push(q);
         }
-        NvmeDriver {
-            inner: Arc::new(DrvInner {
-                ctrl,
-                regs,
-                hostmem,
-                queues,
-                capacity: DEFAULT_CAPACITY_BLOCKS,
-                volatile_cache,
-            }),
-        }
+        let inner = Arc::new(DrvInner {
+            ctrl,
+            regs,
+            hostmem,
+            queues,
+            capacity: DEFAULT_CAPACITY_BLOCKS,
+            volatile_cache,
+            errctx,
+        });
+        let wd = Arc::clone(&inner);
+        ccnvme_sim::spawn_daemon("nvme-wdog", 0, move || watchdog_loop(wd));
+        let rd = Arc::clone(&inner);
+        ccnvme_sim::spawn_daemon("nvme-errd", 0, move || retry_loop(rd, retry_rx));
+        NvmeDriver { inner }
     }
 
     /// The underlying controller (power-fail injection, traffic counters).
     pub fn controller(&self) -> &NvmeController {
         &self.inner.ctrl
+    }
+
+    /// Host error-path counters (retries, kicks, timeouts, reinits).
+    pub fn err_stats(&self) -> &HostErrStats {
+        &self.inner.errctx.stats
     }
 
     fn queue_for_current_core(&self) -> &Arc<DrvQueue> {
@@ -122,13 +172,14 @@ impl NvmeDriver {
     }
 
     /// Issues a Flush command on `q` and waits for its completion — the
-    /// classic ordering point that ccNVMe eliminates.
-    fn flush_sync(&self, q: &Arc<DrvQueue>) {
+    /// classic ordering point that ccNVMe eliminates. Returns whether
+    /// the flush succeeded.
+    fn flush_sync(&self, q: &Arc<DrvQueue>) -> bool {
         let waiter = BioWaiter::new();
         let mut bio = Bio::flush();
         waiter.attach(&mut bio);
         self.submit_cmd(q, Opcode::Flush, bio);
-        let _ = waiter.wait();
+        waiter.wait().is_ok()
     }
 
     fn submit_cmd(&self, q: &Arc<DrvQueue>, opcode: Opcode, bio: Bio) {
@@ -145,7 +196,7 @@ impl NvmeDriver {
             None => 0,
         };
         // Reserve a slot and a command id (block while the ring is full).
-        let (cid, slot, new_tail) = {
+        let (cmd, slot, new_tail) = {
             let mut st = q.st.lock();
             while st.inflight.len() as u32 >= q.depth - 1 {
                 st = q.cv.wait(st);
@@ -153,19 +204,29 @@ impl NvmeDriver {
             let cid = st.free_cids.pop().expect("cid pool tracks inflight");
             let slot = st.tail;
             st.tail = (st.tail + 1) % q.depth;
-            st.inflight.insert(cid, Inflight { bio, token });
-            (cid, slot, st.tail)
-        };
-        let cmd = NvmeCommand {
-            opcode,
-            cid,
-            nsid: 1,
-            lba,
-            nblocks: if opcode == Opcode::Flush { 0 } else { nblocks },
-            fua,
-            tx_id,
-            tx_flags,
-            data_token: token,
+            let cmd = NvmeCommand {
+                opcode,
+                cid,
+                nsid: 1,
+                lba,
+                nblocks: if opcode == Opcode::Flush { 0 } else { nblocks },
+                fua,
+                tx_id,
+                tx_flags,
+                data_token: token,
+            };
+            st.inflight.insert(
+                cid,
+                Inflight {
+                    bio,
+                    token,
+                    cmd: cmd.clone(),
+                    submitted_at: ccnvme_sim::now(),
+                    attempts: 0,
+                    last_kick: 0,
+                },
+            );
+            (cmd, slot, st.tail)
         };
         // Write the SQE into host memory (plain stores, no PCIe traffic).
         ccnvme_sim::cpu(SQE_WRITE_CPU);
@@ -179,35 +240,229 @@ impl NvmeDriver {
     }
 }
 
+/// Registers `q` (at `epoch`) with the controller and starts its fetch
+/// worker. Called at driver bring-up and again after a queue drain.
+fn attach_queue(
+    ctrl: &NvmeController,
+    regs: &Arc<ccnvme_pcie::MmioRegion>,
+    hostmem: &Arc<HostMemory>,
+    errctx: &Arc<ErrCtx>,
+    q: &Arc<DrvQueue>,
+    epoch: u64,
+) {
+    let cb_q = Arc::clone(q);
+    let cb_regs = Arc::clone(regs);
+    let cb_hostmem = Arc::clone(hostmem);
+    let cb_ctx = Arc::clone(errctx);
+    ctrl.create_io_queue(QueueParams {
+        qid: q.qid,
+        depth: q.depth,
+        sq: SqBacking::Host(Arc::clone(&q.sqmem)),
+        sqdb: DoorbellLoc::Register { offset: q.sqdb_off },
+        on_complete: Arc::new(move |entry: CompletionEntry| {
+            complete_one(&cb_ctx, &cb_q, &cb_regs, &cb_hostmem, epoch, entry);
+        }),
+    });
+}
+
 fn complete_one(
+    ctx: &ErrCtx,
     q: &Arc<DrvQueue>,
     regs: &Arc<ccnvme_pcie::MmioRegion>,
     hostmem: &Arc<HostMemory>,
+    epoch: u64,
     entry: CompletionEntry,
 ) {
-    let taken = {
+    enum Next {
+        Retry(u32),
+        Done(Inflight),
+        Ignore,
+    }
+    let next = {
         let mut st = q.st.lock();
-        match st.inflight.remove(&entry.cid) {
+        if st.epoch != epoch {
+            // Completion from a drained queue incarnation: its commands
+            // were already aborted; the cid may have been recycled.
+            return;
+        }
+        match st.inflight.get_mut(&entry.cid) {
+            None => Next::Ignore,
             Some(inf) => {
-                st.free_cids.push(entry.cid);
-                Some(inf)
+                if entry.status == Status::Busy && inf.attempts < ctx.policy.max_retries {
+                    // Transient failure within budget: keep the slot and
+                    // resubmit after backoff.
+                    inf.attempts += 1;
+                    inf.last_kick = 0;
+                    Next::Retry(inf.attempts)
+                } else {
+                    let inf = st.inflight.remove(&entry.cid).expect("present");
+                    st.free_cids.push(entry.cid);
+                    Next::Done(inf)
+                }
             }
-            None => None,
         }
     };
-    let Some(inf) = taken else { return };
-    q.cv.notify_all();
-    if inf.token != 0 {
-        hostmem.unregister(inf.token);
-    }
     // Acknowledge the CQE: ring the CQ head doorbell (the second MMIO of
     // the per-request pair in Table 1).
     regs.write(q.cqdb_off, &entry.sq_head.to_le_bytes());
-    let mut bio = inf.bio;
-    bio.complete(match entry.status {
-        Status::Success => BioStatus::Ok,
-        Status::InvalidField => BioStatus::Error,
-    });
+    match next {
+        Next::Ignore => {}
+        Next::Retry(attempt) => {
+            ctx.stats.busy_completions.inc();
+            let due = ccnvme_sim::now() + ctx.policy.backoff(attempt);
+            let _ = ctx.retry_tx.send(RetryReq {
+                q: Arc::clone(q),
+                cid: entry.cid,
+                due,
+            });
+        }
+        Next::Done(inf) => {
+            q.cv.notify_all();
+            if inf.token != 0 {
+                hostmem.unregister(inf.token);
+            }
+            if entry.status == Status::Busy {
+                ctx.stats.busy_completions.inc();
+                ctx.stats.retries_exhausted.inc();
+            }
+            let mapped = map_status(entry.status);
+            if mapped == BioStatus::Media {
+                ctx.stats.media_errors.inc();
+            }
+            let mut bio = inf.bio;
+            bio.complete(mapped);
+        }
+    }
+}
+
+/// Resubmits a backed-off command at the queue tail (same cid, same
+/// payload token, fresh submission timestamp).
+fn resubmit(inner: &DrvInner, q: &Arc<DrvQueue>, cid: u16) {
+    let (cmd, slot, new_tail) = {
+        let mut st = q.st.lock();
+        let now = ccnvme_sim::now();
+        let Some(inf) = st.inflight.get_mut(&cid) else {
+            // Aborted (queue drained) while waiting out the backoff.
+            return;
+        };
+        inf.submitted_at = now;
+        let cmd = inf.cmd.clone();
+        let slot = st.tail;
+        st.tail = (st.tail + 1) % q.depth;
+        (cmd, slot, st.tail)
+    };
+    ccnvme_sim::cpu(SQE_WRITE_CPU);
+    {
+        let mut mem = q.sqmem.lock();
+        let off = slot as usize * 64;
+        mem[off..off + 64].copy_from_slice(&cmd.encode());
+    }
+    inner.errctx.stats.retries.inc();
+    inner.regs.write(q.sqdb_off, &new_tail.to_le_bytes());
+}
+
+/// Daemon: sleeps out retry backoffs and resubmits commands when due.
+fn retry_loop(inner: Arc<DrvInner>, rx: Receiver<RetryReq>) {
+    let mut pending: Vec<RetryReq> = Vec::new();
+    loop {
+        let now = ccnvme_sim::now();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].due <= now {
+                let req = pending.swap_remove(i);
+                resubmit(&inner, &req.q, req.cid);
+            } else {
+                i += 1;
+            }
+        }
+        let msg = match pending.iter().map(|r| r.due).min() {
+            None => match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => return, // Driver dropped.
+            },
+            Some(due) => {
+                let now = ccnvme_sim::now();
+                if due <= now {
+                    continue;
+                }
+                rx.recv_timeout(due - now)
+            }
+        };
+        if let Some(m) = msg {
+            pending.push(m);
+        }
+    }
+}
+
+/// Daemon: ages every in-flight command against the virtual clock.
+/// Stage 1 (`kick_after`): re-ring the SQ doorbell — recovers dropped
+/// doorbell MMIOs. Stage 2 (`timeout`): abort by draining and
+/// re-creating the hardware queue.
+fn watchdog_loop(inner: Arc<DrvInner>) {
+    let period = (inner.errctx.policy.kick_after / 2).max(1_000_000);
+    loop {
+        ccnvme_sim::delay(period);
+        for q in &inner.queues {
+            let now = ccnvme_sim::now();
+            let mut kick = false;
+            let mut reinit = false;
+            {
+                let mut st = q.st.lock();
+                for inf in st.inflight.values_mut() {
+                    let age = now.saturating_sub(inf.submitted_at);
+                    if age >= inner.errctx.policy.timeout {
+                        reinit = true;
+                    } else if age >= inner.errctx.policy.kick_after
+                        && now.saturating_sub(inf.last_kick) >= inner.errctx.policy.kick_after
+                    {
+                        inf.last_kick = now;
+                        kick = true;
+                    }
+                }
+            }
+            if reinit {
+                reinit_queue(&inner, q);
+            } else if kick {
+                inner.errctx.stats.doorbell_kicks.inc();
+                let tail = q.st.lock().tail;
+                inner.regs.write(q.sqdb_off, &tail.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Aborts every command on `q` and re-creates the hardware queue (the
+/// NVMe host's reset escalation, scoped to one queue). Aborted bios
+/// complete with [`BioStatus::Timeout`]; completions still in flight
+/// from the old incarnation are fenced off by the epoch bump.
+fn reinit_queue(inner: &Arc<DrvInner>, q: &Arc<DrvQueue>) {
+    inner.ctrl.delete_io_queue(q.qid);
+    let (aborted, epoch) = {
+        let mut st = q.st.lock();
+        st.epoch += 1;
+        let aborted: Vec<Inflight> = st.inflight.drain().map(|(_, v)| v).collect();
+        st.free_cids = (0..q.depth as u16).collect();
+        st.tail = 0;
+        (aborted, st.epoch)
+    };
+    attach_queue(
+        &inner.ctrl,
+        &inner.regs,
+        &inner.hostmem,
+        &inner.errctx,
+        q,
+        epoch,
+    );
+    inner.errctx.stats.queue_reinits.inc();
+    for inf in aborted {
+        inner.errctx.stats.timeouts.inc();
+        if inf.token != 0 {
+            inner.hostmem.unregister(inf.token);
+        }
+        let mut bio = inf.bio;
+        bio.complete(BioStatus::Timeout);
+    }
+    q.cv.notify_all();
 }
 
 impl BlockDevice for NvmeDriver {
@@ -215,9 +470,11 @@ impl BlockDevice for NvmeDriver {
         ccnvme_sim::cpu(SUBMIT_CPU);
         let q = Arc::clone(self.queue_for_current_core());
         // The classic ordering point: drain the device write cache before
-        // the payload write.
-        if bio.flags.preflush && self.inner.volatile_cache {
-            self.flush_sync(&q);
+        // the payload write. If the drain itself fails, the barrier
+        // cannot be honoured — fail the bio rather than break ordering.
+        if bio.flags.preflush && self.inner.volatile_cache && !self.flush_sync(&q) {
+            bio.complete(BioStatus::Error);
+            return;
         }
         match bio.op {
             BioOp::Flush => {
@@ -348,6 +605,136 @@ mod tests {
                 drv.submit_bio(bio);
             }
             waiter.wait().expect("all ok");
+        });
+        sim.run();
+    }
+
+    fn driver_on_faulty(
+        profile: SsdProfile,
+        host_cores: usize,
+        plan: ccnvme_fault::FaultPlan,
+    ) -> NvmeDriver {
+        let mut cfg = CtrlConfig::new(profile).with_fault(Arc::new(plan.injector()));
+        cfg.device_core = host_cores;
+        NvmeDriver::new(NvmeController::new(cfg), host_cores)
+    }
+
+    /// Submits `bio` and parks until its completion, returning the typed
+    /// status (unlike `submit_and_wait`, which collapses errors).
+    fn submit_and_status(drv: &NvmeDriver, mut bio: Bio) -> BioStatus {
+        let got: Arc<Mutex<Option<BioStatus>>> = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        bio.end_io = Some(Box::new(move |s| *g.lock() = Some(s)));
+        drv.submit_bio(bio);
+        loop {
+            if let Some(s) = *got.lock() {
+                return s;
+            }
+            ccnvme_sim::delay(100_000);
+        }
+    }
+
+    #[test]
+    fn busy_completions_are_retried_transparently() {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+        let mut sim = Sim::new(2);
+        sim.spawn("host", 0, || {
+            let plan = FaultPlan::new(11).rule(FaultRule::new(FaultKind::Busy, Trigger::Nth(1)));
+            let drv = driver_on_faulty(SsdProfile::optane_p5800x(), 1, plan);
+            let status = submit_and_status(&drv, Bio::write(7, buf(7, 1), BioFlags::NONE));
+            assert_eq!(status, BioStatus::Ok);
+            let s = drv.err_stats().snapshot();
+            assert_eq!(s.busy_completions, 1);
+            assert_eq!(s.retries, 1);
+            assert_eq!(s.retries_exhausted, 0);
+            // The retried write really landed.
+            let out = buf(0, 1);
+            submit_and_wait(&drv, Bio::read(7, Arc::clone(&out)));
+            assert_eq!(out.lock()[0], 7);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_busy_to_the_bio() {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+        let mut sim = Sim::new(2);
+        sim.spawn("host", 0, || {
+            // Every write attempt is rejected busy: the budget runs out.
+            let plan = FaultPlan::new(12).rule(FaultRule::new(FaultKind::Busy, Trigger::Always));
+            let drv = driver_on_faulty(SsdProfile::optane_p5800x(), 1, plan);
+            let status = submit_and_status(&drv, Bio::write(1, buf(1, 1), BioFlags::NONE));
+            assert_eq!(status, BioStatus::Busy);
+            let s = drv.err_stats().snapshot();
+            assert_eq!(s.retries, ErrPolicy::default().max_retries as u64);
+            assert_eq!(s.retries_exhausted, 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn stalled_command_is_aborted_and_queue_reinitialized() {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+        let mut sim = Sim::new(2);
+        sim.spawn("host", 0, || {
+            let plan = FaultPlan::new(13).rule(FaultRule::new(FaultKind::Stall, Trigger::Nth(1)));
+            let drv = driver_on_faulty(SsdProfile::optane_p5800x(), 1, plan);
+            let t0 = ccnvme_sim::now();
+            let status = submit_and_status(&drv, Bio::write(3, buf(3, 1), BioFlags::NONE));
+            assert_eq!(status, BioStatus::Timeout);
+            let elapsed = ccnvme_sim::now() - t0;
+            let policy = ErrPolicy::default();
+            assert!(elapsed >= policy.timeout, "aborted too early: {elapsed}");
+            let s = drv.err_stats().snapshot();
+            assert_eq!(s.timeouts, 1);
+            assert_eq!(s.queue_reinits, 1);
+            // The re-created queue serves I/O normally.
+            let status = submit_and_status(&drv, Bio::write(4, buf(4, 1), BioFlags::NONE));
+            assert_eq!(status, BioStatus::Ok);
+            let out = buf(0, 1);
+            submit_and_wait(&drv, Bio::read(4, Arc::clone(&out)));
+            assert_eq!(out.lock()[0], 4);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dropped_doorbell_is_recovered_by_watchdog_kick() {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+        let mut sim = Sim::new(2);
+        sim.spawn("host", 0, || {
+            let plan =
+                FaultPlan::new(14).rule(FaultRule::new(FaultKind::DoorbellDrop, Trigger::Nth(1)));
+            let drv = driver_on_faulty(SsdProfile::optane_p5800x(), 1, plan);
+            let t0 = ccnvme_sim::now();
+            let status = submit_and_status(&drv, Bio::write(9, buf(9, 1), BioFlags::NONE));
+            // Recovered transparently — no error surfaces.
+            assert_eq!(status, BioStatus::Ok);
+            let elapsed = ccnvme_sim::now() - t0;
+            let policy = ErrPolicy::default();
+            assert!(
+                elapsed >= policy.kick_after,
+                "kick cannot precede the deadline"
+            );
+            assert!(elapsed < policy.timeout, "kick should beat the abort path");
+            let s = drv.err_stats().snapshot();
+            assert_eq!(s.doorbell_kicks, 1);
+            assert_eq!(s.timeouts, 0);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn media_error_propagates_as_typed_status() {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+        let mut sim = Sim::new(2);
+        sim.spawn("host", 0, || {
+            let plan =
+                FaultPlan::new(15).rule(FaultRule::new(FaultKind::MediaWrite, Trigger::Nth(1)));
+            let drv = driver_on_faulty(SsdProfile::optane_p5800x(), 1, plan);
+            let status = submit_and_status(&drv, Bio::write(5, buf(5, 1), BioFlags::NONE));
+            assert_eq!(status, BioStatus::Media);
+            assert_eq!(drv.err_stats().snapshot().media_errors, 1);
         });
         sim.run();
     }

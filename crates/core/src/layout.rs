@@ -60,9 +60,41 @@ impl PmrLayout {
         self.ring_off(q) + slot as u64 * SQE_SIZE
     }
 
+    /// End of the P-SQ ring region (start of the abort logs).
+    fn rings_end(&self) -> u64 {
+        self.ring_off(self.nqueues - 1) + self.depth as u64 * SQE_SIZE
+    }
+
+    /// Offset of the abort-log entry count of queue `q`.
+    ///
+    /// The abort log records the transaction IDs of failed or timed-out
+    /// transactions *before* the P-SQ-head advances past them. Recovery
+    /// adds these IDs to the discard set: a failed transaction may have
+    /// left intact, checksummed journal content (e.g. only an
+    /// ordered-data member failed) that must nonetheless never be
+    /// replayed.
+    pub fn abort_count_off(&self, q: u16) -> u64 {
+        assert!(q < self.nqueues);
+        self.rings_end() + q as u64 * (META_LINE + self.depth as u64 * 8)
+    }
+
+    /// Offset of abort-log entry `i` of queue `q`.
+    pub fn abort_entry_off(&self, q: u16, i: u32) -> u64 {
+        assert!(i < self.abort_capacity());
+        self.abort_count_off(q) + META_LINE + i as u64 * 8
+    }
+
+    /// Entries each queue's abort log can hold. One ring's worth of
+    /// slots is a safe upper bound: the file system degrades to
+    /// read-only at the first unrecoverable failure, so only
+    /// transactions already in flight at that point can ever fail.
+    pub fn abort_capacity(&self) -> u32 {
+        self.depth
+    }
+
     /// Total bytes the layout occupies.
     pub fn total_size(&self) -> u64 {
-        self.ring_off(self.nqueues - 1) + self.depth as u64 * SQE_SIZE
+        self.abort_count_off(self.nqueues - 1) + META_LINE + self.depth as u64 * 8
     }
 
     /// Serializes the header (magic + geometry).
@@ -105,6 +137,8 @@ mod tests {
             regions.push((l.head_off(q), 8));
             regions.push((l.db_off(q), 4));
             regions.push((l.ring_off(q), 256 * SQE_SIZE));
+            regions.push((l.abort_count_off(q), 4));
+            regions.push((l.abort_entry_off(q, 0), 8 * l.abort_capacity() as u64));
         }
         regions.sort_unstable();
         for w in regions.windows(2) {

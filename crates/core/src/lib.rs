@@ -26,11 +26,13 @@
 
 pub mod ccdriver;
 pub mod driver;
+pub mod errpolicy;
 pub mod layout;
 pub mod recovery;
 
 pub use ccdriver::CcNvmeDriver;
 pub use driver::NvmeDriver;
+pub use errpolicy::{ErrPolicy, HostErrSnapshot, HostErrStats};
 pub use layout::PmrLayout;
 pub use recovery::{RecoveredRequest, RecoveredTx, RecoveryReport};
 

@@ -50,12 +50,20 @@ pub struct RecoveryReport {
     /// Non-transactional requests found in the windows (informational;
     /// they carry no atomicity promise).
     pub non_tx_requests: Vec<RecoveredRequest>,
+    /// Transactions recorded in the persistent abort logs: they failed
+    /// (device error or host timeout) and the P-SQ-head already advanced
+    /// past them, but their journal content may look intact — it must
+    /// never be replayed.
+    pub aborted: HashSet<u64>,
 }
 
 impl RecoveryReport {
-    /// The set of transaction IDs that must not be trusted as complete.
+    /// The set of transaction IDs that must not be trusted as complete:
+    /// the unfinished window of §4.4 plus the explicitly aborted ones.
     pub fn unfinished_tx_ids(&self) -> HashSet<u64> {
-        self.unfinished.iter().map(|t| t.tx_id).collect()
+        let mut ids: HashSet<u64> = self.unfinished.iter().map(|t| t.tx_id).collect();
+        ids.extend(self.aborted.iter().copied());
+        ids
     }
 }
 
@@ -111,6 +119,16 @@ pub fn scan_pmr(pmr: &MmioRegion) -> Option<RecoveryReport> {
         }
         if let Some(t) = open.take() {
             report.unfinished.push(t);
+        }
+        // The queue's abort log: failed transactions the head already
+        // advanced past.
+        let cnt_bytes = pmr.read(layout.abort_count_off(q), 4);
+        let cnt =
+            u32::from_le_bytes(cnt_bytes.try_into().expect("4 bytes")).min(layout.abort_capacity());
+        for i in 0..cnt {
+            let id_bytes = pmr.read(layout.abort_entry_off(q, i), 8);
+            let id = u64::from_le_bytes(id_bytes.try_into().expect("8 bytes"));
+            report.aborted.insert(id);
         }
     }
     Some(report)

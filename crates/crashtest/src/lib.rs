@@ -19,6 +19,7 @@
 //!    confirms every guarantee whose persistence point completed before
 //!    the snapshot instant.
 
+pub mod faults;
 pub mod stack;
 pub mod workloads;
 
@@ -29,6 +30,7 @@ use ccnvme_ssd::{CrashMode, DurableImage};
 use mqfs::FileSystem;
 use parking_lot::Mutex;
 
+pub use faults::{run_fault_campaign, FaultCampaignConfig, FaultKindReport};
 pub use stack::{Stack, StackConfig};
 pub use workloads::table4_workloads;
 
@@ -107,6 +109,10 @@ pub struct CrashTestConfig {
     pub seed: u64,
 }
 
+/// One captured crash point: virtual time, durable image, and the set
+/// of persistence marks recorded when it was taken.
+type CrashSnapshot = (Ns, DurableImage, HashSet<u64>);
+
 /// Runs the campaign: one instrumented execution producing
 /// `crash_points` snapshots, each recovered and verified in isolation.
 pub fn run_crash_campaign(w: Arc<dyn CrashWorkload>, cfg: &CrashTestConfig) -> CrashReport {
@@ -130,8 +136,7 @@ pub fn run_crash_campaign(w: Arc<dyn CrashWorkload>, cfg: &CrashTestConfig) -> C
     };
     // Pass 2: same run, with snapshots spread over (0, duration].
     let n = cfg.crash_points;
-    let snapshots: Arc<Mutex<Vec<(Ns, DurableImage, HashSet<u64>)>>> =
-        Arc::new(Mutex::new(Vec::with_capacity(n)));
+    let snapshots: Arc<Mutex<Vec<CrashSnapshot>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
     {
         let scfg = cfg.stack.clone();
         let seed = cfg.seed;

@@ -3,8 +3,9 @@
 
 use std::{collections::HashSet, sync::Arc};
 
-use ccnvme::{CcNvmeDriver, NvmeDriver};
+use ccnvme::{CcNvmeDriver, HostErrSnapshot, NvmeDriver};
 use ccnvme_block::BlockDevice;
+use ccnvme_fault::{FaultInjector, FaultPlan, FaultSnapshot};
 use ccnvme_ssd::{CrashMode, CtrlConfig, DurableImage, NvmeController, SsdProfile};
 use mqfs::{FileSystem, FsConfig, FsError, FsVariant};
 
@@ -14,6 +15,7 @@ pub struct Stack {
     pub dev: Arc<dyn BlockDevice>,
     cc: Option<Arc<CcNvmeDriver>>,
     nv: Option<Arc<NvmeDriver>>,
+    fault: Option<Arc<FaultInjector>>,
 }
 
 /// Everything needed to build (and rebuild) a stack deterministically.
@@ -35,6 +37,10 @@ pub struct StackConfig {
     pub irq_coalesce_tx: bool,
     /// Data journaling instead of ordered metadata journaling (§5.2).
     pub data_journaling: bool,
+    /// Deterministic fault plan injected into the device (none = healthy
+    /// hardware). A fresh injector is built per stack, so `Nth` counters
+    /// restart with each `format`/`recover`.
+    pub fault: Option<FaultPlan>,
 }
 
 impl StackConfig {
@@ -48,6 +54,7 @@ impl StackConfig {
             journal_blocks: 4_096,
             irq_coalesce_tx: false,
             data_journaling: false,
+            fault: None,
         }
     }
 
@@ -71,16 +78,21 @@ impl StackConfig {
         }
     }
 
-    fn ctrl_config(&self) -> CtrlConfig {
+    fn ctrl_config(&self, injector: Option<&Arc<FaultInjector>>) -> CtrlConfig {
         let mut c = CtrlConfig::new(self.profile.clone());
         c.device_core = self.cores;
         c.irq_coalesce_tx = self.irq_coalesce_tx;
+        c.fault = injector.map(Arc::clone);
         c
     }
 }
 
 impl Stack {
-    fn from_ctrl(cfg: &StackConfig, ctrl: NvmeController) -> (Stack, HashSet<u64>) {
+    fn from_ctrl(
+        cfg: &StackConfig,
+        ctrl: NvmeController,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> (Stack, HashSet<u64>) {
         if cfg.uses_ccnvme() {
             // One hardware queue per simulated core (including the
             // journald and device cores) so in-order transaction
@@ -93,6 +105,7 @@ impl Stack {
                     dev: Arc::clone(&drv) as Arc<dyn BlockDevice>,
                     cc: Some(drv),
                     nv: None,
+                    fault,
                 },
                 report.unfinished_tx_ids(),
             )
@@ -103,6 +116,7 @@ impl Stack {
                     dev: Arc::clone(&drv) as Arc<dyn BlockDevice>,
                     cc: None,
                     nv: Some(drv),
+                    fault,
                 },
                 HashSet::new(),
             )
@@ -111,7 +125,9 @@ impl Stack {
 
     /// Builds a fresh stack and formats a file system on it.
     pub fn format(cfg: &StackConfig) -> (Stack, Arc<FileSystem>) {
-        let (stack, _discard) = Self::from_ctrl(cfg, NvmeController::new(cfg.ctrl_config()));
+        let inj = cfg.fault.clone().map(|p| Arc::new(p.injector()));
+        let ctrl = NvmeController::new(cfg.ctrl_config(inj.as_ref()));
+        let (stack, _discard) = Self::from_ctrl(cfg, ctrl, inj);
         let fs = FileSystem::format(Arc::clone(&stack.dev), cfg.fs_config());
         (stack, fs)
     }
@@ -121,8 +137,9 @@ impl Stack {
         cfg: &StackConfig,
         image: &DurableImage,
     ) -> Result<(Stack, Arc<FileSystem>), FsError> {
-        let ctrl = NvmeController::from_image(cfg.ctrl_config(), image);
-        let (stack, discard) = Self::from_ctrl(cfg, ctrl);
+        let inj = cfg.fault.clone().map(|p| Arc::new(p.injector()));
+        let ctrl = NvmeController::from_image(cfg.ctrl_config(inj.as_ref()), image);
+        let (stack, discard) = Self::from_ctrl(cfg, ctrl, inj);
         let fs = FileSystem::mount(Arc::clone(&stack.dev), cfg.fs_config(), &discard)?;
         Ok((stack, fs))
     }
@@ -134,6 +151,25 @@ impl Stack {
             (_, Some(d)) => d.controller(),
             _ => unreachable!("stack always has a driver"),
         }
+    }
+
+    /// Host-side error/retry counters (both driver flavours expose the
+    /// same snapshot type).
+    pub fn err_stats(&self) -> HostErrSnapshot {
+        match (&self.cc, &self.nv) {
+            (Some(d), _) => d.err_stats(),
+            (_, Some(d)) => d.err_stats().snapshot(),
+            _ => unreachable!("stack always has a driver"),
+        }
+    }
+
+    /// Device-side fault-injection counters (zero snapshot when the
+    /// stack runs without a fault plan).
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.fault
+            .as_ref()
+            .map(|i| i.counters().snapshot())
+            .unwrap_or_default()
     }
 
     /// Non-destructive crash snapshot at the current instant.

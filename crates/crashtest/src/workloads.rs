@@ -178,10 +178,11 @@ impl CrashWorkload for Generic035 {
             if exists(fs, "/g35/dtgt").is_none() {
                 problems.push("dtgt: persisted dir rename lost target".into());
             }
-        } else if persisted.contains(&1_000) && !persisted.contains(&1_001) {
-            if exists(fs, "/g35/dsrc").is_none() || exists(fs, "/g35/dtgt").is_none() {
-                problems.push("dir pair: fsynced mkdir lost".into());
-            }
+        } else if persisted.contains(&1_000)
+            && !persisted.contains(&1_001)
+            && (exists(fs, "/g35/dsrc").is_none() || exists(fs, "/g35/dtgt").is_none())
+        {
+            problems.push("dir pair: fsynced mkdir lost".into());
         }
         problems
     }
@@ -320,26 +321,24 @@ impl CrashWorkload for Generic321 {
 
     fn verify(&self, fs: &Arc<FileSystem>, persisted: &HashSet<u64>) -> Vec<String> {
         let mut problems = Vec::new();
-        let foo = exists(fs, "/g321/a/foo");
+        let src_foo = exists(fs, "/g321/a/foo");
         let bar = exists(fs, "/g321/b/bar");
         if persisted.contains(&3) {
-            if foo.is_some() {
+            if src_foo.is_some() {
                 problems.push("a/foo: persisted rename left source entry".into());
             }
             if bar.is_none() {
                 problems.push("b/bar: persisted rename lost target".into());
             }
-        } else if persisted.contains(&0) && !persisted.contains(&2) {
-            if foo.is_none() {
-                problems.push("a/foo: entry persisted by fsync(a) lost".into());
-            }
+        } else if persisted.contains(&0) && !persisted.contains(&2) && src_foo.is_none() {
+            problems.push("a/foo: entry persisted by fsync(a) lost".into());
         }
         if persisted.contains(&1) && exists(fs, "/g321/b").is_none() {
             problems.push("b: persisted mkdir lost".into());
         }
         if persisted.contains(&3) || persisted.contains(&0) {
             // The file inode must exist under exactly one name.
-            if foo.is_some() && bar.is_some() {
+            if src_foo.is_some() && bar.is_some() {
                 problems.push("foo and bar both present".into());
             }
         }

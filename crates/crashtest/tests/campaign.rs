@@ -1,7 +1,6 @@
 //! Crash-campaign smoke tests (the full Table 4 run lives in the bench
 //! crate; here we run fewer crash points per workload).
 
-
 use ccnvme_crashtest::{run_crash_campaign, table4_workloads, CrashTestConfig, StackConfig};
 use ccnvme_ssd::SsdProfile;
 use mqfs::FsVariant;

@@ -1,0 +1,107 @@
+//! Fault-campaign acceptance tests: deterministic device-error
+//! schedules against the MQFS stack, with recovery verified after every
+//! schedule.
+
+use ccnvme_crashtest::{run_fault_campaign, FaultCampaignConfig, StackConfig};
+use ccnvme_fault::FaultKind;
+use ccnvme_ssd::SsdProfile;
+use mqfs::FsVariant;
+
+fn campaign_cfg(schedules: usize, seed: u64) -> FaultCampaignConfig {
+    // A small journal and ring keep each schedule's simulation cheap
+    // without changing any code path under test.
+    let mut stack = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 2);
+    stack.journal_blocks = 512;
+    stack.queue_depth = 64;
+    FaultCampaignConfig {
+        stack,
+        schedules,
+        seed,
+    }
+}
+
+/// The full campaign: five fault kinds, 100 deterministic schedules
+/// each, every schedule followed by a crash + recovery check.
+#[test]
+fn mqfs_fault_campaign_100_schedules_per_kind() {
+    let kinds = [
+        FaultKind::Busy,
+        FaultKind::DoorbellDrop,
+        FaultKind::MediaWrite,
+        FaultKind::TornDma,
+        FaultKind::Stall,
+    ];
+    let cfg = campaign_cfg(100, 0xfau64 << 32 | 0x17);
+    for rep in run_fault_campaign(&kinds, &cfg) {
+        assert!(
+            rep.failures.is_empty(),
+            "{:?}: {:#?}",
+            rep.kind,
+            rep.failures
+        );
+        // The windows span the script's transaction traffic, so most
+        // schedules must actually inject.
+        assert!(
+            rep.fired >= rep.schedules / 2,
+            "{:?}: only {}/{} schedules fired",
+            rep.kind,
+            rep.fired,
+            rep.schedules
+        );
+        match rep.kind {
+            // Transient kinds: absorbed, never degrading.
+            FaultKind::Busy => {
+                assert_eq!(rep.degraded, 0);
+                assert!(rep.retries >= rep.fired as u64);
+            }
+            FaultKind::DoorbellDrop => {
+                assert_eq!(rep.degraded, 0);
+                assert_eq!(rep.timeouts, 0);
+                assert!(rep.kicks >= 1);
+            }
+            // Unrecoverable kinds: every firing schedule degrades.
+            FaultKind::MediaWrite | FaultKind::TornDma => {
+                assert_eq!(rep.degraded, rep.fired);
+            }
+            FaultKind::Stall => {
+                assert_eq!(rep.degraded, rep.fired);
+                assert!(rep.timeouts >= rep.fired as u64);
+            }
+            FaultKind::MediaRead => unreachable!(),
+        }
+    }
+}
+
+/// The baseline-driver stack (Ext4 on plain NVMe with queue re-creation
+/// on timeout) honours the same contract.
+#[test]
+fn ext4_baseline_driver_small_fault_campaign() {
+    let kinds = [FaultKind::Busy, FaultKind::MediaWrite, FaultKind::Stall];
+    let mut stack = StackConfig::new(FsVariant::Ext4, SsdProfile::optane_905p(), 2);
+    stack.journal_blocks = 512;
+    stack.queue_depth = 64;
+    let cfg = FaultCampaignConfig {
+        stack,
+        schedules: 20,
+        seed: 77,
+    };
+    for rep in run_fault_campaign(&kinds, &cfg) {
+        assert!(
+            rep.failures.is_empty(),
+            "{:?}: {:#?}",
+            rep.kind,
+            rep.failures
+        );
+    }
+}
+
+/// Same seed, same outcomes — schedules are fully deterministic.
+#[test]
+fn fault_campaign_is_deterministic() {
+    let kinds = [FaultKind::MediaWrite];
+    let r1 = run_fault_campaign(&kinds, &campaign_cfg(10, 5));
+    let r2 = run_fault_campaign(&kinds, &campaign_cfg(10, 5));
+    assert_eq!(r1[0].fired, r2[0].fired);
+    assert_eq!(r1[0].degraded, r2[0].degraded);
+    assert_eq!(r1[0].failures, r2[0].failures);
+}

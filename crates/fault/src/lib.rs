@@ -1,0 +1,577 @@
+//! Deterministic fault injection for the simulated NVMe stack.
+//!
+//! Real NVMe deployments see media errors, dropped DMAs and stalled
+//! controllers; the paper's crash-consistency contract (§4) is only
+//! meaningful if it survives those too, not just power loss. This crate
+//! defines *what* goes wrong and *when*: a [`FaultPlan`] is a list of
+//! [`FaultRule`]s, each pairing a [`FaultKind`] with a [`Trigger`]. The
+//! SSD controller consults a [`FaultInjector`] (the plan plus running
+//! per-rule state) at its decision points — command execution and
+//! doorbell arrival — and acts on the first matching rule.
+//!
+//! Everything is deterministic: probability triggers draw from a
+//! [`DetRng`] derived from the plan seed and the rule index, so a
+//! `(plan, workload)` pair replays the exact same fault schedule on
+//! every run. Injection counts ride [`Counter`]s following the PCIe
+//! traffic-counter pattern, so benches and campaigns can report
+//! error-path overhead.
+
+use ccnvme_sim::{Counter, DetRng, Ns};
+use parking_lot::Mutex;
+
+/// What goes wrong when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A read command fails with an unrecoverable media status; the data
+    /// buffer is left untouched.
+    MediaRead,
+    /// A write command fails with a media status; no blocks are applied.
+    MediaWrite,
+    /// A write's DMA is torn: only a prefix of its blocks reaches the
+    /// device before it fails with a media status.
+    TornDma,
+    /// The controller accepts the command but never posts a completion
+    /// (a command stall; the host's timeout path must recover).
+    Stall,
+    /// A doorbell MMIO write is dropped: the queue never learns about
+    /// the new tail until the host rings again.
+    DoorbellDrop,
+    /// The command completes with a transient busy status; a retry is
+    /// expected to succeed.
+    Busy,
+}
+
+impl FaultKind {
+    /// Whether the host is expected to recover transparently (retry or
+    /// re-ring) rather than fail the request.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultKind::Busy | FaultKind::DoorbellDrop)
+    }
+
+    /// All kinds, for campaign iteration.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::MediaRead,
+        FaultKind::MediaWrite,
+        FaultKind::TornDma,
+        FaultKind::Stall,
+        FaultKind::DoorbellDrop,
+        FaultKind::Busy,
+    ];
+}
+
+/// When a rule fires, evaluated against each matching operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fires on the `n`-th matching operation (1-based), once.
+    Nth(u64),
+    /// Fires on every matching operation touching `[start, end)` LBAs.
+    LbaRange {
+        /// First affected LBA.
+        start: u64,
+        /// One past the last affected LBA.
+        end: u64,
+    },
+    /// Fires on each matching operation independently with probability
+    /// `p`, drawn from the rule's deterministic stream.
+    Probability(f64),
+    /// Fires on every matching operation inside a virtual-time window.
+    TimeWindow {
+        /// Window start (inclusive), ns of virtual time.
+        from: Ns,
+        /// Window end (exclusive).
+        until: Ns,
+    },
+    /// Fires on every matching operation.
+    Always,
+}
+
+/// The operation classes a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMask {
+    /// Read commands.
+    pub reads: bool,
+    /// Write commands.
+    pub writes: bool,
+    /// Flush commands.
+    pub flushes: bool,
+    /// Doorbell MMIO writes (only meaningful for
+    /// [`FaultKind::DoorbellDrop`]).
+    pub doorbells: bool,
+}
+
+impl OpMask {
+    /// Every command class (doorbells included).
+    pub const ANY: OpMask = OpMask {
+        reads: true,
+        writes: true,
+        flushes: true,
+        doorbells: true,
+    };
+
+    /// Write commands only.
+    pub const WRITES: OpMask = OpMask {
+        reads: false,
+        writes: true,
+        flushes: false,
+        doorbells: false,
+    };
+
+    /// Read commands only.
+    pub const READS: OpMask = OpMask {
+        reads: true,
+        writes: false,
+        flushes: false,
+        doorbells: false,
+    };
+
+    /// Doorbell writes only.
+    pub const DOORBELLS: OpMask = OpMask {
+        reads: false,
+        writes: false,
+        flushes: false,
+        doorbells: true,
+    };
+
+    fn matches(&self, op: OpClass) -> bool {
+        match op {
+            OpClass::Read => self.reads,
+            OpClass::Write => self.writes,
+            OpClass::Flush => self.flushes,
+            OpClass::Doorbell => self.doorbells,
+        }
+    }
+}
+
+/// Class of the operation being evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A read command.
+    Read,
+    /// A write command.
+    Write,
+    /// A flush command.
+    Flush,
+    /// A doorbell MMIO write.
+    Doorbell,
+}
+
+/// One operation presented to the injector.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultOp {
+    /// Operation class.
+    pub class: OpClass,
+    /// First LBA (0 for flushes and doorbells).
+    pub lba: u64,
+    /// Block count (0 for flushes and doorbells).
+    pub nblocks: u16,
+    /// Queue the operation arrived on.
+    pub qid: u16,
+    /// Current virtual time.
+    pub now: Ns,
+}
+
+/// One fault rule: a kind, a trigger, the operations it applies to and
+/// an optional injection budget.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// What happens.
+    pub kind: FaultKind,
+    /// When it happens.
+    pub trigger: Trigger,
+    /// Which operations are eligible.
+    pub ops: OpMask,
+    /// Stop firing after this many injections (`None` = unlimited).
+    pub max_hits: Option<u64>,
+}
+
+impl FaultRule {
+    /// A rule over every eligible operation class for `kind` (doorbell
+    /// faults restrict themselves to doorbells, media faults to their
+    /// direction, stalls and busy to reads+writes).
+    pub fn new(kind: FaultKind, trigger: Trigger) -> Self {
+        let ops = match kind {
+            FaultKind::MediaRead => OpMask::READS,
+            FaultKind::MediaWrite | FaultKind::TornDma => OpMask::WRITES,
+            FaultKind::DoorbellDrop => OpMask::DOORBELLS,
+            FaultKind::Stall | FaultKind::Busy => OpMask {
+                reads: true,
+                writes: true,
+                flushes: true,
+                doorbells: false,
+            },
+        };
+        FaultRule {
+            kind,
+            trigger,
+            ops,
+            max_hits: None,
+        }
+    }
+
+    /// Caps the number of injections (builder style).
+    pub fn max_hits(mut self, n: u64) -> Self {
+        self.max_hits = Some(n);
+        self
+    }
+
+    /// Restricts the eligible operation classes (builder style).
+    pub fn ops(mut self, ops: OpMask) -> Self {
+        self.ops = ops;
+        self
+    }
+}
+
+/// A complete, seedable fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the deterministic probability streams.
+    pub seed: u64,
+    /// Rules, evaluated in order; the first firing rule wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Builds the runtime injector for this plan.
+    pub fn injector(self) -> FaultInjector {
+        FaultInjector::new(self)
+    }
+}
+
+/// Injection decision returned to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// The fault to apply.
+    pub kind: FaultKind,
+    /// For [`FaultKind::TornDma`]: how many leading blocks still land
+    /// (strictly fewer than the command's block count).
+    pub torn_blocks: u16,
+}
+
+/// Per-kind injection counters (the `pcie` traffic-counter pattern).
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Injected unrecoverable read errors.
+    pub media_read: Counter,
+    /// Injected unrecoverable write errors.
+    pub media_write: Counter,
+    /// Injected torn DMAs.
+    pub torn_dma: Counter,
+    /// Commands whose completion was withheld.
+    pub stalls: Counter,
+    /// Dropped doorbell writes.
+    pub doorbell_drops: Counter,
+    /// Injected transient busy completions.
+    pub busy: Counter,
+}
+
+impl FaultCounters {
+    /// Takes a point-in-time snapshot.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            media_read: self.media_read.get(),
+            media_write: self.media_write.get(),
+            torn_dma: self.torn_dma.get(),
+            stalls: self.stalls.get(),
+            doorbell_drops: self.doorbell_drops.get(),
+            busy: self.busy.get(),
+        }
+    }
+
+    fn count(&self, kind: FaultKind) {
+        match kind {
+            FaultKind::MediaRead => self.media_read.inc(),
+            FaultKind::MediaWrite => self.media_write.inc(),
+            FaultKind::TornDma => self.torn_dma.inc(),
+            FaultKind::Stall => self.stalls.inc(),
+            FaultKind::DoorbellDrop => self.doorbell_drops.inc(),
+            FaultKind::Busy => self.busy.inc(),
+        }
+    }
+}
+
+/// Immutable snapshot of [`FaultCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// See [`FaultCounters::media_read`].
+    pub media_read: u64,
+    /// See [`FaultCounters::media_write`].
+    pub media_write: u64,
+    /// See [`FaultCounters::torn_dma`].
+    pub torn_dma: u64,
+    /// See [`FaultCounters::stalls`].
+    pub stalls: u64,
+    /// See [`FaultCounters::doorbell_drops`].
+    pub doorbell_drops: u64,
+    /// See [`FaultCounters::busy`].
+    pub busy: u64,
+}
+
+impl FaultSnapshot {
+    /// Total injections of any kind.
+    pub fn total(&self) -> u64 {
+        self.media_read
+            + self.media_write
+            + self.torn_dma
+            + self.stalls
+            + self.doorbell_drops
+            + self.busy
+    }
+}
+
+struct RuleState {
+    /// Matching operations seen so far (drives [`Trigger::Nth`]).
+    seen: u64,
+    /// Injections fired so far (drives `max_hits`).
+    hits: u64,
+    /// Deterministic stream for [`Trigger::Probability`] and torn sizes.
+    rng: DetRng,
+}
+
+/// The runtime evaluator of a [`FaultPlan`]: thread-safe, deterministic,
+/// shared between the device and the harness via `Arc`.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<Vec<RuleState>>,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Builds the injector, deriving one RNG stream per rule.
+    pub fn new(plan: FaultPlan) -> Self {
+        let state = plan
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, _)| RuleState {
+                seen: 0,
+                hits: 0,
+                rng: DetRng::derive(plan.seed, i as u64),
+            })
+            .collect();
+        FaultInjector {
+            plan,
+            state: Mutex::new(state),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Evaluates `op` against the plan. Returns the first firing rule's
+    /// injection, or `None` when the operation proceeds normally.
+    pub fn decide(&self, op: &FaultOp) -> Option<Injection> {
+        let mut state = self.state.lock();
+        for (rule, st) in self.plan.rules.iter().zip(state.iter_mut()) {
+            if !rule.ops.matches(op.class) {
+                continue;
+            }
+            if let Some(max) = rule.max_hits {
+                if st.hits >= max {
+                    continue;
+                }
+            }
+            st.seen += 1;
+            let fires = match rule.trigger {
+                Trigger::Nth(n) => st.seen == n,
+                Trigger::LbaRange { start, end } => {
+                    let op_end = op.lba + op.nblocks.max(1) as u64;
+                    op.lba < end && op_end > start && op.class != OpClass::Doorbell
+                }
+                Trigger::Probability(p) => st.rng.chance(p),
+                Trigger::TimeWindow { from, until } => op.now >= from && op.now < until,
+                Trigger::Always => true,
+            };
+            if !fires {
+                continue;
+            }
+            st.hits += 1;
+            let torn_blocks = if rule.kind == FaultKind::TornDma && op.nblocks > 0 {
+                (st.rng.below(op.nblocks as u64)) as u16
+            } else {
+                0
+            };
+            self.counters.count(rule.kind);
+            return Some(Injection {
+                kind: rule.kind,
+                torn_blocks,
+            });
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_op(lba: u64, n: u16) -> FaultOp {
+        FaultOp {
+            class: OpClass::Write,
+            lba,
+            nblocks: n,
+            qid: 1,
+            now: 0,
+        }
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let inj = FaultPlan::new(1)
+            .rule(FaultRule::new(FaultKind::MediaWrite, Trigger::Nth(3)))
+            .injector();
+        let hits: Vec<bool> = (0..6)
+            .map(|i| inj.decide(&write_op(i, 1)).is_some())
+            .collect();
+        assert_eq!(hits, vec![false, false, true, false, false, false]);
+        assert_eq!(inj.counters().snapshot().media_write, 1);
+    }
+
+    #[test]
+    fn lba_range_hits_overlapping_commands_only() {
+        let inj = FaultPlan::new(1)
+            .rule(FaultRule::new(
+                FaultKind::MediaRead,
+                Trigger::LbaRange { start: 10, end: 20 },
+            ))
+            .injector();
+        let read = |lba, n| FaultOp {
+            class: OpClass::Read,
+            lba,
+            nblocks: n,
+            qid: 1,
+            now: 0,
+        };
+        assert!(inj.decide(&read(9, 1)).is_none());
+        assert!(inj.decide(&read(9, 2)).is_some()); // Overlaps block 10.
+        assert!(inj.decide(&read(19, 1)).is_some());
+        assert!(inj.decide(&read(20, 4)).is_none());
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic() {
+        let run = || {
+            let inj = FaultPlan::new(77)
+                .rule(FaultRule::new(FaultKind::Busy, Trigger::Probability(0.3)))
+                .injector();
+            (0..64)
+                .map(|i| inj.decide(&write_op(i, 1)).is_some())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|&b| b), "0.3 over 64 ops should fire");
+        assert!(!a.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn time_window_gates_by_virtual_time() {
+        let inj = FaultPlan::new(1)
+            .rule(FaultRule::new(
+                FaultKind::Stall,
+                Trigger::TimeWindow {
+                    from: 100,
+                    until: 200,
+                },
+            ))
+            .injector();
+        let at = |now| FaultOp {
+            class: OpClass::Write,
+            lba: 0,
+            nblocks: 1,
+            qid: 1,
+            now,
+        };
+        assert!(inj.decide(&at(99)).is_none());
+        assert!(inj.decide(&at(100)).is_some());
+        assert!(inj.decide(&at(199)).is_some());
+        assert!(inj.decide(&at(200)).is_none());
+    }
+
+    #[test]
+    fn max_hits_caps_injections() {
+        let inj = FaultPlan::new(1)
+            .rule(FaultRule::new(FaultKind::Busy, Trigger::Always).max_hits(2))
+            .injector();
+        let fired = (0..10)
+            .filter(|&i| inj.decide(&write_op(i, 1)).is_some())
+            .count();
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn torn_dma_keeps_a_strict_prefix() {
+        let inj = FaultPlan::new(5)
+            .rule(FaultRule::new(FaultKind::TornDma, Trigger::Always))
+            .injector();
+        for i in 0..32 {
+            let inj_result = inj.decide(&write_op(i, 8)).expect("always fires");
+            assert!(inj_result.torn_blocks < 8);
+        }
+    }
+
+    #[test]
+    fn doorbell_rules_only_match_doorbells() {
+        let inj = FaultPlan::new(1)
+            .rule(FaultRule::new(FaultKind::DoorbellDrop, Trigger::Always))
+            .injector();
+        assert!(inj.decide(&write_op(0, 1)).is_none());
+        let db = FaultOp {
+            class: OpClass::Doorbell,
+            lba: 0,
+            nblocks: 0,
+            qid: 1,
+            now: 0,
+        };
+        assert_eq!(
+            inj.decide(&db).map(|i| i.kind),
+            Some(FaultKind::DoorbellDrop)
+        );
+        assert_eq!(inj.counters().snapshot().doorbell_drops, 1);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let inj = FaultPlan::new(1)
+            .rule(FaultRule::new(FaultKind::Busy, Trigger::Nth(1)))
+            .rule(FaultRule::new(FaultKind::MediaWrite, Trigger::Always))
+            .injector();
+        assert_eq!(
+            inj.decide(&write_op(0, 1)).map(|i| i.kind),
+            Some(FaultKind::Busy)
+        );
+        assert_eq!(
+            inj.decide(&write_op(1, 1)).map(|i| i.kind),
+            Some(FaultKind::MediaWrite)
+        );
+    }
+}

@@ -18,20 +18,29 @@
 use std::{
     collections::{HashMap, HashSet},
     sync::{
-        atomic::{AtomicU64, Ordering},
+        atomic::{AtomicBool, AtomicU64, Ordering},
         Arc,
     },
 };
 
-use ccnvme_block::{Bio, BioBuf, BioFlags, BioWaiter};
+use ccnvme_block::{Bio, BioBuf, BioFlags, BioStatus, BioWaiter};
 use ccnvme_sim::{Ns, SimCondvar, SimMutex};
 
 use crate::{
     area::{AreaRing, AreaSpec},
     format::{self, JdBlock, JdEntry},
     recover::{recover_areas, RecoverMode, RecoveredUpdate},
-    Dev, Durability, Journal, ReuseAction, TxDescriptor,
+    CommitError, Dev, Durability, Journal, ReuseAction, TxDescriptor,
 };
+
+/// Blocks on the waiter; maps a failed set to its first typed status.
+fn wait_ok(w: &BioWaiter) -> Result<(), BioStatus> {
+    if w.wait().is_err() {
+        Err(w.first_error().unwrap_or(BioStatus::Error))
+    } else {
+        Ok(())
+    }
+}
 
 /// How the commit thread seals a compound transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +63,13 @@ const CTX_SWITCH: Ns = 1_300;
 /// CPU cost of preparing one compound commit (list management, tags).
 const COMMIT_PREP_CPU: Ns = 1_500;
 
+struct TicketSt {
+    done: bool,
+    err: Option<BioStatus>,
+}
+
 struct Ticket {
-    st: SimMutex<bool>,
+    st: SimMutex<TicketSt>,
     cv: SimCondvar,
 }
 
@@ -91,6 +105,9 @@ struct ClassicInner {
     /// Home LBAs whose stale journal copies must be revoked in the next
     /// compound commit.
     revokes: SimMutex<Vec<u64>>,
+    /// Set after an unrecoverable commit- or checkpoint-path error;
+    /// further commits are refused.
+    aborted: AtomicBool,
 }
 
 /// The classic (JBD2-style) journal engine; `horae: true` removes the
@@ -124,6 +141,7 @@ impl ClassicJournal {
             q_cv: SimCondvar::new(),
             pending: SimMutex::new(HashMap::new()),
             revokes: SimMutex::new(Vec::new()),
+            aborted: AtomicBool::new(false),
         });
         let worker = Arc::clone(&inner);
         let name = match style {
@@ -159,16 +177,20 @@ fn commit_thread(inner: Arc<ClassicInner>) {
         // §3 attributes to the separate journaling thread).
         ccnvme_sim::cpu(CTX_SWITCH + COMMIT_PREP_CPU);
         let mut batch = batch;
-        commit_compound(&inner, &mut batch);
+        let res = commit_compound(&inner, &mut batch);
+        if res.is_err() {
+            inner.aborted.store(true, Ordering::SeqCst);
+        }
         // Safety net: thaw anything the compound path did not.
         for p in batch.iter_mut() {
             p.tx.run_unpin();
         }
         let batch = batch;
         for p in &batch {
-            let mut done = p.ticket.st.lock();
-            *done = true;
-            drop(done);
+            let mut st = p.ticket.st.lock();
+            st.done = true;
+            st.err = res.err();
+            drop(st);
             p.ticket.cv.notify_all();
         }
     }
@@ -182,7 +204,7 @@ fn unpin_batch(batch: &mut [PendingTx]) {
 }
 
 /// Runs the compound-commit protocol for a batch of transactions.
-fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
+fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) -> Result<(), BioStatus> {
     // Merge: one copy per home block (the last writer wins), compound
     // revoke list, highest tx id stamps the compound.
     let mut merged: HashMap<u64, crate::TxBlock> = HashMap::new();
@@ -205,7 +227,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
     }
     revokes.truncate(format::MAX_REVOKES);
     if merged.is_empty() && revokes.is_empty() {
-        return;
+        return Ok(());
     }
     // Compounds larger than one descriptor (or than the hardware queue,
     // for the ccNVMe commit style) are split into chained chunks sharing
@@ -232,7 +254,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
                 &chunk_order,
                 &chunk_batch,
                 chunk_revokes,
-            );
+            )?;
         }
         inner.max_committed.fetch_max(compound_id, Ordering::SeqCst);
         unpin_batch(batch);
@@ -245,7 +267,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
                 },
             );
         }
-        return;
+        return Ok(());
     }
     // Journal space: JD + blocks (+ commit record for the classic styles).
     let need = order.len() as u64
@@ -257,7 +279,12 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
     let lbas = loop {
         match inner.ring.alloc(need) {
             Some(l) => break l,
-            None => checkpoint_now(inner),
+            None => {
+                checkpoint_now(inner);
+                if inner.aborted.load(Ordering::SeqCst) {
+                    return Err(BioStatus::Error);
+                }
+            }
         }
     };
     let (jd_lba, block_lbas): (u64, &[u64]) = if inner.style == CommitStyle::CcTx {
@@ -302,7 +329,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
                 Bio::write(jd_lba, jd_buf, BioFlags::TX_COMMIT).with_tx_id(compound_id);
             waiter.attach(&mut jd_bio);
             inner.dev.submit_bio(jd_bio);
-            let _ = waiter.wait();
+            wait_ok(&waiter)?;
             unpin_batch(batch);
         }
         CommitStyle::Horae | CommitStyle::Classic => {
@@ -334,7 +361,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
                 );
                 waiter.attach(&mut commit_bio);
                 inner.dev.submit_bio(commit_bio);
-                let _ = waiter.wait();
+                wait_ok(&waiter)?;
                 unpin_batch(batch);
                 // Durability (not ordering): one trailing cache drain so
                 // the journal blocks are stable before fsync returns.
@@ -344,7 +371,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
                     let mut flush = Bio::flush();
                     fw.attach(&mut flush);
                     inner.dev.submit_bio(flush);
-                    let _ = fw.wait();
+                    wait_ok(&fw)?;
                 }
             } else {
                 // Classic: wait for the journal blocks, then FLUSH + FUA
@@ -352,13 +379,13 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
                 // pages thaw as soon as their journal copies are written
                 // (JBD2 clears BJ_Shadow here), letting the next compound
                 // assemble during the commit-record wait.
-                let _ = waiter.wait();
+                wait_ok(&waiter)?;
                 unpin_batch(batch);
                 let commit_waiter = BioWaiter::new();
                 let mut commit_bio = Bio::write(commit_lba, commit_buf, BioFlags::PREFLUSH_FUA);
                 commit_waiter.attach(&mut commit_bio);
                 inner.dev.submit_bio(commit_bio);
-                let _ = commit_waiter.wait();
+                wait_ok(&commit_waiter)?;
             }
         }
     }
@@ -379,6 +406,7 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) {
             pending.remove(r);
         }
     }
+    Ok(())
 }
 
 /// Commits one chunk of an oversized compound (journal blocks + JD; the
@@ -389,7 +417,7 @@ fn commit_chunk(
     order: &[u64],
     blocks: &[&crate::TxBlock],
     revokes: Vec<u64>,
-) {
+) -> Result<(), BioStatus> {
     let need = order.len() as u64
         + if inner.style == CommitStyle::CcTx {
             1
@@ -399,7 +427,12 @@ fn commit_chunk(
     let lbas = loop {
         match inner.ring.alloc(need) {
             Some(l) => break l,
-            None => checkpoint_now(inner),
+            None => {
+                checkpoint_now(inner);
+                if inner.aborted.load(Ordering::SeqCst) {
+                    return Err(BioStatus::Error);
+                }
+            }
         }
     };
     let (jd_lba, block_lbas): (u64, &[u64]) = if inner.style == CommitStyle::CcTx {
@@ -437,7 +470,7 @@ fn commit_chunk(
                 Bio::write(jd_lba, jd_buf, BioFlags::TX_COMMIT).with_tx_id(compound_id);
             waiter.attach(&mut jd_bio);
             inner.dev.submit_bio(jd_bio);
-            let _ = waiter.wait();
+            wait_ok(&waiter)?;
         }
         CommitStyle::Horae | CommitStyle::Classic => {
             let mut jd_bio = Bio::write(jd_lba, jd_buf, BioFlags::NONE);
@@ -465,24 +498,25 @@ fn commit_chunk(
                 );
                 waiter.attach(&mut commit_bio);
                 inner.dev.submit_bio(commit_bio);
-                let _ = waiter.wait();
+                wait_ok(&waiter)?;
                 if inner.dev.has_volatile_cache() {
                     let fw = BioWaiter::new();
                     let mut flush = Bio::flush();
                     fw.attach(&mut flush);
                     inner.dev.submit_bio(flush);
-                    let _ = fw.wait();
+                    wait_ok(&fw)?;
                 }
             } else {
-                let _ = waiter.wait();
+                wait_ok(&waiter)?;
                 let commit_waiter = BioWaiter::new();
                 let mut commit_bio = Bio::write(commit_lba, commit_buf, BioFlags::PREFLUSH_FUA);
                 commit_waiter.attach(&mut commit_bio);
                 inner.dev.submit_bio(commit_bio);
-                let _ = commit_waiter.wait();
+                wait_ok(&commit_waiter)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Writes every pending journaled block home and resets the ring.
@@ -497,13 +531,22 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
             waiter.attach(&mut bio);
             inner.dev.submit_bio(bio);
         }
-        let _ = waiter.wait();
+        if waiter.wait().is_err() {
+            // Abort WITHOUT advancing the horizon or releasing the ring:
+            // the journal copies are now the only good ones, and replay
+            // after remount will need them.
+            inner.aborted.store(true, Ordering::SeqCst);
+            return;
+        }
         if inner.dev.has_volatile_cache() {
             let fw = BioWaiter::new();
             let mut flush = Bio::flush();
             fw.attach(&mut flush);
             inner.dev.submit_bio(flush);
-            let _ = fw.wait();
+            if fw.wait().is_err() {
+                inner.aborted.store(true, Ordering::SeqCst);
+                return;
+            }
         }
         pending.clear();
     }
@@ -530,11 +573,15 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
 }
 
 impl Journal for ClassicJournal {
-    fn commit_tx(&self, tx: TxDescriptor, _durability: Durability) {
+    fn commit_tx(&self, mut tx: TxDescriptor, _durability: Durability) -> Result<(), CommitError> {
         // Classic journaling cannot decouple atomicity from durability;
         // `fatomic` degenerates to `fsync` here.
+        if self.inner.aborted.load(Ordering::SeqCst) {
+            tx.run_unpin();
+            return Err(CommitError::Aborted);
+        }
         if tx.is_empty() {
-            return;
+            return Ok(());
         }
         // Ordered mode: data reaches its final location before the
         // metadata commits.
@@ -545,10 +592,17 @@ impl Journal for ClassicJournal {
                 waiter.attach(&mut bio);
                 self.inner.dev.submit_bio(bio);
             }
-            let _ = waiter.wait();
+            if let Err(status) = wait_ok(&waiter) {
+                self.inner.aborted.store(true, Ordering::SeqCst);
+                tx.run_unpin();
+                return Err(CommitError::Io(status));
+            }
         }
         let ticket = Arc::new(Ticket {
-            st: SimMutex::new(false),
+            st: SimMutex::new(TicketSt {
+                done: false,
+                err: None,
+            }),
             cv: SimCondvar::new(),
         });
         {
@@ -559,14 +613,23 @@ impl Journal for ClassicJournal {
             });
         }
         self.inner.q_cv.notify_one();
-        {
-            let mut done = ticket.st.lock();
-            while !*done {
-                done = ticket.cv.wait(done);
+        let err = {
+            let mut st = ticket.st.lock();
+            while !st.done {
+                st = ticket.cv.wait(st);
             }
-        }
+            st.err
+        };
         // Returning from the journald handoff costs a context switch.
         ccnvme_sim::cpu(CTX_SWITCH);
+        match err {
+            None => Ok(()),
+            Some(status) => Err(CommitError::Io(status)),
+        }
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.inner.aborted.load(Ordering::SeqCst)
     }
 
     fn note_block_reuse(&self, lba: u64) -> ReuseAction {
@@ -584,7 +647,10 @@ impl Journal for ClassicJournal {
         // Drain queued commits first so their blocks are checkpointed.
         // Push an empty marker through the commit thread to serialize.
         let ticket = Arc::new(Ticket {
-            st: SimMutex::new(false),
+            st: SimMutex::new(TicketSt {
+                done: false,
+                err: None,
+            }),
             cv: SimCondvar::new(),
         });
         {
@@ -596,9 +662,9 @@ impl Journal for ClassicJournal {
         }
         self.inner.q_cv.notify_one();
         {
-            let mut done = ticket.st.lock();
-            while !*done {
-                done = ticket.cv.wait(done);
+            let mut st = ticket.st.lock();
+            while !st.done {
+                st = ticket.cv.wait(st);
             }
         }
         checkpoint_now(&self.inner);

@@ -37,6 +37,7 @@ use std::{collections::HashSet, sync::Arc};
 use ccnvme_block::BioBuf;
 
 pub use area::AreaSpec;
+pub use ccnvme_block::BioStatus;
 pub use classic::{ClassicJournal, CommitStyle};
 pub use format::block_checksum;
 pub use mq::MqJournal;
@@ -111,13 +112,36 @@ impl TxDescriptor {
     }
 }
 
+/// Why a commit failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitError {
+    /// An unrecoverable I/O error hit the commit path. The transaction
+    /// must be considered failed (its journal copies are never
+    /// checkpointed) and the journal has aborted: no further commits are
+    /// accepted. Carries the first typed bio status observed.
+    Io(ccnvme_block::BioStatus),
+    /// The journal was aborted by an earlier failure; this commit was
+    /// not attempted.
+    Aborted,
+}
+
 /// A journal engine: commits transactions and replays them after a crash.
 pub trait Journal: Send + Sync {
     /// Commits `tx` with the requested durability. Blocks (in virtual
     /// time) according to the engine's protocol; on return with
     /// [`Durability::Durable`] the transaction is atomic and durable, and
     /// with [`Durability::Atomic`] it is crash-atomic.
-    fn commit_tx(&self, tx: TxDescriptor, durability: Durability);
+    ///
+    /// An `Err` means the transaction failed as a whole (frozen pages
+    /// are still thawed) and the journal is aborted — see
+    /// [`CommitError`]. Transient device errors never surface here: the
+    /// host driver retries them transparently.
+    fn commit_tx(&self, tx: TxDescriptor, durability: Durability) -> Result<(), CommitError>;
+
+    /// Whether the journal aborted after an unrecoverable commit-path
+    /// error. An aborted journal refuses further commits; the file
+    /// system above degrades to read-only.
+    fn is_aborted(&self) -> bool;
 
     /// Notifies the journal that `lba` is being reused for a
     /// non-journaled (data) write. Returns blocks that must be journaled

@@ -34,19 +34,19 @@
 use std::{
     collections::{HashMap, HashSet, VecDeque},
     sync::{
-        atomic::{AtomicU64, Ordering},
+        atomic::{AtomicBool, AtomicU64, Ordering},
         Arc,
     },
 };
 
-use ccnvme_block::{Bio, BioBuf, BioFlags, BioWaiter};
+use ccnvme_block::{Bio, BioBuf, BioFlags, BioStatus, BioWaiter};
 use ccnvme_sim::SimMutex;
 
 use crate::{
     area::{AreaRing, AreaSpec},
     format::{self, JdBlock, JdEntry},
     recover::{read_horizon, recover_areas, RecoverMode, RecoveredUpdate},
-    Dev, Durability, Journal, ReuseAction, TxDescriptor,
+    CommitError, Dev, Durability, Journal, ReuseAction, TxDescriptor,
 };
 
 /// Number of version trees (the paper shards its radix trees similarly).
@@ -112,6 +112,9 @@ struct MqInner {
     horizon_lba: u64,
     /// Last horizon value persisted (avoid redundant FUA writes).
     horizon_written: AtomicU64,
+    /// Set after an unrecoverable commit-path error; further commits are
+    /// refused and errored transactions are never checkpointed.
+    aborted: AtomicBool,
 }
 
 /// The multi-queue journal engine.
@@ -153,6 +156,7 @@ impl MqJournal {
                 next_tx: AtomicU64::new(1),
                 horizon_lba,
                 horizon_written: AtomicU64::new(0),
+                aborted: AtomicBool::new(false),
             }),
         }
     }
@@ -169,7 +173,7 @@ impl MqJournal {
     /// Splits an oversized transaction into chained chunks sharing its
     /// transaction ID and commits them back to back. Revokes ride in the
     /// first chunk. Durability waits for every chunk at the end.
-    fn commit_chunked(&self, tx: TxDescriptor, durability: Durability) {
+    fn commit_chunked(&self, tx: TxDescriptor, durability: Durability) -> Result<(), CommitError> {
         let TxDescriptor {
             tx_id,
             mut data,
@@ -200,7 +204,13 @@ impl MqJournal {
             if last {
                 chunk.unpin = unpin.take().unwrap_or_default();
             }
-            self.commit_tx(chunk, d);
+            if let Err(e) = self.commit_tx(chunk, d) {
+                // Thaw anything a later chunk would have thawed.
+                for f in unpin.take().unwrap_or_default() {
+                    f();
+                }
+                return Err(e);
+            }
         }
         if durability == Durability::Durable {
             // The final chunk's Durable wait covered only itself; wait
@@ -215,9 +225,14 @@ impl MqJournal {
                     .collect()
             };
             for w in waiters {
-                let _ = w.wait();
+                if w.wait().is_err() {
+                    let status = w.first_error().unwrap_or(BioStatus::Error);
+                    self.inner.aborted.store(true, Ordering::SeqCst);
+                    return Err(CommitError::Io(status));
+                }
             }
         }
+        Ok(())
     }
 
     /// Checkpoints `area_idx`: writes home the globally newest copies,
@@ -235,6 +250,13 @@ impl MqJournal {
         for tx in st.logged.iter() {
             if tx.waiter.outstanding() != 0 {
                 break; // FIFO: later txs are at least as young.
+            }
+            if tx.waiter.first_error().is_some() {
+                // This transaction's journal copies are unreliable (the
+                // driver failed the whole ccNVMe transaction); never
+                // write them home. The journal is aborted.
+                inner.aborted.store(true, Ordering::SeqCst);
+                continue;
             }
             for (lba, buf) in &tx.blocks {
                 let mut tree = inner.trees[tree_index(*lba)].lock();
@@ -394,13 +416,16 @@ const CHUNK_META: usize = 64;
 const CHUNK_TOTAL: usize = 96;
 
 impl Journal for MqJournal {
-    fn commit_tx(&self, tx: TxDescriptor, durability: Durability) {
+    fn commit_tx(&self, mut tx: TxDescriptor, durability: Durability) -> Result<(), CommitError> {
+        if self.inner.aborted.load(Ordering::SeqCst) {
+            tx.run_unpin();
+            return Err(CommitError::Aborted);
+        }
         if tx.is_empty() {
-            return;
+            return Ok(());
         }
         if tx.meta.len() > CHUNK_META || tx.data.len() + tx.meta.len() > CHUNK_TOTAL {
-            self.commit_chunked(tx, durability);
-            return;
+            return self.commit_chunked(tx, durability);
         }
         let inner = &self.inner;
         let area_idx = self.area_for_current_core();
@@ -518,13 +543,29 @@ impl Journal for MqJournal {
         inner.dev.submit_bio(jd_bio);
         // Atomicity is reached the moment submit_bio returned for the
         // commit (the two MMIOs of §4). Durability waits for completion.
-        let mut tx = tx;
-        if durability == Durability::Durable {
-            let _ = waiter.wait();
-        }
+        let failed = if durability == Durability::Durable {
+            waiter.wait().is_err()
+        } else {
+            // fatomic: errors normally surface asynchronously (at the
+            // next checkpoint), but pick up anything already known.
+            waiter.first_error().is_some()
+        };
         // Without shadow paging the frozen pages thaw only now — after
         // the journal writes (the +MQJournal ablation's remaining cost).
         tx.run_unpin();
+        if failed {
+            // The driver failed the whole ccNVMe transaction (one member
+            // hit an unrecoverable error). Its journal copies are dead;
+            // abort the journal.
+            let status = waiter.first_error().unwrap_or(BioStatus::Error);
+            inner.aborted.store(true, Ordering::SeqCst);
+            return Err(CommitError::Io(status));
+        }
+        Ok(())
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.inner.aborted.load(Ordering::SeqCst)
     }
 
     fn note_block_reuse(&self, lba: u64) -> ReuseAction {

@@ -8,19 +8,22 @@
 use std::{
     collections::HashSet,
     sync::{
-        atomic::{AtomicU64, Ordering},
+        atomic::{AtomicBool, AtomicU64, Ordering},
         Arc,
     },
 };
 
-use ccnvme_block::{Bio, BioFlags, BioWaiter};
+use ccnvme_block::{Bio, BioFlags, BioStatus, BioWaiter};
 
-use crate::{recover::RecoveredUpdate, Dev, Durability, Journal, ReuseAction, TxDescriptor};
+use crate::{
+    recover::RecoveredUpdate, CommitError, Dev, Durability, Journal, ReuseAction, TxDescriptor,
+};
 
 /// The no-journal engine.
 pub struct NoJournal {
     dev: Dev,
     next_tx: AtomicU64,
+    aborted: AtomicBool,
 }
 
 impl NoJournal {
@@ -29,16 +32,27 @@ impl NoJournal {
         NoJournal {
             dev,
             next_tx: AtomicU64::new(1),
+            aborted: AtomicBool::new(false),
         }
+    }
+
+    fn fail(&self, w: &BioWaiter, tx: &mut TxDescriptor) -> CommitError {
+        let status = w.first_error().unwrap_or(BioStatus::Error);
+        self.aborted.store(true, Ordering::SeqCst);
+        tx.run_unpin();
+        CommitError::Io(status)
     }
 }
 
 impl Journal for NoJournal {
-    fn commit_tx(&self, tx: TxDescriptor, durability: Durability) {
-        let mut tx = tx;
+    fn commit_tx(&self, mut tx: TxDescriptor, durability: Durability) -> Result<(), CommitError> {
+        if self.aborted.load(Ordering::SeqCst) {
+            tx.run_unpin();
+            return Err(CommitError::Aborted);
+        }
         if tx.is_empty() {
             tx.run_unpin();
-            return;
+            return Ok(());
         }
         // Ext4-NJ synchronously processes each category of block: data
         // first, then metadata in place (Figure 14(b): S-iD + W-iD, then
@@ -50,7 +64,9 @@ impl Journal for NoJournal {
                 waiter.attach(&mut bio);
                 self.dev.submit_bio(bio);
             }
-            let _ = waiter.wait();
+            if waiter.wait().is_err() {
+                return Err(self.fail(&waiter, &mut tx));
+            }
         }
         if !tx.meta.is_empty() {
             let waiter = BioWaiter::new();
@@ -59,16 +75,25 @@ impl Journal for NoJournal {
                 waiter.attach(&mut bio);
                 self.dev.submit_bio(bio);
             }
-            let _ = waiter.wait();
+            if waiter.wait().is_err() {
+                return Err(self.fail(&waiter, &mut tx));
+            }
         }
         if durability == Durability::Durable && self.dev.has_volatile_cache() {
             let waiter = BioWaiter::new();
             let mut flush = Bio::flush();
             waiter.attach(&mut flush);
             self.dev.submit_bio(flush);
-            let _ = waiter.wait();
+            if waiter.wait().is_err() {
+                return Err(self.fail(&waiter, &mut tx));
+            }
         }
         tx.run_unpin();
+        Ok(())
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
     }
 
     fn note_block_reuse(&self, _lba: u64) -> ReuseAction {

@@ -98,7 +98,9 @@ fn mq_commit_then_recover_after_crash_replays_tx() {
         let journal = MqJournal::new(Arc::clone(&dev), areas, HORIZON_LBA);
         // Commit a durable transaction touching home blocks 10 and 11.
         let tx = tx_with(&journal, &[(10, 0xaa), (11, 0xbb)], &[(500, 0x77)]);
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         // Crash WITHOUT checkpointing: home metadata blocks are still
         // only in the journal.
         let image = drv.controller().power_fail(CrashMode::adversarial(1));
@@ -131,10 +133,14 @@ fn mq_uncommitted_tx_is_atomically_absent() {
         // First a durable tx, then an atomic one that we crash mid-air:
         // the atomic tx's doorbell may be lost.
         let tx1 = tx_with(&journal, &[(20, 0x01)], &[]);
-        journal.commit_tx(tx1, Durability::Durable);
+        journal
+            .commit_tx(tx1, Durability::Durable)
+            .expect("commit ok");
         let tx2 = tx_with(&journal, &[(20, 0x02), (21, 0x03)], &[]);
         let tx2_id = tx2.tx_id;
-        journal.commit_tx(tx2, Durability::Atomic);
+        journal
+            .commit_tx(tx2, Durability::Atomic)
+            .expect("commit ok");
         // Adversarial crash: in-flight posted writes (incl. tx2's
         // doorbell and potentially its journal blocks) are dropped.
         let image = drv.controller().power_fail(CrashMode::adversarial(2));
@@ -169,7 +175,9 @@ fn mq_checkpoint_moves_blocks_home_and_recovery_stays_correct() {
         // Many updates to the same block: versions supersede each other.
         for i in 0..40u8 {
             let tx = tx_with(&journal, &[(30, i), (31 + (i as u64 % 3), i)], &[]);
-            journal.commit_tx(tx, Durability::Durable);
+            journal
+                .commit_tx(tx, Durability::Durable)
+                .expect("commit ok");
         }
         journal.checkpoint_all();
         assert_eq!(read_lba(&dev, 30), 39, "newest version checkpointed home");
@@ -209,7 +217,7 @@ fn mq_cross_area_conflict_resolved_by_tx_id() {
                     // Stamp the content with the tx id so we can check
                     // monotonicity.
                     tx.meta[0].buf.lock()[1..9].copy_from_slice(&tx.tx_id.to_le_bytes());
-                    j.commit_tx(tx, Durability::Durable);
+                    j.commit_tx(tx, Durability::Durable).expect("commit ok");
                 }
             }));
         }
@@ -236,7 +244,9 @@ fn mq_selective_revocation_prevents_stale_replay() {
         let journal = MqJournal::new(Arc::clone(&dev), areas, HORIZON_LBA);
         // Journal a directory block at home lba 50 (metadata).
         let tx = tx_with(&journal, &[(50, 0xd1)], &[]);
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         // Directory deleted; block 50 reused for plain user data.
         let action = journal.note_block_reuse(50);
         assert_eq!(action, mqfs_journal::ReuseAction::Revoked);
@@ -246,7 +256,9 @@ fn mq_selective_revocation_prevents_stale_replay() {
             final_lba: 51,
             buf: block(0x99),
         });
-        journal.commit_tx(tx2, Durability::Durable);
+        journal
+            .commit_tx(tx2, Durability::Durable)
+            .expect("commit ok");
         // The user data write bypasses the journal.
         submit_and_wait(
             &*dev,
@@ -280,11 +292,15 @@ fn mq_fatomic_returns_before_durability() {
         let journal = MqJournal::new(Arc::clone(&dev), areas, HORIZON_LBA);
         let t0 = ccnvme_sim::now();
         let tx = tx_with(&journal, &[(60, 1), (61, 2), (62, 3)], &[]);
-        journal.commit_tx(tx, Durability::Atomic);
+        journal
+            .commit_tx(tx, Durability::Atomic)
+            .expect("commit ok");
         let atomic_lat = ccnvme_sim::now() - t0;
         let tx2 = tx_with(&journal, &[(63, 4)], &[]);
         let t1 = ccnvme_sim::now();
-        journal.commit_tx(tx2, Durability::Durable);
+        journal
+            .commit_tx(tx2, Durability::Durable)
+            .expect("commit ok");
         let durable_lat = ccnvme_sim::now() - t1;
         assert!(
             atomic_lat * 2 < durable_lat,
@@ -312,7 +328,9 @@ fn classic_commit_record_required_for_replay() {
             CORES + 1,
         );
         let tx = tx_with(&journal, &[(70, 0x70)], &[]);
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         let image = drv.controller().power_fail(CrashMode::adversarial(5));
         // Reboot on a plain NVMe stack.
         let mut cfg = CtrlConfig::new(profile);
@@ -361,7 +379,7 @@ fn classic_group_commit_merges_concurrent_transactions() {
             handles.push(ccnvme_sim::spawn(&format!("w{core}"), core, move || {
                 for i in 0..5u64 {
                     let tx = tx_with(&*j, &[(80 + core as u64 * 8 + i, 1)], &[]);
-                    j.commit_tx(tx, Durability::Durable);
+                    j.commit_tx(tx, Durability::Durable).expect("commit ok");
                 }
             }));
         }
@@ -400,7 +418,9 @@ fn classic_horizon_prevents_replay_of_checkpointed_txs() {
         // checkpoints (which persist the horizon).
         for i in 0..20u8 {
             let tx = tx_with(&journal, &[(90, i)], &[]);
-            journal.commit_tx(tx, Durability::Durable);
+            journal
+                .commit_tx(tx, Durability::Durable)
+                .expect("commit ok");
         }
         journal.checkpoint_all();
         let image = drv.controller().power_fail(CrashMode::adversarial(6));
@@ -445,7 +465,9 @@ fn horae_mode_skips_ordering_points_but_recovers() {
             CORES + 1,
         );
         let tx = tx_with(&journal, &[(95, 0x95), (96, 0x96)], &[]);
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         let image = drv.controller().power_fail(CrashMode::adversarial(7));
         let mut cfg = CtrlConfig::new(profile);
         cfg.device_core = CORES;
@@ -518,7 +540,9 @@ fn classic_is_slower_than_horae_is_slower_than_mq() {
             let t0 = ccnvme_sim::now();
             for i in 0..50u64 {
                 let tx = tx_with(&*journal, &[(100 + (i % 7), i as u8)], &[]);
-                journal.commit_tx(tx, Durability::Durable);
+                journal
+                    .commit_tx(tx, Durability::Durable)
+                    .expect("commit ok");
             }
             t2.add(ccnvme_sim::now() - t0);
         });
@@ -539,7 +563,9 @@ fn nojournal_writes_in_place_with_no_recovery() {
         let (_drv, dev) = nvme_stack(SsdProfile::optane_905p());
         let journal = NoJournal::new(Arc::clone(&dev));
         let tx = tx_with(&journal, &[(110, 5)], &[(111, 6)]);
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         assert_eq!(read_lba(&dev, 110), 5);
         assert_eq!(read_lba(&dev, 111), 6);
         assert!(journal.recover(&HashSet::new()).is_empty());
@@ -576,7 +602,7 @@ fn mq_release_chains_across_many_areas_make_progress() {
                         final_lba: 1_000 + core as u64 * 64 + i as u64,
                         buf: block(core as u8),
                     });
-                    j.commit_tx(tx, Durability::Durable);
+                    j.commit_tx(tx, Durability::Durable).expect("commit ok");
                 }
             }));
         }
@@ -598,11 +624,12 @@ fn horizon_excludes_old_transactions_from_replay() {
         let journal = MqJournal::new(Arc::clone(&dev), areas, HORIZON_LBA);
         let tx = tx_with(&journal, &[(400, 1)], &[]);
         let old_id = tx.tx_id;
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         // Persist a horizon above the old transaction by hand.
-        let hz: ccnvme_block::BioBuf = Arc::new(Mutex::new(
-            mqfs_journal::format::encode_horizon(old_id + 1),
-        ));
+        let hz: ccnvme_block::BioBuf =
+            Arc::new(Mutex::new(mqfs_journal::format::encode_horizon(old_id + 1)));
         submit_and_wait(
             &*dev,
             Bio::write(
@@ -635,20 +662,35 @@ fn classic_compound_larger_than_one_descriptor_chunks() {
             start: JOURNAL_START,
             len: 512,
         };
-        let journal =
-            ClassicJournal::new(Arc::clone(&dev), area, HORIZON_LBA, CommitStyle::Classic, CORES + 1);
+        let journal = ClassicJournal::new(
+            Arc::clone(&dev),
+            area,
+            HORIZON_LBA,
+            CommitStyle::Classic,
+            CORES + 1,
+        );
         // One transaction with 150 metadata blocks (> 64-block chunks).
         let metas: Vec<(u64, u8)> = (0..150).map(|i| (2_000 + i, (i % 251) as u8)).collect();
         let tx = tx_with(&journal, &metas, &[]);
-        journal.commit_tx(tx, Durability::Durable);
+        journal
+            .commit_tx(tx, Durability::Durable)
+            .expect("commit ok");
         // Crash and replay: every block must come back.
         let image = drv.controller().power_fail(CrashMode::adversarial(5));
         let mut cfg = CtrlConfig::new(profile);
         cfg.device_core = CORES;
-        let drv2 = Arc::new(NvmeDriver::new(NvmeController::from_image(cfg, &image), CORES));
+        let drv2 = Arc::new(NvmeDriver::new(
+            NvmeController::from_image(cfg, &image),
+            CORES,
+        ));
         let dev2: Arc<dyn BlockDevice> = Arc::clone(&drv2) as Arc<dyn BlockDevice>;
-        let journal2 =
-            ClassicJournal::new(Arc::clone(&dev2), area, HORIZON_LBA, CommitStyle::Classic, CORES + 1);
+        let journal2 = ClassicJournal::new(
+            Arc::clone(&dev2),
+            area,
+            HORIZON_LBA,
+            CommitStyle::Classic,
+            CORES + 1,
+        );
         let updates = journal2.recover(&HashSet::new());
         assert_eq!(updates.len(), 150, "all chunked blocks replayable");
         mqfs_journal::recover::replay_updates(&dev2, &updates);

@@ -459,9 +459,7 @@ mod goal_tests {
             let alloc = Allocator::format(layout, cache);
             // Allocations with different group goals dirty different
             // bitmap blocks.
-            let (_, bm_a) = alloc
-                .alloc_block_near(layout.data_start())
-                .expect("space");
+            let (_, bm_a) = alloc.alloc_block_near(layout.data_start()).expect("space");
             let far_goal = layout.data_start() + 2 * BITS_PER_BLOCK;
             let (lba_b, bm_b) = alloc.alloc_block_near(far_goal).expect("space");
             assert_ne!(bm_a, bm_b, "goals landed in the same bitmap block");

@@ -151,6 +151,11 @@ impl BufferCache {
             if still_needs {
                 let buf: BioBuf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
                 let status = submit_and_wait(&*self.dev, Bio::read(lba, Arc::clone(&buf)));
+                // A metadata read error is modeled as a kernel panic
+                // (ext4 errors=panic): serving zeroed metadata would be
+                // corruption, and threading fallibility through every
+                // bitmap/pointer access is not worth it for the model.
+                // Data-block read errors DO propagate as EIO (fs.rs).
                 assert_eq!(status, BioStatus::Ok, "metadata read failed at lba {lba}");
                 blk.with_data(|d| {
                     d.data.copy_from_slice(&buf.lock());

@@ -235,10 +235,12 @@ mod prop_tests {
             for (insert, name_id, ino) in ops {
                 let name = format!("file-{name_id}");
                 if insert {
-                    if !model.contains_key(&name) {
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        model.entry(name.clone())
+                    {
                         let blk = st.block_with_space(&name).unwrap_or(st.used.len() as u32);
                         st.insert(&name, ino, blk);
-                        model.insert(name, ino);
+                        slot.insert(ino);
                     }
                 } else {
                     let removed = st.remove(&name);

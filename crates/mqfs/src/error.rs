@@ -23,6 +23,10 @@ pub enum FsError {
     FileTooBig,
     /// I/O failure reported by the device.
     Io,
+    /// The file system degraded to read-only after an unrecoverable
+    /// error (the `errors=remount-ro` behaviour): mutations are
+    /// rejected, reads still work.
+    ReadOnly,
 }
 
 impl fmt::Display for FsError {
@@ -37,6 +41,7 @@ impl fmt::Display for FsError {
             FsError::InvalidName => "invalid file name",
             FsError::FileTooBig => "file too large",
             FsError::Io => "input/output error",
+            FsError::ReadOnly => "read-only file system",
         };
         f.write_str(s)
     }

@@ -275,6 +275,12 @@ pub struct FileSystem {
     pub stats: FsStats,
     trace_enabled: AtomicBool,
     traces: Mutex<Vec<FsyncTrace>>,
+    /// Set when the file system degraded to read-only after an
+    /// unrecoverable error: writes fail with [`FsError::ReadOnly`],
+    /// reads are still served.
+    degraded: AtomicBool,
+    /// Human-readable reason for the degradation (fsck-visible).
+    degrade_reason: Mutex<Option<String>>,
 }
 
 impl FileSystem {
@@ -308,6 +314,8 @@ impl FileSystem {
             stats: FsStats::default(),
             trace_enabled: AtomicBool::new(false),
             traces: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
+            degrade_reason: Mutex::new(None),
         });
         // Root inode: an empty directory. mkfs writes the initial
         // metadata directly (formatting is not crash-protected), ending
@@ -377,6 +385,8 @@ impl FileSystem {
             stats: FsStats::default(),
             trace_enabled: AtomicBool::new(false),
             traces: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
+            degrade_reason: Mutex::new(None),
         }))
     }
 
@@ -603,12 +613,56 @@ impl FileSystem {
     }
 
     // ------------------------------------------------------------------
+    // Error state / graceful degradation
+    // ------------------------------------------------------------------
+
+    /// Degrades the file system to read-only (like Linux's
+    /// `errors=remount-ro`): every subsequent mutation fails with
+    /// [`FsError::ReadOnly`]; reads keep working off the cache and
+    /// device.
+    fn degrade(&self, reason: &str) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            *self.degrade_reason.lock() = Some(reason.to_string());
+        }
+    }
+
+    /// Fails mutations once degraded — either explicitly or because the
+    /// journal aborted behind our back (e.g. a checkpoint detected a
+    /// failed transaction).
+    fn ensure_writable(&self) -> FsResult<()> {
+        if self.degraded.load(Ordering::SeqCst) {
+            return Err(FsError::ReadOnly);
+        }
+        if self.journal.is_aborted() {
+            self.degrade("journal aborted after unrecoverable I/O error");
+            return Err(FsError::ReadOnly);
+        }
+        Ok(())
+    }
+
+    /// The degradation reason, if the file system went read-only
+    /// (`None` = healthy). Also surfaced by [`FileSystem::check`].
+    pub fn error_state(&self) -> Option<String> {
+        if self.degraded.load(Ordering::SeqCst) || self.journal.is_aborted() {
+            Some(
+                self.degrade_reason
+                    .lock()
+                    .clone()
+                    .unwrap_or_else(|| "journal aborted after unrecoverable I/O error".to_string()),
+            )
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
     // File I/O
     // ------------------------------------------------------------------
 
     /// Writes `data` at byte `offset`, growing the file as needed. Data
     /// stays in the page cache until `fsync`/`fatomic`.
     pub fn write(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
+        self.ensure_writable()?;
         ccnvme_sim::cpu(WRITE_BASE_CPU);
         let h = self.handle(ino);
         let mut st = h.st.lock();
@@ -629,7 +683,7 @@ impl FileSystem {
                 let need_read =
                     (in_page != 0 || n != BLOCK_SIZE as usize) && fb * BLOCK_SIZE < st.inode.size;
                 let page = if need_read {
-                    self.read_page_from_disk(&st, fb)
+                    self.read_page_from_disk(&st, fb)?
                 } else {
                     vec![0u8; BLOCK_SIZE as usize]
                 };
@@ -652,15 +706,18 @@ impl FileSystem {
         Ok(())
     }
 
-    fn read_page_from_disk(&self, st: &InodeSt, fb: u64) -> Vec<u8> {
+    fn read_page_from_disk(&self, st: &InodeSt, fb: u64) -> FsResult<Vec<u8>> {
         match self.bmap(st, fb) {
             Some(lba) => {
                 let buf: BioBuf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
-                submit_and_wait(&*self.dev, Bio::read(lba, Arc::clone(&buf)));
+                let status = submit_and_wait(&*self.dev, Bio::read(lba, Arc::clone(&buf)));
+                if status != BioStatus::Ok {
+                    return Err(FsError::Io);
+                }
                 let v = buf.lock().clone();
-                v
+                Ok(v)
             }
-            None => vec![0u8; BLOCK_SIZE as usize],
+            None => Ok(vec![0u8; BLOCK_SIZE as usize]),
         }
     }
 
@@ -684,7 +741,7 @@ impl FileSystem {
             let in_page = (pos % BLOCK_SIZE) as usize;
             let n = ((BLOCK_SIZE as usize - in_page) as u64).min(end - pos) as usize;
             if !st.pages.contains_key(&fb) {
-                let page = self.read_page_from_disk(&st, fb);
+                let page = self.read_page_from_disk(&st, fb)?;
                 st.pages.insert(fb, Page { data: page });
             }
             let page = &st.pages[&fb];
@@ -729,6 +786,7 @@ impl FileSystem {
     }
 
     fn sync_inner(&self, ino: u64, durability: Durability, data_only: bool) -> FsResult<()> {
+        self.ensure_writable()?;
         ccnvme_sim::cpu(FSYNC_ENTRY_CPU);
         let t0 = ccnvme_sim::now();
         // Exclusive capture barrier: no namespace operation is mid-
@@ -830,14 +888,24 @@ impl FileSystem {
         }
         // --- Commit. ---
         let committed = !tx.is_empty();
+        let mut commit_failed = false;
         if committed {
-            self.journal.commit_tx(tx, durability);
-            self.stats.txs.inc();
+            if let Err(e) = self.journal.commit_tx(tx, durability) {
+                // The whole transaction failed atomically (nothing of it
+                // will be replayed after a crash); degrade to read-only.
+                self.degrade(&format!("transaction commit failed: {e:?}"));
+                commit_failed = true;
+            } else {
+                self.stats.txs.inc();
+            }
         } else {
             let mut tx = tx;
             tx.run_unpin();
         }
         drop(st);
+        if commit_failed {
+            return Err(FsError::Io);
+        }
         match durability {
             Durability::Durable => self.stats.fsyncs.inc(),
             Durability::Atomic => self.stats.fatomics.inc(),
@@ -870,6 +938,7 @@ impl FileSystem {
     }
 
     fn make_node(&self, parent: u64, name: &str, kind: InodeKind) -> FsResult<u64> {
+        self.ensure_writable()?;
         dir::check_name(name)?;
         ccnvme_sim::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
@@ -1041,6 +1110,7 @@ impl FileSystem {
     /// Removes a file entry; frees the inode when the link count drops
     /// to zero.
     pub fn unlink(&self, parent: u64, name: &str) -> FsResult<()> {
+        self.ensure_writable()?;
         ccnvme_sim::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         let mut op_lbas: BTreeSet<u64> = BTreeSet::new();
@@ -1127,6 +1197,7 @@ impl FileSystem {
 
     /// Removes an empty directory.
     pub fn rmdir(&self, parent: u64, name: &str) -> FsResult<()> {
+        self.ensure_writable()?;
         ccnvme_sim::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         let mut op_lbas: BTreeSet<u64> = BTreeSet::new();
@@ -1177,6 +1248,7 @@ impl FileSystem {
 
     /// Creates a hard link to `ino` in `parent` under `name`.
     pub fn link(&self, ino: u64, parent: u64, name: &str) -> FsResult<()> {
+        self.ensure_writable()?;
         dir::check_name(name)?;
         ccnvme_sim::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
@@ -1217,6 +1289,7 @@ impl FileSystem {
         dst_parent: u64,
         dst_name: &str,
     ) -> FsResult<()> {
+        self.ensure_writable()?;
         dir::check_name(dst_name)?;
         ccnvme_sim::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
@@ -1236,7 +1309,7 @@ impl FileSystem {
         };
         self.load_dir(&mut pst1);
         if let Some(pst2) = pst2_opt.as_mut() {
-            self.load_dir(&mut **pst2);
+            self.load_dir(pst2);
         }
         // Validate source and destination before mutating anything.
         let (ino, _src_blk) = *pst1
@@ -1287,7 +1360,7 @@ impl FileSystem {
         // Drop the old destination target, if any.
         if let Some(old_ino) = old_target {
             let dst_st: &mut InodeSt = match pst2_opt.as_mut() {
-                Some(p) => &mut **p,
+                Some(p) => p,
                 None => &mut pst1,
             };
             let (_, old_blk) = dst_st
@@ -1325,7 +1398,7 @@ impl FileSystem {
         // Insert at the destination.
         {
             let dst_st: &mut InodeSt = match pst2_opt.as_mut() {
-                Some(p) => &mut **p,
+                Some(p) => p,
                 None => &mut pst1,
             };
             let d = self.dir_insert_any(dst_st, dst_parent, dst_name, ino)?;
@@ -1446,6 +1519,9 @@ impl FileSystem {
     /// Returns human-readable inconsistencies (empty = consistent).
     pub fn check(&self) -> Vec<String> {
         let mut problems = Vec::new();
+        if let Some(reason) = self.error_state() {
+            problems.push(format!("filesystem degraded to read-only: {reason}"));
+        }
         let mut seen_blocks: HashSet<u64> = HashSet::new();
         let mut link_counts: BTreeMap<u64, u16> = BTreeMap::new();
         let mut stack = vec![ROOT_INO];

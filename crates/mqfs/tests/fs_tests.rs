@@ -689,7 +689,8 @@ fn rename_onto_itself_is_a_noop() {
         let stack = Stack::new(variant, SsdProfile::optane_p5800x());
         let fs = FileSystem::format(Arc::clone(&stack.dev), fs_config(variant));
         let ino = fs.create_path("/same").expect("create");
-        fs.rename(fs.root(), "same", fs.root(), "same").expect("noop rename");
+        fs.rename(fs.root(), "same", fs.root(), "same")
+            .expect("noop rename");
         assert_eq!(fs.resolve("/same"), Ok(ino));
         assert!(fs.check().is_empty());
     });
@@ -733,7 +734,10 @@ fn read_holes_and_eof_semantics() {
         assert_eq!(hole, vec![0u8; 4096], "holes read as zeros");
         let tail = fs.read(ino, 3 * 4096, 8192).expect("read at tail");
         assert_eq!(tail.len(), 4096, "short read at EOF");
-        assert_eq!(fs.read(ino, 100 * 4096, 10).expect("read past EOF"), Vec::<u8>::new());
+        assert_eq!(
+            fs.read(ino, 100 * 4096, 10).expect("read past EOF"),
+            Vec::<u8>::new()
+        );
     });
     sim.run();
 }

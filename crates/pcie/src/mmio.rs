@@ -448,7 +448,7 @@ mod tests {
                 let iters = 32;
                 let t0 = now();
                 for i in 0..iters {
-                    let off = (i as u64 * size) % (1 << 20);
+                    let off = (i * size) % (1 << 20);
                     r.write(off, &data);
                     if persistent {
                         r.flush();

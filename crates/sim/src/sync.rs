@@ -543,7 +543,7 @@ impl<T> Sender<T> {
                 if !st.receiver_alive {
                     return Err(value);
                 }
-                if st.cap.map_or(true, |c| st.buf.len() < c) {
+                if st.cap.is_none_or(|c| st.buf.len() < c) {
                     st.buf.push_back(value);
                     st.recv_waiter.take()
                 } else {

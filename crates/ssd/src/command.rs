@@ -163,13 +163,59 @@ impl NvmeCommand {
     }
 }
 
-/// Completion status.
+/// NVMe Status Code Type (CQE Dword 3 bits 25:27).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatusCodeType {
+    /// Generic command status.
+    Generic,
+    /// Command-specific status.
+    CommandSpecific,
+    /// Media and data-integrity errors.
+    Media,
+    /// Vendor/internal errors.
+    Internal,
+}
+
+/// Completion status (modelled subset of the NVMe status-code space).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Command executed successfully.
     Success,
     /// Malformed command (bad LBA range, missing buffer, ...).
     InvalidField,
+    /// The medium could not be read (Media SCT, Unrecovered Read Error).
+    MediaReadError,
+    /// The medium could not be written (Media SCT, Write Fault). Also
+    /// returned for a torn DMA: only a prefix of the payload landed.
+    MediaWriteError,
+    /// Internal device error; the command did not execute.
+    InternalError,
+    /// The controller is transiently busy (Generic SCT, Namespace Not
+    /// Ready with Do-Not-Retry clear). The host should back off and
+    /// retry the command.
+    Busy,
+}
+
+impl Status {
+    /// The NVMe status-code type this status is reported under.
+    pub fn sct(self) -> StatusCodeType {
+        match self {
+            Status::Success | Status::InvalidField | Status::Busy => StatusCodeType::Generic,
+            Status::MediaReadError | Status::MediaWriteError => StatusCodeType::Media,
+            Status::InternalError => StatusCodeType::Internal,
+        }
+    }
+
+    /// Whether the command failed.
+    pub fn is_err(self) -> bool {
+        self != Status::Success
+    }
+
+    /// Whether the failure is transient, i.e. the NVMe Do-Not-Retry bit
+    /// is clear and the host may resubmit the same command.
+    pub fn is_transient(self) -> bool {
+        self == Status::Busy
+    }
 }
 
 /// A completion queue entry (16 bytes on the wire), delivered to the

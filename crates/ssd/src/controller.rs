@@ -23,6 +23,7 @@ use std::{
     },
 };
 
+use ccnvme_fault::{FaultInjector, FaultKind, FaultOp, OpClass};
 use ccnvme_pcie::{
     cost, mmio::RegionKind, BandwidthGate, ChannelBank, DmaKind, MmioRegion, PcieLink,
 };
@@ -56,6 +57,9 @@ pub struct CtrlConfig {
     /// threads never execute CPU work, but pinning them away from host
     /// cores keeps scheduling traces readable.
     pub device_core: usize,
+    /// Optional fault injector consulted at command execution and
+    /// doorbell arrival. `None` means a healthy device.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl CtrlConfig {
@@ -65,7 +69,14 @@ impl CtrlConfig {
             profile,
             irq_coalesce_tx: false,
             device_core: 0,
+            fault: None,
         }
+    }
+
+    /// Attaches a fault injector (builder style).
+    pub fn with_fault(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
     }
 }
 
@@ -474,6 +485,11 @@ impl NvmeController {
     pub fn pending_completions(&self) -> usize {
         self.inner.completer.st.lock().heap.len()
     }
+
+    /// The attached fault injector, if any (for reading its counters).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.cfg.fault.clone()
+    }
 }
 
 impl CtrlInner {
@@ -483,6 +499,22 @@ impl CtrlInner {
         }
         let target = self.db_targets.lock().get(&(is_pmr, off)).cloned();
         if let Some(q) = target {
+            // A dropped doorbell models a lost MMIO notification: for a
+            // PMR doorbell the *value* still persisted (the write landed
+            // in the PMR before this hook runs), but the controller never
+            // notices the new tail until the host rings again.
+            if let Some(f) = self.cfg.fault.as_deref() {
+                let op = FaultOp {
+                    class: OpClass::Doorbell,
+                    lba: 0,
+                    nblocks: 0,
+                    qid: q.qid,
+                    now: arrive_at,
+                };
+                if f.decide(&op).map(|i| i.kind) == Some(FaultKind::DoorbellDrop) {
+                    return;
+                }
+            }
             let tail = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
             let mut st = q.st.lock();
             st.tail = tail % q.depth;
@@ -592,6 +624,45 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
     // §4.6 transaction-aware interrupt coalescing: only the commit
     // request of a transaction raises MSI-X.
     let irq = !inner.cfg.irq_coalesce_tx || !cmd.tx_flags.is_tx() || cmd.tx_flags.tx_commit;
+    // Fault injection: ask the plan whether this command misbehaves.
+    let injection = inner.cfg.fault.as_deref().and_then(|f| {
+        let class = match cmd.opcode {
+            Opcode::Read => OpClass::Read,
+            Opcode::Write => OpClass::Write,
+            Opcode::Flush => OpClass::Flush,
+        };
+        f.decide(&FaultOp {
+            class,
+            lba: cmd.lba,
+            nblocks: cmd.nblocks,
+            qid: q.qid,
+            now,
+        })
+    });
+    match injection.map(|i| i.kind) {
+        // A stalled command is fetched but never completed; the host's
+        // timeout path is the only way out.
+        Some(FaultKind::Stall) => return,
+        // Transient busy: reject quickly without touching the media.
+        Some(FaultKind::Busy) => {
+            let job = Job {
+                at: now + cost::IRQ_DELIVERY,
+                seq: 0,
+                qid: q.qid,
+                cid: cmd.cid,
+                sq_head,
+                status: Status::Busy,
+                tx_id: cmd.tx_id,
+                tx_flags: cmd.tx_flags,
+                irq: true,
+                action: Action::Nop,
+                on_complete: Arc::clone(&q.on_complete),
+            };
+            push_with_seq(inner, job);
+            return;
+        }
+        _ => {}
+    }
     let (at, status, action) = match cmd.opcode {
         Opcode::Write => {
             let buf = inner.hostmem.get(cmd.data_token);
@@ -634,16 +705,39 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
                             + profile.flush_per_block * inner.store.dirty_count() as u64;
                         at = at.max(inner.flush_unit.book_after(at, cost, cost));
                     }
-                    (
-                        at,
-                        Status::Success,
-                        Action::WriteBlocks {
-                            lba: cmd.lba,
-                            data,
-                            durable,
-                            also_flush: commit_barrier,
-                        },
-                    )
+                    match injection {
+                        // Torn DMA: only a prefix of the payload reached
+                        // the device before the transfer failed. The
+                        // prefix still lands on media (that is what makes
+                        // it dangerous) but the command reports a write
+                        // fault and performs no barrier.
+                        Some(inj) if inj.kind == FaultKind::TornDma => {
+                            let mut torn = data;
+                            torn.truncate(inj.torn_blocks as usize * BLOCK_SIZE as usize);
+                            (
+                                at,
+                                Status::MediaWriteError,
+                                Action::WriteBlocks {
+                                    lba: cmd.lba,
+                                    data: torn,
+                                    durable,
+                                    also_flush: false,
+                                },
+                            )
+                        }
+                        // Media write fault: nothing lands.
+                        Some(_) => (at, Status::MediaWriteError, Action::Nop),
+                        None => (
+                            at,
+                            Status::Success,
+                            Action::WriteBlocks {
+                                lba: cmd.lba,
+                                data,
+                                durable,
+                                also_flush: commit_barrier,
+                            },
+                        ),
+                    }
                 }
             }
         }
@@ -655,24 +749,29 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
             // Device → host transfer time after the media read.
             let xfer = cost::transfer_ns(bytes, profile.link_bw);
             let at = ch_end.max(bw_end).max(now) + xfer;
-            (
-                at,
-                Status::Success,
-                Action::ReadBlocks {
-                    lba: cmd.lba,
-                    nblocks: cmd.nblocks,
-                    token: cmd.data_token,
-                },
-            )
+            match injection {
+                // Unrecovered read error: the buffer is left untouched.
+                Some(_) => (at, Status::MediaReadError, Action::Nop),
+                None => (
+                    at,
+                    Status::Success,
+                    Action::ReadBlocks {
+                        lba: cmd.lba,
+                        nblocks: cmd.nblocks,
+                        token: cmd.data_token,
+                    },
+                ),
+            }
         }
         Opcode::Flush => {
             let cost_ns =
                 profile.flush_base + profile.flush_per_block * inner.store.dirty_count() as u64;
-            (
-                inner.flush_unit.book(cost_ns, cost_ns),
-                Status::Success,
-                Action::Flush,
-            )
+            let at = inner.flush_unit.book(cost_ns, cost_ns);
+            match injection {
+                // A failed flush leaves the cache undrained.
+                Some(_) => (at, Status::InternalError, Action::Nop),
+                None => (at, Status::Success, Action::Flush),
+            }
         }
     };
     let job = Job {
@@ -684,7 +783,9 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
         status,
         tx_id: cmd.tx_id,
         tx_flags: cmd.tx_flags,
-        irq,
+        // Error completions are never coalesced away: the host must see
+        // them even when the transaction's members are silent.
+        irq: irq || status.is_err(),
         action,
         on_complete: Arc::clone(&q.on_complete),
     };
@@ -699,10 +800,7 @@ fn completer_loop(inner: Arc<CtrlInner>) {
                 if st.shutdown {
                     return;
                 }
-                let due = match st.heap.peek() {
-                    None => None,
-                    Some(Reverse(j)) => Some(j.at),
-                };
+                let due = st.heap.peek().map(|Reverse(j)| j.at);
                 match due {
                     None => st = inner.completer.cv.wait(st),
                     Some(at) => {
@@ -799,7 +897,11 @@ mod tests {
 
     impl Harness {
         fn new(profile: SsdProfile) -> Harness {
-            let ctrl = NvmeController::new(CtrlConfig::new(profile));
+            Harness::with_config(CtrlConfig::new(profile))
+        }
+
+        fn with_config(cfg: CtrlConfig) -> Harness {
+            let ctrl = NvmeController::new(cfg);
             let sqmem = Arc::new(Mutex::new(vec![0u8; DEPTH as usize * 64]));
             let (tx, rx) = mpsc_channel::<CompletionEntry>(None);
             ctrl.create_io_queue(QueueParams {
@@ -932,7 +1034,7 @@ mod tests {
             h.submit(cmd);
             h.await_completion();
             let image = h.ctrl.power_fail(CrashMode::adversarial(1));
-            assert!(image.blocks.get(&3).is_none());
+            assert!(!image.blocks.contains_key(&3));
         });
         sim.run();
     }
@@ -986,7 +1088,7 @@ mod tests {
             h.submit(cmd);
             // Crash immediately: the command has not completed.
             let image = h.ctrl.power_fail(CrashMode::adversarial(1));
-            assert!(image.blocks.get(&5).is_none());
+            assert!(!image.blocks.contains_key(&5));
         });
         sim.run();
     }
@@ -1144,6 +1246,138 @@ mod tests {
             );
         });
         sim.run();
+    }
+
+    mod faults {
+        use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
+
+        use super::*;
+
+        fn faulty(profile: SsdProfile, plan: FaultPlan) -> Harness {
+            Harness::with_config(CtrlConfig::new(profile).with_fault(Arc::new(plan.injector())))
+        }
+
+        #[test]
+        fn injected_media_write_error_leaves_media_untouched() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan =
+                    FaultPlan::new(1).rule(FaultRule::new(FaultKind::MediaWrite, Trigger::Nth(1)));
+                let mut h = faulty(SsdProfile::optane_p5800x(), plan);
+                let cmd = h.write_cmd(5, 0xaa, true);
+                h.submit(cmd);
+                let e = h.await_completion();
+                assert_eq!(e.status, Status::MediaWriteError);
+                assert_eq!(e.status.sct(), crate::command::StatusCodeType::Media);
+                assert!(!h.ctrl.graceful_image().blocks.contains_key(&5));
+                // The Nth(1) budget is spent; the retry goes through.
+                let cmd = h.write_cmd(5, 0xbb, true);
+                h.submit(cmd);
+                assert_eq!(h.await_completion().status, Status::Success);
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn torn_dma_lands_only_a_strict_prefix() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan =
+                    FaultPlan::new(9).rule(FaultRule::new(FaultKind::TornDma, Trigger::Nth(1)));
+                let mut h = faulty(SsdProfile::optane_p5800x(), plan);
+                let buf: crate::hostmem::DataBuf =
+                    Arc::new(Mutex::new(vec![0xcc; 8 * BLOCK_SIZE as usize]));
+                let token = h.ctrl.hostmem().register(buf);
+                h.submit(NvmeCommand {
+                    opcode: Opcode::Write,
+                    cid: 0,
+                    nsid: 1,
+                    lba: 100,
+                    nblocks: 8,
+                    fua: true,
+                    tx_id: 0,
+                    tx_flags: TxFlags::NONE,
+                    data_token: token,
+                });
+                let e = h.await_completion();
+                assert_eq!(e.status, Status::MediaWriteError);
+                // The tear keeps strictly fewer than 8 blocks, so the last
+                // block can never have landed.
+                let image = h.ctrl.graceful_image();
+                assert!(!image.blocks.contains_key(&107));
+                assert_eq!(
+                    h.ctrl
+                        .fault_injector()
+                        .unwrap()
+                        .counters()
+                        .snapshot()
+                        .torn_dma,
+                    1
+                );
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn stalled_command_withholds_its_completion() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan =
+                    FaultPlan::new(2).rule(FaultRule::new(FaultKind::Stall, Trigger::Nth(1)));
+                let mut h = faulty(SsdProfile::optane_p5800x(), plan);
+                let cmd = h.write_cmd(1, 1, false);
+                let stalled_cid = h.submit(cmd);
+                let cmd = h.write_cmd(2, 2, false);
+                let live_cid = h.submit(cmd);
+                // Only the second command ever completes.
+                let e = h.await_completion();
+                assert_eq!(e.cid, live_cid);
+                assert_ne!(e.cid, stalled_cid);
+                assert!(
+                    h.rx.recv_timeout(1_000_000).is_none(),
+                    "stalled command must stay silent"
+                );
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn busy_status_is_transient_and_retry_succeeds() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan = FaultPlan::new(3)
+                    .rule(FaultRule::new(FaultKind::Busy, Trigger::Nth(1)).max_hits(1));
+                let mut h = faulty(SsdProfile::optane_p5800x(), plan);
+                let cmd = h.write_cmd(9, 7, true);
+                h.submit(cmd.clone());
+                let e = h.await_completion();
+                assert_eq!(e.status, Status::Busy);
+                assert!(e.status.is_transient());
+                h.submit(cmd);
+                assert_eq!(h.await_completion().status, Status::Success);
+            });
+            sim.run();
+        }
+
+        #[test]
+        fn dropped_doorbell_is_recovered_by_reringing() {
+            let mut sim = Sim::new(2);
+            sim.spawn("host", 0, || {
+                let plan = FaultPlan::new(4)
+                    .rule(FaultRule::new(FaultKind::DoorbellDrop, Trigger::Nth(1)));
+                let mut h = faulty(SsdProfile::optane_p5800x(), plan);
+                let cmd = h.write_cmd(3, 3, false);
+                h.submit(cmd);
+                // The first doorbell was dropped: no completion arrives.
+                assert!(h.rx.recv_timeout(1_000_000).is_none());
+                // Ring again with the same tail; the command now executes.
+                h.ctrl.regs().write(0x1000, &h.tail.to_le_bytes());
+                assert_eq!(h.await_completion().status, Status::Success);
+                let snap = h.ctrl.fault_injector().unwrap().counters().snapshot();
+                assert_eq!(snap.doorbell_drops, 1);
+            });
+            sim.run();
+        }
     }
 }
 

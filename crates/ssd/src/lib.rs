@@ -19,7 +19,7 @@ pub mod hostmem;
 pub mod profile;
 pub mod store;
 
-pub use command::{CompletionEntry, NvmeCommand, Opcode, Status, TxFlags};
+pub use command::{CompletionEntry, NvmeCommand, Opcode, Status, StatusCodeType, TxFlags};
 pub use controller::{
     CrashMode, CtrlConfig, DoorbellLoc, DurableImage, NvmeController, QueueParams, SqBacking,
 };

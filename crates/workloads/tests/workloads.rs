@@ -159,7 +159,7 @@ fn wal_replay_recovers_unflushed_puts() {
         let fs = mqfs_stack();
         {
             let kv = MiniKv::open(Arc::clone(&fs));
-            kv.put_sync(b"persisted-key\0\0\0", &vec![0x77; 128]);
+            kv.put_sync(b"persisted-key\0\0\0", &[0x77; 128]);
         }
         // Re-open: the WAL still holds the record.
         let kv2 = MiniKv::open(Arc::clone(&fs));

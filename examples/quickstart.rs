@@ -5,8 +5,6 @@
 //! cargo run --example quickstart
 //! ```
 
-use std::sync::Arc;
-
 use ccnvme_repro::crashtest::{Stack, StackConfig};
 use ccnvme_repro::sim::Sim;
 use ccnvme_repro::ssd::{CrashMode, SsdProfile};
