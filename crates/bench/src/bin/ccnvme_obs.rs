@@ -1,0 +1,67 @@
+//! `ccnvme-obs` — observability report and schema-validation tool.
+//!
+//! * `ccnvme-obs report [--prometheus]` boots a small MQFS/ccNVMe stack,
+//!   runs a short fsync/fatomic workload and prints the full metrics
+//!   snapshot (JSON by default, Prometheus text with `--prometheus`).
+//! * `ccnvme-obs validate <file>...` checks that each file is a valid
+//!   `ccnvme-metrics/v1` document; exits non-zero on the first failure.
+//!   `scripts/bench_smoke.sh` uses this instead of external tooling.
+
+use ccnvme_bench::{in_sim, Stack, StackConfig};
+use ccnvme_obs::json::validate_metrics;
+use ccnvme_obs::MetricsSnapshot;
+use ccnvme_ssd::SsdProfile;
+use mqfs::FsVariant;
+
+const USAGE: &str = "usage: ccnvme-obs report [--prometheus] | ccnvme-obs validate <file>...";
+
+fn report() -> MetricsSnapshot {
+    let scfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 1);
+    in_sim(scfg.sim_cores(), move || {
+        let (stack, fs) = Stack::format(&scfg);
+        for i in 0..8 {
+            let ino = fs.create_path(&format!("/f{i}")).expect("create");
+            fs.write(ino, 0, &[0x42u8; 4096]).expect("write");
+            if i % 2 == 0 {
+                fs.fsync(ino).expect("fsync");
+            } else {
+                fs.fatomic(ino).expect("fatomic");
+            }
+        }
+        stack.metrics()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let snap = report();
+            if args.iter().any(|a| a == "--prometheus") {
+                print!("{}", snap.to_prometheus());
+            } else {
+                print!("{}", snap.to_json());
+            }
+        }
+        Some("validate") if args.len() > 1 => {
+            for file in &args[1..] {
+                let doc = match std::fs::read_to_string(file) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("{file}: cannot read: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if let Err(e) = validate_metrics(&doc) {
+                    eprintln!("{file}: INVALID: {e}");
+                    std::process::exit(1);
+                }
+                println!("{file}: ok");
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -6,7 +6,11 @@
 //! path adds. Not a paper figure; it quantifies the cost of the host
 //! error-handling ladder described in DESIGN.md §8.
 
-use ccnvme_bench::{f1, header, in_sim, row, scaled, Stack, StackConfig};
+use ccnvme_bench::{
+    f1, header, in_sim, quick, record_run, record_run_seq, row, scaled, write_metrics, Stack,
+    StackConfig,
+};
+use ccnvme_crashtest::{campaign_metrics, run_fault_campaign, FaultCampaignConfig};
 use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, OpMask, Trigger};
 use ccnvme_ssd::SsdProfile;
 use ccnvme_workloads::{run_fio, FioConfig, SyncMode};
@@ -37,7 +41,7 @@ fn measure(variant: FsVariant, busy_pct: f64, drop_pct: f64) -> Point {
                 ),
         );
     }
-    in_sim(cfg.sim_cores(), move || {
+    let (point, metrics) = in_sim(cfg.sim_cores(), move || {
         let (stack, fs) = Stack::format(&cfg);
         let res = run_fio(
             &fs,
@@ -50,13 +54,19 @@ fn measure(variant: FsVariant, busy_pct: f64, drop_pct: f64) -> Point {
         );
         let e = stack.err_stats();
         let f = stack.fault_stats();
-        Point {
+        let point = Point {
             kiops: res.kiops(),
             injected: f.total(),
             retries: e.retries,
             kicks: e.doorbell_kicks,
-        }
-    })
+        };
+        (point, stack.metrics())
+    });
+    record_run_seq(
+        &format!("{variant:?}.busy{busy_pct}_drop{drop_pct}").to_lowercase(),
+        metrics,
+    );
+    point
 }
 
 fn main() {
@@ -81,4 +91,36 @@ fn main() {
             );
         }
     }
+
+    // Deterministic fault campaign: schedules per kind, each checking the
+    // end-to-end error contract; its report lands in the metrics document
+    // as fault_campaign.* counters.
+    header("Fault campaign (error-contract schedules)");
+    let campaign = FaultCampaignConfig {
+        stack: StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 1),
+        schedules: if quick() { 1 } else { 2 },
+        seed: 0xfa51_7ca3,
+    };
+    let kinds = [
+        FaultKind::Busy,
+        FaultKind::DoorbellDrop,
+        FaultKind::MediaWrite,
+    ];
+    let reports = run_fault_campaign(&kinds, &campaign);
+    for r in &reports {
+        row(
+            &format!("{:?}", r.kind),
+            &[
+                format!("fired {}/{}", r.fired, r.schedules),
+                format!("degraded {}", r.degraded),
+                format!("retries {}", r.retries),
+                format!("violations {}", r.failures.len()),
+            ],
+        );
+        for f in &r.failures {
+            println!("    {f}");
+        }
+    }
+    record_run("campaign", campaign_metrics(&reports));
+    write_metrics("faultpath");
 }

@@ -66,7 +66,7 @@ fn measure(engine: Engine, threads: usize, write_kb: u64, txs_per_thread: u64) -
     };
     let scfg = StackConfig::new(variant, profile.clone(), threads);
     let prof2 = profile.clone();
-    in_sim(scfg.sim_cores(), move || {
+    let (point, metrics) = in_sim(scfg.sim_cores(), move || {
         // Raw driver + journal engine; no file system.
         let (stack, _fs) = Stack::format(&scfg);
         let dev = Arc::clone(&stack.dev);
@@ -138,12 +138,18 @@ fn measure(engine: Engine, threads: usize, write_kb: u64, txs_per_thread: u64) -
         let secs = elapsed as f64 / 1e9;
         let total_txs = threads as u64 * txs_per_thread;
         let payload = total_txs * write_kb * 1024;
-        TxPoint {
+        let point = TxPoint {
             mbps: payload as f64 / 1e6 / secs,
             ktps: total_txs as f64 / secs / 1e3,
             io_util: 100.0 * traffic.block_bytes as f64 / secs / prof2.seq_write_bw as f64,
-        }
-    })
+        };
+        (point, stack.metrics())
+    });
+    ccnvme_bench::record_run_seq(
+        &format!("{}.{threads}t.{write_kb}kb", engine.label()).to_lowercase(),
+        metrics,
+    );
+    point
 }
 
 fn main() {
@@ -210,4 +216,5 @@ fn main() {
          vs ≈62-63%; ccNVMe-atomic saturates with ~2 cores while the \
          others need ≈8; at high load ccNVMe keeps ≈50% higher TPS."
     );
+    ccnvme_bench::write_metrics("fig10");
 }

@@ -129,4 +129,5 @@ fn main() {
          throughout, approaches Ext4-NJ, and MQFS-atomic exceeds even \
          Ext4-NJ by decoupling atomicity from durability."
     );
+    ccnvme_bench::write_metrics("fig11");
 }

@@ -65,4 +65,5 @@ fn main() {
          ≈2.6×/1.1× on SSD B, at or near Ext4-NJ. fillsync — MQFS +66%/+36% \
          over Ext4/HoraeFS and +28% over Ext4-NJ on SSD B."
     );
+    ccnvme_bench::write_metrics("fig12");
 }

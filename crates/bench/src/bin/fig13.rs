@@ -49,4 +49,5 @@ fn main() {
          2.1× (P5800X) over the baseline, multi-queue journaling ≈+47-53%, \
          metadata shadow paging ≈+20-23%."
     );
+    ccnvme_bench::write_metrics("fig13");
 }

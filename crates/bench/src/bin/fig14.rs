@@ -14,9 +14,9 @@ enum SyncKind {
 
 fn run(variant: FsVariant, kind: SyncKind) -> (FsyncTrace, f64) {
     let iters = scaled(200);
-    in_sim(3, move || {
+    let (avg, total, metrics) = in_sim(3, move || {
         let scfg = StackConfig::new(variant, SsdProfile::optane_905p(), 1);
-        let (_stack, fs) = Stack::format(&scfg);
+        let (stack, fs) = Stack::format(&scfg);
         fs.enable_tracing();
         for i in 0..iters {
             let ino = fs.create_path(&format!("/f{i}")).expect("create");
@@ -42,8 +42,14 @@ fn run(variant: FsVariant, kind: SyncKind) -> (FsyncTrace, f64) {
         avg.commit = (avg.commit as f64 / n) as u64;
         let total = avg.total as f64 / n;
         avg.total = total as u64;
-        (avg, total)
-    })
+        (avg, total, stack.metrics())
+    });
+    let sync = match kind {
+        SyncKind::Fsync => "fsync",
+        SyncKind::Fatomic => "fatomic",
+    };
+    ccnvme_bench::record_run_seq(&format!("{variant:?}.{sync}").to_lowercase(), metrics);
+    (avg, total)
 }
 
 fn print_trace(label: &str, t: &FsyncTrace) {
@@ -86,4 +92,5 @@ fn main() {
         "paper:    MQFS fsync 22.4 us, MQFS fatomic 11.3 us, Ext4-NJ fsync 38.5 us \
          (MQFS ≈42% below Ext4-NJ; fatomic ≈10 us of CPU-side work only)"
     );
+    ccnvme_bench::write_metrics("fig14");
 }

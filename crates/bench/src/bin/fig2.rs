@@ -57,4 +57,5 @@ fn main() {
          crash-consistency gap opens (≈66% at 24 threads on the P5800X), \
          and only Ext4-NJ approaches full bandwidth."
     );
+    ccnvme_bench::write_metrics("fig2");
 }

@@ -93,4 +93,5 @@ fn main() {
          time dominates both.",
         p64 / w64
     );
+    ccnvme_bench::write_metrics("fig5");
 }

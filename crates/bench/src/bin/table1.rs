@@ -7,14 +7,14 @@
 //! convention: only the traffic the caller must *wait for* is charged to
 //! the atomicity guarantee.
 
-use ccnvme_bench::{header, in_sim, row, Stack, StackConfig};
+use ccnvme_bench::{header, in_sim, record_run_seq, row, write_metrics, Stack, StackConfig};
 use ccnvme_pcie::TrafficSnapshot;
 use ccnvme_ssd::SsdProfile;
 use ccnvme_workloads::SyncMode;
 use mqfs::FsVariant;
 
 fn measure(variant: FsVariant, sync: SyncMode, n: u64) -> TrafficSnapshot {
-    in_sim(3, move || {
+    let (traffic, metrics) = in_sim(3, move || {
         let scfg = StackConfig::new(variant, SsdProfile::optane_905p(), 1);
         let (stack, fs) = Stack::format(&scfg);
         let ino = fs.create_path("/t").expect("create");
@@ -30,14 +30,16 @@ fn measure(variant: FsVariant, sync: SyncMode, n: u64) -> TrafficSnapshot {
             SyncMode::Fsync => fs.fsync(ino).expect("fsync"),
             SyncMode::Fdataatomic => fs.fdataatomic(ino).expect("fdataatomic"),
         }
-        if sync == SyncMode::Fsync {
-            stack.controller().link().traffic.snapshot().since(&t0)
-        } else {
-            // Atomicity-only: charge the traffic present when the call
-            // returned (the background completion happens later).
-            stack.controller().link().traffic.snapshot().since(&t0)
-        }
-    })
+        // For fdataatomic this charges only the traffic present when the
+        // call returned (the background completion happens later).
+        let traffic = stack.controller().link().traffic.snapshot().since(&t0);
+        (traffic, stack.metrics())
+    });
+    record_run_seq(
+        &format!("{variant:?}.{sync:?}.n{n}").to_lowercase(),
+        metrics,
+    );
+    traffic
 }
 
 fn main() {
@@ -101,6 +103,7 @@ fn main() {
          marked 0* complete in the background — the caller returns after \
          two MMIOs; traffic captured at return is what it waited for."
     );
+    write_metrics("table1");
 }
 
 fn paper(mmio: u64, dmaq: u64, blk: u64, irq: u64) -> [String; 4] {

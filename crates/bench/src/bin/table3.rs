@@ -166,4 +166,5 @@ fn main() {
          DMA, IRQ) on top of the device latency — matching the paper's \
          through-the-kernel numbers (e.g. P5800X: 8/9 us)."
     );
+    ccnvme_bench::write_metrics("table3");
 }

@@ -51,4 +51,5 @@ fn main() {
         println!("Some crash points FAILED — see above.");
         std::process::exit(1);
     }
+    ccnvme_bench::write_metrics("table4");
 }

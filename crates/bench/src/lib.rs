@@ -9,8 +9,11 @@
 //! (scaled operation counts — the shapes, not the absolute run lengths,
 //! are what reproduce).
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use ccnvme_obs::MetricsSnapshot;
 use ccnvme_sim::Sim;
 use ccnvme_ssd::SsdProfile;
 use ccnvme_workloads::{
@@ -119,23 +122,77 @@ pub enum Workload {
 }
 
 /// Builds the full stack for (variant, profile), runs `workload`, and
-/// returns the measured point.
+/// returns the measured point. The run's full metrics snapshot is
+/// recorded in the process-wide collector (see [`record_run`]) under a
+/// `run<NNN>.<variant>.<workload>` label, so a bench binary only has to
+/// call [`write_metrics`] once at the end of `main`.
 pub fn measure_fs(variant: FsVariant, profile: SsdProfile, workload: &Workload) -> FsPoint {
     let threads = match workload {
         Workload::Fio { threads, .. }
         | Workload::Varmail { threads, .. }
         | Workload::Fillsync { threads, .. } => *threads,
     };
+    let w = match workload {
+        Workload::Fio { .. } => "fio",
+        Workload::Varmail { .. } => "varmail",
+        Workload::Fillsync { .. } => "fillsync",
+    };
+    let label = format!("{variant:?}.{w}").to_lowercase();
     let scfg = StackConfig::new(variant, profile.clone(), threads);
     let workload = workload.clone();
     let prof2 = profile.clone();
-    in_sim(scfg.sim_cores(), move || {
+    let (point, snap) = in_sim(scfg.sim_cores(), move || {
         let (stack, fs) = Stack::format(&scfg);
         let t0 = stack.controller().link().traffic.snapshot();
         let res = run_workload(&fs, &workload);
         let t1 = stack.controller().link().traffic.snapshot();
-        FsPoint::from_result(&res, t1.since(&t0).block_bytes, &prof2)
-    })
+        let point = FsPoint::from_result(&res, t1.since(&t0).block_bytes, &prof2);
+        (point, stack.metrics())
+    });
+    record_run_seq(&label, snap);
+    point
+}
+
+// ---------------------------------------------------------------------------
+// Metrics collection and export
+// ---------------------------------------------------------------------------
+
+static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
+static RUNS: std::sync::Mutex<Vec<(String, MetricsSnapshot)>> = std::sync::Mutex::new(Vec::new());
+
+/// Records one run's metrics snapshot under `label` for later export by
+/// [`write_metrics`]. `measure_fs` calls this automatically; binaries
+/// that build their own stacks call it with `stack.metrics()`.
+pub fn record_run(label: &str, snap: MetricsSnapshot) {
+    RUNS.lock().unwrap().push((label.to_string(), snap));
+}
+
+/// Like [`record_run`] but prefixes a process-wide `run<NNN>` sequence
+/// number so repeated configurations stay distinct in the merged
+/// document.
+pub fn record_run_seq(label: &str, snap: MetricsSnapshot) {
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    record_run(&format!("run{seq:03}.{label}"), snap);
+}
+
+/// Merges every recorded run (each under its label prefix) into one
+/// `ccnvme-metrics/v1` document and writes it to
+/// `$METRICS_DIR/<bench>.json` (default `target/metrics/`). Prints the
+/// path on success so scripts can pick it up; a write failure is
+/// reported but never fails the bench run itself.
+pub fn write_metrics(bench: &str) {
+    let dir = std::env::var_os("METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"));
+    let mut doc = MetricsSnapshot::default();
+    for (label, snap) in RUNS.lock().unwrap().iter() {
+        doc.merge(snap.prefixed(label));
+    }
+    let path = dir.join(format!("{bench}.json"));
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, doc.to_json())) {
+        Ok(()) => println!("[metrics] wrote {}", path.display()),
+        Err(e) => eprintln!("[metrics] could not write {}: {e}", path.display()),
+    }
 }
 
 fn run_workload(fs: &Arc<FileSystem>, w: &Workload) -> WorkloadResult {

@@ -241,6 +241,21 @@ pub trait BlockDevice: Send + Sync {
 
     /// Capacity in blocks.
     fn capacity_blocks(&self) -> u64;
+
+    /// The observability hub of the stack this device belongs to, if it
+    /// has one. Drivers return their PCIe link's hub so journals and
+    /// file systems register metrics into the same per-stack registry;
+    /// synthetic test devices keep the default `None`.
+    fn obs(&self) -> Option<std::sync::Arc<ccnvme_obs::Obs>> {
+        None
+    }
+}
+
+/// Returns `dev`'s observability hub, or a fresh detached one — so upper
+/// layers can always register metrics without caring whether the device
+/// is a real driver or a test stub.
+pub fn obs_of(dev: &dyn BlockDevice) -> std::sync::Arc<ccnvme_obs::Obs> {
+    dev.obs().unwrap_or_else(ccnvme_obs::Obs::new)
 }
 
 /// Waits for a group of bios to complete (in virtual time).

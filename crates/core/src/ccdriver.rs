@@ -28,8 +28,9 @@ use std::{
 };
 
 use ccnvme_block::{Bio, BioOp, BioStatus, BlockDevice};
+use ccnvme_obs::{EventKind, Obs};
 use ccnvme_pcie::MmioRegion;
-use ccnvme_sim::{mpsc_channel, Ns, Receiver, Sender, SimCondvar, SimMutex};
+use ccnvme_sim::{mpsc_channel, Histogram, Ns, Receiver, Sender, SimCondvar, SimMutex};
 use ccnvme_ssd::{
     CompletionEntry, DoorbellLoc, HostMemory, NvmeCommand, NvmeController, Opcode, QueueParams,
     SqBacking, Status, TxFlags,
@@ -98,6 +99,7 @@ struct CcqSt {
 }
 
 struct CcQueue {
+    qid: u16,
     depth: u32,
     ring_off: u64,
     db_off: u64,
@@ -106,6 +108,12 @@ struct CcQueue {
     abort_cnt_off: u64,
     abort_base_off: u64,
     abort_cap: u32,
+    /// The stack's observability hub (shared with the link/controller);
+    /// lifecycle events record here.
+    obs: Arc<Obs>,
+    /// Submit-to-complete latency of this queue's bios
+    /// (`ccnvme.q{qid}.complete_ns`).
+    complete_hist: Arc<Histogram>,
     st: SimMutex<CcqSt>,
     cv: SimCondvar,
 }
@@ -135,6 +143,7 @@ struct CcInner {
     volatile_cache: bool,
     next_tx: AtomicU64,
     errctx: Arc<CcErrCtx>,
+    obs: Arc<Obs>,
 }
 
 /// The ccNVMe host driver.
@@ -188,16 +197,18 @@ impl CcNvmeDriver {
             pmr.write(layout.abort_count_off(q), &0u32.to_le_bytes());
         }
         pmr.flush();
+        let obs = ctrl.link().obs.clone();
         let (retry_tx, retry_rx) = mpsc_channel(None);
         let errctx = Arc::new(CcErrCtx {
             policy,
-            stats: HostErrStats::default(),
+            stats: HostErrStats::registered(&obs.metrics),
             retry_tx,
         });
         let mut queues = Vec::with_capacity(num_queues as usize);
         for i in 0..num_queues {
             let qid = i + 1;
             let q = Arc::new(CcQueue {
+                qid,
                 depth,
                 ring_off: layout.ring_off(i),
                 db_off: layout.db_off(i),
@@ -206,6 +217,8 @@ impl CcNvmeDriver {
                 abort_cnt_off: layout.abort_count_off(i),
                 abort_base_off: layout.abort_entry_off(i, 0),
                 abort_cap: layout.abort_capacity(),
+                obs: Arc::clone(&obs),
+                complete_hist: obs.metrics.histogram(&format!("ccnvme.q{qid}.complete_ns")),
                 st: SimMutex::new(CcqSt {
                     tail: 0,
                     head_idx: 0,
@@ -244,6 +257,7 @@ impl CcNvmeDriver {
                 volatile_cache,
                 next_tx: AtomicU64::new(1),
                 errctx,
+                obs,
             }),
         };
         let wd = Arc::clone(&driver.inner);
@@ -312,6 +326,9 @@ impl CcNvmeDriver {
             Some(buf) => self.inner.hostmem.register(Arc::clone(buf)),
             None => 0,
         };
+        q.obs
+            .trace
+            .event(ccnvme_sim::now(), EventKind::TxBegin, q.qid, tx_id, 0);
         // Reserve the next ring slot (block while the ring is full). The
         // slot index doubles as the command id; it stays unique because a
         // slot is only reused after its in-order completion.
@@ -354,12 +371,22 @@ impl CcNvmeDriver {
         self.inner
             .pmr
             .write(q.ring_off + cmd.cid as u64 * 64, &cmd.encode());
+        q.obs.trace.event(
+            ccnvme_sim::now(),
+            EventKind::SqeStore,
+            q.qid,
+            tx_id,
+            cmd.cid as u64,
+        );
         if ring {
             if flush_first {
                 // Persistent-MMIO flush: clflush + mfence + zero-byte
                 // read. After this, every entry of the transaction is in
                 // the PMR (step 2a).
                 self.inner.pmr.flush();
+                q.obs
+                    .trace
+                    .event(ccnvme_sim::now(), EventKind::MmioFlush, q.qid, tx_id, 0);
             }
             // Ring the persistent doorbell (step 2b). Ringing with the
             // current tail also exposes any entries queued after ours by
@@ -371,6 +398,13 @@ impl CcNvmeDriver {
                 st.tail
             };
             self.inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
+            q.obs.trace.event(
+                ccnvme_sim::now(),
+                EventKind::Doorbell,
+                q.qid,
+                tx_id,
+                tail_now as u64,
+            );
         }
     }
 }
@@ -544,6 +578,8 @@ fn advance_queue(
                     st.failed_txs.remove(&s.tx_id);
                 }
                 if let Some(bio) = s.bio.take() {
+                    q.complete_hist
+                        .record(ccnvme_sim::now().saturating_sub(s.submitted_at));
                     finished.push((bio, status));
                 }
             }
@@ -562,7 +598,11 @@ fn advance_queue(
     // upper layer as failures, so recovery must never replay them.
     pmr.write(q.head_off, &new_head.to_le_bytes());
     regs.write(q.cqdb_off, &new_head.to_le_bytes());
+    let done_at = ccnvme_sim::now();
     for (mut bio, status) in finished {
+        q.obs
+            .trace
+            .event(done_at, EventKind::Completion, q.qid, bio.tx_id, 0);
         bio.complete(status);
     }
     // Wake slot waiters (and quiescers) only after the upper layer saw
@@ -787,6 +827,10 @@ impl BlockDevice for CcNvmeDriver {
 
     fn capacity_blocks(&self) -> u64 {
         self.inner.capacity
+    }
+
+    fn obs(&self) -> Option<Arc<Obs>> {
+        Some(Arc::clone(&self.inner.obs))
     }
 }
 

@@ -18,7 +18,8 @@
 use std::{collections::HashMap, sync::Arc};
 
 use ccnvme_block::{Bio, BioOp, BioStatus, BioWaiter, BlockDevice};
-use ccnvme_sim::{mpsc_channel, Ns, Receiver, Sender, SimCondvar, SimMutex};
+use ccnvme_obs::{EventKind, Obs};
+use ccnvme_sim::{mpsc_channel, Histogram, Ns, Receiver, Sender, SimCondvar, SimMutex};
 use ccnvme_ssd::{
     CompletionEntry, DoorbellLoc, HostMemory, NvmeCommand, NvmeController, Opcode, QueueParams,
     SqBacking, Status, TxFlags,
@@ -65,6 +66,11 @@ struct DrvQueue {
     sqmem: Arc<Mutex<Vec<u8>>>,
     sqdb_off: u64,
     cqdb_off: u64,
+    /// The stack's observability hub (lifecycle events record here).
+    obs: Arc<Obs>,
+    /// Submit-to-complete latency of this queue's bios
+    /// (`nvme.q{qid}.complete_ns`).
+    complete_hist: Arc<Histogram>,
     st: SimMutex<DqSt>,
     cv: SimCondvar,
 }
@@ -91,6 +97,7 @@ struct DrvInner {
     capacity: u64,
     volatile_cache: bool,
     errctx: Arc<ErrCtx>,
+    obs: Arc<Obs>,
 }
 
 /// The baseline multi-queue NVMe driver.
@@ -112,10 +119,11 @@ impl NvmeDriver {
         let regs = ctrl.regs();
         let hostmem = ctrl.hostmem();
         let volatile_cache = ctrl.profile().volatile_cache;
+        let obs = ctrl.link().obs.clone();
         let (retry_tx, retry_rx) = mpsc_channel::<RetryReq>(None);
         let errctx = Arc::new(ErrCtx {
             policy,
-            stats: HostErrStats::default(),
+            stats: HostErrStats::registered(&obs.metrics),
             retry_tx,
         });
         let mut queues = Vec::with_capacity(num_queues);
@@ -129,6 +137,8 @@ impl NvmeDriver {
                 sqmem: Arc::clone(&sqmem),
                 sqdb_off: DB_BASE + qid as u64 * 8,
                 cqdb_off: DB_BASE + qid as u64 * 8 + 4,
+                obs: Arc::clone(&obs),
+                complete_hist: obs.metrics.histogram(&format!("nvme.q{qid}.complete_ns")),
                 st: SimMutex::new(DqSt {
                     tail: 0,
                     inflight: HashMap::new(),
@@ -148,6 +158,7 @@ impl NvmeDriver {
             capacity: DEFAULT_CAPACITY_BLOCKS,
             volatile_cache,
             errctx,
+            obs,
         });
         let wd = Arc::clone(&inner);
         ccnvme_sim::spawn_daemon("nvme-wdog", 0, move || watchdog_loop(wd));
@@ -228,6 +239,9 @@ impl NvmeDriver {
             );
             (cmd, slot, st.tail)
         };
+        q.obs
+            .trace
+            .event(ccnvme_sim::now(), EventKind::TxBegin, q.qid, tx_id, 0);
         // Write the SQE into host memory (plain stores, no PCIe traffic).
         ccnvme_sim::cpu(SQE_WRITE_CPU);
         {
@@ -235,8 +249,22 @@ impl NvmeDriver {
             let off = slot as usize * 64;
             mem[off..off + 64].copy_from_slice(&cmd.encode());
         }
+        q.obs.trace.event(
+            ccnvme_sim::now(),
+            EventKind::SqeStore,
+            q.qid,
+            tx_id,
+            cmd.cid as u64,
+        );
         // Eager per-request doorbell — original NVMe behaviour.
         self.inner.regs.write(q.sqdb_off, &new_tail.to_le_bytes());
+        q.obs.trace.event(
+            ccnvme_sim::now(),
+            EventKind::Doorbell,
+            q.qid,
+            tx_id,
+            new_tail as u64,
+        );
     }
 }
 
@@ -318,6 +346,12 @@ fn complete_one(
         }
         Next::Done(inf) => {
             q.cv.notify_all();
+            let done_at = ccnvme_sim::now();
+            q.complete_hist
+                .record(done_at.saturating_sub(inf.submitted_at));
+            q.obs
+                .trace
+                .event(done_at, EventKind::Completion, q.qid, inf.bio.tx_id, 0);
             if inf.token != 0 {
                 hostmem.unregister(inf.token);
             }
@@ -501,6 +535,10 @@ impl BlockDevice for NvmeDriver {
 
     fn capacity_blocks(&self) -> u64 {
         self.inner.capacity
+    }
+
+    fn obs(&self) -> Option<Arc<Obs>> {
+        Some(Arc::clone(&self.inner.obs))
     }
 }
 

@@ -19,7 +19,10 @@
 //! the PCIe traffic-counter pattern, so benches can report error-path
 //! overhead.
 
+use std::sync::Arc;
+
 use ccnvme_block::BioStatus;
+use ccnvme_obs::Registry;
 use ccnvme_sim::{Counter, Ns};
 use ccnvme_ssd::Status;
 
@@ -78,28 +81,47 @@ pub fn map_status(status: Status) -> BioStatus {
 }
 
 /// Host error-path counters.
+///
+/// Since the unified observability layer these live in the stack's
+/// metrics registry under `host_err.*` names (see
+/// [`HostErrStats::registered`]); the struct remains the typed view the
+/// drivers increment and the fault benches read.
 #[derive(Debug, Default)]
 pub struct HostErrStats {
     /// Transient busy completions observed.
-    pub busy_completions: Counter,
+    pub busy_completions: Arc<Counter>,
     /// Commands resubmitted after backoff.
-    pub retries: Counter,
+    pub retries: Arc<Counter>,
     /// Commands whose retry budget ran out (failed up to the bio).
-    pub retries_exhausted: Counter,
+    pub retries_exhausted: Arc<Counter>,
     /// Watchdog doorbell re-rings (stage 1 of the timeout ladder).
-    pub doorbell_kicks: Counter,
+    pub doorbell_kicks: Arc<Counter>,
     /// Commands aborted by the watchdog (stage 2).
-    pub timeouts: Counter,
+    pub timeouts: Arc<Counter>,
     /// Hardware queues drained and re-created after aborts.
-    pub queue_reinits: Counter,
+    pub queue_reinits: Arc<Counter>,
     /// Unrecoverable media errors delivered to bios.
-    pub media_errors: Counter,
+    pub media_errors: Arc<Counter>,
     /// Whole transactions failed because one member failed (ccNVMe
     /// transaction-atomic error handling).
-    pub tx_failures: Counter,
+    pub tx_failures: Arc<Counter>,
 }
 
 impl HostErrStats {
+    /// Creates counters registered in `reg` under `host_err.*` names.
+    pub fn registered(reg: &Registry) -> Self {
+        HostErrStats {
+            busy_completions: reg.counter("host_err.busy_completions"),
+            retries: reg.counter("host_err.retries"),
+            retries_exhausted: reg.counter("host_err.retries_exhausted"),
+            doorbell_kicks: reg.counter("host_err.doorbell_kicks"),
+            timeouts: reg.counter("host_err.timeouts"),
+            queue_reinits: reg.counter("host_err.queue_reinits"),
+            media_errors: reg.counter("host_err.media_errors"),
+            tx_failures: reg.counter("host_err.tx_failures"),
+        }
+    }
+
     /// Takes a point-in-time snapshot.
     pub fn snapshot(&self) -> HostErrSnapshot {
         HostErrSnapshot {

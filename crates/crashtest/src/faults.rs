@@ -320,6 +320,29 @@ fn classify(kind: FaultKind, o: &RunOutcome) -> Vec<String> {
     v
 }
 
+/// Flattens campaign reports into a metrics snapshot so fault campaigns
+/// emit the same machine-readable `ccnvme-metrics/v1` document as the
+/// bench binaries: one `fault_campaign.<kind>.<field>` counter per
+/// report field (violations = count of failed schedules recorded).
+pub fn campaign_metrics(reports: &[FaultKindReport]) -> ccnvme_obs::MetricsSnapshot {
+    let mut snap = ccnvme_obs::MetricsSnapshot::default();
+    for r in reports {
+        let kind = format!("{:?}", r.kind).to_lowercase();
+        let mut put = |field: &str, v: u64| {
+            snap.counters
+                .insert(format!("fault_campaign.{kind}.{field}"), v);
+        };
+        put("schedules", r.schedules as u64);
+        put("fired", r.fired as u64);
+        put("degraded", r.degraded as u64);
+        put("retries", r.retries);
+        put("kicks", r.kicks);
+        put("timeouts", r.timeouts);
+        put("violations", r.failures.len() as u64);
+    }
+    snap
+}
+
 /// Runs `cfg.schedules` deterministic schedules of each kind in `kinds`.
 pub fn run_fault_campaign(kinds: &[FaultKind], cfg: &FaultCampaignConfig) -> Vec<FaultKindReport> {
     let (t_begin, t_end) = measure_script(&cfg.stack);

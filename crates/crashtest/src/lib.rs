@@ -30,7 +30,7 @@ use ccnvme_ssd::{CrashMode, DurableImage};
 use mqfs::FileSystem;
 use parking_lot::Mutex;
 
-pub use faults::{run_fault_campaign, FaultCampaignConfig, FaultKindReport};
+pub use faults::{campaign_metrics, run_fault_campaign, FaultCampaignConfig, FaultKindReport};
 pub use stack::{Stack, StackConfig};
 pub use workloads::table4_workloads;
 

@@ -153,6 +153,17 @@ impl Stack {
         }
     }
 
+    /// The stack's observability handle (metrics registry + trace
+    /// ring), shared by every layer attached to this link.
+    pub fn obs(&self) -> Arc<ccnvme_obs::Obs> {
+        Arc::clone(&self.controller().link().obs)
+    }
+
+    /// One-pass snapshot of every metric this stack has registered.
+    pub fn metrics(&self) -> ccnvme_obs::MetricsSnapshot {
+        self.obs().metrics.snapshot()
+    }
+
     /// Host-side error/retry counters (both driver flavours expose the
     /// same snapshot type).
     pub fn err_stats(&self) -> HostErrSnapshot {

@@ -16,6 +16,8 @@
 //! traffic-counter pattern, so benches and campaigns can report
 //! error-path overhead.
 
+use std::sync::Arc;
+
 use ccnvme_sim::{Counter, DetRng, Ns};
 use parking_lot::Mutex;
 
@@ -262,23 +264,39 @@ pub struct Injection {
 }
 
 /// Per-kind injection counters (the `pcie` traffic-counter pattern).
+///
+/// The counters are allocated when the injector is built — before any
+/// stack (and hence any metrics registry) exists — so the controller
+/// adopts them into its registry at attach time via
+/// [`FaultCounters::register_into`], under `fault.*` names.
 #[derive(Debug, Default)]
 pub struct FaultCounters {
     /// Injected unrecoverable read errors.
-    pub media_read: Counter,
+    pub media_read: Arc<Counter>,
     /// Injected unrecoverable write errors.
-    pub media_write: Counter,
+    pub media_write: Arc<Counter>,
     /// Injected torn DMAs.
-    pub torn_dma: Counter,
+    pub torn_dma: Arc<Counter>,
     /// Commands whose completion was withheld.
-    pub stalls: Counter,
+    pub stalls: Arc<Counter>,
     /// Dropped doorbell writes.
-    pub doorbell_drops: Counter,
+    pub doorbell_drops: Arc<Counter>,
     /// Injected transient busy completions.
-    pub busy: Counter,
+    pub busy: Arc<Counter>,
 }
 
 impl FaultCounters {
+    /// Adopts these counters into `reg` under `fault.*` names, so fault
+    /// campaigns show up in the unified metrics export.
+    pub fn register_into(&self, reg: &ccnvme_obs::Registry) {
+        reg.adopt_counter("fault.media_read", Arc::clone(&self.media_read));
+        reg.adopt_counter("fault.media_write", Arc::clone(&self.media_write));
+        reg.adopt_counter("fault.torn_dma", Arc::clone(&self.torn_dma));
+        reg.adopt_counter("fault.stalls", Arc::clone(&self.stalls));
+        reg.adopt_counter("fault.doorbell_drops", Arc::clone(&self.doorbell_drops));
+        reg.adopt_counter("fault.busy", Arc::clone(&self.busy));
+    }
+
     /// Takes a point-in-time snapshot.
     pub fn snapshot(&self) -> FaultSnapshot {
         FaultSnapshot {

@@ -24,7 +24,7 @@ use std::{
 };
 
 use ccnvme_block::{Bio, BioBuf, BioFlags, BioStatus, BioWaiter};
-use ccnvme_sim::{Ns, SimCondvar, SimMutex};
+use ccnvme_sim::{Counter, Histogram, Ns, SimCondvar, SimMutex};
 
 use crate::{
     area::{AreaRing, AreaSpec},
@@ -108,6 +108,14 @@ struct ClassicInner {
     /// Set after an unrecoverable commit- or checkpoint-path error;
     /// further commits are refused.
     aborted: AtomicBool,
+    /// Compound commits written (`journal.classic.commits`).
+    commits: Arc<Counter>,
+    /// Duration of one compound commit (`journal.classic.commit_ns`).
+    commit_hist: Arc<Histogram>,
+    /// Checkpoint passes run (`journal.classic.checkpoints`).
+    checkpoints: Arc<Counter>,
+    /// Duration of one checkpoint pass (`journal.classic.checkpoint_ns`).
+    checkpoint_hist: Arc<Histogram>,
 }
 
 /// The classic (JBD2-style) journal engine; `horae: true` removes the
@@ -127,6 +135,7 @@ impl ClassicJournal {
         style: CommitStyle,
         thread_core: usize,
     ) -> Self {
+        let obs = ccnvme_block::obs_of(dev.as_ref());
         let inner = Arc::new(ClassicInner {
             dev,
             ring: AreaRing::new(area),
@@ -142,6 +151,10 @@ impl ClassicJournal {
             pending: SimMutex::new(HashMap::new()),
             revokes: SimMutex::new(Vec::new()),
             aborted: AtomicBool::new(false),
+            commits: obs.metrics.counter("journal.classic.commits"),
+            commit_hist: obs.metrics.histogram("journal.classic.commit_ns"),
+            checkpoints: obs.metrics.counter("journal.classic.checkpoints"),
+            checkpoint_hist: obs.metrics.histogram("journal.classic.checkpoint_ns"),
         });
         let worker = Arc::clone(&inner);
         let name = match style {
@@ -177,7 +190,10 @@ fn commit_thread(inner: Arc<ClassicInner>) {
         // §3 attributes to the separate journaling thread).
         ccnvme_sim::cpu(CTX_SWITCH + COMMIT_PREP_CPU);
         let mut batch = batch;
+        let t0 = ccnvme_sim::now();
         let res = commit_compound(&inner, &mut batch);
+        inner.commits.inc();
+        inner.commit_hist.record(ccnvme_sim::now() - t0);
         if res.is_err() {
             inner.aborted.store(true, Ordering::SeqCst);
         }
@@ -523,6 +539,8 @@ fn commit_chunk(
 /// Runs in the commit thread; holds the pending map for the duration so
 /// block reuse cannot race with the checkpoint writes.
 fn checkpoint_now(inner: &Arc<ClassicInner>) {
+    let t0 = ccnvme_sim::now();
+    inner.checkpoints.inc();
     let mut pending = inner.pending.lock();
     if !pending.is_empty() {
         let waiter = BioWaiter::new();
@@ -570,6 +588,7 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
     inner.dev.submit_bio(hbio);
     let _ = hw.wait();
     inner.ring.release_all();
+    inner.checkpoint_hist.record(ccnvme_sim::now() - t0);
 }
 
 impl Journal for ClassicJournal {

@@ -40,7 +40,7 @@ use std::{
 };
 
 use ccnvme_block::{Bio, BioBuf, BioFlags, BioStatus, BioWaiter};
-use ccnvme_sim::SimMutex;
+use ccnvme_sim::{Counter, Histogram, SimMutex};
 
 use crate::{
     area::{AreaRing, AreaSpec},
@@ -115,6 +115,16 @@ struct MqInner {
     /// Set after an unrecoverable commit-path error; further commits are
     /// refused and errored transactions are never checkpointed.
     aborted: AtomicBool,
+    /// Committed transactions (`journal.mq.commits`).
+    commits: Arc<Counter>,
+    /// Commit latency from `commit_tx` entry to return
+    /// (`journal.mq.commit_ns`; the Atomic path excludes the durability
+    /// wait by construction).
+    commit_hist: Arc<Histogram>,
+    /// Checkpoint passes run (`journal.mq.checkpoints`).
+    checkpoints: Arc<Counter>,
+    /// Duration of one checkpoint pass (`journal.mq.checkpoint_ns`).
+    checkpoint_hist: Arc<Histogram>,
 }
 
 /// The multi-queue journal engine.
@@ -134,6 +144,7 @@ impl MqJournal {
     /// holds the persistent replay floor.
     pub fn new(dev: Dev, areas: Vec<AreaSpec>, horizon_lba: u64) -> Self {
         assert!(!areas.is_empty(), "need at least one journal area");
+        let obs = ccnvme_block::obs_of(dev.as_ref());
         let areas = areas
             .into_iter()
             .enumerate()
@@ -157,6 +168,10 @@ impl MqJournal {
                 horizon_lba,
                 horizon_written: AtomicU64::new(0),
                 aborted: AtomicBool::new(false),
+                commits: obs.metrics.counter("journal.mq.commits"),
+                commit_hist: obs.metrics.histogram("journal.mq.commit_ns"),
+                checkpoints: obs.metrics.counter("journal.mq.checkpoints"),
+                checkpoint_hist: obs.metrics.histogram("journal.mq.checkpoint_ns"),
             }),
         }
     }
@@ -240,6 +255,7 @@ impl MqJournal {
     /// persistent horizon. Runs in the caller's context; other areas keep
     /// logging throughout (§5.2).
     fn checkpoint_area(&self, area_idx: usize) {
+        let t0 = ccnvme_sim::now();
         let inner = &self.inner;
         let area = &inner.areas[area_idx];
         let mut st = area.st.lock();
@@ -379,6 +395,8 @@ impl MqJournal {
             area.ring.release(released_blocks);
         }
         drop(st);
+        inner.checkpoints.inc();
+        inner.checkpoint_hist.record(ccnvme_sim::now() - t0);
     }
 
     /// Finds which areas hold versions older than the front of
@@ -427,6 +445,7 @@ impl Journal for MqJournal {
         if tx.meta.len() > CHUNK_META || tx.data.len() + tx.meta.len() > CHUNK_TOTAL {
             return self.commit_chunked(tx, durability);
         }
+        let t0 = ccnvme_sim::now();
         let inner = &self.inner;
         let area_idx = self.area_for_current_core();
         let area = &inner.areas[area_idx];
@@ -561,6 +580,8 @@ impl Journal for MqJournal {
             inner.aborted.store(true, Ordering::SeqCst);
             return Err(CommitError::Io(status));
         }
+        inner.commits.inc();
+        inner.commit_hist.record(ccnvme_sim::now() - t0);
         Ok(())
     }
 

@@ -28,7 +28,7 @@ use std::{
 };
 
 use ccnvme_block::{submit_and_wait, Bio, BioBuf, BioStatus, BLOCK_SIZE};
-use ccnvme_sim::{Counter, Ns, SimMutex, SimRwLock};
+use ccnvme_sim::{Counter, Histogram, Ns, SimMutex, SimRwLock};
 use mqfs_journal::{
     AreaSpec, ClassicJournal, CommitStyle, Dev, Durability, Journal, MqJournal, NoJournal,
     ReuseAction, TxBlock, TxDescriptor,
@@ -141,6 +141,33 @@ pub struct FsStats {
     pub bytes_written: Counter,
     /// Transactions committed.
     pub txs: Counter,
+}
+
+/// Per-syscall latency histograms, registered in the device's metrics
+/// registry under `mqfs.<op>_ns` names. Only successful calls record
+/// (error paths return before the stop watch).
+struct SyscallHists {
+    create: Arc<Histogram>,
+    mkdir: Arc<Histogram>,
+    write: Arc<Histogram>,
+    fsync: Arc<Histogram>,
+    fatomic: Arc<Histogram>,
+    rename: Arc<Histogram>,
+    unlink: Arc<Histogram>,
+}
+
+impl SyscallHists {
+    fn registered(reg: &ccnvme_obs::Registry) -> Self {
+        SyscallHists {
+            create: reg.histogram("mqfs.create_ns"),
+            mkdir: reg.histogram("mqfs.mkdir_ns"),
+            write: reg.histogram("mqfs.write_ns"),
+            fsync: reg.histogram("mqfs.fsync_ns"),
+            fatomic: reg.histogram("mqfs.fatomic_ns"),
+            rename: reg.histogram("mqfs.rename_ns"),
+            unlink: reg.histogram("mqfs.unlink_ns"),
+        }
+    }
 }
 
 /// Latency breakdown of one `fsync`, mirroring Figure 14's segments.
@@ -273,6 +300,8 @@ pub struct FileSystem {
     op_barrier: SimRwLock<()>,
     /// Statistics counters.
     pub stats: FsStats,
+    /// Syscall-level latency histograms (`mqfs.<op>_ns`).
+    sys: SyscallHists,
     trace_enabled: AtomicBool,
     traces: Mutex<Vec<FsyncTrace>>,
     /// Set when the file system degraded to read-only after an
@@ -301,6 +330,7 @@ impl FileSystem {
         let cache = Arc::new(BufferCache::new(Arc::clone(&dev)));
         let alloc = Allocator::format(layout, Arc::clone(&cache));
         let journal = build_journal(&cfg, &dev, &layout);
+        let sys = SyscallHists::registered(&ccnvme_block::obs_of(dev.as_ref()).metrics);
         let fs = Arc::new(FileSystem {
             dev,
             cfg,
@@ -312,6 +342,7 @@ impl FileSystem {
             ops: SimMutex::new(OpIndex::default()),
             op_barrier: SimRwLock::new(()),
             stats: FsStats::default(),
+            sys,
             trace_enabled: AtomicBool::new(false),
             traces: Mutex::new(Vec::new()),
             degraded: AtomicBool::new(false),
@@ -372,6 +403,7 @@ impl FileSystem {
         journal.set_tx_floor(max_tx.max(max_discard));
         let cache = Arc::new(BufferCache::new(Arc::clone(&dev)));
         let alloc = Allocator::load(layout, Arc::clone(&cache));
+        let sys = SyscallHists::registered(&ccnvme_block::obs_of(dev.as_ref()).metrics);
         Ok(Arc::new(FileSystem {
             dev,
             cfg,
@@ -383,6 +415,7 @@ impl FileSystem {
             ops: SimMutex::new(OpIndex::default()),
             op_barrier: SimRwLock::new(()),
             stats: FsStats::default(),
+            sys,
             trace_enabled: AtomicBool::new(false),
             traces: Mutex::new(Vec::new()),
             degraded: AtomicBool::new(false),
@@ -662,6 +695,13 @@ impl FileSystem {
     /// Writes `data` at byte `offset`, growing the file as needed. Data
     /// stays in the page cache until `fsync`/`fatomic`.
     pub fn write(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
+        let t0 = ccnvme_sim::now();
+        self.write_impl(ino, offset, data)?;
+        self.sys.write.record(ccnvme_sim::now() - t0);
+        Ok(())
+    }
+
+    fn write_impl(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
         self.ensure_writable()?;
         ccnvme_sim::cpu(WRITE_BASE_CPU);
         let h = self.handle(ino);
@@ -906,12 +946,18 @@ impl FileSystem {
         if commit_failed {
             return Err(FsError::Io);
         }
+        let now = ccnvme_sim::now();
         match durability {
-            Durability::Durable => self.stats.fsyncs.inc(),
-            Durability::Atomic => self.stats.fatomics.inc(),
+            Durability::Durable => {
+                self.stats.fsyncs.inc();
+                self.sys.fsync.record(now - t0);
+            }
+            Durability::Atomic => {
+                self.stats.fatomics.inc();
+                self.sys.fatomic.record(now - t0);
+            }
         }
         if self.trace_enabled.load(Ordering::Relaxed) {
-            let now = ccnvme_sim::now();
             self.traces.lock().push(FsyncTrace {
                 s_data: t_data - t0,
                 s_inode: t_inode - t_data,
@@ -929,12 +975,18 @@ impl FileSystem {
 
     /// Creates a regular file in `parent`; returns the new inode number.
     pub fn create(&self, parent: u64, name: &str) -> FsResult<u64> {
-        self.make_node(parent, name, InodeKind::File)
+        let t0 = ccnvme_sim::now();
+        let ino = self.make_node(parent, name, InodeKind::File)?;
+        self.sys.create.record(ccnvme_sim::now() - t0);
+        Ok(ino)
     }
 
     /// Creates a directory in `parent`.
     pub fn mkdir(&self, parent: u64, name: &str) -> FsResult<u64> {
-        self.make_node(parent, name, InodeKind::Dir)
+        let t0 = ccnvme_sim::now();
+        let ino = self.make_node(parent, name, InodeKind::Dir)?;
+        self.sys.mkdir.record(ccnvme_sim::now() - t0);
+        Ok(ino)
     }
 
     fn make_node(&self, parent: u64, name: &str, kind: InodeKind) -> FsResult<u64> {
@@ -1110,6 +1162,13 @@ impl FileSystem {
     /// Removes a file entry; frees the inode when the link count drops
     /// to zero.
     pub fn unlink(&self, parent: u64, name: &str) -> FsResult<()> {
+        let t0 = ccnvme_sim::now();
+        self.unlink_impl(parent, name)?;
+        self.sys.unlink.record(ccnvme_sim::now() - t0);
+        Ok(())
+    }
+
+    fn unlink_impl(&self, parent: u64, name: &str) -> FsResult<()> {
         self.ensure_writable()?;
         ccnvme_sim::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
@@ -1283,6 +1342,19 @@ impl FileSystem {
     /// An existing destination file (or empty directory) is replaced,
     /// POSIX-style.
     pub fn rename(
+        &self,
+        src_parent: u64,
+        src_name: &str,
+        dst_parent: u64,
+        dst_name: &str,
+    ) -> FsResult<()> {
+        let t0 = ccnvme_sim::now();
+        self.rename_impl(src_parent, src_name, dst_parent, dst_name)?;
+        self.sys.rename.record(ccnvme_sim::now() - t0);
+        Ok(())
+    }
+
+    fn rename_impl(
         &self,
         src_parent: u64,
         src_name: &str,

@@ -1,0 +1,67 @@
+//! Unified observability layer for the ccNVMe/MQFS stack.
+//!
+//! The paper's entire evaluation (§7, Figures 5/10/11, Table 1) is about
+//! *where time and PCIe traffic go* — MMIO vs DMA vs IRQ, fatomic-return
+//! vs fsync-durable. This crate is the single substrate every layer
+//! reports into:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s and log-scaled
+//!   latency [`Histogram`]s (p50/p95/p99/max), registrable by name from
+//!   any crate.
+//! * [`registry`] — a [`Registry`] groups metrics per stack instance and
+//!   produces one-pass consistent [`MetricsSnapshot`]s with JSON and
+//!   Prometheus-text exporters. Snapshots are subtractable
+//!   ([`MetricsSnapshot::since`]) so measurement windows never need the
+//!   racy reset-and-read pattern.
+//! * [`trace`] — a [`TraceRing`] records transaction-lifecycle events
+//!   (`tx_begin / sqe_store / mmio_flush / doorbell / dma_fetch /
+//!   media_write / cqe_post / irq / completion`) with sim-time
+//!   timestamps, per queue and per transaction ID, so one `fatomic`
+//!   decomposes into the paper's atomicity-vs-durability phases.
+//! * [`json`] — a dependency-free JSON parser plus the
+//!   `ccnvme-metrics/v1` schema validator used by `scripts/bench_smoke.sh`.
+//!
+//! The crate is deliberately dependency-free (time stamps are passed in
+//! by callers as plain nanosecond integers) so every layer of the stack,
+//! including the simulator itself, can depend on it.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Summary};
+pub use registry::{MetricsSnapshot, Registry};
+pub use trace::{tx_phases, EventKind, TraceEvent, TraceRing};
+
+use std::sync::Arc;
+
+/// Nanoseconds of (simulated) time. Mirrors `ccnvme_sim::Ns` without
+/// depending on the simulator, so the dependency arrow points the right
+/// way: the simulator re-exports this crate's metric types.
+pub type Ns = u64;
+
+/// One observability hub: a metrics registry plus a lifecycle trace ring.
+///
+/// Each simulated stack (one PCIe link and everything above it) owns one
+/// `Obs`; every layer registers its metrics and records its trace events
+/// against it, so a single [`Registry::snapshot`] covers the whole stack.
+#[derive(Debug)]
+pub struct Obs {
+    /// Named metrics for this stack instance.
+    pub metrics: Registry,
+    /// Transaction-lifecycle event ring.
+    pub trace: TraceRing,
+}
+
+impl Obs {
+    /// Creates a hub with the default trace capacity.
+    pub fn new() -> Arc<Obs> {
+        Arc::new(Obs {
+            metrics: Registry::new(),
+            trace: TraceRing::new(trace::DEFAULT_CAPACITY),
+        })
+    }
+}

@@ -1,0 +1,400 @@
+//! The metrics registry: named metrics, one-pass consistent snapshots,
+//! and machine-readable export.
+//!
+//! A [`Registry`] is the per-stack namespace. Layers call
+//! [`Registry::counter`]/[`gauge`](Registry::gauge)/[`histogram`](Registry::histogram)
+//! once at construction time, cache the returned `Arc`, and record
+//! through it lock-free. [`Registry::snapshot`] walks every registered
+//! metric under the registry lock in a single pass — no metric is ever
+//! reset to take a measurement, so two snapshots subtracted
+//! ([`MetricsSnapshot::since`]) bound a window exactly even while other
+//! threads keep recording.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A namespace of named metrics for one stack instance.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use. Panics if `name` is already registered as a different type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use. Panics if `name` is already registered as a different
+    /// type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers an *existing* counter under `name`, for components that
+    /// allocate their counters before any registry exists (e.g. a fault
+    /// injector built ahead of the stack it is attached to). Replaces a
+    /// previously adopted counter of the same name; panics if `name` is
+    /// registered as a different type.
+    pub fn adopt_counter(&self, name: &str, counter: Arc<Counter>) {
+        let mut m = self.metrics.lock();
+        match m.insert(name.to_string(), Metric::Counter(counter)) {
+            None | Some(Metric::Counter(_)) => {}
+            Some(_) => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Takes a consistent snapshot of every registered metric in one
+    /// pass under the registry lock. Nothing is reset.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Immutable result of one [`Registry::snapshot`] pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Returns the named counter's value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns the named gauge's value (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns the named histogram's snapshot, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Counter deltas accrued between `earlier` and `self`; gauges keep
+    /// their current (later) level, histograms keep windowed count/sum
+    /// with the later distribution shape. This replaces the old
+    /// reset-then-read idiom: both endpoints are plain reads, so a
+    /// concurrent recorder can never be half-counted.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, v) in out.counters.iter_mut() {
+            *v = v.saturating_sub(earlier.counter(name));
+        }
+        for (name, h) in out.histograms.iter_mut() {
+            if let Some(e) = earlier.histograms.get(name) {
+                h.summary.count = h.summary.count.saturating_sub(e.summary.count);
+                h.sum = h.sum.wrapping_sub(e.sum);
+                h.summary.mean = if h.summary.count > 0 {
+                    h.sum as f64 / h.summary.count as f64
+                } else {
+                    0.0
+                };
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with every metric name prefixed by `prefix` and a
+    /// separating dot — used to merge per-run registries into one
+    /// document.
+    pub fn prefixed(&self, prefix: &str) -> MetricsSnapshot {
+        let pre = |k: &String| format!("{prefix}.{k}");
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (pre(k), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (pre(k), *v)).collect(),
+            histograms: self.histograms.iter().map(|(k, v)| (pre(k), *v)).collect(),
+        }
+    }
+
+    /// Merges `other`'s metrics into `self` (later names win on clash).
+    pub fn merge(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+    }
+
+    /// Serializes to the `ccnvme-metrics/v1` JSON document (the schema
+    /// `scripts/bench_smoke.sh` validates).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"ccnvme-metrics/v1\",\n  \"counters\": {");
+        push_map(&mut out, &self.counters, |o, v| {
+            o.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        push_map(&mut out, &self.gauges, |o, v| {
+            o.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"histograms\": {");
+        push_map(&mut out, &self.histograms, |o, h| {
+            let s = h.summary;
+            o.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"stddev\": {}}}",
+                s.count,
+                h.sum,
+                fmt_f64(s.mean),
+                s.min,
+                s.max,
+                s.p50,
+                s.p95,
+                s.p99,
+                fmt_f64(s.stddev),
+            ));
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Serializes to the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let s = h.summary;
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [(0.5, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, s.count));
+        }
+        out
+    }
+}
+
+/// JSON numbers must be finite; format floats the way `serde_json`
+/// would, falling back to 0 for NaN/inf (which cannot arise from
+/// well-formed histograms but must not produce invalid JSON).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_map<V>(out: &mut String, map: &BTreeMap<String, V>, mut val: impl FnMut(&mut String, &V)) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    \"");
+        out.push_str(&escape_json(k));
+        out.push_str("\": ");
+        val(out, v);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; our dotted names map
+/// dots (and anything else) to underscores.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_clash_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_one_pass_and_nondestructive() {
+        let r = Registry::new();
+        let c = r.counter("ops");
+        let h = r.histogram("lat");
+        c.add(7);
+        h.record(100);
+        let s1 = r.snapshot();
+        assert_eq!(s1.counter("ops"), 7);
+        // Taking the snapshot reset nothing: the live metrics still read
+        // their full totals and a second snapshot agrees.
+        assert_eq!(c.get(), 7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(r.snapshot(), s1);
+    }
+
+    #[test]
+    fn windowed_measurement_via_since() {
+        let r = Registry::new();
+        let c = r.counter("ops");
+        let h = r.histogram("lat");
+        c.add(3);
+        h.record(10);
+        let t0 = r.snapshot();
+        c.add(5);
+        h.record(20);
+        h.record(40);
+        let d = r.snapshot().since(&t0);
+        assert_eq!(d.counter("ops"), 5);
+        let hs = d.histogram("lat").unwrap();
+        assert_eq!(hs.summary.count, 2);
+        assert_eq!(hs.sum, 60);
+        assert!((hs.summary.mean - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_handles_missing_and_untouched_names() {
+        let r = Registry::new();
+        let t0 = r.snapshot();
+        r.counter("late").add(2);
+        let d = r.snapshot().since(&t0);
+        assert_eq!(d.counter("late"), 2);
+        assert_eq!(d.counter("never"), 0);
+    }
+
+    #[test]
+    fn json_roundtrips_through_validator() {
+        let r = Registry::new();
+        r.counter("pcie.mmio_doorbells").add(4);
+        r.gauge("mqfs.degraded").set(0);
+        r.histogram("ccnvme.q1.complete_ns").record(12_345);
+        let doc = r.snapshot().to_json();
+        crate::json::validate_metrics(&doc).expect("schema-valid");
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines() {
+        let r = Registry::new();
+        r.counter("pcie.irqs").inc();
+        r.histogram("lat.ns").record(5);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE pcie_irqs counter"));
+        assert!(text.contains("pcie_irqs 1"));
+        assert!(text.contains("lat_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_ns_count 1"));
+    }
+
+    #[test]
+    fn prefixed_and_merge_build_multi_run_documents() {
+        let r = Registry::new();
+        r.counter("ops").add(1);
+        let mut doc = r.snapshot().prefixed("run_a");
+        let r2 = Registry::new();
+        r2.counter("ops").add(2);
+        doc.merge(r2.snapshot().prefixed("run_b"));
+        assert_eq!(doc.counter("run_a.ops"), 1);
+        assert_eq!(doc.counter("run_b.ops"), 2);
+        crate::json::validate_metrics(&doc.to_json()).expect("schema-valid");
+    }
+}

@@ -1,0 +1,334 @@
+//! Transaction-lifecycle tracing.
+//!
+//! Every layer of the stack records [`TraceEvent`]s into a shared
+//! [`TraceRing`] as a transaction moves through it: the driver stamps
+//! `tx_begin`/`sqe_store`/`mmio_flush`/`doorbell` on the submission
+//! path, the device stamps `dma_fetch`/`media_write`/`cqe_post`/`irq`,
+//! and the driver closes the loop with `completion`. Events carry the
+//! simulated-time timestamp, the hardware queue and the transaction ID,
+//! so a single `fatomic` decomposes into the paper's
+//! atomicity-vs-durability phases (§4.3/§4.4): everything up to the
+//! doorbell is what the caller waits for; everything after is the
+//! background durability pipeline.
+//!
+//! The ring is fixed-capacity and wait-free for writers up to slot
+//! granularity: a global atomic cursor assigns slots, each slot is its
+//! own tiny mutex (uncontended unless two recorders lap each other on
+//! the same slot), and old events are overwritten once the ring wraps.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::Ns;
+
+/// Default ring capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// The traced points of a transaction's life, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// The driver accepted the first member of a transaction.
+    TxBegin,
+    /// One 64 B submission entry was stored into the P-SQ (or host SQ).
+    SqeStore,
+    /// The persistent-MMIO flush sequence (clflush + mfence + read).
+    MmioFlush,
+    /// The doorbell MMIO write that hands the transaction to the device.
+    Doorbell,
+    /// The device fetched a submission entry (DMA or PMR read).
+    DmaFetch,
+    /// The device applied a write to backing media.
+    MediaWrite,
+    /// The device posted a completion entry to the host.
+    CqePost,
+    /// An MSI-X interrupt was delivered to the host.
+    Irq,
+    /// The driver completed the request back to its submitter.
+    Completion,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TxBegin => "tx_begin",
+            EventKind::SqeStore => "sqe_store",
+            EventKind::MmioFlush => "mmio_flush",
+            EventKind::Doorbell => "doorbell",
+            EventKind::DmaFetch => "dma_fetch",
+            EventKind::MediaWrite => "media_write",
+            EventKind::CqePost => "cqe_post",
+            EventKind::Irq => "irq",
+            EventKind::Completion => "completion",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event, ns.
+    pub at: Ns,
+    /// What happened.
+    pub kind: EventKind,
+    /// Hardware queue the transaction rides.
+    pub qid: u16,
+    /// ccNVMe transaction ID (0 for non-transactional requests).
+    pub tx_id: u64,
+    /// Event-specific detail: command ID for queue events, bytes for
+    /// data movement, 0 otherwise.
+    pub arg: u64,
+}
+
+struct Slot {
+    /// Global sequence number of the event held (slot content is valid
+    /// when `seq % capacity == slot index` context matches).
+    seq: u64,
+    ev: Option<TraceEvent>,
+}
+
+/// Fixed-capacity, overwrite-on-wrap event recorder.
+pub struct TraceRing {
+    slots: Box<[Mutex<Slot>]>,
+    cursor: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl TraceRing {
+    /// Creates a ring retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        TraceRing {
+            slots: (0..capacity)
+                .map(|_| Mutex::new(Slot { seq: 0, ev: None }))
+                .collect(),
+            cursor: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Number of events the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enables or disables recording (disabled recording is one relaxed
+    /// atomic load).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records one event.
+    pub fn record(&self, ev: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.slots[(seq % self.slots.len() as u64) as usize].lock();
+        // A slower writer lapped by a full ring revolution must not
+        // clobber the newer event already in the slot.
+        if slot.ev.is_none() || seq >= slot.seq {
+            slot.seq = seq;
+            slot.ev = Some(ev);
+        }
+    }
+
+    /// Convenience: records `(at, kind, qid, tx_id, arg)`.
+    pub fn event(&self, at: Ns, kind: EventKind, qid: u16, tx_id: u64, arg: u64) {
+        self.record(TraceEvent {
+            at,
+            kind,
+            qid,
+            tx_id,
+            arg,
+        });
+    }
+
+    /// Returns the retained events, oldest first (by record order).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut evs: Vec<(u64, TraceEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                let s = s.lock();
+                s.ev.map(|ev| (s.seq, ev))
+            })
+            .collect();
+        evs.sort_by_key(|(seq, _)| *seq);
+        evs.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Retained events of one transaction, oldest first.
+    pub fn events_for_tx(&self, tx_id: u64) -> Vec<TraceEvent> {
+        self.snapshot()
+            .into_iter()
+            .filter(|e| e.tx_id == tx_id)
+            .collect()
+    }
+
+    /// Retained events of one hardware queue, oldest first.
+    pub fn events_for_queue(&self, qid: u16) -> Vec<TraceEvent> {
+        self.snapshot()
+            .into_iter()
+            .filter(|e| e.qid == qid)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// One named phase of a traced transaction: the span between two
+/// consecutive lifecycle events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxPhase {
+    /// `"<from> -> <to>"`, e.g. `"mmio_flush -> doorbell"`.
+    pub name: String,
+    /// Phase start, ns.
+    pub from: Ns,
+    /// Phase duration, ns.
+    pub dur: Ns,
+}
+
+/// Decomposes one transaction's events (as returned by
+/// [`TraceRing::events_for_tx`]) into consecutive phases. Events are
+/// sorted by timestamp; by construction the phase durations sum exactly
+/// to `last.at - first.at`, which the lifecycle integration test checks
+/// against the end-to-end latency.
+pub fn tx_phases(events: &[TraceEvent]) -> Vec<TxPhase> {
+    let mut evs: Vec<&TraceEvent> = events.iter().collect();
+    evs.sort_by_key(|e| e.at);
+    evs.windows(2)
+        .map(|w| TxPhase {
+            name: format!("{} -> {}", w[0].kind.name(), w[1].kind.name()),
+            from: w[0].at,
+            dur: w[1].at - w[0].at,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    fn ev(at: Ns, kind: EventKind, tx: u64) -> TraceEvent {
+        TraceEvent {
+            at,
+            kind,
+            qid: 1,
+            tx_id: tx,
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_filters() {
+        let r = TraceRing::new(16);
+        r.record(ev(10, EventKind::TxBegin, 7));
+        r.record(ev(20, EventKind::Doorbell, 7));
+        r.record(ev(30, EventKind::TxBegin, 8));
+        assert_eq!(r.recorded(), 3);
+        let tx7 = r.events_for_tx(7);
+        assert_eq!(tx7.len(), 2);
+        assert_eq!(tx7[0].kind, EventKind::TxBegin);
+        assert_eq!(tx7[1].kind, EventKind::Doorbell);
+        assert_eq!(r.events_for_queue(1).len(), 3);
+        assert_eq!(r.events_for_queue(2).len(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let r = TraceRing::new(4);
+        for i in 0..10u64 {
+            r.record(ev(i, EventKind::SqeStore, i));
+        }
+        let evs = r.snapshot();
+        assert_eq!(evs.len(), 4);
+        let ats: Vec<Ns> = evs.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![6, 7, 8, 9]);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let r = TraceRing::new(4);
+        r.set_enabled(false);
+        r.record(ev(1, EventKind::Irq, 1));
+        assert!(!r.is_enabled());
+        assert_eq!(r.recorded(), 0);
+        assert!(r.snapshot().is_empty());
+        r.set_enabled(true);
+        r.record(ev(2, EventKind::Irq, 1));
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recorders_wrap_without_loss_or_duplication() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 5_000;
+        const CAP: usize = 64;
+        let r = Arc::new(TraceRing::new(CAP));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.record(ev(i, EventKind::SqeStore, t * PER_THREAD + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.recorded(), THREADS * PER_THREAD);
+        let evs = r.snapshot();
+        // The ring is full and holds `CAP` distinct events.
+        assert_eq!(evs.len(), CAP);
+        let mut txs: Vec<u64> = evs.iter().map(|e| e.tx_id).collect();
+        txs.sort_unstable();
+        txs.dedup();
+        assert_eq!(txs.len(), CAP, "overwritten slots must not duplicate");
+    }
+
+    #[test]
+    fn phases_sum_to_span() {
+        let events = vec![
+            ev(100, EventKind::TxBegin, 1),
+            ev(130, EventKind::SqeStore, 1),
+            ev(200, EventKind::MmioFlush, 1),
+            ev(260, EventKind::Doorbell, 1),
+            ev(900, EventKind::Completion, 1),
+        ];
+        let phases = tx_phases(&events);
+        assert_eq!(phases.len(), 4);
+        assert_eq!(phases[0].name, "tx_begin -> sqe_store");
+        let total: Ns = phases.iter().map(|p| p.dur).sum();
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn phases_of_short_traces_are_empty() {
+        assert!(tx_phases(&[]).is_empty());
+        assert!(tx_phases(&[ev(5, EventKind::Irq, 1)]).is_empty());
+    }
+}

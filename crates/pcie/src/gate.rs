@@ -1,6 +1,8 @@
 //! Bandwidth gates: serialized shared resources in virtual time.
 
-use ccnvme_sim::Ns;
+use std::sync::Arc;
+
+use ccnvme_sim::{Counter, Ns};
 use parking_lot::Mutex;
 
 use crate::cost::transfer_ns;
@@ -14,6 +16,9 @@ use crate::cost::transfer_ns;
 pub struct BandwidthGate {
     bytes_per_sec: u64,
     busy_until: Mutex<Ns>,
+    /// Observability: total bytes reserved through this gate, if wired
+    /// into a metrics registry (see [`BandwidthGate::metered`]).
+    bytes_reserved: Option<Arc<Counter>>,
 }
 
 impl BandwidthGate {
@@ -27,12 +32,28 @@ impl BandwidthGate {
         BandwidthGate {
             bytes_per_sec,
             busy_until: Mutex::new(0),
+            bytes_reserved: None,
+        }
+    }
+
+    /// Creates a gate whose reserved bytes feed `counter` — the
+    /// per-direction utilization metric the registry exports.
+    pub fn metered(bytes_per_sec: u64, counter: Arc<Counter>) -> Self {
+        let mut g = BandwidthGate::new(bytes_per_sec);
+        g.bytes_reserved = Some(counter);
+        g
+    }
+
+    fn account(&self, bytes: u64) {
+        if let Some(c) = &self.bytes_reserved {
+            c.add(bytes);
         }
     }
 
     /// Reserves link time for `bytes` starting no earlier than now;
     /// returns the completion instant.
     pub fn acquire(&self, bytes: u64) -> Ns {
+        self.account(bytes);
         let dur = transfer_ns(bytes, self.bytes_per_sec);
         let now = ccnvme_sim::now();
         let mut busy = self.busy_until.lock();
@@ -45,6 +66,7 @@ impl BandwidthGate {
     /// Reserves link time beginning no earlier than `not_before` (used to
     /// chain a transfer after another resource frees it).
     pub fn acquire_after(&self, not_before: Ns, bytes: u64) -> Ns {
+        self.account(bytes);
         let dur = transfer_ns(bytes, self.bytes_per_sec);
         let now = ccnvme_sim::now();
         let mut busy = self.busy_until.lock();

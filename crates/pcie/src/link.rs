@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use ccnvme_obs::Obs;
 use ccnvme_sim::Ns;
 
 use crate::{cost, gate::BandwidthGate, traffic::TrafficCounters};
@@ -36,18 +37,32 @@ pub struct PcieLink {
     pub rtt: Ns,
     /// Traffic accounting for everything crossing this link.
     pub traffic: Arc<TrafficCounters>,
+    /// The observability hub for the whole stack attached to this link:
+    /// every layer above (controller, driver, journal, file system)
+    /// registers metrics and records trace events here, so one registry
+    /// snapshot covers the stack.
+    pub obs: Arc<Obs>,
 }
 
 impl PcieLink {
     /// Creates a link with symmetric `link_bw` bytes/second per direction.
     pub fn new(link_bw: u64) -> Self {
+        let obs = Obs::new();
+        let reg = &obs.metrics;
         PcieLink {
-            downstream: BandwidthGate::new(link_bw),
-            upstream: BandwidthGate::new(link_bw),
-            pmr_write_engine: BandwidthGate::new(cost::PMR_WRITE_BW),
-            pmr_read_engine: BandwidthGate::new(cost::PMR_READ_BW),
+            downstream: BandwidthGate::metered(link_bw, reg.counter("pcie.downstream_bytes")),
+            upstream: BandwidthGate::metered(link_bw, reg.counter("pcie.upstream_bytes")),
+            pmr_write_engine: BandwidthGate::metered(
+                cost::PMR_WRITE_BW,
+                reg.counter("pcie.pmr_write_bytes"),
+            ),
+            pmr_read_engine: BandwidthGate::metered(
+                cost::PMR_READ_BW,
+                reg.counter("pcie.pmr_read_bytes"),
+            ),
             rtt: cost::PCIE_RTT,
-            traffic: Arc::new(TrafficCounters::new()),
+            traffic: Arc::new(TrafficCounters::registered(reg)),
+            obs,
         }
     }
 

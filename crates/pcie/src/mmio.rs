@@ -61,11 +61,13 @@ pub struct MmioRegion {
     link: Arc<PcieLink>,
     st: Mutex<MmioState>,
     hook: Mutex<Option<WriteHook>>,
+    flush_hist: Arc<ccnvme_sim::Histogram>,
 }
 
 impl MmioRegion {
     /// Creates a zero-filled region of `size` bytes.
     pub fn new(name: &str, kind: RegionKind, size: u64, link: Arc<PcieLink>) -> Self {
+        let flush_hist = link.obs.metrics.histogram("pcie.mmio_flush_ns");
         MmioRegion {
             name: name.to_string(),
             kind,
@@ -75,6 +77,7 @@ impl MmioRegion {
                 in_flight: VecDeque::new(),
             }),
             hook: Mutex::new(None),
+            flush_hist,
         }
     }
 
@@ -162,10 +165,14 @@ impl MmioRegion {
     /// issued posted write has provably reached the device.
     pub fn flush(&self) {
         self.link.traffic.mmio_flushes.inc();
+        let t0 = ccnvme_sim::now();
         ccnvme_sim::cpu(cost::CLFLUSH_COST);
         // The zero-byte read may not pass the posted writes, so it pushes
         // them to the device and its completion proves their arrival.
         self.read_internal(0, 0);
+        // The flush wait varies with the posted-write backlog — the cost
+        // the paper's §4.3 pays once per transaction. Export it.
+        self.flush_hist.record(ccnvme_sim::now() - t0);
     }
 
     /// Issues a non-posted MMIO read of `len` bytes at `off`, blocking the

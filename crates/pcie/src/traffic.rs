@@ -4,40 +4,69 @@
 //! MMIO operations, DMAs of queue entries (DMA(Q)), 4 KB block I/Os and
 //! interrupt requests. The counters here are incremented by the MMIO and
 //! DMA paths and read by the Table 1 benchmark.
+//!
+//! Since the unified observability layer landed, every counter lives in
+//! the link's [`ccnvme_obs::Registry`] under a `pcie.*` name (see
+//! [`TrafficCounters::registered`]); this struct stays as the typed view
+//! the hot paths and the Table 1 benches use, so a registry
+//! [`snapshot`](ccnvme_obs::Registry::snapshot) and a
+//! [`TrafficCounters::snapshot`] always agree — they read the same
+//! atomics.
 
+use std::sync::Arc;
+
+use ccnvme_obs::Registry;
 use ccnvme_sim::Counter;
 
 /// Shared traffic counters for one PCIe function (device).
 #[derive(Debug, Default)]
 pub struct TrafficCounters {
     /// Doorbell MMIO writes (4 B register writes).
-    pub mmio_doorbells: Counter,
+    pub mmio_doorbells: Arc<Counter>,
     /// MMIO store operations into device memory (e.g. P-SQ entry writes).
-    pub mmio_stores: Counter,
+    pub mmio_stores: Arc<Counter>,
     /// Small (≤ 8 B) MMIO stores into persistent memory: the ccNVMe
     /// persistent doorbell (P-SQDB) and head (P-SQ-head) updates, which
     /// the paper's Table 1 counts as individual MMIOs.
-    pub mmio_pointer_stores: Counter,
+    pub mmio_pointer_stores: Arc<Counter>,
     /// Bytes carried by MMIO stores.
-    pub mmio_store_bytes: Counter,
+    pub mmio_store_bytes: Arc<Counter>,
     /// Persistent-MMIO flush sequences (clflush + mfence + zero-byte read).
-    pub mmio_flushes: Counter,
+    pub mmio_flushes: Arc<Counter>,
     /// Non-posted MMIO reads (including the zero-byte ordering read).
-    pub mmio_reads: Counter,
+    pub mmio_reads: Arc<Counter>,
     /// DMA transfers of queue entries (SQE fetch, CQE post).
-    pub dma_queue: Counter,
+    pub dma_queue: Arc<Counter>,
     /// Block data transfers (DMA of data pages).
-    pub block_ios: Counter,
+    pub block_ios: Arc<Counter>,
     /// Bytes carried by block data transfers.
-    pub block_bytes: Counter,
+    pub block_bytes: Arc<Counter>,
     /// Interrupt requests delivered to the host (MSI-X messages).
-    pub irqs: Counter,
+    pub irqs: Arc<Counter>,
 }
 
 impl TrafficCounters {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters not attached to any registry (tests,
+    /// standalone use).
     pub fn new() -> Self {
         TrafficCounters::default()
+    }
+
+    /// Creates counters registered in `reg` under `pcie.*` names, so the
+    /// registry's one-pass snapshot/export covers them.
+    pub fn registered(reg: &Registry) -> Self {
+        TrafficCounters {
+            mmio_doorbells: reg.counter("pcie.mmio_doorbells"),
+            mmio_stores: reg.counter("pcie.mmio_stores"),
+            mmio_pointer_stores: reg.counter("pcie.mmio_pointer_stores"),
+            mmio_store_bytes: reg.counter("pcie.mmio_store_bytes"),
+            mmio_flushes: reg.counter("pcie.mmio_flushes"),
+            mmio_reads: reg.counter("pcie.mmio_reads"),
+            dma_queue: reg.counter("pcie.dma_queue"),
+            block_ios: reg.counter("pcie.block_ios"),
+            block_bytes: reg.counter("pcie.block_bytes"),
+            irqs: reg.counter("pcie.irqs"),
+        }
     }
 
     /// Takes a point-in-time snapshot.
@@ -132,5 +161,18 @@ mod tests {
         t.mmio_doorbells.add(1);
         t.mmio_flushes.add(1);
         assert_eq!(t.snapshot().table1_mmio(), 2);
+    }
+
+    #[test]
+    fn registered_counters_show_up_in_registry_snapshots() {
+        let reg = Registry::new();
+        let t = TrafficCounters::registered(&reg);
+        t.mmio_doorbells.inc();
+        t.block_bytes.add(4096);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pcie.mmio_doorbells"), 1);
+        assert_eq!(snap.counter("pcie.block_bytes"), 4096);
+        // The typed view and the registry read the same atomics.
+        assert_eq!(t.snapshot().mmio_doorbells, 1);
     }
 }

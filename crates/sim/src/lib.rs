@@ -55,7 +55,7 @@ pub use kernel::{
     spawn_daemon, yield_now, Sim, SimJoinHandle, ThreadId,
 };
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram, Summary};
+pub use stats::{Counter, Gauge, Histogram, Summary};
 pub use sync::{
     mpsc_channel, Receiver, RecvError, Sender, SimBarrier, SimCondvar, SimMutex, SimMutexGuard,
     SimRwLock, WaitTimeoutResult,

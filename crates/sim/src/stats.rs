@@ -1,329 +1,43 @@
 //! Measurement utilities: counters, latency histograms and summaries.
+//!
+//! These are re-exports of the unified observability crate
+//! (`ccnvme-obs`), kept under the simulator's namespace because every
+//! layer already pulls its metric types from here. One implementation —
+//! lock-free counters and log-linear histograms with p50/p95/p99 — now
+//! backs the PCIe traffic counters, the host error ladder, the fault
+//! injector and the workload latency accounting alike; see
+//! `ccnvme_obs::Registry` for named registration and one-pass snapshot
+//! export.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
-
-use crate::time::Ns;
-
-/// A monotonically increasing event counter, safe to share across threads.
-#[derive(Debug, Default)]
-pub struct Counter {
-    value: AtomicU64,
-}
-
-impl Counter {
-    /// Creates a counter at zero.
-    pub fn new() -> Self {
-        Counter::default()
-    }
-
-    /// Adds `n` to the counter.
-    pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Increments the counter by one.
-    pub fn inc(&self) {
-        self.add(1);
-    }
-
-    /// Returns the current value.
-    pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
-    }
-
-    /// Resets the counter to zero and returns the previous value.
-    pub fn reset(&self) -> u64 {
-        self.value.swap(0, Ordering::Relaxed)
-    }
-}
-
-/// Summary statistics extracted from a [`Histogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Summary {
-    /// Number of recorded samples.
-    pub count: u64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Minimum sample.
-    pub min: u64,
-    /// Maximum sample.
-    pub max: u64,
-    /// Median (50th percentile, approximate).
-    pub p50: u64,
-    /// 99th percentile (approximate).
-    pub p99: u64,
-    /// Standard deviation.
-    pub stddev: f64,
-}
-
-impl Summary {
-    fn empty() -> Self {
-        Summary {
-            count: 0,
-            mean: 0.0,
-            min: 0,
-            max: 0,
-            p50: 0,
-            p99: 0,
-            stddev: 0.0,
-        }
-    }
-}
-
-/// A log-linear histogram for latency samples (nanoseconds).
-///
-/// Buckets are exact up to 64, then split each power of two into 16
-/// sub-buckets, giving ≤ ~6% quantile error across the full `u64` range —
-/// plenty for reproducing the paper's latency plots.
-pub struct Histogram {
-    inner: Mutex<HistInner>,
-}
-
-struct HistInner {
-    buckets: Vec<u64>,
-    count: u64,
-    sum: u128,
-    sum_sq: u128,
-    min: u64,
-    max: u64,
-}
-
-const LINEAR_MAX: u64 = 64;
-const SUB_BUCKETS: u64 = 16;
-
-fn bucket_index(v: u64) -> usize {
-    if v < LINEAR_MAX {
-        v as usize
-    } else {
-        let msb = 63 - v.leading_zeros() as u64; // >= 6
-        let sub = (v >> (msb - 4)) & (SUB_BUCKETS - 1);
-        (LINEAR_MAX + (msb - 6) * SUB_BUCKETS + sub) as usize
-    }
-}
-
-fn bucket_low(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < LINEAR_MAX {
-        idx
-    } else {
-        let rel = idx - LINEAR_MAX;
-        let msb = rel / SUB_BUCKETS + 6;
-        let sub = rel % SUB_BUCKETS;
-        (1u64 << msb) + (sub << (msb - 4))
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            inner: Mutex::new(HistInner {
-                buckets: vec![0; bucket_index(u64::MAX) + 1],
-                count: 0,
-                sum: 0,
-                sum_sq: 0,
-                min: u64::MAX,
-                max: 0,
-            }),
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&self, v: Ns) {
-        let mut h = self.inner.lock();
-        h.buckets[bucket_index(v)] += 1;
-        h.count += 1;
-        h.sum += v as u128;
-        h.sum_sq += (v as u128) * (v as u128);
-        h.min = h.min.min(v);
-        h.max = h.max.max(v);
-    }
-
-    /// Returns the number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.inner.lock().count
-    }
-
-    /// Returns the (approximate) value at quantile `q` in `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let h = self.inner.lock();
-        if h.count == 0 {
-            return 0;
-        }
-        let target = ((h.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in h.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return bucket_low(i).clamp(h.min, h.max);
-            }
-        }
-        h.max
-    }
-
-    /// Produces summary statistics over all recorded samples.
-    pub fn summary(&self) -> Summary {
-        let (count, sum, sum_sq, min, max) = {
-            let h = self.inner.lock();
-            if h.count == 0 {
-                return Summary::empty();
-            }
-            (h.count, h.sum, h.sum_sq, h.min, h.max)
-        };
-        let mean = sum as f64 / count as f64;
-        let var = (sum_sq as f64 / count as f64) - mean * mean;
-        Summary {
-            count,
-            mean,
-            min,
-            max,
-            p50: self.quantile(0.50),
-            p99: self.quantile(0.99),
-            stddev: var.max(0.0).sqrt(),
-        }
-    }
-
-    /// Clears all recorded samples.
-    pub fn reset(&self) {
-        let mut h = self.inner.lock();
-        h.buckets.iter_mut().for_each(|b| *b = 0);
-        h.count = 0;
-        h.sum = 0;
-        h.sum_sq = 0;
-        h.min = u64::MAX;
-        h.max = 0;
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
+pub use ccnvme_obs::{Counter, Gauge, Histogram, Summary};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The re-exported types keep the historical `sim::stats` API used
+    /// throughout the workspace.
     #[test]
-    fn counter_add_reset() {
+    fn reexports_preserve_stats_api() {
         let c = Counter::new();
         c.inc();
         c.add(4);
         assert_eq!(c.get(), 5);
         assert_eq!(c.reset(), 5);
-        assert_eq!(c.get(), 0);
-    }
 
-    #[test]
-    fn bucket_roundtrip_monotone() {
-        let mut last = 0;
-        for v in [
-            0u64,
-            1,
-            63,
-            64,
-            65,
-            100,
-            1_000,
-            4_096,
-            1 << 20,
-            u64::MAX / 2,
-        ] {
-            let idx = bucket_index(v);
-            assert!(bucket_low(idx) <= v, "low({idx}) > {v}");
-            assert!(idx >= last || v < 64, "index not monotone at {v}");
-            last = idx;
-        }
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let h = Histogram::new();
-        for v in 0..64 {
-            h.record(v);
-        }
-        assert_eq!(h.quantile(0.0), 0);
-        assert_eq!(h.quantile(1.0), 63);
-    }
-
-    #[test]
-    fn summary_mean_and_extremes() {
         let h = Histogram::new();
         for v in [10u64, 20, 30] {
             h.record(v);
         }
-        let s = h.summary();
-        assert_eq!(s.count, 3);
+        let s: Summary = h.summary();
+        assert_eq!((s.count, s.min, s.max), (3, 10, 30));
         assert!((s.mean - 20.0).abs() < 1e-9);
-        assert_eq!(s.min, 10);
-        assert_eq!(s.max, 30);
-    }
-
-    #[test]
-    fn quantile_error_is_bounded() {
-        let h = Histogram::new();
-        for v in 1..=10_000u64 {
-            h.record(v * 100); // 100 ns .. 1 ms
-        }
-        let p50 = h.quantile(0.5) as f64;
-        let exact = 500_000.0;
-        assert!((p50 - exact).abs() / exact < 0.10, "p50={p50}");
-    }
-
-    #[test]
-    fn empty_histogram_summary() {
-        let h = Histogram::new();
-        let s = h.summary();
-        assert_eq!(s.count, 0);
-        assert_eq!(s.p99, 0);
-    }
-
-    #[test]
-    fn reset_clears() {
-        let h = Histogram::new();
-        h.record(5);
+        assert!(h.quantile(0.5) >= 10 && h.quantile(0.5) <= 30);
         h.reset();
         assert_eq!(h.count(), 0);
-    }
-}
 
-#[cfg(test)]
-mod prop_tests {
-    use proptest::prelude::*;
-
-    use super::*;
-
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-        /// Histogram quantiles stay within one log-linear bucket (≈6%)
-        /// of the exact order statistics, and min/max/mean are exact.
-        #[test]
-        fn quantiles_track_order_statistics(
-            mut samples in proptest::collection::vec(1u64..10_000_000, 8..300),
-        ) {
-            let h = Histogram::new();
-            for s in &samples {
-                h.record(*s);
-            }
-            samples.sort_unstable();
-            let s = h.summary();
-            prop_assert_eq!(s.count, samples.len() as u64);
-            prop_assert_eq!(s.min, samples[0]);
-            prop_assert_eq!(s.max, *samples.last().unwrap());
-            let exact_mean: f64 =
-                samples.iter().map(|v| *v as f64).sum::<f64>() / samples.len() as f64;
-            prop_assert!((s.mean - exact_mean).abs() < 1e-6);
-            let exact_p50 = samples[(samples.len() - 1) / 2] as f64;
-            prop_assert!(
-                (s.p50 as f64) >= exact_p50 * 0.90 && (s.p50 as f64) <= exact_p50 * 1.10,
-                "p50 {} vs exact {}",
-                s.p50,
-                exact_p50
-            );
-        }
+        let g = Gauge::new();
+        g.inc();
+        assert_eq!(g.get(), 1);
     }
 }

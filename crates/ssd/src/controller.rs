@@ -24,10 +24,11 @@ use std::{
 };
 
 use ccnvme_fault::{FaultInjector, FaultKind, FaultOp, OpClass};
+use ccnvme_obs::EventKind;
 use ccnvme_pcie::{
     cost, mmio::RegionKind, BandwidthGate, ChannelBank, DmaKind, MmioRegion, PcieLink,
 };
-use ccnvme_sim::{Ns, SimCondvar, SimMutex};
+use ccnvme_sim::{Histogram, Ns, SimCondvar, SimMutex};
 use parking_lot::Mutex;
 
 use crate::{
@@ -265,6 +266,9 @@ struct CtrlInner {
     queues: Mutex<HashMap<u16, Arc<QueueShared>>>,
     db_targets: Mutex<HashMap<(bool, u64), Arc<QueueShared>>>,
     alive: AtomicBool,
+    /// Device service time per command (fetch-to-media-done estimate),
+    /// exported as `ssd.service_ns`.
+    svc_hist: Arc<Histogram>,
 }
 
 /// A simulated NVMe SSD controller.
@@ -309,12 +313,16 @@ impl NvmeController {
             REGS_SIZE,
             Arc::clone(&link),
         ));
+        if let Some(f) = cfg.fault.as_deref() {
+            f.counters().register_into(&link.obs.metrics);
+        }
         let inner = Arc::new(CtrlInner {
             read_channels: ChannelBank::new(profile.read_channels()),
             write_channels: ChannelBank::new(profile.write_channels()),
             flush_unit: ChannelBank::new(1),
             read_bw: BandwidthGate::new(profile.seq_read_bw),
             write_bw: BandwidthGate::new(profile.seq_write_bw),
+            svc_hist: link.obs.metrics.histogram("ssd.service_ns"),
             cfg,
             link,
             store,
@@ -558,7 +566,16 @@ fn worker_loop(inner: Arc<CtrlInner>, q: Arc<QueueShared>) {
             let raw = fetch_entry(&inner, &q, head);
             head = (head + 1) % q.depth;
             match NvmeCommand::decode(&raw) {
-                Some(cmd) => execute(&inner, &q, cmd, head),
+                Some(cmd) => {
+                    inner.link.obs.trace.event(
+                        ccnvme_sim::now(),
+                        EventKind::DmaFetch,
+                        q.qid,
+                        cmd.tx_id,
+                        cmd.cid as u64,
+                    );
+                    execute(&inner, &q, cmd, head)
+                }
                 None => {
                     // Unknown opcode: complete with an error so the host
                     // does not hang on the slot.
@@ -774,6 +791,7 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
             }
         }
     };
+    inner.svc_hist.record(at.saturating_sub(now));
     let job = Job {
         at: at + cost::IRQ_DELIVERY,
         seq: 0,
@@ -829,6 +847,7 @@ fn fire(inner: &CtrlInner, job: Job) {
             durable,
             also_flush,
         } => {
+            let bytes = data.len() as u64;
             for (i, chunk) in data.chunks(BLOCK_SIZE as usize).enumerate() {
                 let mut block = chunk.to_vec();
                 block.resize(BLOCK_SIZE as usize, 0);
@@ -837,6 +856,13 @@ fn fire(inner: &CtrlInner, job: Job) {
             if also_flush {
                 inner.store.flush();
             }
+            inner.link.obs.trace.event(
+                ccnvme_sim::now(),
+                EventKind::MediaWrite,
+                job.qid,
+                job.tx_id,
+                bytes,
+            );
         }
         Action::ReadBlocks {
             lba,
@@ -861,8 +887,19 @@ fn fire(inner: &CtrlInner, job: Job) {
     // CQE posting: a 16 B DMA to the host-side completion queue.
     inner.link.upstream.acquire(16 + cost::TLP_HEADER);
     inner.link.traffic.dma_queue.inc();
+    let now = ccnvme_sim::now();
+    inner
+        .link
+        .obs
+        .trace
+        .event(now, EventKind::CqePost, job.qid, job.tx_id, job.cid as u64);
     if job.irq {
         inner.link.traffic.irqs.inc();
+        inner
+            .link
+            .obs
+            .trace
+            .event(now, EventKind::Irq, job.qid, job.tx_id, job.cid as u64);
     }
     let entry = CompletionEntry {
         cid: job.cid,

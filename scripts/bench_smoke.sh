@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Bench smoke: run one bench binary in QUICK mode and validate the
+# metrics document it emits against the ccnvme-metrics/v1 schema using
+# the ccnvme-obs tool (no Python or external JSON tooling required).
+#
+# BENCH_BIN overrides which binary runs (default: table1, the fastest
+# one that exercises both drivers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_BIN="${BENCH_BIN:-table1}"
+METRICS_DIR="$(mktemp -d)"
+trap 'rm -rf "$METRICS_DIR"' EXIT
+export METRICS_DIR
+
+cargo build --release -p ccnvme-bench --bins
+QUICK=1 "target/release/$BENCH_BIN"
+
+if [ ! -f "$METRICS_DIR/$BENCH_BIN.json" ]; then
+    echo "bench_smoke: $BENCH_BIN did not write $METRICS_DIR/$BENCH_BIN.json" >&2
+    exit 1
+fi
+target/release/ccnvme-obs validate "$METRICS_DIR/$BENCH_BIN.json"
+echo "bench_smoke: $BENCH_BIN metrics are schema-valid"

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the full test suite.
+# Repo gate: formatting, lints, the full test suite (which includes the
+# ccnvme-obs crate and the transaction-lifecycle integration tests), and
+# the bench metrics-schema smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+cargo test -q -p ccnvme-obs
+scripts/bench_smoke.sh

@@ -1,0 +1,149 @@
+//! Transaction-lifecycle tracing: a traced `fatomic` + `fsync` on the
+//! ccNVMe driver must decompose into named phases whose durations sum
+//! (exactly — all timestamps are integral simulated ns) to the traced
+//! end-to-end transaction latency, and the submission-side phases must
+//! fit inside the syscall's measured wall time.
+
+use std::sync::Arc;
+
+use ccnvme_repro::crashtest::{Stack, StackConfig};
+use ccnvme_repro::obs::{tx_phases, EventKind, TraceEvent};
+use ccnvme_repro::sim::Sim;
+use ccnvme_repro::ssd::SsdProfile;
+use mqfs::FsVariant;
+use parking_lot::Mutex;
+
+/// Newest transaction with a completion at or after `t0`.
+fn completed_tx_since(events: &[TraceEvent], t0: u64) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Completion && e.at >= t0)
+        .map(|e| e.tx_id)
+        .max()
+        .expect("a completed transaction was traced")
+}
+
+fn span_of(events: &[TraceEvent]) -> u64 {
+    let first = events.iter().map(|e| e.at).min().unwrap();
+    let last = events.iter().map(|e| e.at).max().unwrap();
+    last - first
+}
+
+#[test]
+fn fsync_phases_sum_to_transaction_latency() {
+    let cfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 1);
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = Arc::clone(&checked);
+    let mut sim = Sim::new(cfg.sim_cores());
+    sim.spawn("main", 0, move || {
+        let (stack, fs) = Stack::format(&cfg);
+        let obs = stack.obs();
+        let ino = fs.create_path("/f").expect("create");
+        fs.write(ino, 0, &[7u8; 4096]).expect("write");
+        fs.fsync(ino).expect("fsync");
+
+        fs.write(ino, 0, &[8u8; 4096]).expect("write");
+        let t0 = ccnvme_repro::sim::now();
+        fs.fsync(ino).expect("fsync");
+        let e2e = ccnvme_repro::sim::now() - t0;
+
+        let tx_id = completed_tx_since(&obs.trace.snapshot(), t0);
+        let events = obs.trace.events_for_tx(tx_id);
+        assert!(
+            events.len() >= 5,
+            "expected a full lifecycle, got {events:?}"
+        );
+        let phases = tx_phases(&events);
+        let sum: u64 = phases.iter().map(|p| p.dur).sum();
+
+        // The decomposition is exact: phases partition the traced span.
+        assert_eq!(sum, span_of(&events), "phases must sum to the tx span");
+        // The transaction happened inside the fsync call, and dominates
+        // its latency (the remainder is file-system work above the
+        // driver).
+        assert!(sum <= e2e, "tx span {sum} exceeds fsync latency {e2e}");
+        assert!(
+            sum * 2 > e2e,
+            "tx span {sum} should dominate fsync latency {e2e}"
+        );
+
+        // The named submission and device phases of §4.3/§4.4 are there.
+        let names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"mmio_flush -> doorbell"), "{names:?}");
+        assert!(names.contains(&"doorbell -> dma_fetch"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.ends_with("-> completion")),
+            "{names:?}"
+        );
+        *checked2.lock() = true;
+    });
+    sim.run();
+    assert!(*checked.lock(), "test body ran to completion");
+}
+
+#[test]
+fn fatomic_returns_at_doorbell_and_completes_in_background() {
+    let cfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 1);
+    let checked = Arc::new(Mutex::new(false));
+    let checked2 = Arc::clone(&checked);
+    let mut sim = Sim::new(cfg.sim_cores());
+    sim.spawn("main", 0, move || {
+        let (stack, fs) = Stack::format(&cfg);
+        let obs = stack.obs();
+        let ino = fs.create_path("/f").expect("create");
+        fs.write(ino, 0, &[1u8; 4096]).expect("write");
+        fs.fsync(ino).expect("fsync");
+
+        fs.write(ino, 0, &[2u8; 4096]).expect("write");
+        let t0 = ccnvme_repro::sim::now();
+        fs.fatomic(ino).expect("fatomic");
+        let e2e_atomic = ccnvme_repro::sim::now() - t0;
+
+        // The atomicity guarantee needs only the submission side: by the
+        // time fatomic returned, this transaction's doorbell had rung.
+        let submitted: Vec<TraceEvent> = obs
+            .trace
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.at >= t0)
+            .collect();
+        let tx_id = submitted
+            .iter()
+            .filter(|e| e.kind == EventKind::Doorbell)
+            .map(|e| e.tx_id)
+            .max()
+            .expect("fatomic rang a doorbell");
+        let doorbell_at = submitted
+            .iter()
+            .filter(|e| e.tx_id == tx_id && e.kind == EventKind::Doorbell)
+            .map(|e| e.at)
+            .max()
+            .unwrap();
+        assert!(
+            doorbell_at - t0 <= e2e_atomic,
+            "doorbell rang after fatomic returned"
+        );
+
+        // Let the background durability pipeline drain, then the full
+        // lifecycle must be traced and decompose exactly.
+        fs.fsync(ino).expect("fsync");
+        let events = obs.trace.events_for_tx(tx_id);
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Completion),
+            "background completion missing from {events:?}"
+        );
+        let phases = tx_phases(&events);
+        let sum: u64 = phases.iter().map(|p| p.dur).sum();
+        assert_eq!(sum, span_of(&events), "phases must sum to the tx span");
+        // fatomic returned long before the transaction's trace span
+        // ended: durability kept running in the background.
+        assert!(
+            e2e_atomic < sum,
+            "fatomic ({e2e_atomic} ns) should return before the \
+             durability pipeline finishes ({sum} ns)"
+        );
+        *checked2.lock() = true;
+    });
+    sim.run();
+    assert!(*checked.lock(), "test body ran to completion");
+}
