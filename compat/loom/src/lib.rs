@@ -1,0 +1,30 @@
+//! Offline stand-in for the [loom](https://docs.rs/loom) concurrency
+//! model checker, API-compatible with the subset this workspace uses.
+//!
+//! [`model`] runs a closure under every interleaving of its loom
+//! threads (depth-first, preemption-bounded, sequentially consistent)
+//! and re-panics with the failing schedule if any interleaving panics
+//! or deadlocks. Code under test swaps `std::sync` / `std::thread`
+//! for `loom::sync` / `loom::thread`; every operation on those types
+//! is a scheduling point the explorer can branch at.
+//!
+//! Deliberate simplifications versus real loom, documented rather than
+//! hidden:
+//!
+//! - **Sequential consistency only.** Real loom also explores the
+//!   weaker behaviors C11 orderings permit; here every atomic op is
+//!   modeled as `SeqCst`. Races that only manifest under weak memory
+//!   are out of scope — interleaving races (lost updates, torn
+//!   check-then-act, wrap races) are fully explored.
+//! - **Preemption-bounded DFS** (default 2, `LOOM_MAX_PREEMPTIONS`),
+//!   the same bound strategy real loom defaults to.
+//! - **Branch cap** (`LOOM_MAX_BRANCHES`, default 10 000 executions)
+//!   with a loud stderr warning when hit — never a silent truncation.
+
+#![warn(missing_docs)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

@@ -1,0 +1,528 @@
+//! The execution engine behind [`crate::model`]: a stateless
+//! depth-first model checker over thread interleavings.
+//!
+//! Every loom operation (atomic access, mutex acquire, spawn, join,
+//! yield) calls [`switch`], a *scheduling point*. At each point the
+//! engine consults a replay prefix of scheduling decisions; past the
+//! prefix it runs a default policy (keep the current thread running)
+//! while recording which other threads were runnable. After an
+//! execution finishes, the explorer backtracks to the deepest decision
+//! with an untried alternative and replays with that branch — classic
+//! stateless DFS, bounded by a preemption budget the same way real
+//! loom's `LOOM_MAX_PREEMPTIONS` is.
+//!
+//! Threads are real OS threads serialized by a baton: exactly one loom
+//! thread owns the execution token at any instant, so shared state
+//! touched only between scheduling points needs no further
+//! synchronization. Sequential consistency is the modeled memory
+//! order — weaker orderings are explored as if they were `SeqCst`
+//! (the same conservative simplification the vendored stand-ins in
+//! this directory make elsewhere; see compat/README.md).
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Sentinel panic payload used to unwind loom threads when an execution
+/// is being torn down (after a real panic or a deadlock elsewhere).
+pub(crate) struct Abort;
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current() -> Ctx {
+    CTX.with(|c| c.borrow().clone())
+        .expect("loom primitive used outside loom::model")
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision (only points with ≥ 2 runnable
+/// threads are recorded; forced moves are not decisions).
+#[derive(Clone, Debug)]
+pub(crate) struct ChoiceRec {
+    pub(crate) chosen: usize,
+    pub(crate) runnable: Vec<usize>,
+    pub(crate) active_before: usize,
+    pub(crate) me_runnable: bool,
+    pub(crate) preemptions_before: u32,
+}
+
+struct ExecState {
+    threads: Vec<TState>,
+    active: usize,
+    finished: usize,
+    /// Scheduling decisions to replay, deepest-first.
+    prefix: Vec<usize>,
+    /// Next replay index into `prefix`.
+    pos: usize,
+    /// Decisions taken this execution (replayed and fresh).
+    choices: Vec<ChoiceRec>,
+    preemptions: u32,
+    steps: u64,
+    /// Set once a real panic or deadlock is detected; every thread
+    /// unwinds at its next scheduling point.
+    poisoned: bool,
+    panic_msg: Option<String>,
+    held_locks: HashSet<usize>,
+    next_lock_id: usize,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    max_steps: u64,
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+fn abort_unwind() -> ! {
+    panic::panic_any(Abort)
+}
+
+impl Execution {
+    pub(crate) fn new(prefix: Vec<usize>, max_steps: u64) -> Arc<Self> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                finished: 0,
+                prefix,
+                pos: 0,
+                choices: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                poisoned: false,
+                panic_msg: None,
+                held_locks: HashSet::new(),
+                next_lock_id: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            max_steps,
+        })
+    }
+
+    /// Runs `f` as loom thread 0 and blocks until every loom thread of
+    /// this execution has finished (or unwound after poisoning).
+    pub(crate) fn run(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) {
+        relock(self.state.lock()).threads.push(TState::Runnable);
+        let exec = Arc::clone(self);
+        let h = std::thread::spawn(move || run_thread(exec, 0, move || f()));
+        relock(self.handles.lock()).push(h);
+        let mut st = relock(self.state.lock());
+        while st.finished < st.threads.len() {
+            st = relock(self.cv.wait(st));
+        }
+    }
+
+    /// Joins the OS threads and returns the recorded decisions plus the
+    /// first real panic message, if any.
+    pub(crate) fn finish(self: Arc<Self>) -> (Vec<ChoiceRec>, Option<String>) {
+        for h in relock(self.handles.lock()).drain(..) {
+            let _ = h.join();
+        }
+        let st = relock(self.state.lock());
+        (st.choices.clone(), st.panic_msg.clone())
+    }
+
+    /// Registers a new loom thread (runnable immediately) and returns
+    /// its id. Called from the spawning thread, which holds the baton.
+    fn register_thread(&self) -> usize {
+        let mut st = relock(self.state.lock());
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        relock(self.handles.lock()).push(h);
+    }
+
+    /// Picks the next thread to run. Records a decision when more than
+    /// one thread is runnable. Returns `Err(())` on deadlock.
+    fn choose_next(&self, st: &mut ExecState, me: usize, me_runnable: bool) -> Result<usize, ()> {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            return Err(());
+        }
+        // Forced moves (one runnable thread) are not decisions: they
+        // are neither recorded nor replayed, so the prefix is only
+        // consulted where a real choice exists.
+        let next = if runnable.len() == 1 {
+            runnable[0]
+        } else if st.pos < st.prefix.len() {
+            let n = st.prefix[st.pos];
+            if !runnable.contains(&n) {
+                // A replay divergence means the model is itself
+                // non-deterministic (e.g. real time or OS randomness
+                // leaked in) — exploration would be meaningless.
+                st.poisoned = true;
+                st.panic_msg = Some(format!(
+                    "non-deterministic model: replayed choice {n} is not runnable \
+                     (runnable: {runnable:?})"
+                ));
+                self.cv.notify_all();
+                return Err(());
+            }
+            n
+        } else if me_runnable {
+            me
+        } else {
+            runnable[0]
+        };
+        if runnable.len() > 1 {
+            st.choices.push(ChoiceRec {
+                chosen: next,
+                runnable: runnable.clone(),
+                active_before: me,
+                me_runnable,
+                preemptions_before: st.preemptions,
+            });
+            st.pos += 1;
+        }
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        Ok(next)
+    }
+
+    /// The scheduling point: maybe hand the baton to another thread,
+    /// then wait until it comes back.
+    fn switch_from(&self, me: usize) {
+        let mut st = relock(self.state.lock());
+        if st.poisoned {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.poisoned = true;
+            st.panic_msg = Some(format!(
+                "execution exceeded {} scheduling points (livelock?); raise LOOM_MAX_STEPS",
+                self.max_steps
+            ));
+            self.cv.notify_all();
+            drop(st);
+            abort_unwind();
+        }
+        match self.choose_next(&mut st, me, true) {
+            Ok(next) if next == me => {}
+            Ok(next) => {
+                st.active = next;
+                self.cv.notify_all();
+                st = self.wait_for_baton(st, me);
+                drop(st);
+            }
+            Err(()) => {
+                // `me` is runnable, so this is only reachable through
+                // the non-determinism poison path above.
+                drop(st);
+                abort_unwind();
+            }
+        }
+    }
+
+    /// Parks until `active == me`, unwinding if the execution poisons.
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        while st.active != me && !st.poisoned {
+            st = relock(self.cv.wait(st));
+        }
+        if st.poisoned {
+            drop(st);
+            abort_unwind();
+        }
+        st
+    }
+
+    /// Initial park of a freshly spawned thread until it is scheduled.
+    fn wait_turn(&self, me: usize) {
+        let st = relock(self.state.lock());
+        drop(self.wait_for_baton(st, me));
+    }
+
+    /// Blocks the calling thread on `state` (a mutex or a join target)
+    /// and hands the baton to someone runnable.
+    fn block_on(&self, me: usize, state: TState) {
+        let mut st = relock(self.state.lock());
+        if st.poisoned {
+            drop(st);
+            abort_unwind();
+        }
+        st.threads[me] = state;
+        match self.choose_next(&mut st, me, false) {
+            Ok(next) => {
+                st.active = next;
+                self.cv.notify_all();
+            }
+            Err(()) => {
+                if !st.poisoned {
+                    st.poisoned = true;
+                    st.panic_msg = Some("deadlock: every live thread is blocked".to_string());
+                }
+                self.cv.notify_all();
+                drop(st);
+                abort_unwind();
+            }
+        }
+        st = self.wait_for_baton(st, me);
+        drop(st);
+    }
+
+    /// Thread epilogue: record an optional real panic, mark finished,
+    /// wake joiners, pass the baton on.
+    fn thread_exit(&self, me: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = relock(self.state.lock());
+        if let Some(p) = payload {
+            if !st.poisoned {
+                st.poisoned = true;
+                st.panic_msg = Some(payload_to_string(&p));
+            }
+        }
+        st.threads[me] = TState::Finished;
+        st.finished += 1;
+        for i in 0..st.threads.len() {
+            if st.threads[i] == TState::BlockedJoin(me) {
+                st.threads[i] = TState::Runnable;
+            }
+        }
+        if st.poisoned || st.finished == st.threads.len() {
+            self.cv.notify_all();
+            return;
+        }
+        match self.choose_next(&mut st, me, false) {
+            Ok(next) => {
+                st.active = next;
+                self.cv.notify_all();
+            }
+            Err(()) => {
+                st.poisoned = true;
+                st.panic_msg = Some("deadlock: every live thread is blocked".to_string());
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+fn payload_to_string(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Body shared by every loom-managed OS thread: install the context,
+/// park for the first turn, run, then go through the exit protocol.
+fn run_thread(exec: Arc<Execution>, tid: usize, body: impl FnOnce() + Send) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        });
+    });
+    let res = panic::catch_unwind(AssertUnwindSafe(|| {
+        exec.wait_turn(tid);
+        body();
+    }));
+    let payload = match res {
+        Ok(()) => None,
+        Err(p) if p.is::<Abort>() => None,
+        Err(p) => Some(p),
+    };
+    exec.thread_exit(tid, payload);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive hooks used by the public loom API
+// ---------------------------------------------------------------------------
+
+/// The scheduling point every loom operation passes through.
+pub(crate) fn switch() {
+    let ctx = current();
+    ctx.exec.switch_from(ctx.tid);
+}
+
+/// Allocates an execution-unique lock id. Caller holds the baton.
+pub(crate) fn alloc_lock_id() -> usize {
+    let ctx = current();
+    let mut st = relock(ctx.exec.state.lock());
+    let id = st.next_lock_id;
+    st.next_lock_id += 1;
+    id
+}
+
+/// Attempts to acquire lock `id`; true on success. Caller holds the
+/// baton, so test-and-set here is race-free.
+pub(crate) fn try_acquire(id: usize) -> bool {
+    let ctx = current();
+    let mut st = relock(ctx.exec.state.lock());
+    st.held_locks.insert(id)
+}
+
+/// Releases lock `id` and makes its waiters runnable. Never unwinds:
+/// it runs from guard drops, including during poisoned teardown.
+pub(crate) fn release(id: usize) {
+    let ctx = current();
+    let mut st = relock(ctx.exec.state.lock());
+    st.held_locks.remove(&id);
+    for i in 0..st.threads.len() {
+        if st.threads[i] == TState::BlockedMutex(id) {
+            st.threads[i] = TState::Runnable;
+        }
+    }
+}
+
+/// Parks the calling thread until lock `id` is released.
+pub(crate) fn block_on_mutex(id: usize) {
+    let ctx = current();
+    ctx.exec.block_on(ctx.tid, TState::BlockedMutex(id));
+}
+
+/// Parks the calling thread until loom thread `target` finishes.
+pub(crate) fn join_wait(target: usize) {
+    let ctx = current();
+    switch();
+    loop {
+        {
+            let st = relock(ctx.exec.state.lock());
+            if st.threads[target] == TState::Finished {
+                return;
+            }
+        }
+        ctx.exec.block_on(ctx.tid, TState::BlockedJoin(target));
+    }
+}
+
+/// Registers a new loom thread and hands back (execution, id) so the
+/// caller can start its OS thread.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> usize {
+    let ctx = current();
+    let tid = ctx.exec.register_thread();
+    let exec = Arc::clone(&ctx.exec);
+    let h = std::thread::spawn(move || run_thread(exec, tid, body));
+    ctx.exec.add_handle(h);
+    // The spawn itself is a scheduling point: the child may run first.
+    switch();
+    tid
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+struct Node {
+    chosen: usize,
+    untried: Vec<usize>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Explores the interleavings of `f` depth-first. Panics (on the
+/// caller's thread) with the failing schedule if any interleaving
+/// panics; detects deadlocks and livelocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let max_preemptions = env_u64("LOOM_MAX_PREEMPTIONS", 2) as u32;
+    let max_branches = env_u64("LOOM_MAX_BRANCHES", 10_000);
+    let max_steps = env_u64("LOOM_MAX_STEPS", 500_000);
+    let mut stack: Vec<Node> = Vec::new();
+    let mut iters: u64 = 0;
+    loop {
+        iters += 1;
+        let prefix: Vec<usize> = stack.iter().map(|n| n.chosen).collect();
+        let exec = Execution::new(prefix.clone(), max_steps);
+        exec.run(Arc::clone(&f));
+        let (choices, panic_msg) = exec.finish();
+        if let Some(msg) = panic_msg {
+            panic!(
+                "loom: model failed after {iters} execution(s); \
+                 failing schedule (thread ids at each decision) {prefix:?}: {msg}"
+            );
+        }
+        for c in &choices[stack.len()..] {
+            // An alternative that would preempt a still-runnable thread
+            // costs one unit of the preemption budget, exactly like
+            // real loom's LOOM_MAX_PREEMPTIONS bound.
+            let untried = c
+                .runnable
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    if t == c.chosen {
+                        return false;
+                    }
+                    let cost = u32::from(c.me_runnable && t != c.active_before);
+                    c.preemptions_before + cost <= max_preemptions
+                })
+                .collect();
+            stack.push(Node {
+                chosen: c.chosen,
+                untried,
+            });
+        }
+        let advanced = loop {
+            match stack.last_mut() {
+                None => break false,
+                Some(n) => {
+                    if let Some(alt) = n.untried.pop() {
+                        n.chosen = alt;
+                        break true;
+                    }
+                    stack.pop();
+                }
+            }
+        };
+        if !advanced {
+            return;
+        }
+        if iters >= max_branches {
+            // Never truncate silently: a capped exploration is weaker
+            // evidence than a completed one.
+            eprintln!(
+                "loom: exploration capped at {max_branches} executions \
+                 (set LOOM_MAX_BRANCHES to raise)"
+            );
+            return;
+        }
+    }
+}

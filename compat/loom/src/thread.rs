@@ -1,0 +1,50 @@
+//! Loom-managed threads: `std::thread`-shaped, scheduler-controlled.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a loom thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes and returns its
+    /// value. A panicking child poisons the whole execution before the
+    /// joiner can observe it, so this only ever returns `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_wait(self.tid);
+        let v = self
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("loom thread finished without a result");
+        Ok(v)
+    }
+}
+
+/// Spawns a loom thread. Must be called from inside [`crate::model`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn_thread(Box::new(move || {
+        let v = f();
+        *slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+    }));
+    JoinHandle { tid, result }
+}
+
+/// A pure scheduling point: lets the explorer hand the baton to any
+/// other runnable thread here.
+pub fn yield_now() {
+    rt::switch();
+}

@@ -171,6 +171,8 @@ pub fn record_run(label: &str, snap: MetricsSnapshot) {
 /// number so repeated configurations stay distinct in the merged
 /// document.
 pub fn record_run_seq(label: &str, snap: MetricsSnapshot) {
+    // ord: Relaxed — sequence uniqueness only; no other state rides
+    // on this counter.
     let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
     record_run(&format!("run{seq:03}.{label}"), snap);
 }

@@ -195,6 +195,8 @@ fn commit_thread(inner: Arc<ClassicInner>) {
         inner.commits.inc();
         inner.commit_hist.record(ccnvme_sim::now() - t0);
         if res.is_err() {
+            // ord: SeqCst — the abort flag must publish before any
+            // later commit on another thread can report success.
             inner.aborted.store(true, Ordering::SeqCst);
         }
         // Safety net: thaw anything the compound path did not.
@@ -272,6 +274,9 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) -> Result
                 chunk_revokes,
             )?;
         }
+        // ord: SeqCst — the replay ceiling may only advance after the
+        // commit record is durable; reordering would let checkpoint
+        // overwrite journal blocks recovery still needs.
         inner.max_committed.fetch_max(compound_id, Ordering::SeqCst);
         unpin_batch(batch);
         let mut pending = inner.pending.lock();
@@ -297,6 +302,8 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) -> Result
             Some(l) => break l,
             None => {
                 checkpoint_now(inner);
+                // ord: SeqCst — pairs with the aborted stores; must see
+                // a checkpoint failure before retrying the ring alloc.
                 if inner.aborted.load(Ordering::SeqCst) {
                     return Err(BioStatus::Error);
                 }
@@ -405,6 +412,8 @@ fn commit_compound(inner: &Arc<ClassicInner>, batch: &mut [PendingTx]) -> Result
             }
         }
     }
+    // ord: SeqCst — replay ceiling advances only after the commit
+    // record is durable (same contract as the compound path).
     inner.max_committed.fetch_max(compound_id, Ordering::SeqCst);
     // Account the journaled blocks for checkpointing.
     {
@@ -445,6 +454,8 @@ fn commit_chunk(
             Some(l) => break l,
             None => {
                 checkpoint_now(inner);
+                // ord: SeqCst — pairs with the aborted stores; must see
+                // a checkpoint failure before retrying the ring alloc.
                 if inner.aborted.load(Ordering::SeqCst) {
                     return Err(BioStatus::Error);
                 }
@@ -553,6 +564,8 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
             // Abort WITHOUT advancing the horizon or releasing the ring:
             // the journal copies are now the only good ones, and replay
             // after remount will need them.
+            // ord: SeqCst — abort publication; later loads on any
+            // thread must observe it before trusting journal space.
             inner.aborted.store(true, Ordering::SeqCst);
             return;
         }
@@ -562,6 +575,7 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
             fw.attach(&mut flush);
             inner.dev.submit_bio(flush);
             if fw.wait().is_err() {
+                // ord: SeqCst — abort publication (see above).
                 inner.aborted.store(true, Ordering::SeqCst);
                 return;
             }
@@ -571,6 +585,8 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
     // Persist the replay floor before reusing any journal space, so
     // recovery never replays a transaction whose journal blocks may have
     // been overwritten (the JBD2 journal-superblock protocol).
+    // ord: SeqCst — the horizon written to disk must reflect every
+    // commit whose checkpoint writes we just waited on.
     let h = inner.max_committed.load(Ordering::SeqCst) + 1;
     let hw = BioWaiter::new();
     let hbuf: BioBuf = Arc::new(parking_lot::Mutex::new(format::encode_horizon(h)));
@@ -595,6 +611,8 @@ impl Journal for ClassicJournal {
     fn commit_tx(&self, mut tx: TxDescriptor, _durability: Durability) -> Result<(), CommitError> {
         // Classic journaling cannot decouple atomicity from durability;
         // `fatomic` degenerates to `fsync` here.
+        // ord: SeqCst — pairs with abort stores; a commit must never
+        // succeed after the journal declared itself dead.
         if self.inner.aborted.load(Ordering::SeqCst) {
             tx.run_unpin();
             return Err(CommitError::Aborted);
@@ -612,6 +630,7 @@ impl Journal for ClassicJournal {
                 self.inner.dev.submit_bio(bio);
             }
             if let Err(status) = wait_ok(&waiter) {
+                // ord: SeqCst — abort publication (ordered-data failure).
                 self.inner.aborted.store(true, Ordering::SeqCst);
                 tx.run_unpin();
                 return Err(CommitError::Io(status));
@@ -648,6 +667,7 @@ impl Journal for ClassicJournal {
     }
 
     fn is_aborted(&self) -> bool {
+        // ord: SeqCst — pairs with abort stores.
         self.inner.aborted.load(Ordering::SeqCst)
     }
 
@@ -690,11 +710,16 @@ impl Journal for ClassicJournal {
     }
 
     fn alloc_tx_id(&self) -> u64 {
+        // ord: SeqCst — tx IDs are the global commit order (§5.1).
         self.inner.next_tx.fetch_add(1, Ordering::SeqCst)
     }
 
     fn set_tx_floor(&self, floor: u64) {
+        // ord: SeqCst — recovery floor must be ordered against
+        // concurrent ID allocation.
         self.inner.next_tx.fetch_max(floor + 1, Ordering::SeqCst);
+        // ord: SeqCst — replayed transactions are committed by
+        // definition; the ceiling must cover them before new commits.
         self.inner.max_committed.fetch_max(floor, Ordering::SeqCst);
     }
 

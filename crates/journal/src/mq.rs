@@ -242,6 +242,8 @@ impl MqJournal {
             for w in waiters {
                 if w.wait().is_err() {
                     let status = w.first_error().unwrap_or(BioStatus::Error);
+                    // ord: SeqCst — abort must publish before any later
+                    // commit on another queue can report success.
                     self.inner.aborted.store(true, Ordering::SeqCst);
                     return Err(CommitError::Io(status));
                 }
@@ -271,6 +273,7 @@ impl MqJournal {
                 // This transaction's journal copies are unreliable (the
                 // driver failed the whole ccNVMe transaction); never
                 // write them home. The journal is aborted.
+                // ord: SeqCst — abort publication (see commit_tx).
                 inner.aborted.store(true, Ordering::SeqCst);
                 continue;
             }
@@ -360,6 +363,8 @@ impl MqJournal {
             }
             released_blocks += tx.ring_blocks;
         }
+        // ord: SeqCst — per-area replay floor; the horizon writer below
+        // min()s across areas and must see checkpointed entries leave.
         area.oldest_live.store(
             st.logged.front().map_or(u64::MAX, |t| t.tx_id),
             Ordering::SeqCst,
@@ -370,10 +375,16 @@ impl MqJournal {
             let h = inner
                 .areas
                 .iter()
+                // ord: SeqCst — pairs with the oldest_live stores above;
+                // the horizon must not pass a still-live transaction.
                 .map(|a| a.oldest_live.load(Ordering::SeqCst))
                 .min()
                 .unwrap_or(u64::MAX);
+            // ord: SeqCst — clamp to the allocation frontier so an
+            // all-idle journal never publishes a horizon above next_tx.
             let h = h.min(inner.next_tx.load(Ordering::SeqCst));
+            // ord: SeqCst — monotone horizon; racing checkpointers must
+            // agree on who writes the higher floor.
             if h > inner.horizon_written.load(Ordering::SeqCst) {
                 let hw = BioWaiter::new();
                 let hbuf: BioBuf = Arc::new(parking_lot::Mutex::new(format::encode_horizon(h)));
@@ -390,6 +401,8 @@ impl MqJournal {
                 hw.attach(&mut hbio);
                 inner.dev.submit_bio(hbio);
                 let _ = hw.wait();
+                // ord: SeqCst — only advances after the horizon block is
+                // durable; fetch_max keeps racing checkpointers monotone.
                 inner.horizon_written.fetch_max(h, Ordering::SeqCst);
             }
             area.ring.release(released_blocks);
@@ -435,6 +448,8 @@ const CHUNK_TOTAL: usize = 96;
 
 impl Journal for MqJournal {
     fn commit_tx(&self, mut tx: TxDescriptor, durability: Durability) -> Result<(), CommitError> {
+        // ord: SeqCst — pairs with abort stores; a commit must never
+        // succeed after the journal declared itself dead.
         if self.inner.aborted.load(Ordering::SeqCst) {
             tx.run_unpin();
             return Err(CommitError::Aborted);
@@ -556,6 +571,8 @@ impl Journal for MqJournal {
                 waiter: waiter.clone_handle(),
             });
             if st.logged.len() == 1 {
+                // ord: SeqCst — first live entry resets the area's
+                // replay floor; checkpoint horizon math reads it.
                 area.oldest_live.store(tx.tx_id, Ordering::SeqCst);
             }
         }
@@ -577,6 +594,7 @@ impl Journal for MqJournal {
             // hit an unrecoverable error). Its journal copies are dead;
             // abort the journal.
             let status = waiter.first_error().unwrap_or(BioStatus::Error);
+            // ord: SeqCst — abort publication (journal copies are dead).
             inner.aborted.store(true, Ordering::SeqCst);
             return Err(CommitError::Io(status));
         }
@@ -586,6 +604,7 @@ impl Journal for MqJournal {
     }
 
     fn is_aborted(&self) -> bool {
+        // ord: SeqCst — pairs with abort stores.
         self.inner.aborted.load(Ordering::SeqCst)
     }
 
@@ -620,10 +639,13 @@ impl Journal for MqJournal {
     }
 
     fn alloc_tx_id(&self) -> u64 {
+        // ord: SeqCst — tx IDs are the global commit order (§5.1).
         self.inner.next_tx.fetch_add(1, Ordering::SeqCst)
     }
 
     fn set_tx_floor(&self, floor: u64) {
+        // ord: SeqCst — recovery floor must be ordered against
+        // concurrent ID allocation.
         self.inner.next_tx.fetch_max(floor + 1, Ordering::SeqCst);
     }
 

@@ -38,6 +38,8 @@ impl NoJournal {
 
     fn fail(&self, w: &BioWaiter, tx: &mut TxDescriptor) -> CommitError {
         let status = w.first_error().unwrap_or(BioStatus::Error);
+        // ord: SeqCst — abort must publish before any later commit
+        // on another thread can report success.
         self.aborted.store(true, Ordering::SeqCst);
         tx.run_unpin();
         CommitError::Io(status)
@@ -46,6 +48,7 @@ impl NoJournal {
 
 impl Journal for NoJournal {
     fn commit_tx(&self, mut tx: TxDescriptor, durability: Durability) -> Result<(), CommitError> {
+        // ord: SeqCst — pairs with the abort store in fail().
         if self.aborted.load(Ordering::SeqCst) {
             tx.run_unpin();
             return Err(CommitError::Aborted);
@@ -93,6 +96,7 @@ impl Journal for NoJournal {
     }
 
     fn is_aborted(&self) -> bool {
+        // ord: SeqCst — pairs with the abort store in fail().
         self.aborted.load(Ordering::SeqCst)
     }
 
@@ -103,10 +107,12 @@ impl Journal for NoJournal {
     fn checkpoint_all(&self) {}
 
     fn alloc_tx_id(&self) -> u64 {
+        // ord: SeqCst — tx IDs are the global commit order (§5.1).
         self.next_tx.fetch_add(1, Ordering::SeqCst)
     }
 
     fn set_tx_floor(&self, floor: u64) {
+        // ord: SeqCst — recovery floor ordered against allocation.
         self.next_tx.fetch_max(floor + 1, Ordering::SeqCst);
     }
 

@@ -1,0 +1,429 @@
+//! A comment- and string-aware scanner for Rust source.
+//!
+//! The analyzer does not need full parsing — every rule operates on
+//! token shapes (`.write(`, `Ordering::`, `unsafe`, `"literal"`) plus
+//! comment text. What it *does* need is to never confuse the three
+//! lexical planes: code, comments and string literals. [`lex`]
+//! separates them byte-exactly:
+//!
+//! * `masked` — the source with every comment and string-literal byte
+//!   replaced by a space (string literals keep their opening `"` so
+//!   call-argument scanning can detect "a literal starts here"). All
+//!   byte offsets and line breaks are preserved, so offsets into
+//!   `masked` are offsets into the original.
+//! * `comments` — per-line accumulated comment text (`// ord:`,
+//!   `// SAFETY:`, `// ccnvme-lint:` markers are read from here).
+//! * `strings` — every string literal with its offset, line and
+//!   content (the metric-namespace rule reads names from here).
+//!
+//! Handles nested block comments, raw strings (`r"…"`, `r#"…"#`),
+//! escapes, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+
+/// One string literal found in the source.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// Byte offset of the opening quote (also where `masked` keeps a
+    /// `"` marker).
+    pub offset: usize,
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Literal content between the quotes, escapes unprocessed.
+    pub content: String,
+}
+
+/// Result of [`lex`]: the three lexical planes of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Code-only view; comment/string bytes are spaces. Same length
+    /// and line structure as the input.
+    pub masked: String,
+    /// Comment text accumulated per 0-based line index.
+    pub comments: Vec<String>,
+    /// All string literals, in source order.
+    pub strings: Vec<StrLit>,
+    /// Byte offset where each 0-based line starts.
+    pub line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// Maps a byte offset to its 1-based line number.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // i >= 1 because line_starts[0] == 0
+        }
+    }
+
+    /// The comment text on a 1-based line (empty if none).
+    pub fn comment_on(&self, line1: usize) -> &str {
+        line1
+            .checked_sub(1)
+            .and_then(|i| self.comments.get(i))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// The string literal whose opening quote sits at `offset`.
+    pub fn string_at(&self, offset: usize) -> Option<&StrLit> {
+        self.strings
+            .binary_search_by_key(&offset, |s| s.offset)
+            .ok()
+            .map(|i| &self.strings[i])
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Scans `src` into its code / comment / string planes.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut masked = b.to_vec();
+    let line_count = src.lines().count().max(1);
+    let mut comments: Vec<String> = vec![String::new(); line_count + 1];
+    let mut strings: Vec<StrLit> = Vec::new();
+    let mut line_starts: Vec<usize> = vec![0];
+    let mut line = 0usize; // 0-based current line
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        ($at:expr) => {{
+            line += 1;
+            line_starts.push($at + 1);
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                newline!(i);
+                i += 1;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    masked[i] = b' ';
+                    i += 1;
+                }
+                if let Some(slot) = comments.get_mut(line) {
+                    slot.push_str(&src[start..i]);
+                    slot.push(' ');
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                masked[i] = b' ';
+                masked[i + 1] = b' ';
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        masked[i] = b' ';
+                        masked[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        masked[i] = b' ';
+                        masked[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            newline!(i);
+                        } else {
+                            if let Some(slot) = comments.get_mut(line) {
+                                // Push the raw byte; multi-byte chars
+                                // arrive byte-wise, which is fine for
+                                // the substring checks done on comments.
+                                slot.push(b[i] as char);
+                            }
+                            masked[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (next_i, lit) =
+                    scan_string(src, &mut masked, i, line + 1, &mut line, &mut line_starts);
+                strings.push(lit);
+                i = next_i;
+            }
+            b'r' if !(i > 0 && is_ident_byte(b[i - 1])) && raw_string_quote(b, i).is_some() => {
+                let hashes = raw_string_quote(b, i).unwrap();
+                let start = i;
+                let start_line = line + 1;
+                // Mask `r##…`, keep a `"` marker at the literal start.
+                masked[i] = b'"';
+                for m in masked.iter_mut().take(i + 1 + hashes + 1).skip(i + 1) {
+                    *m = b' ';
+                }
+                i += 1 + hashes + 1; // past r, hashes, opening quote
+                let content_start = i;
+                let closer = {
+                    let mut c = String::from("\"");
+                    c.push_str(&"#".repeat(hashes));
+                    c
+                };
+                let content_end;
+                loop {
+                    if i >= n {
+                        content_end = n;
+                        break;
+                    }
+                    // Byte comparison: `i` may sit mid-way through a
+                    // multi-byte char inside the raw string's content.
+                    if b[i..].starts_with(closer.as_bytes()) {
+                        content_end = i;
+                        for m in masked.iter_mut().take(i + closer.len()).skip(i) {
+                            *m = b' ';
+                        }
+                        i += closer.len();
+                        break;
+                    }
+                    if b[i] == b'\n' {
+                        newline!(i);
+                    } else {
+                        masked[i] = b' ';
+                    }
+                    i += 1;
+                }
+                strings.push(StrLit {
+                    offset: start,
+                    line: start_line,
+                    content: src[content_start..content_end].to_string(),
+                });
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal is `'\…'` or
+                // `'x'`; anything else (`'a`, `'static`) is a lifetime.
+                let is_char = match b.get(i + 1) {
+                    Some(b'\\') => true,
+                    Some(_) => b.get(i + 2) == Some(&b'\''),
+                    None => false,
+                };
+                if is_char {
+                    masked[i] = b' ';
+                    i += 1;
+                    if b.get(i) == Some(&b'\\') {
+                        masked[i] = b' ';
+                        i += 1;
+                        if i < n {
+                            masked[i] = b' ';
+                            i += 1;
+                        }
+                    } else if i < n {
+                        masked[i] = b' ';
+                        i += 1;
+                    }
+                    // Consume through the closing quote (handles \u{…}).
+                    while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                        masked[i] = b' ';
+                        i += 1;
+                    }
+                    if i < n && b[i] == b'\'' {
+                        masked[i] = b' ';
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    comments.truncate(line + 1);
+    Lexed {
+        // SAFETY of from_utf8: only ASCII bytes were substituted in.
+        masked: String::from_utf8(masked).expect("masking preserves utf-8"),
+        comments,
+        strings,
+        line_starts,
+    }
+}
+
+/// If `b[i]` starts a raw string (`r"`, `r#"`, …), returns the hash
+/// count.
+fn raw_string_quote(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j < b.len() && b[j] == b'"' && (hashes > 0 || j == i + 1)).then_some(hashes)
+}
+
+/// Scans a normal `"…"` literal starting at `i`; masks its bytes
+/// (keeping the opening quote) and returns (index-after, literal).
+fn scan_string(
+    src: &str,
+    masked: &mut [u8],
+    i: usize,
+    start_line: usize,
+    line: &mut usize,
+    line_starts: &mut Vec<usize>,
+) -> (usize, StrLit) {
+    let b = src.as_bytes();
+    let n = b.len();
+    let start = i;
+    let mut j = i + 1; // keep the opening quote in masked
+    let content_start = j;
+    let content_end;
+    loop {
+        if j >= n {
+            content_end = n;
+            break;
+        }
+        match b[j] {
+            b'\\' => {
+                masked[j] = b' ';
+                if j + 1 < n {
+                    masked[j + 1] = b' ';
+                }
+                j += 2;
+            }
+            b'"' => {
+                content_end = j;
+                masked[j] = b' ';
+                j += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                line_starts.push(j + 1);
+                masked[j] = b' ';
+                j += 1;
+                // Multi-line string literals continue.
+                let mut k = j;
+                loop {
+                    if k >= n {
+                        return (
+                            n,
+                            StrLit {
+                                offset: start,
+                                line: start_line,
+                                content: src[content_start..n].to_string(),
+                            },
+                        );
+                    }
+                    match b[k] {
+                        b'\\' => {
+                            masked[k] = b' ';
+                            if k + 1 < n {
+                                masked[k + 1] = b' ';
+                            }
+                            k += 2;
+                        }
+                        b'"' => {
+                            masked[k] = b' ';
+                            return (
+                                k + 1,
+                                StrLit {
+                                    offset: start,
+                                    line: start_line,
+                                    content: src[content_start..k].to_string(),
+                                },
+                            );
+                        }
+                        b'\n' => {
+                            *line += 1;
+                            line_starts.push(k + 1);
+                            masked[k] = b' ';
+                            k += 1;
+                        }
+                        _ => {
+                            masked[k] = b' ';
+                            k += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                masked[j] = b' ';
+                j += 1;
+            }
+        }
+        continue;
+    }
+    (
+        j,
+        StrLit {
+            offset: start,
+            line: start_line,
+            content: src[content_start..content_end].to_string(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"str // not comment\"; // real comment\nlet y = 2;";
+        let l = lex(src);
+        assert!(!l.masked.contains("not comment"));
+        assert!(!l.masked.contains("real comment"));
+        assert!(l.masked.contains("let x = \""));
+        assert!(l.comment_on(1).contains("real comment"));
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].content, "str // not comment");
+        assert_eq!(l.strings[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "a /* outer /* inner */ still */ b\nc";
+        let l = lex(src);
+        assert!(l.masked.starts_with("a "));
+        assert!(l.masked.contains(" b"));
+        assert!(!l.masked.contains("inner"));
+        assert!(l.comment_on(1).contains("inner"));
+        assert_eq!(l.line_of(src.len() - 1), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let a = r#\"quote \" inside\"#; let b = r\"x\";";
+        let l = lex(src);
+        assert_eq!(l.strings.len(), 2);
+        assert_eq!(l.strings[0].content, "quote \" inside");
+        assert_eq!(l.strings[1].content, "x");
+        assert!(!l.masked.contains("inside"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let l = lex(src);
+        // The string-typed parts of the signature survive masking.
+        assert!(l.masked.contains("&'a str"));
+        assert!(!l.masked.contains("'x'"));
+        assert_eq!(l.strings.len(), 0);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nlet t = 3;";
+        let l = lex(src);
+        assert_eq!(l.strings.len(), 1);
+        assert!(l.strings[0].content.contains("line two"));
+        assert_eq!(l.line_of(src.find("let t").unwrap()), 3);
+    }
+
+    #[test]
+    fn string_at_finds_by_offset() {
+        let src = "f(\"abc\")";
+        let l = lex(src);
+        let off = src.find('"').unwrap();
+        assert_eq!(l.string_at(off).unwrap().content, "abc");
+        assert!(l.string_at(off + 1).is_none());
+    }
+}

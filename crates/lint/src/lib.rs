@@ -1,0 +1,156 @@
+//! `ccnvme-lint`: protocol-invariant static analyzer for the ccNVMe
+//! workspace.
+//!
+//! The persistence hot path has invariants the type system cannot see:
+//! the §4.3 ordering contract (SQE stores → write-combining flush →
+//! doorbell ring), memory-ordering discipline on recovery-critical
+//! atomics, audited `unsafe`, and the `ccnvme-metrics/v1` metric
+//! namespace. This crate checks them as a hard CI gate
+//! (`scripts/check.sh` runs the binary on every change).
+//!
+//! See `DESIGN.md` §10 for the rule catalogue, the suppression
+//! grammar (`// ccnvme-lint: allow(<rule>)` with a rationale) and the
+//! `// ccnvme-lint: commit_path` entry-point marker.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, ConfigError};
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Doorbell rings must be dominated by a P-SQ flush (§4.3).
+    PersistOrder,
+    /// Ordering discipline on persistence-critical atomics.
+    AtomicOrdering,
+    /// `unsafe` requires a `SAFETY:` comment.
+    UnsafeAudit,
+    /// Metric names must be in the `ccnvme-metrics/v1` namespace.
+    MetricNamespace,
+}
+
+impl RuleId {
+    /// Stable string id, used in output and in `allow(...)` markers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::PersistOrder => "persist-order",
+            RuleId::AtomicOrdering => "atomic-ordering",
+            RuleId::UnsafeAudit => "unsafe-audit",
+            RuleId::MetricNamespace => "metric-namespace",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Display path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints in-memory sources. Each entry is (display path, source text).
+///
+/// This is the API the binary, the fixture tests and the
+/// deleted-flush regression all share — the latter feeds a modified
+/// copy of `ccdriver.rs` through it without touching the tree.
+pub fn lint_sources(sources: &[(PathBuf, String)], cfg: &Config) -> Vec<Finding> {
+    let units: Vec<rules::Unit> = sources
+        .iter()
+        .map(|(path, src)| {
+            let lexed = lexer::lex(src);
+            let path_is_test = path
+                .components()
+                .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches");
+            let model = model::build(path_is_test, src, &lexed, cfg);
+            rules::Unit {
+                path: path.display().to_string(),
+                src: src.clone(),
+                lexed,
+                model,
+            }
+        })
+        .collect();
+    rules::run_all(&units, cfg)
+}
+
+/// Collects the `.rs` files to lint under `root` per the config's
+/// include/exclude lists, sorted for deterministic output.
+pub fn collect_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.is_dir() {
+            walk_dir(&dir, root, cfg, &mut out)?;
+        } else if dir.extension().is_some_and(|e| e == "rs") && dir.is_file() {
+            out.push(dir);
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk_dir(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if cfg
+            .exclude
+            .iter()
+            .any(|ex| rel_str == *ex || rel_str.starts_with(&format!("{ex}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dir(&path, root, cfg, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads the files and lints them, returning findings with
+/// root-relative display paths.
+pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let files = collect_files(root, cfg)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for f in files {
+        let text = std::fs::read_to_string(&f)?;
+        let display = f.strip_prefix(root).unwrap_or(&f).to_path_buf();
+        sources.push((display, text));
+    }
+    Ok(lint_sources(&sources, cfg))
+}

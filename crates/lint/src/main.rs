@@ -1,0 +1,118 @@
+//! `ccnvme-lint` CLI.
+//!
+//! Usage:
+//!
+//! ```text
+//! ccnvme-lint [--config lint.toml] [--root DIR] [FILES...]
+//! ```
+//!
+//! With no `FILES`, lints the workspace tree rooted at `--root`
+//! (default: the nearest ancestor of the current directory containing
+//! `lint.toml`, else the current directory) using the include/exclude
+//! lists from the config. With explicit `FILES`, lints exactly those.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ccnvme_lint::{collect_files, lint_sources, Config};
+
+fn find_root(start: &Path) -> PathBuf {
+    let mut cur = start.to_path_buf();
+    loop {
+        if cur.join("lint.toml").is_file() {
+            return cur;
+        }
+        if !cur.pop() {
+            return start.to_path_buf();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut config_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ccnvme-lint: --config needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ccnvme-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ccnvme-lint [--config lint.toml] [--root DIR] [FILES...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root.unwrap_or_else(|| find_root(&cwd));
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        match Config::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ccnvme-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Config::default()
+    };
+
+    let targets: Vec<PathBuf> = if files.is_empty() {
+        match collect_files(&root, &cfg) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("ccnvme-lint: scanning {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        files
+    };
+
+    let mut sources = Vec::with_capacity(targets.len());
+    for f in &targets {
+        match std::fs::read_to_string(f) {
+            Ok(text) => {
+                let display = f.strip_prefix(&root).unwrap_or(f).to_path_buf();
+                sources.push((display, text));
+            }
+            Err(e) => {
+                eprintln!("ccnvme-lint: reading {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = lint_sources(&sources, &cfg);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("ccnvme-lint: {} files clean", sources.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ccnvme-lint: {} finding(s) in {} files",
+            findings.len(),
+            sources.len()
+        );
+        ExitCode::FAILURE
+    }
+}

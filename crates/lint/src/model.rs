@@ -1,0 +1,620 @@
+//! Source model: per-file function extraction with, for each function,
+//! the ordered sequence of persistence events (P-SQ region stores,
+//! flushes, doorbell rings) and outgoing calls.
+//!
+//! This is a token-shape model over the masked source from
+//! [`crate::lexer`], not a real parse. The shapes it keys on are
+//! narrow and stable in this codebase:
+//!
+//! * a P-SQ store is `<recv>.write(<args>)` where `<recv>`'s final
+//!   path segment is a configured PMR receiver (`pmr`);
+//! * a doorbell ring is a P-SQ store whose first argument mentions a
+//!   configured doorbell token (`db_off`) as a whole identifier;
+//! * a flush is `<recv>.flush(...)` on a PMR receiver;
+//! * a call is any `ident(` not preceded by `.` (free/assoc call) or
+//!   `.ident(` (method call) that is not a keyword.
+
+use crate::config::Config;
+use crate::lexer::Lexed;
+
+/// A persistence-relevant event or an outgoing call, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Store to the persistent MMIO region (not a doorbell).
+    PmrStore {
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// `pmr.flush()` — write-combining buffer drain.
+    Flush {
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// Doorbell ring: P-SQ store whose offset is a doorbell register.
+    Doorbell {
+        /// 1-based line of the call.
+        line: usize,
+    },
+    /// Outgoing call to a named function/method.
+    Call {
+        /// Callee identifier (method or function name).
+        name: String,
+        /// 1-based line of the call.
+        line: usize,
+    },
+}
+
+/// One function found in a source file.
+#[derive(Debug)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True if the function sits inside a `#[cfg(test)]` region or a
+    /// `tests/` file.
+    pub in_test: bool,
+    /// True if a `// ccnvme-lint: commit_path` marker precedes the fn.
+    pub commit_path: bool,
+    /// Ordered events and calls in the body.
+    pub events: Vec<Event>,
+    /// Body byte range in the file (after the opening brace, to the
+    /// closing brace).
+    pub body: (usize, usize),
+}
+
+/// Model of one lexed source file.
+pub struct FileModel {
+    /// All functions, in source order.
+    pub funcs: Vec<Func>,
+    /// Byte ranges covered by `#[cfg(test)]`-gated items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Whole file is test code (lives under a `tests/` directory).
+    pub whole_file_test: bool,
+}
+
+impl FileModel {
+    /// True if the byte offset lies inside test-only code.
+    pub fn offset_in_test(&self, offset: usize) -> bool {
+        self.whole_file_test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "if",
+    "else",
+    "while",
+    "for",
+    "loop",
+    "match",
+    "return",
+    "fn",
+    "let",
+    "mut",
+    "as",
+    "in",
+    "impl",
+    "pub",
+    "use",
+    "mod",
+    "struct",
+    "enum",
+    "trait",
+    "where",
+    "unsafe",
+    "move",
+    "ref",
+    "break",
+    "continue",
+    "const",
+    "static",
+    "type",
+    "dyn",
+    "Some",
+    "Ok",
+    "Err",
+    "None",
+    "Box",
+    "Vec",
+    "String",
+    "drop",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "panic",
+    "format",
+    "vec",
+    "println",
+    "eprintln",
+    "write",
+    "writeln",
+    "matches",
+    "debug_assert",
+];
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Reads the identifier ending at (exclusive) byte `end`.
+fn ident_before(b: &[u8], end: usize) -> Option<(usize, &str)> {
+    let mut s = end;
+    while s > 0 && is_ident_char(b[s - 1]) {
+        s -= 1;
+    }
+    if s == end || b[s].is_ascii_digit() {
+        return None;
+    }
+    std::str::from_utf8(&b[s..end]).ok().map(|t| (s, t))
+}
+
+/// Finds the matching close delimiter for the open one at `open`,
+/// scanning masked source (so strings/comments can't confuse depth).
+fn match_delim(b: &[u8], open: usize, oc: u8, cc: u8) -> Option<usize> {
+    debug_assert_eq!(b[open], oc);
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        if c == oc {
+            depth += 1;
+        } else if c == cc {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Builds the model for one file.
+pub fn build(path_is_test: bool, src: &str, lexed: &Lexed, cfg: &Config) -> FileModel {
+    let masked = lexed.masked.as_bytes();
+    let test_regions = find_test_regions(masked);
+    let mut funcs = Vec::new();
+
+    let mut i = 0usize;
+    let n = masked.len();
+    while i + 2 <= n {
+        // Find the `fn` keyword in masked source.
+        if !(masked[i] == b'f'
+            && masked[i + 1] == b'n'
+            && (i == 0 || !is_ident_char(masked[i - 1]))
+            && (i + 2 == n || !is_ident_char(masked[i + 2]) || masked[i + 2] == b' '))
+        {
+            i += 1;
+            continue;
+        }
+        if i + 2 < n && is_ident_char(masked[i + 2]) {
+            i += 1;
+            continue;
+        }
+        // Name follows (skipping whitespace).
+        let mut j = i + 2;
+        while j < n && (masked[j] as char).is_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < n && is_ident_char(masked[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            i += 2;
+            continue;
+        }
+        let name = src[name_start..j].to_string();
+        // Skip generics to the parameter list.
+        while j < n && masked[j] != b'(' && masked[j] != b'{' && masked[j] != b';' {
+            if masked[j] == b'<' {
+                // Best-effort generic skip: depth count on <>.
+                let mut depth = 0i32;
+                while j < n {
+                    match masked[j] {
+                        b'<' => depth += 1,
+                        b'>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        b'(' | b'{' | b';' => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                j += 1;
+            }
+        }
+        if j >= n || masked[j] != b'(' {
+            i = j.max(i + 2);
+            continue;
+        }
+        let params_close = match match_delim(masked, j, b'(', b')') {
+            Some(p) => p,
+            None => {
+                i = j + 1;
+                continue;
+            }
+        };
+        // Find the body `{` (or `;` for a trait signature).
+        let mut k = params_close + 1;
+        let body_open = loop {
+            if k >= n {
+                break None;
+            }
+            match masked[k] {
+                b'{' => break Some(k),
+                b';' => break None,
+                _ => k += 1,
+            }
+        };
+        let Some(body_open) = body_open else {
+            i = params_close + 1;
+            continue;
+        };
+        let Some(body_close) = match_delim(masked, body_open, b'{', b'}') else {
+            i = body_open + 1;
+            continue;
+        };
+        let fn_line = lexed.line_of(i);
+        let in_test = path_is_test || test_regions.iter().any(|&(s, e)| i >= s && i < e);
+        let commit_path = has_marker_above(lexed, src, i, "commit_path");
+        let events = scan_body(src, lexed, body_open + 1, body_close, cfg);
+        funcs.push(Func {
+            name,
+            line: fn_line,
+            in_test,
+            commit_path,
+            events,
+            body: (body_open + 1, body_close),
+        });
+        // Continue scanning inside the body too (nested fns) — resume
+        // right after the params so nested `fn` keywords are found.
+        i = body_open + 1;
+    }
+
+    FileModel {
+        funcs,
+        test_regions,
+        whole_file_test: path_is_test,
+    }
+}
+
+/// Finds byte ranges gated by `#[cfg(test)]` / `#[cfg(all(test…`.
+fn find_test_regions(masked: &[u8]) -> Vec<(usize, usize)> {
+    let text = std::str::from_utf8(masked).unwrap_or("");
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = text[search..].find("#[cfg(") {
+        let at = search + rel;
+        // Whole attribute: match the bracket.
+        let Some(attr_end) = match_delim(masked, at + 1, b'[', b']') else {
+            search = at + 6;
+            continue;
+        };
+        let attr = &text[at..=attr_end];
+        let is_test = attr.contains("cfg(test)") || attr.contains("cfg(all(test");
+        search = attr_end + 1;
+        if !is_test {
+            continue;
+        }
+        // The gated item: next `{` at depth 0 from here, matched.
+        let mut k = attr_end + 1;
+        while k < masked.len() && masked[k] != b'{' && masked[k] != b';' {
+            k += 1;
+        }
+        if k < masked.len() && masked[k] == b'{' {
+            if let Some(close) = match_delim(masked, k, b'{', b'}') {
+                out.push((at, close + 1));
+                search = close + 1;
+            }
+        }
+    }
+    out
+}
+
+/// Walks upward from the item at byte `at` over blank lines, comments
+/// and attributes, checking for a `// ccnvme-lint: <marker>` comment.
+fn has_marker_above(lexed: &Lexed, src: &str, at: usize, marker: &str) -> bool {
+    let needle = format!("ccnvme-lint: {marker}");
+    let mut line1 = lexed.line_of(at);
+    // Same line first (e.g. `// ccnvme-lint: commit_path` trailing —
+    // unusual but cheap to allow).
+    if lexed.comment_on(line1).contains(&needle) {
+        return true;
+    }
+    while line1 > 1 {
+        line1 -= 1;
+        if lexed.comment_on(line1).contains(&needle) {
+            return true;
+        }
+        let start = lexed.line_starts[line1 - 1];
+        let end = lexed.line_starts.get(line1).copied().unwrap_or(src.len());
+        let code = lexed.masked[start..end].trim();
+        let raw = src[start..end].trim_start();
+        let is_comment_or_attr = code.is_empty()
+            || code.starts_with("#[")
+            || raw.starts_with("//")
+            || raw.starts_with("/*");
+        if !is_comment_or_attr {
+            return false;
+        }
+    }
+    false
+}
+
+/// True if an allow-marker for `rule` covers 1-based `line1`
+/// (same line, or anywhere in the contiguous comment block above).
+pub fn allowed(lexed: &Lexed, rule: &str, line1: usize) -> bool {
+    comment_block_contains(lexed, line1, &format!("ccnvme-lint: allow({rule})"))
+}
+
+/// Checks the comment on `line1` and the contiguous run of
+/// comment-only/attribute lines directly above it for `needle`.
+/// Multi-line justifications routinely wrap, so a marker anywhere in
+/// the block counts.
+pub fn comment_block_contains(lexed: &Lexed, line1: usize, needle: &str) -> bool {
+    if lexed.comment_on(line1).contains(needle) {
+        return true;
+    }
+    let mut l = line1;
+    while l > 1 {
+        l -= 1;
+        let start = lexed.line_starts[l - 1];
+        let end = lexed
+            .line_starts
+            .get(l)
+            .copied()
+            .unwrap_or(lexed.masked.len());
+        let code = lexed.masked[start..end].trim();
+        let comment_only = code.is_empty() && !lexed.comment_on(l).is_empty();
+        let is_attr = code.starts_with("#[");
+        // rustfmt splits long calls across lines; a line ending
+        // mid-expression is part of the same statement, so the walk
+        // continues through it toward the statement's comment.
+        let continuation = code.ends_with('(')
+            || code.ends_with(',')
+            || code.ends_with('.')
+            || code.ends_with('=');
+        if !comment_only && !is_attr && !continuation {
+            return false; // a statement-ending code or blank line
+        }
+        if lexed.comment_on(l).contains(needle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans a function body for events and calls.
+fn scan_body(src: &str, lexed: &Lexed, start: usize, end: usize, cfg: &Config) -> Vec<Event> {
+    let masked = lexed.masked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if masked[i] != b'(' {
+            i += 1;
+            continue;
+        }
+        // `ident(` — read the identifier before the paren.
+        let Some((id_start, name)) = ident_before(masked, i) else {
+            i += 1;
+            continue;
+        };
+        let line = lexed.line_of(i);
+        // What precedes the identifier?
+        let mut p = id_start;
+        while p > 0 && masked[p - 1] == b' ' {
+            p -= 1;
+        }
+        let prev = if p > 0 { masked[p - 1] } else { b' ' };
+        if prev == b'.' {
+            // Method call: find the receiver's final segment.
+            let recv = receiver_ident(masked, p - 1);
+            let is_pmr = recv
+                .as_deref()
+                .map(|r| cfg.pmr_receivers.iter().any(|x| x == r))
+                .unwrap_or(false);
+            match (is_pmr, name) {
+                (true, "write") => {
+                    if first_arg_has_doorbell_token(masked, i, end, cfg) {
+                        out.push(Event::Doorbell { line });
+                    } else {
+                        out.push(Event::PmrStore { line });
+                    }
+                }
+                (true, "flush") => out.push(Event::Flush { line }),
+                _ => {
+                    if !KEYWORDS.contains(&name) {
+                        out.push(Event::Call {
+                            name: name.to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+        } else if prev != b':' || (p >= 2 && masked[p - 2] == b':') {
+            // Free or associated call (`foo(` or `Path::foo(`); plain
+            // `:foo(` (type ascription-ish) is skipped.
+            if !KEYWORDS.contains(&name) && !name.is_empty() {
+                // Skip definition sites (`fn name(`); macro calls never
+                // reach here because `!` is not an identifier byte.
+                let is_def = {
+                    let before = &lexed.masked[..id_start];
+                    before.trim_end().ends_with("fn")
+                };
+                if !is_def {
+                    out.push(Event::Call {
+                        name: name.to_string(),
+                        line,
+                    });
+                }
+            }
+        }
+        let _ = src;
+        i += 1;
+    }
+    out
+}
+
+/// Walks back from the `.` at byte `dot` to the receiver's final path
+/// segment identifier (e.g. `self.inner.pmr` → `pmr`).
+fn receiver_ident(masked: &[u8], dot: usize) -> Option<String> {
+    let mut p = dot;
+    while p > 0 && masked[p - 1] == b' ' {
+        p -= 1;
+    }
+    // Skip a closing paren/bracket chain: `regs().write` — take the
+    // ident before the open delimiter instead.
+    if p > 0 && (masked[p - 1] == b')' || masked[p - 1] == b']') {
+        let close = p - 1;
+        let (oc, cc) = if masked[close] == b')' {
+            (b'(', b')')
+        } else {
+            (b'[', b']')
+        };
+        let mut depth = 0i32;
+        let mut q = close + 1;
+        while q > 0 {
+            q -= 1;
+            if masked[q] == cc {
+                depth += 1;
+            } else if masked[q] == oc {
+                depth -= 1;
+                if depth == 0 {
+                    p = q;
+                    break;
+                }
+            }
+        }
+    }
+    ident_before(masked, p).map(|(_, s)| s.to_string())
+}
+
+/// Scans the first argument of the call whose `(` is at `open` for any
+/// configured doorbell token as a whole identifier.
+fn first_arg_has_doorbell_token(masked: &[u8], open: usize, limit: usize, cfg: &Config) -> bool {
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut tok = String::new();
+    let end = limit.min(masked.len());
+    while i < end {
+        let c = masked[i];
+        match c {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            b',' if depth == 1 => break,
+            _ => {}
+        }
+        if is_ident_char(c) && depth >= 1 {
+            tok.push(c as char);
+        } else {
+            if !tok.is_empty() && cfg.doorbell_args.contains(&tok) {
+                return true;
+            }
+            tok.clear();
+        }
+        i += 1;
+    }
+    !tok.is_empty() && cfg.doorbell_args.contains(&tok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        let l = lex(src);
+        build(false, src, &l, &Config::default())
+    }
+
+    #[test]
+    fn finds_functions_and_events() {
+        let src = r#"
+impl D {
+    // ccnvme-lint: commit_path
+    fn enqueue(&self) {
+        self.inner.pmr.write(q.ring_off, &bytes);
+        self.inner.pmr.flush();
+        self.inner.pmr.write(q.db_off, &tail.to_le_bytes());
+    }
+    fn other(&self) { helper(); }
+}
+"#;
+        let m = model(src);
+        assert_eq!(m.funcs.len(), 2);
+        let f = &m.funcs[0];
+        assert_eq!(f.name, "enqueue");
+        assert!(f.commit_path);
+        let kinds: Vec<_> = f
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::PmrStore { .. } => "store",
+                Event::Flush { .. } => "flush",
+                Event::Doorbell { .. } => "bell",
+                Event::Call { .. } => "call",
+            })
+            .collect();
+        // The trailing "call" is `to_le_bytes(` — harmless, unresolvable.
+        assert_eq!(kinds, vec!["store", "flush", "bell", "call"]);
+        assert!(!m.funcs[1].commit_path);
+        assert!(matches!(&m.funcs[1].events[0], Event::Call { name, .. } if name == "helper"));
+    }
+
+    #[test]
+    fn doorbell_requires_whole_token() {
+        // `cqdb_off` must NOT match the `db_off` doorbell token.
+        let src = "fn f(&self) { self.pmr.write(q.cqdb_off, &x); }";
+        let m = model(src);
+        assert!(matches!(m.funcs[0].events[0], Event::PmrStore { .. }));
+        let src2 = "fn f(&self) { self.pmr.write(layout.db_off(q), &x); }";
+        let m2 = model(src2);
+        assert!(matches!(m2.funcs[0].events[0], Event::Doorbell { .. }));
+    }
+
+    #[test]
+    fn non_pmr_receiver_is_a_plain_call() {
+        let src = "fn f(&self) { self.regs.write(q.cqdb_off, &x); }";
+        let m = model(src);
+        assert!(m.funcs[0]
+            .events
+            .iter()
+            .all(|e| !matches!(e, Event::PmrStore { .. } | Event::Doorbell { .. })));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_tests() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let m = model(src);
+        assert!(!m.funcs[0].in_test);
+        assert!(m.funcs[1].in_test);
+    }
+
+    #[test]
+    fn commit_path_marker_walks_over_attrs() {
+        let src = "// ccnvme-lint: commit_path\n#[inline]\n/// docs\nfn go() {}\n";
+        let m = model(src);
+        assert!(m.funcs[0].commit_path);
+    }
+
+    #[test]
+    fn allow_marker_same_line_or_above() {
+        let src = "// ccnvme-lint: allow(persist-order)\nlet a = 1;\nlet b = 2; // ccnvme-lint: allow(unsafe-audit)\n";
+        let l = lex(src);
+        assert!(allowed(&l, "persist-order", 2));
+        assert!(allowed(&l, "unsafe-audit", 3));
+        assert!(!allowed(&l, "persist-order", 3));
+    }
+}

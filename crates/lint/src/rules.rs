@@ -1,0 +1,592 @@
+//! The four protocol-invariant rules.
+//!
+//! * `persist-order` — every doorbell ring must be dominated by a
+//!   P-SQ `flush()` on the commit path (ccNVMe §4.3: SQE stores →
+//!   write-combining drain → P-SQDB ring). Checked by walking the
+//!   call graph from `// ccnvme-lint: commit_path` entry points with a
+//!   linear flushed-state machine; doorbells not reachable from any
+//!   entry are reported as unauditable.
+//! * `atomic-ordering` — `Ordering::Relaxed` is forbidden on
+//!   persistence-critical atomics, and every ordering site needs a
+//!   `// ord:` justification.
+//! * `unsafe-audit` — every `unsafe` block/impl/fn needs a
+//!   `// SAFETY:` (or `# Safety` doc) comment.
+//! * `metric-namespace` — metric name literals must live in the
+//!   `ccnvme-metrics/v1` namespace (DESIGN.md §9).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::Config;
+use crate::lexer::Lexed;
+use crate::model::{allowed, Event, FileModel};
+use crate::{Finding, RuleId};
+
+/// One lexed + modeled file, keyed by its display path.
+pub struct Unit {
+    /// Display path (workspace-relative where possible).
+    pub path: String,
+    /// Raw source text.
+    pub src: String,
+    /// Lexical planes.
+    pub lexed: Lexed,
+    /// Function/event model.
+    pub model: FileModel,
+}
+
+/// Runs every rule over the unit set.
+pub fn run_all(units: &[Unit], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for u in units {
+        atomic_ordering(u, cfg, &mut findings);
+        unsafe_audit(u, &mut findings);
+        metric_namespace(u, cfg, &mut findings);
+    }
+    persist_order(units, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    findings
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+// ---------------------------------------------------------------- atomic
+
+/// `atomic-ordering`: every `Ordering::` site outside test code needs a
+/// `// ord:` justification, and `Relaxed` is flatly forbidden when the
+/// statement touches a persistence-critical atomic.
+fn atomic_ordering(u: &Unit, cfg: &Config, out: &mut Vec<Finding>) {
+    let masked = &u.lexed.masked;
+    let mut search = 0usize;
+    let mut flagged_lines: HashSet<usize> = HashSet::new();
+    while let Some(rel) = masked[search..].find("Ordering::") {
+        let at = search + rel;
+        search = at + "Ordering::".len();
+        if u.model.offset_in_test(at) {
+            continue;
+        }
+        let line1 = u.lexed.line_of(at);
+        if allowed(&u.lexed, "atomic-ordering", line1) {
+            continue;
+        }
+        // Which ordering?
+        let after = &masked[search..];
+        let ord_name: String = after
+            .bytes()
+            .take_while(|&b| is_ident_char(b))
+            .map(|b| b as char)
+            .collect();
+        if ord_name == "Relaxed" {
+            // Look back over the joined statement (up to 3 lines) for a
+            // critical atomic identifier.
+            if let Some(ident) = critical_ident_nearby(u, at, cfg) {
+                out.push(Finding {
+                    rule: RuleId::AtomicOrdering,
+                    file: u.path.clone(),
+                    line: line1,
+                    message: format!(
+                        "Ordering::Relaxed on persistence-critical atomic `{ident}` — \
+                         the §4.3 ordering contract requires at least Acquire/Release here"
+                    ),
+                });
+                flagged_lines.insert(line1);
+                continue;
+            }
+        }
+        // Justification: `// ord:` on the same line or in the
+        // contiguous comment block above.
+        let justified = crate::model::comment_block_contains(&u.lexed, line1, "ord:");
+        if !justified && flagged_lines.insert(line1) {
+            out.push(Finding {
+                rule: RuleId::AtomicOrdering,
+                file: u.path.clone(),
+                line: line1,
+                message: format!("Ordering::{ord_name} without an `// ord:` justification comment"),
+            });
+        }
+    }
+}
+
+/// Looks back ≤3 lines from the `Ordering::` site for a configured
+/// persistence-critical atomic identifier in the same statement.
+fn critical_ident_nearby(u: &Unit, at: usize, cfg: &Config) -> Option<String> {
+    let line1 = u.lexed.line_of(at);
+    let first = line1.saturating_sub(3).max(1);
+    let start = u.lexed.line_starts[first - 1];
+    let end = u
+        .lexed
+        .line_starts
+        .get(line1)
+        .copied()
+        .unwrap_or(u.lexed.masked.len());
+    let window = &u.lexed.masked[start..end.min(u.lexed.masked.len())];
+    let wb = window.as_bytes();
+    let mut tok = String::new();
+    let mut found = None;
+    for &c in wb {
+        if is_ident_char(c) {
+            tok.push(c as char);
+        } else {
+            if cfg.critical_atomics.contains(&tok) {
+                found = Some(tok.clone());
+            }
+            tok.clear();
+        }
+    }
+    if cfg.critical_atomics.contains(&tok) {
+        found = Some(tok);
+    }
+    found
+}
+
+// ---------------------------------------------------------------- unsafe
+
+/// `unsafe-audit`: every `unsafe` keyword site (block, fn, impl) needs
+/// a `SAFETY:` comment on the same line or in the contiguous comment
+/// block directly above. Applies to test code too — unsound is unsound.
+fn unsafe_audit(u: &Unit, out: &mut Vec<Finding>) {
+    let masked = u.lexed.masked.as_bytes();
+    let text = &u.lexed.masked;
+    let mut search = 0usize;
+    while let Some(rel) = text[search..].find("unsafe") {
+        let at = search + rel;
+        search = at + "unsafe".len();
+        // Whole-word check.
+        if (at > 0 && is_ident_char(masked[at - 1]))
+            || masked
+                .get(at + "unsafe".len())
+                .is_some_and(|&b| is_ident_char(b))
+        {
+            continue;
+        }
+        let line1 = u.lexed.line_of(at);
+        if allowed(&u.lexed, "unsafe-audit", line1) {
+            continue;
+        }
+        if has_safety_comment(u, line1) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::UnsafeAudit,
+            file: u.path.clone(),
+            line: line1,
+            message: "unsafe without a `// SAFETY:` comment explaining the invariant".into(),
+        });
+    }
+}
+
+/// SAFETY comment: same line, or anywhere in the contiguous run of
+/// comment/attribute lines directly above.
+fn has_safety_comment(u: &Unit, line1: usize) -> bool {
+    let has = |l: usize| {
+        let c = u.lexed.comment_on(l);
+        c.contains("SAFETY:") || c.contains("# Safety")
+    };
+    if has(line1) {
+        return true;
+    }
+    let mut l = line1;
+    while l > 1 {
+        l -= 1;
+        if has(l) {
+            return true;
+        }
+        let start = u.lexed.line_starts[l - 1];
+        let end = u
+            .lexed
+            .line_starts
+            .get(l)
+            .copied()
+            .unwrap_or(u.lexed.masked.len());
+        let code = u.lexed.masked[start..end].trim();
+        let raw = u.src[start..end.min(u.src.len())].trim_start();
+        let skippable = (code.is_empty()
+            && !raw.is_empty()
+            && (raw.starts_with("//") || raw.starts_with("/*") || raw.starts_with('*')))
+            || code.starts_with("#[");
+        if !skippable {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- metric
+
+const METRIC_CTORS: &[&str] = &[".counter(", ".gauge(", ".histogram(", ".adopt_counter("];
+
+/// `metric-namespace`: the first argument of registry constructors must
+/// be a literal in the configured namespace. `format!("…")` names are
+/// checked with `{…}` interpolations treated as wildcards; fully
+/// dynamic names are skipped (can't be checked statically).
+fn metric_namespace(u: &Unit, cfg: &Config, out: &mut Vec<Finding>) {
+    let text = &u.lexed.masked;
+    for ctor in METRIC_CTORS {
+        let mut search = 0usize;
+        while let Some(rel) = text[search..].find(ctor) {
+            let at = search + rel;
+            search = at + ctor.len();
+            if u.model.offset_in_test(at) {
+                continue;
+            }
+            // First argument start: skip whitespace, `&`, `format!(`.
+            let mut j = at + ctor.len();
+            let b = text.as_bytes();
+            loop {
+                while j < b.len() && (b[j] as char).is_whitespace() {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'&' {
+                    j += 1;
+                    continue;
+                }
+                if text[j..].starts_with("format!") {
+                    j += "format!".len();
+                    while j < b.len() && (b[j] as char).is_whitespace() {
+                        j += 1;
+                    }
+                    if j < b.len() && (b[j] == b'(' || b[j] == b'[') {
+                        j += 1;
+                    }
+                    continue;
+                }
+                break;
+            }
+            let Some(lit) = u.lexed.string_at(j) else {
+                continue; // dynamic name — not statically checkable
+            };
+            let line1 = lit.line;
+            if allowed(&u.lexed, "metric-namespace", line1) {
+                continue;
+            }
+            let name = wildcard_interpolations(&lit.content);
+            if !cfg
+                .metric_prefixes
+                .iter()
+                .any(|p| name.starts_with(p.as_str()))
+            {
+                out.push(Finding {
+                    rule: RuleId::MetricNamespace,
+                    file: u.path.clone(),
+                    line: line1,
+                    message: format!(
+                        "metric name \"{}\" is outside the ccnvme-metrics/v1 namespace \
+                         (allowed prefixes: {})",
+                        lit.content,
+                        cfg.metric_prefixes.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Replaces `{…}` interpolations with `*` so prefix checks see only the
+/// static part of a `format!` name.
+fn wildcard_interpolations(s: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    out.push('*');
+                }
+            }
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- persist
+
+/// `persist-order`: call-graph walk from every `commit_path` entry.
+/// Linear, branch-insensitive flushed-state machine: `Flush` sets the
+/// state, any P-SQ store (including the doorbell itself) clears it, a
+/// doorbell observed with the state clear is a violation. A second
+/// pass reports doorbells no walk ever reached — an unaudited ring is
+/// as dangerous as an unflushed one.
+fn persist_order(units: &[Unit], out: &mut Vec<Finding>) {
+    // Global function index: name -> (unit idx, func idx).
+    let mut global: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (ui, u) in units.iter().enumerate() {
+        for (fi, f) in u.model.funcs.iter().enumerate() {
+            global.entry(f.name.as_str()).or_default().push((ui, fi));
+        }
+    }
+
+    let mut visited_doorbells: HashSet<(usize, usize)> = HashSet::new(); // (unit, line)
+    for (ui, u) in units.iter().enumerate() {
+        for (fi, f) in u.model.funcs.iter().enumerate() {
+            if !f.commit_path {
+                continue;
+            }
+            let mut stack: HashSet<(usize, usize)> = HashSet::new();
+            walk(
+                units,
+                &global,
+                ui,
+                fi,
+                false,
+                &mut stack,
+                0,
+                &mut visited_doorbells,
+                out,
+            );
+        }
+    }
+
+    // Unreached doorbells (outside tests, not allow-suppressed).
+    for (ui, u) in units.iter().enumerate() {
+        for f in &u.model.funcs {
+            if f.in_test {
+                continue;
+            }
+            for e in &f.events {
+                if let Event::Doorbell { line } = e {
+                    if allowed(&u.lexed, "persist-order", *line) {
+                        continue;
+                    }
+                    if !visited_doorbells.contains(&(ui, *line)) {
+                        out.push(Finding {
+                            rule: RuleId::PersistOrder,
+                            file: u.path.clone(),
+                            line: *line,
+                            message: format!(
+                                "doorbell ring in `{}` is not reachable from any \
+                                 `// ccnvme-lint: commit_path` entry — mark the entry \
+                                 point or allow() with a rationale",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walks one function's events with the flushed-state machine,
+/// descending into same-file (preferred) or globally-unique callees.
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    units: &[Unit],
+    global: &HashMap<&str, Vec<(usize, usize)>>,
+    ui: usize,
+    fi: usize,
+    mut flushed: bool,
+    stack: &mut HashSet<(usize, usize)>,
+    depth: usize,
+    visited_doorbells: &mut HashSet<(usize, usize)>,
+    out: &mut Vec<Finding>,
+) -> bool {
+    if depth > 64 || !stack.insert((ui, fi)) {
+        return flushed;
+    }
+    let u = &units[ui];
+    let f = &u.model.funcs[fi];
+    for e in &f.events {
+        match e {
+            Event::Flush { .. } => flushed = true,
+            Event::PmrStore { .. } => flushed = false,
+            Event::Doorbell { line } => {
+                visited_doorbells.insert((ui, *line));
+                if !flushed && !allowed(&u.lexed, "persist-order", *line) {
+                    out.push(Finding {
+                        rule: RuleId::PersistOrder,
+                        file: u.path.clone(),
+                        line: *line,
+                        message: format!(
+                            "doorbell ring in `{}` is not dominated by a P-SQ flush() — \
+                             §4.3 requires SQE stores to drain before the ring",
+                            f.name
+                        ),
+                    });
+                }
+                // After a ring the slate is dirty again for the next SQE.
+                flushed = false;
+            }
+            Event::Call { name, .. } => {
+                // Same-file resolution first; else globally unique; else skip.
+                let same_file: Vec<(usize, usize)> = u
+                    .model
+                    .funcs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.name == *name)
+                    .map(|(gi, _)| (ui, gi))
+                    .collect();
+                let targets: Vec<(usize, usize)> = if !same_file.is_empty() {
+                    same_file
+                } else {
+                    match global.get(name.as_str()) {
+                        Some(v) if v.len() == 1 => v.clone(),
+                        _ => continue,
+                    }
+                };
+                for (tui, tfi) in targets {
+                    flushed = walk(
+                        units,
+                        global,
+                        tui,
+                        tfi,
+                        flushed,
+                        stack,
+                        depth + 1,
+                        visited_doorbells,
+                        out,
+                    );
+                }
+            }
+        }
+    }
+    stack.remove(&(ui, fi));
+    flushed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::build;
+
+    fn unit(path: &str, src: &str) -> Unit {
+        let lexed = lex(src);
+        let cfg = Config::default();
+        let path_is_test = path.split('/').any(|c| c == "tests");
+        let model = build(path_is_test, src, &lexed, &cfg);
+        Unit {
+            path: path.to_string(),
+            src: src.to_string(),
+            lexed,
+            model,
+        }
+    }
+
+    fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+        run_all(&[unit(path, src)], &Config::default())
+    }
+
+    #[test]
+    fn flush_before_doorbell_is_clean() {
+        let src = r#"
+// ccnvme-lint: commit_path
+fn enqueue(&self) {
+    self.inner.pmr.write(off, &sqe);
+    self.inner.pmr.flush();
+    self.inner.pmr.write(q.db_off, &tail);
+}
+"#;
+        assert!(lint_one("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_flush_is_persist_order() {
+        let src = r#"
+// ccnvme-lint: commit_path
+fn enqueue(&self) {
+    self.inner.pmr.write(off, &sqe);
+    self.inner.pmr.write(q.db_off, &tail);
+}
+"#;
+        let f = lint_one("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::PersistOrder);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn flush_in_callee_counts() {
+        let src = r#"
+// ccnvme-lint: commit_path
+fn enqueue(&self) {
+    self.stage(off);
+    self.inner.pmr.write(q.db_off, &tail);
+}
+fn stage(&self, off: u64) {
+    self.inner.pmr.write(off, &sqe);
+    self.inner.pmr.flush();
+}
+"#;
+        assert!(lint_one("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unreached_doorbell_is_reported() {
+        let src = r#"
+fn lonely(&self) {
+    self.pmr.flush();
+    self.pmr.write(q.db_off, &tail);
+}
+"#;
+        let f = lint_one("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not reachable"));
+    }
+
+    #[test]
+    fn relaxed_on_critical_atomic_flagged() {
+        let src = "fn f(&self) { self.next_tx.fetch_add(1, Ordering::Relaxed); }\n";
+        let f = lint_one("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::AtomicOrdering);
+        assert!(f[0].message.contains("next_tx"));
+    }
+
+    #[test]
+    fn ord_comment_justifies() {
+        let src = "fn f(&self) {\n    // ord: SeqCst pairs with the reader in commit()\n    self.next_tx.fetch_add(1, Ordering::SeqCst);\n}\n";
+        assert!(lint_one("crates/x/src/a.rs", src).is_empty());
+        let bare = "fn f(&self) { self.other.load(Ordering::SeqCst); }\n";
+        let f = lint_one("crates/x/src/a.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("ord:"));
+    }
+
+    #[test]
+    fn unsafe_needs_safety() {
+        let bad = "fn f() { unsafe { std::ptr::read(p) }; }\n";
+        let f = lint_one("crates/x/src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::UnsafeAudit);
+        let good = "fn f() {\n    // SAFETY: p is valid for reads, owned by this struct\n    unsafe { std::ptr::read(p) };\n}\n";
+        assert!(lint_one("crates/x/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn metric_namespace_checked_with_format_wildcards() {
+        let bad = "fn f(r: &Registry) { r.counter(\"bogus.count\").inc(); }\n";
+        let f = lint_one("crates/x/src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::MetricNamespace);
+        let good = "fn f(r: &Registry) { r.counter(&format!(\"pcie.q{}.rings\", qid)).inc(); }\n";
+        assert!(lint_one("crates/x/src/a.rs", good).is_empty());
+        let dynamic = "fn f(r: &Registry, n: &str) { r.counter(n).inc(); }\n";
+        assert!(lint_one("crates/x/src/a.rs", dynamic).is_empty());
+    }
+
+    #[test]
+    fn test_code_skips_metric_and_ordering_but_not_unsafe() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(r: &Registry) {\n        r.counter(\"x\").inc();\n        a.load(Ordering::Relaxed);\n        unsafe { no_comment() };\n    }\n}\n";
+        let f = lint_one("crates/x/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::UnsafeAudit);
+    }
+
+    #[test]
+    fn allow_markers_suppress() {
+        let src = r#"
+// ccnvme-lint: commit_path
+fn probe(&self) {
+    // ccnvme-lint: allow(persist-order) — probe path, queue empty by construction
+    self.pmr.write(layout.db_off(q), &zero);
+    self.pmr.flush();
+}
+"#;
+        assert!(lint_one("crates/x/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+// Negative fixture: line 6 relaxes a persistence-critical atomic
+// (forbidden outright), line 11 uses an ordering without an `// ord:`
+// justification.
+
+fn commit(&self) {
+    self.max_committed.fetch_max(id, Ordering::Relaxed);
+}
+
+fn peek(&self) -> u64 {
+    let snapshot_len = self.len();
+    self.cursor.load(Ordering::SeqCst) + snapshot_len
+}

@@ -1,0 +1,6 @@
+// Negative fixture: the metric name on line 5 is outside the
+// ccnvme-metrics/v1 namespace (DESIGN.md §9).
+
+fn register(&self, obs: &Obs) {
+    obs.metrics.counter("bogus.retries").inc();
+}

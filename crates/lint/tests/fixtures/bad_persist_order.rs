@@ -1,0 +1,10 @@
+// Negative fixture: the doorbell on line 9 is rung without a P-SQ
+// flush dominating it — a §4.3 ordering-contract violation.
+
+// ccnvme-lint: commit_path
+fn enqueue(&self) {
+    self.inner.pmr.write(q.ring_off + cid * 64, &sqe);
+    // Missing: self.inner.pmr.flush();
+    let tail = bump_tail();
+    self.inner.pmr.write(q.db_off, &tail.to_le_bytes());
+}

@@ -1,0 +1,6 @@
+// Negative fixture: the unsafe block on line 5 has no `// SAFETY:`
+// comment documenting the invariant it relies on.
+
+fn read_raw(p: *const u8) -> u8 {
+    unsafe { std::ptr::read(p) }
+}

@@ -1,0 +1,156 @@
+//! The gate's own gate: each negative fixture must trip exactly its
+//! rule at the expected span, the real workspace must be clean, and
+//! deleting the flush from the driver's commit path must fail
+//! persist-order (the acceptance regression for §4.3).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ccnvme_lint::{lint_sources, Config, RuleId};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_config() -> Config {
+    Config::load(&repo_root().join("lint.toml")).expect("lint.toml parses")
+}
+
+/// Runs the ccnvme-lint binary on one fixture, rooted at the fixtures
+/// dir (so the `tests/` path component doesn't mark it as test code),
+/// returning (exit code, stdout).
+fn run_on_fixture(name: &str) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ccnvme-lint"))
+        .arg("--config")
+        .arg(repo_root().join("lint.toml"))
+        .arg("--root")
+        .arg(fixtures_dir())
+        .arg(fixtures_dir().join(name))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn fixture_persist_order_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_persist_order.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_persist_order.rs:9: [persist-order]"),
+        "expected persist-order at line 9, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_atomic_ordering_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_atomic_ordering.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_atomic_ordering.rs:6: [atomic-ordering]")
+            && stdout.contains("max_committed"),
+        "expected Relaxed-on-critical at line 6, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("bad_atomic_ordering.rs:11: [atomic-ordering]") && stdout.contains("ord:"),
+        "expected missing-justification at line 11, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_unsafe_audit_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_unsafe_audit.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_unsafe_audit.rs:5: [unsafe-audit]"),
+        "expected unsafe-audit at line 5, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_metric_namespace_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_metric_namespace.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_metric_namespace.rs:5: [metric-namespace]")
+            && stdout.contains("bogus.retries"),
+        "expected metric-namespace at line 5, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = repo_root();
+    let cfg = workspace_config();
+    let findings = ccnvme_lint::lint_tree(&root, &cfg).expect("workspace scans");
+    assert!(
+        findings.is_empty(),
+        "workspace must pass its own gate:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_binary_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ccnvme-lint"))
+        .arg("--root")
+        .arg(repo_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// The acceptance regression: strip the commit-path flush from the real
+/// driver source and the gate must fail with persist-order — proving it
+/// guards the exact invariant the paper's Figure 3 depends on.
+#[test]
+fn deleting_commit_path_flush_breaks_persist_order() {
+    let root = repo_root();
+    let path = root.join("crates/core/src/ccdriver.rs");
+    let src = std::fs::read_to_string(&path).expect("driver source");
+    assert!(
+        src.contains("self.inner.pmr.flush();"),
+        "enqueue's flush moved — update this test"
+    );
+    let broken = src.replacen("self.inner.pmr.flush();", "", 1);
+    let cfg = workspace_config();
+    let findings = lint_sources(
+        &[(PathBuf::from("crates/core/src/ccdriver.rs"), broken)],
+        &cfg,
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == RuleId::PersistOrder && f.message.contains("not dominated")),
+        "expected a persist-order violation after deleting the flush, got: {findings:?}"
+    );
+
+    // Control: the pristine source passes.
+    let clean = lint_sources(&[(PathBuf::from("crates/core/src/ccdriver.rs"), src)], &cfg);
+    let po: Vec<_> = clean
+        .iter()
+        .filter(|f| f.rule == RuleId::PersistOrder)
+        .collect();
+    assert!(
+        po.is_empty(),
+        "pristine driver must pass persist-order: {po:?}"
+    );
+}

@@ -464,6 +464,8 @@ impl FileSystem {
 
     /// Enables per-fsync latency tracing (Figure 14).
     pub fn enable_tracing(&self) {
+        // ord: Relaxed — standalone flag; tracing may begin on any
+        // subsequent fsync, no ordering with other state is needed.
         self.trace_enabled.store(true, Ordering::Relaxed);
     }
 
@@ -654,6 +656,8 @@ impl FileSystem {
     /// [`FsError::ReadOnly`]; reads keep working off the cache and
     /// device.
     fn degrade(&self, reason: &str) {
+        // ord: SeqCst — read-only latch; must publish before the
+        // caller returns an error so no later mutation slips through.
         if !self.degraded.swap(true, Ordering::SeqCst) {
             *self.degrade_reason.lock() = Some(reason.to_string());
         }
@@ -663,6 +667,7 @@ impl FileSystem {
     /// journal aborted behind our back (e.g. a checkpoint detected a
     /// failed transaction).
     fn ensure_writable(&self) -> FsResult<()> {
+        // ord: SeqCst — pairs with the degrade() latch.
         if self.degraded.load(Ordering::SeqCst) {
             return Err(FsError::ReadOnly);
         }
@@ -676,6 +681,7 @@ impl FileSystem {
     /// The degradation reason, if the file system went read-only
     /// (`None` = healthy). Also surfaced by [`FileSystem::check`].
     pub fn error_state(&self) -> Option<String> {
+        // ord: SeqCst — pairs with the degrade() latch.
         if self.degraded.load(Ordering::SeqCst) || self.journal.is_aborted() {
             Some(
                 self.degrade_reason
@@ -957,6 +963,8 @@ impl FileSystem {
                 self.sys.fatomic.record(now - t0);
             }
         }
+        // ord: Relaxed — tracing flag only; a racing enable may miss
+        // this fsync, which is fine for a diagnostic.
         if self.trace_enabled.load(Ordering::Relaxed) {
             self.traces.lock().push(FsyncTrace {
                 s_data: t_data - t0,

@@ -30,6 +30,7 @@
 pub mod json;
 pub mod metrics;
 pub mod registry;
+mod sync_shim;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Summary};

@@ -5,8 +5,7 @@
 //! counters, the host error ladder, the fault injector and every
 //! workload's latency accounting.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-
+use crate::sync_shim::{AtomicI64, AtomicU64, Ordering};
 use crate::Ns;
 
 /// A monotonically increasing event counter, safe to share across threads.
@@ -23,6 +22,7 @@ impl Counter {
 
     /// Adds `n` to the counter.
     pub fn add(&self, n: u64) {
+        // ord: Relaxed — standalone aggregate; no cross-variable ordering.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -33,6 +33,7 @@ impl Counter {
 
     /// Returns the current value.
     pub fn get(&self) -> u64 {
+        // ord: Relaxed — monotone read; readers tolerate staleness.
         self.value.load(Ordering::Relaxed)
     }
 
@@ -43,6 +44,7 @@ impl Counter {
     /// aggregate (some counters cleared before the window, some after).
     /// This remains for tests and single-owner use.
     pub fn reset(&self) -> u64 {
+        // ord: Relaxed — single-owner reset; races are documented above.
         self.value.swap(0, Ordering::Relaxed)
     }
 }
@@ -61,11 +63,13 @@ impl Gauge {
 
     /// Sets the gauge.
     pub fn set(&self, v: i64) {
+        // ord: Relaxed — last-writer-wins level; no ordering dependency.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative).
     pub fn add(&self, n: i64) {
+        // ord: Relaxed — standalone aggregate; no cross-variable ordering.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -81,6 +85,7 @@ impl Gauge {
 
     /// Returns the current value.
     pub fn get(&self) -> i64 {
+        // ord: Relaxed — point-in-time read; readers tolerate staleness.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -199,17 +204,25 @@ impl Histogram {
     /// Records one sample. Lock-free: relaxed atomic adds plus one CAS
     /// loop for the (f64) sum of squares.
     pub fn record(&self, v: Ns) {
+        // ord: Relaxed — each aggregate cell is independently correct;
+        // cross-cell skew is tolerated by summary() (documented above).
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — as above, independent aggregate cell.
         self.count.fetch_add(1, Ordering::Relaxed);
+        // ord: Relaxed — as above, independent aggregate cell.
         self.sum.fetch_add(v, Ordering::Relaxed);
+        // ord: Relaxed — as above, independent aggregate cell.
         self.min.fetch_min(v, Ordering::Relaxed);
+        // ord: Relaxed — as above, independent aggregate cell.
         self.max.fetch_max(v, Ordering::Relaxed);
         let sq = (v as f64) * (v as f64);
+        // ord: Relaxed — CAS loop below revalidates the value it read.
         let mut cur = self.sum_sq.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + sq).to_bits();
             match self
                 .sum_sq
+                // ord: Relaxed — single-cell RMW; atomicity, not ordering.
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => break,
@@ -220,6 +233,7 @@ impl Histogram {
 
     /// Returns the number of recorded samples.
     pub fn count(&self) -> u64 {
+        // ord: Relaxed — monotone read; readers tolerate staleness.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -229,7 +243,9 @@ impl Histogram {
         if count == 0 {
             return 0;
         }
+        // ord: Relaxed — approximate quantile read; skew vs buckets ok.
         let min = self.min.load(Ordering::Relaxed);
+        // ord: Relaxed — approximate quantile read; skew vs buckets ok.
         let max = self.max.load(Ordering::Relaxed);
         let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         if target >= count {
@@ -239,6 +255,7 @@ impl Histogram {
         }
         let mut seen = 0;
         for (i, b) in self.buckets.iter().enumerate() {
+            // ord: Relaxed — bucket scan is approximate by design.
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
                 return bucket_low(i).clamp(min, max);
@@ -253,14 +270,18 @@ impl Histogram {
         if count == 0 {
             return Summary::empty();
         }
+        // ord: Relaxed — summary is approximate under concurrency (doc'd).
         let sum = self.sum.load(Ordering::Relaxed);
+        // ord: Relaxed — summary is approximate under concurrency (doc'd).
         let sum_sq = f64::from_bits(self.sum_sq.load(Ordering::Relaxed));
         let mean = sum as f64 / count as f64;
         let var = (sum_sq / count as f64) - mean * mean;
         Summary {
             count,
             mean,
+            // ord: Relaxed — summary reads are approximate (doc'd above).
             min: self.min.load(Ordering::Relaxed),
+            // ord: Relaxed — summary reads are approximate (doc'd above).
             max: self.max.load(Ordering::Relaxed),
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
@@ -273,6 +294,7 @@ impl Histogram {
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
             summary: self.summary(),
+            // ord: Relaxed — snapshot consistency is approximate (doc'd).
             sum: self.sum.load(Ordering::Relaxed),
         }
     }
@@ -284,12 +306,18 @@ impl Histogram {
     /// recorders.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
+            // ord: Relaxed — single-owner reset; races documented above.
             b.store(0, Ordering::Relaxed);
         }
+        // ord: Relaxed — single-owner reset; races documented above.
         self.count.store(0, Ordering::Relaxed);
+        // ord: Relaxed — single-owner reset; races documented above.
         self.sum.store(0, Ordering::Relaxed);
+        // ord: Relaxed — single-owner reset; races documented above.
         self.sum_sq.store(0f64.to_bits(), Ordering::Relaxed);
+        // ord: Relaxed — single-owner reset; races documented above.
         self.min.store(u64::MAX, Ordering::Relaxed);
+        // ord: Relaxed — single-owner reset; races documented above.
         self.max.store(0, Ordering::Relaxed);
     }
 }
@@ -498,6 +526,52 @@ mod tests {
         assert_eq!(s.max, 39_999);
         let exact_mean = 39_999.0 / 2.0;
         assert!((s.mean - exact_mean).abs() < 1e-6);
+    }
+}
+
+/// Model-checked histogram hot path (`cargo test -p ccnvme-obs
+/// --features loom --lib loom_`): concurrent `record` calls must merge
+/// every aggregate, including the CAS-accumulated sum of squares.
+#[cfg(all(test, feature = "loom"))]
+mod loom_tests {
+    use std::sync::Arc;
+
+    use loom::thread;
+
+    use super::*;
+
+    #[test]
+    fn loom_concurrent_records_merge_all_aggregates() {
+        loom::model(|| {
+            let h = Arc::new(Histogram::new());
+            let h2 = Arc::clone(&h);
+            let t = thread::spawn(move || h2.record(3));
+            h.record(5);
+            t.join().unwrap();
+            let s = h.summary();
+            assert_eq!(s.count, 2);
+            assert_eq!((s.min, s.max), (3, 5));
+            // The CAS loop must not lose either side's contribution
+            // (9 + 25); a lost update here is the race the loop exists
+            // to prevent.
+            let sum_sq = f64::from_bits(
+                // ord: Relaxed — single-threaded again after join.
+                h.sum_sq.load(Ordering::Relaxed),
+            );
+            assert!((sum_sq - 34.0).abs() < 1e-9, "lost sum_sq update: {sum_sq}");
+        });
+    }
+
+    #[test]
+    fn loom_concurrent_counter_incs_all_land() {
+        loom::model(|| {
+            let c = Arc::new(Counter::new());
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || c2.inc());
+            c.inc();
+            t.join().unwrap();
+            assert_eq!(c.get(), 2);
+        });
     }
 }
 

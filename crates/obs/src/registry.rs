@@ -13,9 +13,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
+use crate::sync_shim::Mutex;
 
 #[derive(Debug, Clone)]
 enum Metric {
@@ -396,5 +395,48 @@ mod tests {
         assert_eq!(doc.counter("run_a.ops"), 1);
         assert_eq!(doc.counter("run_b.ops"), 2);
         crate::json::validate_metrics(&doc.to_json()).expect("schema-valid");
+    }
+}
+
+/// Model-checked registry races (`cargo test -p ccnvme-obs --features
+/// loom --lib loom_`): the get-or-create path must hand every racer
+/// the same metric instance, and snapshots must never tear a counter.
+#[cfg(all(test, feature = "loom"))]
+mod loom_tests {
+    use loom::thread;
+
+    use super::*;
+
+    #[test]
+    fn loom_get_or_create_race_yields_one_instance() {
+        loom::model(|| {
+            let r = Arc::new(Registry::new());
+            let r2 = Arc::clone(&r);
+            let h = thread::spawn(move || {
+                r2.counter("pcie.mmio_doorbells").inc();
+            });
+            r.counter("pcie.mmio_doorbells").inc();
+            h.join().unwrap();
+            // If the create race ever produced two Counter instances,
+            // one increment would be lost from the registered one.
+            assert_eq!(r.snapshot().counter("pcie.mmio_doorbells"), 2);
+        });
+    }
+
+    #[test]
+    fn loom_snapshot_races_with_recorder_without_tearing() {
+        loom::model(|| {
+            let r = Arc::new(Registry::new());
+            let c = r.counter("pcie.irqs");
+            let h = {
+                let r = Arc::clone(&r);
+                thread::spawn(move || r.snapshot().counter("pcie.irqs"))
+            };
+            c.add(3);
+            let seen = h.join().unwrap();
+            // The racing snapshot sees the add entirely or not at all.
+            assert!(seen == 0 || seen == 3, "torn counter read: {seen}");
+            assert_eq!(r.snapshot().counter("pcie.irqs"), 3);
+        });
     }
 }

@@ -444,6 +444,8 @@ impl NvmeController {
     /// seeded random subset; the PMR keeps its committed bytes plus the
     /// configured prefix of in-flight posted writes.
     pub fn power_fail(&self, mode: CrashMode) -> DurableImage {
+        // ord: SeqCst — the kill switch must be visible to every
+        // worker before we snapshot the durable image.
         self.inner.alive.store(false, Ordering::SeqCst);
         for q in self.inner.queues.lock().values() {
             let mut st = q.st.lock();
@@ -837,6 +839,8 @@ fn completer_loop(inner: Arc<CtrlInner>) {
 }
 
 fn fire(inner: &CtrlInner, job: Job) {
+    // ord: SeqCst — pairs with the power_fail kill switch; no job
+    // may fire after the crash point.
     if !inner.alive.load(Ordering::SeqCst) {
         return;
     }

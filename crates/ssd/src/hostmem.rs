@@ -37,6 +37,8 @@ impl HostMemory {
 
     /// Registers `buf` and returns its token (nonzero).
     pub fn register(&self, buf: DataBuf) -> u64 {
+        // ord: Relaxed — token uniqueness is all that matters; the
+        // map mutex below orders the insertion itself.
         let token = self.next.fetch_add(1, Ordering::Relaxed);
         self.bufs.lock().insert(token, buf);
         token

@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, the full test suite (which includes the
-# ccnvme-obs crate and the transaction-lifecycle integration tests), and
-# the bench metrics-schema smoke run.
+# Repo gate, two tiers (documented in README and DESIGN.md §10):
+#
+#   fast (always): formatting, clippy, the full test suite, the
+#     ccnvme-lint protocol-invariant analyzer over the workspace, and
+#     the bench metrics-schema smoke run.
+#
+#   deep (CHECK_DEEP=1): the loom model-checking suite for the
+#     lock-free observability hot structures, plus `cargo miri test`
+#     on the sim/obs crates when the miri component is installed
+#     (skipped with a notice otherwise — CI images without miri still
+#     run the loom tier).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,4 +17,21 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 cargo test -q -p ccnvme-obs
+# Protocol-invariant gate: persist-order (§4.3 flush-before-doorbell),
+# atomic-ordering justification, unsafe audit, metric namespace.
+cargo run -q -p ccnvme-lint
 scripts/bench_smoke.sh
+
+if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
+    echo "== deep tier: loom model checking =="
+    # The loom feature swaps ccnvme-obs onto the model-checked
+    # primitives; only loom_* tests are meaningful under it.
+    cargo test -q -p ccnvme-obs --features loom --lib loom_
+    cargo test -q -p loom
+    echo "== deep tier: miri =="
+    if rustup component list 2>/dev/null | grep -q "^miri.*(installed)"; then
+        cargo miri test -q -p ccnvme-sim -p ccnvme-obs
+    else
+        echo "miri not installed; skipping (rustup component add miri)"
+    fi
+fi
