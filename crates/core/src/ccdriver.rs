@@ -20,9 +20,9 @@
 //!   P-SQ-head and P-SQDB are returned as the unfinished transactions.
 
 use std::{
-    collections::{HashMap, VecDeque},
+    collections::{HashMap, HashSet, VecDeque},
     sync::{
-        atomic::{AtomicU64, Ordering},
+        atomic::{AtomicU32, AtomicU64, Ordering},
         Arc,
     },
 };
@@ -142,6 +142,10 @@ struct CcInner {
     capacity: u64,
     volatile_cache: bool,
     next_tx: AtomicU64,
+    /// Recovery-generation counter: the ring epoch every SQE is sealed
+    /// under. Bumped (in the PMR header) on each probe so slots from a
+    /// previous life of the ring fail epoch validation during recovery.
+    generation: AtomicU32,
     errctx: Arc<CcErrCtx>,
     obs: Arc<Obs>,
 }
@@ -189,15 +193,92 @@ impl CcNvmeDriver {
         );
         // Recovery scan happens before re-formatting.
         let report = scan_pmr(&pmr).unwrap_or_default();
-        // (Re-)format: header, zeroed doorbells and head pointers.
-        pmr.write(0, &layout.encode_header());
+        // Crash-safe, re-entrant (re-)format (DESIGN.md §11). Probe may
+        // itself be cut by a crash at any posted write; the ordering
+        // below keeps the discard set derivable at every cut:
+        //
+        //   1. append the window's tx IDs to the persistent abort logs
+        //      (old entries stay byte-identical in place — a partial
+        //      append can only lose *new* entries, and those are then
+        //      still in the window of the still-current old header);
+        //   2. publish the new counts (entries before counts: a crash
+        //      between them leaves appended entries invisible, never
+        //      garbage);
+        //   3. on a same-geometry PMR, write the bumped-generation
+        //      header *before* touching the windows: a cut while the
+        //      heads/doorbells are being zeroed can resurrect a stale
+        //      window ([0, old-db) once a head is zeroed but its
+        //      doorbell is not), and only the already-durable new
+        //      generation makes those slots fail epoch validation
+        //      instead of being replayed — their IDs are safe in the
+        //      abort logs by FIFO ordering;
+        //   4. zero the heads and doorbells (emptying the windows);
+        //   5. on a fresh or re-laid-out PMR the header instead goes
+        //      LAST, so a cut mid-format reads as unformatted rather
+        //      than as a formatted PMR over garbage structures;
+        //   6. one flush for the whole sequence.
+        let generation = report.generation.wrapping_add(1);
+        let cap = layout.abort_capacity();
+        let nq = num_queues as usize;
+        let mut counts: Vec<u32> = vec![0; nq];
+        let mut present: HashSet<u64> = HashSet::new();
+        // Old per-queue log prefixes can only be preserved in place when
+        // the previous incarnation used the same geometry (it always
+        // does in practice; a geometry change rewrites the logs from the
+        // scanned report instead).
+        let same_geometry = PmrLayout::decode_header(&pmr.read(0, 64)) == Some(layout);
+        let mut additions: Vec<(u16, u64)> = Vec::new();
+        if same_geometry {
+            for q in 0..num_queues {
+                let cnt_bytes = pmr.read(layout.abort_count_off(q), 4);
+                let cnt = u32::from_le_bytes(cnt_bytes.try_into().expect("4 bytes")).min(cap);
+                counts[q as usize] = cnt;
+                for i in 0..cnt {
+                    let id_bytes = pmr.read(layout.abort_entry_off(q, i), 8);
+                    present.insert(u64::from_le_bytes(id_bytes.try_into().expect("8 bytes")));
+                }
+            }
+        } else {
+            let mut old: Vec<u64> = report.aborted.iter().copied().collect();
+            old.sort_unstable();
+            additions.extend(old.into_iter().map(|id| (0u16, id)));
+        }
+        additions.extend(report.unfinished.iter().map(|t| (t.queue, t.tx_id)));
+        for (tq, id) in additions {
+            if !present.insert(id) {
+                continue;
+            }
+            // Prefer the transaction's own queue; spill to the next one
+            // with space (a full log needs a pathological number of
+            // failures — the FS degrades read-only long before).
+            let start = tq as usize % nq;
+            for k in 0..nq {
+                let qi = (start + k) % nq;
+                if counts[qi] < cap {
+                    pmr.write(
+                        layout.abort_entry_off(qi as u16, counts[qi]),
+                        &id.to_le_bytes(),
+                    );
+                    counts[qi] += 1;
+                    break;
+                }
+            }
+        }
+        for q in 0..num_queues {
+            pmr.write(layout.abort_count_off(q), &counts[q as usize].to_le_bytes());
+        }
+        if same_geometry {
+            pmr.write(0, &layout.encode_header_with_generation(generation));
+        }
         for q in 0..num_queues {
             pmr.write(layout.head_off(q), &0u32.to_le_bytes());
             // ccnvme-lint: allow(persist-order) — format path: zeroing a
             // doorbell before the queue is live exposes nothing; the
             // flush below makes the whole layout durable at once.
             pmr.write(layout.db_off(q), &0u32.to_le_bytes());
-            pmr.write(layout.abort_count_off(q), &0u32.to_le_bytes());
+        }
+        if !same_geometry {
+            pmr.write(0, &layout.encode_header_with_generation(generation));
         }
         pmr.flush();
         let obs = ctrl.link().obs.clone();
@@ -228,7 +309,9 @@ impl CcNvmeDriver {
                     slots: VecDeque::new(),
                     last_rung: 0,
                     failed_txs: HashMap::new(),
-                    abort_logged: 0,
+                    // The merged log survives the probe; appends must
+                    // land after the preserved prefix.
+                    abort_logged: counts[i as usize],
                 }),
                 cv: SimCondvar::new(),
             });
@@ -259,6 +342,7 @@ impl CcNvmeDriver {
                 capacity: DEFAULT_CAPACITY_BLOCKS,
                 volatile_cache,
                 next_tx: AtomicU64::new(1),
+                generation: AtomicU32::new(generation),
                 errctx,
                 obs,
             }),
@@ -300,6 +384,23 @@ impl CcNvmeDriver {
         // ord: SeqCst — must be ordered against concurrent alloc_tx_id
         // so post-recovery IDs strictly exceed every replayed one.
         self.inner.next_tx.fetch_max(floor + 1, Ordering::SeqCst);
+    }
+
+    /// Clears every queue's persistent abort log. The stack calls this
+    /// only after recovery fully consumed the discard set — i.e. the
+    /// journal's replay floor is durably past every discarded ID, so
+    /// the log entries can never matter again. A crash between the
+    /// floor persist and this clear merely leaves stale entries below
+    /// the floor (harmless); a crash mid-clear leaves some logs zeroed
+    /// and some intact, equally harmless for the same reason.
+    pub fn clear_abort_logs(&self) {
+        let inner = &self.inner;
+        for q in &inner.queues {
+            let mut st = q.st.lock();
+            st.abort_logged = 0;
+            inner.pmr.write(q.abort_cnt_off, &0u32.to_le_bytes());
+        }
+        inner.pmr.flush();
     }
 
     /// Waits until every outstanding request on every queue completed
@@ -375,10 +476,13 @@ impl CcNvmeDriver {
             cmd
         };
         // Insert the entry into the P-SQ with posted write-combining
-        // stores (step 1 of Figure 3).
-        self.inner
-            .pmr
-            .write(q.ring_off + cmd.cid as u64 * 64, &cmd.encode());
+        // stores (step 1 of Figure 3), sealed with the ring epoch and a
+        // slot checksum so recovery discards torn or stale slots.
+        let mut raw = cmd.encode();
+        // ord: SeqCst — the ring epoch is written once at probe; a
+        // stale read here would seal slots recovery then rejects.
+        crate::layout::seal_sqe(&mut raw, self.inner.generation.load(Ordering::SeqCst));
+        self.inner.pmr.write(q.ring_off + cmd.cid as u64 * 64, &raw);
         q.obs.trace.event(
             ccnvme_sim::now(),
             EventKind::SqeStore,
@@ -758,9 +862,10 @@ fn cc_resubmit(inner: &Arc<CcInner>, q: &Arc<CcQueue>, orig_cid: u16) {
     };
     // The retry entry must be durable before the doorbell exposes it —
     // same discipline as a commit.
-    inner
-        .pmr
-        .write(q.ring_off + slot as u64 * 64, &cmd.encode());
+    let mut raw = cmd.encode();
+    // ord: SeqCst — seal under the current ring epoch (see enqueue).
+    crate::layout::seal_sqe(&mut raw, inner.generation.load(Ordering::SeqCst));
+    inner.pmr.write(q.ring_off + slot as u64 * 64, &raw);
     inner.pmr.flush();
     inner.errctx.stats.retries.inc();
     let tail_now = {

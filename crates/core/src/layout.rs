@@ -97,13 +97,31 @@ impl PmrLayout {
         self.abort_count_off(self.nqueues - 1) + META_LINE + self.depth as u64 * 8
     }
 
-    /// Serializes the header (magic + geometry).
+    /// Serializes the header (magic + geometry) with generation 0.
     pub fn encode_header(&self) -> [u8; 64] {
+        self.encode_header_with_generation(0)
+    }
+
+    /// Serializes the header with an explicit recovery generation
+    /// (bytes 16..20). The generation is bumped on every re-format so
+    /// stale slot seals from an earlier life of the ring fail epoch
+    /// validation instead of being replayed.
+    pub fn encode_header_with_generation(&self, generation: u32) -> [u8; 64] {
         let mut h = [0u8; 64];
         h[0..8].copy_from_slice(&PMR_MAGIC.to_le_bytes());
         h[8..10].copy_from_slice(&self.nqueues.to_le_bytes());
         h[12..16].copy_from_slice(&self.depth.to_le_bytes());
+        h[16..20].copy_from_slice(&generation.to_le_bytes());
         h
+    }
+
+    /// Reads the recovery generation out of a header (0 for headers
+    /// written before the field existed — byte 16..20 was zero-fill).
+    pub fn decode_generation(h: &[u8]) -> u32 {
+        if h.len() < 20 {
+            return 0;
+        }
+        u32::from_le_bytes(h[16..20].try_into().expect("4 bytes"))
     }
 
     /// Parses a header; `None` if the magic does not match (unformatted
@@ -123,6 +141,42 @@ impl PmrLayout {
         }
         Some(PmrLayout { nqueues, depth })
     }
+}
+
+/// Byte offset of the seal epoch within an SQE (reserved Dword 13).
+const SQE_EPOCH_OFF: usize = 52;
+/// Byte offset of the seal checksum within an SQE (reserved Dword 14).
+const SQE_CSUM_OFF: usize = 56;
+
+/// Seals a 64-byte SQE for crash-safe recovery parsing: stamps the ring
+/// epoch (the PMR recovery generation) into bytes 52..56 and an FNV-1a
+/// checksum over bytes 0..56 into bytes 56..60. Both live in reserved
+/// Dwords the device-side decoder ignores, so a sealed entry is still a
+/// valid stock-NVMe command (Table 2 compatibility).
+pub fn seal_sqe(raw: &mut [u8; 64], epoch: u32) {
+    raw[SQE_EPOCH_OFF..SQE_EPOCH_OFF + 4].copy_from_slice(&epoch.to_le_bytes());
+    let sum = fnv1a(&raw[..SQE_CSUM_OFF]);
+    raw[SQE_CSUM_OFF..SQE_CSUM_OFF + 4].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Validates a recovered SQE's seal: the checksum must match (the slot
+/// is whole, not torn mid-WC-flush) and the epoch must equal the ring's
+/// current generation (the slot belongs to this life of the ring, not a
+/// stale image from before a re-format).
+pub fn verify_sqe(raw: &[u8; 64], epoch: u32) -> bool {
+    let slot_epoch = u32::from_le_bytes(raw[SQE_EPOCH_OFF..SQE_EPOCH_OFF + 4].try_into().unwrap());
+    let sum = u32::from_le_bytes(raw[SQE_CSUM_OFF..SQE_CSUM_OFF + 4].try_into().unwrap());
+    slot_epoch == epoch && fnv1a(&raw[..SQE_CSUM_OFF]) == sum
+}
+
+/// 32-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in bytes {
+        h ^= *b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -185,5 +239,36 @@ mod tests {
         let l = PmrLayout::new(2, 16);
         assert_eq!(l.slot_off(0, 1) - l.slot_off(0, 0), SQE_SIZE);
         assert_eq!(l.slot_off(1, 0), l.ring_off(0) + 16 * SQE_SIZE);
+    }
+
+    #[test]
+    fn generation_roundtrips_and_old_headers_read_as_zero() {
+        let l = PmrLayout::new(4, 32);
+        let h = l.encode_header_with_generation(7);
+        assert_eq!(PmrLayout::decode_header(&h), Some(l));
+        assert_eq!(PmrLayout::decode_generation(&h), 7);
+        // Plain headers carry generation 0 (back-compat).
+        assert_eq!(PmrLayout::decode_generation(&l.encode_header()), 0);
+    }
+
+    #[test]
+    fn sealed_sqe_verifies_and_tears_are_detected() {
+        let mut raw = [0u8; 64];
+        raw[0] = 0x01;
+        raw[8] = 42;
+        seal_sqe(&mut raw, 3);
+        assert!(verify_sqe(&raw, 3));
+        // Wrong epoch: a slot from a previous life of the ring.
+        assert!(!verify_sqe(&raw, 4));
+        // A torn byte anywhere under the checksum is caught.
+        for i in 0..56 {
+            let mut torn = raw;
+            torn[i] ^= 0x80;
+            assert!(!verify_sqe(&torn, 3), "tear at byte {i} not detected");
+        }
+        // An unsealed (all-reserved-zero) slot never verifies.
+        let mut unsealed = [0u8; 64];
+        unsealed[0] = 0x01;
+        assert!(!verify_sqe(&unsealed, 0));
     }
 }

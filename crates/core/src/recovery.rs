@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use ccnvme_pcie::MmioRegion;
 use ccnvme_ssd::NvmeCommand;
 
-use crate::layout::PmrLayout;
+use crate::layout::{verify_sqe, PmrLayout};
 
 /// One request recovered from a P-SQ slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,12 @@ pub struct RecoveryReport {
     /// past them, but their journal content may look intact — it must
     /// never be replayed.
     pub aborted: HashSet<u64>,
+    /// Window slots whose per-slot seal (checksum + ring epoch) failed
+    /// validation: torn mid-write or left over from a previous life of
+    /// the ring. They are discarded, never parsed into a transaction.
+    pub rejected_slots: u64,
+    /// The ring generation the scanned header carried.
+    pub generation: u32,
 }
 
 impl RecoveryReport {
@@ -73,7 +79,11 @@ impl RecoveryReport {
 pub fn scan_pmr(pmr: &MmioRegion) -> Option<RecoveryReport> {
     let header = pmr.read(0, 64);
     let layout = PmrLayout::decode_header(&header)?;
-    let mut report = RecoveryReport::default();
+    let generation = PmrLayout::decode_generation(&header);
+    let mut report = RecoveryReport {
+        generation,
+        ..RecoveryReport::default()
+    };
     for q in 0..layout.nqueues {
         let head_bytes = pmr.read(layout.head_off(q), 4);
         let db_bytes = pmr.read(layout.db_off(q), 4);
@@ -85,6 +95,14 @@ pub fn scan_pmr(pmr: &MmioRegion) -> Option<RecoveryReport> {
         for _ in 0..count {
             let raw = pmr.read(layout.slot_off(q, cur), 64);
             let raw: [u8; 64] = raw.try_into().expect("64 bytes");
+            // Per-slot seal validation: a slot torn mid-WC-flush or
+            // sealed under an older ring generation is discarded, not
+            // replayed (§5.5 hardening).
+            if !verify_sqe(&raw, generation) {
+                report.rejected_slots += 1;
+                cur = (cur + 1) % layout.depth;
+                continue;
+            }
             if let Some(cmd) = NvmeCommand::decode(&raw) {
                 let req = RecoveredRequest {
                     lba: cmd.lba,
@@ -166,6 +184,14 @@ mod tests {
         }
     }
 
+    /// Encodes and seals a command under generation 0 (what a freshly
+    /// formatted ring's driver would write).
+    fn sealed(cmd: &NvmeCommand) -> [u8; 64] {
+        let mut raw = cmd.encode();
+        crate::layout::seal_sqe(&mut raw, 0);
+        raw
+    }
+
     #[test]
     fn empty_window_recovers_nothing() {
         let mut sim = Sim::new(1);
@@ -197,13 +223,13 @@ mod tests {
             let pmr = fresh_pmr(&layout);
             // Two transactions: tx 7 (2 members + commit), tx 8 (1 member,
             // no commit — torn).
-            pmr.write(layout.slot_off(0, 0), &cmd(10, 7, TxFlags::TX).encode());
-            pmr.write(layout.slot_off(0, 1), &cmd(11, 7, TxFlags::TX).encode());
+            pmr.write(layout.slot_off(0, 0), &sealed(&cmd(10, 7, TxFlags::TX)));
+            pmr.write(layout.slot_off(0, 1), &sealed(&cmd(11, 7, TxFlags::TX)));
             pmr.write(
                 layout.slot_off(0, 2),
-                &cmd(12, 7, TxFlags::TX_COMMIT).encode(),
+                &sealed(&cmd(12, 7, TxFlags::TX_COMMIT)),
             );
-            pmr.write(layout.slot_off(0, 3), &cmd(13, 8, TxFlags::TX).encode());
+            pmr.write(layout.slot_off(0, 3), &sealed(&cmd(13, 8, TxFlags::TX)));
             // head = 0, doorbell covers 4 entries.
             pmr.write(layout.db_off(0), &4u32.to_le_bytes());
             pmr.flush();
@@ -229,11 +255,11 @@ mod tests {
             let pmr = fresh_pmr(&layout);
             pmr.write(
                 layout.slot_off(0, 0),
-                &cmd(10, 1, TxFlags::TX_COMMIT).encode(),
+                &sealed(&cmd(10, 1, TxFlags::TX_COMMIT)),
             );
             pmr.write(
                 layout.slot_off(0, 1),
-                &cmd(11, 2, TxFlags::TX_COMMIT).encode(),
+                &sealed(&cmd(11, 2, TxFlags::TX_COMMIT)),
             );
             pmr.write(layout.db_off(0), &2u32.to_le_bytes());
             // Head advanced past tx 1 (completed in order).
@@ -256,7 +282,7 @@ mod tests {
             for (i, slot) in [6u32, 7, 0].into_iter().enumerate() {
                 pmr.write(
                     layout.slot_off(0, slot),
-                    &cmd(20 + i as u64, 5, TxFlags::TX).encode(),
+                    &sealed(&cmd(20 + i as u64, 5, TxFlags::TX)),
                 );
             }
             pmr.write(layout.head_off(0), &6u32.to_le_bytes());
@@ -283,7 +309,7 @@ mod tests {
         sim.spawn("t", 0, || {
             let layout = PmrLayout::new(1, 16);
             let pmr = fresh_pmr(&layout);
-            pmr.write(layout.slot_off(0, 0), &cmd(30, 0, TxFlags::NONE).encode());
+            pmr.write(layout.slot_off(0, 0), &sealed(&cmd(30, 0, TxFlags::NONE)));
             pmr.write(layout.db_off(0), &1u32.to_le_bytes());
             pmr.flush();
             let report = scan_pmr(&pmr).expect("formatted");
@@ -345,12 +371,89 @@ mod robustness_tests {
                 tx_flags: TxFlags::TX_COMMIT,
                 data_token: 0,
             };
-            pmr.write(layout.slot_off(0, 1), &cmd.encode());
+            let mut raw = cmd.encode();
+            crate::layout::seal_sqe(&mut raw, 0);
+            pmr.write(layout.slot_off(0, 1), &raw);
             pmr.write(layout.db_off(0), &2u32.to_le_bytes());
             pmr.flush();
             let report = scan_pmr(&pmr).expect("formatted");
             assert_eq!(report.unfinished.len(), 1);
             assert_eq!(report.unfinished[0].tx_id, 3);
+            assert_eq!(report.rejected_slots, 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn torn_slot_fails_checksum_and_is_discarded_not_replayed() {
+        // The regression the enumerator flushes out: a P-SQ slot whose
+        // WC-buffer flush was cut mid-line. The seal checksum catches the
+        // tear; the entry must be counted as rejected and its transaction
+        // must not reach the replay candidates.
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let layout = PmrLayout::new(1, 8);
+            let link = Arc::new(PcieLink::new(3_300_000_000));
+            let pmr = MmioRegion::new("pmr", RegionKind::Pmr, 2 << 20, link);
+            pmr.write(0, &layout.encode_header());
+            let cmd = NvmeCommand {
+                opcode: Opcode::Write,
+                cid: 1,
+                nsid: 1,
+                lba: 77,
+                nblocks: 1,
+                fua: false,
+                tx_id: 9,
+                tx_flags: TxFlags::TX_COMMIT,
+                data_token: 0,
+            };
+            let mut raw = cmd.encode();
+            crate::layout::seal_sqe(&mut raw, 0);
+            // Tear the sealed slot: flip one payload byte (the LBA) as a
+            // partial 64 B line write would.
+            raw[40] ^= 0xff;
+            pmr.write(layout.slot_off(0, 0), &raw);
+            pmr.write(layout.db_off(0), &1u32.to_le_bytes());
+            pmr.flush();
+            let report = scan_pmr(&pmr).expect("formatted");
+            assert_eq!(report.rejected_slots, 1);
+            assert!(report.unfinished.is_empty(), "torn entry must not replay");
+            assert!(!report.unfinished_tx_ids().contains(&9));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn stale_epoch_slot_is_rejected_after_reformat() {
+        // A slot sealed under generation 0 must not be parsed once the
+        // ring was re-formatted to generation 1 (stale head/db values
+        // could otherwise expose a previous life of the ring).
+        let mut sim = Sim::new(1);
+        sim.spawn("t", 0, || {
+            let layout = PmrLayout::new(1, 8);
+            let link = Arc::new(PcieLink::new(3_300_000_000));
+            let pmr = MmioRegion::new("pmr", RegionKind::Pmr, 2 << 20, link);
+            pmr.write(0, &layout.encode_header_with_generation(1));
+            let cmd = NvmeCommand {
+                opcode: Opcode::Write,
+                cid: 1,
+                nsid: 1,
+                lba: 5,
+                nblocks: 1,
+                fua: false,
+                tx_id: 4,
+                tx_flags: TxFlags::TX_COMMIT,
+                data_token: 0,
+            };
+            let mut raw = cmd.encode();
+            crate::layout::seal_sqe(&mut raw, 0);
+            pmr.write(layout.slot_off(0, 0), &raw);
+            pmr.write(layout.db_off(0), &1u32.to_le_bytes());
+            pmr.flush();
+            let report = scan_pmr(&pmr).expect("formatted");
+            assert_eq!(report.generation, 1);
+            assert_eq!(report.rejected_slots, 1);
+            assert!(report.unfinished.is_empty());
         });
         sim.run();
     }
@@ -379,7 +482,9 @@ mod robustness_tests {
                     tx_flags: TxFlags::TX,
                     data_token: 0,
                 };
-                pmr.write(layout.slot_off(0, slot), &cmd.encode());
+                let mut raw = cmd.encode();
+                crate::layout::seal_sqe(&mut raw, 0);
+                pmr.write(layout.slot_off(0, slot), &raw);
             }
             pmr.write(layout.db_off(0), &3u32.to_le_bytes());
             pmr.flush();

@@ -1,0 +1,334 @@
+//! Exhaustive crash-surface enumeration (the tentpole of §7.6 taken to
+//! its limit).
+//!
+//! Where [`run_crash_campaign`](crate::run_crash_campaign) samples crash
+//! instants along the virtual-time axis, the enumerator walks the
+//! *complete* crash surface: the device records every durable-effecting
+//! event (PMR posted-write arrival, media write, cache fill, flush) in a
+//! [`PersistLog`], and every prefix of that ordered log is a state some
+//! power cut leaves behind. For each boundary the PCIe posted-write FIFO
+//! additionally allows a *prefix* of the still-in-flight PMR writes to
+//! have landed — `torn_depth` bounds how many of those torn extensions
+//! are explored per boundary (legal subsets collapse to prefix counts
+//! exactly because posted writes are FIFO per §2.2).
+//!
+//! Every materialized image is booted into a fresh stack, remounted
+//! (ccNVMe window recovery + journal replay), fsck'd and checked against
+//! the workload's durability oracle. With
+//! [`RecrashSweep`](RecrashSweep) enabled, recovery itself is then
+//! re-crashed at each of *its* persistence events and re-run — asserting
+//! that recovery is idempotent and convergent: every cut through
+//! recovery must land on the same fsck-clean final media image as an
+//! uninterrupted recovery.
+
+use std::sync::Arc;
+
+use ccnvme_sim::Sim;
+use ccnvme_ssd::{CacheSurvival, CrashMode, DurableImage, PersistLog};
+use parking_lot::Mutex;
+
+use crate::{CrashWorkload, OpLog, Stack, StackConfig};
+
+/// A slot a simulation closure fills in and the caller drains.
+type Shared<T> = Arc<Mutex<Option<T>>>;
+
+/// How hard the enumerator re-crashes recovery itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecrashSweep {
+    /// No crash-during-recovery exploration.
+    None,
+    /// Sweep only the final (full-prefix) crash image: every persistence
+    /// event of its recovery becomes a second crash point. Bounded cost;
+    /// the smoke tier.
+    FinalImage,
+    /// Sweep every explored image. Exhaustive; the deep tier.
+    EveryImage,
+}
+
+/// Enumerator configuration.
+#[derive(Clone)]
+pub struct EnumConfig {
+    /// Stack under test (`record_persistence` is forced on internally
+    /// for the instrumented passes).
+    pub stack: StackConfig,
+    /// Maximum in-flight posted-write extensions explored per boundary
+    /// (0 = committed prefixes only).
+    pub torn_depth: usize,
+    /// Crash-during-recovery exploration policy.
+    pub recrash: RecrashSweep,
+}
+
+/// What the enumeration found.
+#[derive(Debug, Clone)]
+pub struct EnumReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Durable-effecting events the workload generated (after format).
+    pub events: usize,
+    /// Distinct crash states explored (prefixes × torn extensions).
+    pub states: usize,
+    /// States that recovered to an fsck-clean, oracle-clean file system.
+    pub repaired: usize,
+    /// Crash points injected into recovery itself (re-crash sweep).
+    pub recovery_recrashes: usize,
+    /// Descriptions of the first few failures.
+    pub failures: Vec<String>,
+}
+
+/// Output of one instrumented execution: the device's persistence-event
+/// log, the event count when the workload started (everything before is
+/// mkfs), and the oracle marks.
+struct InstrumentedRun {
+    log: Arc<PersistLog>,
+    base_events: usize,
+    marks: Arc<OpLog>,
+}
+
+/// Runs `w` once on an instrumented stack and captures the full
+/// persistence-event log.
+fn record_workload(w: &Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> InstrumentedRun {
+    let mut scfg = cfg.stack.clone();
+    scfg.record_persistence = true;
+    let captured: Shared<(Arc<PersistLog>, usize)> = Arc::new(Mutex::new(None));
+    let marks = Arc::new(OpLog::new());
+    {
+        let cap = Arc::clone(&captured);
+        let marks = Arc::clone(&marks);
+        let wref = Arc::clone(w);
+        let mut sim = Sim::new(scfg.sim_cores());
+        sim.spawn("enum-record", 0, move || {
+            let (stack, fs) = Stack::format(&scfg);
+            let plog = stack
+                .controller()
+                .persist_log()
+                .expect("record_persistence was set");
+            let base_events = plog.len();
+            wref.run(&fs, &marks);
+            *cap.lock() = Some((plog, base_events));
+        });
+        sim.run();
+    }
+    let (log, base_events) = captured.lock().take().expect("instrumented run completed");
+    InstrumentedRun {
+        log,
+        base_events,
+        marks,
+    }
+}
+
+/// Boots `image`, remounts and returns (fsck + oracle) problems. The
+/// oracle only runs when `persisted` is provided.
+fn recover_and_verify(
+    w: &Arc<dyn CrashWorkload>,
+    scfg: &StackConfig,
+    image: DurableImage,
+    persisted: Option<std::collections::HashSet<u64>>,
+) -> Vec<String> {
+    let issues: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let issues2 = Arc::clone(&issues);
+    let wref = Arc::clone(w);
+    let scfg = scfg.clone();
+    let mut sim = Sim::new(scfg.sim_cores());
+    sim.spawn("enum-verify", 0, move || {
+        match Stack::recover(&scfg, &image) {
+            Ok((_stack, fs)) => {
+                let mut problems = fs.check();
+                if let Some(p) = &persisted {
+                    problems.extend(wref.verify(&fs, p));
+                }
+                *issues2.lock() = problems;
+            }
+            Err(e) => issues2.lock().push(format!("remount failed: {e}")),
+        }
+    });
+    sim.run();
+    let problems = std::mem::take(&mut *issues.lock());
+    problems
+}
+
+/// Runs recovery on `image` with persistence recording and returns the
+/// recovery's own event log plus the final media image an uninterrupted
+/// recovery converges to. `None` when the mount failed.
+fn record_recovery(
+    cfg: &EnumConfig,
+    image: &DurableImage,
+) -> Option<(Arc<PersistLog>, DurableImage)> {
+    let mut scfg = cfg.stack.clone();
+    scfg.record_persistence = true;
+    let captured: Shared<(Arc<PersistLog>, DurableImage)> = Arc::new(Mutex::new(None));
+    {
+        let cap = Arc::clone(&captured);
+        let image = image.clone();
+        let mut sim = Sim::new(scfg.sim_cores());
+        sim.spawn("enum-recrash-record", 0, move || {
+            if let Ok((stack, _fs)) = Stack::recover(&scfg, &image) {
+                let plog = stack
+                    .controller()
+                    .persist_log()
+                    .expect("record_persistence was set");
+                // Graceful image: every posted write lands, the whole
+                // cache survives — the state recovery converged to.
+                let finali = stack.crash_snapshot(CrashMode {
+                    pmr_extra_prefix: usize::MAX,
+                    cache_keep_prob: 1.0,
+                    seed: 0,
+                });
+                *cap.lock() = Some((plog, finali));
+            }
+        });
+        sim.run();
+    }
+    let got = captured.lock().take();
+    got
+}
+
+/// Recovers `image` (a cut through recovery itself) a second time and
+/// returns the final media image, or an error description.
+fn rerecover_final_blocks(cfg: &EnumConfig, image: DurableImage) -> Result<DurableImage, String> {
+    let scfg = cfg.stack.clone();
+    let captured: Shared<Result<DurableImage, String>> = Arc::new(Mutex::new(None));
+    {
+        let cap = Arc::clone(&captured);
+        let scfg = scfg.clone();
+        let mut sim = Sim::new(scfg.sim_cores());
+        sim.spawn("enum-rerecover", 0, move || {
+            let out = match Stack::recover(&scfg, &image) {
+                Ok((stack, fs)) => {
+                    let problems = fs.check();
+                    if problems.is_empty() {
+                        Ok(stack.crash_snapshot(CrashMode {
+                            pmr_extra_prefix: usize::MAX,
+                            cache_keep_prob: 1.0,
+                            seed: 0,
+                        }))
+                    } else {
+                        Err(format!("fsck after re-crash: {}", problems.join("; ")))
+                    }
+                }
+                Err(e) => Err(format!("remount after re-crash failed: {e}")),
+            };
+            *cap.lock() = Some(out);
+        });
+        sim.run();
+    }
+    let got = captured.lock().take();
+    got.unwrap_or_else(|| Err("re-recovery simulation produced no result".into()))
+}
+
+/// Re-crashes the recovery of `image` at each of its persistence events
+/// and checks convergence: every cut must re-recover to the same
+/// fsck-clean media image as the uninterrupted recovery. Returns the
+/// number of injected recovery crash points; failures are appended.
+fn recrash_sweep(cfg: &EnumConfig, image: &DurableImage, failures: &mut Vec<String>) -> usize {
+    let Some((rec_log, reference)) = record_recovery(cfg, image) else {
+        failures.push("recrash sweep: instrumented recovery failed to mount".into());
+        return 0;
+    };
+    let rec_events = rec_log.len();
+    let mut injected = 0;
+    for p in 0..=rec_events {
+        injected += 1;
+        let cut = rec_log.state_at(p, 0, CacheSurvival::DropAll);
+        match rerecover_final_blocks(cfg, cut) {
+            // The PMR legitimately differs across recoveries (the ring
+            // generation bumps on every probe); convergence is defined
+            // over media content.
+            Ok(fin) => {
+                if fin.blocks != reference.blocks && failures.len() < 8 {
+                    failures.push(format!(
+                        "recovery re-crashed at event {p}/{rec_events} diverged: \
+                         {} blocks differ from the uninterrupted recovery",
+                        fin.blocks
+                            .iter()
+                            .filter(|(lba, data)| reference.blocks.get(lba) != Some(data))
+                            .count()
+                            .max(
+                                reference
+                                    .blocks
+                                    .iter()
+                                    .filter(|(lba, data)| fin.blocks.get(lba) != Some(*data))
+                                    .count()
+                            )
+                    ));
+                }
+            }
+            Err(e) => {
+                if failures.len() < 8 {
+                    failures.push(format!(
+                        "recovery re-crashed at event {p}/{rec_events}: {e}"
+                    ));
+                }
+            }
+        }
+    }
+    injected
+}
+
+/// Walks the complete crash surface of one workload execution.
+///
+/// Explores every event-prefix of the recorded persistence log (from
+/// the end of mkfs to the end of the workload, inclusive — `events + 1`
+/// states at `torn_depth` 0), plus up to `torn_depth` posted-write FIFO
+/// extensions per boundary. Each state is recovered and verified; the
+/// re-crash sweep then stresses recovery itself per
+/// [`EnumConfig::recrash`].
+pub fn enumerate_crash_surface(w: Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> EnumReport {
+    let run = record_workload(&w, cfg);
+    let total_events = run.log.len();
+    let events = total_events - run.base_events;
+    let mut states = 0;
+    let mut repaired = 0;
+    let mut recovery_recrashes = 0;
+    let mut failures: Vec<String> = Vec::new();
+    let mut final_image: Option<DurableImage> = None;
+    for p in run.base_events..=total_events {
+        let torn_cap = cfg.torn_depth.min(run.log.max_torn_at(p));
+        for torn in 0..=torn_cap {
+            states += 1;
+            let image = run.log.state_at(p, torn, CacheSurvival::DropAll);
+            // A crash cut just before the event at the boundary: credit
+            // only persistence points completed strictly earlier.
+            let persisted = run.marks.persisted_before(run.log.boundary_time(p));
+            let problems = recover_and_verify(&w, &cfg.stack, image.clone(), Some(persisted));
+            if problems.is_empty() {
+                repaired += 1;
+            } else if failures.len() < 8 {
+                failures.push(format!("prefix {p} torn {torn}: {}", problems.join("; ")));
+            }
+            if cfg.recrash == RecrashSweep::EveryImage {
+                recovery_recrashes += recrash_sweep(cfg, &image, &mut failures);
+            } else if p == total_events && torn == 0 {
+                final_image = Some(image);
+            }
+        }
+    }
+    if cfg.recrash == RecrashSweep::FinalImage {
+        if let Some(image) = final_image {
+            recovery_recrashes += recrash_sweep(cfg, &image, &mut failures);
+        }
+    }
+    EnumReport {
+        workload: w.name(),
+        events,
+        states,
+        repaired,
+        recovery_recrashes,
+        failures,
+    }
+}
+
+/// Flattens an enumeration report into the machine-readable
+/// `ccnvme-metrics/v1` document the bench binaries emit.
+pub fn enum_metrics(r: &EnumReport) -> ccnvme_obs::MetricsSnapshot {
+    let mut snap = ccnvme_obs::MetricsSnapshot::default();
+    let mut put = |field: &str, v: u64| {
+        snap.counters
+            .insert(format!("crashenum.{}.{field}", r.workload), v);
+    };
+    put("events", r.events as u64);
+    put("states", r.states as u64);
+    put("repaired", r.repaired as u64);
+    put("recovery_recrashes", r.recovery_recrashes as u64);
+    put("failures", r.failures.len() as u64);
+    snap
+}

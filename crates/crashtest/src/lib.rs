@@ -19,6 +19,7 @@
 //!    confirms every guarantee whose persistence point completed before
 //!    the snapshot instant.
 
+pub mod enumerate;
 pub mod faults;
 pub mod stack;
 pub mod workloads;
@@ -30,6 +31,7 @@ use ccnvme_ssd::{CrashMode, DurableImage};
 use mqfs::FileSystem;
 use parking_lot::Mutex;
 
+pub use enumerate::{enum_metrics, enumerate_crash_surface, EnumConfig, EnumReport, RecrashSweep};
 pub use faults::{campaign_metrics, run_fault_campaign, FaultCampaignConfig, FaultKindReport};
 pub use stack::{Stack, StackConfig};
 pub use workloads::table4_workloads;
@@ -52,13 +54,26 @@ impl OpLog {
     }
 
     /// Persistence points completed at or before `t`.
+    ///
+    /// Marks arrive in virtual-time order (the simulation clock is
+    /// monotone), so the completed set is the prefix up to the first
+    /// mark past `t` — found by binary search rather than filtering the
+    /// whole vector on every snapshot.
     pub fn persisted_at(&self, t: Ns) -> HashSet<u64> {
-        self.marks
-            .lock()
-            .iter()
-            .filter(|(_, m)| *m <= t)
-            .map(|(op, _)| *op)
-            .collect()
+        let marks = self.marks.lock();
+        debug_assert!(marks.windows(2).all(|w| w[0].1 <= w[1].1));
+        let end = marks.partition_point(|&(_, m)| m <= t);
+        marks[..end].iter().map(|&(op, _)| op).collect()
+    }
+
+    /// Persistence points completed strictly before `t` (the form the
+    /// event-prefix enumerator needs: a crash cut *just before* the
+    /// event at `t` must not credit a point completing exactly at `t`).
+    pub fn persisted_before(&self, t: Ns) -> HashSet<u64> {
+        let marks = self.marks.lock();
+        debug_assert!(marks.windows(2).all(|w| w[0].1 <= w[1].1));
+        let end = marks.partition_point(|&(_, m)| m < t);
+        marks[..end].iter().map(|&(op, _)| op).collect()
     }
 
     /// Total marks recorded.
@@ -213,5 +228,39 @@ pub fn run_crash_campaign(w: Arc<dyn CrashWorkload>, cfg: &CrashTestConfig) -> C
         total: total_taken,
         passed,
         failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persisted_at_returns_the_time_prefix() {
+        let log = Arc::new(OpLog::new());
+        let log2 = Arc::clone(&log);
+        let times: Arc<Mutex<Vec<Ns>>> = Arc::new(Mutex::new(Vec::new()));
+        let times2 = Arc::clone(&times);
+        let mut sim = Sim::new(1);
+        sim.spawn("marks", 0, move || {
+            for op in 0..10u64 {
+                ccnvme_sim::delay(100);
+                log2.mark(op);
+                times2.lock().push(ccnvme_sim::now());
+            }
+        });
+        sim.run();
+        let times = times.lock().clone();
+        assert_eq!(log.len(), 10);
+        // Before the first mark: empty.
+        assert!(log.persisted_at(times[0] - 1).is_empty());
+        // Exactly at mark k (inclusive) and between marks: ops 0..=k.
+        for (k, &tk) in times.iter().enumerate() {
+            let want: HashSet<u64> = (0..=k as u64).collect();
+            assert_eq!(log.persisted_at(tk), want, "at mark {k}");
+            assert_eq!(log.persisted_at(tk + 1), want, "after mark {k}");
+        }
+        // Far past the end: everything.
+        assert_eq!(log.persisted_at(Ns::MAX).len(), 10);
     }
 }

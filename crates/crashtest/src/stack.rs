@@ -41,6 +41,10 @@ pub struct StackConfig {
     /// hardware). A fresh injector is built per stack, so `Nth` counters
     /// restart with each `format`/`recover`.
     pub fault: Option<FaultPlan>,
+    /// Record every durable-effecting device event in a
+    /// [`ccnvme_ssd::PersistLog`] so the crash-surface enumerator can
+    /// materialize the image after any event prefix.
+    pub record_persistence: bool,
 }
 
 impl StackConfig {
@@ -55,6 +59,7 @@ impl StackConfig {
             irq_coalesce_tx: false,
             data_journaling: false,
             fault: None,
+            record_persistence: false,
         }
     }
 
@@ -83,6 +88,7 @@ impl StackConfig {
         c.device_core = self.cores;
         c.irq_coalesce_tx = self.irq_coalesce_tx;
         c.fault = injector.map(Arc::clone);
+        c.record_persistence = self.record_persistence;
         c
     }
 }
@@ -141,6 +147,15 @@ impl Stack {
         let ctrl = NvmeController::from_image(cfg.ctrl_config(inj.as_ref()), image);
         let (stack, discard) = Self::from_ctrl(cfg, ctrl, inj);
         let fs = FileSystem::mount(Arc::clone(&stack.dev), cfg.fs_config(), &discard)?;
+        // Recovery settled: replay ran and the journal's replay floor is
+        // durably past every discarded ID, so the PMR abort logs have
+        // served their purpose and can be cleared. Skipped when the
+        // mount degraded — a repair mount must still see the logs.
+        if fs.error_state().is_none() {
+            if let Some(cc) = &stack.cc {
+                cc.clear_abort_logs();
+            }
+        }
         Ok((stack, fs))
     }
 

@@ -739,6 +739,29 @@ impl Journal for ClassicJournal {
         )
     }
 
+    fn persist_replay_floor(&self, floor: u64) {
+        // Guard against regressing a horizon a prior checkpoint already
+        // pushed further (classic checkpoints persist max_committed + 1).
+        if floor <= crate::recover::read_horizon(&self.inner.dev, self.inner.horizon_lba) {
+            return;
+        }
+        let hw = BioWaiter::new();
+        let hbuf: BioBuf = Arc::new(parking_lot::Mutex::new(format::encode_horizon(floor)));
+        let mut hbio = Bio::write(
+            self.inner.horizon_lba,
+            hbuf,
+            BioFlags {
+                preflush: false,
+                fua: true,
+                tx: false,
+                tx_commit: false,
+            },
+        );
+        hw.attach(&mut hbio);
+        self.inner.dev.submit_bio(hbio);
+        let _ = hw.wait();
+    }
+
     fn shutdown(&self) {
         let mut q = self.inner.q.lock();
         q.shutdown = true;

@@ -167,6 +167,15 @@ pub trait Journal: Send + Sync {
     /// content is ignored even if intact.
     fn recover(&self, discard: &HashSet<u64>) -> Vec<RecoveredUpdate>;
 
+    /// Durably records `floor` as the replay horizon: after this
+    /// returns, no transaction below `floor` is ever replayed again.
+    /// Mount calls it once replay completed *and* the discard set has
+    /// been honoured — only then is it safe to clear the PMR abort logs
+    /// (a crash before the floor is durable must re-discover the
+    /// discarded IDs from those logs). Engines without a persistent
+    /// horizon (e.g. [`NoJournal`]) keep the default no-op.
+    fn persist_replay_floor(&self, _floor: u64) {}
+
     /// Stops any background threads (graceful detach).
     fn shutdown(&self);
 }

@@ -661,6 +661,34 @@ impl Journal for MqJournal {
         )
     }
 
+    fn persist_replay_floor(&self, floor: u64) {
+        let inner = &self.inner;
+        // ord: SeqCst — monotone horizon; never regress a floor a
+        // checkpointer already persisted.
+        if floor <= inner.horizon_written.load(Ordering::SeqCst) {
+            return;
+        }
+        let hw = BioWaiter::new();
+        let hbuf: BioBuf = Arc::new(parking_lot::Mutex::new(format::encode_horizon(floor)));
+        let mut hbio = Bio::write(
+            inner.horizon_lba,
+            hbuf,
+            BioFlags {
+                preflush: false,
+                fua: true,
+                tx: false,
+                tx_commit: false,
+            },
+        );
+        hw.attach(&mut hbio);
+        inner.dev.submit_bio(hbio);
+        if hw.wait().is_ok() {
+            // ord: SeqCst — only advances after the horizon block is
+            // durable; fetch_max keeps racing writers monotone.
+            inner.horizon_written.fetch_max(floor, Ordering::SeqCst);
+        }
+    }
+
     fn shutdown(&self) {}
 }
 

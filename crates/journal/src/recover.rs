@@ -143,25 +143,63 @@ pub fn recover_areas(
     updates
 }
 
-/// Applies recovered updates to the device and flushes.
-pub fn replay_updates(dev: &Dev, updates: &[RecoveredUpdate]) {
-    use ccnvme_block::{BioFlags, BioWaiter};
-    if updates.is_empty() {
-        return;
-    }
-    let waiter = BioWaiter::new();
-    for u in updates {
-        let buf: BioBuf = Arc::new(parking_lot::Mutex::new(u.data.clone()));
-        let mut bio = Bio::write(u.final_lba, buf, BioFlags::NONE);
+/// Attempts per replayed write (and per flush) before recovery gives up
+/// and the mount degrades to read-only.
+const REPLAY_ATTEMPTS: u32 = 3;
+
+/// One full-block write with bounded transparent retries; returns the
+/// last status when every attempt failed.
+fn write_with_retry(dev: &Dev, lba: u64, data: &[u8]) -> Result<(), ccnvme_block::BioStatus> {
+    use ccnvme_block::{BioFlags, BioStatus, BioWaiter};
+    let mut last = BioStatus::Error;
+    for _ in 0..REPLAY_ATTEMPTS {
+        let waiter = BioWaiter::new();
+        let buf: BioBuf = Arc::new(parking_lot::Mutex::new(data.to_vec()));
+        let mut bio = Bio::write(lba, buf, BioFlags::NONE);
         waiter.attach(&mut bio);
         dev.submit_bio(bio);
+        if waiter.wait().is_ok() {
+            return Ok(());
+        }
+        last = waiter.first_error().unwrap_or(BioStatus::Error);
     }
-    let _ = waiter.wait();
+    Err(last)
+}
+
+/// Applies recovered updates to the device and flushes.
+///
+/// **Idempotent by construction**: every update is a whole-block write
+/// of validated journal content to its home location, so applying the
+/// list once, twice, or resuming it after a crash in the middle always
+/// converges on the same media bytes (`tests/recovery_idempotence.rs`
+/// proves this property). Each write is retried up to
+/// [`REPLAY_ATTEMPTS`] times; an exhausted retry budget returns the
+/// failing status so the mount can degrade to read-only instead of
+/// presenting a half-replayed file system as healthy.
+pub fn replay_updates(
+    dev: &Dev,
+    updates: &[RecoveredUpdate],
+) -> Result<(), ccnvme_block::BioStatus> {
+    use ccnvme_block::{BioStatus, BioWaiter};
+    if updates.is_empty() {
+        return Ok(());
+    }
+    for u in updates {
+        write_with_retry(dev, u.final_lba, &u.data)?;
+    }
     if dev.has_volatile_cache() {
-        let fw = BioWaiter::new();
-        let mut flush = Bio::flush();
-        fw.attach(&mut flush);
-        dev.submit_bio(flush);
-        let _ = fw.wait();
+        let mut last = BioStatus::Error;
+        for _ in 0..REPLAY_ATTEMPTS {
+            let fw = BioWaiter::new();
+            let mut flush = Bio::flush();
+            fw.attach(&mut flush);
+            dev.submit_bio(flush);
+            if fw.wait().is_ok() {
+                return Ok(());
+            }
+            last = fw.first_error().unwrap_or(BioStatus::Error);
+        }
+        return Err(last);
     }
+    Ok(())
 }

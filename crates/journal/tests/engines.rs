@@ -113,7 +113,7 @@ fn mq_commit_then_recover_after_crash_replays_tx() {
             lbas.contains(&10) && lbas.contains(&11),
             "journaled blocks replayed"
         );
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         assert_eq!(read_lba(&dev2, 10), 0xaa);
         assert_eq!(read_lba(&dev2, 11), 0xbb);
         // The ordered data block went straight home (durable tx).
@@ -148,7 +148,7 @@ fn mq_uncommitted_tx_is_atomically_absent() {
         let areas2 = AreaSpec::split(JOURNAL_START, JOURNAL_LEN, CORES);
         let journal2 = MqJournal::new(Arc::clone(&dev2), areas2, HORIZON_LBA);
         let updates = journal2.recover(&report.unfinished_tx_ids());
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         // All-or-nothing: block 20 is either wholly tx1 or wholly tx2,
         // and 21 matches accordingly.
         let b20 = read_lba(&dev2, 20);
@@ -187,7 +187,7 @@ fn mq_checkpoint_moves_blocks_home_and_recovery_stays_correct() {
         let areas2 = AreaSpec::split(JOURNAL_START, 16, CORES);
         let journal2 = MqJournal::new(Arc::clone(&dev2), areas2, HORIZON_LBA);
         let updates = journal2.recover(&report.unfinished_tx_ids());
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         assert_eq!(read_lba(&dev2, 30), 39, "no stale replay after checkpoint");
     });
     sim.run();
@@ -271,7 +271,7 @@ fn mq_selective_revocation_prevents_stale_replay() {
         let areas2 = AreaSpec::split(JOURNAL_START, JOURNAL_LEN, CORES);
         let journal2 = MqJournal::new(Arc::clone(&dev2), areas2, HORIZON_LBA);
         let updates = journal2.recover(&report.unfinished_tx_ids());
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         // The revoked directory content must NOT overwrite the user data.
         assert_eq!(
             read_lba(&dev2, 50),
@@ -351,7 +351,7 @@ fn classic_commit_record_required_for_replay() {
             updates.iter().any(|u| u.final_lba == 70),
             "committed tx replayable"
         );
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         assert_eq!(read_lba(&dev2, 70), 0x70);
     });
     sim.run();
@@ -441,7 +441,7 @@ fn classic_horizon_prevents_replay_of_checkpointed_txs() {
             CORES + 1,
         );
         let updates = journal2.recover(&HashSet::new());
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         assert_eq!(read_lba(&dev2, 90), 19, "home block never regresses");
     });
     sim.run();
@@ -486,7 +486,7 @@ fn horae_mode_skips_ordering_points_but_recovers() {
         let updates = journal2.recover(&HashSet::new());
         // The tx was durable before the crash, so it must be replayable
         // and intact (checksums catch Horae's lack of ordering).
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         assert_eq!(read_lba(&dev2, 95), 0x95);
         assert_eq!(read_lba(&dev2, 96), 0x96);
     });
@@ -693,7 +693,7 @@ fn classic_compound_larger_than_one_descriptor_chunks() {
         );
         let updates = journal2.recover(&HashSet::new());
         assert_eq!(updates.len(), 150, "all chunked blocks replayable");
-        mqfs_journal::recover::replay_updates(&dev2, &updates);
+        mqfs_journal::recover::replay_updates(&dev2, &updates).expect("replay ok");
         for (lba, byte) in metas {
             assert_eq!(read_lba(&dev2, lba), byte);
         }

@@ -399,12 +399,23 @@ impl FileSystem {
         let updates = journal.recover(discard);
         let max_tx = updates.iter().map(|u| u.tx_id).max().unwrap_or(0);
         let max_discard = discard.iter().copied().max().unwrap_or(0);
-        mqfs_journal::recover::replay_updates(&dev, &updates);
+        let replayed = mqfs_journal::recover::replay_updates(&dev, &updates);
         journal.set_tx_floor(max_tx.max(max_discard));
+        if replayed.is_ok() {
+            // Every replayed and discarded transaction is settled: push
+            // the durable replay floor past all of them so a crash during
+            // normal operation never revisits this window. Skipped when
+            // replay failed — the floor must not pass writes that never
+            // landed.
+            let floor = max_tx.max(max_discard);
+            if floor > 0 {
+                journal.persist_replay_floor(floor + 1);
+            }
+        }
         let cache = Arc::new(BufferCache::new(Arc::clone(&dev)));
         let alloc = Allocator::load(layout, Arc::clone(&cache));
         let sys = SyscallHists::registered(&ccnvme_block::obs_of(dev.as_ref()).metrics);
-        Ok(Arc::new(FileSystem {
+        let fs = Arc::new(FileSystem {
             dev,
             cfg,
             layout,
@@ -420,7 +431,15 @@ impl FileSystem {
             traces: Mutex::new(Vec::new()),
             degraded: AtomicBool::new(false),
             degrade_reason: Mutex::new(None),
-        }))
+        });
+        if let Err(status) = replayed {
+            // Replay exhausted its retry budget on a media error: mount
+            // read-only rather than present a half-replayed file system
+            // as healthy. The journal content stays intact for a later
+            // repair mount.
+            fs.degrade(&format!("journal replay failed: {status:?}"));
+        }
+        Ok(fs)
     }
 
     /// Gracefully unmounts: flushes every dirty inode, checkpoints the

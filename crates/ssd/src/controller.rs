@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 use crate::{
     command::{CompletionEntry, NvmeCommand, Opcode, Status},
     hostmem::HostMemory,
+    persist::{CacheSurvival, PersistEventKind, PersistLog},
     profile::SsdProfile,
     store::{BlockStore, BLOCK_SIZE},
 };
@@ -61,6 +62,10 @@ pub struct CtrlConfig {
     /// Optional fault injector consulted at command execution and
     /// doorbell arrival. `None` means a healthy device.
     pub fault: Option<Arc<FaultInjector>>,
+    /// Record every durable-effecting event into a [`PersistLog`] so the
+    /// crash-surface enumerator can materialize the exact durable state
+    /// at every event boundary (DESIGN.md §11). Off by default.
+    pub record_persistence: bool,
 }
 
 impl CtrlConfig {
@@ -71,6 +76,7 @@ impl CtrlConfig {
             irq_coalesce_tx: false,
             device_core: 0,
             fault: None,
+            record_persistence: false,
         }
     }
 
@@ -269,6 +275,9 @@ struct CtrlInner {
     /// Device service time per command (fetch-to-media-done estimate),
     /// exported as `ssd.service_ns`.
     svc_hist: Arc<Histogram>,
+    /// Durable-effecting event log, present when
+    /// [`CtrlConfig::record_persistence`] is set.
+    persist: Option<Arc<PersistLog>>,
 }
 
 /// A simulated NVMe SSD controller.
@@ -290,6 +299,11 @@ impl NvmeController {
     pub fn from_image(cfg: CtrlConfig, image: &DurableImage) -> Self {
         let ctrl = Self::with_store(cfg, Some(image.blocks.clone()));
         ctrl.inner.pmr.restore(&image.pmr);
+        if let Some(p) = &ctrl.inner.persist {
+            // Prefix replay must start from the restored state, not a
+            // blank device.
+            p.set_base(&image.pmr, &image.blocks);
+        }
         ctrl
     }
 
@@ -316,6 +330,9 @@ impl NvmeController {
         if let Some(f) = cfg.fault.as_deref() {
             f.counters().register_into(&link.obs.metrics);
         }
+        let persist = cfg
+            .record_persistence
+            .then(|| Arc::new(PersistLog::new(profile.pmr_size as usize)));
         let inner = Arc::new(CtrlInner {
             read_channels: ChannelBank::new(profile.read_channels()),
             write_channels: ChannelBank::new(profile.write_channels()),
@@ -340,6 +357,7 @@ impl NvmeController {
             queues: Mutex::new(HashMap::new()),
             db_targets: Mutex::new(HashMap::new()),
             alive: AtomicBool::new(true),
+            persist,
         });
         // Doorbell dispatch hooks: both BARs route writes at registered
         // offsets to the owning queue's worker.
@@ -356,6 +374,19 @@ impl NvmeController {
             .pmr
             .set_write_hook(Box::new(move |off, data, arrive_at| {
                 if let Some(i) = weak.upgrade() {
+                    if let Some(p) = &i.persist {
+                        // The hook runs on the issuing thread at post
+                        // time; the write becomes crash-durable only at
+                        // its PCIe arrival instant.
+                        p.record(
+                            arrive_at,
+                            PersistEventKind::PmrWrite {
+                                off,
+                                data: data.to_vec(),
+                                issued_at: ccnvme_sim::now(),
+                            },
+                        );
+                    }
                     i.doorbell(true, off, data, arrive_at);
                 }
             }));
@@ -499,6 +530,29 @@ impl NvmeController {
     /// The attached fault injector, if any (for reading its counters).
     pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
         self.inner.cfg.fault.clone()
+    }
+
+    /// The persistence-event log, when
+    /// [`CtrlConfig::record_persistence`] was set.
+    pub fn persist_log(&self) -> Option<Arc<PersistLog>> {
+        self.inner.persist.clone()
+    }
+
+    /// Materializes the exact [`DurableImage`] a power cut after the
+    /// first `prefix` persistence events would leave behind, plus the
+    /// first `torn` still-posted PMR writes (PCIe FIFO ordering makes
+    /// any legal torn subset a prefix, so a count suffices). Returns
+    /// `None` unless persistence recording was enabled.
+    pub fn crash_state_at(
+        &self,
+        prefix: usize,
+        torn: usize,
+        cache: CacheSurvival,
+    ) -> Option<DurableImage> {
+        self.inner
+            .persist
+            .as_ref()
+            .map(|p| p.state_at(prefix, torn, cache))
     }
 }
 
@@ -852,13 +906,33 @@ fn fire(inner: &CtrlInner, job: Job) {
             also_flush,
         } => {
             let bytes = data.len() as u64;
+            // A power-protected store treats every write as durable
+            // (mirrors BlockStore's routing).
+            let effective_durable = durable || !inner.cfg.profile.volatile_cache;
             for (i, chunk) in data.chunks(BLOCK_SIZE as usize).enumerate() {
                 let mut block = chunk.to_vec();
                 block.resize(BLOCK_SIZE as usize, 0);
                 inner.store.write_block(lba + i as u64, &block, durable);
+                if let Some(p) = &inner.persist {
+                    let kind = if effective_durable {
+                        PersistEventKind::MediaWrite {
+                            lba: lba + i as u64,
+                            data: block,
+                        }
+                    } else {
+                        PersistEventKind::CacheWrite {
+                            lba: lba + i as u64,
+                            data: block,
+                        }
+                    };
+                    p.record(ccnvme_sim::now(), kind);
+                }
             }
             if also_flush {
                 inner.store.flush();
+                if let Some(p) = &inner.persist {
+                    p.record(ccnvme_sim::now(), PersistEventKind::Flush);
+                }
             }
             inner.link.obs.trace.event(
                 ccnvme_sim::now(),
@@ -885,6 +959,9 @@ fn fire(inner: &CtrlInner, job: Job) {
         }
         Action::Flush => {
             inner.store.flush();
+            if let Some(p) = &inner.persist {
+                p.record(ccnvme_sim::now(), PersistEventKind::Flush);
+            }
         }
         Action::Nop => {}
     }

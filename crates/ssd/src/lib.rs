@@ -16,6 +16,7 @@
 pub mod command;
 pub mod controller;
 pub mod hostmem;
+pub mod persist;
 pub mod profile;
 pub mod store;
 
@@ -24,5 +25,6 @@ pub use controller::{
     CrashMode, CtrlConfig, DoorbellLoc, DurableImage, NvmeController, QueueParams, SqBacking,
 };
 pub use hostmem::{DataBuf, HostMemory};
+pub use persist::{CacheSurvival, PersistEvent, PersistEventKind, PersistLog};
 pub use profile::SsdProfile;
 pub use store::{BlockStore, BLOCK_SIZE};

@@ -1,0 +1,365 @@
+//! Persistence-event log: the total order of durable-effecting events.
+//!
+//! When [`CtrlConfig::record_persistence`](crate::CtrlConfig) is set, the
+//! controller records every event that changes what a power cut would
+//! leave behind:
+//!
+//! * **`PmrWrite`** — a posted MMIO write into the PMR (a WC-buffer
+//!   flush landing a P-SQ slot, a P-SQDB ring, a P-SQ-head advance, an
+//!   abort-log append). Each carries both the *issue* instant (when the
+//!   CPU posted it) and the *arrival* instant (when it physically
+//!   reached the device and became crash-durable).
+//! * **`MediaWrite`** — a block landing on durable media (FUA, commit
+//!   barrier, or any write on a power-protected device).
+//! * **`CacheWrite`** — a block landing only in the volatile write
+//!   cache (lost on power failure unless later flushed).
+//! * **`Flush`** — a cache drain making every cached block durable.
+//!
+//! Sorting the log by `(durable_at, seq)` yields a deterministic legal
+//! serialization of durability effects; [`PersistLog::state_at`] then
+//! materializes the exact [`DurableImage`] after any event prefix, plus
+//! any PCIe-ordering-legal set of still-posted PMR writes. Because PCIe
+//! posted writes to one region arrive FIFO, the legal "torn" sets
+//! collapse to a *count*: the first `torn` still-in-flight PMR writes
+//! issued before the cut (see DESIGN.md §11).
+
+use std::{
+    collections::HashMap,
+    sync::{
+        atomic::{AtomicU64, Ordering},
+        Mutex,
+    },
+};
+
+use ccnvme_sim::Ns;
+
+use crate::controller::DurableImage;
+use crate::store::BLOCK_SIZE;
+
+/// One durable-effecting event.
+#[derive(Debug, Clone)]
+pub enum PersistEventKind {
+    /// A posted MMIO write into the PMR. `issued_at` is the CPU-side
+    /// post instant; the event's `at` is the PCIe arrival instant.
+    PmrWrite {
+        /// Byte offset within the PMR.
+        off: u64,
+        /// The written bytes.
+        data: Vec<u8>,
+        /// Virtual time the CPU issued the posted write.
+        issued_at: Ns,
+    },
+    /// A block becoming durable on media.
+    MediaWrite {
+        /// Logical block address.
+        lba: u64,
+        /// Block content (exactly [`BLOCK_SIZE`] bytes).
+        data: Vec<u8>,
+    },
+    /// A block landing in the volatile write cache only.
+    CacheWrite {
+        /// Logical block address.
+        lba: u64,
+        /// Block content (exactly [`BLOCK_SIZE`] bytes).
+        data: Vec<u8>,
+    },
+    /// A cache drain: every cached block becomes durable.
+    Flush,
+}
+
+/// A recorded event with its durability instant and tie-break sequence.
+#[derive(Debug, Clone)]
+pub struct PersistEvent {
+    /// Virtual time the effect became crash-durable.
+    pub at: Ns,
+    /// Recording sequence number (tie-break for equal times; recording
+    /// order under the deterministic scheduler is itself deterministic).
+    pub seq: u64,
+    /// What happened.
+    pub kind: PersistEventKind,
+}
+
+/// What happens to blocks still sitting in the volatile cache at the
+/// crash instant (beyond the enumerated events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSurvival {
+    /// Adversarial: the whole residual cache is lost.
+    DropAll,
+    /// Benign: every residual cached block happened to be destaged.
+    KeepAll,
+}
+
+/// The ordered log of durable-effecting events for one controller run.
+///
+/// Plain data once the run is over: every query method is pure and safe
+/// to call outside the simulation.
+pub struct PersistLog {
+    events: Mutex<Vec<PersistEvent>>,
+    /// Event-log cursor: hands out recording sequence numbers.
+    event_seq: AtomicU64,
+    base_pmr: Mutex<Vec<u8>>,
+    base_blocks: Mutex<HashMap<u64, Vec<u8>>>,
+}
+
+impl PersistLog {
+    /// An empty log over a zeroed PMR of `pmr_size` bytes and empty
+    /// media.
+    pub fn new(pmr_size: usize) -> Self {
+        PersistLog {
+            events: Mutex::new(Vec::new()),
+            event_seq: AtomicU64::new(0),
+            base_pmr: Mutex::new(vec![0u8; pmr_size]),
+            base_blocks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Re-bases the log on a restored image (the reboot path): prefixes
+    /// replay on top of this state instead of a blank device.
+    pub fn set_base(&self, pmr: &[u8], blocks: &HashMap<u64, Vec<u8>>) {
+        let mut base = self.base_pmr.lock().expect("poisoned");
+        base.clear();
+        base.extend_from_slice(pmr);
+        *self.base_blocks.lock().expect("poisoned") = blocks.clone();
+    }
+
+    /// Records one event. `at` is the instant the effect becomes
+    /// crash-durable (PCIe arrival for PMR writes, media-effect time
+    /// otherwise).
+    pub fn record(&self, at: Ns, kind: PersistEventKind) {
+        // ord: SeqCst — the event-log cursor orders durable-effecting
+        // events; a relaxed counter could give two racing recorders the
+        // same tie-break and make the serialization ambiguous.
+        let seq = self.event_seq.fetch_add(1, Ordering::SeqCst);
+        self.events
+            .lock()
+            .expect("poisoned")
+            .push(PersistEvent { at, seq, kind });
+    }
+
+    /// Number of recorded events (= number of enumerable boundaries - 1;
+    /// prefixes run `0..=len()`).
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("poisoned").len()
+    }
+
+    /// True when nothing durable happened.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The events sorted into their durability order `(at, seq)`.
+    pub fn sorted_events(&self) -> Vec<PersistEvent> {
+        let mut ev = self.events.lock().expect("poisoned").clone();
+        ev.sort_by_key(|e| (e.at, e.seq));
+        ev
+    }
+
+    /// The instant the event at sorted index `prefix` becomes durable —
+    /// i.e. the exclusive upper bound of crash instants covered by that
+    /// prefix. `Ns::MAX` past the end.
+    pub fn boundary_time(&self, prefix: usize) -> Ns {
+        let ev = self.sorted_events();
+        ev.get(prefix).map(|e| e.at).unwrap_or(Ns::MAX)
+    }
+
+    /// How many still-posted PMR writes may additionally survive a crash
+    /// at boundary `prefix`: those issued before the boundary instant
+    /// but not yet arrived. PCIe FIFO ordering makes any surviving set a
+    /// prefix of these, so the answer is a count.
+    pub fn max_torn_at(&self, prefix: usize) -> usize {
+        let ev = self.sorted_events();
+        let boundary = ev.get(prefix).map(|e| e.at).unwrap_or(Ns::MAX);
+        ev[prefix.min(ev.len())..]
+            .iter()
+            .filter(|e| match &e.kind {
+                PersistEventKind::PmrWrite { issued_at, .. } => *issued_at < boundary,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Materializes the exact [`DurableImage`] after the first `prefix`
+    /// events plus the first `torn` still-posted PMR writes (clamped to
+    /// [`Self::max_torn_at`]), with `cache` deciding the fate of blocks
+    /// still in the volatile cache.
+    pub fn state_at(&self, prefix: usize, torn: usize, cache: CacheSurvival) -> DurableImage {
+        let ev = self.sorted_events();
+        let prefix = prefix.min(ev.len());
+        let boundary = ev.get(prefix).map(|e| e.at).unwrap_or(Ns::MAX);
+        let mut pmr = self.base_pmr.lock().expect("poisoned").clone();
+        let mut blocks = self.base_blocks.lock().expect("poisoned").clone();
+        let mut cached: HashMap<u64, Vec<u8>> = HashMap::new();
+        for e in &ev[..prefix] {
+            apply(&mut pmr, &mut blocks, &mut cached, &e.kind);
+        }
+        // The legal torn tail: a FIFO prefix of PMR writes that were
+        // posted before the cut but had not arrived.
+        let mut left = torn;
+        for e in &ev[prefix..] {
+            if left == 0 {
+                break;
+            }
+            if let PersistEventKind::PmrWrite {
+                off,
+                data,
+                issued_at,
+            } = &e.kind
+            {
+                if *issued_at >= boundary {
+                    break;
+                }
+                write_pmr(&mut pmr, *off, data);
+                left -= 1;
+            }
+        }
+        match cache {
+            CacheSurvival::DropAll => {}
+            CacheSurvival::KeepAll => blocks.extend(cached),
+        }
+        DurableImage { pmr, blocks }
+    }
+}
+
+fn write_pmr(pmr: &mut [u8], off: u64, data: &[u8]) {
+    let off = off as usize;
+    let end = (off + data.len()).min(pmr.len());
+    if off < end {
+        pmr[off..end].copy_from_slice(&data[..end - off]);
+    }
+}
+
+fn apply(
+    pmr: &mut [u8],
+    blocks: &mut HashMap<u64, Vec<u8>>,
+    cached: &mut HashMap<u64, Vec<u8>>,
+    kind: &PersistEventKind,
+) {
+    match kind {
+        PersistEventKind::PmrWrite { off, data, .. } => write_pmr(pmr, *off, data),
+        PersistEventKind::MediaWrite { lba, data } => {
+            let mut b = data.clone();
+            b.resize(BLOCK_SIZE as usize, 0);
+            cached.remove(lba);
+            blocks.insert(*lba, b);
+        }
+        PersistEventKind::CacheWrite { lba, data } => {
+            let mut b = data.clone();
+            b.resize(BLOCK_SIZE as usize, 0);
+            cached.insert(*lba, b);
+        }
+        PersistEventKind::Flush => {
+            blocks.extend(cached.drain());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_replay_applies_events_in_durability_order() {
+        let log = PersistLog::new(128);
+        // Recorded out of arrival order on purpose.
+        log.record(
+            20,
+            PersistEventKind::PmrWrite {
+                off: 0,
+                data: vec![2, 2],
+                issued_at: 10,
+            },
+        );
+        log.record(
+            10,
+            PersistEventKind::PmrWrite {
+                off: 0,
+                data: vec![1, 1],
+                issued_at: 5,
+            },
+        );
+        let img = log.state_at(2, 0, CacheSurvival::DropAll);
+        assert_eq!(&img.pmr[..2], &[2, 2]);
+        let img = log.state_at(1, 0, CacheSurvival::DropAll);
+        assert_eq!(&img.pmr[..2], &[1, 1]);
+        let img = log.state_at(0, 0, CacheSurvival::DropAll);
+        assert_eq!(&img.pmr[..2], &[0, 0]);
+    }
+
+    #[test]
+    fn torn_tail_is_a_fifo_prefix_of_posted_writes() {
+        let log = PersistLog::new(128);
+        log.record(
+            10,
+            PersistEventKind::PmrWrite {
+                off: 0,
+                data: vec![1],
+                issued_at: 1,
+            },
+        );
+        // Posted before t=10 arrives later: in flight at the cut.
+        log.record(
+            30,
+            PersistEventKind::PmrWrite {
+                off: 1,
+                data: vec![2],
+                issued_at: 2,
+            },
+        );
+        log.record(
+            40,
+            PersistEventKind::PmrWrite {
+                off: 2,
+                data: vec![3],
+                issued_at: 3,
+            },
+        );
+        // Posted after the cut instant: can never survive a crash there.
+        log.record(
+            50,
+            PersistEventKind::PmrWrite {
+                off: 3,
+                data: vec![4],
+                issued_at: 35,
+            },
+        );
+        assert_eq!(log.max_torn_at(1), 2);
+        let img = log.state_at(1, 1, CacheSurvival::DropAll);
+        assert_eq!(&img.pmr[..4], &[1, 2, 0, 0]);
+        let img = log.state_at(1, 2, CacheSurvival::DropAll);
+        assert_eq!(&img.pmr[..4], &[1, 2, 3, 0]);
+        // Requesting more than legal clamps at the FIFO-legal maximum.
+        let img = log.state_at(1, 9, CacheSurvival::DropAll);
+        assert_eq!(&img.pmr[..4], &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn cache_survival_policies_bracket_the_volatile_cache() {
+        let log = PersistLog::new(8);
+        log.record(
+            10,
+            PersistEventKind::CacheWrite {
+                lba: 7,
+                data: vec![9],
+            },
+        );
+        let dropped = log.state_at(1, 0, CacheSurvival::DropAll);
+        assert!(dropped.blocks.is_empty());
+        let kept = log.state_at(1, 0, CacheSurvival::KeepAll);
+        assert_eq!(kept.blocks.get(&7).map(|b| b[0]), Some(9));
+        // A flush makes the block durable regardless of policy.
+        log.record(20, PersistEventKind::Flush);
+        let flushed = log.state_at(2, 0, CacheSurvival::DropAll);
+        assert_eq!(flushed.blocks.get(&7).map(|b| b[0]), Some(9));
+    }
+
+    #[test]
+    fn rebased_log_replays_on_top_of_the_restored_image() {
+        let log = PersistLog::new(4);
+        let mut blocks = HashMap::new();
+        blocks.insert(3u64, vec![0xaa; BLOCK_SIZE as usize]);
+        log.set_base(&[5, 6, 7, 8], &blocks);
+        let img = log.state_at(0, 0, CacheSurvival::DropAll);
+        assert_eq!(img.pmr, vec![5, 6, 7, 8]);
+        assert_eq!(img.blocks.get(&3).map(|b| b[0]), Some(0xaa));
+    }
+}

@@ -2,14 +2,18 @@
 # Repo gate, two tiers (documented in README and DESIGN.md §10):
 #
 #   fast (always): formatting, clippy, the full test suite, the
-#     ccnvme-lint protocol-invariant analyzer over the workspace, and
-#     the bench metrics-schema smoke run.
+#     ccnvme-lint protocol-invariant analyzer over the workspace, the
+#     bench metrics-schema smoke run, and the bounded crash-enumeration
+#     smoke (every event-prefix of a small workload, full re-crash
+#     sweep of the final image's recovery).
 #
 #   deep (CHECK_DEEP=1): the loom model-checking suite for the
-#     lock-free observability hot structures, plus `cargo miri test`
+#     lock-free observability hot structures, `cargo miri test`
 #     on the sim/obs crates when the miri component is installed
 #     (skipped with a notice otherwise — CI images without miri still
-#     run the loom tier).
+#     run the loom tier), and the deep crash enumeration
+#     (CCNVME_ENUM_DEEP=1: torn posted-write expansion plus a
+#     crash-during-recovery sweep over every explored image).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,8 +25,14 @@ cargo test -q -p ccnvme-obs
 # atomic-ordering justification, unsafe audit, metric namespace.
 cargo run -q -p ccnvme-lint
 scripts/bench_smoke.sh
+# Crash-enumeration smoke: all event-prefixes of the small workload
+# recover clean, and recovery re-crashed at each of its own events
+# converges (release build: ~3000 simulated boots).
+cargo test -q --release -p ccnvme-crashtest --test enumerate
 
 if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
+    echo "== deep tier: crash enumeration (torn tails + full re-crash sweep) =="
+    CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test enumerate deep_
     echo "== deep tier: loom model checking =="
     # The loom feature swaps ccnvme-obs onto the model-checked
     # primitives; only loom_* tests are meaningful under it.
