@@ -1,13 +1,18 @@
 //! `ccnvme-obs` — observability report and schema-validation tool.
 //!
 //! * `ccnvme-obs report [--prometheus]` boots a small MQFS/ccNVMe stack,
-//!   runs a short fsync/fatomic workload and prints the full metrics
-//!   snapshot (JSON by default, Prometheus text with `--prometheus`).
+//!   runs a short fsync/fatomic workload plus one fabric loopback
+//!   session, and prints the full metrics snapshot — `pcie.*` through
+//!   `fabric.*` — (JSON by default, Prometheus text with
+//!   `--prometheus`).
 //! * `ccnvme-obs validate <file>...` checks that each file is a valid
 //!   `ccnvme-metrics/v1` document; exits non-zero on the first failure.
 //!   `scripts/bench_smoke.sh` uses this instead of external tooling.
 
+use std::sync::Arc;
+
 use ccnvme_bench::{in_sim, Stack, StackConfig};
+use ccnvme_fabric::{Backend, ClientCfg, FabricClient, FabricConfig, FabricTarget, SyncKind};
 use ccnvme_obs::json::validate_metrics;
 use ccnvme_obs::MetricsSnapshot;
 use ccnvme_ssd::SsdProfile;
@@ -28,6 +33,16 @@ fn report() -> MetricsSnapshot {
                 fs.fatomic(ino).expect("fatomic");
             }
         }
+        // One fabric loopback session over the same file system, so the
+        // report covers the `fabric.*` namespace too.
+        let target = FabricTarget::new(Backend::Fs(Arc::clone(&fs)), FabricConfig::new(1));
+        let mut client =
+            FabricClient::connect(1, target.loopback_connector(1), ClientCfg::default())
+                .expect("fabric connect");
+        let ino = client.create("/fabric-report").expect("create");
+        client.write(ino, 0, &[0x42u8; 4096]).expect("write");
+        client.sync(ino, SyncKind::Fsync).expect("fsync");
+        client.bye();
         stack.metrics()
     })
 }

@@ -1,0 +1,190 @@
+//! Fabric fan-out: remote commit-ack latency and throughput as the
+//! number of initiator connections grows, plus the credit-window
+//! overload drill. Not a paper figure — the paper stops at the PCIe
+//! link; this quantifies what the ccNVMe contract costs once it is
+//! served over a fabric hop (DESIGN.md §12).
+//!
+//! Phase 1 sweeps `clients` over the FIO append+fsync job against an
+//! MQFS-backed fabric target: the reported latency is the commit-ack
+//! round trip (write capsule + fsync capsule). Phase 2 shrinks the
+//! credit window to 2 and pipelines far past it: overload must degrade
+//! to backpressure (`fabric.credit_stalls`) with zero failed
+//! operations.
+
+use std::sync::Arc;
+
+use ccnvme::CcNvmeDriver;
+use ccnvme_bench::{
+    f1, header, in_sim, record_run_seq, row, scaled, write_metrics, Stack, StackConfig,
+};
+use ccnvme_fabric::{
+    Backend, Capsule, ClientCfg, ClientStats, FabricClient, FabricConfig, FabricTarget,
+};
+use ccnvme_ssd::{CtrlConfig, NvmeController, SsdProfile};
+use ccnvme_workloads::{run_fio, FioConfig, SyncMode};
+use mqfs::FsVariant;
+
+const CORES: usize = 4;
+
+struct Point {
+    kiops: f64,
+    mean_us: f64,
+    p99_us: f64,
+    commits: u64,
+    stalls: u64,
+}
+
+/// One sweep point: `clients` initiators over an MQFS fabric target.
+fn measure_clients(clients: usize) -> Point {
+    let cfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), CORES);
+    let (point, metrics) = in_sim(cfg.sim_cores(), move || {
+        let (stack, fs) = Stack::format(&cfg);
+        let res = run_fio(
+            &fs,
+            &FioConfig {
+                threads: CORES,
+                write_size: 4096,
+                ops_per_thread: scaled(400),
+                sync: SyncMode::Fsync,
+                clients,
+            },
+        );
+        let snap = stack.metrics();
+        let point = Point {
+            kiops: res.kiops(),
+            mean_us: res.latency.mean / 1e3,
+            p99_us: res.latency.p99 as f64 / 1e3,
+            commits: snap.counter("fabric.commits"),
+            stalls: 0,
+        };
+        (point, snap)
+    });
+    record_run_seq(&format!("fabric.clients{clients}"), metrics);
+    point
+}
+
+/// The overload drill: a window of 2 against a deep pipeline of raw
+/// transaction writes. Success criterion: stalls observed, zero errors.
+fn measure_overload() -> (u64, u64) {
+    let (stalls, errors, metrics) = in_sim(CORES + 1, || {
+        let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+        cc.device_core = CORES;
+        let ctrl = NvmeController::new(cc);
+        let (drv, _report) = CcNvmeDriver::probe(ctrl, (CORES + 1) as u16, 64);
+        let drv = Arc::new(drv);
+        let mut fcfg = FabricConfig::new(CORES);
+        fcfg.window = 2;
+        let target = FabricTarget::new(
+            Backend::Raw {
+                drv,
+                base: 0,
+                blocks: 65_536,
+            },
+            fcfg,
+        );
+        let obs = target.obs();
+        let stats = ClientStats::registered(&obs.metrics);
+        let mut errors = 0u64;
+        let mut handles = Vec::new();
+        for c in 0..CORES as u64 {
+            let target = Arc::clone(&target);
+            let stats = Arc::clone(&stats);
+            handles.push(ccnvme_sim::spawn(
+                &format!("overload-{c}"),
+                c as usize % CORES,
+                move || {
+                    let mut client = FabricClient::connect(
+                        c + 1,
+                        target.loopback_connector(c + 1),
+                        ClientCfg {
+                            stats,
+                            ..ClientCfg::default()
+                        },
+                    )
+                    .expect("connect");
+                    // Pipeline far past the window in bursts of small
+                    // transactions: an uncommitted member pins a
+                    // hardware-ring slot, so one giant transaction would
+                    // (correctly) be refused with `TxOverflow` — the
+                    // drill is about fabric credit, not ring capacity.
+                    const BURST: u64 = 8;
+                    let depth = scaled(256).div_ceil(BURST) * BURST;
+                    let mut errs = 0u64;
+                    let mut cids = Vec::new();
+                    let mut tx = 0u64;
+                    for i in 0..depth {
+                        if i % BURST == 0 {
+                            tx = client.alloc_tx().expect("alloc");
+                        }
+                        match client.submit(Capsule::TxWrite {
+                            tx_id: tx,
+                            lba: c * 16_384 + i,
+                            data: vec![c as u8; 512],
+                            commit: i % BURST == BURST - 1,
+                            durable: false,
+                        }) {
+                            Ok(cid) => cids.push(cid),
+                            Err(_) => errs += 1,
+                        }
+                    }
+                    for cid in cids {
+                        match client.wait_for(cid) {
+                            Ok(resp) if resp.status.is_ok() => {}
+                            _ => errs += 1,
+                        }
+                    }
+                    let tail = client.alloc_tx().expect("alloc tail");
+                    client
+                        .tx_commit(tail, c * 16_384 + depth, &[c as u8], true)
+                        .expect("final durable commit");
+                    client.bye();
+                    errs
+                },
+            ));
+        }
+        for h in handles {
+            errors += h.join();
+        }
+        (stats.credit_stalls.get(), errors, obs.metrics.snapshot())
+    });
+    record_run_seq("fabric.overload_w2", metrics);
+    (stalls, errors)
+}
+
+fn main() {
+    header("Fabric fan-out (FIO 4 KB append+fsync over loopback sessions, MQFS, Optane 905P)");
+    println!(
+        "{:<12}{:>10}{:>14}{:>14}{:>12}",
+        "clients", "kiops", "mean ack us", "p99 ack us", "commits"
+    );
+    for clients in [1usize, 2, 4, 8] {
+        let p = measure_clients(clients);
+        row(
+            &format!("{clients}"),
+            &[
+                f1(p.kiops),
+                f1(p.mean_us),
+                f1(p.p99_us),
+                format!("{}", p.commits),
+            ],
+        );
+        assert_eq!(p.stalls, 0);
+    }
+
+    header("Credit overload (window = 2, 4 clients, deep pipeline)");
+    let (stalls, errors) = measure_overload();
+    row(
+        "window=2",
+        &[format!("stalls {stalls}"), format!("errors {errors}")],
+    );
+    assert!(
+        stalls > 0,
+        "a deep pipeline over a window of 2 must hit backpressure"
+    );
+    assert_eq!(
+        errors, 0,
+        "credit exhaustion must degrade to stalls, never to errors"
+    );
+
+    write_metrics("fabric");
+}

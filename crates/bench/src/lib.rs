@@ -211,6 +211,7 @@ fn run_workload(fs: &Arc<FileSystem>, w: &Workload) -> WorkloadResult {
                 write_size: *write_size,
                 ops_per_thread: *ops,
                 sync: *sync,
+                clients: 0,
             },
         ),
         Workload::Varmail {

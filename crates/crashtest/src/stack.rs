@@ -159,6 +159,18 @@ impl Stack {
         Ok((stack, fs))
     }
 
+    /// The ccNVMe driver, when the variant uses one (the fabric target
+    /// serves raw transactions through it).
+    pub fn cc_driver(&self) -> Option<Arc<CcNvmeDriver>> {
+        self.cc.as_ref().map(Arc::clone)
+    }
+
+    /// The stack's fault injector, when it runs with a fault plan (the
+    /// fabric loopback transport consults its net rules).
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.as_ref().map(Arc::clone)
+    }
+
     /// The controller (for traffic counters and crash injection).
     pub fn controller(&self) -> &NvmeController {
         match (&self.cc, &self.nv) {

@@ -1,0 +1,576 @@
+//! The fabric capsule codec.
+//!
+//! A capsule is one length-delimited protocol message: NVMe-oF carries
+//! SQEs/CQEs in command and response capsules; ours additionally carry
+//! the ccNVMe transaction attributes (`REQ_TX` / `REQ_TX_COMMIT` and the
+//! 64-bit tx id of the paper's Table 2) and the MQFS syscall surface.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! +--------+---------+--------+---------+----------------+------------+
+//! | magic  | version | opcode |   cid   | opcode-specific|  checksum  |
+//! |  u32   |   u8    |   u8   |   u64   |      body      | FNV-1a u64 |
+//! +--------+---------+--------+---------+----------------+------------+
+//! ```
+//!
+//! `cid` is the per-session command identifier: strictly increasing on
+//! requests, echoed on responses. The target processes a session's
+//! capsules in cid order and answers retransmitted cids from its
+//! response cache, which is what makes commit replay after a partition
+//! exactly-once (see `DESIGN.md` §12). The checksum covers everything
+//! before it; decoding rejects damage with typed [`CodecError`]s rather
+//! than guessing.
+
+use crate::error::CodecError;
+use mqfs::FsError;
+
+/// Capsule magic: "ccNVMe-oF" squeezed into a u32.
+pub const MAGIC: u32 = 0xCC0F_4E56;
+
+/// Protocol version this codec speaks.
+pub const VERSION: u8 = 1;
+
+/// Cap on a data payload (read or write) carried by one capsule.
+pub const MAX_DATA: u32 = 1 << 20;
+
+/// Cap on a path field.
+pub const MAX_PATH: u32 = 4_096;
+
+/// Header bytes before the body: magic + version + opcode + cid.
+const HEADER: usize = 4 + 1 + 1 + 8;
+
+/// Trailing checksum bytes.
+const TRAILER: usize = 8;
+
+const OP_HELLO: u8 = 0x01;
+const OP_ALLOC_TX: u8 = 0x02;
+const OP_TX_WRITE: u8 = 0x03;
+const OP_FS_RESOLVE: u8 = 0x04;
+const OP_FS_CREATE: u8 = 0x05;
+const OP_FS_WRITE: u8 = 0x06;
+const OP_FS_READ: u8 = 0x07;
+const OP_FS_SYNC: u8 = 0x08;
+const OP_FS_STAT: u8 = 0x09;
+const OP_METRICS: u8 = 0x0a;
+const OP_BYE: u8 = 0x0b;
+const OP_RESPONSE: u8 = 0x80;
+
+/// Which persistence primitive an `FsSync` capsule invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// Atomic + durable (`fsync`).
+    Fsync,
+    /// Data-only atomic + durable (`fdatasync`).
+    Fdatasync,
+    /// Atomic only (`fatomic`, §5.1).
+    Fatomic,
+    /// Data-only atomic (`fdataatomic`).
+    Fdataatomic,
+}
+
+impl SyncKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            SyncKind::Fsync => 0,
+            SyncKind::Fdatasync => 1,
+            SyncKind::Fatomic => 2,
+            SyncKind::Fdataatomic => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => SyncKind::Fsync,
+            1 => SyncKind::Fdatasync,
+            2 => SyncKind::Fatomic,
+            3 => SyncKind::Fdataatomic,
+            other => return Err(CodecError::BadSyncMode(other)),
+        })
+    }
+}
+
+/// One request operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capsule {
+    /// Session handshake. `resume = true` asks the target to re-attach
+    /// the existing session state for `client_id` (reconnect after a
+    /// partition); `false` starts fresh.
+    Hello {
+        /// Stable client identity, surviving reconnects.
+        client_id: u64,
+        /// Re-attach existing session state instead of resetting it.
+        resume: bool,
+    },
+    /// Allocate a ccNVMe transaction id (raw-block backend).
+    AllocTx,
+    /// Stage one transaction member (`REQ_TX`), optionally committing
+    /// (`REQ_TX_COMMIT`). With `durable`, the ack waits for media
+    /// completion; without it, the ack fires at the atomicity point —
+    /// after the two persistent MMIOs of §4.3.
+    TxWrite {
+        /// Transaction id (from `AllocTx`).
+        tx_id: u64,
+        /// Target LBA, relative to the session's block window.
+        lba: u64,
+        /// Payload (padded to a block by the target).
+        data: Vec<u8>,
+        /// This member commits the transaction.
+        commit: bool,
+        /// Ack on durability rather than at the atomicity point.
+        durable: bool,
+    },
+    /// `resolve(path) -> ino`.
+    FsResolve {
+        /// Absolute path.
+        path: String,
+    },
+    /// `create(path) -> ino` (idempotent: an existing file resolves).
+    FsCreate {
+        /// Absolute path.
+        path: String,
+    },
+    /// `write(ino, offset, data)`. The offset is explicit so a
+    /// retransmitted write re-executes idempotently.
+    FsWrite {
+        /// Inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// `read(ino, offset, len) -> data`.
+    FsRead {
+        /// Inode.
+        ino: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// A persistence point on `ino`.
+    FsSync {
+        /// Inode.
+        ino: u64,
+        /// Which primitive.
+        mode: SyncKind,
+    },
+    /// `stat(ino) -> size`.
+    FsStat {
+        /// Inode.
+        ino: u64,
+    },
+    /// Fetch the target's metrics registry as a `ccnvme-metrics/v1`
+    /// JSON document.
+    Metrics,
+    /// Orderly session teardown.
+    Bye,
+}
+
+/// One request: a command id plus the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Per-session command id. `0` is reserved for `Hello`; all other
+    /// requests use strictly increasing ids starting at 1.
+    pub cid: u64,
+    /// The operation.
+    pub op: Capsule,
+}
+
+/// Response status. `Ok` for success; everything else is a typed remote
+/// failure the initiator maps back onto [`crate::FabricError::Remote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success.
+    Ok,
+    /// A file-system error (round-trips [`FsError`]).
+    Fs(FsError),
+    /// The backing device failed the bio (generic error).
+    BioError,
+    /// The backing device reported a media error.
+    BioMedia,
+    /// The backing device timed out.
+    BioTimeout,
+    /// The backing device reported transient busy.
+    BioBusy,
+    /// The request violated the session protocol.
+    Protocol,
+    /// The operation is not supported by this backend.
+    NotSupported,
+    /// The transaction staged more member writes than the target
+    /// admits (a transaction must fit in the device's hardware ring;
+    /// see [`crate::FabricConfig::tx_member_cap`]).
+    TxOverflow,
+}
+
+impl Status {
+    fn to_u8(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Fs(FsError::NotFound) => 1,
+            Status::Fs(FsError::Exists) => 2,
+            Status::Fs(FsError::NotADirectory) => 3,
+            Status::Fs(FsError::IsADirectory) => 4,
+            Status::Fs(FsError::NotEmpty) => 5,
+            Status::Fs(FsError::NoSpace) => 6,
+            Status::Fs(FsError::InvalidName) => 7,
+            Status::Fs(FsError::FileTooBig) => 8,
+            Status::Fs(FsError::Io) => 9,
+            Status::Fs(FsError::ReadOnly) => 10,
+            Status::BioError => 20,
+            Status::BioMedia => 21,
+            Status::BioTimeout => 22,
+            Status::BioBusy => 23,
+            Status::Protocol => 30,
+            Status::NotSupported => 31,
+            Status::TxOverflow => 32,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => Status::Ok,
+            1 => Status::Fs(FsError::NotFound),
+            2 => Status::Fs(FsError::Exists),
+            3 => Status::Fs(FsError::NotADirectory),
+            4 => Status::Fs(FsError::IsADirectory),
+            5 => Status::Fs(FsError::NotEmpty),
+            6 => Status::Fs(FsError::NoSpace),
+            7 => Status::Fs(FsError::InvalidName),
+            8 => Status::Fs(FsError::FileTooBig),
+            9 => Status::Fs(FsError::Io),
+            10 => Status::Fs(FsError::ReadOnly),
+            20 => Status::BioError,
+            21 => Status::BioMedia,
+            22 => Status::BioTimeout,
+            23 => Status::BioBusy,
+            30 => Status::Protocol,
+            31 => Status::NotSupported,
+            32 => Status::TxOverflow,
+            other => return Err(CodecError::BadStatus(other)),
+        })
+    }
+
+    /// Whether this status reports success.
+    pub fn is_ok(self) -> bool {
+        self == Status::Ok
+    }
+}
+
+/// One response capsule: the echoed cid, a status and up to two scalar
+/// results plus a data payload (`FsRead` bytes, `Metrics` JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request's cid.
+    pub cid: u64,
+    /// Outcome.
+    pub status: Status,
+    /// First scalar result (ino, tx id, credit window, file size, ...).
+    pub val: u64,
+    /// Second scalar result (`HelloAck`: the session's next expected
+    /// cid, so a resuming client can trim its retransmit queue).
+    pub aux: u64,
+    /// Byte payload.
+    pub data: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-status response with no scalar payload.
+    pub fn status(cid: u64, status: Status) -> Response {
+        Response {
+            cid,
+            status,
+            val: 0,
+            aux: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// A success response carrying one scalar.
+    pub fn ok_val(cid: u64, val: u64) -> Response {
+        Response {
+            cid,
+            status: Status::Ok,
+            val,
+            aux: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the capsule integrity check. Not
+/// cryptographic; it guards against torn frames and software bugs, the
+/// same role as NVMe-oF's header digest.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_path(out: &mut Vec<u8>, p: &str) {
+    put_u16(out, p.len() as u16);
+    out.extend_from_slice(p.as_bytes());
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.i + n > self.b.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()?;
+        if len > MAX_DATA {
+            return Err(CodecError::Overflow { len, max: MAX_DATA });
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    fn path(&mut self) -> Result<String, CodecError> {
+        let len = self.u16()? as u32;
+        if len > MAX_PATH {
+            return Err(CodecError::Overflow { len, max: MAX_PATH });
+        }
+        let raw = self.take(len as usize)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadString)
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.i == self.b.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing)
+        }
+    }
+}
+
+fn seal(mut out: Vec<u8>) -> Vec<u8> {
+    let sum = fnv64(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+fn open(bytes: &[u8]) -> Result<(u8, u64, &[u8]), CodecError> {
+    if bytes.len() < HEADER + TRAILER {
+        return Err(CodecError::Truncated);
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - TRAILER);
+    let sum = u64::from_le_bytes(tail.try_into().unwrap());
+    let mut c = Cursor { b: payload, i: 0 };
+    if c.u32()? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = c.u8()?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    // Checksum after the magic/version sanity check: a foreign frame
+    // reports BadMagic, a damaged fabric frame reports BadChecksum.
+    if fnv64(payload) != sum {
+        return Err(CodecError::BadChecksum);
+    }
+    let opcode = c.u8()?;
+    let cid = c.u64()?;
+    Ok((opcode, cid, &payload[HEADER..]))
+}
+
+fn header(opcode: u8, cid: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u32(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(opcode);
+    put_u64(&mut out, cid);
+    out
+}
+
+/// Encodes a request capsule.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let (opcode, body): (u8, Vec<u8>) = match &req.op {
+        Capsule::Hello { client_id, resume } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *client_id);
+            b.push(*resume as u8);
+            (OP_HELLO, b)
+        }
+        Capsule::AllocTx => (OP_ALLOC_TX, Vec::new()),
+        Capsule::TxWrite {
+            tx_id,
+            lba,
+            data,
+            commit,
+            durable,
+        } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *tx_id);
+            put_u64(&mut b, *lba);
+            b.push((*commit as u8) | ((*durable as u8) << 1));
+            put_bytes(&mut b, data);
+            (OP_TX_WRITE, b)
+        }
+        Capsule::FsResolve { path } => {
+            let mut b = Vec::new();
+            put_path(&mut b, path);
+            (OP_FS_RESOLVE, b)
+        }
+        Capsule::FsCreate { path } => {
+            let mut b = Vec::new();
+            put_path(&mut b, path);
+            (OP_FS_CREATE, b)
+        }
+        Capsule::FsWrite { ino, offset, data } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *ino);
+            put_u64(&mut b, *offset);
+            put_bytes(&mut b, data);
+            (OP_FS_WRITE, b)
+        }
+        Capsule::FsRead { ino, offset, len } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *ino);
+            put_u64(&mut b, *offset);
+            put_u32(&mut b, *len);
+            (OP_FS_READ, b)
+        }
+        Capsule::FsSync { ino, mode } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *ino);
+            b.push(mode.to_u8());
+            (OP_FS_SYNC, b)
+        }
+        Capsule::FsStat { ino } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *ino);
+            (OP_FS_STAT, b)
+        }
+        Capsule::Metrics => (OP_METRICS, Vec::new()),
+        Capsule::Bye => (OP_BYE, Vec::new()),
+    };
+    let mut out = header(opcode, req.cid);
+    out.extend_from_slice(&body);
+    seal(out)
+}
+
+/// Decodes a request capsule, rejecting damage with typed errors.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
+    let (opcode, cid, body) = open(bytes)?;
+    let mut c = Cursor { b: body, i: 0 };
+    let op = match opcode {
+        OP_HELLO => Capsule::Hello {
+            client_id: c.u64()?,
+            resume: c.u8()? != 0,
+        },
+        OP_ALLOC_TX => Capsule::AllocTx,
+        OP_TX_WRITE => {
+            let tx_id = c.u64()?;
+            let lba = c.u64()?;
+            let flags = c.u8()?;
+            let data = c.bytes()?;
+            Capsule::TxWrite {
+                tx_id,
+                lba,
+                data,
+                commit: flags & 1 != 0,
+                durable: flags & 2 != 0,
+            }
+        }
+        OP_FS_RESOLVE => Capsule::FsResolve { path: c.path()? },
+        OP_FS_CREATE => Capsule::FsCreate { path: c.path()? },
+        OP_FS_WRITE => Capsule::FsWrite {
+            ino: c.u64()?,
+            offset: c.u64()?,
+            data: c.bytes()?,
+        },
+        OP_FS_READ => Capsule::FsRead {
+            ino: c.u64()?,
+            offset: c.u64()?,
+            len: c.u32()?,
+        },
+        OP_FS_SYNC => Capsule::FsSync {
+            ino: c.u64()?,
+            mode: SyncKind::from_u8(c.u8()?)?,
+        },
+        OP_FS_STAT => Capsule::FsStat { ino: c.u64()? },
+        OP_METRICS => Capsule::Metrics,
+        OP_BYE => Capsule::Bye,
+        other => return Err(CodecError::BadOpcode(other)),
+    };
+    c.done()?;
+    Ok(Request { cid, op })
+}
+
+/// Encodes a response capsule.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = header(OP_RESPONSE, resp.cid);
+    out.push(resp.status.to_u8());
+    put_u64(&mut out, resp.val);
+    put_u64(&mut out, resp.aux);
+    put_bytes(&mut out, &resp.data);
+    seal(out)
+}
+
+/// Decodes a response capsule, rejecting damage with typed errors.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, CodecError> {
+    let (opcode, cid, body) = open(bytes)?;
+    if opcode != OP_RESPONSE {
+        return Err(CodecError::BadOpcode(opcode));
+    }
+    let mut c = Cursor { b: body, i: 0 };
+    let status = Status::from_u8(c.u8()?)?;
+    let val = c.u64()?;
+    let aux = c.u64()?;
+    let data = c.bytes()?;
+    c.done()?;
+    Ok(Response {
+        cid,
+        status,
+        val,
+        aux,
+        data,
+    })
+}

@@ -1,0 +1,373 @@
+//! The fabric initiator: a client of one [`FabricTarget`] session.
+//!
+//! The client owns the reliability half of the protocol: it numbers
+//! every capsule with a strictly increasing command id, keeps at most
+//! `window` commands unacked (the credit window), and — when an ack
+//! times out or the wire dies — re-dials through its [`Connector`] and
+//! retransmits everything unacked in cid order (go-back-N). The
+//! target's session layer deduplicates, so the client retries blindly
+//! and still gets exactly-once commit semantics.
+//!
+//! This module makes no simulator calls of its own: all waiting happens
+//! inside the transport (`recv` timeout) and connector (`backoff`), so
+//! the same client drives both the loopback and TCP transports.
+//!
+//! [`FabricTarget`]: crate::FabricTarget
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ccnvme_obs::{Counter, Registry};
+use ccnvme_sim::Ns;
+
+use crate::capsule::{decode_response, encode_request, Capsule, Request, Response, SyncKind};
+use crate::error::FabricError;
+use crate::transport::{Connector, Transport};
+
+/// Client-side `fabric.*` counters.
+#[derive(Debug)]
+pub struct ClientStats {
+    /// Times the client stalled waiting for credit (window full).
+    pub credit_stalls: Arc<Counter>,
+    /// Reconnect attempts after a timeout or severed wire.
+    pub reconnects: Arc<Counter>,
+}
+
+impl ClientStats {
+    /// Creates the stat set registered under `fabric.*` in `reg`.
+    pub fn registered(reg: &Registry) -> Arc<ClientStats> {
+        Arc::new(ClientStats {
+            credit_stalls: reg.counter("fabric.credit_stalls"),
+            reconnects: reg.counter("fabric.client_reconnects"),
+        })
+    }
+
+    /// Creates an unregistered stat set (counts are still readable
+    /// through the `Arc`s).
+    pub fn detached() -> Arc<ClientStats> {
+        Arc::new(ClientStats {
+            credit_stalls: Arc::new(Counter::default()),
+            reconnects: Arc::new(Counter::default()),
+        })
+    }
+}
+
+/// Client tuning knobs.
+#[derive(Clone)]
+pub struct ClientCfg {
+    /// How long to wait for an ack before assuming the frame (or its
+    /// ack) was lost and reconnecting.
+    pub ack_timeout_ns: Ns,
+    /// Pause between reconnect attempts.
+    pub backoff_ns: Ns,
+    /// Reconnect attempts per recovery episode before giving up with
+    /// [`FabricError::Unreachable`].
+    pub max_reconnects: u32,
+    /// Where to count stalls and reconnects.
+    pub stats: Arc<ClientStats>,
+}
+
+impl Default for ClientCfg {
+    fn default() -> Self {
+        ClientCfg {
+            ack_timeout_ns: 50 * ccnvme_sim::MS,
+            backoff_ns: 100_000,
+            max_reconnects: 50,
+            stats: ClientStats::detached(),
+        }
+    }
+}
+
+/// A connected fabric client: one session on one target.
+pub struct FabricClient {
+    transport: Box<dyn Transport>,
+    connector: Box<dyn Connector>,
+    cfg: ClientCfg,
+    client_id: u64,
+    next_cid: u64,
+    window: u32,
+    /// Sent but unacked frames, by cid — the retransmit set.
+    unacked: BTreeMap<u64, Vec<u8>>,
+    /// Acks that arrived while we were waiting for a different cid.
+    got: BTreeMap<u64, Response>,
+}
+
+impl FabricClient {
+    /// Dials the target through `connector` and runs the `Hello`
+    /// handshake. `client_id` must be stable across reconnects of this
+    /// logical client — it names the session.
+    pub fn connect(
+        client_id: u64,
+        mut connector: Box<dyn Connector>,
+        cfg: ClientCfg,
+    ) -> Result<FabricClient, FabricError> {
+        let transport = connector.connect()?;
+        let mut c = FabricClient {
+            transport,
+            connector,
+            cfg,
+            client_id,
+            next_cid: 1,
+            window: 1,
+            unacked: BTreeMap::new(),
+            got: BTreeMap::new(),
+        };
+        c.hello(false)?;
+        Ok(c)
+    }
+
+    /// The session's stable client id.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// The credit window granted by the target.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Runs the cid-0 handshake on the current transport and adopts the
+    /// granted window.
+    fn hello(&mut self, resume: bool) -> Result<(), FabricError> {
+        let frame = encode_request(&Request {
+            cid: 0,
+            op: Capsule::Hello {
+                client_id: self.client_id,
+                resume,
+            },
+        });
+        self.transport.send(&frame)?;
+        let resp = loop {
+            let bytes = self.transport.recv(self.cfg.ack_timeout_ns)?;
+            let resp = decode_response(&bytes)?;
+            if resp.cid == 0 {
+                break resp;
+            }
+            // A stale ack from before the reconnect; bank it.
+            self.unacked.remove(&resp.cid);
+            self.got.insert(resp.cid, resp);
+        };
+        if !resp.status.is_ok() {
+            return Err(FabricError::Protocol("hello rejected".into()));
+        }
+        self.window = (resp.val as u32).max(1);
+        Ok(())
+    }
+
+    /// Tears the wire down, re-dials, re-handshakes, and retransmits
+    /// every unacked frame in cid order (go-back-N).
+    fn reconnect(&mut self) -> Result<(), FabricError> {
+        self.cfg.stats.reconnects.inc();
+        self.transport.close();
+        let mut attempts = 0;
+        loop {
+            if let Ok(t) = self.connector.connect() {
+                self.transport = t;
+                if self.hello(true).is_ok() {
+                    break;
+                }
+                self.transport.close();
+            }
+            attempts += 1;
+            if attempts >= self.cfg.max_reconnects {
+                return Err(FabricError::Unreachable);
+            }
+            self.connector.backoff(self.cfg.backoff_ns);
+        }
+        let pending: Vec<Vec<u8>> = self.unacked.values().cloned().collect();
+        for frame in pending {
+            if self.transport.send(&frame).is_err() {
+                // The fresh wire died already; go around again.
+                return self.reconnect();
+            }
+        }
+        Ok(())
+    }
+
+    /// Pulls one ack off the wire and banks it. `Ok(false)` means the
+    /// wait timed out without the wire dying.
+    fn pump(&mut self) -> Result<bool, FabricError> {
+        match self.transport.recv(self.cfg.ack_timeout_ns) {
+            Ok(bytes) => {
+                let resp = decode_response(&bytes)?;
+                self.unacked.remove(&resp.cid);
+                self.got.insert(resp.cid, resp);
+                Ok(true)
+            }
+            Err(FabricError::Timeout) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends `op`, stalling for credit first if the window is full.
+    /// Returns the assigned cid; pair with [`wait_for`](Self::wait_for)
+    /// for the response.
+    pub fn submit(&mut self, op: Capsule) -> Result<u64, FabricError> {
+        while self.unacked.len() >= self.window as usize {
+            self.cfg.stats.credit_stalls.inc();
+            match self.pump() {
+                Ok(true) => {}
+                Ok(false) | Err(FabricError::Timeout) | Err(FabricError::Disconnected) => {
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let cid = self.next_cid;
+        self.next_cid += 1;
+        let frame = encode_request(&Request { cid, op });
+        self.unacked.insert(cid, frame.clone());
+        if self.transport.send(&frame).is_err() {
+            self.reconnect()?;
+        }
+        Ok(cid)
+    }
+
+    /// Blocks until the ack for `cid` arrives, reconnecting and
+    /// retransmitting through losses as needed.
+    pub fn wait_for(&mut self, cid: u64) -> Result<Response, FabricError> {
+        loop {
+            if let Some(resp) = self.got.remove(&cid) {
+                return Ok(resp);
+            }
+            match self.pump() {
+                Ok(true) => {}
+                Ok(false) | Err(FabricError::Timeout) | Err(FabricError::Disconnected) => {
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Submits `op` and waits for its ack; a non-`Ok` status becomes
+    /// [`FabricError::Remote`].
+    pub fn call(&mut self, op: Capsule) -> Result<Response, FabricError> {
+        let cid = self.submit(op)?;
+        let resp = self.wait_for(cid)?;
+        if resp.status.is_ok() {
+            Ok(resp)
+        } else {
+            Err(FabricError::Remote(resp.status))
+        }
+    }
+
+    // ---- transaction surface (raw backend) ----
+
+    /// Allocates a fresh remote transaction id.
+    pub fn alloc_tx(&mut self) -> Result<u64, FabricError> {
+        Ok(self.call(Capsule::AllocTx)?.val)
+    }
+
+    /// Stages one block write into transaction `tx_id` (no commit).
+    pub fn tx_write(&mut self, tx_id: u64, lba: u64, data: &[u8]) -> Result<(), FabricError> {
+        self.call(Capsule::TxWrite {
+            tx_id,
+            lba,
+            data: data.to_vec(),
+            commit: false,
+            durable: false,
+        })
+        .map(|_| ())
+    }
+
+    /// Writes the final block of transaction `tx_id` and commits it.
+    /// With `durable`, the ack means "on media"; without, it means
+    /// "crash-atomic" (the paper's two-persistent-write point).
+    pub fn tx_commit(
+        &mut self,
+        tx_id: u64,
+        lba: u64,
+        data: &[u8],
+        durable: bool,
+    ) -> Result<(), FabricError> {
+        self.call(Capsule::TxWrite {
+            tx_id,
+            lba,
+            data: data.to_vec(),
+            commit: true,
+            durable,
+        })
+        .map(|_| ())
+    }
+
+    // ---- syscall surface (fs backend) ----
+
+    /// Resolves `path` to an inode number.
+    pub fn resolve(&mut self, path: &str) -> Result<u64, FabricError> {
+        Ok(self
+            .call(Capsule::FsResolve {
+                path: path.to_string(),
+            })?
+            .val)
+    }
+
+    /// Resolves `path`, creating the file if it does not exist.
+    pub fn create(&mut self, path: &str) -> Result<u64, FabricError> {
+        Ok(self
+            .call(Capsule::FsCreate {
+                path: path.to_string(),
+            })?
+            .val)
+    }
+
+    /// Writes `data` at `offset` of inode `ino`.
+    pub fn write(&mut self, ino: u64, offset: u64, data: &[u8]) -> Result<(), FabricError> {
+        self.call(Capsule::FsWrite {
+            ino,
+            offset,
+            data: data.to_vec(),
+        })
+        .map(|_| ())
+    }
+
+    /// Reads up to `len` bytes at `offset` of inode `ino`.
+    pub fn read(&mut self, ino: u64, offset: u64, len: u32) -> Result<Vec<u8>, FabricError> {
+        Ok(self.call(Capsule::FsRead { ino, offset, len })?.data)
+    }
+
+    /// Syncs inode `ino` with the given mode — the remote commit point
+    /// of the syscall surface.
+    pub fn sync(&mut self, ino: u64, mode: SyncKind) -> Result<(), FabricError> {
+        self.call(Capsule::FsSync { ino, mode }).map(|_| ())
+    }
+
+    /// Returns the size of inode `ino`.
+    pub fn stat(&mut self, ino: u64) -> Result<u64, FabricError> {
+        Ok(self.call(Capsule::FsStat { ino })?.val)
+    }
+
+    /// Severs the current wire without notifying the session layer — a
+    /// chaos hook simulating a mid-stream connection loss. The next
+    /// operation rides the reconnect + retransmit path.
+    pub fn sever(&mut self) {
+        self.transport.close();
+    }
+
+    // ---- common ----
+
+    /// Fetches the target's metrics snapshot as a JSON document.
+    pub fn metrics_json(&mut self) -> Result<String, FabricError> {
+        let resp = self.call(Capsule::Metrics)?;
+        String::from_utf8(resp.data).map_err(|_| FabricError::Protocol("metrics not UTF-8".into()))
+    }
+
+    /// Ends the session politely. Errors are ignored — the target's
+    /// idle path cleans up regardless.
+    pub fn bye(mut self) {
+        if let Ok(cid) = self.submit(Capsule::Bye) {
+            let _ = self.wait_for(cid);
+        }
+        self.transport.close();
+    }
+}
+
+/// Maps a remote status to `Result`, for callers that kept the raw
+/// [`Response`].
+pub fn check(resp: &Response) -> Result<(), FabricError> {
+    if resp.status.is_ok() {
+        Ok(())
+    } else {
+        Err(FabricError::Remote(resp.status))
+    }
+}

@@ -1,0 +1,668 @@
+//! The fabric target: sessions, capsule execution, and the
+//! exactly-once replay machinery.
+//!
+//! A target serves one [`Backend`] — a mounted MQFS file system
+//! (syscall surface) or a raw window of a ccNVMe device (transaction
+//! surface). Each accepted connection gets a handler daemon pinned to
+//! core `conn % cores`; everything the handler submits therefore rides
+//! that core's ccNVMe hardware queue, preserving the paper's per-core
+//! queue affinity across the network hop.
+//!
+//! Exactly-once: a session (keyed by the client's stable id, surviving
+//! reconnects) processes capsules in strictly increasing command-id
+//! order, stashing early arrivals and answering retransmitted cids from
+//! a bounded response cache. Transaction commits are additionally
+//! recorded in a tx-id replay cache — seeded from the ccNVMe
+//! [`RecoveryReport`](ccnvme::RecoveryReport) after a restart — so a
+//! commit retried across a partition (or across a target crash) is
+//! answered with its recorded outcome instead of re-executed.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ccnvme::CcNvmeDriver;
+use ccnvme_block::{Bio, BioFlags, BioStatus, BioWaiter, BlockDevice, BLOCK_SIZE};
+use ccnvme_fault::FaultInjector;
+use ccnvme_obs::{Counter, Obs};
+use ccnvme_sim::{Ns, SimMutex};
+use mqfs::FileSystem;
+use parking_lot::Mutex;
+
+use crate::capsule::{
+    decode_request, encode_response, Capsule, Request, Response, Status, SyncKind,
+};
+use crate::error::FabricError;
+use crate::transport::{Connector, LoopbackTransport, PartitionMap, Transport};
+
+/// Default per-session credit window (unacked capsules the initiator
+/// may keep in flight — the NVMe-oF SQHD role).
+pub const DEFAULT_WINDOW: u32 = 16;
+
+/// Response-cache entries kept per session, as a multiple of the
+/// window. Retransmits can only reference cids inside the window, so
+/// 2× leaves slack for duplicates racing the cache prune.
+const CACHE_WINDOWS: usize = 2;
+
+/// Transaction replay-cache entries kept before the oldest are pruned.
+const TX_REPLAY_CAP: usize = 65_536;
+
+/// Default [`FabricConfig::tx_member_cap`]: staged member writes one
+/// transaction may hold open before its commit.
+pub const DEFAULT_TX_MEMBER_CAP: u32 = 24;
+
+/// How long an idle connection handler waits per receive before
+/// re-checking its wire (virtual ns for loopback handlers).
+const SERVE_IDLE_NS: Ns = 10 * ccnvme_sim::MS;
+
+/// What a target serves.
+#[derive(Clone)]
+pub enum Backend {
+    /// The MQFS syscall surface over a mounted file system.
+    Fs(Arc<FileSystem>),
+    /// Raw ccNVMe transactions against a block window `[base,
+    /// base + blocks)` of the device.
+    Raw {
+        /// The ccNVMe driver.
+        drv: Arc<CcNvmeDriver>,
+        /// First LBA of the served window.
+        base: u64,
+        /// Window length in blocks.
+        blocks: u64,
+    },
+}
+
+/// Target configuration.
+#[derive(Clone)]
+pub struct FabricConfig {
+    /// Host cores available for connection handlers; connection `n` is
+    /// pinned to core `n % cores` (its hardware queue).
+    pub cores: usize,
+    /// Per-session credit window.
+    pub window: u32,
+    /// Optional fault injector whose transport rules the loopback wires
+    /// consult.
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Most member writes a single transaction may stage before its
+    /// commit. Uncommitted members pin hardware-ring slots (the P-SQ
+    /// head only advances past whole transactions), so an unbounded
+    /// transaction would wedge its queue's handler inside the full
+    /// ring. Writes past the cap are rejected with
+    /// [`Status::TxOverflow`]; keep `cap × sessions-per-queue` under
+    /// the device queue depth.
+    pub tx_member_cap: u32,
+}
+
+impl FabricConfig {
+    /// Defaults for `cores` handler cores.
+    pub fn new(cores: usize) -> Self {
+        FabricConfig {
+            cores: cores.max(1),
+            window: DEFAULT_WINDOW,
+            injector: None,
+            tx_member_cap: DEFAULT_TX_MEMBER_CAP,
+        }
+    }
+}
+
+/// `fabric.*` counters, registered into the backend stack's metrics
+/// registry so one snapshot covers device, file system and fabric.
+#[derive(Debug)]
+pub struct FabricStats {
+    /// Capsules received by connection handlers.
+    pub capsules: Arc<Counter>,
+    /// Commit points executed (tx commits + fs sync capsules). The
+    /// exactly-once observable: retransmitted commits must not move it.
+    pub commits: Arc<Counter>,
+    /// Commit capsules answered from a replay/response cache instead of
+    /// re-executed.
+    pub replayed_commits: Arc<Counter>,
+    /// Sessions created.
+    pub sessions: Arc<Counter>,
+    /// Successful session resumptions (reconnect after a partition).
+    pub reconnects: Arc<Counter>,
+    /// Frames that failed to decode and were dropped.
+    pub bad_frames: Arc<Counter>,
+}
+
+impl FabricStats {
+    /// Creates the stat set registered under `fabric.*` in `obs`.
+    pub fn registered(obs: &Obs) -> Arc<FabricStats> {
+        let reg = &obs.metrics;
+        Arc::new(FabricStats {
+            capsules: reg.counter("fabric.capsules"),
+            commits: reg.counter("fabric.commits"),
+            replayed_commits: reg.counter("fabric.replayed_commits"),
+            sessions: reg.counter("fabric.sessions"),
+            reconnects: reg.counter("fabric.reconnects"),
+            bad_frames: reg.counter("fabric.bad_frames"),
+        })
+    }
+}
+
+struct SessSt {
+    /// Next cid the session will execute. Everything below is done
+    /// (answerable from the response cache); everything above waits in
+    /// the stash.
+    expected_cid: u64,
+    stash: BTreeMap<u64, Request>,
+    resp_cache: BTreeMap<u64, Response>,
+    /// Open transactions: tx id → completion waiter accumulating member
+    /// bios until the commit.
+    open_txs: HashMap<u64, OpenTx>,
+}
+
+/// One uncommitted transaction of a session.
+#[derive(Default)]
+struct OpenTx {
+    waiter: BioWaiter,
+    /// Member writes staged so far, checked against
+    /// [`FabricConfig::tx_member_cap`].
+    members: u32,
+}
+
+struct Session {
+    /// Serializes capsule execution across connections of the same
+    /// client: after a partition, a handler for the new connection may
+    /// start while the old handler is still finishing a durable commit;
+    /// this lock makes the retransmitted commit wait and then hit the
+    /// response cache instead of double-executing.
+    exec: SimMutex<()>,
+    st: Mutex<SessSt>,
+}
+
+impl Session {
+    fn fresh() -> Arc<Session> {
+        Arc::new(Session {
+            exec: SimMutex::new(()),
+            st: Mutex::new(SessSt {
+                expected_cid: 1,
+                stash: BTreeMap::new(),
+                resp_cache: BTreeMap::new(),
+                open_txs: HashMap::new(),
+            }),
+        })
+    }
+}
+
+/// The fabric target.
+pub struct FabricTarget {
+    backend: Backend,
+    cfg: FabricConfig,
+    obs: Arc<Obs>,
+    stats: Arc<FabricStats>,
+    partitions: Arc<PartitionMap>,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    next_conn: AtomicU64,
+    /// Highest transaction id with a recorded commit outcome — the
+    /// replay floor: commits at or below it are served from the replay
+    /// cache, never re-executed.
+    committed_floor: AtomicU64,
+    tx_replay: Mutex<BTreeMap<u64, Status>>,
+}
+
+impl FabricTarget {
+    /// Builds a target over `backend`.
+    pub fn new(backend: Backend, cfg: FabricConfig) -> Arc<FabricTarget> {
+        let obs = match &backend {
+            Backend::Fs(fs) => ccnvme_block::obs_of(fs.device().as_ref()),
+            Backend::Raw { drv, .. } => ccnvme_block::obs_of(&**drv),
+        };
+        let stats = FabricStats::registered(&obs);
+        Arc::new(FabricTarget {
+            backend,
+            cfg,
+            obs,
+            stats,
+            partitions: Arc::new(PartitionMap::default()),
+            sessions: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            committed_floor: AtomicU64::new(0),
+            tx_replay: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Seeds the transaction replay cache from a ccNVMe recovery
+    /// report: transactions in the unfinished window are crash-atomic
+    /// and will be replayed by recovery, so a client retrying one gets
+    /// `Ok`; abort-logged transactions failed and must not be replayed,
+    /// so the retry is answered with the recorded failure.
+    pub fn seed_replay(&self, report: &ccnvme::RecoveryReport) {
+        let mut cache = self.tx_replay.lock();
+        for tx in &report.unfinished {
+            cache.insert(tx.tx_id, Status::Ok);
+            // ord: SeqCst — the replay floor gates commit dedup against
+            // recovery-seeded state; it must never be observed behind
+            // the cache insert that justifies it.
+            self.committed_floor.fetch_max(tx.tx_id, Ordering::SeqCst);
+        }
+        for &tx_id in &report.aborted {
+            cache.insert(tx_id, Status::BioMedia);
+            // ord: SeqCst — same replay-floor invariant as above.
+            self.committed_floor.fetch_max(tx_id, Ordering::SeqCst);
+        }
+    }
+
+    /// The target's `fabric.*` counters.
+    pub fn stats(&self) -> Arc<FabricStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The observability hub the target registers into (the backend
+    /// stack's hub).
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// The configured credit window.
+    pub fn window(&self) -> u32 {
+        self.cfg.window
+    }
+
+    /// The connection-id allocator, shared with alternate front ends
+    /// (the TCP server) so loopback and TCP connections share one id
+    /// space and queue placement rule.
+    pub fn conn_seq(&self) -> &AtomicU64 {
+        &self.next_conn
+    }
+
+    /// Opens a loopback connection for `client_id`, spawning the
+    /// connection handler daemon on core `conn % cores`. Fails with
+    /// [`FabricError::Unreachable`] while the client is partitioned.
+    ///
+    /// Must be called from a simulated thread.
+    pub fn loopback_connect(
+        self: &Arc<Self>,
+        client_id: u64,
+    ) -> Result<Box<dyn Transport>, FabricError> {
+        if self
+            .partitions
+            .blocked(client_id, ccnvme_sim::now())
+            .is_some()
+        {
+            return Err(FabricError::Unreachable);
+        }
+        // ord: Relaxed — connection ids only need uniqueness; handler
+        // placement tolerates any interleaving.
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let core = (conn as usize) % self.cfg.cores;
+        let (client_side, mut server_side) = LoopbackTransport::pair(
+            client_id,
+            self.cfg.injector.clone(),
+            Arc::clone(&self.partitions),
+        );
+        let me = Arc::clone(self);
+        ccnvme_sim::spawn_daemon(&format!("fabric-conn{conn}"), core, move || {
+            me.serve_conn(&mut server_side, core as u16);
+        });
+        Ok(Box::new(client_side))
+    }
+
+    /// A connector that re-dials loopback connections for `client_id`.
+    pub fn loopback_connector(self: &Arc<Self>, client_id: u64) -> Box<dyn Connector> {
+        Box::new(LoopbackConnector {
+            target: Arc::clone(self),
+            client_id,
+        })
+    }
+
+    /// Serves one connection until its wire dies or the client says
+    /// `Bye`. Public so the TCP front end can drive it with bridged
+    /// transports; `qid` labels the connection's queue in metrics.
+    pub fn serve_conn(self: &Arc<Self>, t: &mut dyn Transport, qid: u16) {
+        let inflight = self.obs.metrics.gauge(&format!("fabric.q{qid}.inflight"));
+        let mut session: Option<Arc<Session>> = None;
+        'conn: loop {
+            let bytes = match t.recv(SERVE_IDLE_NS) {
+                Ok(b) => b,
+                Err(FabricError::Timeout) => continue,
+                Err(_) => break,
+            };
+            self.stats.capsules.inc();
+            let req = match decode_request(&bytes) {
+                Ok(r) => r,
+                Err(_) => {
+                    // Damaged frame: drop it; the initiator's timeout
+                    // path retransmits an intact copy.
+                    self.stats.bad_frames.inc();
+                    continue;
+                }
+            };
+            inflight.inc();
+            let mut bye = false;
+            let replies = match req.op {
+                Capsule::Hello { client_id, resume } => {
+                    let (sess, resp) = self.attach_session(client_id, resume);
+                    session = Some(sess);
+                    vec![encode_response(&resp)]
+                }
+                Capsule::Bye => {
+                    bye = true;
+                    vec![encode_response(&Response::status(req.cid, Status::Ok))]
+                }
+                _ => match &session {
+                    Some(sess) => self.process(sess, req, qid),
+                    // Capsules before the handshake violate the
+                    // protocol.
+                    None => vec![encode_response(&Response::status(
+                        req.cid,
+                        Status::Protocol,
+                    ))],
+                },
+            };
+            inflight.dec();
+            for frame in replies {
+                if t.send(&frame).is_err() {
+                    break 'conn;
+                }
+            }
+            if bye {
+                break;
+            }
+        }
+        t.close();
+    }
+
+    fn attach_session(&self, client_id: u64, resume: bool) -> (Arc<Session>, Response) {
+        let mut sessions = self.sessions.lock();
+        let sess = match sessions.get(&client_id) {
+            Some(existing) if resume => {
+                self.stats.reconnects.inc();
+                Arc::clone(existing)
+            }
+            _ => {
+                if !resume || !sessions.contains_key(&client_id) {
+                    self.stats.sessions.inc();
+                }
+                let fresh = Session::fresh();
+                sessions.insert(client_id, Arc::clone(&fresh));
+                fresh
+            }
+        };
+        let expected = sess.st.lock().expected_cid;
+        let resp = Response {
+            cid: 0,
+            status: Status::Ok,
+            val: self.cfg.window as u64,
+            aux: expected,
+            data: Vec::new(),
+        };
+        (sess, resp)
+    }
+
+    /// Runs one request through the session's in-order pipeline,
+    /// returning every response that becomes ready (the request's own,
+    /// plus any stashed successors it unblocks).
+    fn process(&self, sess: &Arc<Session>, req: Request, qid: u16) -> Vec<Vec<u8>> {
+        {
+            let mut st = sess.st.lock();
+            if req.cid > st.expected_cid {
+                // Early arrival (reordered wire): wait for the gap. A
+                // stash beyond any plausible window means the peer
+                // ignores credits — drop the frame; it can retransmit.
+                if st.stash.len() < CACHE_WINDOWS * 2 * self.cfg.window as usize {
+                    st.stash.insert(req.cid, req);
+                }
+                return Vec::new();
+            }
+            if req.cid < st.expected_cid {
+                if let Some(r) = st.resp_cache.get(&req.cid) {
+                    if commit_like(&req.op) {
+                        self.stats.replayed_commits.inc();
+                    }
+                    return vec![encode_response(r)];
+                }
+                // In flight on another connection of this client, or
+                // pruned; the slow path below sorts it out.
+            }
+        }
+        let mut out = Vec::new();
+        let mut cur = req;
+        loop {
+            let resp = self.execute_serialized(sess, &cur, qid);
+            out.push(encode_response(&resp));
+            let next = {
+                let mut st = sess.st.lock();
+                let want = st.expected_cid;
+                st.stash.remove(&want)
+            };
+            match next {
+                Some(n) => cur = n,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Executes one capsule under the session's execution lock,
+    /// re-checking the response cache after acquiring it — the
+    /// double-execution guard for retransmits racing a still-running
+    /// original on a dead connection.
+    fn execute_serialized(&self, sess: &Arc<Session>, req: &Request, qid: u16) -> Response {
+        let _exec = sess.exec.lock();
+        {
+            let mut st = sess.st.lock();
+            if req.cid < st.expected_cid {
+                if commit_like(&req.op) {
+                    self.stats.replayed_commits.inc();
+                }
+                return match st.resp_cache.get(&req.cid) {
+                    Some(r) => r.clone(),
+                    None => Response::status(req.cid, Status::Protocol),
+                };
+            }
+            debug_assert_eq!(req.cid, st.expected_cid, "in-order pipeline");
+            st.expected_cid = req.cid + 1;
+        }
+        let resp = self.exec_op(sess, req, qid);
+        {
+            let mut st = sess.st.lock();
+            st.resp_cache.insert(req.cid, resp.clone());
+            let cap = (CACHE_WINDOWS * self.cfg.window as usize).max(4);
+            while st.resp_cache.len() > cap {
+                st.resp_cache.pop_first();
+            }
+        }
+        resp
+    }
+
+    fn exec_op(&self, sess: &Arc<Session>, req: &Request, _qid: u16) -> Response {
+        let cid = req.cid;
+        match &req.op {
+            Capsule::Hello { .. } | Capsule::Bye => Response::status(cid, Status::Protocol),
+            Capsule::AllocTx => match &self.backend {
+                Backend::Raw { drv, .. } => Response::ok_val(cid, drv.alloc_tx_id()),
+                Backend::Fs(_) => Response::status(cid, Status::NotSupported),
+            },
+            Capsule::TxWrite {
+                tx_id,
+                lba,
+                data,
+                commit,
+                durable,
+            } => self.exec_tx_write(sess, cid, *tx_id, *lba, data, *commit, *durable),
+            Capsule::FsResolve { path } => self.with_fs(cid, |fs| {
+                fs.resolve(path).map(|ino| Response::ok_val(cid, ino))
+            }),
+            Capsule::FsCreate { path } => self.with_fs(cid, |fs| {
+                fs.resolve(path)
+                    .or_else(|_| fs.create_path(path))
+                    .map(|ino| Response::ok_val(cid, ino))
+            }),
+            Capsule::FsWrite { ino, offset, data } => self.with_fs(cid, |fs| {
+                fs.write(*ino, *offset, data)
+                    .map(|()| Response::status(cid, Status::Ok))
+            }),
+            Capsule::FsRead { ino, offset, len } => self.with_fs(cid, |fs| {
+                fs.read(*ino, *offset, *len as usize).map(|data| Response {
+                    cid,
+                    status: Status::Ok,
+                    val: data.len() as u64,
+                    aux: 0,
+                    data,
+                })
+            }),
+            Capsule::FsSync { ino, mode } => {
+                let resp = self.with_fs(cid, |fs| {
+                    match mode {
+                        SyncKind::Fsync => fs.fsync(*ino),
+                        SyncKind::Fdatasync => fs.fdatasync(*ino),
+                        SyncKind::Fatomic => fs.fatomic(*ino),
+                        SyncKind::Fdataatomic => fs.fdataatomic(*ino),
+                    }
+                    .map(|()| Response::status(cid, Status::Ok))
+                });
+                if resp.status.is_ok() {
+                    self.stats.commits.inc();
+                }
+                resp
+            }
+            Capsule::FsStat { ino } => self.with_fs(cid, |fs| {
+                let (size, _, _) = fs.stat(*ino);
+                Ok(Response::ok_val(cid, size))
+            }),
+            Capsule::Metrics => Response {
+                cid,
+                status: Status::Ok,
+                val: 0,
+                aux: 0,
+                data: self.obs.metrics.snapshot().to_json().into_bytes(),
+            },
+        }
+    }
+
+    fn with_fs(
+        &self,
+        cid: u64,
+        f: impl FnOnce(&Arc<FileSystem>) -> Result<Response, mqfs::FsError>,
+    ) -> Response {
+        match &self.backend {
+            Backend::Fs(fs) => match f(fs) {
+                Ok(resp) => resp,
+                Err(e) => Response::status(cid, Status::Fs(e)),
+            },
+            Backend::Raw { .. } => Response::status(cid, Status::NotSupported),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // the TxWrite capsule, destructured
+    fn exec_tx_write(
+        &self,
+        sess: &Arc<Session>,
+        cid: u64,
+        tx_id: u64,
+        lba: u64,
+        data: &[u8],
+        commit: bool,
+        durable: bool,
+    ) -> Response {
+        let Backend::Raw { drv, base, blocks } = &self.backend else {
+            return Response::status(cid, Status::NotSupported);
+        };
+        if lba >= *blocks || data.len() > BLOCK_SIZE as usize {
+            return Response::status(cid, Status::Protocol);
+        }
+        if commit {
+            // A commit whose outcome is already recorded (this session
+            // retried across a partition, or recovery seeded it after a
+            // target restart) is answered, never re-executed: the
+            // exactly-once contract.
+            if let Some(&status) = self.tx_replay.lock().get(&tx_id) {
+                self.stats.replayed_commits.inc();
+                return Response::status(cid, status);
+            }
+        }
+        let mut padded = data.to_vec();
+        padded.resize(BLOCK_SIZE as usize, 0);
+        let buf = Arc::new(parking_lot::Mutex::new(padded));
+        let waiter = {
+            let mut st = sess.st.lock();
+            let open = st.open_txs.entry(tx_id).or_default();
+            // Uncommitted members pin hardware-ring slots until the
+            // commit completes; an unbounded transaction would block
+            // this handler inside the full ring (with the session exec
+            // lock held). Reject instead — the transaction itself stays
+            // open and can still be committed.
+            if !commit && open.members >= self.cfg.tx_member_cap {
+                return Response::status(cid, Status::TxOverflow);
+            }
+            if !commit {
+                open.members += 1;
+            }
+            open.waiter.clone_handle()
+        };
+        let flags = if commit {
+            BioFlags::TX_COMMIT
+        } else {
+            BioFlags::TX
+        };
+        let mut bio = Bio::write(base + lba, buf, flags).with_tx_id(tx_id);
+        waiter.attach(&mut bio);
+        // Submitted from the handler daemon's core: the bio lands in
+        // this connection's hardware queue. When `submit_bio` returns
+        // for the commit bio the transaction has had its MMIO flush and
+        // doorbell — it is crash-atomic (§4.3), which is what a
+        // non-durable commit ack asserts.
+        drv.submit_bio(bio);
+        if !commit {
+            return Response::status(cid, Status::Ok);
+        }
+        let status = if durable {
+            match waiter.wait() {
+                Ok(()) => Status::Ok,
+                Err(_) => waiter
+                    .first_error()
+                    .map(bio_status)
+                    .unwrap_or(Status::BioError),
+            }
+        } else {
+            Status::Ok
+        };
+        sess.st.lock().open_txs.remove(&tx_id);
+        self.stats.commits.inc();
+        {
+            let mut cache = self.tx_replay.lock();
+            cache.insert(tx_id, status);
+            while cache.len() > TX_REPLAY_CAP {
+                cache.pop_first();
+            }
+        }
+        // ord: SeqCst — the replay floor must never run ahead of the
+        // cache insert it summarizes; recovery-time dedup reads it.
+        self.committed_floor.fetch_max(tx_id, Ordering::SeqCst);
+        Response::status(cid, status)
+    }
+}
+
+fn commit_like(op: &Capsule) -> bool {
+    matches!(
+        op,
+        Capsule::TxWrite { commit: true, .. } | Capsule::FsSync { .. }
+    )
+}
+
+fn bio_status(s: BioStatus) -> Status {
+    match s {
+        BioStatus::Ok => Status::Ok,
+        BioStatus::Media => Status::BioMedia,
+        BioStatus::Timeout => Status::BioTimeout,
+        BioStatus::Busy => Status::BioBusy,
+        _ => Status::BioError,
+    }
+}
+
+/// Re-dials loopback connections to one target for one client.
+pub struct LoopbackConnector {
+    target: Arc<FabricTarget>,
+    client_id: u64,
+}
+
+impl Connector for LoopbackConnector {
+    fn connect(&mut self) -> Result<Box<dyn Transport>, FabricError> {
+        self.target.loopback_connect(self.client_id)
+    }
+
+    fn backoff(&self, ns: Ns) {
+        ccnvme_sim::delay(ns);
+    }
+}

@@ -1,0 +1,215 @@
+//! Capsule codec properties: round-trips are byte-identical, and every
+//! damaged frame is rejected with a typed [`CodecError`] — the wire
+//! never panics and never yields a capsule it was not sent.
+
+use ccnvme_fabric::capsule::{
+    decode_request, decode_response, encode_request, encode_response, Capsule, Request, Response,
+    Status, SyncKind, MAGIC,
+};
+use ccnvme_fabric::CodecError;
+use mqfs::FsError;
+use proptest::prelude::*;
+
+/// Builds one of every request shape from generic scalar inputs.
+fn build_capsule(sel: u8, a: u64, b: u64, flag: bool, flag2: bool, data: Vec<u8>) -> Capsule {
+    let path = format!("/d{}/f{}", a % 7, b % 23);
+    match sel % 11 {
+        0 => Capsule::Hello {
+            client_id: a,
+            resume: flag,
+        },
+        1 => Capsule::AllocTx,
+        2 => Capsule::TxWrite {
+            tx_id: a,
+            lba: b,
+            data,
+            commit: flag,
+            durable: flag2,
+        },
+        3 => Capsule::FsResolve { path },
+        4 => Capsule::FsCreate { path },
+        5 => Capsule::FsWrite {
+            ino: a,
+            offset: b,
+            data,
+        },
+        6 => Capsule::FsRead {
+            ino: a,
+            offset: b,
+            len: (b % 65_536) as u32,
+        },
+        7 => Capsule::FsSync {
+            ino: a,
+            mode: match b % 4 {
+                0 => SyncKind::Fsync,
+                1 => SyncKind::Fdatasync,
+                2 => SyncKind::Fatomic,
+                _ => SyncKind::Fdataatomic,
+            },
+        },
+        8 => Capsule::FsStat { ino: a },
+        9 => Capsule::Metrics,
+        _ => Capsule::Bye,
+    }
+}
+
+fn build_status(sel: u8) -> Status {
+    match sel % 18 {
+        0 => Status::Ok,
+        1 => Status::Fs(FsError::NotFound),
+        2 => Status::Fs(FsError::Exists),
+        3 => Status::Fs(FsError::NotADirectory),
+        4 => Status::Fs(FsError::IsADirectory),
+        5 => Status::Fs(FsError::NotEmpty),
+        6 => Status::Fs(FsError::NoSpace),
+        7 => Status::Fs(FsError::InvalidName),
+        8 => Status::Fs(FsError::FileTooBig),
+        9 => Status::Fs(FsError::Io),
+        10 => Status::Fs(FsError::ReadOnly),
+        11 => Status::BioError,
+        12 => Status::BioMedia,
+        13 => Status::BioTimeout,
+        14 => Status::BioBusy,
+        15 => Status::Protocol,
+        16 => Status::TxOverflow,
+        _ => Status::NotSupported,
+    }
+}
+
+proptest! {
+    /// encode → decode → re-encode is the identity on bytes for every
+    /// request shape.
+    #[test]
+    fn request_roundtrip_is_byte_identical(
+        sel in any::<u8>(),
+        cid in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        flag in any::<bool>(),
+        flag2 in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..2_048),
+    ) {
+        let req = Request { cid, op: build_capsule(sel, a, b, flag, flag2, data) };
+        let wire = encode_request(&req);
+        let back = decode_request(&wire).expect("valid frame decodes");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(encode_request(&back), wire);
+    }
+
+    /// Same for responses, across every status.
+    #[test]
+    fn response_roundtrip_is_byte_identical(
+        sel in any::<u8>(),
+        cid in any::<u64>(),
+        val in any::<u64>(),
+        aux in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..2_048),
+    ) {
+        let resp = Response { cid, status: build_status(sel), val, aux, data };
+        let wire = encode_response(&resp);
+        let back = decode_response(&wire).expect("valid frame decodes");
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(encode_response(&back), wire);
+    }
+
+    /// Every proper prefix of a valid frame is rejected — as a
+    /// truncation when the frame loses its checksum, as a checksum
+    /// mismatch when enough survives to check.
+    #[test]
+    fn truncated_frames_are_rejected_typed(
+        sel in any::<u8>(),
+        cid in any::<u64>(),
+        a in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        let req = Request { cid, op: build_capsule(sel, a, a ^ 0x5a5a, false, true, vec![7; 32]) };
+        let wire = encode_request(&req);
+        let cut = (cut as usize) % wire.len(); // a strict prefix
+        let err = decode_request(&wire[..cut]).expect_err("prefix must not decode");
+        prop_assert!(
+            matches!(err, CodecError::Truncated | CodecError::BadChecksum),
+            "unexpected rejection {err:?} at cut {cut}"
+        );
+    }
+
+    /// Flipping any single byte of a valid frame is rejected with a
+    /// typed error — never a panic, never a silently different capsule.
+    #[test]
+    fn corrupt_frames_are_rejected_typed(
+        sel in any::<u8>(),
+        cid in any::<u64>(),
+        a in any::<u64>(),
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let req = Request { cid, op: build_capsule(sel, a, a.rotate_left(13), true, false, vec![3; 64]) };
+        let mut wire = encode_request(&req);
+        let pos = (pos as usize) % wire.len();
+        wire[pos] ^= flip;
+        let err = decode_request(&wire).expect_err("corrupt frame must not decode");
+        // Damage in the magic reports BadMagic or version skew; anywhere
+        // else the checksum catches it.
+        prop_assert!(
+            matches!(
+                err,
+                CodecError::BadChecksum
+                    | CodecError::BadMagic
+                    | CodecError::BadVersion(_)
+            ),
+            "unexpected rejection {err:?} at byte {pos}"
+        );
+    }
+}
+
+/// A frame from some other protocol — wrong magic — is identified as
+/// foreign, not as a damaged fabric frame.
+#[test]
+fn foreign_magic_reports_bad_magic() {
+    let req = Request {
+        cid: 9,
+        op: Capsule::AllocTx,
+    };
+    let mut wire = encode_request(&req);
+    let foreign = (MAGIC ^ 0xdead_beef).to_le_bytes();
+    wire[..4].copy_from_slice(&foreign);
+    assert_eq!(decode_request(&wire), Err(CodecError::BadMagic));
+}
+
+/// The empty buffer and sub-header runts are truncations.
+#[test]
+fn runt_frames_report_truncated() {
+    assert_eq!(decode_request(&[]), Err(CodecError::Truncated));
+    assert_eq!(decode_request(&[0xcc; 10]), Err(CodecError::Truncated));
+    assert_eq!(decode_response(&[]), Err(CodecError::Truncated));
+}
+
+/// A request frame fed to the response decoder (and vice versa) is a
+/// typed opcode rejection.
+#[test]
+fn cross_decoding_reports_bad_opcode() {
+    let req_wire = encode_request(&Request {
+        cid: 1,
+        op: Capsule::Metrics,
+    });
+    assert!(matches!(
+        decode_response(&req_wire),
+        Err(CodecError::BadOpcode(_))
+    ));
+    let resp_wire = encode_response(&Response::ok_val(1, 42));
+    assert!(matches!(
+        decode_request(&resp_wire),
+        Err(CodecError::BadOpcode(_))
+    ));
+}
+
+/// Trailing garbage after a well-formed body fails the checksum (the
+/// checksum covers everything before it, so appended bytes shift it).
+#[test]
+fn appended_bytes_are_rejected() {
+    let mut wire = encode_request(&Request {
+        cid: 2,
+        op: Capsule::FsStat { ino: 5 },
+    });
+    wire.push(0);
+    assert!(decode_request(&wire).is_err());
+}

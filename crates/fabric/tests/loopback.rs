@@ -1,0 +1,439 @@
+//! Loopback-transport integration tests: multi-client concurrency,
+//! credit backpressure, transport faults and the exactly-once
+//! reconnect/replay contract, all inside the deterministic simulator.
+
+use std::sync::Arc;
+
+use ccnvme::CcNvmeDriver;
+use ccnvme_block::{submit_and_wait, Bio, BioStatus, BLOCK_SIZE};
+use ccnvme_fabric::{
+    Backend, ClientCfg, ClientStats, FabricClient, FabricConfig, FabricError, FabricTarget,
+};
+use ccnvme_fault::{FaultPlan, NetDir, NetFaultKind, NetFaultRule, Trigger};
+use ccnvme_sim::Sim;
+use ccnvme_ssd::{CtrlConfig, NvmeController, SsdProfile};
+use parking_lot::Mutex;
+
+/// Host cores serving fabric connections in these tests.
+const CORES: usize = 2;
+
+/// Runs `f` on a simulated thread with enough cores for `CORES` hosts
+/// plus the device core.
+fn in_sim<T, F>(f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let out: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let mut sim = Sim::new(CORES + 1);
+    sim.spawn("test-main", 0, move || {
+        *out2.lock() = Some(f());
+    });
+    sim.run();
+    let v = out.lock().take().expect("test closure ran");
+    v
+}
+
+/// Builds a raw ccNVMe backend on a fresh device.
+fn raw_backend() -> (Arc<CcNvmeDriver>, Backend) {
+    let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+    cc.device_core = CORES;
+    let ctrl = NvmeController::new(cc);
+    let (drv, _report) = CcNvmeDriver::probe(ctrl, (CORES + 1) as u16, 64);
+    let drv = Arc::new(drv);
+    let backend = Backend::Raw {
+        drv: Arc::clone(&drv),
+        base: 0,
+        blocks: 4_096,
+    };
+    (drv, backend)
+}
+
+/// Fast client timeouts so fault recovery stays cheap in virtual time.
+fn quick_cfg(stats: Arc<ClientStats>) -> ClientCfg {
+    ClientCfg {
+        ack_timeout_ns: 2_000_000,
+        backoff_ns: 50_000,
+        max_reconnects: 50,
+        stats,
+    }
+}
+
+fn read_block(drv: &Arc<CcNvmeDriver>, lba: u64) -> Vec<u8> {
+    let buf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+    let st = submit_and_wait(&**drv, Bio::read(lba, Arc::clone(&buf)));
+    assert_eq!(st, BioStatus::Ok, "read back lba {lba}");
+    let v = buf.lock().clone();
+    v
+}
+
+/// One client allocates a transaction, stages members, commits durably,
+/// and the committed bytes are on media; `fabric.*` counters record the
+/// exchange.
+#[test]
+fn single_client_commit_is_durable_and_counted() {
+    in_sim(|| {
+        let (drv, backend) = raw_backend();
+        let target = FabricTarget::new(backend, FabricConfig::new(CORES));
+        let stats = target.stats();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(ClientStats::detached()),
+        )
+        .expect("connect");
+        assert_eq!(client.window(), target.window());
+
+        let tx = client.alloc_tx().expect("alloc tx");
+        client.tx_write(tx, 7, b"member-block").expect("stage");
+        client
+            .tx_commit(tx, 8, b"commit-block", true)
+            .expect("commit");
+
+        assert_eq!(&read_block(&drv, 7)[..12], b"member-block");
+        assert_eq!(&read_block(&drv, 8)[..12], b"commit-block");
+        assert_eq!(stats.commits.get(), 1);
+        assert_eq!(stats.replayed_commits.get(), 0);
+        assert_eq!(stats.sessions.get(), 1);
+        assert!(stats.capsules.get() >= 4);
+        client.bye();
+    });
+}
+
+/// Four clients commit concurrently from their own simulated threads;
+/// every commit lands exactly once and every acked block is on media.
+#[test]
+fn four_clients_commit_concurrently() {
+    in_sim(|| {
+        const CLIENTS: u64 = 4;
+        const COMMITS_PER_CLIENT: u64 = 8;
+        let (drv, backend) = raw_backend();
+        let target = FabricTarget::new(backend, FabricConfig::new(CORES));
+        let stats = target.stats();
+
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let t = Arc::clone(&target);
+            handles.push(ccnvme_sim::spawn(
+                &format!("client{c}"),
+                (c as usize) % CORES,
+                move || {
+                    let mut client = FabricClient::connect(
+                        c + 1,
+                        t.loopback_connector(c + 1),
+                        quick_cfg(ClientStats::detached()),
+                    )
+                    .expect("connect");
+                    for i in 0..COMMITS_PER_CLIENT {
+                        let tx = client.alloc_tx().expect("alloc");
+                        let lba = c * 100 + i;
+                        let body = format!("c{c}-i{i}");
+                        client
+                            .tx_commit(tx, lba, body.as_bytes(), true)
+                            .expect("commit");
+                    }
+                    client.bye();
+                },
+            ));
+        }
+        for h in handles {
+            h.join();
+        }
+
+        for c in 0..CLIENTS {
+            for i in 0..COMMITS_PER_CLIENT {
+                let want = format!("c{c}-i{i}");
+                let got = read_block(&drv, c * 100 + i);
+                assert_eq!(&got[..want.len()], want.as_bytes(), "client {c} commit {i}");
+            }
+        }
+        assert_eq!(stats.commits.get(), CLIENTS * COMMITS_PER_CLIENT);
+        assert_eq!(stats.replayed_commits.get(), 0);
+        assert_eq!(stats.sessions.get(), CLIENTS);
+        assert_eq!(stats.reconnects.get(), 0);
+    });
+}
+
+/// With a tiny credit window the initiator stalls instead of erroring:
+/// every operation still succeeds and the stall counter records the
+/// backpressure.
+#[test]
+fn credit_exhaustion_degrades_to_backpressure() {
+    in_sim(|| {
+        let (_drv, backend) = raw_backend();
+        let mut cfg = FabricConfig::new(CORES);
+        cfg.window = 2;
+        let target = FabricTarget::new(backend, cfg);
+        let stats = ClientStats::detached();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(Arc::clone(&stats)),
+        )
+        .expect("connect");
+        assert_eq!(client.window(), 2);
+
+        let tx = client.alloc_tx().expect("alloc");
+        // Pipeline far past the window without consuming acks.
+        let mut cids = Vec::new();
+        for i in 0..16u64 {
+            let cid = client
+                .submit(ccnvme_fabric::Capsule::TxWrite {
+                    tx_id: tx,
+                    lba: i,
+                    data: vec![i as u8; 64],
+                    commit: false,
+                    durable: false,
+                })
+                .expect("submit");
+            cids.push(cid);
+        }
+        for cid in cids {
+            let resp = client.wait_for(cid).expect("ack");
+            assert!(resp.status.is_ok(), "write {cid} failed: {:?}", resp.status);
+        }
+        assert!(
+            stats.credit_stalls.get() > 0,
+            "a 16-deep pipeline over a window of 2 must stall"
+        );
+        client.bye();
+    });
+}
+
+/// A transaction staging more members than the target admits is refused
+/// with a typed status instead of wedging its handler inside the full
+/// hardware ring; the transaction and the session both stay usable.
+#[test]
+fn oversized_transactions_are_refused_not_wedged() {
+    in_sim(|| {
+        let (drv, backend) = raw_backend();
+        let mut cfg = FabricConfig::new(CORES);
+        cfg.tx_member_cap = 4;
+        let target = FabricTarget::new(backend, cfg);
+        let stats = target.stats();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(ClientStats::detached()),
+        )
+        .expect("connect");
+
+        let tx = client.alloc_tx().expect("alloc");
+        for i in 0..4u64 {
+            client
+                .tx_write(tx, i, &[i as u8; 16])
+                .expect("staged member");
+        }
+        assert!(matches!(
+            client.tx_write(tx, 4, b"one too many"),
+            Err(FabricError::Remote(ccnvme_fabric::Status::TxOverflow))
+        ));
+        // The transaction itself is still open and commits fine.
+        client
+            .tx_commit(tx, 10, b"capped-commit", true)
+            .expect("commit");
+        assert_eq!(&read_block(&drv, 10)[..13], b"capped-commit");
+        // And the session serves fresh transactions afterwards.
+        let tx2 = client.alloc_tx().expect("alloc 2");
+        client
+            .tx_commit(tx2, 11, b"next-tx", true)
+            .expect("commit 2");
+        assert_eq!(stats.commits.get(), 2);
+        client.bye();
+    });
+}
+
+/// A partition that eats a durable commit's ack: the client reconnects,
+/// resumes its session and retransmits; the target answers from its
+/// caches. The commit executes exactly once and the session keeps
+/// working afterwards.
+#[test]
+fn partition_mid_commit_replays_exactly_once() {
+    in_sim(|| {
+        let (drv, backend) = raw_backend();
+        // The 3rd target->client frame is the ack of the first commit
+        // (hello ack, alloc ack, commit ack). Cut it.
+        let plan = FaultPlan::new(7).net_rule(
+            NetFaultRule::new(NetFaultKind::Partition, Trigger::Nth(3))
+                .dir(NetDir::ToClient)
+                .heal(200_000),
+        );
+        let mut cfg = FabricConfig::new(CORES);
+        cfg.injector = Some(Arc::new(plan.injector()));
+        let injector = cfg.injector.clone().unwrap();
+        let target = FabricTarget::new(backend, cfg);
+        let stats = target.stats();
+        let cstats = ClientStats::detached();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(Arc::clone(&cstats)),
+        )
+        .expect("connect");
+
+        let tx1 = client.alloc_tx().expect("alloc");
+        // The ack of this durable commit is lost to the partition; the
+        // call must ride reconnect + retransmit to completion anyway.
+        client
+            .tx_commit(tx1, 5, b"survives-partition", true)
+            .expect("commit 1");
+        // Session still live: a second transaction commits normally.
+        let tx2 = client.alloc_tx().expect("alloc 2");
+        client
+            .tx_commit(tx2, 6, b"after-heal", true)
+            .expect("commit 2");
+        client.bye();
+
+        assert_eq!(&read_block(&drv, 5)[..18], b"survives-partition");
+        assert_eq!(&read_block(&drv, 6)[..10], b"after-heal");
+        // Exactly-once: two unique transactions, two executions.
+        assert_eq!(stats.commits.get(), 2, "retransmit must not re-execute");
+        assert!(
+            stats.replayed_commits.get() >= 1,
+            "the retransmitted commit must be answered from the cache"
+        );
+        assert!(cstats.reconnects.get() >= 1, "client must have reconnected");
+        assert_eq!(stats.reconnects.get(), cstats.reconnects.get());
+        assert_eq!(injector.counters().snapshot().net_partitions, 1);
+    });
+}
+
+/// Duplicated and reordered frames are absorbed by the session layer:
+/// all operations succeed, data is correct, and duplicate commits do
+/// not double-execute.
+#[test]
+fn duplicates_and_reorders_are_absorbed() {
+    in_sim(|| {
+        let (drv, backend) = raw_backend();
+        let plan = FaultPlan::new(11)
+            .net_rule(
+                NetFaultRule::new(NetFaultKind::Duplicate, Trigger::Probability(0.25))
+                    .dir(NetDir::ToTarget),
+            )
+            .net_rule(
+                NetFaultRule::new(NetFaultKind::Duplicate, Trigger::Probability(0.25))
+                    .dir(NetDir::ToClient),
+            );
+        let mut cfg = FabricConfig::new(CORES);
+        cfg.injector = Some(Arc::new(plan.injector()));
+        let injector = cfg.injector.clone().unwrap();
+        let target = FabricTarget::new(backend, cfg);
+        let stats = target.stats();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(ClientStats::detached()),
+        )
+        .expect("connect");
+
+        const N: u64 = 24;
+        for i in 0..N {
+            let tx = client.alloc_tx().expect("alloc");
+            let body = format!("dup-{i}");
+            client
+                .tx_commit(tx, i, body.as_bytes(), true)
+                .expect("commit");
+        }
+        client.bye();
+
+        for i in 0..N {
+            let want = format!("dup-{i}");
+            assert_eq!(&read_block(&drv, i)[..want.len()], want.as_bytes());
+        }
+        assert_eq!(stats.commits.get(), N, "duplicates must not re-execute");
+        assert!(
+            injector.counters().snapshot().net_dups > 0,
+            "the schedule must actually duplicate"
+        );
+    });
+}
+
+/// Dropped request frames surface as ack timeouts; the client's
+/// go-back-N retransmission completes every operation exactly once.
+#[test]
+fn dropped_frames_are_retransmitted() {
+    in_sim(|| {
+        let (drv, backend) = raw_backend();
+        // Drop two specific client->target frames.
+        let plan = FaultPlan::new(3)
+            .net_rule(NetFaultRule::new(NetFaultKind::Drop, Trigger::Nth(4)).dir(NetDir::ToTarget))
+            .net_rule(NetFaultRule::new(NetFaultKind::Drop, Trigger::Nth(7)).dir(NetDir::ToTarget));
+        let mut cfg = FabricConfig::new(CORES);
+        cfg.injector = Some(Arc::new(plan.injector()));
+        let target = FabricTarget::new(backend, cfg);
+        let stats = target.stats();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(ClientStats::detached()),
+        )
+        .expect("connect");
+
+        const N: u64 = 6;
+        for i in 0..N {
+            let tx = client.alloc_tx().expect("alloc");
+            let body = format!("drop-{i}");
+            client
+                .tx_commit(tx, i, body.as_bytes(), true)
+                .expect("commit");
+        }
+        client.bye();
+
+        for i in 0..N {
+            let want = format!("drop-{i}");
+            assert_eq!(&read_block(&drv, i)[..want.len()], want.as_bytes());
+        }
+        assert_eq!(stats.commits.get(), N);
+    });
+}
+
+/// The MQFS syscall surface over the fabric: create, write, sync, read
+/// and stat against a mounted file system; `fsync` acks count as
+/// fabric commits.
+#[test]
+fn fs_backend_serves_syscall_surface() {
+    use ccnvme_crashtest::StackConfig;
+    use mqfs::FsVariant;
+
+    let cfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), CORES);
+    let out: Arc<Mutex<Option<()>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let mut sim = Sim::new(cfg.sim_cores());
+    sim.spawn("test-main", 0, move || {
+        let (_stack, fs) = ccnvme_crashtest::Stack::format(&cfg);
+        let target = FabricTarget::new(Backend::Fs(Arc::clone(&fs)), FabricConfig::new(CORES));
+        let stats = target.stats();
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(ClientStats::detached()),
+        )
+        .expect("connect");
+
+        let ino = client.create("/fabric.log").expect("create");
+        assert_eq!(client.resolve("/fabric.log").expect("resolve"), ino);
+        client.write(ino, 0, b"hello over the wire").expect("write");
+        client
+            .sync(ino, ccnvme_fabric::SyncKind::Fsync)
+            .expect("fsync");
+        assert_eq!(
+            client.read(ino, 0, 64).expect("read"),
+            b"hello over the wire".to_vec()
+        );
+        assert_eq!(client.stat(ino).expect("stat"), 19);
+        // AllocTx is a raw-backend operation.
+        assert!(matches!(
+            client.alloc_tx(),
+            Err(FabricError::Remote(ccnvme_fabric::Status::NotSupported))
+        ));
+        assert_eq!(stats.commits.get(), 1, "fsync is the fs commit point");
+        let json = client.metrics_json().expect("metrics");
+        assert!(json.contains("fabric.commits"), "snapshot carries fabric.*");
+        client.bye();
+        fs.unmount();
+        *out2.lock() = Some(());
+    });
+    sim.run();
+    out.lock().take().expect("test closure ran");
+}

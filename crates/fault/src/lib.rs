@@ -223,13 +223,127 @@ impl FaultRule {
     }
 }
 
+/// Direction of a fabric frame, as seen by the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDir {
+    /// Initiator → target (request capsules).
+    ToTarget,
+    /// Target → initiator (response capsules).
+    ToClient,
+}
+
+/// One fabric frame presented to the injector.
+#[derive(Debug, Clone, Copy)]
+pub struct NetOp {
+    /// Direction of the frame.
+    pub dir: NetDir,
+    /// Connection (session) identifier the frame rides.
+    pub conn: u64,
+    /// Current virtual time.
+    pub now: Ns,
+}
+
+/// What goes wrong on the wire when a transport rule fires. Mirrors the
+/// media [`FaultKind`]s: these are the classic unreliable-network
+/// failures a fabric transport must mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFaultKind {
+    /// The frame is silently lost; the peer's timeout path must recover.
+    Drop,
+    /// The frame is delivered twice (retransmission race); the receiver
+    /// must deduplicate.
+    Duplicate,
+    /// The frame is held back and delivered after the next frame.
+    Reorder,
+    /// The connection is severed and stays unreachable until the rule's
+    /// heal interval elapses; reconnect attempts fail until then.
+    Partition,
+}
+
+impl NetFaultKind {
+    /// All kinds, for campaign iteration.
+    pub const ALL: [NetFaultKind; 4] = [
+        NetFaultKind::Drop,
+        NetFaultKind::Duplicate,
+        NetFaultKind::Reorder,
+        NetFaultKind::Partition,
+    ];
+}
+
+/// One transport fault rule: a kind, a trigger, an optional direction
+/// filter and an injection budget. [`Trigger::LbaRange`] gates on the
+/// *connection id* for net operations (there is no LBA on the wire), so
+/// a rule can single out one client of many.
+#[derive(Debug, Clone)]
+pub struct NetFaultRule {
+    /// What happens.
+    pub kind: NetFaultKind,
+    /// When it happens.
+    pub trigger: Trigger,
+    /// Direction filter (`None` = both directions).
+    pub dir: Option<NetDir>,
+    /// For [`NetFaultKind::Partition`]: how long the connection stays
+    /// unreachable after the cut, in virtual ns.
+    pub heal_ns: Ns,
+    /// Stop firing after this many injections (`None` = unlimited).
+    pub max_hits: Option<u64>,
+}
+
+/// Default partition duration: long enough that in-flight acks are lost,
+/// short enough that a client's backoff loop heals within a few retries.
+pub const DEFAULT_HEAL_NS: Ns = 500_000;
+
+impl NetFaultRule {
+    /// A rule firing in both directions with the default heal interval.
+    pub fn new(kind: NetFaultKind, trigger: Trigger) -> Self {
+        NetFaultRule {
+            kind,
+            trigger,
+            dir: None,
+            heal_ns: DEFAULT_HEAL_NS,
+            max_hits: None,
+        }
+    }
+
+    /// Restricts the rule to one direction (builder style).
+    pub fn dir(mut self, dir: NetDir) -> Self {
+        self.dir = Some(dir);
+        self
+    }
+
+    /// Sets the partition heal interval (builder style).
+    pub fn heal(mut self, ns: Ns) -> Self {
+        self.heal_ns = ns;
+        self
+    }
+
+    /// Caps the number of injections (builder style).
+    pub fn max_hits(mut self, n: u64) -> Self {
+        self.max_hits = Some(n);
+        self
+    }
+}
+
+/// Transport injection decision returned to the fabric layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetInjection {
+    /// The fault to apply.
+    pub kind: NetFaultKind,
+    /// For [`NetFaultKind::Partition`]: the heal interval.
+    pub heal_ns: Ns,
+}
+
 /// A complete, seedable fault schedule.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     /// Seed of the deterministic probability streams.
     pub seed: u64,
-    /// Rules, evaluated in order; the first firing rule wins.
+    /// Media/controller rules, evaluated in order; the first firing rule
+    /// wins.
     pub rules: Vec<FaultRule>,
+    /// Transport rules (consumed by the fabric loopback transport),
+    /// evaluated in order; the first firing rule wins.
+    pub net_rules: Vec<NetFaultRule>,
 }
 
 impl FaultPlan {
@@ -238,12 +352,19 @@ impl FaultPlan {
         FaultPlan {
             seed,
             rules: Vec::new(),
+            net_rules: Vec::new(),
         }
     }
 
-    /// Adds a rule (builder style).
+    /// Adds a media rule (builder style).
     pub fn rule(mut self, rule: FaultRule) -> Self {
         self.rules.push(rule);
+        self
+    }
+
+    /// Adds a transport rule (builder style).
+    pub fn net_rule(mut self, rule: NetFaultRule) -> Self {
+        self.net_rules.push(rule);
         self
     }
 
@@ -283,6 +404,14 @@ pub struct FaultCounters {
     pub doorbell_drops: Arc<Counter>,
     /// Injected transient busy completions.
     pub busy: Arc<Counter>,
+    /// Dropped fabric frames.
+    pub net_drops: Arc<Counter>,
+    /// Duplicated fabric frames.
+    pub net_dups: Arc<Counter>,
+    /// Reordered fabric frames.
+    pub net_reorders: Arc<Counter>,
+    /// Injected connection partitions.
+    pub net_partitions: Arc<Counter>,
 }
 
 impl FaultCounters {
@@ -295,6 +424,10 @@ impl FaultCounters {
         reg.adopt_counter("fault.stalls", Arc::clone(&self.stalls));
         reg.adopt_counter("fault.doorbell_drops", Arc::clone(&self.doorbell_drops));
         reg.adopt_counter("fault.busy", Arc::clone(&self.busy));
+        reg.adopt_counter("fault.net_drops", Arc::clone(&self.net_drops));
+        reg.adopt_counter("fault.net_dups", Arc::clone(&self.net_dups));
+        reg.adopt_counter("fault.net_reorders", Arc::clone(&self.net_reorders));
+        reg.adopt_counter("fault.net_partitions", Arc::clone(&self.net_partitions));
     }
 
     /// Takes a point-in-time snapshot.
@@ -306,6 +439,10 @@ impl FaultCounters {
             stalls: self.stalls.get(),
             doorbell_drops: self.doorbell_drops.get(),
             busy: self.busy.get(),
+            net_drops: self.net_drops.get(),
+            net_dups: self.net_dups.get(),
+            net_reorders: self.net_reorders.get(),
+            net_partitions: self.net_partitions.get(),
         }
     }
 
@@ -317,6 +454,15 @@ impl FaultCounters {
             FaultKind::Stall => self.stalls.inc(),
             FaultKind::DoorbellDrop => self.doorbell_drops.inc(),
             FaultKind::Busy => self.busy.inc(),
+        }
+    }
+
+    fn count_net(&self, kind: NetFaultKind) {
+        match kind {
+            NetFaultKind::Drop => self.net_drops.inc(),
+            NetFaultKind::Duplicate => self.net_dups.inc(),
+            NetFaultKind::Reorder => self.net_reorders.inc(),
+            NetFaultKind::Partition => self.net_partitions.inc(),
         }
     }
 }
@@ -336,10 +482,20 @@ pub struct FaultSnapshot {
     pub doorbell_drops: u64,
     /// See [`FaultCounters::busy`].
     pub busy: u64,
+    /// See [`FaultCounters::net_drops`].
+    pub net_drops: u64,
+    /// See [`FaultCounters::net_dups`].
+    pub net_dups: u64,
+    /// See [`FaultCounters::net_reorders`].
+    pub net_reorders: u64,
+    /// See [`FaultCounters::net_partitions`].
+    pub net_partitions: u64,
 }
 
 impl FaultSnapshot {
-    /// Total injections of any kind.
+    /// Total media/controller injections (transport injections are
+    /// counted separately by [`FaultSnapshot::net_total`], so existing
+    /// media-campaign assertions keep their meaning).
     pub fn total(&self) -> u64 {
         self.media_read
             + self.media_write
@@ -347,6 +503,11 @@ impl FaultSnapshot {
             + self.stalls
             + self.doorbell_drops
             + self.busy
+    }
+
+    /// Total transport injections of any kind.
+    pub fn net_total(&self) -> u64 {
+        self.net_drops + self.net_dups + self.net_reorders + self.net_partitions
     }
 }
 
@@ -364,11 +525,14 @@ struct RuleState {
 pub struct FaultInjector {
     plan: FaultPlan,
     state: Mutex<Vec<RuleState>>,
+    net_state: Mutex<Vec<RuleState>>,
     counters: FaultCounters,
 }
 
 impl FaultInjector {
-    /// Builds the injector, deriving one RNG stream per rule.
+    /// Builds the injector, deriving one RNG stream per rule. Net rules
+    /// draw from streams derived with a disjoint index range so adding a
+    /// media rule never perturbs a transport schedule (and vice versa).
     pub fn new(plan: FaultPlan) -> Self {
         let state = plan
             .rules
@@ -380,9 +544,20 @@ impl FaultInjector {
                 rng: DetRng::derive(plan.seed, i as u64),
             })
             .collect();
+        let net_state = plan
+            .net_rules
+            .iter()
+            .enumerate()
+            .map(|(i, _)| RuleState {
+                seen: 0,
+                hits: 0,
+                rng: DetRng::derive(plan.seed, 1_000 + i as u64),
+            })
+            .collect();
         FaultInjector {
             plan,
             state: Mutex::new(state),
+            net_state: Mutex::new(net_state),
             counters: FaultCounters::default(),
         }
     }
@@ -434,6 +609,43 @@ impl FaultInjector {
             return Some(Injection {
                 kind: rule.kind,
                 torn_blocks,
+            });
+        }
+        None
+    }
+
+    /// Evaluates fabric frame `op` against the plan's transport rules.
+    /// Returns the first firing rule's injection, or `None` when the
+    /// frame is delivered normally.
+    pub fn decide_net(&self, op: &NetOp) -> Option<NetInjection> {
+        let mut state = self.net_state.lock();
+        for (rule, st) in self.plan.net_rules.iter().zip(state.iter_mut()) {
+            if rule.dir.is_some_and(|d| d != op.dir) {
+                continue;
+            }
+            if let Some(max) = rule.max_hits {
+                if st.hits >= max {
+                    continue;
+                }
+            }
+            st.seen += 1;
+            let fires = match rule.trigger {
+                Trigger::Nth(n) => st.seen == n,
+                // On the wire there is no LBA; the range gates on the
+                // connection id so one client of many can be targeted.
+                Trigger::LbaRange { start, end } => op.conn >= start && op.conn < end,
+                Trigger::Probability(p) => st.rng.chance(p),
+                Trigger::TimeWindow { from, until } => op.now >= from && op.now < until,
+                Trigger::Always => true,
+            };
+            if !fires {
+                continue;
+            }
+            st.hits += 1;
+            self.counters.count_net(rule.kind);
+            return Some(NetInjection {
+                kind: rule.kind,
+                heal_ns: rule.heal_ns,
             });
         }
         None
@@ -591,5 +803,94 @@ mod tests {
             inj.decide(&write_op(1, 1)).map(|i| i.kind),
             Some(FaultKind::MediaWrite)
         );
+    }
+
+    fn net_op(dir: NetDir, conn: u64, now: Ns) -> NetOp {
+        NetOp { dir, conn, now }
+    }
+
+    #[test]
+    fn net_nth_trigger_fires_once_and_counts() {
+        let inj = FaultPlan::new(3)
+            .net_rule(NetFaultRule::new(NetFaultKind::Drop, Trigger::Nth(2)))
+            .injector();
+        let hits: Vec<bool> = (0..4)
+            .map(|_| inj.decide_net(&net_op(NetDir::ToTarget, 0, 0)).is_some())
+            .collect();
+        assert_eq!(hits, vec![false, true, false, false]);
+        let snap = inj.counters().snapshot();
+        assert_eq!(snap.net_drops, 1);
+        assert_eq!(snap.net_total(), 1);
+        assert_eq!(snap.total(), 0, "net faults do not pollute media totals");
+    }
+
+    #[test]
+    fn net_direction_filter_applies() {
+        let inj = FaultPlan::new(3)
+            .net_rule(
+                NetFaultRule::new(NetFaultKind::Duplicate, Trigger::Always).dir(NetDir::ToClient),
+            )
+            .injector();
+        assert!(inj.decide_net(&net_op(NetDir::ToTarget, 0, 0)).is_none());
+        assert_eq!(
+            inj.decide_net(&net_op(NetDir::ToClient, 0, 0))
+                .map(|i| i.kind),
+            Some(NetFaultKind::Duplicate)
+        );
+    }
+
+    #[test]
+    fn net_lba_range_gates_on_connection_id() {
+        let inj = FaultPlan::new(3)
+            .net_rule(NetFaultRule::new(
+                NetFaultKind::Reorder,
+                Trigger::LbaRange { start: 2, end: 4 },
+            ))
+            .injector();
+        assert!(inj.decide_net(&net_op(NetDir::ToTarget, 1, 0)).is_none());
+        assert!(inj.decide_net(&net_op(NetDir::ToTarget, 2, 0)).is_some());
+        assert!(inj.decide_net(&net_op(NetDir::ToTarget, 3, 0)).is_some());
+        assert!(inj.decide_net(&net_op(NetDir::ToTarget, 4, 0)).is_none());
+    }
+
+    #[test]
+    fn net_partition_carries_heal_interval() {
+        let inj = FaultPlan::new(3)
+            .net_rule(
+                NetFaultRule::new(NetFaultKind::Partition, Trigger::Nth(1))
+                    .heal(7_000)
+                    .max_hits(1),
+            )
+            .injector();
+        let got = inj
+            .decide_net(&net_op(NetDir::ToClient, 0, 0))
+            .expect("fires");
+        assert_eq!(got.kind, NetFaultKind::Partition);
+        assert_eq!(got.heal_ns, 7_000);
+        assert!(inj.decide_net(&net_op(NetDir::ToClient, 0, 0)).is_none());
+        assert_eq!(inj.counters().snapshot().net_partitions, 1);
+    }
+
+    #[test]
+    fn net_probability_stream_is_deterministic_and_independent() {
+        let run = |with_media_rule: bool| {
+            let mut plan = FaultPlan::new(99).net_rule(NetFaultRule::new(
+                NetFaultKind::Drop,
+                Trigger::Probability(0.4),
+            ));
+            if with_media_rule {
+                plan = plan.rule(FaultRule::new(FaultKind::Busy, Trigger::Probability(0.5)));
+            }
+            let inj = plan.injector();
+            (0..64)
+                .map(|i| inj.decide_net(&net_op(NetDir::ToTarget, i, 0)).is_some())
+                .collect::<Vec<_>>()
+        };
+        let bare = run(false);
+        assert_eq!(bare, run(false));
+        // Adding an unrelated media rule must not shift the net stream.
+        assert_eq!(bare, run(true));
+        assert!(bare.iter().any(|&b| b));
+        assert!(!bare.iter().all(|&b| b));
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors returned by MQFS operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsError {
     /// No such file or directory.
     NotFound,

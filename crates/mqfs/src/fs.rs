@@ -442,6 +442,11 @@ impl FileSystem {
         Ok(fs)
     }
 
+    /// The block device this file system is mounted on.
+    pub fn device(&self) -> &Dev {
+        &self.dev
+    }
+
     /// Gracefully unmounts: flushes every dirty inode, checkpoints the
     /// journal and stops its threads (§5.5 graceful shutdown).
     pub fn unmount(&self) {

@@ -252,11 +252,46 @@ const HIST_FIELDS: [&str; 9] = [
     "count", "sum", "mean", "min", "max", "p50", "p95", "p99", "stddev",
 ];
 
+/// Metric-name namespace roots of the instrumented stack (mirrored in
+/// `lint.toml [metric_namespace]`): every metric in a
+/// `ccnvme-metrics/v1` document must be rooted in one of these, possibly
+/// behind run prefixes added by [`crate::MetricsSnapshot::prefixed`]
+/// (e.g. `run003.fabric.clients4.` + `mqfs.fsyncs`).
+pub const NAMESPACE_ROOTS: &[&str] = &[
+    "pcie.",
+    "ssd.",
+    "host_err.",
+    "fault.",
+    "fault_campaign.",
+    "ccnvme.",
+    "nvme.",
+    "journal.",
+    "mqfs.",
+    "crashenum.",
+    "fabric.",
+];
+
+/// Whether `name`, or any of its dot-separated suffixes (to skip run
+/// prefixes), starts with a known namespace root.
+fn rooted(name: &str) -> bool {
+    let mut s = name;
+    loop {
+        if NAMESPACE_ROOTS.iter().any(|r| s.starts_with(r)) {
+            return true;
+        }
+        match s.find('.') {
+            Some(i) => s = &s[i + 1..],
+            None => return false,
+        }
+    }
+}
+
 /// Validates a `ccnvme-metrics/v1` document: top-level object with the
 /// schema marker; `counters` (non-negative integers), `gauges`
 /// (integers) and `histograms` (objects carrying all of
 /// count/sum/mean/min/max/p50/p95/p99/stddev as numbers, with ordered
-/// percentiles).
+/// percentiles). Every metric name must be rooted in a
+/// [`NAMESPACE_ROOTS`] namespace (run prefixes allowed).
 pub fn validate_metrics(doc: &str) -> Result<(), String> {
     let v = Json::parse(doc)?;
     let obj = v.as_obj().ok_or("top level must be an object")?;
@@ -268,6 +303,15 @@ pub fn validate_metrics(doc: &str) -> Result<(), String> {
     for section in ["counters", "gauges", "histograms"] {
         if obj.get(section).and_then(Json::as_obj).is_none() {
             return Err(format!("missing or non-object section {section:?}"));
+        }
+    }
+    for section in ["counters", "gauges", "histograms"] {
+        for name in v.get(section).unwrap().as_obj().unwrap().keys() {
+            if !rooted(name) {
+                return Err(format!(
+                    "{section} name {name:?} is outside every metric namespace root"
+                ));
+            }
         }
     }
     for (name, val) in v.get("counters").unwrap().as_obj().unwrap() {
@@ -344,11 +388,11 @@ mod tests {
     #[test]
     fn validator_accepts_minimal_document() {
         let doc = r#"{"schema": "ccnvme-metrics/v1",
-                      "counters": {"ops": 3},
-                      "gauges": {"depth": -1},
-                      "histograms": {"lat": {"count": 2, "sum": 30, "mean": 15.0,
-                                             "min": 10, "max": 20, "p50": 10,
-                                             "p95": 20, "p99": 20, "stddev": 5.0}}}"#;
+                      "counters": {"fabric.commits": 3},
+                      "gauges": {"ccnvme.q0.depth": -1},
+                      "histograms": {"ssd.service_ns": {"count": 2, "sum": 30, "mean": 15.0,
+                                                        "min": 10, "max": 20, "p50": 10,
+                                                        "p95": 20, "p99": 20, "stddev": 5.0}}}"#;
         validate_metrics(doc).unwrap();
     }
 
@@ -357,17 +401,31 @@ mod tests {
         let missing_schema = r#"{"counters": {}, "gauges": {}, "histograms": {}}"#;
         assert!(validate_metrics(missing_schema).is_err());
         let bad_counter = r#"{"schema": "ccnvme-metrics/v1",
-                              "counters": {"ops": -1}, "gauges": {}, "histograms": {}}"#;
+                              "counters": {"mqfs.ops": -1}, "gauges": {}, "histograms": {}}"#;
         assert!(validate_metrics(bad_counter).unwrap_err().contains("ops"));
         let bad_hist = r#"{"schema": "ccnvme-metrics/v1", "counters": {}, "gauges": {},
-                           "histograms": {"lat": {"count": 1}}}"#;
+                           "histograms": {"ssd.lat": {"count": 1}}}"#;
         assert!(validate_metrics(bad_hist).is_err());
         let disordered = r#"{"schema": "ccnvme-metrics/v1", "counters": {}, "gauges": {},
-                             "histograms": {"lat": {"count": 2, "sum": 30, "mean": 15.0,
-                                                    "min": 10, "max": 20, "p50": 25,
-                                                    "p95": 20, "p99": 20, "stddev": 5.0}}}"#;
+                             "histograms": {"ssd.lat": {"count": 2, "sum": 30, "mean": 15.0,
+                                                        "min": 10, "max": 20, "p50": 25,
+                                                        "p95": 20, "p99": 20, "stddev": 5.0}}}"#;
         assert!(validate_metrics(disordered)
             .unwrap_err()
             .contains("disordered"));
+    }
+
+    #[test]
+    fn validator_rejects_unrooted_metric_names() {
+        let stray = r#"{"schema": "ccnvme-metrics/v1",
+                        "counters": {"ops": 1}, "gauges": {}, "histograms": {}}"#;
+        assert!(validate_metrics(stray)
+            .unwrap_err()
+            .contains("outside every metric namespace root"));
+        // Run prefixes in front of a rooted name are fine.
+        let prefixed = r#"{"schema": "ccnvme-metrics/v1",
+                           "counters": {"run003.fabric.clients4.mqfs.fsyncs": 1},
+                           "gauges": {}, "histograms": {}}"#;
+        validate_metrics(prefixed).unwrap();
     }
 }

@@ -387,13 +387,13 @@ mod tests {
     #[test]
     fn prefixed_and_merge_build_multi_run_documents() {
         let r = Registry::new();
-        r.counter("ops").add(1);
+        r.counter("mqfs.ops").add(1);
         let mut doc = r.snapshot().prefixed("run_a");
         let r2 = Registry::new();
-        r2.counter("ops").add(2);
+        r2.counter("mqfs.ops").add(2);
         doc.merge(r2.snapshot().prefixed("run_b"));
-        assert_eq!(doc.counter("run_a.ops"), 1);
-        assert_eq!(doc.counter("run_b.ops"), 2);
+        assert_eq!(doc.counter("run_a.mqfs.ops"), 1);
+        assert_eq!(doc.counter("run_b.mqfs.ops"), 2);
         crate::json::validate_metrics(&doc.to_json()).expect("schema-valid");
     }
 }

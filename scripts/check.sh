@@ -29,10 +29,16 @@ scripts/bench_smoke.sh
 # recover clean, and recovery re-crashed at each of its own events
 # converges (release build: ~3000 simulated boots).
 cargo test -q --release -p ccnvme-crashtest --test enumerate
+# Fabric smoke: codec round-trips, loopback sessions under transport
+# faults, the connection-kill campaign, and the TCP smoke (the long TCP
+# soak runs in the deep tier).
+cargo test -q --release -p ccnvme-fabric
 
 if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
     echo "== deep tier: crash enumeration (torn tails + full re-crash sweep) =="
     CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test enumerate deep_
+    echo "== deep tier: fabric TCP soak (real sockets, reconnect mid-commit) =="
+    CCNVME_TCP_SOAK=1 cargo test -q --release -p ccnvme-fabric --test tcp
     echo "== deep tier: loom model checking =="
     # The loom feature swaps ccnvme-obs onto the model-checked
     # primitives; only loom_* tests are meaningful under it.

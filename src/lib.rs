@@ -2,6 +2,7 @@
 pub use ccnvme;
 pub use ccnvme_block as block;
 pub use ccnvme_crashtest as crashtest;
+pub use ccnvme_fabric as fabric;
 pub use ccnvme_fault as fault;
 pub use ccnvme_obs as obs;
 pub use ccnvme_pcie as pcie;
