@@ -97,6 +97,15 @@ impl PmrLayout {
         self.abort_count_off(self.nqueues - 1) + META_LINE + self.depth as u64 * 8
     }
 
+    /// First byte available to application sub-regions of the PMR,
+    /// rounded up to a 4 KiB boundary past the ccNVMe structures. The
+    /// paper treats the PMR as a substrate (§4.4); higher layers such
+    /// as `ccnvme-ploc` carve their own region starting here so driver
+    /// and application persistence never alias.
+    pub fn app_region_off(&self) -> u64 {
+        (self.total_size() + 4095) & !4095
+    }
+
     /// Serializes the header (magic + geometry) with generation 0.
     pub fn encode_header(&self) -> [u8; 64] {
         self.encode_header_with_generation(0)
@@ -204,6 +213,23 @@ mod tests {
     fn fits_in_2mb_pmr() {
         let l = PmrLayout::new(24, 256);
         assert!(l.total_size() <= 2 << 20, "size={}", l.total_size());
+    }
+
+    #[test]
+    fn app_region_clears_the_ccnvme_structures() {
+        for (q, d) in [(1u16, 1u32), (4, 64), (24, 256)] {
+            let l = PmrLayout::new(q, d);
+            assert!(l.app_region_off() >= l.total_size());
+            assert_eq!(
+                l.app_region_off() % 4096,
+                0,
+                "app region must be page-aligned"
+            );
+            assert!(
+                l.app_region_off() - l.total_size() < 4096,
+                "no more than one page of slack"
+            );
+        }
     }
 
     #[test]

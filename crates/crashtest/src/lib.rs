@@ -21,6 +21,7 @@
 
 pub mod enumerate;
 pub mod faults;
+pub mod ploc;
 pub mod stack;
 pub mod workloads;
 
@@ -33,6 +34,7 @@ use parking_lot::Mutex;
 
 pub use enumerate::{enum_metrics, enumerate_crash_surface, EnumConfig, EnumReport, RecrashSweep};
 pub use faults::{campaign_metrics, run_fault_campaign, FaultCampaignConfig, FaultKindReport};
+pub use ploc::{enumerate_ploc_crash_surface, ploc_enum_metrics, PlocEnumConfig, PlocEnumReport};
 pub use stack::{Stack, StackConfig};
 pub use workloads::table4_workloads;
 

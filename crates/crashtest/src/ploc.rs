@@ -1,0 +1,611 @@
+//! Exhaustive crash-surface enumeration for the ploc detectable
+//! structures (`crates/ploc`) — the shared-state counterpart of
+//! [`enumerate`](crate::enumerate)'s file-system sweep.
+//!
+//! A recorded pass runs a scripted multi-client workload against a
+//! [`PlocService`] on an instrumented device: every durable-effecting
+//! event lands in the [`PersistLog`] while the host records, per
+//! `(client, seq)`, the result each operation returned and the virtual
+//! time its ack became durable. Every prefix of the event log — plus
+//! torn posted-write extensions, FIFO-legal per §2.2 — is then booted
+//! into a fresh simulation, mounted, and held to the detectability
+//! contract:
+//!
+//! * the mount must succeed and yield a verdict for every client;
+//! * no acked operation is lost: the verdict's `next_seq` must cover
+//!   every ack whose flush preceded the cut, and a
+//!   [`RecoverVerdict::Completed`] verdict must carry the *same*
+//!   result the pass-1 execution returned (the cut is a prefix of
+//!   that very history, so evidence and result agree);
+//! * re-issuing the last completed sequence must replay from the
+//!   durable record, not re-execute;
+//! * after re-driving every client to the end of its script, the
+//!   structures must conserve values exactly — each mutation took
+//!   effect exactly once: a lost effect leaves a pushed value
+//!   unaccounted, a doubled one surfaces the same unique value twice.
+//!
+//! The workload can be driven locally (direct [`PlocService::op`]
+//! calls) or over the loopback fabric (`PLOC_OP` capsules through a
+//! [`FabricTarget`]), proving the exactly-once contract end to end
+//! across the wire. With a [`RecrashSweep`] policy, recovery itself is
+//! re-crashed at each of *its* persistence events: every cut through a
+//! mount must re-mount to the same per-client verdicts and converge to
+//! the same region bytes as an uninterrupted recovery.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use ccnvme_fabric::{Backend, ClientCfg, ClientStats, FabricClient, FabricConfig, FabricTarget};
+use ccnvme_obs::Obs;
+use ccnvme_ploc::{OpResult, PlocConfig, PlocOp, PlocService, RecoverVerdict};
+use ccnvme_sim::Sim;
+use ccnvme_ssd::{CacheSurvival, CtrlConfig, DurableImage, NvmeController, PersistLog, SsdProfile};
+use parking_lot::Mutex;
+
+use crate::enumerate::RecrashSweep;
+use crate::OpLog;
+
+/// A slot a simulation closure fills in and the caller drains.
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+/// Host cores serving clients (and, in fabric mode, connections); the
+/// device daemons are pinned one past them.
+const CORES: usize = 2;
+
+/// Enumerator configuration.
+#[derive(Clone)]
+pub struct PlocEnumConfig {
+    /// Geometry of the region under test.
+    pub ploc: PlocConfig,
+    /// Scripted operations per client (sequences `1..=ops_per_client`).
+    pub ops_per_client: u32,
+    /// Maximum in-flight posted-write extensions explored per boundary
+    /// (0 = committed prefixes only).
+    pub torn_depth: usize,
+    /// Crash-during-recovery exploration policy.
+    pub recrash: RecrashSweep,
+    /// Drive the workload (and the post-crash resume) through loopback
+    /// fabric sessions instead of direct service calls.
+    pub fabric: bool,
+}
+
+impl Default for PlocEnumConfig {
+    fn default() -> Self {
+        PlocEnumConfig {
+            ploc: PlocConfig {
+                clients: 2,
+                pool: 32,
+                buckets: 4,
+            },
+            ops_per_client: 6,
+            torn_depth: 2,
+            recrash: RecrashSweep::None,
+            fabric: false,
+        }
+    }
+}
+
+/// What the enumeration found.
+#[derive(Debug, Clone)]
+pub struct PlocEnumReport {
+    /// Durable-effecting events the workload generated (after format).
+    pub events: usize,
+    /// Distinct crash states explored (prefixes × torn extensions).
+    pub states: usize,
+    /// States whose recovery satisfied the full exactly-once contract.
+    pub exactly_once: usize,
+    /// Crash points injected into recovery itself (re-crash sweep).
+    pub recovery_recrashes: usize,
+    /// PMR posted writes that landed inside the ploc sub-region during
+    /// the workload (coverage: the sweep actually cut through them).
+    pub region_writes: usize,
+    /// Descriptions of the first few failures.
+    pub failures: Vec<String>,
+}
+
+/// The deterministic per-client script. Clients cycle through all six
+/// operation kinds, staggered by client id so different kinds contend
+/// at any instant. Values and keys are unique per `(client, seq)`, so
+/// a doubled effect surfaces as a duplicated value and a lost one as a
+/// hole in the conservation multiset.
+pub fn scripted_op(c: u16, seq: u32) -> PlocOp {
+    let v = (c as u64) * 1_000 + seq as u64;
+    let k = (c as u32) * 1_000 + seq;
+    match (c as u32 + seq - 1) % 6 {
+        0 => PlocOp::Push(v),
+        1 => PlocOp::Enqueue(v),
+        2 => PlocOp::Insert { key: k, val: seq },
+        3 => PlocOp::Pop,
+        4 => PlocOp::Dequeue,
+        _ => PlocOp::Lookup { key: k },
+    }
+}
+
+fn mark_key(c: u16, seq: u32) -> u64 {
+    (c as u64) << 32 | seq as u64
+}
+
+fn app_base() -> u64 {
+    ccnvme::PmrLayout::new(1, 16).app_region_off()
+}
+
+fn ctrl_config(record: bool) -> CtrlConfig {
+    let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+    cc.device_core = CORES;
+    cc.record_persistence = record;
+    cc
+}
+
+fn client_cfg() -> ClientCfg {
+    ClientCfg {
+        ack_timeout_ns: 2_000_000,
+        backoff_ns: 50_000,
+        max_reconnects: 50,
+        stats: ClientStats::detached(),
+    }
+}
+
+/// Output of one instrumented execution.
+struct PlocRun {
+    log: Arc<PersistLog>,
+    /// Event count when the workload started (everything before is
+    /// format, whose durability is unconditional: format ends in a
+    /// flush).
+    base_events: usize,
+    /// Ack-durability marks, keyed by [`mark_key`].
+    marks: Arc<OpLog>,
+    /// Every operation's returned result from the recorded execution.
+    results: BTreeMap<(u16, u32), OpResult>,
+    /// Ploc sub-region bounds inside the PMR.
+    bounds: (u64, u64),
+}
+
+/// Runs the scripted workload once on an instrumented device and
+/// captures the full persistence-event log plus per-op results.
+fn record_workload(cfg: &PlocEnumConfig) -> PlocRun {
+    let captured: Slot<(Arc<PersistLog>, usize, (u64, u64))> = Arc::new(Mutex::new(None));
+    let marks = Arc::new(OpLog::new());
+    let results: Arc<Mutex<BTreeMap<(u16, u32), OpResult>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    {
+        let cap = Arc::clone(&captured);
+        let marks = Arc::clone(&marks);
+        let results = Arc::clone(&results);
+        let cfg = cfg.clone();
+        let mut sim = Sim::new(CORES + 1);
+        sim.spawn("ploc-enum-record", 0, move || {
+            let ctrl = Arc::new(NvmeController::new(ctrl_config(true)));
+            let plog = ctrl.persist_log().expect("record_persistence was set");
+            let svc = PlocService::format(ctrl.pmr(), app_base(), cfg.ploc, Obs::new());
+            let base_events = plog.len();
+            let target = cfg.fabric.then(|| {
+                FabricTarget::new(Backend::Ploc(Arc::clone(&svc)), FabricConfig::new(CORES))
+            });
+            let mut joins = Vec::new();
+            for c in 0..cfg.ploc.clients {
+                let svc = Arc::clone(&svc);
+                let target = target.clone();
+                let marks = Arc::clone(&marks);
+                let results = Arc::clone(&results);
+                let ops = cfg.ops_per_client;
+                joins.push(ccnvme_sim::spawn(
+                    &format!("ploc-enum-client-{c}"),
+                    c as usize % CORES,
+                    move || {
+                        let mut remote = target.map(|t| {
+                            FabricClient::connect(
+                                c as u64,
+                                t.loopback_connector(c as u64),
+                                client_cfg(),
+                            )
+                            .expect("loopback connect")
+                        });
+                        for seq in 1..=ops {
+                            let op = scripted_op(c, seq);
+                            let r = match &mut remote {
+                                Some(fc) => fc.ploc_next(op).expect("fabric op"),
+                                None => svc.op(c, seq, op).expect("local op"),
+                            };
+                            // The result is durable before the ack
+                            // returns; the mark closes the oracle's
+                            // "this op may no longer be lost" window.
+                            results.lock().insert((c, seq), r);
+                            marks.mark(mark_key(c, seq));
+                        }
+                        if let Some(fc) = remote.take() {
+                            fc.bye();
+                        }
+                    },
+                ));
+            }
+            for j in joins {
+                j.join();
+            }
+            *cap.lock() = Some((plog, base_events, svc.region_bounds()));
+        });
+        sim.run();
+    }
+    let (log, base_events, bounds) = captured.lock().take().expect("instrumented run completed");
+    let results = std::mem::take(&mut *results.lock());
+    PlocRun {
+        log,
+        base_events,
+        marks,
+        results,
+        bounds,
+    }
+}
+
+/// Exact conservation check for one structure: the multiset of values
+/// successfully pushed must equal the values popped plus the values
+/// still present — and no unique value may be observed twice.
+fn conserve(
+    name: &str,
+    mut pushed: Vec<u64>,
+    popped: &[u64],
+    contents: &[u64],
+    problems: &mut Vec<String>,
+) {
+    let mut seen = HashSet::new();
+    for &v in popped.iter().chain(contents.iter()) {
+        if !seen.insert(v) {
+            problems.push(format!(
+                "{name}: value {v} observed twice — an effect doubled"
+            ));
+        }
+    }
+    let mut have: Vec<u64> = popped.iter().chain(contents.iter()).copied().collect();
+    have.sort_unstable();
+    pushed.sort_unstable();
+    if have != pushed {
+        problems.push(format!(
+            "{name}: pushed {pushed:?} but accounted for {have:?}"
+        ));
+    }
+}
+
+/// Boots `image` into a fresh simulation, mounts the service, and
+/// holds every client to the detectability contract (see the module
+/// docs). Returns the problems found (empty = exactly-once held).
+fn verify_image(
+    cfg: &PlocEnumConfig,
+    run: &PlocRun,
+    image: DurableImage,
+    persisted: HashSet<u64>,
+) -> Vec<String> {
+    let issues: Slot<Vec<String>> = Arc::new(Mutex::new(None));
+    {
+        let issues = Arc::clone(&issues);
+        let cfg = cfg.clone();
+        let results = run.results.clone();
+        let mut sim = Sim::new(CORES + 1);
+        sim.spawn("ploc-enum-verify", 0, move || {
+            let mut problems = Vec::new();
+            let ctrl = Arc::new(NvmeController::from_image(ctrl_config(false), &image));
+            let svc = match PlocService::mount(ctrl.pmr(), app_base(), Obs::new()) {
+                Ok(s) => s,
+                Err(e) => {
+                    *issues.lock() = Some(vec![format!("mount failed: {e}")]);
+                    return;
+                }
+            };
+            let target = cfg.fabric.then(|| {
+                FabricTarget::new(Backend::Ploc(Arc::clone(&svc)), FabricConfig::new(CORES))
+            });
+            // The definitive result of every (client, seq): completed
+            // ops keep their pass-1 result (the cut is a prefix of that
+            // history), everything past the verdict is re-driven.
+            let mut definitive: BTreeMap<(u16, u32), OpResult> = BTreeMap::new();
+            for c in 0..cfg.ploc.clients {
+                let mut remote = target.as_ref().map(|t| {
+                    FabricClient::connect(c as u64, t.loopback_connector(c as u64), client_cfg())
+                        .expect("loopback connect")
+                });
+                let verdict = match &mut remote {
+                    Some(fc) => fc.ploc_resume().expect("fabric resume"),
+                    None => svc.recover(c).expect("recover"),
+                };
+                let floor = verdict.next_seq() - 1;
+                let max_acked = (1..=cfg.ops_per_client)
+                    .rev()
+                    .find(|&s| persisted.contains(&mark_key(c, s)))
+                    .unwrap_or(0);
+                if floor < max_acked {
+                    problems.push(format!(
+                        "client {c}: acked op {max_acked} lost — verdict {verdict:?}"
+                    ));
+                }
+                if floor > cfg.ops_per_client {
+                    problems.push(format!("client {c}: verdict {verdict:?} beyond the script"));
+                    continue;
+                }
+                if let RecoverVerdict::Completed { seq, result } = verdict {
+                    match results.get(&(c, seq)) {
+                        Some(&r1) if r1 == result => {}
+                        Some(&r1) => problems.push(format!(
+                            "client {c}: op {seq} recovered as {result:?} but the \
+                             execution it prefixes returned {r1:?}"
+                        )),
+                        None => problems.push(format!(
+                            "client {c}: verdict for op {seq} the script never ran"
+                        )),
+                    }
+                }
+                for seq in 1..=floor {
+                    definitive.insert((c, seq), results[&(c, seq)]);
+                }
+                // Re-issuing the last completed sequence must replay the
+                // recorded result, not execute a second time (a double
+                // would also trip the conservation check below).
+                if floor >= 1 {
+                    let replayed = match &mut remote {
+                        Some(fc) => fc
+                            .ploc_op(floor, scripted_op(c, floor))
+                            .map_err(|e| e.to_string()),
+                        None => svc
+                            .op(c, floor, scripted_op(c, floor))
+                            .map_err(|e| e.to_string()),
+                    };
+                    match replayed {
+                        Ok(r) if r == definitive[&(c, floor)] => {}
+                        Ok(r) => problems.push(format!(
+                            "client {c}: replay of op {floor} answered {r:?}, executed {:?}",
+                            definitive[&(c, floor)]
+                        )),
+                        Err(e) => problems.push(format!("client {c}: replay of op {floor}: {e}")),
+                    }
+                }
+                // Re-drive the rest of the script to its end.
+                for seq in floor + 1..=cfg.ops_per_client {
+                    let r = match &mut remote {
+                        Some(fc) => fc
+                            .ploc_op(seq, scripted_op(c, seq))
+                            .map_err(|e| e.to_string()),
+                        None => svc
+                            .op(c, seq, scripted_op(c, seq))
+                            .map_err(|e| e.to_string()),
+                    };
+                    match r {
+                        Ok(r) => {
+                            definitive.insert((c, seq), r);
+                        }
+                        Err(e) => problems.push(format!("client {c}: re-drive op {seq}: {e}")),
+                    }
+                }
+                if let Some(fc) = remote.take() {
+                    fc.bye();
+                }
+            }
+            // Conservation: with every sequence driven to a definitive
+            // result, each structure's books must balance exactly.
+            let (mut pushed, mut popped) = (Vec::new(), Vec::new());
+            let (mut enq, mut deq) = (Vec::new(), Vec::new());
+            let mut inserted = Vec::new();
+            for (&(c, seq), &r) in &definitive {
+                let op = scripted_op(c, seq);
+                match (op, r) {
+                    (PlocOp::Push(v), OpResult::Done) => pushed.push(v),
+                    (PlocOp::Enqueue(v), OpResult::Done) => enq.push(v),
+                    (PlocOp::Insert { key, val }, OpResult::Done) => inserted.push((key, val)),
+                    (
+                        PlocOp::Push(_) | PlocOp::Enqueue(_) | PlocOp::Insert { .. },
+                        OpResult::Full,
+                    ) => {}
+                    (PlocOp::Pop, OpResult::Value(v)) => popped.push(v),
+                    (PlocOp::Dequeue, OpResult::Value(v)) => deq.push(v),
+                    (PlocOp::Pop | PlocOp::Dequeue, OpResult::Empty) => {}
+                    (PlocOp::Lookup { .. }, _) => {}
+                    (op, r) => problems.push(format!(
+                        "client {c} op {seq}: {op:?} answered impossible {r:?}"
+                    )),
+                }
+            }
+            conserve(
+                "stack",
+                pushed,
+                &popped,
+                &svc.stack_contents(),
+                &mut problems,
+            );
+            conserve("queue", enq, &deq, &svc.queue_contents(), &mut problems);
+            inserted.sort_unstable();
+            let mut got = svc.hash_contents();
+            got.sort_unstable();
+            if inserted != got {
+                problems.push(format!("hash: inserted {inserted:?} but mounted {got:?}"));
+            }
+            *issues.lock() = Some(problems);
+        });
+        sim.run();
+    }
+    let got = issues.lock().take();
+    got.expect("verify simulation completed")
+}
+
+/// Mounts `image` with persistence recording and returns the mount's
+/// own event log, the per-client verdicts it settled on, and the
+/// region bytes an uninterrupted recovery converges to.
+#[allow(clippy::type_complexity)]
+fn record_recovery(
+    cfg: &PlocEnumConfig,
+    image: &DurableImage,
+) -> Option<(Arc<PersistLog>, Vec<RecoverVerdict>, Vec<u8>)> {
+    let captured: Slot<(Arc<PersistLog>, Vec<RecoverVerdict>, Vec<u8>)> =
+        Arc::new(Mutex::new(None));
+    {
+        let cap = Arc::clone(&captured);
+        let image = image.clone();
+        let clients = cfg.ploc.clients;
+        let mut sim = Sim::new(CORES + 1);
+        sim.spawn("ploc-enum-recrash-record", 0, move || {
+            let ctrl = Arc::new(NvmeController::from_image(ctrl_config(true), &image));
+            let plog = ctrl.persist_log().expect("record_persistence was set");
+            if let Ok(svc) = PlocService::mount(ctrl.pmr(), app_base(), Obs::new()) {
+                let verdicts = (0..clients)
+                    .map(|c| svc.recover(c).expect("in-range client"))
+                    .collect();
+                let (lo, hi) = svc.region_bounds();
+                let bytes = ctrl.graceful_image().pmr[lo as usize..hi as usize].to_vec();
+                *cap.lock() = Some((plog, verdicts, bytes));
+            }
+        });
+        sim.run();
+    }
+    let got = captured.lock().take();
+    got
+}
+
+/// Re-mounts `image` (a cut through recovery itself) and returns its
+/// verdicts plus converged region bytes, or an error description.
+#[allow(clippy::type_complexity)]
+fn rerecover(
+    cfg: &PlocEnumConfig,
+    image: DurableImage,
+) -> Result<(Vec<RecoverVerdict>, Vec<u8>), String> {
+    let captured: Slot<Result<(Vec<RecoverVerdict>, Vec<u8>), String>> = Arc::new(Mutex::new(None));
+    {
+        let cap = Arc::clone(&captured);
+        let clients = cfg.ploc.clients;
+        let mut sim = Sim::new(CORES + 1);
+        sim.spawn("ploc-enum-rerecover", 0, move || {
+            let ctrl = Arc::new(NvmeController::from_image(ctrl_config(false), &image));
+            let out = match PlocService::mount(ctrl.pmr(), app_base(), Obs::new()) {
+                Ok(svc) => {
+                    let verdicts = (0..clients)
+                        .map(|c| svc.recover(c).expect("in-range client"))
+                        .collect();
+                    let (lo, hi) = svc.region_bounds();
+                    Ok((
+                        verdicts,
+                        ctrl.graceful_image().pmr[lo as usize..hi as usize].to_vec(),
+                    ))
+                }
+                Err(e) => Err(format!("re-mount after recovery crash failed: {e}")),
+            };
+            *cap.lock() = Some(out);
+        });
+        sim.run();
+    }
+    let got = captured.lock().take();
+    got.unwrap_or_else(|| Err("re-recovery simulation produced no result".into()))
+}
+
+/// Re-crashes the recovery of `image` at each of its persistence
+/// events: every cut must re-mount to the *same* per-client verdicts
+/// (evidence is never destroyed ahead of the verdict it supports) and
+/// converge to the same region bytes as the uninterrupted recovery.
+/// Returns the number of injected recovery crash points.
+fn recrash_sweep(cfg: &PlocEnumConfig, image: &DurableImage, failures: &mut Vec<String>) -> usize {
+    let Some((rec_log, verdicts, reference)) = record_recovery(cfg, image) else {
+        failures.push("recrash sweep: instrumented recovery failed to mount".into());
+        return 0;
+    };
+    let rec_events = rec_log.len();
+    let mut injected = 0;
+    for p in 0..=rec_events {
+        injected += 1;
+        let cut = rec_log.state_at(p, 0, CacheSurvival::DropAll);
+        match rerecover(cfg, cut) {
+            Ok((v, bytes)) => {
+                if v != verdicts && failures.len() < 8 {
+                    failures.push(format!(
+                        "recovery re-crashed at event {p}/{rec_events}: verdicts \
+                         {v:?} diverge from uninterrupted {verdicts:?}"
+                    ));
+                }
+                if bytes != reference && failures.len() < 8 {
+                    failures.push(format!(
+                        "recovery re-crashed at event {p}/{rec_events}: {} region \
+                         bytes diverge from the uninterrupted recovery",
+                        bytes
+                            .iter()
+                            .zip(reference.iter())
+                            .filter(|(a, b)| a != b)
+                            .count()
+                    ));
+                }
+            }
+            Err(e) => {
+                if failures.len() < 8 {
+                    failures.push(format!(
+                        "recovery re-crashed at event {p}/{rec_events}: {e}"
+                    ));
+                }
+            }
+        }
+    }
+    injected
+}
+
+/// Walks the complete crash surface of one scripted ploc workload.
+///
+/// Explores every event-prefix of the recorded persistence log (from
+/// the end of format to the end of the workload, inclusive —
+/// `events + 1` states at `torn_depth` 0), plus up to `torn_depth`
+/// posted-write FIFO extensions per boundary. Each state is mounted,
+/// held to the exactly-once contract, and re-driven to completion; the
+/// re-crash sweep then stresses recovery itself per
+/// [`PlocEnumConfig::recrash`].
+pub fn enumerate_ploc_crash_surface(cfg: &PlocEnumConfig) -> PlocEnumReport {
+    let run = record_workload(cfg);
+    let total_events = run.log.len();
+    let events = total_events - run.base_events;
+    let region_writes = run.log.pmr_writes_in_range(run.bounds.0, run.bounds.1);
+    let mut states = 0;
+    let mut exactly_once = 0;
+    let mut recovery_recrashes = 0;
+    let mut failures: Vec<String> = Vec::new();
+    if region_writes == 0 {
+        failures.push("no posted write ever landed in the ploc region — nothing was tested".into());
+    }
+    let mut final_image: Option<DurableImage> = None;
+    for p in run.base_events..=total_events {
+        let torn_cap = cfg.torn_depth.min(run.log.max_torn_at(p));
+        for torn in 0..=torn_cap {
+            states += 1;
+            let image = run.log.state_at(p, torn, CacheSurvival::DropAll);
+            // A crash cut just before the event at the boundary: credit
+            // only acks whose flush completed strictly earlier.
+            let persisted = run.marks.persisted_before(run.log.boundary_time(p));
+            let problems = verify_image(cfg, &run, image.clone(), persisted);
+            if problems.is_empty() {
+                exactly_once += 1;
+            } else if failures.len() < 8 {
+                failures.push(format!("prefix {p} torn {torn}: {}", problems.join("; ")));
+            }
+            if cfg.recrash == RecrashSweep::EveryImage {
+                recovery_recrashes += recrash_sweep(cfg, &image, &mut failures);
+            } else if p == total_events && torn == 0 {
+                final_image = Some(image);
+            }
+        }
+    }
+    if cfg.recrash == RecrashSweep::FinalImage {
+        if let Some(image) = final_image {
+            recovery_recrashes += recrash_sweep(cfg, &image, &mut failures);
+        }
+    }
+    PlocEnumReport {
+        events,
+        states,
+        exactly_once,
+        recovery_recrashes,
+        region_writes,
+        failures,
+    }
+}
+
+/// Flattens a ploc enumeration report into the machine-readable
+/// `ccnvme-metrics/v1` document the bench binaries emit.
+pub fn ploc_enum_metrics(r: &PlocEnumReport) -> ccnvme_obs::MetricsSnapshot {
+    let mut snap = ccnvme_obs::MetricsSnapshot::default();
+    let mut put = |field: &str, v: u64| {
+        snap.counters.insert(format!("crashenum.ploc.{field}"), v);
+    };
+    put("events", r.events as u64);
+    put("states", r.states as u64);
+    put("exactly_once", r.exactly_once as u64);
+    put("recovery_recrashes", r.recovery_recrashes as u64);
+    put("region_writes", r.region_writes as u64);
+    put("failures", r.failures.len() as u64);
+    snap
+}

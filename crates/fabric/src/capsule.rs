@@ -25,6 +25,11 @@
 use crate::error::CodecError;
 use mqfs::FsError;
 
+/// The ploc operation carried by a [`Capsule::PlocOp`] request.
+/// Re-exported under a wire-flavored name so the enum variant and the
+/// payload type don't shadow each other at use sites.
+pub use ccnvme_ploc::PlocOp as PlocOpWire;
+
 /// Capsule magic: "ccNVMe-oF" squeezed into a u32.
 pub const MAGIC: u32 = 0xCC0F_4E56;
 
@@ -54,6 +59,8 @@ const OP_FS_SYNC: u8 = 0x08;
 const OP_FS_STAT: u8 = 0x09;
 const OP_METRICS: u8 = 0x0a;
 const OP_BYE: u8 = 0x0b;
+const OP_PLOC_OP: u8 = 0x0c;
+const OP_PLOC_RECOVER: u8 = 0x0d;
 const OP_RESPONSE: u8 = 0x80;
 
 /// Which persistence primitive an `FsSync` capsule invokes.
@@ -164,6 +171,20 @@ pub enum Capsule {
     /// Fetch the target's metrics registry as a `ccnvme-metrics/v1`
     /// JSON document.
     Metrics,
+    /// A detectable lock-free operation against the target's ploc
+    /// backend (`crates/ploc`). `seq` is the client's per-structure
+    /// operation sequence — strictly increasing from 1, independent of
+    /// the capsule `cid` — so the target's `PlocService` can answer a
+    /// retransmitted operation from its exactly-once result cache.
+    PlocOp {
+        /// Per-client detectable-op sequence (starts at 1).
+        seq: u32,
+        /// The operation.
+        op: PlocOpWire,
+    },
+    /// Ask the ploc backend for the session client's recovery verdict
+    /// (`PlocService::recover`): what the last issued operation did.
+    PlocRecover,
     /// Orderly session teardown.
     Bye,
 }
@@ -489,6 +510,16 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             (OP_FS_STAT, b)
         }
         Capsule::Metrics => (OP_METRICS, Vec::new()),
+        Capsule::PlocOp { seq, op } => {
+            let (kind, a0, a1) = op.to_wire();
+            let mut b = Vec::new();
+            put_u32(&mut b, *seq);
+            b.push(kind);
+            put_u64(&mut b, a0);
+            put_u64(&mut b, a1);
+            (OP_PLOC_OP, b)
+        }
+        Capsule::PlocRecover => (OP_PLOC_RECOVER, Vec::new()),
         Capsule::Bye => (OP_BYE, Vec::new()),
     };
     let mut out = header(opcode, req.cid);
@@ -537,6 +568,15 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
         },
         OP_FS_STAT => Capsule::FsStat { ino: c.u64()? },
         OP_METRICS => Capsule::Metrics,
+        OP_PLOC_OP => {
+            let seq = c.u32()?;
+            let kind = c.u8()?;
+            let a0 = c.u64()?;
+            let a1 = c.u64()?;
+            let op = PlocOpWire::from_wire(kind, a0, a1).ok_or(CodecError::BadPlocOp(kind))?;
+            Capsule::PlocOp { seq, op }
+        }
+        OP_PLOC_RECOVER => Capsule::PlocRecover,
         OP_BYE => Capsule::Bye,
         other => return Err(CodecError::BadOpcode(other)),
     };

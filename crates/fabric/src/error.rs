@@ -20,6 +20,8 @@ pub enum CodecError {
     BadStatus(u8),
     /// Unknown sync-mode byte in an `FsSync` capsule.
     BadSyncMode(u8),
+    /// Unknown ploc operation kind in a `PlocOp` capsule.
+    BadPlocOp(u8),
     /// The trailing FNV-1a checksum does not match the payload.
     BadChecksum,
     /// A length-prefixed field exceeds its protocol cap.
@@ -44,6 +46,7 @@ impl fmt::Display for CodecError {
             CodecError::BadOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
             CodecError::BadStatus(s) => write!(f, "unknown status byte {s:#04x}"),
             CodecError::BadSyncMode(m) => write!(f, "unknown sync mode {m}"),
+            CodecError::BadPlocOp(k) => write!(f, "unknown ploc op kind {k}"),
             CodecError::BadChecksum => write!(f, "capsule checksum mismatch"),
             CodecError::Overflow { len, max } => {
                 write!(f, "field length {len} exceeds protocol cap {max}")

@@ -20,6 +20,8 @@ use std::sync::Arc;
 use ccnvme_obs::{Counter, Registry};
 use ccnvme_sim::Ns;
 
+use ccnvme_ploc::{OpResult, PlocOp, RecoverVerdict};
+
 use crate::capsule::{decode_response, encode_request, Capsule, Request, Response, SyncKind};
 use crate::error::FabricError;
 use crate::transport::{Connector, Transport};
@@ -90,6 +92,10 @@ pub struct FabricClient {
     unacked: BTreeMap<u64, Vec<u8>>,
     /// Acks that arrived while we were waiting for a different cid.
     got: BTreeMap<u64, Response>,
+    /// Last ploc operation sequence issued by the auto-seq helpers.
+    /// Seed it from the target's verdict with [`Self::ploc_resume`]
+    /// after a client restart.
+    ploc_seq: u32,
 }
 
 impl FabricClient {
@@ -111,6 +117,7 @@ impl FabricClient {
             window: 1,
             unacked: BTreeMap::new(),
             got: BTreeMap::new(),
+            ploc_seq: 0,
         };
         c.hello(false)?;
         Ok(c)
@@ -335,6 +342,57 @@ impl FabricClient {
     /// Returns the size of inode `ino`.
     pub fn stat(&mut self, ino: u64) -> Result<u64, FabricError> {
         Ok(self.call(Capsule::FsStat { ino })?.val)
+    }
+
+    // ---- detectable data-structure surface (ploc backend) ----
+
+    /// Executes detectable ploc operation `op` under explicit sequence
+    /// `seq`. Exactly-once: retransmits of the same `seq` are answered
+    /// from the target's per-client result cache, and after a crash
+    /// [`Self::ploc_recover`] reports what this `seq` did.
+    pub fn ploc_op(&mut self, seq: u32, op: PlocOp) -> Result<OpResult, FabricError> {
+        let resp = self.call(Capsule::PlocOp { seq, op })?;
+        OpResult::from_wire(resp.aux as u8, resp.val)
+            .ok_or_else(|| FabricError::Protocol("unparseable ploc result".into()))
+    }
+
+    /// Executes `op` under the next auto-assigned sequence. Call
+    /// [`Self::ploc_resume`] first when re-attaching after a client
+    /// restart, so the counter continues where the target left off.
+    pub fn ploc_next(&mut self, op: PlocOp) -> Result<OpResult, FabricError> {
+        let seq = self.ploc_seq + 1;
+        let r = self.ploc_op(seq, op)?;
+        self.ploc_seq = seq;
+        Ok(r)
+    }
+
+    /// Asks the target what this client's last detectable operation
+    /// did ([`ccnvme_ploc::PlocService::recover`]).
+    pub fn ploc_recover(&mut self) -> Result<RecoverVerdict, FabricError> {
+        let resp = self.call(Capsule::PlocRecover)?;
+        let vt = resp.aux & 0xff;
+        let rt = (resp.aux >> 8) as u8;
+        let seq = (resp.aux >> 16) as u32;
+        let bad = || FabricError::Protocol("unparseable ploc verdict".into());
+        Ok(match vt {
+            0 => RecoverVerdict::Idle { completed: seq },
+            1 => RecoverVerdict::Completed {
+                seq,
+                result: OpResult::from_wire(rt, resp.val).ok_or_else(bad)?,
+            },
+            2 => RecoverVerdict::NotExecuted { seq },
+            _ => return Err(bad()),
+        })
+    }
+
+    /// Recovers the client's verdict and seeds the auto-seq counter so
+    /// [`Self::ploc_next`] resumes exactly where the target's durable
+    /// state says this client stopped. Returns the verdict so the
+    /// caller can learn the in-flight operation's definitive result.
+    pub fn ploc_resume(&mut self) -> Result<RecoverVerdict, FabricError> {
+        let verdict = self.ploc_recover()?;
+        self.ploc_seq = verdict.next_seq() - 1;
+        Ok(verdict)
     }
 
     /// Severs the current wire without notifying the session layer — a

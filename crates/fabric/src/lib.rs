@@ -40,7 +40,7 @@ pub mod target;
 pub mod tcp;
 pub mod transport;
 
-pub use capsule::{Capsule, Request, Response, Status, SyncKind};
+pub use capsule::{Capsule, PlocOpWire, Request, Response, Status, SyncKind};
 pub use error::{CodecError, FabricError};
 pub use initiator::{ClientCfg, ClientStats, FabricClient};
 pub use target::{Backend, FabricConfig, FabricStats, FabricTarget, LoopbackConnector};

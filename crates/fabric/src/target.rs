@@ -25,6 +25,7 @@ use ccnvme::CcNvmeDriver;
 use ccnvme_block::{Bio, BioFlags, BioStatus, BioWaiter, BlockDevice, BLOCK_SIZE};
 use ccnvme_fault::FaultInjector;
 use ccnvme_obs::{Counter, Obs};
+use ccnvme_ploc::{PlocError, PlocService, RecoverVerdict};
 use ccnvme_sim::{Ns, SimMutex};
 use mqfs::FileSystem;
 use parking_lot::Mutex;
@@ -70,6 +71,11 @@ pub enum Backend {
         /// Window length in blocks.
         blocks: u64,
     },
+    /// Detectable lock-free data structures on the device's PMR
+    /// (`crates/ploc`). The session's `client_id` doubles as the ploc
+    /// client slot, so each remote client owns its own INTENT/RESULT
+    /// checkpoint records.
+    Ploc(Arc<PlocService>),
 }
 
 /// Target configuration.
@@ -162,6 +168,9 @@ struct OpenTx {
 }
 
 struct Session {
+    /// The client's stable identity — for a ploc backend this is also
+    /// the ploc client slot the session's detectable ops run under.
+    client_id: u64,
     /// Serializes capsule execution across connections of the same
     /// client: after a partition, a handler for the new connection may
     /// start while the old handler is still finishing a durable commit;
@@ -172,8 +181,9 @@ struct Session {
 }
 
 impl Session {
-    fn fresh() -> Arc<Session> {
+    fn fresh(client_id: u64) -> Arc<Session> {
         Arc::new(Session {
+            client_id,
             exec: SimMutex::new(()),
             st: Mutex::new(SessSt {
                 expected_cid: 1,
@@ -207,6 +217,7 @@ impl FabricTarget {
         let obs = match &backend {
             Backend::Fs(fs) => ccnvme_block::obs_of(fs.device().as_ref()),
             Backend::Raw { drv, .. } => ccnvme_block::obs_of(&**drv),
+            Backend::Ploc(svc) => svc.obs(),
         };
         let stats = FabricStats::registered(&obs);
         Arc::new(FabricTarget {
@@ -374,7 +385,7 @@ impl FabricTarget {
                 if !resume || !sessions.contains_key(&client_id) {
                     self.stats.sessions.inc();
                 }
-                let fresh = Session::fresh();
+                let fresh = Session::fresh(client_id);
                 sessions.insert(client_id, Arc::clone(&fresh));
                 fresh
             }
@@ -472,7 +483,7 @@ impl FabricTarget {
             Capsule::Hello { .. } | Capsule::Bye => Response::status(cid, Status::Protocol),
             Capsule::AllocTx => match &self.backend {
                 Backend::Raw { drv, .. } => Response::ok_val(cid, drv.alloc_tx_id()),
-                Backend::Fs(_) => Response::status(cid, Status::NotSupported),
+                Backend::Fs(_) | Backend::Ploc(_) => Response::status(cid, Status::NotSupported),
             },
             Capsule::TxWrite {
                 tx_id,
@@ -528,6 +539,66 @@ impl FabricTarget {
                 aux: 0,
                 data: self.obs.metrics.snapshot().to_json().into_bytes(),
             },
+            Capsule::PlocOp { seq, op } => {
+                let Backend::Ploc(svc) = &self.backend else {
+                    return Response::status(cid, Status::NotSupported);
+                };
+                if sess.client_id > u16::MAX as u64 {
+                    return Response::status(cid, Status::Protocol);
+                }
+                match svc.op(sess.client_id as u16, *seq, *op) {
+                    Ok(result) => {
+                        if op.mutates() {
+                            // A mutating ploc op is a commit point: its
+                            // RESULT record is durable before this ack.
+                            self.stats.commits.inc();
+                        }
+                        let (tag, payload) = result.to_wire();
+                        Response {
+                            cid,
+                            status: Status::Ok,
+                            val: payload,
+                            aux: tag as u64,
+                            data: Vec::new(),
+                        }
+                    }
+                    Err(PlocError::Unformatted) => Response::status(cid, Status::NotSupported),
+                    Err(PlocError::BadClient { .. }) | Err(PlocError::BadSeq { .. }) => {
+                        Response::status(cid, Status::Protocol)
+                    }
+                }
+            }
+            Capsule::PlocRecover => {
+                let Backend::Ploc(svc) = &self.backend else {
+                    return Response::status(cid, Status::NotSupported);
+                };
+                if sess.client_id > u16::MAX as u64 {
+                    return Response::status(cid, Status::Protocol);
+                }
+                match svc.recover(sess.client_id as u16) {
+                    Ok(verdict) => {
+                        // aux packs the verdict: tag | result_tag << 8
+                        // | seq << 16; val carries the result payload.
+                        let (vt, seq, rt, payload) = match verdict {
+                            RecoverVerdict::Idle { completed } => (0u64, completed, 0u8, 0u64),
+                            RecoverVerdict::Completed { seq, result } => {
+                                let (rt, payload) = result.to_wire();
+                                (1, seq, rt, payload)
+                            }
+                            RecoverVerdict::NotExecuted { seq } => (2, seq, 0, 0),
+                        };
+                        Response {
+                            cid,
+                            status: Status::Ok,
+                            val: payload,
+                            aux: vt | (rt as u64) << 8 | (seq as u64) << 16,
+                            data: Vec::new(),
+                        }
+                    }
+                    Err(PlocError::Unformatted) => Response::status(cid, Status::NotSupported),
+                    Err(_) => Response::status(cid, Status::Protocol),
+                }
+            }
         }
     }
 
@@ -541,7 +612,7 @@ impl FabricTarget {
                 Ok(resp) => resp,
                 Err(e) => Response::status(cid, Status::Fs(e)),
             },
-            Backend::Raw { .. } => Response::status(cid, Status::NotSupported),
+            Backend::Raw { .. } | Backend::Ploc(_) => Response::status(cid, Status::NotSupported),
         }
     }
 
@@ -635,10 +706,13 @@ impl FabricTarget {
 }
 
 fn commit_like(op: &Capsule) -> bool {
-    matches!(
-        op,
-        Capsule::TxWrite { commit: true, .. } | Capsule::FsSync { .. }
-    )
+    match op {
+        Capsule::TxWrite { commit: true, .. } | Capsule::FsSync { .. } => true,
+        // A mutating ploc op commits at its RESULT flush; a replayed
+        // one must count as a deduplicated commit, not a re-execution.
+        Capsule::PlocOp { op, .. } => op.mutates(),
+        _ => false,
+    }
 }
 
 fn bio_status(s: BioStatus) -> Status {

@@ -203,6 +203,7 @@ impl Transport for LoopbackTransport {
         if self.dead {
             return Err(FabricError::Disconnected);
         }
+        let t0 = ccnvme_sim::now();
         match self.rx.recv_timeout(timeout_ns) {
             Some(Wire { sent_at, payload }) => match payload {
                 Payload::Data(frame) => {
@@ -220,9 +221,21 @@ impl Transport for LoopbackTransport {
                     Err(FabricError::Disconnected)
                 }
             },
-            // Covers both an empty wire (timeout) and a dropped peer;
-            // the caller's reconnect path handles either.
-            None => Err(FabricError::Timeout),
+            // `None` covers both an expired timeout and a dropped peer
+            // endpoint. Distinguish them by elapsed virtual time: the
+            // channel reports sender-gone *immediately*, so an early
+            // return is a hangup (the peer was dropped without `close`,
+            // like a process death resetting a TCP connection). Mapping
+            // it to `Timeout` instead would make the handler's poll
+            // loop spin without advancing virtual time — a livelock.
+            None => {
+                if ccnvme_sim::now().saturating_sub(t0) < timeout_ns {
+                    self.dead = true;
+                    Err(FabricError::Disconnected)
+                } else {
+                    Err(FabricError::Timeout)
+                }
+            }
         }
     }
 

@@ -3,8 +3,8 @@
 //! never panics and never yields a capsule it was not sent.
 
 use ccnvme_fabric::capsule::{
-    decode_request, decode_response, encode_request, encode_response, Capsule, Request, Response,
-    Status, SyncKind, MAGIC,
+    decode_request, decode_response, encode_request, encode_response, Capsule, PlocOpWire, Request,
+    Response, Status, SyncKind, MAGIC,
 };
 use ccnvme_fabric::CodecError;
 use mqfs::FsError;
@@ -13,7 +13,7 @@ use proptest::prelude::*;
 /// Builds one of every request shape from generic scalar inputs.
 fn build_capsule(sel: u8, a: u64, b: u64, flag: bool, flag2: bool, data: Vec<u8>) -> Capsule {
     let path = format!("/d{}/f{}", a % 7, b % 23);
-    match sel % 11 {
+    match sel % 13 {
         0 => Capsule::Hello {
             client_id: a,
             resume: flag,
@@ -49,6 +49,21 @@ fn build_capsule(sel: u8, a: u64, b: u64, flag: bool, flag2: bool, data: Vec<u8>
         },
         8 => Capsule::FsStat { ino: a },
         9 => Capsule::Metrics,
+        10 => Capsule::PlocOp {
+            seq: (a % u32::MAX as u64) as u32,
+            op: match b % 6 {
+                0 => PlocOpWire::Push(a),
+                1 => PlocOpWire::Pop,
+                2 => PlocOpWire::Enqueue(a ^ b),
+                3 => PlocOpWire::Dequeue,
+                4 => PlocOpWire::Insert {
+                    key: a as u32,
+                    val: b as u32,
+                },
+                _ => PlocOpWire::Lookup { key: b as u32 },
+            },
+        },
+        11 => Capsule::PlocRecover,
         _ => Capsule::Bye,
     }
 }
@@ -200,6 +215,26 @@ fn cross_decoding_reports_bad_opcode() {
         decode_request(&resp_wire),
         Err(CodecError::BadOpcode(_))
     ));
+}
+
+/// A `PlocOp` frame whose operation kind byte is not a known ploc
+/// operation is a typed rejection, distinct from frame damage.
+#[test]
+fn unknown_ploc_kind_reports_bad_ploc_op() {
+    let wire = encode_request(&Request {
+        cid: 3,
+        op: Capsule::PlocOp {
+            seq: 1,
+            op: PlocOpWire::Pop,
+        },
+    });
+    // The kind byte sits after header (14) + seq (4); rewrite it to an
+    // unassigned kind and re-seal the checksum.
+    let mut body: Vec<u8> = wire[..wire.len() - 8].to_vec();
+    body[14 + 4] = 0x7f;
+    let sum = ccnvme_fabric::capsule::fnv64(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    assert_eq!(decode_request(&body), Err(CodecError::BadPlocOp(0x7f)));
 }
 
 /// Trailing garbage after a well-formed body fails the checksum (the

@@ -269,6 +269,7 @@ pub const NAMESPACE_ROOTS: &[&str] = &[
     "mqfs.",
     "crashenum.",
     "fabric.",
+    "ploc.",
 ];
 
 /// Whether `name`, or any of its dot-separated suffixes (to skip run

@@ -147,6 +147,26 @@ impl PersistLog {
         self.len() == 0
     }
 
+    /// Number of recorded PMR posted-write events whose byte range
+    /// intersects `[lo, hi)`. Sub-region owners (the ccNVMe driver, the
+    /// `ccnvme-ploc` application region) use this to assert coverage:
+    /// every MMIO store they issue must show up as an enumerable
+    /// durability event, or the crash-surface walk would silently skip
+    /// states.
+    pub fn pmr_writes_in_range(&self, lo: u64, hi: u64) -> usize {
+        self.events
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .filter(|e| match &e.kind {
+                PersistEventKind::PmrWrite { off, data, .. } => {
+                    *off < hi && off + data.len() as u64 > lo
+                }
+                _ => false,
+            })
+            .count()
+    }
+
     /// The events sorted into their durability order `(at, seq)`.
     pub fn sorted_events(&self) -> Vec<PersistEvent> {
         let mut ev = self.events.lock().expect("poisoned").clone();
@@ -330,6 +350,32 @@ mod tests {
         // Requesting more than legal clamps at the FIFO-legal maximum.
         let img = log.state_at(1, 9, CacheSurvival::DropAll);
         assert_eq!(&img.pmr[..4], &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn pmr_writes_in_range_counts_only_intersecting_stores() {
+        let log = PersistLog::new(128);
+        log.record(
+            10,
+            PersistEventKind::PmrWrite {
+                off: 0,
+                data: vec![1; 8],
+                issued_at: 1,
+            },
+        );
+        log.record(
+            20,
+            PersistEventKind::PmrWrite {
+                off: 64,
+                data: vec![2; 8],
+                issued_at: 2,
+            },
+        );
+        log.record(30, PersistEventKind::Flush);
+        assert_eq!(log.pmr_writes_in_range(0, 128), 2);
+        assert_eq!(log.pmr_writes_in_range(0, 64), 1);
+        assert_eq!(log.pmr_writes_in_range(64, 128), 1);
+        assert_eq!(log.pmr_writes_in_range(8, 64), 0);
     }
 
     #[test]

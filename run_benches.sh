@@ -5,7 +5,7 @@ set -u
 BIN=target/release
 OUT=/root/repo/bench_results_full.txt
 : > "$OUT"
-for b in table3 table1 fig5 fig2 fig10 fig11 fig12 fig13 fig14 table4; do
+for b in table3 table1 fig5 fig2 fig10 fig11 fig12 fig13 fig14 table4 ploc; do
   echo "" >> "$OUT"
   echo "##################### $b #####################" >> "$OUT"
   "$BIN/$b" >> "$OUT" 2>/dev/null

@@ -3,17 +3,20 @@
 #
 #   fast (always): formatting, clippy, the full test suite, the
 #     ccnvme-lint protocol-invariant analyzer over the workspace, the
-#     bench metrics-schema smoke run, and the bounded crash-enumeration
+#     bench metrics-schema smoke run, the bounded crash-enumeration
 #     smoke (every event-prefix of a small workload, full re-crash
-#     sweep of the final image's recovery).
+#     sweep of the final image's recovery), and the ploc smoke
+#     (detectable structures, remote exactly-once capsules, the
+#     bounded ploc crash-surface sweep).
 #
-#   deep (CHECK_DEEP=1): the loom model-checking suite for the
-#     lock-free observability hot structures, `cargo miri test`
-#     on the sim/obs crates when the miri component is installed
-#     (skipped with a notice otherwise — CI images without miri still
-#     run the loom tier), and the deep crash enumeration
-#     (CCNVME_ENUM_DEEP=1: torn posted-write expansion plus a
-#     crash-during-recovery sweep over every explored image).
+#   deep (CHECK_DEEP=1): the loom model-checking suites for the
+#     lock-free observability hot structures and DetectableCas,
+#     `cargo miri test` on the sim/obs crates when the miri component
+#     is installed (skipped with a notice otherwise — CI images
+#     without miri still run the loom tier), and the deep crash
+#     enumerations (CCNVME_ENUM_DEEP=1: torn posted-write expansion
+#     plus a crash-during-recovery sweep over every explored image,
+#     for both the driver workload and the ploc surface).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,16 +36,28 @@ cargo test -q --release -p ccnvme-crashtest --test enumerate
 # faults, the connection-kill campaign, and the TCP smoke (the long TCP
 # soak runs in the deep tier).
 cargo test -q --release -p ccnvme-fabric
+# Ploc smoke: detectable-structure unit tests, the remote exactly-once
+# capsule path, and the bounded ploc crash-surface sweep (every
+# persistence-event prefix, local and fabric-driven, plus the recovery
+# re-crash convergence check on the final image).
+cargo test -q -p ccnvme-ploc
+cargo test -q --release -p ccnvme-fabric --test ploc_fabric
+cargo test -q --release -p ccnvme-crashtest --test ploc_enum
 
 if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
     echo "== deep tier: crash enumeration (torn tails + full re-crash sweep) =="
     CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test enumerate deep_
+    echo "== deep tier: ploc crash surface (torn tails, every-image re-crash, fabric) =="
+    CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test ploc_enum deep_
     echo "== deep tier: fabric TCP soak (real sockets, reconnect mid-commit) =="
     CCNVME_TCP_SOAK=1 cargo test -q --release -p ccnvme-fabric --test tcp
     echo "== deep tier: loom model checking =="
     # The loom feature swaps ccnvme-obs onto the model-checked
     # primitives; only loom_* tests are meaningful under it.
     cargo test -q -p ccnvme-obs --features loom --lib loom_
+    # DetectableCas interleavings: owner evidence is durable before the
+    # overwritten value becomes visible, under every schedule.
+    cargo test -q -p ccnvme-ploc --features loom --lib loom_
     cargo test -q -p loom
     echo "== deep tier: miri =="
     if rustup component list 2>/dev/null | grep -q "^miri.*(installed)"; then

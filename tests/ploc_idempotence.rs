@@ -1,0 +1,156 @@
+//! Property: ploc mount (crash recovery) is idempotent and convergent.
+//!
+//! A random multi-client workload runs against a ploc sub-region while
+//! a crasher thread takes an adversarial snapshot at a random virtual
+//! instant — committed PMR bytes plus a seeded prefix of in-flight
+//! posted writes, exactly what a power cut leaves. The snapshot is then
+//! mounted repeatedly, each mount's graceful image feeding the next.
+//! Recovery claims to perform only byte-identical writes on an
+//! already-recovered image (`PlocService::mount` docs), so every
+//! re-mount must land on the same per-client verdicts and the same
+//! region bytes as the first one.
+
+use std::sync::Arc;
+
+use ccnvme_repro::ccnvme::PmrLayout;
+use ccnvme_repro::obs::Obs;
+use ccnvme_repro::ploc::{PlocConfig, PlocOp, PlocService, RecoverVerdict};
+use ccnvme_repro::sim::Sim;
+use ccnvme_repro::ssd::{CrashMode, CtrlConfig, DurableImage, NvmeController, SsdProfile};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+const CORES: usize = 2;
+const CLIENTS: u16 = 2;
+
+fn base() -> u64 {
+    PmrLayout::new(1, 16).app_region_off()
+}
+
+fn ctrl_config() -> CtrlConfig {
+    let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+    cc.device_core = CORES;
+    cc
+}
+
+/// One random operation: (client selector, kind selector, payload).
+type OpSpec = (u8, u8, u8);
+
+fn spec_op(i: usize, spec: OpSpec) -> (u16, PlocOp) {
+    let (c, kind, v) = spec;
+    let val = v as u64 + i as u64 * 256;
+    let op = match kind % 6 {
+        0 => PlocOp::Push(val),
+        1 => PlocOp::Enqueue(val),
+        2 => PlocOp::Insert {
+            key: i as u32,
+            val: v as u32,
+        },
+        3 => PlocOp::Pop,
+        4 => PlocOp::Dequeue,
+        _ => PlocOp::Lookup { key: v as u32 },
+    };
+    (c as u16 % CLIENTS, op)
+}
+
+/// Runs the workload, crashes it adversarially mid-flight, and returns
+/// the crash image.
+fn crashed_image(ops: Vec<OpSpec>, crash_seed: u64, delay_frac: u8) -> DurableImage {
+    let captured: Arc<Mutex<Option<DurableImage>>> = Arc::new(Mutex::new(None));
+    let cap = Arc::clone(&captured);
+    let mut sim = Sim::new(CORES + 1);
+    sim.spawn("ploc-prop-workload", 0, move || {
+        let ctrl = Arc::new(NvmeController::new(ctrl_config()));
+        let svc = PlocService::format(
+            ctrl.pmr(),
+            base(),
+            PlocConfig {
+                clients: CLIENTS,
+                pool: 16,
+                buckets: 4,
+            },
+            Obs::new(),
+        );
+        let crasher = {
+            let ctrl = Arc::clone(&ctrl);
+            // A few µs of virtual time spans the whole short workload;
+            // the fraction lands the cut anywhere inside it.
+            let delay_ns = 200 + (delay_frac as u64) * 400;
+            ccnvme_repro::sim::spawn("ploc-prop-crasher", 1, move || {
+                ccnvme_repro::sim::delay(delay_ns);
+                ctrl.crash_snapshot(CrashMode::adversarial(crash_seed))
+            })
+        };
+        let mut seqs = [0u32; CLIENTS as usize];
+        for (i, spec) in ops.into_iter().enumerate() {
+            let (c, op) = spec_op(i, spec);
+            seqs[c as usize] += 1;
+            svc.op(c, seqs[c as usize], op).expect("scripted op");
+        }
+        *cap.lock() = Some(crasher.join());
+    });
+    sim.run();
+    let img = captured.lock().take().expect("crash snapshot taken");
+    img
+}
+
+/// Mounts `image` and returns (verdicts, region bytes, graceful image).
+fn mount_once(image: &DurableImage) -> (Vec<RecoverVerdict>, Vec<u8>, DurableImage) {
+    type MountOut = (Vec<RecoverVerdict>, Vec<u8>, DurableImage);
+    let captured: Arc<Mutex<Option<MountOut>>> = Arc::new(Mutex::new(None));
+    let cap = Arc::clone(&captured);
+    let image = image.clone();
+    let mut sim = Sim::new(CORES + 1);
+    sim.spawn("ploc-prop-mount", 0, move || {
+        let ctrl = Arc::new(NvmeController::from_image(ctrl_config(), &image));
+        let svc = PlocService::mount(ctrl.pmr(), base(), Obs::new())
+            .expect("a formatted region always mounts");
+        let verdicts = (0..CLIENTS)
+            .map(|c| svc.recover(c).expect("in-range client"))
+            .collect();
+        let (lo, hi) = svc.region_bounds();
+        let graceful = ctrl.graceful_image();
+        let bytes = graceful.pmr[lo as usize..hi as usize].to_vec();
+        *cap.lock() = Some((verdicts, bytes, graceful));
+    });
+    sim.run();
+    let out = captured.lock().take().expect("mount completed");
+    out
+}
+
+fn run_case(
+    ops: Vec<OpSpec>,
+    crash_seed: u64,
+    delay_frac: u8,
+    remounts: u8,
+) -> Result<(), TestCaseError> {
+    let image = crashed_image(ops, crash_seed, delay_frac);
+    let (verdicts, bytes, mut graceful) = mount_once(&image);
+    for round in 1..=remounts.max(1) {
+        let (v, b, g) = mount_once(&graceful);
+        prop_assert!(
+            v == verdicts,
+            "re-mount {round} changed a verdict: {v:?} vs {verdicts:?}"
+        );
+        prop_assert!(b == bytes, "re-mount {round} changed the region bytes");
+        graceful = g;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        max_shrink_iters: 32,
+    })]
+
+    #[test]
+    fn mount_is_idempotent_over_adversarial_crashes(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        crash_seed in any::<u64>(),
+        delay_frac in any::<u8>(),
+        remounts in 1u8..=3,
+    ) {
+        run_case(ops, crash_seed, delay_frac, remounts)?;
+    }
+}
