@@ -8,6 +8,14 @@
 //! * `ccnvme-obs validate <file>...` checks that each file is a valid
 //!   `ccnvme-metrics/v1` document; exits non-zero on the first failure.
 //!   `scripts/bench_smoke.sh` uses this instead of external tooling.
+//! * `ccnvme-obs forensics [--save <path>] [<image-file>]` mounts the
+//!   flight recorder of a post-crash PMR image, prints the
+//!   causally-ordered per-transaction timelines with verdicts, and
+//!   cross-checks them against the §4.4 recovery scan — exiting
+//!   non-zero on any contradiction. With no image file it crashes a
+//!   small MQFS/ccNVMe stack itself (power cut after a burst of
+//!   fatomic/fsync transactions) and analyzes the wreckage;
+//!   `--save` writes that image out for later inspection.
 
 use std::sync::Arc;
 
@@ -15,10 +23,11 @@ use ccnvme_bench::{in_sim, Stack, StackConfig};
 use ccnvme_fabric::{Backend, ClientCfg, FabricClient, FabricConfig, FabricTarget, SyncKind};
 use ccnvme_obs::json::validate_metrics;
 use ccnvme_obs::MetricsSnapshot;
+use ccnvme_ssd::CrashMode;
 use ccnvme_ssd::SsdProfile;
 use mqfs::FsVariant;
 
-const USAGE: &str = "usage: ccnvme-obs report [--prometheus] | ccnvme-obs validate <file>...";
+const USAGE: &str = "usage: ccnvme-obs report [--prometheus] | ccnvme-obs validate <file>... | ccnvme-obs forensics [--save <path>] [<image-file>]";
 
 fn report() -> MetricsSnapshot {
     let scfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 1);
@@ -45,6 +54,100 @@ fn report() -> MetricsSnapshot {
         client.bye();
         stack.metrics()
     })
+}
+
+/// Runs a small ccNVMe stack to a deterministic power cut and returns
+/// the surviving PMR image (media is irrelevant to the recorder).
+fn crash_demo_image() -> Vec<u8> {
+    let scfg = StackConfig::new(FsVariant::Mqfs, SsdProfile::optane_905p(), 1);
+    in_sim(scfg.sim_cores(), move || {
+        let (stack, fs) = Stack::format(&scfg);
+        for i in 0..6 {
+            let ino = fs.create_path(&format!("/tx{i}")).expect("create");
+            fs.write(ino, 0, &[0x5a; 1024]).expect("write");
+            if i % 2 == 0 {
+                fs.fatomic(ino).expect("fatomic");
+            } else {
+                fs.fsync(ino).expect("fsync");
+            }
+        }
+        // Power cut: in-flight posted writes and the volatile cache are
+        // lost; the PMR (and the recorder inside it) survives.
+        stack
+            .crash_snapshot(CrashMode {
+                pmr_extra_prefix: 0,
+                cache_keep_prob: 0.0,
+                seed: 7,
+            })
+            .pmr
+    })
+}
+
+/// Analyzes one PMR image; returns `true` when it is contradiction-free.
+fn run_forensics(image: &[u8]) -> bool {
+    let fx = match ccnvme::image_forensics(image) {
+        Ok(fx) => fx,
+        Err(e) => {
+            eprintln!("forensics: {e}");
+            return false;
+        }
+    };
+    print!("{}", ccnvme_obs::forensics::render(&fx.report));
+    println!(
+        "recovery scan: generation {} | {} unfinished tx in the window | {} aborted",
+        fx.recovery.generation,
+        fx.recovery.unfinished.len(),
+        fx.recovery.aborted.len()
+    );
+    if fx.contradictions.is_empty() {
+        println!("cross-check: consistent (no contradictions)");
+        true
+    } else {
+        for c in &fx.contradictions {
+            println!("CONTRADICTION: {c}");
+        }
+        false
+    }
+}
+
+fn forensics_cmd(args: &[String]) -> i32 {
+    let mut save: Option<&str> = None;
+    let mut image_file: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--save" {
+            match it.next() {
+                Some(p) => save = Some(p),
+                None => {
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            }
+        } else {
+            image_file = Some(a);
+        }
+    }
+    let image = match image_file {
+        Some(f) => match std::fs::read(f) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{f}: cannot read: {e}");
+                return 1;
+            }
+        },
+        None => crash_demo_image(),
+    };
+    if let Some(path) = save {
+        if let Err(e) = std::fs::write(path, &image) {
+            eprintln!("{path}: cannot write: {e}");
+            return 1;
+        }
+    }
+    if run_forensics(&image) {
+        0
+    } else {
+        1
+    }
 }
 
 fn main() {
@@ -74,6 +177,7 @@ fn main() {
                 println!("{file}: ok");
             }
         }
+        Some("forensics") => std::process::exit(forensics_cmd(&args[1..])),
         _ => {
             eprintln!("{USAGE}");
             std::process::exit(2);

@@ -134,6 +134,10 @@ pub struct Bio {
     pub flags: BioFlags,
     /// ccNVMe transaction ID (meaningful when `flags.tx`).
     pub tx_id: u64,
+    /// Trace context inherited from the submitting thread at
+    /// construction, so the originating request's id follows the bio
+    /// across the driver, the SQE and the device's media write.
+    pub ctx: ccnvme_obs::TraceCtx,
     /// Completion callback.
     pub end_io: Option<BioEndIo>,
 }
@@ -156,6 +160,7 @@ impl Bio {
             data: Some(data),
             flags,
             tx_id: 0,
+            ctx: ccnvme_obs::ctx::current(),
             end_io: None,
         }
     }
@@ -177,6 +182,7 @@ impl Bio {
             data: Some(data),
             flags: BioFlags::NONE,
             tx_id: 0,
+            ctx: ccnvme_obs::ctx::current(),
             end_io: None,
         }
     }
@@ -190,6 +196,7 @@ impl Bio {
             data: None,
             flags: BioFlags::NONE,
             tx_id: 0,
+            ctx: ccnvme_obs::ctx::current(),
             end_io: None,
         }
     }

@@ -280,8 +280,26 @@ impl CcNvmeDriver {
         if !same_geometry {
             pmr.write(0, &layout.encode_header_with_generation(generation));
         }
-        pmr.flush();
+        // Format the flight-recorder region under the new generation.
+        // The sealed blackbox header is one more posted write riding the
+        // format's single flush below — the recorder itself never
+        // flushes, so attaching it adds no ordering edge to the
+        // protocol (records from the previous generation simply fail
+        // epoch validation at the next forensics mount).
         let obs = ctrl.link().obs.clone();
+        let bb_fits = layout.blackbox_off() + ccnvme_obs::blackbox::BLACKBOX_BYTES <= pmr.size();
+        let blackbox = bb_fits.then(|| {
+            ccnvme_obs::Blackbox::format_batched(
+                Arc::clone(&pmr) as Arc<dyn ccnvme_obs::BlackboxSink>,
+                layout.blackbox_off(),
+                generation,
+                ccnvme_obs::blackbox::BATCH_RECORDS,
+            )
+        });
+        pmr.flush();
+        if let Some(bb) = blackbox {
+            obs.trace.attach_blackbox(bb);
+        }
         let (retry_tx, retry_rx) = mpsc_channel(None);
         let errctx = Arc::new(CcErrCtx {
             policy,
@@ -430,14 +448,25 @@ impl CcNvmeDriver {
             tx_commit: bio.flags.tx_commit,
         };
         let tx_id = bio.tx_id;
+        let trace = bio.ctx;
         let boundary = bio.flags.tx_commit || !bio.flags.tx;
         let token = match &bio.data {
             Some(buf) => self.inner.hostmem.register(Arc::clone(buf)),
             None => 0,
         };
-        q.obs
-            .trace
-            .event(ccnvme_sim::now(), EventKind::TxBegin, q.qid, tx_id, 0);
+        // Persist the begin witness only for the transaction's commit
+        // boundary: one record per tx in the flight recorder instead of
+        // one per bio keeps the recorder's posted-write tax off the
+        // per-bio hot path. The volatile ring still sees every bio.
+        q.obs.trace.event_ctx_persist(
+            ccnvme_sim::now(),
+            EventKind::TxBegin,
+            q.qid,
+            tx_id,
+            0,
+            trace,
+            bio.flags.tx_commit,
+        );
         // Reserve the next ring slot (block while the ring is full). The
         // slot index doubles as the command id; it stays unique because a
         // slot is only reused after its in-order completion.
@@ -458,6 +487,7 @@ impl CcNvmeDriver {
                 tx_id,
                 tx_flags,
                 data_token: token,
+                ctx: trace,
             };
             st.slots.push_back(Slot {
                 bio: Some(bio),
@@ -483,12 +513,13 @@ impl CcNvmeDriver {
         // stale read here would seal slots recovery then rejects.
         crate::layout::seal_sqe(&mut raw, self.inner.generation.load(Ordering::SeqCst));
         self.inner.pmr.write(q.ring_off + cmd.cid as u64 * 64, &raw);
-        q.obs.trace.event(
+        q.obs.trace.event_ctx(
             ccnvme_sim::now(),
             EventKind::SqeStore,
             q.qid,
             tx_id,
             cmd.cid as u64,
+            trace,
         );
         if ring {
             if flush_first {
@@ -496,9 +527,14 @@ impl CcNvmeDriver {
                 // read. After this, every entry of the transaction is in
                 // the PMR (step 2a).
                 self.inner.pmr.flush();
-                q.obs
-                    .trace
-                    .event(ccnvme_sim::now(), EventKind::MmioFlush, q.qid, tx_id, 0);
+                q.obs.trace.event_ctx(
+                    ccnvme_sim::now(),
+                    EventKind::MmioFlush,
+                    q.qid,
+                    tx_id,
+                    0,
+                    trace,
+                );
             }
             // Ring the persistent doorbell (step 2b). Ringing with the
             // current tail also exposes any entries queued after ours by
@@ -510,12 +546,13 @@ impl CcNvmeDriver {
                 st.tail
             };
             self.inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
-            q.obs.trace.event(
+            q.obs.trace.event_ctx(
                 ccnvme_sim::now(),
                 EventKind::Doorbell,
                 q.qid,
                 tx_id,
                 tail_now as u64,
+                trace,
             );
         }
     }
@@ -564,7 +601,13 @@ fn complete_in_order(
 /// whose only failed member was an ordered-data write would leave
 /// intact, checksummed journal content that recovery would replay.
 /// Caller holds the queue lock.
-fn log_aborted_tx(st: &mut CcqSt, q: &CcQueue, pmr: &MmioRegion, tx_id: u64) {
+fn log_aborted_tx(
+    st: &mut CcqSt,
+    q: &CcQueue,
+    pmr: &MmioRegion,
+    tx_id: u64,
+    trace: ccnvme_obs::TraceCtx,
+) {
     if st.abort_logged >= q.abort_cap {
         // Cannot happen in practice: the file system degrades to
         // read-only at the first unrecoverable failure, bounding failed
@@ -577,6 +620,16 @@ fn log_aborted_tx(st: &mut CcqSt, q: &CcQueue, pmr: &MmioRegion, tx_id: u64) {
     );
     st.abort_logged += 1;
     pmr.write(q.abort_cnt_off, &st.abort_logged.to_le_bytes());
+    // Posted after the log entry + count: a durable tx_abort record is
+    // proof the abort-log append itself is durable.
+    q.obs.trace.event_ctx(
+        ccnvme_sim::now(),
+        EventKind::TxAbort,
+        q.qid,
+        tx_id,
+        st.abort_logged as u64,
+        trace,
+    );
 }
 
 /// Records the outcome of one command attempt on its (original) slot:
@@ -623,14 +676,19 @@ fn apply_result(
         }
         s.status = mapped;
     }
-    let (is_tx, tx_id, failed) = {
+    let (is_tx, tx_id, failed, trace) = {
         let s = &st.slots[pos];
-        (s.is_tx, s.tx_id, s.status)
+        let trace = s
+            .cmd
+            .as_ref()
+            .map(|c| c.ctx)
+            .unwrap_or(ccnvme_obs::TraceCtx::ZERO);
+        (s.is_tx, s.tx_id, s.status, trace)
     };
     if is_tx && !st.failed_txs.contains_key(&tx_id) {
         st.failed_txs.insert(tx_id, failed);
         errctx.stats.tx_failures.inc();
-        log_aborted_tx(st, q, pmr, tx_id);
+        log_aborted_tx(st, q, pmr, tx_id, trace);
     }
 }
 
@@ -712,14 +770,31 @@ fn advance_queue(
     regs.write(q.cqdb_off, &new_head.to_le_bytes());
     let done_at = ccnvme_sim::now();
     for (mut bio, status) in finished {
-        q.obs
-            .trace
-            .event(done_at, EventKind::Completion, q.qid, bio.tx_id, 0);
+        // Same thinning as TxBegin: the commit bio's completion is the
+        // one durable witness per transaction (it rides right after the
+        // head-advance write above, which it proves).
+        q.obs.trace.event_ctx_persist(
+            done_at,
+            EventKind::Completion,
+            q.qid,
+            bio.tx_id,
+            0,
+            bio.ctx,
+            bio.flags.tx_commit,
+        );
         bio.complete(status);
     }
     // Wake slot waiters (and quiescers) only after the upper layer saw
     // the completions.
     q.cv.notify_all();
+    // Drain the flight recorder's staged burst off the commit window:
+    // posted here, on the completion-callback thread after the waiters
+    // woke, the burst's MMIO cost and link time overlap the caller's
+    // next operation instead of extending this one (and the next
+    // commit's flush no longer finds it in flight).
+    if let Some(bb) = q.obs.trace.blackbox() {
+        bb.publish();
+    }
 }
 
 /// Marks a silent slot as timed out. A timed-out retry incarnation
@@ -746,14 +821,19 @@ fn abort_slot(st: &mut CcqSt, q: &CcQueue, pmr: &MmioRegion, errctx: &Arc<CcErrC
         s.status = BioStatus::Timeout;
     }
     errctx.stats.timeouts.inc();
-    let (is_tx, tx_id) = {
+    let (is_tx, tx_id, trace) = {
         let s = &st.slots[target];
-        (s.is_tx, s.tx_id)
+        let trace = s
+            .cmd
+            .as_ref()
+            .map(|c| c.ctx)
+            .unwrap_or(ccnvme_obs::TraceCtx::ZERO);
+        (s.is_tx, s.tx_id, trace)
     };
     if is_tx && !st.failed_txs.contains_key(&tx_id) {
         st.failed_txs.insert(tx_id, BioStatus::Timeout);
         errctx.stats.tx_failures.inc();
-        log_aborted_tx(st, q, pmr, tx_id);
+        log_aborted_tx(st, q, pmr, tx_id, trace);
     }
 }
 

@@ -202,6 +202,7 @@ impl NvmeDriver {
             tx_commit: bio.flags.tx_commit,
         };
         let tx_id = bio.tx_id;
+        let trace = bio.ctx;
         let token = match &bio.data {
             Some(buf) => self.inner.hostmem.register(Arc::clone(buf)),
             None => 0,
@@ -225,6 +226,7 @@ impl NvmeDriver {
                 tx_id,
                 tx_flags,
                 data_token: token,
+                ctx: trace,
             };
             st.inflight.insert(
                 cid,
@@ -239,9 +241,14 @@ impl NvmeDriver {
             );
             (cmd, slot, st.tail)
         };
-        q.obs
-            .trace
-            .event(ccnvme_sim::now(), EventKind::TxBegin, q.qid, tx_id, 0);
+        q.obs.trace.event_ctx(
+            ccnvme_sim::now(),
+            EventKind::TxBegin,
+            q.qid,
+            tx_id,
+            0,
+            trace,
+        );
         // Write the SQE into host memory (plain stores, no PCIe traffic).
         ccnvme_sim::cpu(SQE_WRITE_CPU);
         {
@@ -249,21 +256,23 @@ impl NvmeDriver {
             let off = slot as usize * 64;
             mem[off..off + 64].copy_from_slice(&cmd.encode());
         }
-        q.obs.trace.event(
+        q.obs.trace.event_ctx(
             ccnvme_sim::now(),
             EventKind::SqeStore,
             q.qid,
             tx_id,
             cmd.cid as u64,
+            trace,
         );
         // Eager per-request doorbell — original NVMe behaviour.
         self.inner.regs.write(q.sqdb_off, &new_tail.to_le_bytes());
-        q.obs.trace.event(
+        q.obs.trace.event_ctx(
             ccnvme_sim::now(),
             EventKind::Doorbell,
             q.qid,
             tx_id,
             new_tail as u64,
+            trace,
         );
     }
 }
@@ -349,9 +358,14 @@ fn complete_one(
             let done_at = ccnvme_sim::now();
             q.complete_hist
                 .record(done_at.saturating_sub(inf.submitted_at));
-            q.obs
-                .trace
-                .event(done_at, EventKind::Completion, q.qid, inf.bio.tx_id, 0);
+            q.obs.trace.event_ctx(
+                done_at,
+                EventKind::Completion,
+                q.qid,
+                inf.bio.tx_id,
+                0,
+                inf.bio.ctx,
+            );
             if inf.token != 0 {
                 hostmem.unregister(inf.token);
             }

@@ -97,13 +97,23 @@ impl PmrLayout {
         self.abort_count_off(self.nqueues - 1) + META_LINE + self.depth as u64 * 8
     }
 
-    /// First byte available to application sub-regions of the PMR,
-    /// rounded up to a 4 KiB boundary past the ccNVMe structures. The
-    /// paper treats the PMR as a substrate (§4.4); higher layers such
-    /// as `ccnvme-ploc` carve their own region starting here so driver
-    /// and application persistence never alias.
-    pub fn app_region_off(&self) -> u64 {
+    /// Offset of the flight-recorder (blackbox) sub-region: a sealed
+    /// persistent ring of compact trace records written on the posted
+    /// path, page-aligned past the ccNVMe structures. The recorder is
+    /// strictly observational — it shares the PMR substrate but never
+    /// adds ordering edges (no flush, no doorbell) of its own.
+    pub fn blackbox_off(&self) -> u64 {
         (self.total_size() + 4095) & !4095
+    }
+
+    /// First byte available to application sub-regions of the PMR,
+    /// rounded up to a 4 KiB boundary past the ccNVMe structures and
+    /// the blackbox ring. The paper treats the PMR as a substrate
+    /// (§4.4); higher layers such as `ccnvme-ploc` carve their own
+    /// region starting here so driver and application persistence
+    /// never alias.
+    pub fn app_region_off(&self) -> u64 {
+        self.blackbox_off() + ccnvme_obs::blackbox::BLACKBOX_BYTES
     }
 
     /// Serializes the header (magic + geometry) with generation 0.
@@ -216,18 +226,28 @@ mod tests {
     }
 
     #[test]
-    fn app_region_clears_the_ccnvme_structures() {
+    fn app_region_clears_the_ccnvme_structures_and_blackbox() {
         for (q, d) in [(1u16, 1u32), (4, 64), (24, 256)] {
             let l = PmrLayout::new(q, d);
-            assert!(l.app_region_off() >= l.total_size());
+            assert!(l.blackbox_off() >= l.total_size());
+            assert_eq!(
+                l.blackbox_off() % 4096,
+                0,
+                "blackbox region must be page-aligned"
+            );
+            assert!(
+                l.blackbox_off() - l.total_size() < 4096,
+                "no more than one page of slack before the blackbox"
+            );
+            assert_eq!(
+                l.app_region_off(),
+                l.blackbox_off() + ccnvme_obs::blackbox::BLACKBOX_BYTES,
+                "app region starts right past the blackbox ring"
+            );
             assert_eq!(
                 l.app_region_off() % 4096,
                 0,
                 "app region must be page-aligned"
-            );
-            assert!(
-                l.app_region_off() - l.total_size() < 4096,
-                "no more than one page of slack"
             );
         }
     }

@@ -27,12 +27,14 @@
 pub mod ccdriver;
 pub mod driver;
 pub mod errpolicy;
+pub mod forensics;
 pub mod layout;
 pub mod recovery;
 
 pub use ccdriver::CcNvmeDriver;
 pub use driver::NvmeDriver;
 pub use errpolicy::{ErrPolicy, HostErrSnapshot, HostErrStats};
+pub use forensics::{cross_check, image_forensics, ImageForensics};
 pub use layout::PmrLayout;
 pub use recovery::{RecoveredRequest, RecoveredTx, RecoveryReport};
 

@@ -77,7 +77,28 @@ impl RecoveryReport {
 /// every queue. Returns `None` when the PMR carries no valid ccNVMe
 /// header (never formatted, or corrupted beyond the magic).
 pub fn scan_pmr(pmr: &MmioRegion) -> Option<RecoveryReport> {
-    let header = pmr.read(0, 64);
+    scan_with(&|off, len| pmr.read(off, len))
+}
+
+/// [`scan_pmr`] over a raw PMR image (no simulator, no PCIe cost): the
+/// byte-level entry point forensics tooling uses on saved crash dumps.
+pub fn scan_pmr_bytes(image: &[u8]) -> Option<RecoveryReport> {
+    if image.len() < 64 {
+        return None;
+    }
+    scan_with(&|off, len| {
+        let start = off as usize;
+        let end = start + len as usize;
+        if end <= image.len() {
+            image[start..end].to_vec()
+        } else {
+            vec![0; len as usize]
+        }
+    })
+}
+
+fn scan_with(read: &dyn Fn(u64, u64) -> Vec<u8>) -> Option<RecoveryReport> {
+    let header = read(0, 64);
     let layout = PmrLayout::decode_header(&header)?;
     let generation = PmrLayout::decode_generation(&header);
     let mut report = RecoveryReport {
@@ -85,15 +106,15 @@ pub fn scan_pmr(pmr: &MmioRegion) -> Option<RecoveryReport> {
         ..RecoveryReport::default()
     };
     for q in 0..layout.nqueues {
-        let head_bytes = pmr.read(layout.head_off(q), 4);
-        let db_bytes = pmr.read(layout.db_off(q), 4);
+        let head_bytes = read(layout.head_off(q), 4);
+        let db_bytes = read(layout.db_off(q), 4);
         let head = u32::from_le_bytes(head_bytes.try_into().expect("4 bytes")) % layout.depth;
         let db = u32::from_le_bytes(db_bytes.try_into().expect("4 bytes")) % layout.depth;
         let count = (db + layout.depth - head) % layout.depth;
         let mut cur = head;
         let mut open: Option<RecoveredTx> = None;
         for _ in 0..count {
-            let raw = pmr.read(layout.slot_off(q, cur), 64);
+            let raw = read(layout.slot_off(q, cur), 64);
             let raw: [u8; 64] = raw.try_into().expect("64 bytes");
             // Per-slot seal validation: a slot torn mid-WC-flush or
             // sealed under an older ring generation is discarded, not
@@ -140,11 +161,11 @@ pub fn scan_pmr(pmr: &MmioRegion) -> Option<RecoveryReport> {
         }
         // The queue's abort log: failed transactions the head already
         // advanced past.
-        let cnt_bytes = pmr.read(layout.abort_count_off(q), 4);
+        let cnt_bytes = read(layout.abort_count_off(q), 4);
         let cnt =
             u32::from_le_bytes(cnt_bytes.try_into().expect("4 bytes")).min(layout.abort_capacity());
         for i in 0..cnt {
-            let id_bytes = pmr.read(layout.abort_entry_off(q, i), 8);
+            let id_bytes = read(layout.abort_entry_off(q, i), 8);
             let id = u64::from_le_bytes(id_bytes.try_into().expect("8 bytes"));
             report.aborted.insert(id);
         }
@@ -181,6 +202,7 @@ mod tests {
             tx_id,
             tx_flags: flags,
             data_token: 0,
+            ctx: ccnvme_obs::TraceCtx::ZERO,
         }
     }
 
@@ -370,6 +392,7 @@ mod robustness_tests {
                 tx_id: 3,
                 tx_flags: TxFlags::TX_COMMIT,
                 data_token: 0,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             };
             let mut raw = cmd.encode();
             crate::layout::seal_sqe(&mut raw, 0);
@@ -406,6 +429,7 @@ mod robustness_tests {
                 tx_id: 9,
                 tx_flags: TxFlags::TX_COMMIT,
                 data_token: 0,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             };
             let mut raw = cmd.encode();
             crate::layout::seal_sqe(&mut raw, 0);
@@ -444,6 +468,7 @@ mod robustness_tests {
                 tx_id: 4,
                 tx_flags: TxFlags::TX_COMMIT,
                 data_token: 0,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             };
             let mut raw = cmd.encode();
             crate::layout::seal_sqe(&mut raw, 0);
@@ -481,6 +506,7 @@ mod robustness_tests {
                     tx_id,
                     tx_flags: TxFlags::TX,
                     data_token: 0,
+                    ctx: ccnvme_obs::TraceCtx::ZERO,
                 };
                 let mut raw = cmd.encode();
                 crate::layout::seal_sqe(&mut raw, 0);

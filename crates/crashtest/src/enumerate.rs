@@ -71,6 +71,9 @@ pub struct EnumReport {
     pub repaired: usize,
     /// Crash points injected into recovery itself (re-crash sweep).
     pub recovery_recrashes: usize,
+    /// Images whose flight recorder was mounted and cross-checked
+    /// against the recovery scan (ccNVMe stacks only; 0 for baselines).
+    pub forensics_images: usize,
     /// Descriptions of the first few failures.
     pub failures: Vec<String>,
 }
@@ -279,8 +282,10 @@ pub fn enumerate_crash_surface(w: Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> E
     let mut states = 0;
     let mut repaired = 0;
     let mut recovery_recrashes = 0;
+    let mut forensics_images = 0;
     let mut failures: Vec<String> = Vec::new();
     let mut final_image: Option<DurableImage> = None;
+    let ccnvme_stack = cfg.stack.uses_ccnvme();
     for p in run.base_events..=total_events {
         let torn_cap = cfg.torn_depth.min(run.log.max_torn_at(p));
         for torn in 0..=torn_cap {
@@ -294,6 +299,29 @@ pub fn enumerate_crash_surface(w: Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> E
                 repaired += 1;
             } else if failures.len() < 8 {
                 failures.push(format!("prefix {p} torn {torn}: {}", problems.join("; ")));
+            }
+            // Forensics at every cut: the flight recorder must mount
+            // cleanly on every reachable image, and its per-transaction
+            // verdicts must never contradict the §4.4 recovery scan.
+            if ccnvme_stack {
+                match ccnvme::image_forensics(&image.pmr) {
+                    Ok(fx) => {
+                        forensics_images += 1;
+                        if !fx.contradictions.is_empty() && failures.len() < 8 {
+                            failures.push(format!(
+                                "prefix {p} torn {torn} forensics: {}",
+                                fx.contradictions.join("; ")
+                            ));
+                        }
+                    }
+                    Err(e) => {
+                        if failures.len() < 8 {
+                            failures.push(format!(
+                                "prefix {p} torn {torn}: blackbox mount failed: {e}"
+                            ));
+                        }
+                    }
+                }
             }
             if cfg.recrash == RecrashSweep::EveryImage {
                 recovery_recrashes += recrash_sweep(cfg, &image, &mut failures);
@@ -313,6 +341,7 @@ pub fn enumerate_crash_surface(w: Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> E
         states,
         repaired,
         recovery_recrashes,
+        forensics_images,
         failures,
     }
 }
@@ -329,6 +358,7 @@ pub fn enum_metrics(r: &EnumReport) -> ccnvme_obs::MetricsSnapshot {
     put("states", r.states as u64);
     put("repaired", r.repaired as u64);
     put("recovery_recrashes", r.recovery_recrashes as u64);
+    put("forensics_images", r.forensics_images as u64);
     put("failures", r.failures.len() as u64);
     snap
 }

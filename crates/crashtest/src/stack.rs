@@ -69,7 +69,9 @@ impl StackConfig {
         self.cores + 2
     }
 
-    fn uses_ccnvme(&self) -> bool {
+    /// Whether this stack runs on the ccNVMe driver (and therefore has a
+    /// PMR with a P-SQ window and a flight-recorder region).
+    pub fn uses_ccnvme(&self) -> bool {
         self.variant.mq_journal() || self.variant == FsVariant::Ext4CcNvme
     }
 

@@ -55,6 +55,14 @@ fn smoke_workload_explores_every_event_prefix() {
         r.failures
     );
     assert_eq!(r.repaired, r.states, "every state must recover clean");
+    // Forensics coverage: the flight recorder mounted cleanly on every
+    // explored image and no verdict contradicted the recovery scan
+    // (contradictions and mount failures land in `failures`, asserted
+    // empty above).
+    assert_eq!(
+        r.forensics_images, r.states,
+        "every crash image must get a forensics pass"
+    );
     // The campaign's machine-readable export carries the counters.
     let snap = enum_metrics(&r);
     assert_eq!(

@@ -23,6 +23,7 @@
 //! than guessing.
 
 use crate::error::CodecError;
+use ccnvme_obs::TraceCtx;
 use mqfs::FsError;
 
 /// The ploc operation carried by a [`Capsule::PlocOp`] request.
@@ -33,8 +34,9 @@ pub use ccnvme_ploc::PlocOp as PlocOpWire;
 /// Capsule magic: "ccNVMe-oF" squeezed into a u32.
 pub const MAGIC: u32 = 0xCC0F_4E56;
 
-/// Protocol version this codec speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this codec speaks. v2 added the 16-byte trace
+/// context that request capsules carry right after the header.
+pub const VERSION: u8 = 2;
 
 /// Cap on a data payload (read or write) carried by one capsule.
 pub const MAX_DATA: u32 = 1 << 20;
@@ -197,6 +199,22 @@ pub struct Request {
     pub cid: u64,
     /// The operation.
     pub op: Capsule,
+    /// Trace context stamped by the initiator, carried to the target's
+    /// executing thread so one trace id follows the request across the
+    /// fabric, retransmissions included (the encoded frame is cached
+    /// before its first send and retransmitted byte-identically).
+    pub ctx: TraceCtx,
+}
+
+impl Request {
+    /// A request with no trace context (tests, protocol-internal use).
+    pub fn new(cid: u64, op: Capsule) -> Request {
+        Request {
+            cid,
+            op,
+            ctx: TraceCtx::ZERO,
+        }
+    }
 }
 
 /// Response status. `Ok` for success; everything else is a typed remote
@@ -523,6 +541,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Capsule::Bye => (OP_BYE, Vec::new()),
     };
     let mut out = header(opcode, req.cid);
+    // v2: the trace context rides every request, between the header and
+    // the opcode-specific body. Responses don't carry one — they echo
+    // the cid, which the initiator already maps back to its context.
+    out.extend_from_slice(&req.ctx.to_bytes());
     out.extend_from_slice(&body);
     seal(out)
 }
@@ -531,6 +553,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
     let (opcode, cid, body) = open(bytes)?;
     let mut c = Cursor { b: body, i: 0 };
+    let ctx_raw: [u8; TraceCtx::WIRE_BYTES] = c
+        .take(TraceCtx::WIRE_BYTES)?
+        .try_into()
+        .expect("exact take");
+    let ctx = TraceCtx::from_bytes(&ctx_raw);
     let op = match opcode {
         OP_HELLO => Capsule::Hello {
             client_id: c.u64()?,
@@ -581,7 +608,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
         other => return Err(CodecError::BadOpcode(other)),
     };
     c.done()?;
-    Ok(Request { cid, op })
+    Ok(Request { cid, op, ctx })
 }
 
 /// Encodes a response capsule.

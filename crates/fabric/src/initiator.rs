@@ -22,7 +22,9 @@ use ccnvme_sim::Ns;
 
 use ccnvme_ploc::{OpResult, PlocOp, RecoverVerdict};
 
-use crate::capsule::{decode_response, encode_request, Capsule, Request, Response, SyncKind};
+use crate::capsule::{
+    decode_response, encode_request, fnv64, Capsule, Request, Response, SyncKind,
+};
 use crate::error::FabricError;
 use crate::transport::{Connector, Transport};
 
@@ -136,13 +138,13 @@ impl FabricClient {
     /// Runs the cid-0 handshake on the current transport and adopts the
     /// granted window.
     fn hello(&mut self, resume: bool) -> Result<(), FabricError> {
-        let frame = encode_request(&Request {
-            cid: 0,
-            op: Capsule::Hello {
+        let frame = encode_request(&Request::new(
+            0,
+            Capsule::Hello {
                 client_id: self.client_id,
                 resume,
             },
-        });
+        ));
         self.transport.send(&frame)?;
         let resp = loop {
             let bytes = self.transport.recv(self.cfg.ack_timeout_ns)?;
@@ -222,7 +224,24 @@ impl FabricClient {
         }
         let cid = self.next_cid;
         self.next_cid += 1;
-        let frame = encode_request(&Request { cid, op });
+        // Stamp the request's trace context: deterministic in
+        // (client_id, cid), so a retransmitted command — whose frame is
+        // cached below, byte-identical — keeps the same trace id across
+        // reconnects and target restarts. The stamped context also
+        // becomes this thread's current context, so locally recorded
+        // events of the round trip share the id.
+        let ctx = ccnvme_obs::TraceCtx {
+            trace_id: {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&self.client_id.to_le_bytes());
+                key[8..].copy_from_slice(&cid.to_le_bytes());
+                fnv64(&key)
+            },
+            span: cid as u32,
+            origin: self.client_id as u32,
+        };
+        ccnvme_obs::ctx::set_current(ctx);
+        let frame = encode_request(&Request { cid, op, ctx });
         self.unacked.insert(cid, frame.clone());
         if self.transport.send(&frame).is_err() {
             self.reconnect()?;

@@ -478,6 +478,12 @@ impl FabricTarget {
     }
 
     fn exec_op(&self, sess: &Arc<Session>, req: &Request, _qid: u16) -> Response {
+        // Adopt the capsule's trace context for the whole execution: every
+        // Bio the backend builds on this thread inherits it, so the
+        // initiator's trace id follows the request down to `MediaWrite`
+        // and into the target's blackbox — across retransmits too, since
+        // retransmitted frames carry the identical stamped context.
+        let _trace = ccnvme_obs::ctx::scoped(req.ctx);
         let cid = req.cid;
         match &req.op {
             Capsule::Hello { .. } | Capsule::Bye => Response::status(cid, Status::Protocol),

@@ -7,6 +7,7 @@ use ccnvme_fabric::capsule::{
     Response, Status, SyncKind, MAGIC,
 };
 use ccnvme_fabric::CodecError;
+use ccnvme_obs::TraceCtx;
 use mqfs::FsError;
 use proptest::prelude::*;
 
@@ -104,7 +105,10 @@ proptest! {
         flag2 in any::<bool>(),
         data in proptest::collection::vec(any::<u8>(), 0..2_048),
     ) {
-        let req = Request { cid, op: build_capsule(sel, a, b, flag, flag2, data) };
+        // Non-zero trace context derived from the scalars: the v2 ctx
+        // field must survive the round trip like every other field.
+        let ctx = TraceCtx { trace_id: a ^ b, span: a as u32, origin: b as u32 };
+        let req = Request { cid, op: build_capsule(sel, a, b, flag, flag2, data), ctx };
         let wire = encode_request(&req);
         let back = decode_request(&wire).expect("valid frame decodes");
         prop_assert_eq!(&back, &req);
@@ -137,7 +141,7 @@ proptest! {
         a in any::<u64>(),
         cut in any::<u64>(),
     ) {
-        let req = Request { cid, op: build_capsule(sel, a, a ^ 0x5a5a, false, true, vec![7; 32]) };
+        let req = Request::new(cid, build_capsule(sel, a, a ^ 0x5a5a, false, true, vec![7; 32]));
         let wire = encode_request(&req);
         let cut = (cut as usize) % wire.len(); // a strict prefix
         let err = decode_request(&wire[..cut]).expect_err("prefix must not decode");
@@ -157,7 +161,7 @@ proptest! {
         pos in any::<u64>(),
         flip in 1u8..=255,
     ) {
-        let req = Request { cid, op: build_capsule(sel, a, a.rotate_left(13), true, false, vec![3; 64]) };
+        let req = Request::new(cid, build_capsule(sel, a, a.rotate_left(13), true, false, vec![3; 64]));
         let mut wire = encode_request(&req);
         let pos = (pos as usize) % wire.len();
         wire[pos] ^= flip;
@@ -180,10 +184,7 @@ proptest! {
 /// foreign, not as a damaged fabric frame.
 #[test]
 fn foreign_magic_reports_bad_magic() {
-    let req = Request {
-        cid: 9,
-        op: Capsule::AllocTx,
-    };
+    let req = Request::new(9, Capsule::AllocTx);
     let mut wire = encode_request(&req);
     let foreign = (MAGIC ^ 0xdead_beef).to_le_bytes();
     wire[..4].copy_from_slice(&foreign);
@@ -202,10 +203,7 @@ fn runt_frames_report_truncated() {
 /// typed opcode rejection.
 #[test]
 fn cross_decoding_reports_bad_opcode() {
-    let req_wire = encode_request(&Request {
-        cid: 1,
-        op: Capsule::Metrics,
-    });
+    let req_wire = encode_request(&Request::new(1, Capsule::Metrics));
     assert!(matches!(
         decode_response(&req_wire),
         Err(CodecError::BadOpcode(_))
@@ -221,17 +219,17 @@ fn cross_decoding_reports_bad_opcode() {
 /// operation is a typed rejection, distinct from frame damage.
 #[test]
 fn unknown_ploc_kind_reports_bad_ploc_op() {
-    let wire = encode_request(&Request {
-        cid: 3,
-        op: Capsule::PlocOp {
+    let wire = encode_request(&Request::new(
+        3,
+        Capsule::PlocOp {
             seq: 1,
             op: PlocOpWire::Pop,
         },
-    });
-    // The kind byte sits after header (14) + seq (4); rewrite it to an
-    // unassigned kind and re-seal the checksum.
+    ));
+    // The kind byte sits after header (14) + trace context (16) +
+    // seq (4); rewrite it to an unassigned kind and re-seal the checksum.
     let mut body: Vec<u8> = wire[..wire.len() - 8].to_vec();
-    body[14 + 4] = 0x7f;
+    body[14 + 16 + 4] = 0x7f;
     let sum = ccnvme_fabric::capsule::fnv64(&body);
     body.extend_from_slice(&sum.to_le_bytes());
     assert_eq!(decode_request(&body), Err(CodecError::BadPlocOp(0x7f)));
@@ -241,10 +239,7 @@ fn unknown_ploc_kind_reports_bad_ploc_op() {
 /// checksum covers everything before it, so appended bytes shift it).
 #[test]
 fn appended_bytes_are_rejected() {
-    let mut wire = encode_request(&Request {
-        cid: 2,
-        op: Capsule::FsStat { ino: 5 },
-    });
+    let mut wire = encode_request(&Request::new(2, Capsule::FsStat { ino: 5 }));
     wire.push(0);
     assert!(decode_request(&wire).is_err());
 }

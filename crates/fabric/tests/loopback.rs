@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use ccnvme::CcNvmeDriver;
-use ccnvme_block::{submit_and_wait, Bio, BioStatus, BLOCK_SIZE};
+use ccnvme_block::{submit_and_wait, Bio, BioStatus, BlockDevice, BLOCK_SIZE};
 use ccnvme_fabric::{
     Backend, ClientCfg, ClientStats, FabricClient, FabricConfig, FabricError, FabricTarget,
 };
@@ -436,4 +436,81 @@ fn fs_backend_serves_syscall_surface() {
     });
     sim.run();
     out.lock().take().expect("test closure ran");
+}
+
+/// One trace id follows a request across the whole fabric: the
+/// initiator stamps a deterministic context into the capsule, the
+/// target adopts it for execution, and the device-side `MediaWrite`
+/// carries the same id — even when the connection is killed mid-stream
+/// and the commit only lands via reconnect + retransmission.
+#[test]
+fn trace_id_spans_initiator_to_media_write_across_a_kill() {
+    in_sim(|| {
+        const CLIENT_ID: u64 = 42;
+        let (drv, backend) = raw_backend();
+        let target = FabricTarget::new(backend, FabricConfig::new(CORES));
+        let cstats = ClientStats::detached();
+        let mut client = FabricClient::connect(
+            CLIENT_ID,
+            target.loopback_connector(CLIENT_ID),
+            quick_cfg(Arc::clone(&cstats)),
+        )
+        .expect("connect");
+
+        let tx = client.alloc_tx().expect("alloc");
+        // Submit the durable commit, then kill the connection before
+        // consuming its ack: the commit can only complete through the
+        // retransmitted — byte-identical, identically-stamped — frame.
+        let cid = client
+            .submit(ccnvme_fabric::Capsule::TxWrite {
+                tx_id: tx,
+                lba: 3,
+                data: b"traced-commit".to_vec(),
+                commit: true,
+                durable: true,
+            })
+            .expect("submit");
+        client.sever();
+        let resp = client.wait_for(cid).expect("commit rides the retransmit");
+        assert!(resp.status.is_ok(), "commit failed: {:?}", resp.status);
+        assert!(
+            cstats.reconnects.get() >= 1,
+            "the kill must force a reconnect"
+        );
+        client.bye();
+
+        // The initiator's stamp is deterministic in (client_id, cid).
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&CLIENT_ID.to_le_bytes());
+        key[8..].copy_from_slice(&cid.to_le_bytes());
+        let expected = ccnvme_fabric::capsule::fnv64(&key);
+
+        let obs = drv.obs().expect("ccNVMe driver exposes obs");
+        let events = obs.trace.events_for_tx(tx);
+        let media: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == ccnvme_obs::EventKind::MediaWrite)
+            .collect();
+        assert!(!media.is_empty(), "the commit must reach media");
+        for e in &media {
+            assert_eq!(e.ctx.trace_id, expected, "MediaWrite carries the stamp");
+            assert_eq!(e.ctx.span, cid as u32);
+            assert_eq!(e.ctx.origin, CLIENT_ID as u32);
+        }
+        // The same id is on the host-side protocol events, so the whole
+        // timeline — initiator stamp, P-SQ store, doorbell, media — is
+        // one trace.
+        for kind in [
+            ccnvme_obs::EventKind::TxBegin,
+            ccnvme_obs::EventKind::Doorbell,
+        ] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == kind && e.ctx.trace_id == expected),
+                "{} must carry the stamp",
+                kind.name()
+            );
+        }
+    });
 }

@@ -28,6 +28,12 @@ pub struct Config {
     pub critical_atomics: Vec<String>,
     /// Allowed metric-name prefixes (the `ccnvme-metrics/v1` namespace).
     pub metric_prefixes: Vec<String>,
+    /// Receiver identifiers that denote a strictly-observational sink
+    /// (the blackbox flight recorder).
+    pub observer_receivers: Vec<String>,
+    /// The only methods callable on an observer receiver outside test
+    /// code: posted writes, which can never add an ordering edge.
+    pub observer_posted: Vec<String>,
 }
 
 /// A configuration-load failure (I/O or syntax).
@@ -78,6 +84,14 @@ impl Default for Config {
                 "journal.".into(),
                 "mqfs.".into(),
             ],
+            observer_receivers: vec!["bb".into()],
+            observer_posted: vec![
+                "append".into(),
+                "format".into(),
+                "format_batched".into(),
+                "post".into(),
+                "publish".into(),
+            ],
         }
     }
 }
@@ -99,6 +113,8 @@ impl Config {
             doorbell_args: vec![],
             critical_atomics: vec![],
             metric_prefixes: vec![],
+            observer_receivers: vec![],
+            observer_posted: vec![],
         };
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -113,7 +129,8 @@ impl Config {
                 })?;
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "paths" | "persist_order" | "atomic_ordering" | "metric_namespace" => {}
+                    "paths" | "persist_order" | "atomic_ordering" | "metric_namespace"
+                    | "observer" => {}
                     other => {
                         return Err(ConfigError(format!(
                             "line {lineno}: unknown section [{other}]"
@@ -135,6 +152,8 @@ impl Config {
                 ("persist_order", "doorbell_args") => &mut cfg.doorbell_args,
                 ("atomic_ordering", "critical") => &mut cfg.critical_atomics,
                 ("metric_namespace", "prefixes") => &mut cfg.metric_prefixes,
+                ("observer", "receivers") => &mut cfg.observer_receivers,
+                ("observer", "posted") => &mut cfg.observer_posted,
                 (s, k) => {
                     return Err(ConfigError(format!(
                         "line {lineno}: unknown key `{k}` in [{s}]"
@@ -230,6 +249,10 @@ critical = ["next_tx", "aborted"]
 
 [metric_namespace]
 prefixes = ["pcie.", "ssd."]
+
+[observer]
+receivers = ["bb"]
+posted = ["append", "post"]
 "#;
         let c = Config::parse(text).unwrap();
         assert_eq!(c.include, vec!["crates", "src"]);
@@ -238,6 +261,8 @@ prefixes = ["pcie.", "ssd."]
         assert_eq!(c.doorbell_args, vec!["db_off"]);
         assert_eq!(c.critical_atomics, vec!["next_tx", "aborted"]);
         assert_eq!(c.metric_prefixes, vec!["pcie.", "ssd."]);
+        assert_eq!(c.observer_receivers, vec!["bb"]);
+        assert_eq!(c.observer_posted, vec!["append", "post"]);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub enum RuleId {
     UnsafeAudit,
     /// Metric names must be in the `ccnvme-metrics/v1` namespace.
     MetricNamespace,
+    /// Observers (the flight recorder) may only *post* writes — a
+    /// non-posted call (flush, read-back, doorbell) on an observer
+    /// receiver would add an ordering edge to the protocol it watches.
+    ObserverPurity,
 }
 
 impl RuleId {
@@ -45,6 +49,7 @@ impl RuleId {
             RuleId::AtomicOrdering => "atomic-ordering",
             RuleId::UnsafeAudit => "unsafe-audit",
             RuleId::MetricNamespace => "metric-namespace",
+            RuleId::ObserverPurity => "observer-purity",
         }
     }
 }

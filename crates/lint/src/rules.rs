@@ -13,6 +13,10 @@
 //!   `// SAFETY:` (or `# Safety` doc) comment.
 //! * `metric-namespace` — metric name literals must live in the
 //!   `ccnvme-metrics/v1` namespace (DESIGN.md §9).
+//! * `observer-purity` — on an observer receiver (the blackbox flight
+//!   recorder) only configured *posted* methods may be called outside
+//!   test code: a flush, read-back or doorbell through an observer
+//!   would add an ordering edge to the protocol it merely watches.
 
 use std::collections::{HashMap, HashSet};
 
@@ -40,6 +44,7 @@ pub fn run_all(units: &[Unit], cfg: &Config) -> Vec<Finding> {
         atomic_ordering(u, cfg, &mut findings);
         unsafe_audit(u, &mut findings);
         metric_namespace(u, cfg, &mut findings);
+        observer_purity(u, cfg, &mut findings);
     }
     persist_order(units, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
@@ -300,6 +305,71 @@ fn wildcard_interpolations(s: &str) -> String {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------- observer
+
+/// `observer-purity`: every method call whose receiver is a configured
+/// observer identifier must be one of the configured posted methods.
+/// The flight recorder is strictly observational by construction — its
+/// sink is write-only — and this rule keeps it that way at the call
+/// sites: no `flush()`, no reads, no doorbells on the hot path.
+fn observer_purity(u: &Unit, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.observer_receivers.is_empty() {
+        return;
+    }
+    let text = &u.lexed.masked;
+    let b = text.as_bytes();
+    for recv in &cfg.observer_receivers {
+        let needle = format!("{recv}.");
+        let mut search = 0usize;
+        while let Some(rel) = text[search..].find(&needle) {
+            let at = search + rel;
+            search = at + needle.len();
+            // Whole-word receiver: `bb.` must not match `ebb.`.
+            if at > 0 && is_ident_char(b[at - 1]) {
+                continue;
+            }
+            if u.model.offset_in_test(at) {
+                continue;
+            }
+            // Method name after the dot; must be a call (next
+            // non-whitespace is `(`), otherwise it is field access.
+            let mut j = at + needle.len();
+            let mstart = j;
+            while j < b.len() && is_ident_char(b[j]) {
+                j += 1;
+            }
+            let method = &text[mstart..j];
+            if method.is_empty() {
+                continue;
+            }
+            let mut k = j;
+            while k < b.len() && (b[k] as char).is_whitespace() {
+                k += 1;
+            }
+            if k >= b.len() || b[k] != b'(' {
+                continue;
+            }
+            let line1 = u.lexed.line_of(at);
+            if allowed(&u.lexed, "observer-purity", line1) {
+                continue;
+            }
+            if !cfg.observer_posted.iter().any(|m| m == method) {
+                out.push(Finding {
+                    rule: RuleId::ObserverPurity,
+                    file: u.path.clone(),
+                    line: line1,
+                    message: format!(
+                        "non-posted call `{recv}.{method}()` on an observer receiver — \
+                         the flight recorder may only post writes ({}), anything else \
+                         adds an ordering edge to the protocol it observes",
+                        cfg.observer_posted.join(", ")
+                    ),
+                });
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------- persist
@@ -575,6 +645,24 @@ fn lonely(&self) {
         let f = lint_one("crates/x/src/a.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, RuleId::UnsafeAudit);
+    }
+
+    #[test]
+    fn observer_purity_flags_non_posted_calls() {
+        let bad = "fn f(&self) { self.bb.flush(); }\n";
+        let f = lint_one("crates/x/src/a.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::ObserverPurity);
+        assert!(f[0].message.contains("bb.flush"));
+        // Posted writes are the observer's whole vocabulary.
+        let good = "fn f(&self) { bb.append(&ev); bb.format(); }\n";
+        assert!(lint_one("crates/x/src/a.rs", good).is_empty());
+        // Field access and longer identifiers are not receiver matches.
+        let unrelated = "fn f(&self) { ebb.flush(); let x = bb.base; }\n";
+        assert!(lint_one("crates/x/src/a.rs", unrelated).is_empty());
+        // Test code may read the recorder back freely.
+        let test_code = "#[cfg(test)]\nmod tests {\n    fn t() { bb.snapshot(); }\n}\n";
+        assert!(lint_one("crates/x/src/a.rs", test_code).is_empty());
     }
 
     #[test]

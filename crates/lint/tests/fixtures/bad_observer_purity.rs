@@ -1,0 +1,7 @@
+// Negative fixture: a flush on the flight-recorder receiver — an
+// observer adding an ordering edge to the protocol it watches.
+
+fn snoop(&self) {
+    self.bb.append(&ev);
+    self.bb.flush();
+}

@@ -88,6 +88,17 @@ fn fixture_metric_namespace_fails_with_rule_and_span() {
 }
 
 #[test]
+fn fixture_observer_purity_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_observer_purity.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_observer_purity.rs:6: [observer-purity]")
+            && stdout.contains("bb.flush"),
+        "expected observer-purity at line 6, got:\n{stdout}"
+    );
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = repo_root();
     let cfg = workspace_config();

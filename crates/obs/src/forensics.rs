@@ -1,0 +1,292 @@
+//! Post-crash forensics: reconstructs causally-ordered per-transaction
+//! timelines from a mounted blackbox ring and assigns each transaction
+//! a verdict.
+//!
+//! The verdicts follow NVTraverse's destination-over-journey rule: a
+//! record is evidence only of what was *durably reached* before the
+//! cut, because a blackbox record is posted after the protocol write it
+//! witnesses and PCIe posted writes land in FIFO order. Absence of a
+//! record proves nothing (the cut may have fallen between the protocol
+//! write and its witness), so every verdict is a conservative
+//! under-approximation and all cross-checks against the recovery
+//! scanner are one-directional.
+//!
+//! Verdict rules, in priority order over a transaction's records:
+//!
+//! 1. a `tx_abort` record ⇒ [`TxVerdict::Aborted`] — the abort log
+//!    entries preceding it are durable; recovery must discard the tx.
+//! 2. else a `completion` record ⇒ [`TxVerdict::Completed`] — the
+//!    P-SQ-head advance preceding it is durable; the tx has left the
+//!    recovery window.
+//! 3. else a `doorbell` record ⇒ [`TxVerdict::DurablyReached`] — the
+//!    flush + commit doorbell are durable, the §4.3 atomicity point was
+//!    crossed; recovery replays the tx.
+//! 4. else ⇒ [`TxVerdict::InFlightAtCut`] — only its begin survived;
+//!    nothing may be claimed beyond "it was attempted".
+
+use std::collections::BTreeMap;
+
+use crate::blackbox::{BlackboxMount, BlackboxRecord};
+use crate::trace::EventKind;
+
+/// What the blackbox proves about one transaction's fate at the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxVerdict {
+    /// A durable abort witness exists: the tx is in the discard set.
+    Aborted,
+    /// A durable completion witness exists: the tx fully retired.
+    Completed,
+    /// The commit doorbell is durably witnessed: atomicity point
+    /// crossed, recovery will replay it.
+    DurablyReached,
+    /// Only earlier milestones survive: in flight when the cut landed.
+    InFlightAtCut,
+}
+
+impl TxVerdict {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TxVerdict::Aborted => "aborted",
+            TxVerdict::Completed => "completed",
+            TxVerdict::DurablyReached => "durably-reached",
+            TxVerdict::InFlightAtCut => "in-flight-at-cut",
+        }
+    }
+}
+
+/// One transaction's recovered timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxTimeline {
+    /// The ccNVMe transaction id.
+    pub tx_id: u64,
+    /// Its surviving records, in sequence (= causal) order.
+    pub records: Vec<BlackboxRecord>,
+    /// The verdict the rules above assign.
+    pub verdict: TxVerdict,
+    /// Distinct non-zero trace ids observed on this transaction's
+    /// records (normally exactly one: the originating request).
+    pub trace_ids: Vec<u64>,
+}
+
+/// The full forensics result for one crash image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForensicsReport {
+    /// Epoch (PMR recovery generation) the ring was sealed under.
+    pub epoch: u32,
+    /// Records lost to ring laps (from the mount).
+    pub lapped: u64,
+    /// Slots dropped at mount (torn / stale / never written).
+    pub invalid_slots: u32,
+    /// Per-transaction timelines, ordered by first appearance.
+    pub txs: Vec<TxTimeline>,
+    /// Internal causal-order violations (begin after doorbell, doorbell
+    /// after completion within one tx). Always empty for a ring written
+    /// by the real recorder; non-empty means the image is corrupt in a
+    /// way the seals could not catch.
+    pub causal_violations: Vec<String>,
+}
+
+impl ForensicsReport {
+    /// The timeline of `tx_id`, if any record of it survived.
+    pub fn tx(&self, tx_id: u64) -> Option<&TxTimeline> {
+        self.txs.iter().find(|t| t.tx_id == tx_id)
+    }
+}
+
+/// Analyzes a mounted ring into per-transaction timelines + verdicts.
+pub fn analyze(mount: &BlackboxMount) -> ForensicsReport {
+    let mut txs: BTreeMap<u64, Vec<BlackboxRecord>> = BTreeMap::new();
+    for rec in &mount.records {
+        if rec.ev.tx_id != 0 {
+            txs.entry(rec.ev.tx_id).or_default().push(*rec);
+        }
+    }
+    let mut timelines: Vec<TxTimeline> = Vec::new();
+    let mut violations = Vec::new();
+    for (tx_id, records) in txs {
+        let first = |kind: EventKind| records.iter().find(|r| r.ev.kind == kind).map(|r| r.seq);
+        let begin = first(EventKind::TxBegin);
+        let doorbell = first(EventKind::Doorbell);
+        let completion = first(EventKind::Completion);
+        let abort = first(EventKind::TxAbort);
+        if let (Some(b), Some(d)) = (begin, doorbell) {
+            if b > d {
+                violations.push(format!(
+                    "tx {tx_id}: tx_begin (seq {b}) after doorbell (seq {d})"
+                ));
+            }
+        }
+        if let (Some(d), Some(c)) = (doorbell, completion) {
+            if d > c {
+                violations.push(format!(
+                    "tx {tx_id}: doorbell (seq {d}) after completion (seq {c})"
+                ));
+            }
+        }
+        let verdict = if abort.is_some() {
+            TxVerdict::Aborted
+        } else if completion.is_some() {
+            TxVerdict::Completed
+        } else if doorbell.is_some() {
+            TxVerdict::DurablyReached
+        } else {
+            TxVerdict::InFlightAtCut
+        };
+        let mut trace_ids: Vec<u64> = records
+            .iter()
+            .map(|r| r.ev.ctx.trace_id)
+            .filter(|id| *id != 0)
+            .collect();
+        trace_ids.sort_unstable();
+        trace_ids.dedup();
+        timelines.push(TxTimeline {
+            tx_id,
+            records,
+            verdict,
+            trace_ids,
+        });
+    }
+    // Order by first appearance in the ring, not by tx id.
+    timelines.sort_by_key(|t| t.records.first().map(|r| r.seq).unwrap_or(u64::MAX));
+    ForensicsReport {
+        epoch: mount.epoch,
+        lapped: mount.lapped,
+        invalid_slots: mount.invalid_slots,
+        txs: timelines,
+        causal_violations: violations,
+    }
+}
+
+/// Renders a human-readable timeline report (`ccnvme-obs forensics`).
+pub fn render(report: &ForensicsReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "blackbox epoch {} | {} tx timelines | {} lapped records | {} invalid slots\n",
+        report.epoch,
+        report.txs.len(),
+        report.lapped,
+        report.invalid_slots
+    ));
+    for t in &report.txs {
+        let ids = if t.trace_ids.is_empty() {
+            "untraced".to_string()
+        } else {
+            t.trace_ids
+                .iter()
+                .map(|id| format!("{id:#018x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!(
+            "tx {:#x} [{}] trace {}\n",
+            t.tx_id,
+            t.verdict.name(),
+            ids
+        ));
+        for r in &t.records {
+            out.push_str(&format!(
+                "  seq {:>4}  t={:>9}ns  q{:<2} {:<11} arg={:#x}\n",
+                r.seq,
+                r.ev.at,
+                r.ev.qid,
+                r.ev.kind.name(),
+                r.ev.arg
+            ));
+        }
+    }
+    for v in &report.causal_violations {
+        out.push_str(&format!("CAUSAL VIOLATION: {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::blackbox::BlackboxMount;
+    use crate::ctx::TraceCtx;
+    use crate::trace::TraceEvent;
+
+    use super::*;
+
+    fn rec(seq: u64, kind: EventKind, tx: u64, trace: u64) -> BlackboxRecord {
+        BlackboxRecord {
+            seq,
+            ev: TraceEvent {
+                at: seq * 10,
+                kind,
+                qid: 1,
+                tx_id: tx,
+                arg: 0,
+                ctx: TraceCtx {
+                    trace_id: trace,
+                    span: 1,
+                    origin: 2,
+                },
+            },
+        }
+    }
+
+    fn mnt(records: Vec<BlackboxRecord>) -> BlackboxMount {
+        BlackboxMount {
+            epoch: 1,
+            slots: 255,
+            records,
+            invalid_slots: 0,
+            lapped: 0,
+        }
+    }
+
+    #[test]
+    fn verdict_priority_ladder() {
+        let m = mnt(vec![
+            // tx 1: begin only.
+            rec(0, EventKind::TxBegin, 1, 11),
+            // tx 2: begin + doorbell.
+            rec(1, EventKind::TxBegin, 2, 12),
+            rec(2, EventKind::Doorbell, 2, 12),
+            // tx 3: full life.
+            rec(3, EventKind::TxBegin, 3, 13),
+            rec(4, EventKind::Doorbell, 3, 13),
+            rec(5, EventKind::Completion, 3, 13),
+            // tx 4: aborted after its doorbell.
+            rec(6, EventKind::TxBegin, 4, 14),
+            rec(7, EventKind::Doorbell, 4, 14),
+            rec(8, EventKind::TxAbort, 4, 14),
+        ]);
+        let f = analyze(&m);
+        assert!(f.causal_violations.is_empty());
+        assert_eq!(f.tx(1).unwrap().verdict, TxVerdict::InFlightAtCut);
+        assert_eq!(f.tx(2).unwrap().verdict, TxVerdict::DurablyReached);
+        assert_eq!(f.tx(3).unwrap().verdict, TxVerdict::Completed);
+        assert_eq!(f.tx(4).unwrap().verdict, TxVerdict::Aborted);
+        assert_eq!(f.tx(3).unwrap().trace_ids, vec![13]);
+        // Timelines come out in ring (causal) order.
+        let order: Vec<u64> = f.txs.iter().map(|t| t.tx_id).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn corrupt_order_is_flagged() {
+        let m = mnt(vec![
+            rec(5, EventKind::TxBegin, 9, 0),
+            rec(2, EventKind::Doorbell, 9, 0),
+        ]);
+        let f = analyze(&m);
+        assert_eq!(f.causal_violations.len(), 1);
+        assert!(f.causal_violations[0].contains("tx 9"));
+    }
+
+    #[test]
+    fn non_tx_records_are_ignored_and_render_is_stable() {
+        let m = mnt(vec![
+            rec(0, EventKind::Doorbell, 0, 0),
+            rec(1, EventKind::TxBegin, 7, 42),
+        ]);
+        let f = analyze(&m);
+        assert_eq!(f.txs.len(), 1);
+        let text = render(&f);
+        assert!(text.contains("tx 0x7 [in-flight-at-cut]"));
+        assert!(text.contains("tx_begin"));
+    }
+}

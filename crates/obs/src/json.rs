@@ -270,6 +270,9 @@ pub const NAMESPACE_ROOTS: &[&str] = &[
     "crashenum.",
     "fabric.",
     "ploc.",
+    "obs.",
+    "blackbox.",
+    "forensics.",
 ];
 
 /// Whether `name`, or any of its dot-separated suffixes (to skip run

@@ -20,6 +20,14 @@
 //!   decomposes into the paper's atomicity-vs-durability phases.
 //! * [`json`] — a dependency-free JSON parser plus the
 //!   `ccnvme-metrics/v1` schema validator used by `scripts/bench_smoke.sh`.
+//! * [`ctx`] — the 16-byte [`TraceCtx`] that follows one request from a
+//!   remote initiator through capsules, SQEs and bios down to
+//!   `media_write`.
+//! * [`blackbox`] — the crash-consistent flight recorder: a sealed
+//!   persistent ring of milestone records in a PMR sub-region, written
+//!   only on the posted path.
+//! * [`forensics`] — post-crash timeline reconstruction and per-tx
+//!   verdicts over a mounted blackbox ring.
 //!
 //! The crate is deliberately dependency-free (time stamps are passed in
 //! by callers as plain nanosecond integers) so every layer of the stack,
@@ -27,12 +35,18 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
+pub mod ctx;
+pub mod forensics;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 mod sync_shim;
 pub mod trace;
 
+pub use blackbox::{Blackbox, BlackboxMount, BlackboxRecord, BlackboxSink};
+pub use ctx::TraceCtx;
+pub use forensics::{ForensicsReport, TxTimeline, TxVerdict};
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Summary};
 pub use registry::{MetricsSnapshot, Registry};
 pub use trace::{tx_phases, EventKind, TraceEvent, TraceRing};
@@ -60,9 +74,10 @@ pub struct Obs {
 impl Obs {
     /// Creates a hub with the default trace capacity.
     pub fn new() -> Arc<Obs> {
-        Arc::new(Obs {
-            metrics: Registry::new(),
-            trace: TraceRing::new(trace::DEFAULT_CAPACITY),
-        })
+        let metrics = Registry::new();
+        let trace = TraceRing::new(trace::DEFAULT_CAPACITY);
+        // Silent event loss in the ring becomes a first-class metric.
+        metrics.adopt_counter("obs.trace_ring.lapped", trace.lapped_counter());
+        Arc::new(Obs { metrics, trace })
     }
 }

@@ -213,28 +213,80 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Serializes to the Prometheus text exposition format.
+    /// Serializes to the Prometheus text exposition format. The
+    /// sanitized sample name is lossy (`prom_name` maps every
+    /// non-`[a-zA-Z0-9_]` byte to `_`), so each metric carries a
+    /// `# HELP` line holding the original dotted name with text-format
+    /// escaping (`\\` and `\n`), which round-trips any name — including
+    /// ones containing quotes, backslashes or newlines.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::with_capacity(1024);
         for (name, v) in &self.counters {
             let n = prom_name(name);
+            out.push_str(&format!("# HELP {n} {}\n", prom_escape(name, false)));
             out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
         }
         for (name, v) in &self.gauges {
             let n = prom_name(name);
+            out.push_str(&format!("# HELP {n} {}\n", prom_escape(name, false)));
             out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
         }
         for (name, h) in &self.histograms {
             let n = prom_name(name);
             let s = h.summary;
+            out.push_str(&format!("# HELP {n} {}\n", prom_escape(name, false)));
             out.push_str(&format!("# TYPE {n} summary\n"));
             for (q, v) in [(0.5, s.p50), (0.95, s.p95), (0.99, s.p99)] {
-                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+                out.push_str(&format!(
+                    "{n}{{quantile=\"{}\"}} {v}\n",
+                    prom_escape(&q.to_string(), true)
+                ));
             }
             out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, s.count));
         }
         out
     }
+}
+
+/// Prometheus text-format escaping. HELP text (`quote = false`)
+/// escapes `\` and newline; label values (`quote = true`) additionally
+/// escape `"`. Previously label values and HELP text were emitted raw,
+/// so a name containing a newline corrupted the exposition stream.
+fn prom_escape(s: &str, quote: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '"' if quote => out.push_str("\\\""),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`prom_escape`] (used by the round-trip property tests).
+#[cfg(test)]
+fn prom_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('"') => out.push('"'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// JSON numbers must be finite; format floats the way `serde_json`
@@ -385,6 +437,30 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_help_carries_the_original_dotted_name() {
+        let r = Registry::new();
+        r.counter("obs.trace_ring.lapped").inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# HELP obs_trace_ring_lapped obs.trace_ring.lapped\n"));
+    }
+
+    #[test]
+    fn prometheus_escapes_adversarial_names() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("bad\"name\\with\nnewline".into(), 1);
+        let text = snap.to_prometheus();
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# HELP") || line.starts_with("# TYPE") || !line.contains('"'),
+                "raw quote leaked into a sample line: {line:?}"
+            );
+        }
+        // The newline must never appear raw: each exposition line is
+        // whole.
+        assert!(text.contains("bad\"name\\\\with\\nnewline"));
+    }
+
+    #[test]
     fn prefixed_and_merge_build_multi_run_documents() {
         let r = Registry::new();
         r.counter("mqfs.ops").add(1);
@@ -438,5 +514,92 @@ mod loom_tests {
             assert!(seen == 0 || seen == 3, "torn counter read: {seen}");
             assert_eq!(r.snapshot().counter("pcie.irqs"), 3);
         });
+    }
+}
+
+/// ISSUE 7 satellite: exported metric names containing `"`, `\` and
+/// newlines must survive both exporters — byte-identical through the
+/// JSON parser, and recoverable from the Prometheus HELP escaping.
+#[cfg(test)]
+mod prop_tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// Names drawn from an adversarial alphabet: the three characters
+    /// the satellite names, plus ordinary name material.
+    fn adversarial_name() -> impl Strategy<Value = String> {
+        proptest::collection::vec(
+            prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('.'),
+                Just(' '),
+                (b'a'..=b'z').prop_map(|b| b as char),
+            ],
+            1..24,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// JSON export → `crate::json` parser returns exactly the names
+        /// and values that went in.
+        #[test]
+        fn json_export_roundtrips_adversarial_names(
+            names in proptest::collection::vec(adversarial_name(), 1..8),
+            values in proptest::collection::vec(any::<u32>(), 8),
+        ) {
+            let names: std::collections::BTreeSet<String> = names.into_iter().collect();
+            let mut snap = MetricsSnapshot::default();
+            for (name, v) in names.iter().zip(&values) {
+                snap.counters.insert(name.clone(), *v as u64);
+            }
+            let doc = snap.to_json();
+            let parsed = crate::json::Json::parse(&doc)
+                .map_err(|e| TestCaseError::fail(format!("export unparseable: {e}")))?;
+            let counters = parsed
+                .get("counters")
+                .and_then(crate::json::Json::as_obj)
+                .ok_or_else(|| TestCaseError::fail("no counters object"))?;
+            prop_assert_eq!(
+                counters.keys().cloned().collect::<Vec<_>>(),
+                snap.counters.keys().cloned().collect::<Vec<_>>()
+            );
+            for (name, v) in &snap.counters {
+                prop_assert_eq!(counters[name].as_num(), Some(*v as f64));
+            }
+        }
+
+        /// Prometheus export: every line stays whole (no raw newline
+        /// smuggled in) and every HELP line's escaped payload decodes
+        /// back to the original dotted name.
+        #[test]
+        fn prometheus_help_escaping_roundtrips(
+            names in proptest::collection::vec(adversarial_name(), 1..8),
+        ) {
+            let names: std::collections::BTreeSet<String> = names.into_iter().collect();
+            let mut snap = MetricsSnapshot::default();
+            for name in &names {
+                snap.counters.insert(name.clone(), 1);
+            }
+            let text = snap.to_prometheus();
+            let mut recovered = Vec::new();
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix("# HELP ") {
+                    let (_sample_name, escaped) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| TestCaseError::fail(format!("bad HELP line {line:?}")))?;
+                    recovered.push(prom_unescape(escaped));
+                }
+            }
+            prop_assert_eq!(
+                recovered,
+                snap.counters.keys().cloned().collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -16,6 +16,12 @@
 //! own tiny mutex (uncontended unless two recorders lap each other on
 //! the same slot), and old events are overwritten once the ring wraps.
 
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::blackbox::Blackbox;
+use crate::ctx::{self, TraceCtx};
+use crate::metrics::Counter;
 use crate::sync_shim::{AtomicBool, AtomicU64, Mutex, Ordering};
 use crate::Ns;
 
@@ -43,6 +49,10 @@ pub enum EventKind {
     Irq,
     /// The driver completed the request back to its submitter.
     Completion,
+    /// The driver aborted the transaction (after logging it to the PMR
+    /// abort log, so a durable witness of this event implies the abort
+    /// log entries are durable too).
+    TxAbort,
 }
 
 impl EventKind {
@@ -58,7 +68,42 @@ impl EventKind {
             EventKind::CqePost => "cqe_post",
             EventKind::Irq => "irq",
             EventKind::Completion => "completion",
+            EventKind::TxAbort => "tx_abort",
         }
+    }
+
+    /// Stable non-zero wire code used by blackbox records (0 is the
+    /// never-written slot).
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::TxBegin => 1,
+            EventKind::SqeStore => 2,
+            EventKind::MmioFlush => 3,
+            EventKind::Doorbell => 4,
+            EventKind::DmaFetch => 5,
+            EventKind::MediaWrite => 6,
+            EventKind::CqePost => 7,
+            EventKind::Irq => 8,
+            EventKind::Completion => 9,
+            EventKind::TxAbort => 10,
+        }
+    }
+
+    /// Inverse of [`EventKind::code`].
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        Some(match code {
+            1 => EventKind::TxBegin,
+            2 => EventKind::SqeStore,
+            3 => EventKind::MmioFlush,
+            4 => EventKind::Doorbell,
+            5 => EventKind::DmaFetch,
+            6 => EventKind::MediaWrite,
+            7 => EventKind::CqePost,
+            8 => EventKind::Irq,
+            9 => EventKind::Completion,
+            10 => EventKind::TxAbort,
+            _ => return None,
+        })
     }
 }
 
@@ -76,6 +121,9 @@ pub struct TraceEvent {
     /// Event-specific detail: command ID for queue events, bytes for
     /// data movement, 0 otherwise.
     pub arg: u64,
+    /// The originating request's trace context ([`TraceCtx::ZERO`] for
+    /// untraced work).
+    pub ctx: TraceCtx,
 }
 
 struct Slot {
@@ -90,6 +138,15 @@ pub struct TraceRing {
     slots: Box<[Mutex<Slot>]>,
     cursor: AtomicU64,
     enabled: AtomicBool,
+    /// Events lost to ring laps: a recorded event overwrote (or lost
+    /// the slot race against) another. Exported as
+    /// `obs.trace_ring.lapped` so silent history loss in soak runs is
+    /// visible.
+    lapped: Arc<Counter>,
+    /// Optional persistent mirror: milestone events (see
+    /// [`crate::blackbox::persisted_kind`]) are also appended to the
+    /// PMR flight recorder once one is attached.
+    blackbox: OnceLock<Arc<Blackbox>>,
 }
 
 impl TraceRing {
@@ -102,7 +159,27 @@ impl TraceRing {
                 .collect(),
             cursor: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
+            lapped: Arc::new(Counter::new()),
+            blackbox: OnceLock::new(),
         }
+    }
+
+    /// Attaches the persistent flight recorder. One recorder per ring
+    /// lifetime; later calls are ignored (a re-probe builds a new
+    /// stack, and with it a new ring).
+    pub fn attach_blackbox(&self, bb: Arc<Blackbox>) {
+        let _ = self.blackbox.set(bb);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn blackbox(&self) -> Option<&Arc<Blackbox>> {
+        self.blackbox.get()
+    }
+
+    /// The lap/overwrite counter (shared so [`crate::Obs::new`] can
+    /// register it as `obs.trace_ring.lapped`).
+    pub fn lapped_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.lapped)
     }
 
     /// Number of events the ring retains.
@@ -129,32 +206,101 @@ impl TraceRing {
         self.cursor.load(Ordering::Relaxed)
     }
 
-    /// Records one event.
+    /// Records one event (persistent mirroring under the default
+    /// kind-based policy; see [`TraceRing::record_filtered`]).
     pub fn record(&self, ev: TraceEvent) {
+        self.record_filtered(ev, true);
+    }
+
+    /// Records one event; `persist: false` keeps it out of the
+    /// persistent flight recorder even when its kind is a milestone.
+    /// The driver uses this to persist per-*transaction* witnesses
+    /// (the commit-boundary bio) rather than per-bio ones: the volatile
+    /// ring still holds every event, only the posted-write mirror is
+    /// thinned, so the hot path pays for at most a handful of record
+    /// posts per transaction.
+    pub fn record_filtered(&self, ev: TraceEvent, persist: bool) {
         if !self.is_enabled() {
             return;
         }
         // ord: Relaxed — only uniqueness of `seq` matters; the slot
         // mutex below orders the payload write it guards.
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let mut slot = self.slots[(seq % self.slots.len() as u64) as usize].lock();
-        // A slower writer lapped by a full ring revolution must not
-        // clobber the newer event already in the slot.
-        if slot.ev.is_none() || seq >= slot.seq {
-            slot.seq = seq;
-            slot.ev = Some(ev);
+        {
+            let mut slot = self.slots[(seq % self.slots.len() as u64) as usize].lock();
+            // A slower writer lapped by a full ring revolution must not
+            // clobber the newer event already in the slot; either way a
+            // wrapped ring loses one event per record, which the lapped
+            // counter makes visible.
+            if slot.ev.is_none() || seq >= slot.seq {
+                if slot.ev.is_some() {
+                    self.lapped.inc();
+                }
+                slot.seq = seq;
+                slot.ev = Some(ev);
+            } else {
+                self.lapped.inc();
+            }
+        }
+        // Mirror protocol milestones into the persistent flight
+        // recorder. The append is staged/posted on the calling thread
+        // at or after the protocol write the event witnesses, so PCIe
+        // FIFO order makes a surviving record a durable witness of it.
+        // No flush, no doorbell — purely observational.
+        if persist && crate::blackbox::persisted_kind(ev.kind) {
+            if let Some(bb) = self.blackbox.get() {
+                bb.append(&ev);
+            }
         }
     }
 
-    /// Convenience: records `(at, kind, qid, tx_id, arg)`.
+    /// Convenience: records `(at, kind, qid, tx_id, arg)` under the
+    /// calling thread's current [`TraceCtx`].
     pub fn event(&self, at: Ns, kind: EventKind, qid: u16, tx_id: u64, arg: u64) {
-        self.record(TraceEvent {
-            at,
-            kind,
-            qid,
-            tx_id,
-            arg,
-        });
+        self.event_ctx(at, kind, qid, tx_id, arg, ctx::current());
+    }
+
+    /// Records an event under an explicit trace context — for recorders
+    /// on a different thread than the originating request (the device
+    /// model, completion paths), which carry the context with the
+    /// command instead of in a thread-local.
+    pub fn event_ctx(
+        &self,
+        at: Ns,
+        kind: EventKind,
+        qid: u16,
+        tx_id: u64,
+        arg: u64,
+        ctx: TraceCtx,
+    ) {
+        self.event_ctx_persist(at, kind, qid, tx_id, arg, ctx, true);
+    }
+
+    /// [`TraceRing::event_ctx`] with an explicit persistence hint:
+    /// `persist: false` records into the volatile ring only, even for
+    /// milestone kinds (see [`TraceRing::record_filtered`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn event_ctx_persist(
+        &self,
+        at: Ns,
+        kind: EventKind,
+        qid: u16,
+        tx_id: u64,
+        arg: u64,
+        ctx: TraceCtx,
+        persist: bool,
+    ) {
+        self.record_filtered(
+            TraceEvent {
+                at,
+                kind,
+                qid,
+                tx_id,
+                arg,
+                ctx,
+            },
+            persist,
+        );
     }
 
     /// Returns the retained events, oldest first (by record order).
@@ -239,7 +385,40 @@ mod tests {
             qid: 1,
             tx_id: tx,
             arg: 0,
+            ctx: TraceCtx::ZERO,
         }
+    }
+
+    #[test]
+    fn laps_are_counted_not_swallowed() {
+        let r = TraceRing::new(4);
+        for i in 0..4u64 {
+            r.record(ev(i, EventKind::SqeStore, i));
+        }
+        assert_eq!(r.lapped_counter().get(), 0, "no loss before the wrap");
+        for i in 4..10u64 {
+            r.record(ev(i, EventKind::SqeStore, i));
+        }
+        // Every record into a full ring evicts exactly one event.
+        assert_eq!(r.lapped_counter().get(), 6);
+    }
+
+    #[test]
+    fn event_captures_the_thread_context() {
+        let r = TraceRing::new(4);
+        let ctx = TraceCtx {
+            trace_id: 77,
+            span: 3,
+            origin: 5,
+        };
+        {
+            let _scope = crate::ctx::scoped(ctx);
+            r.event(10, EventKind::TxBegin, 1, 9, 0);
+        }
+        r.event(20, EventKind::Doorbell, 1, 9, 0);
+        let evs = r.events_for_tx(9);
+        assert_eq!(evs[0].ctx, ctx, "event() inherits the scoped context");
+        assert_eq!(evs[1].ctx, TraceCtx::ZERO, "context ends with its scope");
     }
 
     #[test]
@@ -356,6 +535,7 @@ mod loom_tests {
             qid: 1,
             tx_id: i,
             arg: i,
+            ctx: TraceCtx::ZERO,
         }
     }
 

@@ -291,6 +291,17 @@ impl MmioRegion {
     }
 }
 
+/// The flight recorder posts its sealed records through the same
+/// write-combining path as every other PMR store. The sink trait is
+/// write-only by construction: the recorder cannot flush, read, or ring
+/// doorbells through it, so attaching a blackbox can never add an
+/// ordering edge to the protocol.
+impl ccnvme_obs::BlackboxSink for MmioRegion {
+    fn post(&self, off: u64, data: &[u8]) {
+        self.write(off, data);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use ccnvme_sim::{delay, now, Sim};

@@ -109,6 +109,11 @@ pub struct NvmeCommand {
     /// Data-buffer token standing in for the PRP list (Dwords 6–7): an
     /// index into the host-memory registry.
     pub data_token: u64,
+    /// Trace context (Dwords 4–5 and 8–9, both reserved in the NVMe I/O
+    /// command set): lets forensics follow one request from a remote
+    /// initiator down to the media write. Zero when untraced; ignored by
+    /// the execution path.
+    pub ctx: ccnvme_obs::TraceCtx,
 }
 
 impl NvmeCommand {
@@ -120,6 +125,13 @@ impl NvmeCommand {
         b[4..8].copy_from_slice(&self.nsid.to_le_bytes());
         // Table 2: transaction ID in reserved Dwords 2-3.
         b[8..16].copy_from_slice(&self.tx_id.to_le_bytes());
+        // Trace id in reserved Dwords 4-5; span + origin in reserved
+        // Dwords 8-9. Both ranges are unused by the I/O command set and
+        // sit below the ccNVMe seal (bytes 0..56), so the context is
+        // covered by the SQE checksum for free.
+        b[16..24].copy_from_slice(&self.ctx.trace_id.to_le_bytes());
+        b[32..36].copy_from_slice(&self.ctx.span.to_le_bytes());
+        b[36..40].copy_from_slice(&self.ctx.origin.to_le_bytes());
         // PRP1 stand-in: host memory token.
         b[24..32].copy_from_slice(&self.data_token.to_le_bytes());
         // SLBA in Dwords 10-11.
@@ -154,6 +166,11 @@ impl NvmeCommand {
             tx_id: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
             tx_flags: TxFlags::from_bits(b[50]),
             data_token: u64::from_le_bytes(b[24..32].try_into().expect("8 bytes")),
+            ctx: ccnvme_obs::TraceCtx {
+                trace_id: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+                span: u32::from_le_bytes([b[32], b[33], b[34], b[35]]),
+                origin: u32::from_le_bytes([b[36], b[37], b[38], b[39]]),
+            },
         })
     }
 
@@ -265,6 +282,11 @@ mod tests {
             tx_id: 0xfeed_f00d_dead_beef,
             tx_flags: TxFlags::TX_COMMIT,
             data_token: 42,
+            ctx: ccnvme_obs::TraceCtx {
+                trace_id: 0xaaaa_bbbb_cccc_dddd,
+                span: 7,
+                origin: 0x6161_6161,
+            },
         };
         let bytes = c.encode();
         let d = NvmeCommand::decode(&bytes).expect("valid");
@@ -286,6 +308,20 @@ mod tests {
         assert_eq!(c.encode()[50] & 0x0f, 0b01);
         c.tx_flags = TxFlags::TX_COMMIT;
         assert_eq!(c.encode()[50] & 0x0f, 0b11);
+    }
+
+    #[test]
+    fn trace_ctx_lives_in_reserved_dwords_under_the_seal() {
+        let mut c = sample();
+        c.ctx = ccnvme_obs::TraceCtx {
+            trace_id: 0x1122_3344_5566_7788,
+            span: 0x0a0b_0c0d,
+            origin: 0x0102_0304,
+        };
+        let b = c.encode();
+        assert_eq!(&b[16..24], &c.ctx.trace_id.to_le_bytes());
+        assert_eq!(&b[32..36], &c.ctx.span.to_le_bytes());
+        assert_eq!(&b[36..40], &c.ctx.origin.to_le_bytes());
     }
 
     #[test]
@@ -316,6 +352,7 @@ mod tests {
             tx_id: 0,
             tx_flags: TxFlags::NONE,
             data_token: 0,
+            ctx: ccnvme_obs::TraceCtx::ZERO,
         }
     }
 
@@ -336,6 +373,9 @@ mod tests {
                 tx_id in any::<u64>(),
                 bits in 0u8..4,
                 token in any::<u64>(),
+                trace_id in any::<u64>(),
+                span in any::<u32>(),
+                origin in any::<u32>(),
             ) {
                 let c = NvmeCommand {
                     opcode: Opcode::from_byte(op).unwrap(),
@@ -347,6 +387,7 @@ mod tests {
                     tx_id,
                     tx_flags: TxFlags::from_bits(bits),
                     data_token: token,
+                    ctx: ccnvme_obs::TraceCtx { trace_id, span, origin },
                 };
                 let d = NvmeCommand::decode(&c.encode()).unwrap();
                 prop_assert_eq!(c, d);

@@ -203,6 +203,7 @@ struct Job {
     status: Status,
     tx_id: u64,
     tx_flags: crate::command::TxFlags,
+    ctx: ccnvme_obs::TraceCtx,
     irq: bool,
     action: Action,
     on_complete: CompletionFn,
@@ -623,12 +624,13 @@ fn worker_loop(inner: Arc<CtrlInner>, q: Arc<QueueShared>) {
             head = (head + 1) % q.depth;
             match NvmeCommand::decode(&raw) {
                 Some(cmd) => {
-                    inner.link.obs.trace.event(
+                    inner.link.obs.trace.event_ctx(
                         ccnvme_sim::now(),
                         EventKind::DmaFetch,
                         q.qid,
                         cmd.tx_id,
                         cmd.cid as u64,
+                        cmd.ctx,
                     );
                     execute(&inner, &q, cmd, head)
                 }
@@ -672,6 +674,7 @@ fn complete_error(inner: &CtrlInner, q: &QueueShared, cid: u16, sq_head: u32) {
         status: Status::InvalidField,
         tx_id: 0,
         tx_flags: crate::command::TxFlags::NONE,
+        ctx: ccnvme_obs::TraceCtx::ZERO,
         irq: true,
         action: Action::Nop,
         on_complete: Arc::clone(&q.on_complete),
@@ -727,6 +730,7 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
                 status: Status::Busy,
                 tx_id: cmd.tx_id,
                 tx_flags: cmd.tx_flags,
+                ctx: cmd.ctx,
                 irq: true,
                 action: Action::Nop,
                 on_complete: Arc::clone(&q.on_complete),
@@ -857,6 +861,7 @@ fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
         status,
         tx_id: cmd.tx_id,
         tx_flags: cmd.tx_flags,
+        ctx: cmd.ctx,
         // Error completions are never coalesced away: the host must see
         // them even when the transaction's members are silent.
         irq: irq || status.is_err(),
@@ -934,12 +939,13 @@ fn fire(inner: &CtrlInner, job: Job) {
                     p.record(ccnvme_sim::now(), PersistEventKind::Flush);
                 }
             }
-            inner.link.obs.trace.event(
+            inner.link.obs.trace.event_ctx(
                 ccnvme_sim::now(),
                 EventKind::MediaWrite,
                 job.qid,
                 job.tx_id,
                 bytes,
+                job.ctx,
             );
         }
         Action::ReadBlocks {
@@ -969,18 +975,24 @@ fn fire(inner: &CtrlInner, job: Job) {
     inner.link.upstream.acquire(16 + cost::TLP_HEADER);
     inner.link.traffic.dma_queue.inc();
     let now = ccnvme_sim::now();
-    inner
-        .link
-        .obs
-        .trace
-        .event(now, EventKind::CqePost, job.qid, job.tx_id, job.cid as u64);
+    inner.link.obs.trace.event_ctx(
+        now,
+        EventKind::CqePost,
+        job.qid,
+        job.tx_id,
+        job.cid as u64,
+        job.ctx,
+    );
     if job.irq {
         inner.link.traffic.irqs.inc();
-        inner
-            .link
-            .obs
-            .trace
-            .event(now, EventKind::Irq, job.qid, job.tx_id, job.cid as u64);
+        inner.link.obs.trace.event_ctx(
+            now,
+            EventKind::Irq,
+            job.qid,
+            job.tx_id,
+            job.cid as u64,
+            job.ctx,
+        );
     }
     let entry = CompletionEntry {
         cid: job.cid,
@@ -1067,6 +1079,7 @@ mod tests {
                 tx_id: 0,
                 tx_flags: TxFlags::NONE,
                 data_token: token,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             }
         }
 
@@ -1097,6 +1110,7 @@ mod tests {
                 tx_id: 0,
                 tx_flags: TxFlags::NONE,
                 data_token: token,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             });
             let e = h.await_completion();
             assert_eq!(e.status, Status::Success);
@@ -1175,6 +1189,7 @@ mod tests {
                 tx_id: 0,
                 tx_flags: TxFlags::NONE,
                 data_token: 0,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             });
             h.await_completion();
             let image = h.ctrl.power_fail(CrashMode::adversarial(1));
@@ -1267,6 +1282,7 @@ mod tests {
                     tx_id: 77,
                     tx_flags: flags,
                     data_token: token,
+                    ctx: ccnvme_obs::TraceCtx::ZERO,
                 };
                 let mut mem = sqmem.lock();
                 let off = tail as usize * 64;
@@ -1316,6 +1332,7 @@ mod tests {
                 tx_id: 1,
                 tx_flags: TxFlags::TX_COMMIT,
                 data_token: token,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             };
             // Host writes the entry into the P-SQ via MMIO, flushes, then
             // rings the persistent doorbell.
@@ -1416,6 +1433,7 @@ mod tests {
                     tx_id: 0,
                     tx_flags: TxFlags::NONE,
                     data_token: token,
+                    ctx: ccnvme_obs::TraceCtx::ZERO,
                 });
                 let e = h.await_completion();
                 assert_eq!(e.status, Status::MediaWriteError);
@@ -1533,6 +1551,7 @@ mod extra_tests {
                 tx_id: 0,
                 tx_flags: TxFlags::NONE,
                 data_token: 0xdead, // Never registered.
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             };
             sqmem.lock()[0..64].copy_from_slice(&cmd.encode());
             ctrl.regs().write(0x1000, &1u32.to_le_bytes());
@@ -1573,6 +1592,7 @@ mod extra_tests {
                     tx_id: 0,
                     tx_flags: TxFlags::NONE,
                     data_token: 0,
+                    ctx: ccnvme_obs::TraceCtx::ZERO,
                 };
                 sqmem.lock()[i * 64..(i + 1) * 64].copy_from_slice(&cmd.encode());
             }
@@ -1619,6 +1639,7 @@ mod extra_tests {
                 tx_id: 0,
                 tx_flags: TxFlags::NONE,
                 data_token: token,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
             };
             sqmem.lock()[0..64].copy_from_slice(&cmd.encode());
             ctrl.regs().write(0x1000, &1u32.to_le_bytes());

@@ -32,6 +32,14 @@ scripts/bench_smoke.sh
 # recover clean, and recovery re-crashed at each of its own events
 # converges (release build: ~3000 simulated boots).
 cargo test -q --release -p ccnvme-crashtest --test enumerate
+# Forensics smoke: crash a small stack, save the PMR wreckage, then
+# re-analyze the canned image from disk — the flight recorder must
+# mount and cross-check clean both times (exit is non-zero on any
+# verdict contradiction).
+FORENSICS_IMG="$(mktemp)"
+cargo run -q --release -p ccnvme-bench --bin ccnvme-obs -- forensics --save "$FORENSICS_IMG" > /dev/null
+cargo run -q --release -p ccnvme-bench --bin ccnvme-obs -- forensics "$FORENSICS_IMG" > /dev/null
+rm -f "$FORENSICS_IMG"
 # Fabric smoke: codec round-trips, loopback sessions under transport
 # faults, the connection-kill campaign, and the TCP smoke (the long TCP
 # soak runs in the deep tier).
