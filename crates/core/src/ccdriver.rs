@@ -535,26 +535,37 @@ impl CcNvmeDriver {
                     0,
                     trace,
                 );
+                self.ring_doorbell(q, tx_id, trace);
+            } else {
+                // ccnvme-lint: allow(persist-order) — non-boundary ring:
+                // the SQE is sealed with the ring epoch and an FNV slot
+                // checksum, so recovery discards a torn or stale slot;
+                // durability is only promised at the commit boundary,
+                // whose ring takes the flush_first arm above.
+                self.ring_doorbell(q, tx_id, trace);
             }
-            // Ring the persistent doorbell (step 2b). Ringing with the
-            // current tail also exposes any entries queued after ours by
-            // sibling threads on this core, which is safe: the doorbell
-            // value is a queue position, not a transaction boundary.
-            let tail_now = {
-                let mut st = q.st.lock();
-                st.last_rung = st.tail;
-                st.tail
-            };
-            self.inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
-            q.obs.trace.event_ctx(
-                ccnvme_sim::now(),
-                EventKind::Doorbell,
-                q.qid,
-                tx_id,
-                tail_now as u64,
-                trace,
-            );
         }
+    }
+
+    /// Rings the persistent doorbell (step 2b of Figure 3). Ringing
+    /// with the current tail also exposes any entries queued after ours
+    /// by sibling threads on this core, which is safe: the doorbell
+    /// value is a queue position, not a transaction boundary.
+    fn ring_doorbell(&self, q: &Arc<CcQueue>, tx_id: u64, trace: ccnvme_obs::TraceCtx) {
+        let tail_now = {
+            let mut st = q.st.lock();
+            st.last_rung = st.tail;
+            st.tail
+        };
+        self.inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
+        q.obs.trace.event_ctx(
+            ccnvme_sim::now(),
+            EventKind::Doorbell,
+            q.qid,
+            tx_id,
+            tail_now as u64,
+            trace,
+        );
     }
 }
 

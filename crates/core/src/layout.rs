@@ -116,6 +116,25 @@ impl PmrLayout {
         self.blackbox_off() + ccnvme_obs::blackbox::BLACKBOX_BYTES
     }
 
+    /// The geometry the runtime persist-order sanitizer replays against:
+    /// one [`ccnvme_ssd::QueueWindow`] per hardware queue mapping its
+    /// P-SQDB doorbell and P-SQ ring window. The layout is the single
+    /// source of truth for these offsets, so the sanitizer can never
+    /// drift from what the driver actually writes.
+    pub fn sanitizer_geometry(&self) -> ccnvme_ssd::SanitizerGeometry {
+        ccnvme_ssd::SanitizerGeometry {
+            queues: (0..self.nqueues)
+                .map(|q| ccnvme_ssd::QueueWindow {
+                    qid: q,
+                    db_off: self.db_off(q),
+                    ring_off: self.ring_off(q),
+                    depth: self.depth,
+                    slot_size: SQE_SIZE,
+                })
+                .collect(),
+        }
+    }
+
     /// Serializes the header (magic + geometry) with generation 0.
     pub fn encode_header(&self) -> [u8; 64] {
         self.encode_header_with_generation(0)
@@ -249,6 +268,21 @@ mod tests {
                 0,
                 "app region must be page-aligned"
             );
+        }
+    }
+
+    #[test]
+    fn sanitizer_geometry_mirrors_the_layout() {
+        let l = PmrLayout::new(3, 16);
+        let geo = l.sanitizer_geometry();
+        assert_eq!(geo.queues.len(), 3);
+        for (q, w) in geo.queues.iter().enumerate() {
+            let q = q as u16;
+            assert_eq!(w.qid, q);
+            assert_eq!(w.db_off, l.db_off(q));
+            assert_eq!(w.ring_off, l.ring_off(q));
+            assert_eq!(w.depth, 16);
+            assert_eq!(w.slot_size, SQE_SIZE);
         }
     }
 

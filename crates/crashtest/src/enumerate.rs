@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use ccnvme_sim::Sim;
-use ccnvme_ssd::{CacheSurvival, CrashMode, DurableImage, PersistLog};
+use ccnvme_ssd::{CacheSurvival, CrashMode, DurableImage, PersistLog, SanitizerGeometry};
 use parking_lot::Mutex;
 
 use crate::{CrashWorkload, OpLog, Stack, StackConfig};
@@ -74,6 +74,11 @@ pub struct EnumReport {
     /// Images whose flight recorder was mounted and cross-checked
     /// against the recovery scan (ccNVMe stacks only; 0 for baselines).
     pub forensics_images: usize,
+    /// Persist-order sanitizer violations over the recorded workload
+    /// (ccNVMe stacks only): doorbell rings that exposed a P-SQ slot
+    /// with no covering MMIO flush. Must be zero — the dynamic dual of
+    /// the static `persist-order` lint gate.
+    pub sanitizer_violations: usize,
     /// Descriptions of the first few failures.
     pub failures: Vec<String>,
 }
@@ -85,6 +90,9 @@ struct InstrumentedRun {
     log: Arc<PersistLog>,
     base_events: usize,
     marks: Arc<OpLog>,
+    /// The driver's P-SQ/doorbell geometry for the persist-order
+    /// sanitizer (`None` on stock-NVMe baselines — no PMR protocol).
+    geometry: Option<SanitizerGeometry>,
 }
 
 /// Runs `w` once on an instrumented stack and captures the full
@@ -92,7 +100,8 @@ struct InstrumentedRun {
 fn record_workload(w: &Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> InstrumentedRun {
     let mut scfg = cfg.stack.clone();
     scfg.record_persistence = true;
-    let captured: Shared<(Arc<PersistLog>, usize)> = Arc::new(Mutex::new(None));
+    type Captured = (Arc<PersistLog>, usize, Option<SanitizerGeometry>);
+    let captured: Shared<Captured> = Arc::new(Mutex::new(None));
     let marks = Arc::new(OpLog::new());
     {
         let cap = Arc::clone(&captured);
@@ -106,16 +115,18 @@ fn record_workload(w: &Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> Instrumented
                 .persist_log()
                 .expect("record_persistence was set");
             let base_events = plog.len();
+            let geometry = stack.cc_driver().map(|d| d.layout().sanitizer_geometry());
             wref.run(&fs, &marks);
-            *cap.lock() = Some((plog, base_events));
+            *cap.lock() = Some((plog, base_events, geometry));
         });
         sim.run();
     }
-    let (log, base_events) = captured.lock().take().expect("instrumented run completed");
+    let (log, base_events, geometry) = captured.lock().take().expect("instrumented run completed");
     InstrumentedRun {
         log,
         base_events,
         marks,
+        geometry,
     }
 }
 
@@ -286,6 +297,19 @@ pub fn enumerate_crash_surface(w: Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> E
     let mut failures: Vec<String> = Vec::new();
     let mut final_image: Option<DurableImage> = None;
     let ccnvme_stack = cfg.stack.uses_ccnvme();
+    // The runtime cross-check of the static persist-order gate: replay
+    // the whole recorded execution (mkfs included) through the shadow
+    // machine before walking any crash states.
+    let mut sanitizer_violations = 0;
+    if let Some(geo) = &run.geometry {
+        let violations = run.log.sanitize(geo);
+        sanitizer_violations = violations.len();
+        for v in &violations {
+            if failures.len() < 8 {
+                failures.push(format!("persist-order sanitizer: {v}"));
+            }
+        }
+    }
     for p in run.base_events..=total_events {
         let torn_cap = cfg.torn_depth.min(run.log.max_torn_at(p));
         for torn in 0..=torn_cap {
@@ -342,6 +366,7 @@ pub fn enumerate_crash_surface(w: Arc<dyn CrashWorkload>, cfg: &EnumConfig) -> E
         repaired,
         recovery_recrashes,
         forensics_images,
+        sanitizer_violations,
         failures,
     }
 }
@@ -359,6 +384,7 @@ pub fn enum_metrics(r: &EnumReport) -> ccnvme_obs::MetricsSnapshot {
     put("repaired", r.repaired as u64);
     put("recovery_recrashes", r.recovery_recrashes as u64);
     put("forensics_images", r.forensics_images as u64);
+    put("sanitizer_violations", r.sanitizer_violations as u64);
     put("failures", r.failures.len() as u64);
     snap
 }

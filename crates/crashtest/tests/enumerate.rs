@@ -63,6 +63,13 @@ fn smoke_workload_explores_every_event_prefix() {
         r.forensics_images, r.states,
         "every crash image must get a forensics pass"
     );
+    // The runtime persist-order sanitizer replays the same recorded log
+    // through its shadow queues: the dynamic dual of the static lint gate
+    // must agree that no doorbell outran the flush covering its slots.
+    assert_eq!(
+        r.sanitizer_violations, 0,
+        "persist-order sanitizer flagged a doorbell-before-flush reorder"
+    );
     // The campaign's machine-readable export carries the counters.
     let snap = enum_metrics(&r);
     assert_eq!(
@@ -72,6 +79,10 @@ fn smoke_workload_explores_every_event_prefix() {
     assert_eq!(
         snap.counters["crashenum.create_delete.repaired"],
         r.repaired as u64
+    );
+    assert_eq!(
+        snap.counters["crashenum.create_delete.sanitizer_violations"],
+        0
     );
 }
 

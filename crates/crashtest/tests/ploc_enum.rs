@@ -219,6 +219,20 @@ fn ploc_and_driver_share_the_pmr_and_the_reboot() {
             "driver ring posted writes must appear in the persist log"
         );
 
+        // Cotenancy must not confuse the persist-order sanitizer: ploc's
+        // posted writes land outside the ring windows, and the driver's
+        // journaled commit kept every doorbell behind its covering flush.
+        let geo = drv.layout().sanitizer_geometry();
+        let violations = plog.sanitize(&geo);
+        assert!(
+            violations.is_empty(),
+            "sanitizer flagged the shared-PMR workload: {violations:?}"
+        );
+        assert!(
+            !plog.sanitize_ignoring_flushes(&geo).is_empty(),
+            "shadow machine is vacuous: discounting flushes must trip it"
+        );
+
         // One reboot recovers both tenants from the shared image.
         let image = drv.controller().graceful_image();
         let mut cc2 = CtrlConfig::new(SsdProfile::optane_905p());

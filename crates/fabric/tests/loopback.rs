@@ -101,6 +101,54 @@ fn single_client_commit_is_durable_and_counted() {
     });
 }
 
+/// The runtime persist-order sanitizer over a fabric-served commit: the
+/// target's ccNVMe backend drives the same PMR ring protocol, so its
+/// recorded persistence log must replay clean through the shadow queues
+/// — and trip once flush marks are discounted, proving the check has
+/// teeth on fabric traffic too.
+#[test]
+fn fabric_commit_survives_the_persist_order_sanitizer() {
+    in_sim(|| {
+        let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+        cc.device_core = CORES;
+        cc.record_persistence = true;
+        let ctrl = NvmeController::new(cc);
+        let (drv, _report) = CcNvmeDriver::probe(ctrl, (CORES + 1) as u16, 64);
+        let drv = Arc::new(drv);
+        let backend = Backend::Raw {
+            drv: Arc::clone(&drv),
+            base: 0,
+            blocks: 4_096,
+        };
+        let target = FabricTarget::new(backend, FabricConfig::new(CORES));
+        let mut client = FabricClient::connect(
+            1,
+            target.loopback_connector(1),
+            quick_cfg(ClientStats::detached()),
+        )
+        .expect("connect");
+
+        let tx = client.alloc_tx().expect("alloc tx");
+        client.tx_write(tx, 3, b"sanitized-member").expect("stage");
+        client
+            .tx_commit(tx, 4, b"sanitized-commit", true)
+            .expect("commit");
+        client.bye();
+
+        let plog = drv.controller().persist_log().expect("recording");
+        let geo = drv.layout().sanitizer_geometry();
+        let violations = plog.sanitize(&geo);
+        assert!(
+            violations.is_empty(),
+            "fabric-served commit broke persist order: {violations:?}"
+        );
+        assert!(
+            !plog.sanitize_ignoring_flushes(&geo).is_empty(),
+            "shadow machine is vacuous: discounting flushes must trip it"
+        );
+    });
+}
+
 /// Four clients commit concurrently from their own simulated threads;
 /// every commit lands exactly once and every acked block is on media.
 #[test]

@@ -34,6 +34,19 @@ pub struct Config {
     /// The only methods callable on an observer receiver outside test
     /// code: posted writes, which can never add an ordering edge.
     pub observer_posted: Vec<String>,
+    /// Trait/dyn method names the effect analysis resolves to *every*
+    /// same-named impl (may-dispatch), since a trait-object call site
+    /// names no concrete target.
+    pub trait_methods: Vec<String>,
+    /// Functions that register a closure to run on a concurrent path
+    /// (thread spawns, write-hook installers): closures passed to
+    /// them are analyzed as spawned, not sequential.
+    pub spawn_fns: Vec<String>,
+    /// Source location of every configured value, as
+    /// (`section.key`, value, 1-based line). Populated by [`Config::parse`];
+    /// the staleness rule uses it to point findings at `lint.toml`
+    /// lines. Empty for the built-in defaults.
+    pub value_lines: Vec<(String, String, usize)>,
 }
 
 /// A configuration-load failure (I/O or syntax).
@@ -92,6 +105,14 @@ impl Default for Config {
                 "post".into(),
                 "publish".into(),
             ],
+            trait_methods: vec!["post".into()],
+            spawn_fns: vec![
+                "spawn".into(),
+                "spawn_daemon".into(),
+                "set_write_hook".into(),
+                "set_flush_hook".into(),
+            ],
+            value_lines: vec![],
         }
     }
 }
@@ -102,6 +123,16 @@ impl Config {
         let text = std::fs::read_to_string(path)
             .map_err(|e| ConfigError(format!("{}: {e}", path.display())))?;
         Config::parse(&text)
+    }
+
+    /// 1-based `lint.toml` line where `value` is configured under
+    /// `section.key` (1 when unknown, e.g. built-in defaults).
+    pub fn line_for(&self, section_key: &str, value: &str) -> usize {
+        self.value_lines
+            .iter()
+            .find(|(k, v, _)| k == section_key && v == value)
+            .map(|&(_, _, l)| l)
+            .unwrap_or(1)
     }
 
     /// Parses `lint.toml` text.
@@ -115,6 +146,9 @@ impl Config {
             metric_prefixes: vec![],
             observer_receivers: vec![],
             observer_posted: vec![],
+            trait_methods: vec![],
+            spawn_fns: vec![],
+            value_lines: vec![],
         };
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -130,7 +164,7 @@ impl Config {
                 section = name.trim().to_string();
                 match section.as_str() {
                     "paths" | "persist_order" | "atomic_ordering" | "metric_namespace"
-                    | "observer" => {}
+                    | "observer" | "concurrency" => {}
                     other => {
                         return Err(ConfigError(format!(
                             "line {lineno}: unknown section [{other}]"
@@ -150,16 +184,22 @@ impl Config {
                 ("paths", "exclude") => &mut cfg.exclude,
                 ("persist_order", "pmr_receivers") => &mut cfg.pmr_receivers,
                 ("persist_order", "doorbell_args") => &mut cfg.doorbell_args,
+                ("persist_order", "trait_methods") => &mut cfg.trait_methods,
                 ("atomic_ordering", "critical") => &mut cfg.critical_atomics,
                 ("metric_namespace", "prefixes") => &mut cfg.metric_prefixes,
                 ("observer", "receivers") => &mut cfg.observer_receivers,
                 ("observer", "posted") => &mut cfg.observer_posted,
+                ("concurrency", "spawn_fns") => &mut cfg.spawn_fns,
                 (s, k) => {
                     return Err(ConfigError(format!(
                         "line {lineno}: unknown key `{k}` in [{s}]"
                     )))
                 }
             };
+            for v in &values {
+                cfg.value_lines
+                    .push((format!("{section}.{key}"), v.clone(), lineno));
+            }
             *slot = values;
         }
         Ok(cfg)
@@ -274,6 +314,16 @@ posted = ["append", "post"]
     #[test]
     fn rejects_unquoted_values() {
         assert!(Config::parse("[paths]\ninclude = [crates]\n").is_err());
+    }
+
+    #[test]
+    fn concurrency_and_trait_methods_with_lines() {
+        let text = "[persist_order]\ntrait_methods = [\"post\"]\n\n[concurrency]\nspawn_fns = [\"spawn\", \"set_write_hook\"]\n\n[atomic_ordering]\ncritical = [\"next_tx\"]\n";
+        let c = Config::parse(text).unwrap();
+        assert_eq!(c.trait_methods, vec!["post"]);
+        assert_eq!(c.spawn_fns, vec!["spawn", "set_write_hook"]);
+        assert_eq!(c.line_for("atomic_ordering.critical", "next_tx"), 8);
+        assert_eq!(c.line_for("atomic_ordering.critical", "nope"), 1);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Abstract persistence effects.
+//!
+//! The interprocedural analysis abstracts every function body into
+//! ordered sequences of these effects (see [`crate::summary`]). The
+//! vocabulary mirrors the §4.3 protocol exactly:
+//!
+//! * [`EffectKind::Store`] — a posted MMIO write into a P-SQ region
+//!   (`pmr.write(..)` whose offset is not a doorbell register);
+//! * [`EffectKind::Flush`] — `pmr.flush()`: clflush + mfence + the
+//!   zero-byte read that drains the PCIe posted-write FIFO;
+//! * [`EffectKind::PmrRead`] — any non-posted PMR read. PCIe ordering
+//!   forces a read to drain all posted writes ahead of it, so a read
+//!   is a flush point for the analysis;
+//! * [`EffectKind::Bell`] — a P-SQDB doorbell ring (`pmr.write` with a
+//!   configured doorbell-offset token in the first argument).
+//!
+//! Beyond the four persistence events, the same effect stream carries
+//! what the other summary-based rules need: critical-atomic accesses
+//! (for the static race check) and observer-receiver calls (for
+//! observer purity).
+
+/// What an abstract effect does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EffectKind {
+    /// Posted write to a P-SQ region (not a doorbell).
+    Store {
+        /// Best-effort region label from the offset expression
+        /// (e.g. `ring_off`); `pmr` when unrecognisable.
+        region: String,
+    },
+    /// `pmr.flush()` — drains every posted write before it.
+    Flush,
+    /// Non-posted PMR read; PCIe ordering makes it a flush point.
+    PmrRead,
+    /// P-SQDB doorbell ring.
+    Bell,
+    /// Write (store/swap/fetch_*/compare_exchange) to a critical
+    /// atomic from `lint.toml [atomic_ordering].critical`.
+    CritWrite {
+        /// The atomic field identifier.
+        ident: String,
+    },
+    /// Read (load or RMW) of a critical atomic.
+    CritRead {
+        /// The atomic field identifier.
+        ident: String,
+        /// True if the access names `Ordering::Relaxed`.
+        relaxed: bool,
+    },
+    /// Method call on a configured observer receiver (`bb`).
+    Observer {
+        /// Receiver identifier.
+        recv: String,
+        /// Method name.
+        method: String,
+    },
+}
+
+/// One abstract effect, locatable back to source.
+#[derive(Debug, Clone)]
+pub struct Effect {
+    /// What happened.
+    pub kind: EffectKind,
+    /// Index into the analysis' unit (file) list.
+    pub unit: usize,
+    /// 1-based source line of the literal site.
+    pub line: usize,
+    /// Name of the function whose body contains the literal site.
+    pub owner: String,
+    /// Call-site chain from the analyzed root down to the site:
+    /// `(unit, line)` pairs, outermost call first. Suppression at any
+    /// link suppresses the whole inlined effect.
+    pub via: Vec<(usize, usize)>,
+}
+
+/// Cap on the call-site chain carried per effect.
+pub const VIA_CAP: usize = 8;
+
+impl Effect {
+    /// Returns a copy routed through the call at `(unit, line)`.
+    pub fn through(&self, unit: usize, line: usize) -> Effect {
+        let mut via = Vec::with_capacity((self.via.len() + 1).min(VIA_CAP));
+        via.push((unit, line));
+        via.extend(self.via.iter().copied().take(VIA_CAP - 1));
+        Effect {
+            kind: self.kind.clone(),
+            unit: self.unit,
+            line: self.line,
+            owner: self.owner.clone(),
+            via,
+        }
+    }
+
+    /// Short human label used when printing an offending path.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            EffectKind::Store { region } => format!("posted-write({region})@{}", self.line),
+            EffectKind::Flush => format!("flush@{}", self.line),
+            EffectKind::PmrRead => format!("pmr-read@{}", self.line),
+            EffectKind::Bell => format!("doorbell@{}", self.line),
+            EffectKind::CritWrite { ident } => format!("{ident}:write@{}", self.line),
+            EffectKind::CritRead { ident, relaxed } => {
+                let ord = if *relaxed { "relaxed-" } else { "" };
+                format!("{ident}:{ord}read@{}", self.line)
+            }
+            EffectKind::Observer { recv, method } => {
+                format!("{recv}.{method}@{}", self.line)
+            }
+        }
+    }
+
+    /// A key identifying the source site, ignoring the via chain
+    /// (used to deduplicate converging paths).
+    pub fn site_key(&self) -> (u8, usize, usize) {
+        let tag = match self.kind {
+            EffectKind::Store { .. } => 0,
+            EffectKind::Flush => 1,
+            EffectKind::PmrRead => 2,
+            EffectKind::Bell => 3,
+            EffectKind::CritWrite { .. } => 4,
+            EffectKind::CritRead { .. } => 5,
+            EffectKind::Observer { .. } => 6,
+        };
+        (tag, self.unit, self.line)
+    }
+}
+
+/// Renders a path (persistence events only) for a finding message.
+pub fn render_path(path: &[Effect]) -> String {
+    let steps: Vec<String> = path
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EffectKind::Store { .. }
+                    | EffectKind::Flush
+                    | EffectKind::PmrRead
+                    | EffectKind::Bell
+            )
+        })
+        .map(|e| e.label())
+        .collect();
+    steps.join(" -> ")
+}

@@ -1,0 +1,631 @@
+//! Function-body IR for the interprocedural persistence-effect
+//! analysis.
+//!
+//! [`parse_body`] turns one function body (a byte range of the masked
+//! source) into a small structured IR: straight-line effect leaves plus
+//! branches, loops, early returns, closures and spawn/callback
+//! registrations. It is a token-shape parser over the masked plane from
+//! [`crate::lexer`] — no type information — but unlike the old linear
+//! event scan it preserves *control structure*, which is what
+//! path-sensitive reasoning needs (a flush on one arm of an `if` must
+//! not excuse a doorbell on the other).
+//!
+//! Recognised shapes:
+//!
+//! * `if`/`else if`/`else` and `match` → [`Node::Branch`] (an `if`
+//!   without `else` gets an implicit empty arm);
+//! * `while`/`for`/`loop` → [`Node::Loop`];
+//! * `return` → [`Node::Return`]; `break`/`continue` → [`Node::Break`]
+//!   (iteration ends, the path continues after the loop);
+//! * `|args| …` / `move |args| …` → [`Node::Closure`] (may execute
+//!   inline), or [`Node::Spawn`] when the closure is an argument of a
+//!   configured spawn/callback-registration function — its body then
+//!   runs on a concurrent path, not the sequential one;
+//! * `pmr.write/flush/read` and critical-atomic / observer method
+//!   calls → effect leaves; any other `ident(` → [`Node::Call`].
+//!
+//! Anything the parser cannot structure degrades to flat in-order
+//! leaves (exactly the old PR 3 behaviour), never to silence.
+
+use crate::config::Config;
+use crate::effects::EffectKind;
+use crate::lexer::Lexed;
+use crate::model::{
+    first_arg_has_doorbell_token, is_ident_char, match_delim, receiver_ident, KEYWORDS,
+};
+
+/// One IR node. Sequences are `Vec<Node>` in source order.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A persistence/atomic/observer effect at a source line.
+    Eff {
+        /// The abstract effect.
+        kind: EffectKind,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// Outgoing call to a named function/method.
+    Call {
+        /// Callee identifier.
+        name: String,
+        /// 1-based source line of the call.
+        line: usize,
+    },
+    /// `if`/`match`: one sequence per arm. `exhaustive` is false when
+    /// an `if` has no `else` (an implicit empty arm exists).
+    Branch {
+        /// Arm bodies.
+        arms: Vec<Vec<Node>>,
+        /// True if the arms cover all paths.
+        exhaustive: bool,
+    },
+    /// `while`/`for`/`loop` body (condition effects included — they
+    /// run each iteration).
+    Loop {
+        /// Loop body.
+        body: Vec<Node>,
+    },
+    /// A closure that may execute inline (iterator adapters, callbacks
+    /// invoked on the sequential path).
+    Closure {
+        /// Closure body.
+        body: Vec<Node>,
+    },
+    /// A closure handed to a spawn/callback-registration function: its
+    /// body runs on a *concurrent* path.
+    Spawn {
+        /// Closure body.
+        body: Vec<Node>,
+    },
+    /// Early function exit.
+    Return,
+    /// Loop exit / iteration skip (`break`, `continue`).
+    Break,
+}
+
+/// Parses the body byte range `[start, end)` into an IR sequence.
+pub fn parse_body(lexed: &Lexed, cfg: &Config, start: usize, end: usize) -> Vec<Node> {
+    let p = Parser {
+        b: lexed.masked.as_bytes(),
+        lexed,
+        cfg,
+    };
+    p.seq(start, end.min(lexed.masked.len()), false)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    lexed: &'a Lexed,
+    cfg: &'a Config,
+}
+
+/// Atomic methods that write (RMWs count as writes).
+fn is_atomic_write_method(name: &str) -> bool {
+    name == "store"
+        || name == "swap"
+        || name.starts_with("fetch_")
+        || name.starts_with("compare_exchange")
+}
+
+impl<'a> Parser<'a> {
+    /// Parses `[i, end)` as a statement sequence. `in_spawn` marks
+    /// that closures found here are spawn arguments.
+    fn seq(&self, mut i: usize, end: usize, in_spawn: bool) -> Vec<Node> {
+        let mut out = Vec::new();
+        let b = self.b;
+        while i < end {
+            let c = b[i];
+            if is_ident_char(c) {
+                // Only dispatch at the start of an identifier run.
+                if i > 0 && is_ident_char(b[i - 1]) {
+                    i += 1;
+                    continue;
+                }
+                let ws = i;
+                let mut we = i;
+                while we < end && is_ident_char(b[we]) {
+                    we += 1;
+                }
+                let word = &self.lexed.masked[ws..we];
+                match word {
+                    "if" => {
+                        let (nodes, ni) = self.parse_if(we, end, in_spawn);
+                        out.extend(nodes);
+                        i = ni;
+                    }
+                    "match" => {
+                        let (nodes, ni) = self.parse_match(we, end, in_spawn);
+                        out.extend(nodes);
+                        i = ni;
+                    }
+                    "while" | "for" | "loop" => {
+                        let (nodes, ni) = self.parse_loop(word == "loop", we, end, in_spawn);
+                        out.extend(nodes);
+                        i = ni;
+                    }
+                    "return" => {
+                        let ni = self.parse_exit(we, end, in_spawn, &mut out);
+                        out.push(Node::Return);
+                        i = ni;
+                    }
+                    "break" | "continue" => {
+                        let ni = self.parse_exit(we, end, in_spawn, &mut out);
+                        out.push(Node::Break);
+                        i = ni;
+                    }
+                    "move" => {
+                        let j = self.skip_ws(we, end);
+                        if j < end && b[j] == b'|' {
+                            let (nodes, ni) = self.parse_closure(j, end, in_spawn);
+                            out.extend(nodes);
+                            i = ni;
+                        } else {
+                            i = we;
+                        }
+                    }
+                    _ => {
+                        let j = self.skip_ws(we, end);
+                        if j < end && b[j] == b'(' {
+                            i = self.handle_call(word, ws, we, j, end, &mut out);
+                        } else {
+                            i = we;
+                        }
+                    }
+                }
+            } else if c == b'|' && self.closure_starts_here(i) {
+                let (nodes, ni) = self.parse_closure(i, end, in_spawn);
+                out.extend(nodes);
+                i = ni;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn skip_ws(&self, mut i: usize, end: usize) -> usize {
+        while i < end && (self.b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    /// A `|` opens a closure only in expression-head position: after
+    /// `(`, `,`, `=`, `{` or at a `move`. `a || b` and bit-ors follow
+    /// an operand and are rejected.
+    fn closure_starts_here(&self, at: usize) -> bool {
+        let mut p = at;
+        while p > 0 && (self.b[p - 1] as char).is_whitespace() {
+            p -= 1;
+        }
+        if p == 0 {
+            return false;
+        }
+        matches!(self.b[p - 1], b'(' | b',' | b'=' | b'{')
+    }
+
+    /// `return`/`break`/`continue`: parse the value expression (its
+    /// effects happen *before* the exit) and return the resume index.
+    fn parse_exit(&self, we: usize, end: usize, in_spawn: bool, out: &mut Vec<Node>) -> usize {
+        let b = self.b;
+        let mut depth = 0i32;
+        let mut j = we;
+        while j < end {
+            match b[j] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                b';' | b',' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.extend(self.seq(we, j, in_spawn));
+        j
+    }
+
+    /// Finds the next `{` at delimiter depth 0 (condition → block
+    /// boundary for `if`/`while`/`for`/`match`).
+    fn find_block_open(&self, mut i: usize, end: usize) -> Option<usize> {
+        let b = self.b;
+        let mut depth = 0i32;
+        while i < end {
+            match b[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => return Some(i),
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn parse_if(&self, we: usize, end: usize, in_spawn: bool) -> (Vec<Node>, usize) {
+        let b = self.b;
+        let Some(open) = self.find_block_open(we, end) else {
+            return (Vec::new(), we);
+        };
+        let Some(close) = match_delim(b, open, b'{', b'}') else {
+            return (Vec::new(), we);
+        };
+        let close = close.min(end);
+        let mut nodes = self.seq(we, open, in_spawn); // condition effects
+        let mut arms = vec![self.seq(open + 1, close, in_spawn)];
+        let mut exhaustive = false;
+        let mut i = close + 1;
+        // `else` / `else if` chain.
+        let j = self.skip_ws(i, end);
+        if self.lexed.masked[j..end.min(self.lexed.masked.len())].starts_with("else")
+            && !b.get(j + 4).copied().is_some_and(is_ident_char)
+        {
+            let k = self.skip_ws(j + 4, end);
+            if self.lexed.masked[k..end.min(self.lexed.masked.len())].starts_with("if")
+                && !b.get(k + 2).copied().is_some_and(is_ident_char)
+            {
+                let (else_nodes, ni) = self.parse_if(k + 2, end, in_spawn);
+                arms.push(else_nodes);
+                exhaustive = true;
+                i = ni;
+            } else if k < end && b[k] == b'{' {
+                if let Some(eclose) = match_delim(b, k, b'{', b'}') {
+                    let eclose = eclose.min(end);
+                    arms.push(self.seq(k + 1, eclose, in_spawn));
+                    exhaustive = true;
+                    i = eclose + 1;
+                }
+            }
+        }
+        nodes.push(Node::Branch { arms, exhaustive });
+        (nodes, i)
+    }
+
+    fn parse_match(&self, we: usize, end: usize, in_spawn: bool) -> (Vec<Node>, usize) {
+        let b = self.b;
+        let Some(open) = self.find_block_open(we, end) else {
+            return (Vec::new(), we);
+        };
+        let Some(close) = match_delim(b, open, b'{', b'}') else {
+            return (Vec::new(), we);
+        };
+        let close = close.min(end);
+        let mut nodes = self.seq(we, open, in_spawn); // scrutinee effects
+        let mut arms = Vec::new();
+        let mut k = open + 1;
+        loop {
+            while k < close && ((b[k] as char).is_whitespace() || b[k] == b',') {
+                k += 1;
+            }
+            if k >= close {
+                break;
+            }
+            // Pattern (plus optional guard) up to `=>` at depth 0.
+            let mut depth = 0i32;
+            let mut m = k;
+            let mut found = None;
+            while m < close {
+                match b[m] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b'=' if depth == 0 && b.get(m + 1) == Some(&b'>') => {
+                        found = Some(m);
+                        break;
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            let Some(arrow) = found else { break };
+            let body_start = self.skip_ws(arrow + 2, close);
+            if body_start < close && b[body_start] == b'{' {
+                let Some(bclose) = match_delim(b, body_start, b'{', b'}') else {
+                    break;
+                };
+                let bclose = bclose.min(close);
+                arms.push(self.seq(body_start + 1, bclose, in_spawn));
+                k = bclose + 1;
+            } else {
+                // Expression arm: up to `,` at depth 0 or the match end.
+                let mut depth = 0i32;
+                let mut e = body_start;
+                while e < close {
+                    match b[e] {
+                        b'(' | b'[' | b'{' => depth += 1,
+                        b')' | b']' | b'}' => depth -= 1,
+                        b',' if depth == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                arms.push(self.seq(body_start, e, in_spawn));
+                k = e + 1;
+            }
+        }
+        if !arms.is_empty() {
+            nodes.push(Node::Branch {
+                arms,
+                exhaustive: true,
+            });
+        }
+        (nodes, close + 1)
+    }
+
+    fn parse_loop(
+        &self,
+        bare_loop: bool,
+        we: usize,
+        end: usize,
+        in_spawn: bool,
+    ) -> (Vec<Node>, usize) {
+        let b = self.b;
+        let Some(open) = self.find_block_open(we, end) else {
+            return (Vec::new(), we);
+        };
+        let Some(close) = match_delim(b, open, b'{', b'}') else {
+            return (Vec::new(), we);
+        };
+        let close = close.min(end);
+        // Condition effects run every iteration — they belong in the
+        // body (a bare `loop` has no condition).
+        let mut body = if bare_loop {
+            Vec::new()
+        } else {
+            self.seq(we, open, in_spawn)
+        };
+        body.extend(self.seq(open + 1, close, in_spawn));
+        (vec![Node::Loop { body }], close + 1)
+    }
+
+    /// Parses a closure starting at the `|` (params already known to
+    /// be a closure head). Returns the nodes and the resume index.
+    fn parse_closure(&self, bar: usize, end: usize, in_spawn: bool) -> (Vec<Node>, usize) {
+        let b = self.b;
+        // Parameter list: `||` or `|…|` (params cannot contain `|`).
+        let body_start = if b.get(bar + 1) == Some(&b'|') {
+            bar + 2
+        } else {
+            let mut j = bar + 1;
+            let mut ok = false;
+            while j < end && j < bar + 200 {
+                match b[j] {
+                    b'|' => {
+                        ok = true;
+                        break;
+                    }
+                    b';' | b'{' | b'}' => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if !ok {
+                return (Vec::new(), bar + 1);
+            }
+            j + 1
+        };
+        let j = self.skip_ws(body_start, end);
+        let (body, ni) = if j < end && b[j] == b'{' {
+            match match_delim(b, j, b'{', b'}') {
+                Some(close) => {
+                    let close = close.min(end);
+                    (self.seq(j + 1, close, false), close + 1)
+                }
+                None => (Vec::new(), j + 1),
+            }
+        } else {
+            // Expression body: up to `,` at depth 0 or the closing
+            // delimiter of the surrounding call.
+            let mut depth = 0i32;
+            let mut e = j;
+            while e < end {
+                match b[e] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                e += 1;
+            }
+            (self.seq(j, e, false), e)
+        };
+        let node = if in_spawn {
+            Node::Spawn { body }
+        } else {
+            Node::Closure { body }
+        };
+        (vec![node], ni)
+    }
+
+    /// Dispatches an `ident(` site: effect leaf, call, or scoped
+    /// spawn-argument parse. Returns the resume index.
+    fn handle_call(
+        &self,
+        name: &str,
+        id_start: usize,
+        we: usize,
+        open: usize,
+        end: usize,
+        out: &mut Vec<Node>,
+    ) -> usize {
+        let b = self.b;
+        let line = self.lexed.line_of(open);
+        // What precedes the identifier?
+        let mut p = id_start;
+        while p > 0 && b[p - 1] == b' ' {
+            p -= 1;
+        }
+        let prev = if p > 0 { b[p - 1] } else { b' ' };
+        if prev == b'.' {
+            let recv = receiver_ident(b, p - 1);
+            if let Some(recv) = recv.as_deref() {
+                if self.cfg.pmr_receivers.iter().any(|x| x == recv) {
+                    match name {
+                        "write" => {
+                            let kind = if first_arg_has_doorbell_token(b, open, end, self.cfg) {
+                                EffectKind::Bell
+                            } else {
+                                EffectKind::Store {
+                                    region: self.region_of_first_arg(open, end),
+                                }
+                            };
+                            out.push(Node::Eff { kind, line });
+                            return we;
+                        }
+                        "flush" => {
+                            out.push(Node::Eff {
+                                kind: EffectKind::Flush,
+                                line,
+                            });
+                            return we;
+                        }
+                        "read" | "read_u32" | "read_u64" => {
+                            out.push(Node::Eff {
+                                kind: EffectKind::PmrRead,
+                                line,
+                            });
+                            return we;
+                        }
+                        _ => {}
+                    }
+                } else if self.cfg.observer_receivers.iter().any(|x| x == recv) {
+                    out.push(Node::Eff {
+                        kind: EffectKind::Observer {
+                            recv: recv.to_string(),
+                            method: name.to_string(),
+                        },
+                        line,
+                    });
+                    return we;
+                } else if self.cfg.critical_atomics.iter().any(|x| x == recv) {
+                    if name == "load" {
+                        out.push(Node::Eff {
+                            kind: EffectKind::CritRead {
+                                ident: recv.to_string(),
+                                relaxed: self.args_name_relaxed(open, end),
+                            },
+                            line,
+                        });
+                        return we;
+                    }
+                    if is_atomic_write_method(name) {
+                        out.push(Node::Eff {
+                            kind: EffectKind::CritWrite {
+                                ident: recv.to_string(),
+                            },
+                            line,
+                        });
+                        return we;
+                    }
+                }
+            }
+            // Generic method call.
+            if self.cfg.spawn_fns.iter().any(|x| x == name) {
+                return self.parse_spawn_args(open, end, out);
+            }
+            if !KEYWORDS.contains(&name) {
+                out.push(Node::Call {
+                    name: name.to_string(),
+                    line,
+                });
+            }
+            we
+        } else if prev != b':' || (p >= 2 && b[p - 2] == b':') {
+            // Free or associated call; skip definition sites.
+            let is_def = self.lexed.masked[..id_start].trim_end().ends_with("fn");
+            if is_def {
+                return we;
+            }
+            if self.cfg.spawn_fns.iter().any(|x| x == name) {
+                return self.parse_spawn_args(open, end, out);
+            }
+            if !KEYWORDS.contains(&name) && !name.is_empty() {
+                out.push(Node::Call {
+                    name: name.to_string(),
+                    line,
+                });
+            }
+            we
+        } else {
+            we
+        }
+    }
+
+    /// Parses the argument span of a spawn/registration call with the
+    /// spawn flag set, so closures inside become [`Node::Spawn`].
+    /// Returns the index past the closing `)`.
+    fn parse_spawn_args(&self, open: usize, end: usize, out: &mut Vec<Node>) -> usize {
+        match match_delim(self.b, open, b'(', b')') {
+            Some(close) => {
+                let close = close.min(end);
+                out.extend(self.seq(open + 1, close, true));
+                close + 1
+            }
+            None => open + 1,
+        }
+    }
+
+    /// Best-effort region label from the first argument of a
+    /// `pmr.write(...)`: the first `*_off` identifier, else `pmr`.
+    fn region_of_first_arg(&self, open: usize, limit: usize) -> String {
+        let b = self.b;
+        let end = limit.min(b.len());
+        let mut depth = 0i32;
+        let mut i = open;
+        let mut tok = String::new();
+        while i < end {
+            let c = b[i];
+            match c {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b',' if depth == 1 => break,
+                _ => {}
+            }
+            if is_ident_char(c) && depth >= 1 {
+                tok.push(c as char);
+            } else {
+                if tok.ends_with("_off") {
+                    return tok;
+                }
+                tok.clear();
+            }
+            i += 1;
+        }
+        if tok.ends_with("_off") {
+            return tok;
+        }
+        "pmr".to_string()
+    }
+
+    /// True if the call's argument list names `Relaxed` as a whole
+    /// identifier (i.e. `Ordering::Relaxed`).
+    fn args_name_relaxed(&self, open: usize, limit: usize) -> bool {
+        let b = self.b;
+        let end = limit.min(b.len());
+        let close = match_delim(b, open, b'(', b')').unwrap_or(end).min(end);
+        let mut tok = String::new();
+        for &c in &b[open..close] {
+            if is_ident_char(c) {
+                tok.push(c as char);
+            } else {
+                if tok == "Relaxed" {
+                    return true;
+                }
+                tok.clear();
+            }
+        }
+        tok == "Relaxed"
+    }
+}

@@ -15,9 +15,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod effects;
+pub mod ir;
 pub mod lexer;
 pub mod model;
 pub mod rules;
+pub mod summary;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -39,6 +42,12 @@ pub enum RuleId {
     /// non-posted call (flush, read-back, doorbell) on an observer
     /// receiver would add an ordering edge to the protocol it watches.
     ObserverPurity,
+    /// Critical atomics written on a sequential commit path must not
+    /// be read `Relaxed` on a concurrently-registered callback path.
+    StaticRace,
+    /// Identifiers configured in `lint.toml` must still exist in the
+    /// workspace source — a stale entry silently weakens the gate.
+    ConfigStaleness,
 }
 
 impl RuleId {
@@ -50,6 +59,122 @@ impl RuleId {
             RuleId::UnsafeAudit => "unsafe-audit",
             RuleId::MetricNamespace => "metric-namespace",
             RuleId::ObserverPurity => "observer-purity",
+            RuleId::StaticRace => "static-race",
+            RuleId::ConfigStaleness => "config-staleness",
+        }
+    }
+
+    /// All rules, for `--explain` listing.
+    pub fn all() -> &'static [RuleId] {
+        &[
+            RuleId::PersistOrder,
+            RuleId::AtomicOrdering,
+            RuleId::UnsafeAudit,
+            RuleId::MetricNamespace,
+            RuleId::ObserverPurity,
+            RuleId::StaticRace,
+            RuleId::ConfigStaleness,
+        ]
+    }
+
+    /// Looks a rule up by its stable string id.
+    pub fn from_str_id(s: &str) -> Option<RuleId> {
+        RuleId::all().iter().copied().find(|r| r.as_str() == s)
+    }
+
+    /// Rule documentation for `ccnvme-lint --explain <rule>`: what the
+    /// rule checks, why, and an example failing path.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::PersistOrder => {
+                "persist-order — flush-before-doorbell (ccNVMe \u{a7}4.3)\n\
+                 \n\
+                 Every doorbell ring reachable from a `// ccnvme-lint: commit_path`\n\
+                 entry must be dominated, on EVERY path, by a P-SQ flush() (or a\n\
+                 non-posted PMR read, which PCIe ordering makes an equivalent drain)\n\
+                 covering the posted SQE stores before it. The analysis parses each\n\
+                 function into a branch/loop/closure-aware IR, composes per-function\n\
+                 effect summaries across the call graph, and enumerates may-paths;\n\
+                 doorbells no entry point reaches are reported as unauditable.\n\
+                 \n\
+                 Example failing path (flush only on the early-return arm):\n\
+                 \n\
+                     fn commit(&self) {\n\
+                         self.pmr.write(q.ring_off, &sqe);     // posted-write(ring_off)@2\n\
+                         if !commit { self.pmr.flush(); return; }\n\
+                         self.pmr.write(q.db_off, &tail);      // doorbell@4  <-- VIOLATION\n\
+                     }\n\
+                 \n\
+                 path: posted-write(ring_off)@2 -> doorbell@4 (the flush runs only\n\
+                 on the !commit arm). Suppress a deliberate unflushed ring with\n\
+                 `// ccnvme-lint: allow(persist-order)` plus a rationale, at the\n\
+                 ring or at the call site that reaches it."
+            }
+            RuleId::AtomicOrdering => {
+                "atomic-ordering — ordering discipline on persistence-critical atomics\n\
+                 \n\
+                 `Ordering::Relaxed` is forbidden outright on the atomics listed in\n\
+                 lint.toml [atomic_ordering] critical (they carry recovery-visible\n\
+                 protocol state), and every other Ordering:: site outside tests needs\n\
+                 an `// ord:` justification comment.\n\
+                 \n\
+                 Example: self.max_committed.store(v, Ordering::Relaxed)  <-- VIOLATION"
+            }
+            RuleId::UnsafeAudit => {
+                "unsafe-audit — every `unsafe` needs a SAFETY comment\n\
+                 \n\
+                 Each unsafe block/fn/impl must carry `// SAFETY:` (or `# Safety`\n\
+                 docs) on the same line or the comment block above. Applies to test\n\
+                 code too.\n\
+                 \n\
+                 Example: unsafe { std::ptr::read(p) }   // no SAFETY:  <-- VIOLATION"
+            }
+            RuleId::MetricNamespace => {
+                "metric-namespace — metric names live in ccnvme-metrics/v1\n\
+                 \n\
+                 The first argument of registry constructors (.counter/.gauge/\n\
+                 .histogram) must be a literal under a configured prefix; format!\n\
+                 interpolations are wildcarded, fully dynamic names are skipped.\n\
+                 \n\
+                 Example: r.counter(\"bogus.retries\")  <-- VIOLATION (prefix)"
+            }
+            RuleId::ObserverPurity => {
+                "observer-purity — the flight recorder only posts\n\
+                 \n\
+                 On an observer receiver (lint.toml [observer] receivers, e.g. `bb`)\n\
+                 only the configured posted methods may be called outside tests; a\n\
+                 flush, read-back or doorbell through the observer would add an\n\
+                 ordering edge to the protocol it merely watches. Checked over the\n\
+                 effect IR, so calls inside closures and helpers are seen too.\n\
+                 \n\
+                 Example: self.bb.flush()  <-- VIOLATION (non-posted)"
+            }
+            RuleId::StaticRace => {
+                "static-race — un-fenced concurrent reads of critical atomics\n\
+                 \n\
+                 If a critical atomic (lint.toml [atomic_ordering] critical) is\n\
+                 written on a sequential summary path and read with\n\
+                 Ordering::Relaxed on a concurrently-registered callback path (a\n\
+                 closure passed to a [concurrency] spawn_fns function, directly or\n\
+                 via helpers), the read can observe pre-commit state without an\n\
+                 ordering fence.\n\
+                 \n\
+                 Example failing pair:\n\
+                     self.max_committed.store(tx, Ordering::SeqCst);   // commit path\n\
+                     spawn(move || { max_committed.load(Ordering::Relaxed) })  <-- VIOLATION"
+            }
+            RuleId::ConfigStaleness => {
+                "config-staleness — lint.toml entries must exist in the source\n\
+                 \n\
+                 Every identifier under [atomic_ordering] critical and [observer]\n\
+                 receivers must still appear (as a whole word) somewhere in the\n\
+                 linted workspace source. A renamed field would otherwise leave a\n\
+                 stale entry behind and silently stop protecting the new name.\n\
+                 Checked only in whole-tree runs (no FILES arguments), where the\n\
+                 full workspace is visible.\n\
+                 \n\
+                 Example: critical = [\"old_field_name\"]  <-- VIOLATION after rename"
+            }
         }
     }
 }
@@ -88,7 +213,25 @@ impl fmt::Display for Finding {
 /// This is the API the binary, the fixture tests and the
 /// deleted-flush regression all share — the latter feeds a modified
 /// copy of `ccdriver.rs` through it without touching the tree.
+/// Partial source sets skip the whole-tree-only rules (config
+/// staleness); use [`lint_sources_tree`] when the set is the full
+/// workspace.
 pub fn lint_sources(sources: &[(PathBuf, String)], cfg: &Config) -> Vec<Finding> {
+    lint_sources_with(sources, cfg, false)
+}
+
+/// Like [`lint_sources`], but for a source set known to be the whole
+/// workspace — enables the rules that need global visibility (config
+/// staleness).
+pub fn lint_sources_tree(sources: &[(PathBuf, String)], cfg: &Config) -> Vec<Finding> {
+    lint_sources_with(sources, cfg, true)
+}
+
+fn lint_sources_with(
+    sources: &[(PathBuf, String)],
+    cfg: &Config,
+    whole_tree: bool,
+) -> Vec<Finding> {
     let units: Vec<rules::Unit> = sources
         .iter()
         .map(|(path, src)| {
@@ -105,7 +248,7 @@ pub fn lint_sources(sources: &[(PathBuf, String)], cfg: &Config) -> Vec<Finding>
             }
         })
         .collect();
-    rules::run_all(&units, cfg)
+    rules::run_all_with(&units, cfg, whole_tree)
 }
 
 /// Collects the `.rs` files to lint under `root` per the config's
@@ -148,7 +291,8 @@ fn walk_dir(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> st
 }
 
 /// Loads the files and lints them, returning findings with
-/// root-relative display paths.
+/// root-relative display paths. Whole-tree-only rules (config
+/// staleness) run here.
 pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
     let files = collect_files(root, cfg)?;
     let mut sources = Vec::with_capacity(files.len());
@@ -157,5 +301,5 @@ pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
         let display = f.strip_prefix(root).unwrap_or(&f).to_path_buf();
         sources.push((display, text));
     }
-    Ok(lint_sources(&sources, cfg))
+    Ok(lint_sources_tree(&sources, cfg))
 }

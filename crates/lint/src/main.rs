@@ -4,19 +4,34 @@
 //!
 //! ```text
 //! ccnvme-lint [--config lint.toml] [--root DIR] [FILES...]
+//! ccnvme-lint --explain <rule>
 //! ```
 //!
 //! With no `FILES`, lints the workspace tree rooted at `--root`
 //! (default: the nearest ancestor of the current directory containing
 //! `lint.toml`, else the current directory) using the include/exclude
-//! lists from the config. With explicit `FILES`, lints exactly those.
+//! lists from the config; whole-tree-only rules (config staleness) run
+//! in this mode. With explicit `FILES`, lints exactly those and skips
+//! the whole-tree rules — a partial view cannot prove an identifier
+//! gone.
+//!
+//! `--explain <rule>` prints the rule's documentation: what it checks,
+//! why, and an example failing path. Without a rule id it lists all.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage/config error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ccnvme_lint::{collect_files, lint_sources, Config};
+use ccnvme_lint::{collect_files, lint_sources, lint_sources_tree, Config, RuleId};
+
+fn list_rules() {
+    eprintln!("rules:");
+    for r in RuleId::all() {
+        let first = r.explain().lines().next().unwrap_or("");
+        eprintln!("  {first}");
+    }
+}
 
 fn find_root(start: &Path) -> PathBuf {
     let mut cur = start.to_path_buf();
@@ -52,8 +67,29 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: ccnvme-lint [--config lint.toml] [--root DIR] [FILES...]");
+                println!(
+                    "usage: ccnvme-lint [--config lint.toml] [--root DIR] [FILES...]\n       ccnvme-lint --explain <rule>"
+                );
                 return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                return match args.next() {
+                    Some(id) => match RuleId::from_str_id(&id) {
+                        Some(rule) => {
+                            println!("{}", rule.explain());
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("ccnvme-lint: unknown rule `{id}`");
+                            list_rules();
+                            ExitCode::from(2)
+                        }
+                    },
+                    None => {
+                        list_rules();
+                        ExitCode::SUCCESS
+                    }
+                };
             }
             _ => files.push(PathBuf::from(a)),
         }
@@ -74,6 +110,7 @@ fn main() -> ExitCode {
         Config::default()
     };
 
+    let whole_tree = files.is_empty();
     let targets: Vec<PathBuf> = if files.is_empty() {
         match collect_files(&root, &cfg) {
             Ok(f) => f,
@@ -100,7 +137,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let findings = lint_sources(&sources, &cfg);
+    let findings = if whole_tree {
+        lint_sources_tree(&sources, &cfg)
+    } else {
+        lint_sources(&sources, &cfg)
+    };
     for f in &findings {
         println!("{f}");
     }

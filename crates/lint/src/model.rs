@@ -84,7 +84,7 @@ impl FileModel {
     }
 }
 
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "if",
     "else",
     "while",
@@ -136,12 +136,12 @@ const KEYWORDS: &[&str] = &[
     "debug_assert",
 ];
 
-fn is_ident_char(c: u8) -> bool {
+pub(crate) fn is_ident_char(c: u8) -> bool {
     c == b'_' || c.is_ascii_alphanumeric()
 }
 
 /// Reads the identifier ending at (exclusive) byte `end`.
-fn ident_before(b: &[u8], end: usize) -> Option<(usize, &str)> {
+pub(crate) fn ident_before(b: &[u8], end: usize) -> Option<(usize, &str)> {
     let mut s = end;
     while s > 0 && is_ident_char(b[s - 1]) {
         s -= 1;
@@ -154,7 +154,7 @@ fn ident_before(b: &[u8], end: usize) -> Option<(usize, &str)> {
 
 /// Finds the matching close delimiter for the open one at `open`,
 /// scanning masked source (so strings/comments can't confuse depth).
-fn match_delim(b: &[u8], open: usize, oc: u8, cc: u8) -> Option<usize> {
+pub(crate) fn match_delim(b: &[u8], open: usize, oc: u8, cc: u8) -> Option<usize> {
     debug_assert_eq!(b[open], oc);
     let mut depth = 0usize;
     for (i, &c) in b.iter().enumerate().skip(open) {
@@ -318,19 +318,60 @@ fn find_test_regions(masked: &[u8]) -> Vec<(usize, usize)> {
     out
 }
 
+/// True if `text` (accumulated comment text for one line) carries an
+/// *anchored* `ccnvme-lint: <payload>` directive.
+///
+/// Anchored means the marker opens its comment: between the start of
+/// the comment (or the nearest preceding `//`, since several comments
+/// can share a line) and `ccnvme-lint:` only comment decoration may
+/// appear — whitespace and the `/`, `*`, `!`, `-` characters used by
+/// doc/block comment framing. Prose that merely *mentions* a
+/// directive ("do not add ccnvme-lint: allow(...) here") therefore
+/// does not activate it, and string literals never reach this code at
+/// all — the lexer keeps them on a separate plane.
+///
+/// The payload must start immediately after the marker (modulo
+/// whitespace) and end at a non-identifier character, so
+/// `commit_path` does not match `commit_path_aux`.
+pub fn directive_in(text: &str, payload: &str) -> bool {
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find("ccnvme-lint:") {
+        let at = from + rel;
+        let opener = text[..at].rfind("//").map(|s| s + 2).unwrap_or(0);
+        let anchored = text[opener..at]
+            .chars()
+            .all(|c| c.is_whitespace() || matches!(c, '/' | '*' | '!' | '-'));
+        if anchored {
+            let rest = text[at + "ccnvme-lint:".len()..].trim_start();
+            if let Some(after) = rest.strip_prefix(payload) {
+                let closed = after
+                    .as_bytes()
+                    .first()
+                    .map(|&b| !is_ident_char(b))
+                    .unwrap_or(true);
+                if closed {
+                    return true;
+                }
+            }
+        }
+        from = at + 1;
+    }
+    false
+}
+
 /// Walks upward from the item at byte `at` over blank lines, comments
-/// and attributes, checking for a `// ccnvme-lint: <marker>` comment.
+/// and attributes, checking for an anchored `// ccnvme-lint: <marker>`
+/// directive.
 fn has_marker_above(lexed: &Lexed, src: &str, at: usize, marker: &str) -> bool {
-    let needle = format!("ccnvme-lint: {marker}");
     let mut line1 = lexed.line_of(at);
     // Same line first (e.g. `// ccnvme-lint: commit_path` trailing —
     // unusual but cheap to allow).
-    if lexed.comment_on(line1).contains(&needle) {
+    if directive_in(lexed.comment_on(line1), marker) {
         return true;
     }
     while line1 > 1 {
         line1 -= 1;
-        if lexed.comment_on(line1).contains(&needle) {
+        if directive_in(lexed.comment_on(line1), marker) {
             return true;
         }
         let start = lexed.line_starts[line1 - 1];
@@ -351,15 +392,25 @@ fn has_marker_above(lexed: &Lexed, src: &str, at: usize, marker: &str) -> bool {
 /// True if an allow-marker for `rule` covers 1-based `line1`
 /// (same line, or anywhere in the contiguous comment block above).
 pub fn allowed(lexed: &Lexed, rule: &str, line1: usize) -> bool {
-    comment_block_contains(lexed, line1, &format!("ccnvme-lint: allow({rule})"))
+    let payload = format!("allow({rule})");
+    comment_block_matches(lexed, line1, &|t| directive_in(t, &payload))
 }
 
 /// Checks the comment on `line1` and the contiguous run of
 /// comment-only/attribute lines directly above it for `needle`.
 /// Multi-line justifications routinely wrap, so a marker anywhere in
-/// the block counts.
+/// the block counts. Used for the free-text `ord:`/`SAFETY:`
+/// justifications; `allow()`/`commit_path` directives go through the
+/// anchored [`directive_in`] grammar instead.
 pub fn comment_block_contains(lexed: &Lexed, line1: usize, needle: &str) -> bool {
-    if lexed.comment_on(line1).contains(needle) {
+    comment_block_matches(lexed, line1, &|t| t.contains(needle))
+}
+
+/// Shared walk for [`allowed`] and [`comment_block_contains`]: applies
+/// `pred` to the comment on `line1` and on the contiguous run of
+/// comment-only/attribute/continuation lines directly above it.
+fn comment_block_matches(lexed: &Lexed, line1: usize, pred: &dyn Fn(&str) -> bool) -> bool {
+    if pred(lexed.comment_on(line1)) {
         return true;
     }
     let mut l = line1;
@@ -384,7 +435,7 @@ pub fn comment_block_contains(lexed: &Lexed, line1: usize, needle: &str) -> bool
         if !comment_only && !is_attr && !continuation {
             return false; // a statement-ending code or blank line
         }
-        if lexed.comment_on(l).contains(needle) {
+        if pred(lexed.comment_on(l)) {
             return true;
         }
     }
@@ -464,7 +515,7 @@ fn scan_body(src: &str, lexed: &Lexed, start: usize, end: usize, cfg: &Config) -
 
 /// Walks back from the `.` at byte `dot` to the receiver's final path
 /// segment identifier (e.g. `self.inner.pmr` → `pmr`).
-fn receiver_ident(masked: &[u8], dot: usize) -> Option<String> {
+pub(crate) fn receiver_ident(masked: &[u8], dot: usize) -> Option<String> {
     let mut p = dot;
     while p > 0 && masked[p - 1] == b' ' {
         p -= 1;
@@ -498,7 +549,12 @@ fn receiver_ident(masked: &[u8], dot: usize) -> Option<String> {
 
 /// Scans the first argument of the call whose `(` is at `open` for any
 /// configured doorbell token as a whole identifier.
-fn first_arg_has_doorbell_token(masked: &[u8], open: usize, limit: usize, cfg: &Config) -> bool {
+pub(crate) fn first_arg_has_doorbell_token(
+    masked: &[u8],
+    open: usize,
+    limit: usize,
+    cfg: &Config,
+) -> bool {
     let mut depth = 0i32;
     let mut i = open;
     let mut tok = String::new();
@@ -616,5 +672,40 @@ impl D {
         assert!(allowed(&l, "persist-order", 2));
         assert!(allowed(&l, "unsafe-audit", 3));
         assert!(!allowed(&l, "persist-order", 3));
+    }
+
+    #[test]
+    fn directive_must_open_its_comment() {
+        // Prose that merely mentions the directive does not suppress.
+        let src = "// do not add ccnvme-lint: allow(persist-order) here\nlet a = 1;\n";
+        let l = lex(src);
+        assert!(!allowed(&l, "persist-order", 2));
+        // Doc-comment and block-comment framing still anchor.
+        let doc = "/// ccnvme-lint: allow(persist-order) — rationale\nlet a = 1;\n";
+        assert!(allowed(&lex(doc), "persist-order", 2));
+        let dashed = "// --- ccnvme-lint: allow(persist-order) ---\nlet a = 1;\n";
+        assert!(allowed(&lex(dashed), "persist-order", 2));
+        // A second comment on the same line anchors independently.
+        let two = "let a = 1; // note // ccnvme-lint: allow(unsafe-audit)\n";
+        assert!(allowed(&lex(two), "unsafe-audit", 1));
+    }
+
+    #[test]
+    fn directive_inside_string_literal_is_inert() {
+        let src = "let msg = \"// ccnvme-lint: allow(persist-order)\";\nlet a = 1;\n";
+        let l = lex(src);
+        assert!(!allowed(&l, "persist-order", 1));
+        assert!(!allowed(&l, "persist-order", 2));
+    }
+
+    #[test]
+    fn commit_path_marker_is_whole_word() {
+        let src = "// ccnvme-lint: commit_path_aux\nfn go() {}\n";
+        let m = model(src);
+        assert!(!m.funcs[0].commit_path);
+        let ok = "// ccnvme-lint: commit_path (tx commit entry)\nfn go() {}\n";
+        let l = lex(ok);
+        let m2 = build(false, ok, &l, &Config::default());
+        assert!(m2.funcs[0].commit_path);
     }
 }

@@ -1,0 +1,358 @@
+//! Per-function persistence-effect summaries and their interprocedural
+//! composition.
+//!
+//! A summary abstracts one function as:
+//!
+//! * `paths` — the set of *sequential* effect sequences the function
+//!   may execute (may-paths: every branch arm contributes; an `if`
+//!   without `else` contributes the empty arm too). Effects inlined
+//!   from callees carry a `via` call-site chain so suppression at a
+//!   call site covers everything reached through it.
+//! * `spawned` — effect sequences that run on *concurrently
+//!   registered* paths (closures handed to spawn/callback-registration
+//!   functions), composed transitively through callees.
+//! * `widened` — true when a cap was hit (path set, events per path,
+//!   recursion): the summary is then an under-approximation and rules
+//!   treat the function as analyzed-but-incomplete rather than clean
+//!   *silently* — the structural doorbell-reachability pass in
+//!   `rules.rs` does not depend on path enumeration for this reason.
+//!
+//! Summaries are computed lazily and memoized; recursion is cut by
+//! treating an in-progress callee as the empty summary (one unroll),
+//! which mirrors the PR 3 walker's cycle guard. Loops are abstracted
+//! as {0, 1, 2} iterations of the body — two unrolls are what's needed
+//! to catch a cross-iteration reorder (ring of iteration *n* before
+//! the flush of iteration *n+1*).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use crate::config::Config;
+use crate::effects::Effect;
+use crate::ir::Node;
+use crate::model::KEYWORDS;
+
+/// Cap on enumerated paths per function (beyond it: widened).
+pub const PATH_CAP: usize = 64;
+/// Cap on effects per path.
+pub const EVENTS_CAP: usize = 128;
+/// Cap on spawned sequences tracked per function.
+pub const SPAWN_CAP: usize = 128;
+
+/// One function, parsed to IR, ready for summarization.
+pub struct FuncIr {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Inside `#[cfg(test)]` or a tests/benches path.
+    pub in_test: bool,
+    /// Carries a `// ccnvme-lint: commit_path` marker.
+    pub commit_path: bool,
+    /// Body IR.
+    pub ir: Vec<Node>,
+}
+
+/// One file's worth of functions.
+pub struct UnitIr {
+    /// Functions in source order (indices parallel the model's).
+    pub funcs: Vec<FuncIr>,
+}
+
+/// The persistence-effect summary of one function.
+pub struct Summary {
+    /// Sequential may-paths (always at least one, possibly empty).
+    pub paths: Vec<Vec<Effect>>,
+    /// Concurrently-registered (spawned/callback) effect sequences.
+    pub spawned: Vec<Vec<Effect>>,
+    /// True if any cap truncated the enumeration.
+    pub widened: bool,
+}
+
+/// Intermediate dataflow state while evaluating a sequence.
+struct Flow {
+    /// Paths still flowing toward the end of the sequence.
+    cont: Vec<Vec<Effect>>,
+    /// Paths that exited the function (`return`).
+    done: Vec<Vec<Effect>>,
+    /// Paths that exited the nearest loop (`break`/`continue`).
+    broke: Vec<Vec<Effect>>,
+    /// Concurrent sequences registered along the way.
+    spawned: Vec<Vec<Effect>>,
+    /// A cap was hit somewhere below.
+    widened: bool,
+}
+
+/// Memoizing summary engine over the whole unit set.
+pub struct Engine<'a> {
+    units: &'a [UnitIr],
+    /// Global name → (unit, func) index.
+    by_name: HashMap<&'a str, Vec<(usize, usize)>>,
+    trait_methods: &'a [String],
+    memo: HashMap<(usize, usize), Rc<Summary>>,
+    in_progress: HashSet<(usize, usize)>,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds the engine and its global function index.
+    pub fn new(units: &'a [UnitIr], cfg: &'a Config) -> Engine<'a> {
+        let mut by_name: HashMap<&'a str, Vec<(usize, usize)>> = HashMap::new();
+        for (ui, u) in units.iter().enumerate() {
+            for (fi, f) in u.funcs.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push((ui, fi));
+            }
+        }
+        Engine {
+            units,
+            by_name,
+            trait_methods: &cfg.trait_methods,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+        }
+    }
+
+    /// Call-target resolution: all same-file matches first (local
+    /// helpers shadow the world), else a globally-unique match, else —
+    /// for trait/dyn methods named in `lint.toml` — *all* matches
+    /// (may-dispatch over every impl), else unresolved.
+    pub fn resolve(&self, ui: usize, name: &str) -> Vec<(usize, usize)> {
+        if KEYWORDS.contains(&name) {
+            return Vec::new();
+        }
+        let same: Vec<(usize, usize)> = self.units[ui]
+            .funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == name)
+            .map(|(fi, _)| (ui, fi))
+            .collect();
+        if !same.is_empty() {
+            return same;
+        }
+        match self.by_name.get(name) {
+            Some(v) if v.len() == 1 => v.clone(),
+            Some(v) if self.trait_methods.iter().any(|t| t == name) => v.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Computes (or returns the memoized) summary for a function.
+    pub fn summarize(&mut self, ui: usize, fi: usize) -> Rc<Summary> {
+        if let Some(s) = self.memo.get(&(ui, fi)) {
+            return s.clone();
+        }
+        if !self.in_progress.insert((ui, fi)) {
+            // Recursion: one unroll — the in-progress frame already
+            // contributes its prefix; the nested call adds nothing.
+            return Rc::new(Summary {
+                paths: vec![Vec::new()],
+                spawned: Vec::new(),
+                widened: true,
+            });
+        }
+        let f = &self.units[ui].funcs[fi];
+        let flow = self.eval_seq(&f.ir, ui, &f.name);
+        self.in_progress.remove(&(ui, fi));
+        let mut widened = flow.widened;
+        let mut paths = flow.cont;
+        paths.extend(flow.done);
+        paths.extend(flow.broke);
+        dedup_paths(&mut paths, &mut widened);
+        if paths.is_empty() {
+            paths.push(Vec::new());
+        }
+        let mut spawned = flow.spawned;
+        if spawned.len() > SPAWN_CAP {
+            spawned.truncate(SPAWN_CAP);
+            widened = true;
+        }
+        let s = Rc::new(Summary {
+            paths,
+            spawned,
+            widened,
+        });
+        self.memo.insert((ui, fi), s.clone());
+        s
+    }
+
+    /// Evaluates one IR sequence into a [`Flow`].
+    fn eval_seq(&mut self, nodes: &[Node], ui: usize, owner: &str) -> Flow {
+        let mut flow = Flow {
+            cont: vec![Vec::new()],
+            done: Vec::new(),
+            broke: Vec::new(),
+            spawned: Vec::new(),
+            widened: false,
+        };
+        for node in nodes {
+            match node {
+                Node::Eff { kind, line } => {
+                    let e = Effect {
+                        kind: kind.clone(),
+                        unit: ui,
+                        line: *line,
+                        owner: owner.to_string(),
+                        via: Vec::new(),
+                    };
+                    for p in &mut flow.cont {
+                        if p.len() < EVENTS_CAP {
+                            p.push(e.clone());
+                        } else {
+                            flow.widened = true;
+                        }
+                    }
+                }
+                Node::Call { name, line } => {
+                    let targets = self.resolve(ui, name);
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    let mut opts: Vec<Vec<Effect>> = Vec::new();
+                    for (tu, tf) in targets {
+                        let s = self.summarize(tu, tf);
+                        flow.widened |= s.widened;
+                        for p in &s.paths {
+                            opts.push(p.iter().map(|e| e.through(ui, *line)).collect());
+                        }
+                        for sp in &s.spawned {
+                            flow.spawned
+                                .push(sp.iter().map(|e| e.through(ui, *line)).collect());
+                        }
+                    }
+                    if opts.iter().all(|o| o.is_empty()) {
+                        continue; // pure callee — identity
+                    }
+                    flow.cont = cross(&flow.cont, &opts, &mut flow.widened);
+                }
+                Node::Branch { arms, exhaustive } => {
+                    let mut opts: Vec<Vec<Effect>> = Vec::new();
+                    for arm in arms {
+                        let f = self.eval_seq(arm, ui, owner);
+                        flow.widened |= f.widened;
+                        flow.spawned.extend(f.spawned);
+                        extend_capped(
+                            &mut flow.done,
+                            cross(&flow.cont, &f.done, &mut flow.widened),
+                        );
+                        extend_capped(
+                            &mut flow.broke,
+                            cross(&flow.cont, &f.broke, &mut flow.widened),
+                        );
+                        opts.extend(f.cont);
+                    }
+                    if !exhaustive {
+                        opts.push(Vec::new());
+                    }
+                    // `opts` may legitimately be empty here: an
+                    // exhaustive branch whose every arm returns or
+                    // breaks has no fall-through, and `cross` maps the
+                    // empty option set to the empty continuation.
+                    flow.cont = cross(&flow.cont, &opts, &mut flow.widened);
+                }
+                Node::Loop { body } => {
+                    let f = self.eval_seq(body, ui, owner);
+                    flow.widened |= f.widened;
+                    flow.spawned.extend(f.spawned);
+                    // `return` inside the loop exits the function.
+                    extend_capped(
+                        &mut flow.done,
+                        cross(&flow.cont, &f.done, &mut flow.widened),
+                    );
+                    // {0, 1, 2} iterations; `break`/`continue` paths
+                    // resume after the loop.
+                    let mut opts: Vec<Vec<Effect>> = vec![Vec::new()];
+                    opts.extend(f.cont.iter().cloned());
+                    opts.extend(f.broke.iter().cloned());
+                    for p in &f.cont {
+                        let mut twice = p.clone();
+                        twice.extend(p.iter().cloned());
+                        twice.truncate(EVENTS_CAP);
+                        opts.push(twice);
+                    }
+                    flow.cont = cross(&flow.cont, &opts, &mut flow.widened);
+                }
+                Node::Closure { body } => {
+                    // May execute inline, zero or more times; model as
+                    // {skip, once-through-any-exit}.
+                    let f = self.eval_seq(body, ui, owner);
+                    flow.widened |= f.widened;
+                    flow.spawned.extend(f.spawned);
+                    let mut opts: Vec<Vec<Effect>> = vec![Vec::new()];
+                    opts.extend(f.cont);
+                    opts.extend(f.done);
+                    opts.extend(f.broke);
+                    flow.cont = cross(&flow.cont, &opts, &mut flow.widened);
+                }
+                Node::Spawn { body } => {
+                    let f = self.eval_seq(body, ui, owner);
+                    flow.widened |= f.widened;
+                    extend_capped(&mut flow.spawned, f.cont);
+                    extend_capped(&mut flow.spawned, f.done);
+                    extend_capped(&mut flow.spawned, f.broke);
+                    flow.spawned.extend(f.spawned);
+                }
+                Node::Return => {
+                    flow.done.append(&mut flow.cont);
+                }
+                Node::Break => {
+                    flow.broke.append(&mut flow.cont);
+                }
+            }
+        }
+        flow
+    }
+}
+
+/// Appends `more` respecting the global path cap (no flag: the caller
+/// tracks widening through `cross`).
+fn extend_capped(dst: &mut Vec<Vec<Effect>>, more: Vec<Vec<Effect>>) {
+    for p in more {
+        if dst.len() >= PATH_CAP {
+            break;
+        }
+        dst.push(p);
+    }
+}
+
+/// Cross-product of path prefixes with continuation options,
+/// deduplicated by effect-site sequence and capped. An empty `opts`
+/// set means "no path through here" and yields the empty set (callers
+/// that mean "identity" pass `[[]]`).
+fn cross(pre: &[Vec<Effect>], opts: &[Vec<Effect>], widened: &mut bool) -> Vec<Vec<Effect>> {
+    if opts.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<Vec<Effect>> = Vec::new();
+    let mut seen: HashSet<Vec<(u8, usize, usize)>> = HashSet::new();
+    for p in pre {
+        for o in opts {
+            if out.len() >= PATH_CAP {
+                *widened = true;
+                return out;
+            }
+            let mut np = p.clone();
+            for e in o {
+                if np.len() < EVENTS_CAP {
+                    np.push(e.clone());
+                } else {
+                    *widened = true;
+                }
+            }
+            let key: Vec<(u8, usize, usize)> = np.iter().map(|e| e.site_key()).collect();
+            if seen.insert(key) {
+                out.push(np);
+            }
+        }
+    }
+    out
+}
+
+/// In-place dedup + cap for a finished path set.
+fn dedup_paths(paths: &mut Vec<Vec<Effect>>, widened: &mut bool) {
+    let mut seen: HashSet<Vec<(u8, usize, usize)>> = HashSet::new();
+    paths.retain(|p| seen.insert(p.iter().map(|e| e.site_key()).collect()));
+    if paths.len() > PATH_CAP {
+        paths.truncate(PATH_CAP);
+        *widened = true;
+    }
+}

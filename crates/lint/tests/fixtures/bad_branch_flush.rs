@@ -1,0 +1,13 @@
+// Negative fixture: the flush runs only on one arm of the branch, so
+// the doorbell on line 12 is un-dominated on the fall-through path.
+// The old lexical walker saw store → flush → bell and called this
+// clean; the path-sensitive analyzer must not.
+
+// ccnvme-lint: commit_path
+fn enqueue(&self, commit: bool) {
+    self.inner.pmr.write(q.ring_off + cid * 64, &sqe);
+    if commit {
+        self.inner.pmr.flush();
+    }
+    self.inner.pmr.write(q.db_off, &tail.to_le_bytes());
+}

@@ -1,0 +1,11 @@
+// Negative fixture: the flush is captured into a closure handed to a
+// spawn function, so it runs on a concurrent path — it cannot dominate
+// the sequential doorbell on line 10.
+
+// ccnvme-lint: commit_path
+fn enqueue(&self) {
+    self.inner.pmr.write(q.ring_off + cid * 64, &sqe);
+    let inner = self.inner.clone();
+    spawn(move || inner.pmr.flush());
+    self.inner.pmr.write(q.db_off, &tail.to_le_bytes());
+}

@@ -1,0 +1,11 @@
+// Negative fixture: `max_committed` is published on the sequential
+// commit path but read Ordering::Relaxed inside a concurrently
+// registered callback (line 10) — the un-fenced read can observe
+// pre-commit state. Also trips atomic-ordering (Relaxed on critical);
+// the gate test asserts static-race specifically.
+
+fn start(&self) {
+    // ord: SeqCst publication pairs with the watchdog reader
+    self.max_committed.store(tx, Ordering::SeqCst);
+    spawn(move || self.max_committed.load(Ordering::Relaxed));
+}

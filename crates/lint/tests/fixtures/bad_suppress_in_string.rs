@@ -1,0 +1,11 @@
+// Negative fixture: the suppression directive only appears inside a
+// string literal, which must NOT suppress — directives are anchored to
+// comment/attribute positions. The doorbell on line 10 stays flagged.
+
+// ccnvme-lint: commit_path
+fn enqueue(&self) {
+    self.inner.pmr.write(q.ring_off + cid * 64, &sqe);
+    let _doc = "put // ccnvme-lint: allow(persist-order) here to mute";
+    let _also = "ccnvme-lint: allow(persist-order)";
+    self.inner.pmr.write(q.db_off, &tail.to_le_bytes());
+}

@@ -99,6 +99,75 @@ fn fixture_observer_purity_fails_with_rule_and_span() {
 }
 
 #[test]
+fn fixture_branch_flush_fails_path_sensitively() {
+    // The old lexical walker called this fixture clean (store → flush
+    // → bell in source order); the path-sensitive analyzer must flag
+    // the fall-through arm and print the offending path.
+    let (code, stdout) = run_on_fixture("bad_branch_flush.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_branch_flush.rs:12: [persist-order]")
+            && stdout.contains("not dominated")
+            && stdout.contains("path:"),
+        "expected a path-sensitive persist-order violation at line 12, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_closure_capture_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_closure_capture.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_closure_capture.rs:10: [persist-order]")
+            && stdout.contains("not dominated"),
+        "expected persist-order at line 10 (spawned flush cannot dominate), got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_static_race_fails_with_rule_and_span() {
+    let (code, stdout) = run_on_fixture("bad_static_race.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_static_race.rs:10: [static-race]") && stdout.contains("max_committed"),
+        "expected static-race at line 10, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_suppression_in_string_does_not_suppress() {
+    let (code, stdout) = run_on_fixture("bad_suppress_in_string.rs");
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(
+        stdout.contains("bad_suppress_in_string.rs:10: [persist-order]"),
+        "a directive inside a string literal must not suppress, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn explain_prints_rule_documentation() {
+    for rule in RuleId::all() {
+        let out = Command::new(env!("CARGO_BIN_EXE_ccnvme-lint"))
+            .arg("--explain")
+            .arg(rule.as_str())
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0), "--explain {rule}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(rule.as_str()),
+            "--explain {rule} must name the rule, got:\n{stdout}"
+        );
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_ccnvme-lint"))
+        .arg("--explain")
+        .arg("no-such-rule")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = repo_root();
     let cfg = workspace_config();

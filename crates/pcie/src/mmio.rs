@@ -34,6 +34,14 @@ use crate::{cost, link::PcieLink};
 /// device acting at that instant sees a consistent queue.
 pub type WriteHook = Box<dyn Fn(u64, &[u8], Ns) + Send + Sync>;
 
+/// Callback invoked (on the issuing thread) when a non-posted read of
+/// the region completes — the moment every previously posted write has
+/// provably arrived. Both [`MmioRegion::flush`] and [`MmioRegion::read`]
+/// are such drain points (§4.3: the zero-byte read cannot pass the
+/// posted writes). The argument is the completion instant. Used by the
+/// persist-order sanitizer to record flush coverage.
+pub type FlushHook = Box<dyn Fn(Ns) + Send + Sync>;
+
 /// The persistence class of a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RegionKind {
@@ -61,6 +69,7 @@ pub struct MmioRegion {
     link: Arc<PcieLink>,
     st: Mutex<MmioState>,
     hook: Mutex<Option<WriteHook>>,
+    flush_hook: Mutex<Option<FlushHook>>,
     flush_hist: Arc<ccnvme_sim::Histogram>,
 }
 
@@ -77,6 +86,7 @@ impl MmioRegion {
                 in_flight: VecDeque::new(),
             }),
             hook: Mutex::new(None),
+            flush_hook: Mutex::new(None),
             flush_hist,
         }
     }
@@ -94,6 +104,12 @@ impl MmioRegion {
     /// Installs the device-side notification hook (doorbell callback).
     pub fn set_write_hook(&self, hook: WriteHook) {
         *self.hook.lock() = Some(hook);
+    }
+
+    /// Installs the posted-write drain hook, fired when a non-posted
+    /// read (a [`flush`](Self::flush) or [`read`](Self::read)) completes.
+    pub fn set_flush_hook(&self, hook: FlushHook) {
+        *self.flush_hook.lock() = Some(hook);
     }
 
     /// Issues a posted MMIO write of `data` at `off` from the current
@@ -209,6 +225,14 @@ impl MmioRegion {
             wait += end.saturating_sub(now);
         }
         ccnvme_sim::delay(wait);
+        // Every write posted before this read has now arrived — report
+        // the drain point to the sanitizer (or any other observer).
+        {
+            let fh = self.flush_hook.lock();
+            if let Some(h) = fh.as_ref() {
+                h(ccnvme_sim::now());
+            }
+        }
         let st = self.st.lock();
         st.committed[off as usize..(off + len) as usize].to_vec()
     }

@@ -391,6 +391,16 @@ impl NvmeController {
                     i.doorbell(true, off, data, arrive_at);
                 }
             }));
+        if let Some(p) = &inner.persist {
+            // A completed non-posted PMR read is a §4.3 drain point:
+            // every write recorded before it has arrived. The sanitizer
+            // replays these marks against the event log to assert no
+            // doorbell exposed an unflushed P-SQ slot.
+            let p2 = Arc::clone(p);
+            inner
+                .pmr
+                .set_flush_hook(Box::new(move |at| p2.record_mmio_flush(at)));
+        }
         // The completer daemon.
         let inner2 = Arc::clone(&inner);
         let device_core = inner.cfg.device_core;
@@ -1645,6 +1655,90 @@ mod extra_tests {
             ctrl.regs().write(0x1000, &1u32.to_le_bytes());
             rx.recv().expect("completion");
             assert!(buf.lock().iter().all(|b| *b == 0));
+        });
+        sim.run();
+    }
+
+    /// End-to-end cross-check of the runtime persist-order sanitizer against
+    /// the real MMIO path: a protocol-true §4.3 submission (posted store,
+    /// flush, doorbell) sanitizes clean, and an injected doorbell-before-flush
+    /// reorder on the very same queue is caught with the exact slot named.
+    #[test]
+    fn persist_order_sanitizer_cross_checks_the_pmr_queue_protocol() {
+        use crate::persist::{QueueWindow, SanitizerGeometry};
+
+        let mut sim = Sim::new(2);
+        sim.spawn("host", 0, || {
+            let mut cfg = CtrlConfig::new(SsdProfile::optane_p5800x());
+            cfg.record_persistence = true;
+            let ctrl = NvmeController::new(cfg);
+            let (tx, rx) = mpsc_channel::<CompletionEntry>(None);
+            ctrl.create_io_queue(QueueParams {
+                qid: 1,
+                depth: 64,
+                sq: SqBacking::Pmr { offset: 4096 },
+                sqdb: DoorbellLoc::Pmr { offset: 0 },
+                on_complete: Arc::new(move |e| {
+                    let _ = tx.try_send(e);
+                }),
+            });
+            let geo = SanitizerGeometry {
+                queues: vec![QueueWindow {
+                    qid: 1,
+                    db_off: 0,
+                    ring_off: 4096,
+                    depth: 64,
+                    slot_size: 64,
+                }],
+            };
+            // Commit-boundary SQEs: the sanitizer's flush-before-doorbell
+            // obligation applies exactly where durability is promised.
+            let flush_cmd = |cid: u16| NvmeCommand {
+                opcode: Opcode::Flush,
+                cid,
+                nsid: 1,
+                lba: 0,
+                nblocks: 0,
+                fua: false,
+                tx_id: cid as u64,
+                tx_flags: TxFlags::TX_COMMIT,
+                data_token: 0,
+                ctx: ccnvme_obs::TraceCtx::ZERO,
+            };
+
+            // Protocol-true submission: posted SQE store, MMIO flush (the
+            // clflush + mfence + zero-byte read of §4.3), then the doorbell.
+            ctrl.pmr().write(4096, &flush_cmd(1).encode());
+            ctrl.pmr().flush();
+            ctrl.pmr().write(0, &1u32.to_le_bytes());
+            rx.recv().expect("completion for slot 0");
+
+            let plog = ctrl.persist_log().expect("recording enabled");
+            assert!(
+                plog.sanitize(&geo).is_empty(),
+                "a store-flush-ring submission must sanitize clean"
+            );
+            // The zero must be non-vacuous: the same trace trips the shadow
+            // machine once flush marks are discounted.
+            assert_eq!(plog.sanitize_ignoring_flushes(&geo).len(), 1);
+
+            // Injected reorder: post slot 1's SQE and ring the doorbell with
+            // NO intervening flush. The device happens to read it back fine
+            // (no crash here), but the ordering bug is real and the sanitizer
+            // must name the exposed slot.
+            ctrl.pmr().write(4096 + 64, &flush_cmd(2).encode());
+            ctrl.pmr().write(0, &2u32.to_le_bytes());
+            rx.recv().expect("completion for slot 1");
+
+            let violations = plog.sanitize(&geo);
+            assert_eq!(
+                violations.len(),
+                1,
+                "exactly the unflushed submission is flagged: {violations:?}"
+            );
+            assert_eq!(violations[0].qid, 1);
+            assert_eq!(violations[0].slot, 1);
+            assert!(violations[0].to_string().contains("no covering MMIO flush"));
         });
         sim.run();
     }

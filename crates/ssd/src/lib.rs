@@ -25,6 +25,9 @@ pub use controller::{
     CrashMode, CtrlConfig, DoorbellLoc, DurableImage, NvmeController, QueueParams, SqBacking,
 };
 pub use hostmem::{DataBuf, HostMemory};
-pub use persist::{CacheSurvival, PersistEvent, PersistEventKind, PersistLog};
+pub use persist::{
+    CacheSurvival, PersistEvent, PersistEventKind, PersistLog, QueueWindow, SanitizerGeometry,
+    SanitizerViolation,
+};
 pub use profile::SsdProfile;
 pub use store::{BlockStore, BLOCK_SIZE};

@@ -22,6 +22,15 @@
 //! posted writes to one region arrive FIFO, the legal "torn" sets
 //! collapse to a *count*: the first `torn` still-in-flight PMR writes
 //! issued before the cut (see DESIGN.md §11).
+//!
+//! The log doubles as the ground truth for the **persist-order
+//! sanitizer** ([`PersistLog::sanitize`]): a shadow state machine that
+//! replays the PMR writes in host program order and asserts the §4.3
+//! protocol — no persistent doorbell may expose a ring slot whose
+//! posted write was not covered by an earlier MMIO flush. Flush marks
+//! arrive through a side channel ([`PersistLog::record_mmio_flush`])
+//! rather than as event kinds, so enabling the sanitizer never changes
+//! the enumerable crash surface.
 
 use std::{
     collections::HashMap,
@@ -89,6 +98,68 @@ pub enum CacheSurvival {
     KeepAll,
 }
 
+/// A completed persistent-MMIO flush, recorded out-of-band: every PMR
+/// write with recording seq below `upto_seq` had provably arrived when
+/// the flush's non-posted read completed at `at`.
+#[derive(Debug, Clone, Copy)]
+struct FlushMark {
+    at: Ns,
+    upto_seq: u64,
+}
+
+/// Where one hardware queue's sanitizer-relevant structures live in the
+/// PMR: the persistent tail doorbell and the P-SQ ring window.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueWindow {
+    /// Queue index (diagnostics only).
+    pub qid: u16,
+    /// Byte offset of the persistent tail doorbell (P-SQDB).
+    pub db_off: u64,
+    /// Byte offset of slot 0 of the P-SQ ring.
+    pub ring_off: u64,
+    /// Ring capacity in slots.
+    pub depth: u32,
+    /// Bytes per ring slot.
+    pub slot_size: u64,
+}
+
+/// The PMR geometry the persist-order sanitizer replays against — one
+/// [`QueueWindow`] per hardware queue. Built by the layout owner (the
+/// ccNVMe driver's `PmrLayout::sanitizer_geometry`).
+#[derive(Debug, Clone, Default)]
+pub struct SanitizerGeometry {
+    /// Every queue's doorbell + ring window.
+    pub queues: Vec<QueueWindow>,
+}
+
+/// One detected violation of the §4.3 persist-order protocol: a
+/// persistent doorbell exposed a ring slot whose posted write had no
+/// covering MMIO flush.
+#[derive(Debug, Clone, Copy)]
+pub struct SanitizerViolation {
+    /// Queue whose doorbell rang.
+    pub qid: u16,
+    /// The exposed, still-unflushed slot.
+    pub slot: u32,
+    /// Recording seq of the slot's posted write.
+    pub write_seq: u64,
+    /// Recording seq of the offending doorbell write.
+    pub bell_seq: u64,
+    /// Arrival instant of the doorbell write.
+    pub bell_at: Ns,
+}
+
+impl std::fmt::Display for SanitizerViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue {}: doorbell (seq {}, t={}) exposed slot {} whose posted \
+             write (seq {}) had no covering MMIO flush",
+            self.qid, self.bell_seq, self.bell_at, self.slot, self.write_seq
+        )
+    }
+}
+
 /// The ordered log of durable-effecting events for one controller run.
 ///
 /// Plain data once the run is over: every query method is pure and safe
@@ -97,6 +168,10 @@ pub struct PersistLog {
     events: Mutex<Vec<PersistEvent>>,
     /// Event-log cursor: hands out recording sequence numbers.
     event_seq: AtomicU64,
+    /// Completed MMIO flushes, kept out of `events` on purpose: a flush
+    /// changes no durable bytes, so it must not widen the enumerable
+    /// crash surface — it only feeds the sanitizer.
+    flush_marks: Mutex<Vec<FlushMark>>,
     base_pmr: Mutex<Vec<u8>>,
     base_blocks: Mutex<HashMap<u64, Vec<u8>>>,
 }
@@ -108,6 +183,7 @@ impl PersistLog {
         PersistLog {
             events: Mutex::new(Vec::new()),
             event_seq: AtomicU64::new(0),
+            flush_marks: Mutex::new(Vec::new()),
             base_pmr: Mutex::new(vec![0u8; pmr_size]),
             base_blocks: Mutex::new(HashMap::new()),
         }
@@ -134,6 +210,28 @@ impl PersistLog {
             .lock()
             .expect("poisoned")
             .push(PersistEvent { at, seq, kind });
+    }
+
+    /// Records a completed persistent-MMIO flush (the §4.3 `clflush` +
+    /// `mfence` + zero-byte read, or any other non-posted PMR read —
+    /// both drain every previously posted write). `at` is the read's
+    /// completion instant. The mark covers exactly the PMR writes
+    /// recorded before this call: on the protocol's single issuing
+    /// thread, recording order is issue order.
+    pub fn record_mmio_flush(&self, at: Ns) {
+        // ord: SeqCst — pairs with the event-seq cursor so the mark's
+        // coverage boundary agrees with the recorded write seqs.
+        let upto_seq = self.event_seq.load(Ordering::SeqCst);
+        self.flush_marks
+            .lock()
+            .expect("poisoned")
+            .push(FlushMark { at, upto_seq });
+    }
+
+    /// Number of recorded MMIO flush marks (coverage check: a workload
+    /// that commits transactions must have flushed at least once).
+    pub fn flush_mark_count(&self) -> usize {
+        self.flush_marks.lock().expect("poisoned").len()
     }
 
     /// Number of recorded events (= number of enumerable boundaries - 1;
@@ -237,6 +335,144 @@ impl PersistLog {
             CacheSurvival::KeepAll => blocks.extend(cached),
         }
         DurableImage { pmr, blocks }
+    }
+
+    /// Runs the persist-order sanitizer: replays every PMR write in host
+    /// program (recording) order through a shadow machine of `geo` and
+    /// returns each doorbell ring that exposed a *commit-boundary* ring
+    /// slot whose posted write was not covered by an earlier MMIO flush —
+    /// the dynamic dual of the static `persist-order` lint rule.
+    ///
+    /// The boundary distinction mirrors the driver's contract exactly:
+    /// non-boundary SQEs are sealed with the ring epoch and a slot
+    /// checksum, so recovery discards them if torn and an unflushed ring
+    /// is legal (the same refinement the lint's `allow(persist-order)`
+    /// suppression documents). Durability is only *promised* at the
+    /// commit boundary (`REQ_TX_COMMIT`), so only there must the flush
+    /// provably precede the doorbell. A slot write that does not show
+    /// its tx-flags byte is judged strictly, as a boundary.
+    pub fn sanitize(&self, geo: &SanitizerGeometry) -> Vec<SanitizerViolation> {
+        self.sanitize_with(geo, true)
+    }
+
+    /// The sanitizer with every flush mark ignored: on a protocol-true
+    /// workload this MUST report violations (each commit doorbell now
+    /// looks uncovered). It proves the shadow machine has teeth — a
+    /// zero-violation [`Self::sanitize`] result is not vacuous.
+    pub fn sanitize_ignoring_flushes(&self, geo: &SanitizerGeometry) -> Vec<SanitizerViolation> {
+        self.sanitize_with(geo, false)
+    }
+
+    fn sanitize_with(
+        &self,
+        geo: &SanitizerGeometry,
+        honor_flushes: bool,
+    ) -> Vec<SanitizerViolation> {
+        // Program order, not durability order: the protocol promises the
+        // *issue* sequence store → flush → ring, and PCIe FIFO delivery
+        // then preserves it on the wire.
+        let mut ev = self.events.lock().expect("poisoned").clone();
+        ev.sort_by_key(|e| e.seq);
+        let mut marks = self.flush_marks.lock().expect("poisoned").clone();
+        marks.sort_by_key(|m| m.upto_seq);
+        let mut next_mark = 0usize;
+
+        // Per-queue shadow state: the last exposed tail and the dirty
+        // (posted, unflushed) slots with the (seq, arrival, is a commit
+        // boundary) that dirtied them.
+        struct QShadow {
+            tail: u32,
+            dirty: HashMap<u32, (u64, Ns, bool)>,
+        }
+        let base = self.base_pmr.lock().expect("poisoned");
+        let mut shadows: Vec<QShadow> = geo
+            .queues
+            .iter()
+            .map(|w| {
+                // A restored image may carry a non-zero doorbell; start
+                // the window there, not at slot 0.
+                let off = w.db_off as usize;
+                let tail = if off + 4 <= base.len() && w.depth > 0 {
+                    u32::from_le_bytes(base[off..off + 4].try_into().expect("4 bytes")) % w.depth
+                } else {
+                    0
+                };
+                QShadow {
+                    tail,
+                    dirty: HashMap::new(),
+                }
+            })
+            .collect();
+        drop(base);
+
+        let mut out = Vec::new();
+        for e in &ev {
+            let PersistEventKind::PmrWrite { off, data, .. } = &e.kind else {
+                continue;
+            };
+            if honor_flushes {
+                // A flush covers a slot write only when the write was
+                // both recorded before the flush (program order) AND
+                // arrived by the flush's completion — a write posted by
+                // a concurrent thread mid-flush satisfies neither
+                // guarantee and stays dirty.
+                while next_mark < marks.len() && marks[next_mark].upto_seq <= e.seq {
+                    let m = marks[next_mark];
+                    for s in &mut shadows {
+                        s.dirty
+                            .retain(|_, (wseq, warr, _)| *wseq >= m.upto_seq || *warr > m.at);
+                    }
+                    next_mark += 1;
+                }
+            }
+            for (w, s) in geo.queues.iter().zip(shadows.iter_mut()) {
+                let ring_end = w.ring_off + w.depth as u64 * w.slot_size;
+                if *off >= w.ring_off && *off < ring_end {
+                    let rel = *off - w.ring_off;
+                    let slot = (rel / w.slot_size) as u32;
+                    // Dword 12 byte 2 of the SQE carries the tx flags;
+                    // bit 1 is REQ_TX_COMMIT. A write that doesn't show
+                    // that byte is judged strictly, as a boundary.
+                    const TX_FLAGS_BYTE: u64 = 50;
+                    let in_slot = rel % w.slot_size;
+                    let boundary = if in_slot <= TX_FLAGS_BYTE
+                        && (TX_FLAGS_BYTE - in_slot) < data.len() as u64
+                    {
+                        data[(TX_FLAGS_BYTE - in_slot) as usize] & 0x2 != 0
+                    } else {
+                        true
+                    };
+                    s.dirty.insert(slot, (e.seq, e.at, boundary));
+                } else if *off == w.db_off && data.len() >= 4 && w.depth > 0 {
+                    let new_tail =
+                        u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) % w.depth;
+                    // The ring exposes [tail, new_tail) to the device;
+                    // any still-dirty slot in that window rang before
+                    // its covering flush.
+                    let mut slot = s.tail;
+                    let mut steps = 0;
+                    while slot != new_tail && steps < w.depth {
+                        // Exposing a sealed non-boundary slot unflushed
+                        // is within contract; a commit boundary is not.
+                        if let Some((write_seq, _, boundary)) = s.dirty.remove(&slot) {
+                            if boundary {
+                                out.push(SanitizerViolation {
+                                    qid: w.qid,
+                                    slot,
+                                    write_seq,
+                                    bell_seq: e.seq,
+                                    bell_at: e.at,
+                                });
+                            }
+                        }
+                        slot = (slot + 1) % w.depth;
+                        steps += 1;
+                    }
+                    s.tail = new_tail;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -396,6 +632,123 @@ mod tests {
         log.record(20, PersistEventKind::Flush);
         let flushed = log.state_at(2, 0, CacheSurvival::DropAll);
         assert_eq!(flushed.blocks.get(&7).map(|b| b[0]), Some(9));
+    }
+
+    /// One-queue geometry: doorbell at 0, ring of 4 × 64 B slots at 64.
+    fn geo1() -> SanitizerGeometry {
+        SanitizerGeometry {
+            queues: vec![QueueWindow {
+                qid: 1,
+                db_off: 0,
+                ring_off: 64,
+                depth: 4,
+                slot_size: 64,
+            }],
+        }
+    }
+
+    fn pmr_write(log: &PersistLog, at: Ns, off: u64, data: Vec<u8>) {
+        log.record(
+            at,
+            PersistEventKind::PmrWrite {
+                off,
+                data,
+                issued_at: at,
+            },
+        );
+    }
+
+    /// A 64-byte slot image whose Dword-12 tx-flags byte carries (or
+    /// omits) `REQ_TX_COMMIT` — the bit the sanitizer's boundary
+    /// judgment reads.
+    fn sqe(fill: u8, commit: bool) -> Vec<u8> {
+        let mut b = vec![fill; 64];
+        b[50] = if commit { 0x2 } else { 0x0 };
+        b
+    }
+
+    #[test]
+    fn sanitizer_accepts_store_flush_ring() {
+        let log = PersistLog::new(512);
+        pmr_write(&log, 10, 64, sqe(1, true)); // slot 0, commit boundary
+        log.record_mmio_flush(20);
+        pmr_write(&log, 30, 0, 1u32.to_le_bytes().to_vec()); // ring tail=1
+        assert!(log.sanitize(&geo1()).is_empty());
+        // Ignoring the flush, the same log must trip — the machine is
+        // not vacuously satisfied.
+        let v = log.sanitize_ignoring_flushes(&geo1());
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].qid, v[0].slot), (1, 0));
+    }
+
+    #[test]
+    fn sanitizer_catches_doorbell_before_flush() {
+        let log = PersistLog::new(512);
+        pmr_write(&log, 10, 64, sqe(1, true)); // slot 0, never flushed
+        pmr_write(&log, 30, 0, 1u32.to_le_bytes().to_vec());
+        log.record_mmio_flush(40); // Too late: after the ring.
+        let v = log.sanitize(&geo1());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].slot, 0);
+        assert!(v[0].write_seq < v[0].bell_seq);
+        assert!(v[0].to_string().contains("no covering MMIO flush"));
+    }
+
+    #[test]
+    fn sanitizer_flags_only_the_unflushed_slot_of_a_batch() {
+        let log = PersistLog::new(512);
+        pmr_write(&log, 10, 64, sqe(1, true)); // slot 0
+        log.record_mmio_flush(20);
+        pmr_write(&log, 25, 128, sqe(2, true)); // slot 1, after the flush
+        pmr_write(&log, 30, 0, 2u32.to_le_bytes().to_vec()); // tail=2
+        let v = log.sanitize(&geo1());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].slot, 1);
+    }
+
+    #[test]
+    fn sanitizer_tracks_ring_wraparound_and_restored_tail() {
+        let log = PersistLog::new(512);
+        // A restored image whose doorbell already reads 3.
+        let mut base = vec![0u8; 512];
+        base[0..4].copy_from_slice(&3u32.to_le_bytes());
+        log.set_base(&base, &HashMap::new());
+        // Slot 3 then wrap to slot 0, flushed, then ring tail=1.
+        pmr_write(&log, 10, 64 + 3 * 64, sqe(1, true));
+        pmr_write(&log, 11, 64, sqe(2, true));
+        log.record_mmio_flush(20);
+        pmr_write(&log, 30, 0, 1u32.to_le_bytes().to_vec());
+        assert!(log.sanitize(&geo1()).is_empty());
+        // The wrapped window [3, 1) covered both dirty slots.
+        assert_eq!(log.sanitize_ignoring_flushes(&geo1()).len(), 2);
+    }
+
+    /// The tx-aware half of the contract: a sealed non-boundary SQE may
+    /// ring unflushed (recovery discards it if torn), but a partial slot
+    /// write that hides its tx-flags byte is judged strictly.
+    #[test]
+    fn sanitizer_exempts_sealed_non_boundary_slots() {
+        let log = PersistLog::new(512);
+        // Transaction member: stored and rung with no flush. Legal.
+        pmr_write(&log, 10, 64, sqe(1, false));
+        pmr_write(&log, 20, 0, 1u32.to_le_bytes().to_vec());
+        assert!(log.sanitize(&geo1()).is_empty(), "member ring is exempt");
+        // A 16-byte partial store into slot 1 never shows byte 50:
+        // unknown flags get the strict (boundary) treatment.
+        pmr_write(&log, 30, 128, vec![7; 16]);
+        pmr_write(&log, 40, 0, 2u32.to_le_bytes().to_vec());
+        let v = log.sanitize(&geo1());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].slot, 1);
+    }
+
+    #[test]
+    fn sanitizer_ignores_writes_outside_the_queue_windows() {
+        let log = PersistLog::new(512);
+        pmr_write(&log, 10, 400, vec![9; 16]); // App region: no slot.
+        pmr_write(&log, 20, 0, 1u32.to_le_bytes().to_vec());
+        assert!(log.sanitize(&geo1()).is_empty());
+        assert_eq!(log.flush_mark_count(), 0);
     }
 
     #[test]

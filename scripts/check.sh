@@ -24,13 +24,26 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 cargo test -q -p ccnvme-obs
-# Protocol-invariant gate: persist-order (§4.3 flush-before-doorbell),
-# atomic-ordering justification, unsafe audit, metric namespace.
+# Protocol-invariant gate: the interprocedural persistence-effect
+# analyzer — persist-order (§4.3 flush-before-doorbell, path-sensitive
+# over branches/loops/closures), static-race, observer-purity — plus
+# the atomic-ordering justification, unsafe audit, metric namespace,
+# and lint.toml staleness rules.
 cargo run -q -p ccnvme-lint
+# Lint-self tier: the analyzer's own suite (summary fixpoint, fixture
+# corpus, the random-call-graph property test) and the operator-facing
+# rule explainers.
+cargo test -q -p ccnvme-lint
+for rule in persist-order static-race observer-purity; do
+    cargo run -q -p ccnvme-lint -- --explain "$rule" > /dev/null
+done
 scripts/bench_smoke.sh
 # Crash-enumeration smoke: all event-prefixes of the small workload
 # recover clean, and recovery re-crashed at each of its own events
-# converges (release build: ~3000 simulated boots).
+# converges (release build: ~3000 simulated boots). Every recorded
+# workload also replays through the runtime persist-order sanitizer —
+# the dynamic dual of the ccnvme-lint persist-order rule — which must
+# report zero violations (EnumReport.sanitizer_violations).
 cargo test -q --release -p ccnvme-crashtest --test enumerate
 # Forensics smoke: crash a small stack, save the PMR wreckage, then
 # re-analyze the canned image from disk — the flight recorder must
