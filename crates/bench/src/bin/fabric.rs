@@ -47,6 +47,7 @@ fn measure_clients(clients: usize) -> Point {
                 ops_per_thread: scaled(400),
                 sync: SyncMode::Fsync,
                 clients,
+                targets: 1,
             },
         );
         let snap = stack.metrics();

@@ -51,6 +51,7 @@ fn measure(variant: FsVariant, busy_pct: f64, drop_pct: f64) -> Point {
                 ops_per_thread: scaled(2000),
                 sync: SyncMode::Fsync,
                 clients: 0,
+                targets: 1,
             },
         );
         let e = stack.err_stats();

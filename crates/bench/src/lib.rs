@@ -212,6 +212,7 @@ fn run_workload(fs: &Arc<FileSystem>, w: &Workload) -> WorkloadResult {
                 ops_per_thread: *ops,
                 sync: *sync,
                 clients: 0,
+                targets: 1,
             },
         ),
         Workload::Varmail {

@@ -1,0 +1,318 @@
+//! The cluster initiator: consistent-hash routing, the two-phase commit
+//! driver, and the per-shard retry/degradation ladder.
+//!
+//! One [`ClusterClient`] holds a fabric session per shard plus one to
+//! the coordinator target. Transport-level loss is absorbed inside each
+//! [`FabricClient`] (ack timeout → reconnect → replay); this layer only
+//! sees [`FabricError::Unreachable`] after that ladder is exhausted, at
+//! which point it retries a bounded number of times and then *degrades*
+//! the shard: the shard's key range starts failing fast with
+//! [`ClusterError::ShardDown`] while every other shard keeps serving.
+//! The first successful call heals the shard. The degraded count is
+//! exported as the `cluster.degraded_shards` gauge.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use ccnvme_fabric::{ClientCfg, Connector, FabricClient, FabricError, ShardWrite};
+use ccnvme_obs::{Gauge, Registry};
+
+use crate::hash::HashRing;
+
+/// Cluster-level failures, one step above [`FabricError`].
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A participant shard stayed unreachable through the retry ladder;
+    /// only its key range is affected.
+    ShardDown {
+        /// The shard that is down.
+        shard: usize,
+        /// The terminal fabric error.
+        err: FabricError,
+    },
+    /// The coordinator target stayed unreachable.
+    CoordinatorDown(FabricError),
+    /// The commit reached the verdict step but the coordinator's answer
+    /// was lost: the outcome is decided on media but unknown here.
+    /// Resolve with [`ClusterClient::resolve_gtx`] once the coordinator
+    /// is back.
+    InDoubt {
+        /// The in-doubt global transaction.
+        gtx: u64,
+    },
+    /// A non-availability fabric failure (protocol error, remote
+    /// status).
+    Fabric(FabricError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::ShardDown { shard, err } => write!(f, "shard {shard} down: {err}"),
+            ClusterError::CoordinatorDown(err) => write!(f, "coordinator down: {err}"),
+            ClusterError::InDoubt { gtx } => write!(f, "gtx {gtx} in doubt"),
+            ClusterError::Fabric(err) => write!(f, "fabric: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Cluster client tuning knobs.
+#[derive(Clone)]
+pub struct ClusterCfg {
+    /// Full fabric-client recovery episodes per shard operation before
+    /// the shard is declared down. Each episode already runs the
+    /// session's own timeout/reconnect/backoff ladder.
+    pub attempts: u32,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Per-session fabric client configuration.
+    pub client_cfg: ClientCfg,
+}
+
+impl Default for ClusterCfg {
+    fn default() -> Self {
+        ClusterCfg {
+            attempts: 2,
+            vnodes: 16,
+            client_cfg: ClientCfg::default(),
+        }
+    }
+}
+
+/// A connected cluster initiator: N shard sessions, one coordinator
+/// session, and a consistent-hash ring over the shards.
+pub struct ClusterClient {
+    shards: Vec<FabricClient>,
+    coord: FabricClient,
+    ring: HashRing,
+    degraded: HashSet<usize>,
+    degraded_gauge: Option<Arc<Gauge>>,
+    cfg: ClusterCfg,
+}
+
+impl ClusterClient {
+    /// Dials every shard and the coordinator. `client_id` names this
+    /// logical client on every target (sessions are per-target, so one
+    /// id is correct on all of them). Pass a registry to export
+    /// `cluster.degraded_shards`.
+    pub fn connect(
+        client_id: u64,
+        shard_connectors: Vec<Box<dyn Connector>>,
+        coord_connector: Box<dyn Connector>,
+        cfg: ClusterCfg,
+        reg: Option<&Registry>,
+    ) -> Result<ClusterClient, ClusterError> {
+        let ring = HashRing::new(shard_connectors.len(), cfg.vnodes);
+        let mut shards = Vec::with_capacity(shard_connectors.len());
+        for (i, conn) in shard_connectors.into_iter().enumerate() {
+            let c = FabricClient::connect(client_id, conn, cfg.client_cfg.clone())
+                .map_err(|err| ClusterError::ShardDown { shard: i, err })?;
+            shards.push(c);
+        }
+        let coord = FabricClient::connect(client_id, coord_connector, cfg.client_cfg.clone())
+            .map_err(ClusterError::CoordinatorDown)?;
+        Ok(ClusterClient {
+            shards,
+            coord,
+            ring,
+            degraded: HashSet::new(),
+            degraded_gauge: reg.map(|r| r.gauge("cluster.degraded_shards")),
+            cfg,
+        })
+    }
+
+    /// The routing ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Routes a key to its owning shard.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.ring.shard_of(key)
+    }
+
+    /// Shards currently marked degraded.
+    pub fn degraded_shards(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.degraded.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn set_degraded(&mut self, shard: usize, down: bool) {
+        let changed = if down {
+            self.degraded.insert(shard)
+        } else {
+            self.degraded.remove(&shard)
+        };
+        if changed {
+            if let Some(g) = &self.degraded_gauge {
+                g.set(self.degraded.len() as i64);
+            }
+        }
+    }
+
+    /// Runs `f` against shard `shard` with the retry ladder; marks the
+    /// shard degraded on exhaustion and heals it on success.
+    fn with_shard<T>(
+        &mut self,
+        shard: usize,
+        mut f: impl FnMut(&mut FabricClient) -> Result<T, FabricError>,
+    ) -> Result<T, ClusterError> {
+        let mut last = FabricError::Unreachable;
+        for _ in 0..self.cfg.attempts.max(1) {
+            match f(&mut self.shards[shard]) {
+                Ok(v) => {
+                    self.set_degraded(shard, false);
+                    return Ok(v);
+                }
+                Err(err @ (FabricError::Remote(_) | FabricError::Codec(_))) => {
+                    // A real answer (or a broken one) — not an
+                    // availability problem, retrying won't change it.
+                    return Err(ClusterError::Fabric(err));
+                }
+                Err(err) => last = err,
+            }
+        }
+        self.set_degraded(shard, true);
+        Err(ClusterError::ShardDown { shard, err: last })
+    }
+
+    fn with_coord<T>(
+        &mut self,
+        mut f: impl FnMut(&mut FabricClient) -> Result<T, FabricError>,
+    ) -> Result<T, ClusterError> {
+        let mut last = FabricError::Unreachable;
+        for _ in 0..self.cfg.attempts.max(1) {
+            match f(&mut self.coord) {
+                Ok(v) => return Ok(v),
+                Err(err @ (FabricError::Remote(_) | FabricError::Codec(_))) => {
+                    return Err(ClusterError::Fabric(err));
+                }
+                Err(err) => last = err,
+            }
+        }
+        Err(ClusterError::CoordinatorDown(last))
+    }
+
+    /// Allocates a fresh global transaction id from the coordinator.
+    pub fn begin(&mut self) -> Result<u64, ClusterError> {
+        self.with_coord(|c| c.alloc_tx())
+    }
+
+    /// Stages `writes` on `shard` under `gtx` (phase 1 on one shard).
+    pub fn prepare_on(
+        &mut self,
+        shard: usize,
+        gtx: u64,
+        writes: Vec<ShardWrite>,
+    ) -> Result<(), ClusterError> {
+        self.with_shard(shard, |c| c.tx_prepare(gtx, writes.clone()))
+    }
+
+    /// Records the coordinator's decision; returns the *final* decision,
+    /// which may differ from the request if one was already durable.
+    pub fn verdict(&mut self, gtx: u64, commit: bool) -> Result<bool, ClusterError> {
+        self.with_coord(|c| c.tx_verdict(gtx, commit))
+    }
+
+    /// Applies or discards a prepared transaction on one shard.
+    pub fn decide_on(&mut self, shard: usize, gtx: u64, commit: bool) -> Result<(), ClusterError> {
+        self.with_shard(shard, |c| c.tx_decide(gtx, commit))
+    }
+
+    /// Commits `gtx` across `by_shard` (shard index → member writes).
+    /// Returns whether the transaction committed. `Ok(false)` means it
+    /// aborted cleanly (a shard was down at prepare time); every other
+    /// failure leaves crash recovery to finish the job.
+    ///
+    /// Single-shard transactions skip the coordinator entirely: prepare
+    /// then decide-commit. If the shard dies in between, the client
+    /// never got a commit ack and the intent resolves to presumed abort
+    /// — the no-ack/no-effect contract holds without a verdict.
+    pub fn commit(
+        &mut self,
+        gtx: u64,
+        by_shard: Vec<(usize, Vec<ShardWrite>)>,
+    ) -> Result<bool, ClusterError> {
+        if by_shard.is_empty() {
+            return Ok(true);
+        }
+        if by_shard.len() == 1 {
+            let (shard, writes) = by_shard.into_iter().next().unwrap();
+            self.prepare_on(shard, gtx, writes)?;
+            self.decide_on(shard, gtx, true)?;
+            return Ok(true);
+        }
+        let participants: Vec<usize> = by_shard.iter().map(|&(s, _)| s).collect();
+        let mut prepared = Vec::new();
+        for (shard, writes) in by_shard {
+            match self.prepare_on(shard, gtx, writes) {
+                Ok(()) => prepared.push(shard),
+                Err(err) => {
+                    // Abort path. Record the abort verdict FIRST: once a
+                    // prepare exists anywhere, a crashed participant may
+                    // later resolve this gtx, and it must find abort —
+                    // never a gap a retried commit could fill.
+                    let _ = self.verdict(gtx, false);
+                    for s in prepared {
+                        let _ = self.decide_on(s, gtx, false);
+                    }
+                    return match err {
+                        ClusterError::ShardDown { .. } => Ok(false),
+                        other => Err(other),
+                    };
+                }
+            }
+        }
+        // All prepared: the verdict is the commit point.
+        let decision = match self.verdict(gtx, true) {
+            Ok(d) => d,
+            Err(ClusterError::CoordinatorDown(_)) => return Err(ClusterError::InDoubt { gtx }),
+            Err(other) => return Err(other),
+        };
+        for s in participants {
+            // A down shard keeps its intent; its recovery resolves the
+            // gtx against the durable verdict.
+            let _ = self.decide_on(s, gtx, decision);
+        }
+        Ok(decision)
+    }
+
+    /// Finishes an interrupted commit after a client restart: asks the
+    /// coordinator for the durable decision (recording presumed abort if
+    /// none) and drives every participant to it. Returns the decision.
+    pub fn resolve_gtx(&mut self, gtx: u64, participants: &[usize]) -> Result<bool, ClusterError> {
+        let decision = self.with_coord(|c| c.tx_resolve(gtx))?;
+        for &s in participants {
+            let _ = self.decide_on(s, gtx, decision);
+        }
+        Ok(decision)
+    }
+
+    /// Reads one data block from a shard's window.
+    pub fn get(&mut self, shard: usize, lba: u64) -> Result<Vec<u8>, ClusterError> {
+        self.with_shard(shard, |c| c.blk_read(lba))
+    }
+
+    /// Severs the wire of one shard session (fault drills: the next
+    /// call on that shard runs the reconnect ladder).
+    pub fn sever_shard(&mut self, shard: usize) {
+        self.shards[shard].sever();
+    }
+
+    /// Severs the coordinator session's wire.
+    pub fn sever_coord(&mut self) {
+        self.coord.sever();
+    }
+
+    /// Tears down every session politely.
+    pub fn bye(self) {
+        for c in self.shards {
+            c.bye();
+        }
+        self.coord.bye();
+    }
+}

@@ -1,0 +1,233 @@
+//! On-media layout of a cluster shard's block window.
+//!
+//! ```text
+//! base ─┬──────────────────────┬──────────────────────┬───────────────┐
+//!       │ data region          │ intent slots         │ decision slots│
+//!       │ [0, data_blocks)     │ hdr + SLOT_WRITE_CAP │ 1 block each  │
+//!       │                      │ data blocks each     │ (coordinator) │
+//!       └──────────────────────┴──────────────────────┴───────────────┘
+//! ```
+//!
+//! Every record is one self-validating block: magic, payload, FNV-1a
+//! checksum. A freed slot is a zeroed header block — it fails the magic
+//! check, which is the only "free" marker recovery needs. Records are
+//! only ever written as the commit member of a local ccNVMe
+//! transaction, so a crash either leaves the old block (checksum holds,
+//! old state) or the journal replays the new one (checksum holds, new
+//! state); a torn record is impossible by the §4 contract — but the
+//! decoder still refuses one defensively.
+
+use ccnvme_block::BLOCK_SIZE;
+use ccnvme_fabric::capsule::fnv64;
+
+/// Magic of a live intent-slot header block.
+pub const INTENT_MAGIC: u64 = 0x4343_5458_5052_4550; // "CCTXPREP"
+
+/// Magic of a decision record block.
+pub const DECISION_MAGIC: u64 = 0x4343_5458_4443_4944; // "CCTXDCID"
+
+/// Data blocks per intent slot — the most member writes one prepared
+/// transaction may stage on one shard.
+pub const SLOT_WRITE_CAP: usize = 8;
+
+/// Decision word for COMMIT.
+pub const DECISION_COMMIT: u64 = 1;
+
+/// Decision word for ABORT.
+pub const DECISION_ABORT: u64 = 2;
+
+/// Geometry of one shard's window on its device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// First LBA of the window on the device.
+    pub base: u64,
+    /// Client-visible data blocks `[0, data_blocks)`.
+    pub data_blocks: u64,
+    /// Intent slots after the data region.
+    pub intent_slots: u64,
+    /// Decision record blocks after the intent region (used by the
+    /// coordinator role; participants keep the region for symmetry).
+    pub decision_slots: u64,
+}
+
+impl ShardLayout {
+    /// A small layout for tests and crash enumeration.
+    pub fn small(base: u64) -> ShardLayout {
+        ShardLayout {
+            base,
+            data_blocks: 256,
+            intent_slots: 8,
+            decision_slots: 64,
+        }
+    }
+
+    /// A layout sized for bench runs.
+    pub fn standard(base: u64) -> ShardLayout {
+        ShardLayout {
+            base,
+            data_blocks: 8_192,
+            intent_slots: 32,
+            decision_slots: 8_192,
+        }
+    }
+
+    /// Blocks per intent slot (header + staged data).
+    pub const fn slot_blocks() -> u64 {
+        1 + SLOT_WRITE_CAP as u64
+    }
+
+    /// Device LBA of intent slot `slot`'s header block.
+    pub fn slot_header(&self, slot: u64) -> u64 {
+        debug_assert!(slot < self.intent_slots);
+        self.base + self.data_blocks + slot * Self::slot_blocks()
+    }
+
+    /// Device LBA of staged data block `j` of intent slot `slot`.
+    pub fn slot_data(&self, slot: u64, j: u64) -> u64 {
+        debug_assert!(j < SLOT_WRITE_CAP as u64);
+        self.slot_header(slot) + 1 + j
+    }
+
+    /// Device LBA of decision record `i`.
+    pub fn decision_lba(&self, i: u64) -> u64 {
+        debug_assert!(i < self.decision_slots);
+        self.base + self.data_blocks + self.intent_slots * Self::slot_blocks() + i
+    }
+
+    /// Total window length in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.data_blocks + self.intent_slots * Self::slot_blocks() + self.decision_slots
+    }
+}
+
+fn block_with(payload: &[u8]) -> Vec<u8> {
+    let mut b = vec![0u8; BLOCK_SIZE as usize];
+    b[..payload.len()].copy_from_slice(payload);
+    b
+}
+
+/// Encodes an intent header block: the gtx plus the window-relative
+/// target LBA of each staged write (staged data block `j` applies to
+/// `lbas[j]`).
+pub fn encode_intent(gtx: u64, lbas: &[u64]) -> Vec<u8> {
+    assert!(lbas.len() <= SLOT_WRITE_CAP);
+    let mut p = Vec::with_capacity(26 + 8 * lbas.len());
+    p.extend_from_slice(&INTENT_MAGIC.to_le_bytes());
+    p.extend_from_slice(&gtx.to_le_bytes());
+    p.extend_from_slice(&(lbas.len() as u16).to_le_bytes());
+    for &lba in lbas {
+        p.extend_from_slice(&lba.to_le_bytes());
+    }
+    let sum = fnv64(&p);
+    p.extend_from_slice(&sum.to_le_bytes());
+    block_with(&p)
+}
+
+/// Decodes an intent header block; `None` for a free (zeroed) or
+/// damaged slot.
+pub fn decode_intent(block: &[u8]) -> Option<(u64, Vec<u64>)> {
+    if block.len() < 26 {
+        return None;
+    }
+    let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
+    if magic != INTENT_MAGIC {
+        return None;
+    }
+    let gtx = u64::from_le_bytes(block[8..16].try_into().unwrap());
+    let count = u16::from_le_bytes(block[16..18].try_into().unwrap()) as usize;
+    if count > SLOT_WRITE_CAP || block.len() < 18 + 8 * count + 8 {
+        return None;
+    }
+    let body = 18 + 8 * count;
+    let stored = u64::from_le_bytes(block[body..body + 8].try_into().unwrap());
+    if fnv64(&block[..body]) != stored {
+        return None;
+    }
+    let lbas = (0..count)
+        .map(|j| u64::from_le_bytes(block[18 + 8 * j..26 + 8 * j].try_into().unwrap()))
+        .collect();
+    Some((gtx, lbas))
+}
+
+/// Encodes a decision record block.
+pub fn encode_decision(gtx: u64, commit: bool) -> Vec<u8> {
+    let mut p = Vec::with_capacity(25);
+    p.extend_from_slice(&DECISION_MAGIC.to_le_bytes());
+    p.extend_from_slice(&gtx.to_le_bytes());
+    p.push(if commit {
+        DECISION_COMMIT as u8
+    } else {
+        DECISION_ABORT as u8
+    });
+    let sum = fnv64(&p);
+    p.extend_from_slice(&sum.to_le_bytes());
+    block_with(&p)
+}
+
+/// Decodes a decision record block; `None` for a free or damaged slot.
+pub fn decode_decision(block: &[u8]) -> Option<(u64, bool)> {
+    if block.len() < 25 {
+        return None;
+    }
+    let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
+    if magic != DECISION_MAGIC {
+        return None;
+    }
+    let stored = u64::from_le_bytes(block[17..25].try_into().unwrap());
+    if fnv64(&block[..17]) != stored {
+        return None;
+    }
+    let gtx = u64::from_le_bytes(block[8..16].try_into().unwrap());
+    match block[16] as u64 {
+        DECISION_COMMIT => Some((gtx, true)),
+        DECISION_ABORT => Some((gtx, false)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intent_round_trips() {
+        let block = encode_intent(42, &[7, 9, 200]);
+        assert_eq!(block.len(), BLOCK_SIZE as usize);
+        assert_eq!(decode_intent(&block), Some((42, vec![7, 9, 200])));
+    }
+
+    #[test]
+    fn free_and_damaged_slots_decode_to_none() {
+        assert_eq!(decode_intent(&vec![0u8; BLOCK_SIZE as usize]), None);
+        let mut block = encode_intent(1, &[0]);
+        block[9] ^= 0xff; // Damage the gtx under the checksum.
+        assert_eq!(decode_intent(&block), None);
+        assert_eq!(decode_decision(&vec![0u8; BLOCK_SIZE as usize]), None);
+        let mut d = encode_decision(3, true);
+        d[16] = 9; // Not a valid decision word.
+        assert_eq!(decode_decision(&d), None);
+    }
+
+    #[test]
+    fn decision_round_trips_both_ways() {
+        assert_eq!(decode_decision(&encode_decision(5, true)), Some((5, true)));
+        assert_eq!(
+            decode_decision(&encode_decision(6, false)),
+            Some((6, false))
+        );
+    }
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let l = ShardLayout::small(1_000);
+        let hdr0 = l.slot_header(0);
+        assert_eq!(hdr0, 1_000 + 256);
+        assert!(l.slot_data(0, SLOT_WRITE_CAP as u64 - 1) < l.slot_header(1));
+        let last_slot_end = l.slot_data(l.intent_slots - 1, SLOT_WRITE_CAP as u64 - 1);
+        assert!(last_slot_end < l.decision_lba(0));
+        assert_eq!(
+            l.decision_lba(l.decision_slots - 1),
+            l.base + l.total_blocks() - 1
+        );
+    }
+}

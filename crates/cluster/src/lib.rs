@@ -1,0 +1,49 @@
+//! Crash-tolerant sharded ccNVMe-oF cluster.
+//!
+//! The paper's `REQ_TX` gives single-target atomicity after two
+//! persistent MMIOs (§4). This crate fans transactions across N fabric
+//! targets — each its own simulated SSD, PMR, journal and recovery
+//! domain — and makes a *cross-shard* commit exactly as crash-tolerant,
+//! by building two-phase commit out of nothing but ordinary
+//! single-shard ccNVMe transactions:
+//!
+//! * **Prepare** (`TX_PREPARE`) — the participant durably stages the
+//!   transaction's member writes in an *intent slot* of its block
+//!   window, as one local transaction whose ack fires at the ccNVMe
+//!   atomicity point. From that ack on, the shard can redo the writes
+//!   after any crash, whichever way the decision goes.
+//! * **Verdict** (`TX_VERDICT`) — the coordinator records the decision
+//!   as one single-block transaction in its *decision region*.
+//!   Get-or-set: a decision already durable wins over any retry, so
+//!   the decision for a gtx is written at most once, ever.
+//! * **Decide** (`TX_DECIDE`) — the participant applies the staged
+//!   writes to their final LBAs *and* frees the intent header in one
+//!   local transaction (crash-atomic, so "applied" and "no longer
+//!   in-doubt" are the same event), or just frees it on abort.
+//! * **Resolve** (`TX_RESOLVE`) — recovery asks the coordinator for
+//!   the decision of an in-doubt gtx. Absence is *presumed abort*, and
+//!   the inquiry durably records the abort before answering, so a late
+//!   verdict retry loses to the inquiry instead of racing it.
+//!
+//! A transaction touching a single shard skips the verdict entirely
+//! (prepare + decide): if the shard crashes in between, the client has
+//! no commit ack, the intent resolves to presumed abort, and
+//! exactly-once holds without a coordinator round trip.
+//!
+//! Exactly-once layering: the fabric session replay cache (PR 5)
+//! absorbs *transport* retries of these capsules; the gtx-level
+//! idempotency above (no-op decides, get-or-set verdicts, resolve
+//! before redecide) absorbs *client restarts*, which arrive on fresh
+//! sessions the replay cache has never seen.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod hash;
+pub mod layout;
+pub mod node;
+
+pub use client::{ClusterCfg, ClusterClient, ClusterError};
+pub use hash::HashRing;
+pub use layout::ShardLayout;
+pub use node::{resolve_in_doubt_local, ClusterNode, NodeStats};

@@ -1,0 +1,458 @@
+//! One cluster node: the 2PC participant/coordinator engine over the
+//! node's own ccNVMe device.
+//!
+//! Every mutating step is one ordinary local ccNVMe transaction, so the
+//! node inherits the §4 crash contract wholesale: a step either never
+//! happened or is completely replayed by the node's own recovery — the
+//! crash-surface enumerator then only has to reason about *which steps*
+//! survived on each domain, never about torn steps.
+//!
+//! State machine of a prepared transaction on a participant:
+//!
+//! ```text
+//!            TX_PREPARE (intent tx)          TX_DECIDE commit (apply tx)
+//!   FREE ───────────────────────▶ PREPARED ─────────────────────▶ FREE
+//!                                   │                (writes + header
+//!                                   │                 clear, atomic)
+//!                                   │ TX_DECIDE abort (clear tx)
+//!                                   ▼
+//!                                  FREE
+//! ```
+//!
+//! `mount` rebuilds the PREPARED set by scanning intent headers after
+//! the device's journal replay, and reports it as the in-doubt list for
+//! the resolve step ([`resolve_in_doubt_local`] /
+//! [`resolve_in_doubt_remote`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ccnvme::CcNvmeDriver;
+use ccnvme_block::{submit_and_wait, Bio, BioFlags, BioStatus, BioWaiter, BlockDevice, BLOCK_SIZE};
+use ccnvme_fabric::{ClusterBackend, FabricClient, FabricError, ShardWrite, Status};
+use ccnvme_obs::{Counter, Gauge, Obs};
+use ccnvme_sim::SimMutex;
+use parking_lot::Mutex;
+
+use crate::layout::{
+    decode_decision, decode_intent, encode_decision, encode_intent, ShardLayout, DECISION_ABORT,
+    DECISION_COMMIT, SLOT_WRITE_CAP,
+};
+
+/// `cluster.*` counters and gauges of one node, registered into the
+/// node stack's metrics registry.
+#[derive(Debug)]
+pub struct NodeStats {
+    /// Intents durably staged (phase 1 commit points).
+    pub prepares: Arc<Counter>,
+    /// Prepared transactions applied (decide-commit).
+    pub applies: Arc<Counter>,
+    /// Prepared transactions discarded (decide-abort).
+    pub aborts: Arc<Counter>,
+    /// Coordinator decision records written.
+    pub decisions: Arc<Counter>,
+    /// Resolves answered by writing a presumed-abort record.
+    pub presumed_aborts: Arc<Counter>,
+    /// Currently prepared-but-undecided transactions.
+    pub in_doubt: Arc<Gauge>,
+}
+
+impl NodeStats {
+    fn registered(obs: &Obs) -> NodeStats {
+        let reg = &obs.metrics;
+        NodeStats {
+            prepares: reg.counter("cluster.prepares"),
+            applies: reg.counter("cluster.applies"),
+            aborts: reg.counter("cluster.aborts"),
+            decisions: reg.counter("cluster.decisions"),
+            presumed_aborts: reg.counter("cluster.presumed_aborts"),
+            in_doubt: reg.gauge("cluster.in_doubt"),
+        }
+    }
+}
+
+/// One staged-but-undecided transaction.
+struct PreparedTx {
+    slot: u64,
+    /// `(window-relative lba, full-block data)` in staged order.
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+/// One cluster node (participant and/or coordinator) over a ccNVMe
+/// device window described by a [`ShardLayout`].
+pub struct ClusterNode {
+    drv: Arc<CcNvmeDriver>,
+    layout: ShardLayout,
+    obs: Arc<Obs>,
+    /// Serializes mutating 2PC steps. Each step spans a map check plus
+    /// a device transaction, and the get-or-set contract of the
+    /// decision region only holds if check and write are one critical
+    /// section.
+    exec: SimMutex<()>,
+    prepared: Mutex<HashMap<u64, PreparedTx>>,
+    free_slots: Mutex<Vec<u64>>,
+    decisions: Mutex<HashMap<u64, bool>>,
+    /// Next free decision-record slot — the coordinator decision word's
+    /// durable cursor.
+    decision_seq: AtomicU64,
+    next_gtx: AtomicU64,
+    stats: NodeStats,
+}
+
+fn bio_status(s: BioStatus) -> Status {
+    match s {
+        BioStatus::Ok => Status::Ok,
+        BioStatus::Media => Status::BioMedia,
+        BioStatus::Timeout => Status::BioTimeout,
+        BioStatus::Busy => Status::BioBusy,
+        _ => Status::BioError,
+    }
+}
+
+fn pad_block(data: &[u8]) -> Vec<u8> {
+    let mut b = data.to_vec();
+    b.resize(BLOCK_SIZE as usize, 0);
+    b
+}
+
+impl ClusterNode {
+    /// Mounts a node on `drv`'s window `layout`, scanning the intent
+    /// and decision regions left by the device's journal replay.
+    /// Returns the node and the in-doubt gtx list (prepared intents
+    /// with no local decision) for the caller to resolve against the
+    /// coordinator.
+    ///
+    /// Must be called from a simulated thread, after
+    /// [`CcNvmeDriver::probe`] has run recovery.
+    pub fn mount(drv: Arc<CcNvmeDriver>, layout: ShardLayout) -> (Arc<ClusterNode>, Vec<u64>) {
+        let obs = ccnvme_block::obs_of(&*drv);
+        let stats = NodeStats::registered(&obs);
+        let mut decisions = HashMap::new();
+        let mut max_gtx = 0u64;
+        let mut cursor = 0u64;
+        for i in 0..layout.decision_slots {
+            if let Some((gtx, commit)) = decode_decision(&read_abs(&drv, layout.decision_lba(i))) {
+                decisions.insert(gtx, commit);
+                max_gtx = max_gtx.max(gtx);
+                cursor = i + 1;
+            }
+        }
+        let mut prepared = HashMap::new();
+        let mut free_slots = Vec::new();
+        for slot in 0..layout.intent_slots {
+            match decode_intent(&read_abs(&drv, layout.slot_header(slot))) {
+                Some((gtx, lbas)) => {
+                    let writes = lbas
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &lba)| (lba, read_abs(&drv, layout.slot_data(slot, j as u64))))
+                        .collect();
+                    prepared.insert(gtx, PreparedTx { slot, writes });
+                    max_gtx = max_gtx.max(gtx);
+                }
+                None => free_slots.push(slot),
+            }
+        }
+        let mut in_doubt: Vec<u64> = prepared.keys().copied().collect();
+        in_doubt.sort_unstable();
+        stats.in_doubt.set(in_doubt.len() as i64);
+        let node = Arc::new(ClusterNode {
+            drv,
+            layout,
+            obs,
+            exec: SimMutex::new(()),
+            prepared: Mutex::new(prepared),
+            free_slots: Mutex::new(free_slots),
+            decisions: Mutex::new(decisions),
+            decision_seq: AtomicU64::new(cursor),
+            next_gtx: AtomicU64::new(max_gtx + 1),
+            stats,
+        });
+        (node, in_doubt)
+    }
+
+    /// The node's window geometry.
+    pub fn layout(&self) -> ShardLayout {
+        self.layout
+    }
+
+    /// The node's `cluster.*` stats.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// The node's driver (for harnesses that crash the device under
+    /// the node).
+    pub fn driver(&self) -> Arc<CcNvmeDriver> {
+        Arc::clone(&self.drv)
+    }
+
+    /// Submits one local ccNVMe transaction: `members` as `REQ_TX`
+    /// writes, then `commit` as the `REQ_TX_COMMIT` write. Without
+    /// `durable` the ack fires at the atomicity point (after the two
+    /// persistent MMIOs); with it, after media completion — used where
+    /// a subsequent read must observe the write.
+    fn local_tx(
+        &self,
+        members: Vec<(u64, Vec<u8>)>,
+        commit: (u64, Vec<u8>),
+        durable: bool,
+    ) -> Status {
+        let tx_id = self.drv.alloc_tx_id();
+        let waiter = BioWaiter::new();
+        for (lba, data) in members {
+            let buf = Arc::new(Mutex::new(data));
+            let mut bio = Bio::write(lba, buf, BioFlags::TX).with_tx_id(tx_id);
+            waiter.attach(&mut bio);
+            self.drv.submit_bio(bio);
+        }
+        let (lba, data) = commit;
+        let buf = Arc::new(Mutex::new(data));
+        let mut bio = Bio::write(lba, buf, BioFlags::TX_COMMIT).with_tx_id(tx_id);
+        waiter.attach(&mut bio);
+        self.drv.submit_bio(bio);
+        if durable {
+            match waiter.wait() {
+                Ok(()) => Status::Ok,
+                Err(_) => waiter
+                    .first_error()
+                    .map(bio_status)
+                    .unwrap_or(Status::BioError),
+            }
+        } else {
+            Status::Ok
+        }
+    }
+
+    fn record_decision(&self, gtx: u64, commit: bool) -> Status {
+        // ord: SeqCst — the decision cursor is the coordinator decision
+        // word's allocator; it must never be observed behind the map
+        // insert that a concurrent get-or-set check relies on.
+        let idx = self.decision_seq.fetch_add(1, Ordering::SeqCst);
+        if idx >= self.layout.decision_slots {
+            return Status::TxOverflow;
+        }
+        let st = self.local_tx(
+            Vec::new(),
+            (self.layout.decision_lba(idx), encode_decision(gtx, commit)),
+            false,
+        );
+        if st.is_ok() {
+            self.decisions.lock().insert(gtx, commit);
+            self.stats.decisions.inc();
+        }
+        st
+    }
+}
+
+fn read_abs(drv: &Arc<CcNvmeDriver>, lba: u64) -> Vec<u8> {
+    let buf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+    let st = submit_and_wait(&**drv, Bio::read(lba, Arc::clone(&buf)));
+    debug_assert_eq!(st, BioStatus::Ok, "mount scan read lba {lba}");
+    let v = buf.lock().clone();
+    v
+}
+
+impl ClusterBackend for ClusterNode {
+    fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    fn alloc_gtx(&self) -> u64 {
+        // ord: SeqCst — gtx ids must be unique across handler cores and
+        // are reseeded from durable state at mount; a stale read here
+        // would hand out a collision.
+        self.next_gtx.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn prepare(&self, gtx: u64, writes: &[ShardWrite]) -> Status {
+        if writes.is_empty()
+            || writes.len() > SLOT_WRITE_CAP
+            || writes
+                .iter()
+                .any(|w| w.lba >= self.layout.data_blocks || w.data.len() > BLOCK_SIZE as usize)
+        {
+            return Status::Protocol;
+        }
+        let _exec = self.exec.lock();
+        if self.prepared.lock().contains_key(&gtx) {
+            // Re-prepare of a known gtx (client restart): already
+            // staged, the ack it missed is simply repeated.
+            return Status::Ok;
+        }
+        let Some(slot) = self.free_slots.lock().pop() else {
+            return Status::TxOverflow;
+        };
+        let staged: Vec<(u64, Vec<u8>)> =
+            writes.iter().map(|w| (w.lba, pad_block(&w.data))).collect();
+        let members: Vec<(u64, Vec<u8>)> = staged
+            .iter()
+            .enumerate()
+            .map(|(j, (_, data))| (self.layout.slot_data(slot, j as u64), data.clone()))
+            .collect();
+        let lbas: Vec<u64> = staged.iter().map(|(lba, _)| *lba).collect();
+        let st = self.local_tx(
+            members,
+            (self.layout.slot_header(slot), encode_intent(gtx, &lbas)),
+            false,
+        );
+        if st.is_ok() {
+            self.prepared.lock().insert(
+                gtx,
+                PreparedTx {
+                    slot,
+                    writes: staged,
+                },
+            );
+            self.stats.prepares.inc();
+            self.stats.in_doubt.inc();
+        } else {
+            self.free_slots.lock().push(slot);
+        }
+        st
+    }
+
+    fn decide(&self, gtx: u64, commit: bool) -> Status {
+        let _exec = self.exec.lock();
+        let Some(tx) = self.prepared.lock().remove(&gtx) else {
+            // Already applied/aborted, or never prepared here: the
+            // idempotent no-op that makes redecide-after-recovery safe.
+            return Status::Ok;
+        };
+        let header = self.layout.slot_header(tx.slot);
+        let st = if commit {
+            // Apply + free in one transaction: the staged writes land
+            // on their final LBAs and the intent header clears
+            // atomically, so "visible" and "no longer in-doubt" cannot
+            // come apart in a crash. Durable ack: a read issued after
+            // this decide must observe the data.
+            let members: Vec<(u64, Vec<u8>)> = tx
+                .writes
+                .iter()
+                .map(|(lba, data)| (self.layout.base + lba, data.clone()))
+                .collect();
+            self.local_tx(members, (header, vec![0u8; BLOCK_SIZE as usize]), true)
+        } else {
+            self.local_tx(Vec::new(), (header, vec![0u8; BLOCK_SIZE as usize]), false)
+        };
+        if st.is_ok() {
+            self.free_slots.lock().push(tx.slot);
+            self.stats.in_doubt.dec();
+            if commit {
+                self.stats.applies.inc();
+            } else {
+                self.stats.aborts.inc();
+            }
+        } else {
+            self.prepared.lock().insert(gtx, tx);
+        }
+        st
+    }
+
+    fn verdict(&self, gtx: u64, commit: bool) -> (Status, u64) {
+        let _exec = self.exec.lock();
+        if let Some(&recorded) = self.decisions.lock().get(&gtx) {
+            // Get-or-set: the durable decision wins over the request.
+            let word = if recorded {
+                DECISION_COMMIT
+            } else {
+                DECISION_ABORT
+            };
+            return (Status::Ok, word);
+        }
+        let st = self.record_decision(gtx, commit);
+        if st.is_ok() {
+            (
+                st,
+                if commit {
+                    DECISION_COMMIT
+                } else {
+                    DECISION_ABORT
+                },
+            )
+        } else {
+            (st, 0)
+        }
+    }
+
+    fn resolve(&self, gtx: u64) -> (Status, u64) {
+        let _exec = self.exec.lock();
+        if let Some(&recorded) = self.decisions.lock().get(&gtx) {
+            let word = if recorded {
+                DECISION_COMMIT
+            } else {
+                DECISION_ABORT
+            };
+            return (Status::Ok, word);
+        }
+        // Presumed abort, made stable before answering: once an inquiry
+        // has been told "abort", no later verdict retry can record
+        // "commit" — the get-or-set in `verdict` will find this record.
+        let st = self.record_decision(gtx, false);
+        if st.is_ok() {
+            self.stats.presumed_aborts.inc();
+            (st, DECISION_ABORT)
+        } else {
+            (st, 0)
+        }
+    }
+
+    fn read_block(&self, lba: u64) -> Result<Vec<u8>, Status> {
+        if lba >= self.layout.data_blocks {
+            return Err(Status::Protocol);
+        }
+        let buf = Arc::new(Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+        match submit_and_wait(
+            &*self.drv,
+            Bio::read(self.layout.base + lba, Arc::clone(&buf)),
+        ) {
+            BioStatus::Ok => {
+                let v = buf.lock().clone();
+                Ok(v)
+            }
+            other => Err(bio_status(other)),
+        }
+    }
+}
+
+/// Resolves a participant's in-doubt transactions against a coordinator
+/// node reachable by direct call (same process — the crash enumerator's
+/// recovery wave). Returns how many were resolved to commit.
+pub fn resolve_in_doubt_local(
+    participant: &ClusterNode,
+    coordinator: &ClusterNode,
+    in_doubt: &[u64],
+) -> usize {
+    let mut commits = 0;
+    for &gtx in in_doubt {
+        let (st, word) = coordinator.resolve(gtx);
+        assert!(st.is_ok(), "coordinator resolve({gtx}) failed: {st:?}");
+        let commit = word == DECISION_COMMIT;
+        let st = participant.decide(gtx, commit);
+        assert!(st.is_ok(), "participant decide({gtx}) failed: {st:?}");
+        commits += commit as usize;
+    }
+    commits
+}
+
+/// Resolves a participant's in-doubt transactions against a remote
+/// coordinator over an established fabric session. Returns how many
+/// resolved to commit; fails (leaving the rest in doubt, to be retried)
+/// if the coordinator is unreachable.
+pub fn resolve_in_doubt_remote(
+    participant: &ClusterNode,
+    coordinator: &mut FabricClient,
+    in_doubt: &[u64],
+) -> Result<usize, FabricError> {
+    let mut commits = 0;
+    for &gtx in in_doubt {
+        let commit = coordinator.tx_resolve(gtx)?;
+        let st = participant.decide(gtx, commit);
+        if !st.is_ok() {
+            return Err(FabricError::Remote(st));
+        }
+        commits += commit as usize;
+    }
+    Ok(commits)
+}

@@ -1,0 +1,290 @@
+//! Cluster integration tests over the loopback fabric: 2PC flows end to
+//! end, the single-shard fast path, presumed abort, client-restart
+//! resolution, and shard-down degradation scoped to one key range.
+
+use std::sync::Arc;
+
+use ccnvme::CcNvmeDriver;
+use ccnvme_block::BLOCK_SIZE;
+use ccnvme_cluster::{resolve_in_doubt_local, ClusterCfg, ClusterClient, ClusterNode, ShardLayout};
+use ccnvme_fabric::{
+    Backend, ClientCfg, ClientStats, ClusterBackend, Connector, FabricConfig, FabricTarget,
+    ShardWrite,
+};
+use ccnvme_obs::Registry;
+use ccnvme_sim::Sim;
+use ccnvme_ssd::{CtrlConfig, NvmeController, SsdProfile};
+use parking_lot::Mutex;
+
+/// Host cores serving fabric connections in these tests.
+const CORES: usize = 2;
+
+/// Shards in the standard test cluster.
+const SHARDS: usize = 2;
+
+/// Simulated cores: host cores, then one device core per domain
+/// (shards + coordinator).
+fn sim_cores() -> usize {
+    CORES + SHARDS + 1
+}
+
+fn in_sim<T, F>(f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let out: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let mut sim = Sim::new(sim_cores());
+    sim.spawn("test-main", 0, move || {
+        *out2.lock() = Some(f());
+    });
+    sim.run();
+    let v = out.lock().take().expect("test closure ran");
+    v
+}
+
+/// Builds one cluster domain: its own device, driver and node.
+fn node_on_core(device_core: usize) -> Arc<ClusterNode> {
+    let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+    cc.device_core = device_core;
+    let ctrl = NvmeController::new(cc);
+    let (drv, _report) = CcNvmeDriver::probe(ctrl, sim_cores() as u16, 64);
+    let (node, in_doubt) = ClusterNode::mount(Arc::new(drv), ShardLayout::small(0));
+    assert!(in_doubt.is_empty(), "fresh node mounted in doubt");
+    node
+}
+
+/// A cluster of fabric targets: `SHARDS` participants plus the
+/// coordinator, each labeled with its shard id for shard-scoped faults.
+struct TestCluster {
+    nodes: Vec<Arc<ClusterNode>>,
+    targets: Vec<Arc<FabricTarget>>,
+}
+
+impl TestCluster {
+    fn new() -> TestCluster {
+        let mut nodes = Vec::new();
+        let mut targets = Vec::new();
+        for d in 0..SHARDS + 1 {
+            let node = node_on_core(CORES + d);
+            let mut cfg = FabricConfig::new(CORES);
+            cfg.shard_label = Some(d as u64);
+            let target = FabricTarget::new(
+                Backend::Cluster(Arc::clone(&node) as Arc<dyn ClusterBackend>),
+                cfg,
+            );
+            nodes.push(node);
+            targets.push(target);
+        }
+        TestCluster { nodes, targets }
+    }
+
+    fn connectors(&self, client_id: u64) -> (Vec<Box<dyn Connector>>, Box<dyn Connector>) {
+        let shard_conns = self.targets[..SHARDS]
+            .iter()
+            .map(|t| t.loopback_connector(client_id))
+            .collect();
+        (
+            shard_conns,
+            self.targets[SHARDS].loopback_connector(client_id),
+        )
+    }
+
+    fn client(&self, client_id: u64, reg: Option<&Registry>) -> ClusterClient {
+        let (shards, coord) = self.connectors(client_id);
+        let cfg = ClusterCfg {
+            attempts: 2,
+            vnodes: 16,
+            client_cfg: ClientCfg {
+                ack_timeout_ns: 2_000_000,
+                backoff_ns: 50_000,
+                max_reconnects: 3,
+                stats: ClientStats::detached(),
+            },
+        };
+        ClusterClient::connect(client_id, shards, coord, cfg, reg).expect("cluster connect")
+    }
+}
+
+fn block(tag: u8) -> Vec<u8> {
+    vec![tag; 32]
+}
+
+fn writes(lba: u64, tag: u8) -> Vec<ShardWrite> {
+    vec![ShardWrite {
+        lba,
+        data: block(tag),
+    }]
+}
+
+fn assert_block(got: &[u8], want: &[u8]) {
+    assert_eq!(got.len(), BLOCK_SIZE as usize);
+    assert_eq!(&got[..want.len()], want);
+}
+
+/// A cross-shard commit lands on every participant and is readable
+/// through the fabric; node stats record one prepare/apply per shard
+/// and one coordinator decision.
+#[test]
+fn cross_shard_commit_is_atomic_and_readable() {
+    in_sim(|| {
+        let cluster = TestCluster::new();
+        let mut client = cluster.client(1, None);
+        let gtx = client.begin().expect("begin");
+        let committed = client
+            .commit(gtx, vec![(0, writes(5, 0xa1)), (1, writes(9, 0xb2))])
+            .expect("commit");
+        assert!(committed);
+        assert_block(&client.get(0, 5).expect("read shard 0"), &block(0xa1));
+        assert_block(&client.get(1, 9).expect("read shard 1"), &block(0xb2));
+        for s in 0..SHARDS {
+            let stats = cluster.nodes[s].stats();
+            assert_eq!(stats.prepares.get(), 1);
+            assert_eq!(stats.applies.get(), 1);
+            assert_eq!(stats.in_doubt.get(), 0);
+        }
+        assert_eq!(cluster.nodes[SHARDS].stats().decisions.get(), 1);
+        client.bye();
+    });
+}
+
+/// A single-shard transaction takes the fast path: no coordinator
+/// decision record is ever written.
+#[test]
+fn single_shard_commit_skips_the_coordinator() {
+    in_sim(|| {
+        let cluster = TestCluster::new();
+        let mut client = cluster.client(2, None);
+        let gtx = client.begin().expect("begin");
+        assert!(client
+            .commit(gtx, vec![(1, writes(3, 0x77))])
+            .expect("commit"));
+        assert_block(&client.get(1, 3).expect("read"), &block(0x77));
+        assert_eq!(cluster.nodes[SHARDS].stats().decisions.get(), 0);
+        assert_eq!(cluster.nodes[1].stats().applies.get(), 1);
+        client.bye();
+    });
+}
+
+/// The verdict is get-or-set: once the abort is durable, a commit
+/// retry for the same gtx loses and every participant aborts.
+#[test]
+fn durable_verdict_wins_over_late_commit_request() {
+    in_sim(|| {
+        let cluster = TestCluster::new();
+        let mut client = cluster.client(3, None);
+        let gtx = client.begin().expect("begin");
+        client.prepare_on(0, gtx, writes(7, 0xc3)).expect("prepare");
+        assert!(!client.verdict(gtx, false).expect("abort verdict"));
+        // A racing (or replayed) commit attempt must come back abort.
+        assert!(!client.verdict(gtx, true).expect("late commit verdict"));
+        client.decide_on(0, gtx, false).expect("decide");
+        let b = client.get(0, 7).expect("read");
+        assert!(b.iter().all(|&x| x == 0), "aborted write became visible");
+        assert_eq!(cluster.nodes[0].stats().aborts.get(), 1);
+        client.bye();
+    });
+}
+
+/// An in-doubt participant with no coordinator record resolves to
+/// presumed abort — and the abort is durably recorded, so a later
+/// commit verdict cannot contradict it.
+#[test]
+fn in_doubt_without_verdict_resolves_to_presumed_abort() {
+    in_sim(|| {
+        let cluster = TestCluster::new();
+        let mut client = cluster.client(4, None);
+        let gtx = client.begin().expect("begin");
+        client
+            .prepare_on(0, gtx, writes(11, 0xd4))
+            .expect("prepare");
+        client
+            .prepare_on(1, gtx, writes(11, 0xd5))
+            .expect("prepare");
+        drop(client);
+        // The client vanished mid-commit: recovery resolves both
+        // intents against the (empty) coordinator record.
+        for s in 0..SHARDS {
+            assert_eq!(cluster.nodes[s].stats().in_doubt.get(), 1);
+            let commits = resolve_in_doubt_local(&cluster.nodes[s], &cluster.nodes[SHARDS], &[gtx]);
+            assert_eq!(commits, 0, "presumed abort committed");
+            assert_eq!(cluster.nodes[s].stats().in_doubt.get(), 0);
+        }
+        assert_eq!(cluster.nodes[SHARDS].stats().presumed_aborts.get(), 1);
+        // The late client's commit attempt now loses to the inquiry.
+        let mut late = cluster.client(4, None);
+        assert!(!late.verdict(gtx, true).expect("late verdict"));
+        late.bye();
+    });
+}
+
+/// A restarted client resumes an interrupted commit with
+/// `resolve_gtx`: the durable verdict drives every participant to the
+/// same outcome, exactly once.
+#[test]
+fn restarted_client_resolves_to_the_durable_verdict() {
+    in_sim(|| {
+        let cluster = TestCluster::new();
+        let mut client = cluster.client(5, None);
+        let gtx = client.begin().expect("begin");
+        client
+            .prepare_on(0, gtx, writes(13, 0xe1))
+            .expect("prepare");
+        client
+            .prepare_on(1, gtx, writes(13, 0xe2))
+            .expect("prepare");
+        assert!(client.verdict(gtx, true).expect("verdict"));
+        // Crash after the verdict, before any decide.
+        drop(client);
+        let mut resumed = cluster.client(5, None);
+        assert!(resumed.resolve_gtx(gtx, &[0, 1]).expect("resolve"));
+        assert_block(&resumed.get(0, 13).expect("read"), &block(0xe1));
+        assert_block(&resumed.get(1, 13).expect("read"), &block(0xe2));
+        // Resolving again replays the decision without re-applying.
+        assert!(resumed.resolve_gtx(gtx, &[0, 1]).expect("re-resolve"));
+        for s in 0..SHARDS {
+            assert_eq!(cluster.nodes[s].stats().applies.get(), 1);
+        }
+        resumed.bye();
+    });
+}
+
+/// Killing one shard degrades only its key range: commits touching it
+/// abort cleanly, the other shard keeps committing, the
+/// `cluster.degraded_shards` gauge tracks the outage, and the first
+/// success after the heal clears it.
+#[test]
+fn down_shard_degrades_only_its_key_range() {
+    in_sim(|| {
+        let cluster = TestCluster::new();
+        let reg = Registry::new();
+        let mut client = cluster.client(6, Some(&reg));
+        let gauge = reg.gauge("cluster.degraded_shards");
+        // Sever shard 0's wires and refuse new connections.
+        cluster.targets[0].partition(6, ccnvme_sim::Ns::MAX);
+        client.sever_shard(0);
+        let gtx = client.begin().expect("begin");
+        let committed = client
+            .commit(gtx, vec![(0, writes(20, 0x11)), (1, writes(20, 0x22))])
+            .expect("commit across the outage");
+        assert!(!committed, "commit through a dead shard must abort");
+        assert_eq!(client.degraded_shards(), vec![0]);
+        assert_eq!(gauge.get(), 1);
+        // Shard 1's key range is untouched by the outage.
+        let gtx2 = client.begin().expect("begin");
+        assert!(client
+            .commit(gtx2, vec![(1, writes(21, 0x33))])
+            .expect("commit"));
+        assert_block(&client.get(1, 21).expect("read"), &block(0x33));
+        // Heal: the next touch of shard 0 reconnects and clears it.
+        cluster.targets[0].heal(6);
+        let gtx3 = client.begin().expect("begin");
+        assert!(client
+            .commit(gtx3, vec![(0, writes(22, 0x44)), (1, writes(22, 0x55))])
+            .expect("commit after heal"));
+        assert!(client.degraded_shards().is_empty());
+        assert_eq!(gauge.get(), 0);
+        client.bye();
+    });
+}

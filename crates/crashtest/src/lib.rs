@@ -19,6 +19,7 @@
 //!    confirms every guarantee whose persistence point completed before
 //!    the snapshot instant.
 
+pub mod cluster;
 pub mod enumerate;
 pub mod faults;
 pub mod ploc;
@@ -32,6 +33,9 @@ use ccnvme_ssd::{CrashMode, DurableImage};
 use mqfs::FileSystem;
 use parking_lot::Mutex;
 
+pub use cluster::{
+    cluster_enum_metrics, enumerate_cluster_crash_surface, ClusterEnumConfig, ClusterEnumReport,
+};
 pub use enumerate::{enum_metrics, enumerate_crash_surface, EnumConfig, EnumReport, RecrashSweep};
 pub use faults::{campaign_metrics, run_fault_campaign, FaultCampaignConfig, FaultKindReport};
 pub use ploc::{enumerate_ploc_crash_surface, ploc_enum_metrics, PlocEnumConfig, PlocEnumReport};

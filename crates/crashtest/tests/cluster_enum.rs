@@ -1,0 +1,55 @@
+//! Cluster crash-surface enumeration: every consistent global cut,
+//! every down-subset recovery schedule, all-or-nothing and exactly-once
+//! asserted throughout (ISSUE 9 acceptance sweep).
+
+use ccnvme_crashtest::{enumerate_cluster_crash_surface, ClusterEnumConfig};
+
+fn assert_clean(report: &ccnvme_crashtest::ClusterEnumReport) {
+    assert_eq!(
+        report.clean,
+        report.states,
+        "{} of {} states failed: {:?}",
+        report.states - report.clean,
+        report.states,
+        report.failures
+    );
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(
+        report.sanitizer_violations, 0,
+        "persist-order sanitizer tripped: {:?}",
+        report.failures
+    );
+    // The sweep must actually cut through prepared-but-undecided
+    // windows, or it proved nothing about resolution.
+    assert!(report.resolved_in_doubt > 0, "no in-doubt work resolved");
+}
+
+/// Smoke tier: two shards plus the coordinator, sampled cuts, every
+/// down-subset at each. Fast enough for the debug workspace test run.
+#[test]
+fn cluster_smoke_sweep_is_all_or_nothing() {
+    let report = enumerate_cluster_crash_surface(&ClusterEnumConfig {
+        shards: 2,
+        txs: 3,
+        boundary_stride: 9,
+    });
+    assert!(report.events > 0);
+    assert!(report.cuts >= 8, "only {} cuts sampled", report.cuts);
+    assert_clean(&report);
+}
+
+/// Deep tier (`CCNVME_ENUM_DEEP=1`): three shards, the complete cut
+/// surface, all 16 down-subsets per cut.
+#[test]
+fn deep_cluster_full_sweep_is_all_or_nothing() {
+    if std::env::var("CCNVME_ENUM_DEEP").is_err() {
+        eprintln!("skipping deep cluster sweep (set CCNVME_ENUM_DEEP=1)");
+        return;
+    }
+    let report = enumerate_cluster_crash_surface(&ClusterEnumConfig {
+        shards: 3,
+        txs: 4,
+        boundary_stride: 1,
+    });
+    assert_clean(&report);
+}

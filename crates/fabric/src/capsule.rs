@@ -63,7 +63,17 @@ const OP_METRICS: u8 = 0x0a;
 const OP_BYE: u8 = 0x0b;
 const OP_PLOC_OP: u8 = 0x0c;
 const OP_PLOC_RECOVER: u8 = 0x0d;
+const OP_TX_PREPARE: u8 = 0x0e;
+const OP_TX_DECIDE: u8 = 0x0f;
+const OP_TX_VERDICT: u8 = 0x10;
+const OP_TX_RESOLVE: u8 = 0x11;
+const OP_BLK_READ: u8 = 0x12;
 const OP_RESPONSE: u8 = 0x80;
+
+/// Most member writes one `TX_PREPARE` capsule may carry. Matches the
+/// spirit of [`crate::FabricConfig::tx_member_cap`]: a prepared intent
+/// must fit one intent slot on the participant shard.
+pub const MAX_PREPARE_WRITES: u16 = 64;
 
 /// Which persistence primitive an `FsSync` capsule invokes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,8 +197,64 @@ pub enum Capsule {
     /// Ask the ploc backend for the session client's recovery verdict
     /// (`PlocService::recover`): what the last issued operation did.
     PlocRecover,
+    /// 2PC phase 1 on a participant shard (cluster backend): durably
+    /// stage the transaction's member writes for global transaction
+    /// `gtx` in an intent slot. The ack fires at the intent
+    /// transaction's atomicity point — from then on the shard can
+    /// redo the writes after any crash, whatever the decision turns
+    /// out to be. Idempotent on retransmit and on client restart.
+    TxPrepare {
+        /// Global (cross-shard) transaction id.
+        gtx: u64,
+        /// The member writes this shard stages.
+        writes: Vec<ShardWrite>,
+    },
+    /// 2PC phase 2 on a participant shard: apply (`commit = true`) or
+    /// discard (`false`) the prepared intent for `gtx`. A decide for an
+    /// unknown `gtx` is an idempotent no-op success — the intent was
+    /// already applied or never prepared.
+    TxDecide {
+        /// Global transaction id.
+        gtx: u64,
+        /// Commit (apply the staged writes) or abort (drop them).
+        commit: bool,
+    },
+    /// Record the coordinator's decision for `gtx` — itself an ordinary
+    /// single-shard ccNVMe transaction on the coordinator's decision
+    /// region. Get-or-set: if a decision for `gtx` is already durable
+    /// the recorded one wins and is echoed back (`val` = 1 commit /
+    /// 2 abort), so a retried verdict can never contradict itself.
+    TxVerdict {
+        /// Global transaction id.
+        gtx: u64,
+        /// The decision the coordinator wants to record.
+        commit: bool,
+    },
+    /// Resolve an in-doubt `gtx` against the coordinator record:
+    /// returns the recorded decision, or durably records ABORT first
+    /// when there is none (presumed abort made stable — a late verdict
+    /// retry then loses to the inquiry, not the other way around).
+    TxResolve {
+        /// Global transaction id.
+        gtx: u64,
+    },
+    /// Read one block of the raw/cluster window (cluster reads and the
+    /// degradation drill's key-range probes).
+    BlkRead {
+        /// LBA relative to the served window.
+        lba: u64,
+    },
     /// Orderly session teardown.
     Bye,
+}
+
+/// One member write of a `TX_PREPARE` capsule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardWrite {
+    /// Target LBA, relative to the shard's block window.
+    pub lba: u64,
+    /// Payload (padded to a block by the shard).
+    pub data: Vec<u8>,
 }
 
 /// One request: a command id plus the operation.
@@ -538,6 +604,38 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             (OP_PLOC_OP, b)
         }
         Capsule::PlocRecover => (OP_PLOC_RECOVER, Vec::new()),
+        Capsule::TxPrepare { gtx, writes } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *gtx);
+            put_u16(&mut b, writes.len() as u16);
+            for w in writes {
+                put_u64(&mut b, w.lba);
+                put_bytes(&mut b, &w.data);
+            }
+            (OP_TX_PREPARE, b)
+        }
+        Capsule::TxDecide { gtx, commit } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *gtx);
+            b.push(*commit as u8);
+            (OP_TX_DECIDE, b)
+        }
+        Capsule::TxVerdict { gtx, commit } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *gtx);
+            b.push(*commit as u8);
+            (OP_TX_VERDICT, b)
+        }
+        Capsule::TxResolve { gtx } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *gtx);
+            (OP_TX_RESOLVE, b)
+        }
+        Capsule::BlkRead { lba } => {
+            let mut b = Vec::new();
+            put_u64(&mut b, *lba);
+            (OP_BLK_READ, b)
+        }
         Capsule::Bye => (OP_BYE, Vec::new()),
     };
     let mut out = header(opcode, req.cid);
@@ -604,6 +702,33 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
             Capsule::PlocOp { seq, op }
         }
         OP_PLOC_RECOVER => Capsule::PlocRecover,
+        OP_TX_PREPARE => {
+            let gtx = c.u64()?;
+            let count = c.u16()?;
+            if count > MAX_PREPARE_WRITES {
+                return Err(CodecError::Overflow {
+                    len: count as u32,
+                    max: MAX_PREPARE_WRITES as u32,
+                });
+            }
+            let mut writes = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let lba = c.u64()?;
+                let data = c.bytes()?;
+                writes.push(ShardWrite { lba, data });
+            }
+            Capsule::TxPrepare { gtx, writes }
+        }
+        OP_TX_DECIDE => Capsule::TxDecide {
+            gtx: c.u64()?,
+            commit: c.u8()? != 0,
+        },
+        OP_TX_VERDICT => Capsule::TxVerdict {
+            gtx: c.u64()?,
+            commit: c.u8()? != 0,
+        },
+        OP_TX_RESOLVE => Capsule::TxResolve { gtx: c.u64()? },
+        OP_BLK_READ => Capsule::BlkRead { lba: c.u64()? },
         OP_BYE => Capsule::Bye,
         other => return Err(CodecError::BadOpcode(other)),
     };

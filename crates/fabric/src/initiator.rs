@@ -23,7 +23,7 @@ use ccnvme_sim::Ns;
 use ccnvme_ploc::{OpResult, PlocOp, RecoverVerdict};
 
 use crate::capsule::{
-    decode_response, encode_request, fnv64, Capsule, Request, Response, SyncKind,
+    decode_response, encode_request, fnv64, Capsule, Request, Response, ShardWrite, SyncKind,
 };
 use crate::error::FabricError;
 use crate::transport::{Connector, Transport};
@@ -315,6 +315,39 @@ impl FabricClient {
             durable,
         })
         .map(|_| ())
+    }
+
+    // ---- 2PC surface (cluster backend) ----
+
+    /// Phase 1: durably stage `writes` for global transaction `gtx` on
+    /// this shard. The `Ok` ack means the shard is prepared.
+    pub fn tx_prepare(&mut self, gtx: u64, writes: Vec<ShardWrite>) -> Result<(), FabricError> {
+        self.call(Capsule::TxPrepare { gtx, writes }).map(|_| ())
+    }
+
+    /// Phase 2: apply or discard the prepared intent for `gtx`.
+    pub fn tx_decide(&mut self, gtx: u64, commit: bool) -> Result<(), FabricError> {
+        self.call(Capsule::TxDecide { gtx, commit }).map(|_| ())
+    }
+
+    /// Records the coordinator decision for `gtx`; returns the *final*
+    /// decision (`true` = commit), which may differ from the request if
+    /// a decision was already durable.
+    pub fn tx_verdict(&mut self, gtx: u64, commit: bool) -> Result<bool, FabricError> {
+        let resp = self.call(Capsule::TxVerdict { gtx, commit })?;
+        Ok(resp.val == 1)
+    }
+
+    /// Resolves an in-doubt `gtx` against the coordinator record;
+    /// `true` = commit (absence becomes a durable presumed-abort).
+    pub fn tx_resolve(&mut self, gtx: u64) -> Result<bool, FabricError> {
+        let resp = self.call(Capsule::TxResolve { gtx })?;
+        Ok(resp.val == 1)
+    }
+
+    /// Reads one block of the target's raw/cluster window.
+    pub fn blk_read(&mut self, lba: u64) -> Result<Vec<u8>, FabricError> {
+        Ok(self.call(Capsule::BlkRead { lba })?.data)
     }
 
     // ---- syscall surface (fs backend) ----

@@ -40,9 +40,11 @@ pub mod target;
 pub mod tcp;
 pub mod transport;
 
-pub use capsule::{Capsule, PlocOpWire, Request, Response, Status, SyncKind};
+pub use capsule::{Capsule, PlocOpWire, Request, Response, ShardWrite, Status, SyncKind};
 pub use error::{CodecError, FabricError};
 pub use initiator::{ClientCfg, ClientStats, FabricClient};
-pub use target::{Backend, FabricConfig, FabricStats, FabricTarget, LoopbackConnector};
+pub use target::{
+    Backend, ClusterBackend, FabricConfig, FabricStats, FabricTarget, LoopbackConnector,
+};
 pub use tcp::{TcpConnector, TcpFabricServer};
 pub use transport::{Connector, Transport};

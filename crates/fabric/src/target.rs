@@ -31,7 +31,7 @@ use mqfs::FileSystem;
 use parking_lot::Mutex;
 
 use crate::capsule::{
-    decode_request, encode_response, Capsule, Request, Response, Status, SyncKind,
+    decode_request, encode_response, Capsule, Request, Response, ShardWrite, Status, SyncKind,
 };
 use crate::error::FabricError;
 use crate::transport::{Connector, LoopbackTransport, PartitionMap, Transport};
@@ -76,6 +76,52 @@ pub enum Backend {
     /// client slot, so each remote client owns its own INTENT/RESULT
     /// checkpoint records.
     Ploc(Arc<PlocService>),
+    /// A cluster node (`crates/cluster`): the 2PC participant /
+    /// coordinator surface over the node's own ccNVMe device, driven by
+    /// the `TX_PREPARE` / `TX_DECIDE` / `TX_VERDICT` / `TX_RESOLVE`
+    /// capsules.
+    Cluster(Arc<dyn ClusterBackend>),
+}
+
+/// The two-phase-commit surface a cluster node exposes through a fabric
+/// target. Implemented by `ccnvme-cluster`; defined here so the target
+/// can dispatch cluster capsules without depending on that crate.
+///
+/// Every mutating call is a commit point backed by an ordinary
+/// single-shard ccNVMe transaction on the node's device, and every call
+/// is idempotent at the global-transaction level — the cluster's
+/// exactly-once story composes the session replay cache (same client
+/// retransmitting) with these semantics (a *restarted* client, under a
+/// fresh session, re-asking about an old `gtx`).
+pub trait ClusterBackend: Send + Sync {
+    /// The node stack's observability hub.
+    fn obs(&self) -> Arc<Obs>;
+
+    /// Allocates a fresh global transaction id (coordinator role;
+    /// served to clients through `AllocTx`).
+    fn alloc_gtx(&self) -> u64;
+
+    /// Phase 1: durably stage `writes` for `gtx` in an intent slot.
+    /// The `Ok` ack means prepared — the shard can redo the writes
+    /// after any crash. Re-preparing a known `gtx` is a no-op success.
+    fn prepare(&self, gtx: u64, writes: &[ShardWrite]) -> Status;
+
+    /// Phase 2: apply (`commit`) or discard the prepared intent.
+    /// Unknown `gtx` is a no-op success (already applied, or never
+    /// prepared and thus nothing to abort).
+    fn decide(&self, gtx: u64, commit: bool) -> Status;
+
+    /// Record-or-fetch the coordinator decision for `gtx`. Returns the
+    /// *final* decision word (1 = commit, 2 = abort): when a decision
+    /// is already durable the recorded one wins over the request.
+    fn verdict(&self, gtx: u64, commit: bool) -> (Status, u64);
+
+    /// Resolve an in-doubt `gtx`: the recorded decision, or a durably
+    /// recorded presumed-abort when there is none.
+    fn resolve(&self, gtx: u64) -> (Status, u64);
+
+    /// Read one block of the node's data window.
+    fn read_block(&self, lba: u64) -> Result<Vec<u8>, Status>;
 }
 
 /// Target configuration.
@@ -97,6 +143,10 @@ pub struct FabricConfig {
     /// [`Status::TxOverflow`]; keep `cap × sessions-per-queue` under
     /// the device queue depth.
     pub tx_member_cap: u32,
+    /// Shard label stamped on this target's connections so shard-scoped
+    /// fault rules (and asymmetric partitions) can single it out of a
+    /// cluster. `None` for standalone targets.
+    pub shard_label: Option<u64>,
 }
 
 impl FabricConfig {
@@ -107,6 +157,7 @@ impl FabricConfig {
             window: DEFAULT_WINDOW,
             injector: None,
             tx_member_cap: DEFAULT_TX_MEMBER_CAP,
+            shard_label: None,
         }
     }
 }
@@ -218,6 +269,7 @@ impl FabricTarget {
             Backend::Fs(fs) => ccnvme_block::obs_of(fs.device().as_ref()),
             Backend::Raw { drv, .. } => ccnvme_block::obs_of(&**drv),
             Backend::Ploc(svc) => svc.obs(),
+            Backend::Cluster(node) => node.obs(),
         };
         let stats = FabricStats::registered(&obs);
         Arc::new(FabricTarget {
@@ -299,6 +351,7 @@ impl FabricTarget {
         let core = (conn as usize) % self.cfg.cores;
         let (client_side, mut server_side) = LoopbackTransport::pair(
             client_id,
+            self.cfg.shard_label,
             self.cfg.injector.clone(),
             Arc::clone(&self.partitions),
         );
@@ -307,6 +360,20 @@ impl FabricTarget {
             me.serve_conn(&mut server_side, core as u16);
         });
         Ok(Box::new(client_side))
+    }
+
+    /// Administratively partitions `client_id` from this target until
+    /// `until`: new dials fail with [`FabricError::Unreachable`]. Live
+    /// connections are not severed here — pair with
+    /// [`FabricClient::sever`](crate::FabricClient::sever) to model the
+    /// wire dying too (a dead target answers nothing either way).
+    pub fn partition(&self, client_id: u64, until: Ns) {
+        self.partitions.cut(client_id, until);
+    }
+
+    /// Lifts an administrative partition for `client_id`.
+    pub fn heal(&self, client_id: u64) {
+        self.partitions.clear(client_id);
     }
 
     /// A connector that re-dials loopback connections for `client_id`.
@@ -489,6 +556,7 @@ impl FabricTarget {
             Capsule::Hello { .. } | Capsule::Bye => Response::status(cid, Status::Protocol),
             Capsule::AllocTx => match &self.backend {
                 Backend::Raw { drv, .. } => Response::ok_val(cid, drv.alloc_tx_id()),
+                Backend::Cluster(node) => Response::ok_val(cid, node.alloc_gtx()),
                 Backend::Fs(_) | Backend::Ploc(_) => Response::status(cid, Status::NotSupported),
             },
             Capsule::TxWrite {
@@ -605,6 +673,93 @@ impl FabricTarget {
                     Err(_) => Response::status(cid, Status::Protocol),
                 }
             }
+            Capsule::TxPrepare { gtx, writes } => {
+                let Backend::Cluster(node) = &self.backend else {
+                    return Response::status(cid, Status::NotSupported);
+                };
+                let status = node.prepare(*gtx, writes);
+                if status.is_ok() {
+                    // A prepare is a commit point: the intent record is
+                    // its own single-shard ccNVMe transaction.
+                    self.stats.commits.inc();
+                }
+                Response::status(cid, status)
+            }
+            Capsule::TxDecide { gtx, commit } => {
+                let Backend::Cluster(node) = &self.backend else {
+                    return Response::status(cid, Status::NotSupported);
+                };
+                let status = node.decide(*gtx, *commit);
+                if status.is_ok() {
+                    self.stats.commits.inc();
+                }
+                Response::status(cid, status)
+            }
+            Capsule::TxVerdict { gtx, commit } => {
+                let Backend::Cluster(node) = &self.backend else {
+                    return Response::status(cid, Status::NotSupported);
+                };
+                let (status, decision) = node.verdict(*gtx, *commit);
+                if status.is_ok() {
+                    self.stats.commits.inc();
+                }
+                Response {
+                    cid,
+                    status,
+                    val: decision,
+                    aux: 0,
+                    data: Vec::new(),
+                }
+            }
+            Capsule::TxResolve { gtx } => {
+                let Backend::Cluster(node) = &self.backend else {
+                    return Response::status(cid, Status::NotSupported);
+                };
+                let (status, decision) = node.resolve(*gtx);
+                Response {
+                    cid,
+                    status,
+                    val: decision,
+                    aux: 0,
+                    data: Vec::new(),
+                }
+            }
+            Capsule::BlkRead { lba } => match &self.backend {
+                Backend::Cluster(node) => match node.read_block(*lba) {
+                    Ok(data) => Response {
+                        cid,
+                        status: Status::Ok,
+                        val: data.len() as u64,
+                        aux: 0,
+                        data,
+                    },
+                    Err(status) => Response::status(cid, status),
+                },
+                Backend::Raw { drv, base, blocks } => {
+                    if *lba >= *blocks {
+                        return Response::status(cid, Status::Protocol);
+                    }
+                    let buf = Arc::new(parking_lot::Mutex::new(vec![0u8; BLOCK_SIZE as usize]));
+                    let st = ccnvme_block::submit_and_wait(
+                        &**drv,
+                        Bio::read(base + lba, Arc::clone(&buf)),
+                    );
+                    match st {
+                        BioStatus::Ok => {
+                            let data = buf.lock().clone();
+                            Response {
+                                cid,
+                                status: Status::Ok,
+                                val: data.len() as u64,
+                                aux: 0,
+                                data,
+                            }
+                        }
+                        other => Response::status(cid, bio_status(other)),
+                    }
+                }
+                Backend::Fs(_) | Backend::Ploc(_) => Response::status(cid, Status::NotSupported),
+            },
         }
     }
 
@@ -618,7 +773,9 @@ impl FabricTarget {
                 Ok(resp) => resp,
                 Err(e) => Response::status(cid, Status::Fs(e)),
             },
-            Backend::Raw { .. } | Backend::Ploc(_) => Response::status(cid, Status::NotSupported),
+            Backend::Raw { .. } | Backend::Ploc(_) | Backend::Cluster(_) => {
+                Response::status(cid, Status::NotSupported)
+            }
         }
     }
 
@@ -714,6 +871,13 @@ impl FabricTarget {
 fn commit_like(op: &Capsule) -> bool {
     match op {
         Capsule::TxWrite { commit: true, .. } | Capsule::FsSync { .. } => true,
+        // Every mutating 2PC capsule is a commit point on its shard's
+        // device: the intent, the application, the decision record and
+        // the resolve-time presumed-abort record.
+        Capsule::TxPrepare { .. }
+        | Capsule::TxDecide { .. }
+        | Capsule::TxVerdict { .. }
+        | Capsule::TxResolve { .. } => true,
         // A mutating ploc op commits at its RESULT flush; a replayed
         // one must count as a deduplicated commit, not a re-execution.
         Capsule::PlocOp { op, .. } => op.mutates(),

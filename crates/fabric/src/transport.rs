@@ -70,6 +70,12 @@ impl PartitionMap {
         let m = self.heal_at.lock();
         m.get(&client).copied().filter(|&until| now < until)
     }
+
+    /// Lifts `client`'s partition immediately, whatever its heal
+    /// instant was.
+    pub fn clear(&self, client: u64) {
+        self.heal_at.lock().remove(&client);
+    }
 }
 
 pub(crate) enum Payload {
@@ -89,6 +95,10 @@ pub(crate) struct Wire {
 pub struct LoopbackTransport {
     side: NetDir,
     conn: u64,
+    /// Shard label of the target this connection is bound to, threaded
+    /// into every [`NetOp`] so shard-scoped fault rules can tell the
+    /// cluster's targets apart.
+    shard: Option<u64>,
     tx: Sender<Wire>,
     rx: Receiver<Wire>,
     injector: Option<Arc<FaultInjector>>,
@@ -103,6 +113,7 @@ impl LoopbackTransport {
     /// Builds the two endpoints of one connection.
     pub(crate) fn pair(
         conn: u64,
+        shard: Option<u64>,
         injector: Option<Arc<FaultInjector>>,
         partitions: Arc<PartitionMap>,
     ) -> (LoopbackTransport, LoopbackTransport) {
@@ -111,6 +122,7 @@ impl LoopbackTransport {
         let client = LoopbackTransport {
             side: NetDir::ToTarget,
             conn,
+            shard,
             tx: c2t_tx,
             rx: t2c_rx,
             injector: injector.clone(),
@@ -121,6 +133,7 @@ impl LoopbackTransport {
         let server = LoopbackTransport {
             side: NetDir::ToClient,
             conn,
+            shard,
             tx: t2c_tx,
             rx: c2t_rx,
             injector,
@@ -153,12 +166,17 @@ impl Transport for LoopbackTransport {
             inj.decide_net(&NetOp {
                 dir: self.side,
                 conn: self.conn,
+                shard: self.shard,
                 now: ccnvme_sim::now(),
             })
         });
         match decision.map(|d| (d.kind, d.heal_ns)) {
             // Lost on the wire; the peer's timeout path recovers.
             Some((NetFaultKind::Drop, _)) => Ok(()),
+            // One-way black hole: the frame vanishes but the connection
+            // stays up — the opposite direction keeps delivering, so the
+            // peer sees silence, not a hangup.
+            Some((NetFaultKind::AsymPartition, _)) => Ok(()),
             Some((NetFaultKind::Duplicate, _)) => {
                 self.ship(frame.to_vec())?;
                 self.ship(frame.to_vec())?;

@@ -239,6 +239,9 @@ pub struct NetOp {
     pub dir: NetDir,
     /// Connection (session) identifier the frame rides.
     pub conn: u64,
+    /// Shard label of the target this frame is bound to (`None` when the
+    /// transport is not shard-aware, e.g. a single standalone target).
+    pub shard: Option<u64>,
     /// Current virtual time.
     pub now: Ns,
 }
@@ -258,15 +261,23 @@ pub enum NetFaultKind {
     /// The connection is severed and stays unreachable until the rule's
     /// heal interval elapses; reconnect attempts fail until then.
     Partition,
+    /// An asymmetric partition: frames matching the rule's direction
+    /// filter are silently dropped for the heal interval while the
+    /// opposite direction keeps delivering (A→B drops, B→A delivers).
+    /// Unlike [`NetFaultKind::Partition`] the connection is never
+    /// severed — the peer sees a one-way black hole, the classic
+    /// split-brain-inducing failure a 2PC coordinator must survive.
+    AsymPartition,
 }
 
 impl NetFaultKind {
     /// All kinds, for campaign iteration.
-    pub const ALL: [NetFaultKind; 4] = [
+    pub const ALL: [NetFaultKind; 5] = [
         NetFaultKind::Drop,
         NetFaultKind::Duplicate,
         NetFaultKind::Reorder,
         NetFaultKind::Partition,
+        NetFaultKind::AsymPartition,
     ];
 }
 
@@ -282,8 +293,14 @@ pub struct NetFaultRule {
     pub trigger: Trigger,
     /// Direction filter (`None` = both directions).
     pub dir: Option<NetDir>,
-    /// For [`NetFaultKind::Partition`]: how long the connection stays
-    /// unreachable after the cut, in virtual ns.
+    /// Shard filter: only frames bound to this shard label are eligible
+    /// (`None` = every shard). A frame whose transport carries no shard
+    /// label never matches a shard-scoped rule.
+    pub shard: Option<u64>,
+    /// For [`NetFaultKind::Partition`] and
+    /// [`NetFaultKind::AsymPartition`]: how long the connection stays
+    /// unreachable (resp. the direction stays black-holed) after the
+    /// cut, in virtual ns.
     pub heal_ns: Ns,
     /// Stop firing after this many injections (`None` = unlimited).
     pub max_hits: Option<u64>,
@@ -300,6 +317,7 @@ impl NetFaultRule {
             kind,
             trigger,
             dir: None,
+            shard: None,
             heal_ns: DEFAULT_HEAL_NS,
             max_hits: None,
         }
@@ -308,6 +326,13 @@ impl NetFaultRule {
     /// Restricts the rule to one direction (builder style).
     pub fn dir(mut self, dir: NetDir) -> Self {
         self.dir = Some(dir);
+        self
+    }
+
+    /// Restricts the rule to connections bound to one shard label
+    /// (builder style). Frames on unlabelled transports never match.
+    pub fn shard(mut self, shard: u64) -> Self {
+        self.shard = Some(shard);
         self
     }
 
@@ -412,6 +437,8 @@ pub struct FaultCounters {
     pub net_reorders: Arc<Counter>,
     /// Injected connection partitions.
     pub net_partitions: Arc<Counter>,
+    /// Injected asymmetric (one-way) partitions.
+    pub net_asym_partitions: Arc<Counter>,
 }
 
 impl FaultCounters {
@@ -428,6 +455,10 @@ impl FaultCounters {
         reg.adopt_counter("fault.net_dups", Arc::clone(&self.net_dups));
         reg.adopt_counter("fault.net_reorders", Arc::clone(&self.net_reorders));
         reg.adopt_counter("fault.net_partitions", Arc::clone(&self.net_partitions));
+        reg.adopt_counter(
+            "fault.net_asym_partitions",
+            Arc::clone(&self.net_asym_partitions),
+        );
     }
 
     /// Takes a point-in-time snapshot.
@@ -443,6 +474,7 @@ impl FaultCounters {
             net_dups: self.net_dups.get(),
             net_reorders: self.net_reorders.get(),
             net_partitions: self.net_partitions.get(),
+            net_asym_partitions: self.net_asym_partitions.get(),
         }
     }
 
@@ -463,6 +495,7 @@ impl FaultCounters {
             NetFaultKind::Duplicate => self.net_dups.inc(),
             NetFaultKind::Reorder => self.net_reorders.inc(),
             NetFaultKind::Partition => self.net_partitions.inc(),
+            NetFaultKind::AsymPartition => self.net_asym_partitions.inc(),
         }
     }
 }
@@ -490,6 +523,8 @@ pub struct FaultSnapshot {
     pub net_reorders: u64,
     /// See [`FaultCounters::net_partitions`].
     pub net_partitions: u64,
+    /// See [`FaultCounters::net_asym_partitions`].
+    pub net_asym_partitions: u64,
 }
 
 impl FaultSnapshot {
@@ -507,7 +542,11 @@ impl FaultSnapshot {
 
     /// Total transport injections of any kind.
     pub fn net_total(&self) -> u64 {
-        self.net_drops + self.net_dups + self.net_reorders + self.net_partitions
+        self.net_drops
+            + self.net_dups
+            + self.net_reorders
+            + self.net_partitions
+            + self.net_asym_partitions
     }
 }
 
@@ -516,6 +555,11 @@ struct RuleState {
     seen: u64,
     /// Injections fired so far (drives `max_hits`).
     hits: u64,
+    /// For [`NetFaultKind::AsymPartition`]: frames matching this rule's
+    /// filters are black-holed until this virtual time. Continuation
+    /// drops do not consume `max_hits` or advance `seen` — one trigger
+    /// is one partition event, however many frames it swallows.
+    blackout_until: Ns,
     /// Deterministic stream for [`Trigger::Probability`] and torn sizes.
     rng: DetRng,
 }
@@ -541,6 +585,7 @@ impl FaultInjector {
             .map(|(i, _)| RuleState {
                 seen: 0,
                 hits: 0,
+                blackout_until: 0,
                 rng: DetRng::derive(plan.seed, i as u64),
             })
             .collect();
@@ -551,6 +596,7 @@ impl FaultInjector {
             .map(|(i, _)| RuleState {
                 seen: 0,
                 hits: 0,
+                blackout_until: 0,
                 rng: DetRng::derive(plan.seed, 1_000 + i as u64),
             })
             .collect();
@@ -623,6 +669,20 @@ impl FaultInjector {
             if rule.dir.is_some_and(|d| d != op.dir) {
                 continue;
             }
+            if let Some(want) = rule.shard {
+                if op.shard != Some(want) {
+                    continue;
+                }
+            }
+            // An open asymmetric partition black-holes every frame that
+            // passes the rule's filters, without consuming the budget:
+            // the partition is one event, not one per swallowed frame.
+            if rule.kind == NetFaultKind::AsymPartition && op.now < st.blackout_until {
+                return Some(NetInjection {
+                    kind: NetFaultKind::AsymPartition,
+                    heal_ns: st.blackout_until - op.now,
+                });
+            }
             if let Some(max) = rule.max_hits {
                 if st.hits >= max {
                     continue;
@@ -642,6 +702,9 @@ impl FaultInjector {
                 continue;
             }
             st.hits += 1;
+            if rule.kind == NetFaultKind::AsymPartition {
+                st.blackout_until = op.now + rule.heal_ns;
+            }
             self.counters.count_net(rule.kind);
             return Some(NetInjection {
                 kind: rule.kind,
@@ -806,7 +869,21 @@ mod tests {
     }
 
     fn net_op(dir: NetDir, conn: u64, now: Ns) -> NetOp {
-        NetOp { dir, conn, now }
+        NetOp {
+            dir,
+            conn,
+            shard: None,
+            now,
+        }
+    }
+
+    fn shard_op(dir: NetDir, shard: u64, now: Ns) -> NetOp {
+        NetOp {
+            dir,
+            conn: 0,
+            shard: Some(shard),
+            now,
+        }
     }
 
     #[test]
@@ -869,6 +946,88 @@ mod tests {
         assert_eq!(got.heal_ns, 7_000);
         assert!(inj.decide_net(&net_op(NetDir::ToClient, 0, 0)).is_none());
         assert_eq!(inj.counters().snapshot().net_partitions, 1);
+    }
+
+    #[test]
+    fn shard_scoped_rule_only_hits_its_shard() {
+        let inj = FaultPlan::new(4)
+            .net_rule(NetFaultRule::new(NetFaultKind::Drop, Trigger::Always).shard(2))
+            .injector();
+        assert!(inj.decide_net(&shard_op(NetDir::ToTarget, 1, 0)).is_none());
+        assert!(inj.decide_net(&shard_op(NetDir::ToTarget, 2, 0)).is_some());
+        // Unlabelled transports never match a shard-scoped rule.
+        assert!(inj.decide_net(&net_op(NetDir::ToTarget, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn asym_partition_black_holes_one_direction_until_heal() {
+        let inj = FaultPlan::new(4)
+            .net_rule(
+                NetFaultRule::new(NetFaultKind::AsymPartition, Trigger::Nth(1))
+                    .dir(NetDir::ToTarget)
+                    .heal(10_000)
+                    .max_hits(1),
+            )
+            .injector();
+        // Trigger frame at t=100 opens the blackout.
+        assert_eq!(
+            inj.decide_net(&net_op(NetDir::ToTarget, 0, 100))
+                .map(|i| i.kind),
+            Some(NetFaultKind::AsymPartition)
+        );
+        // A→B frames inside the window are swallowed without consuming
+        // the (already exhausted) budget...
+        assert!(inj
+            .decide_net(&net_op(NetDir::ToTarget, 0, 5_000))
+            .is_some());
+        assert!(inj
+            .decide_net(&net_op(NetDir::ToTarget, 0, 10_000))
+            .is_some());
+        // ...while B→A keeps delivering the whole time.
+        assert!(inj
+            .decide_net(&net_op(NetDir::ToClient, 0, 5_000))
+            .is_none());
+        // After heal the direction delivers again.
+        assert!(inj
+            .decide_net(&net_op(NetDir::ToTarget, 0, 10_101))
+            .is_none());
+        // One partition event, not one per swallowed frame.
+        assert_eq!(inj.counters().snapshot().net_asym_partitions, 1);
+        assert_eq!(inj.counters().snapshot().net_total(), 1);
+    }
+
+    #[test]
+    fn shard_partition_schedule_is_deterministic() {
+        // Same seed → the exact same shard-scoped partition schedule,
+        // frame for frame (the satellite-2 determinism contract).
+        let run = || {
+            let inj = FaultPlan::new(123)
+                .net_rule(
+                    NetFaultRule::new(NetFaultKind::AsymPartition, Trigger::Probability(0.2))
+                        .shard(1)
+                        .heal(500),
+                )
+                .net_rule(
+                    NetFaultRule::new(NetFaultKind::Partition, Trigger::Probability(0.1)).shard(3),
+                )
+                .injector();
+            (0..128)
+                .map(|i| {
+                    inj.decide_net(&shard_op(NetDir::ToTarget, i % 4, i * 100))
+                        .map(|inj| inj.kind)
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains(&Some(NetFaultKind::AsymPartition)));
+        assert!(a.contains(&Some(NetFaultKind::Partition)));
+        // Shard scoping held: shard 0 and 2 frames were never touched.
+        for (i, k) in a.iter().enumerate() {
+            if i % 4 == 0 || i % 4 == 2 {
+                assert_eq!(*k, None, "frame {i} bound to an unscoped shard fired");
+            }
+        }
     }
 
     #[test]

@@ -269,6 +269,7 @@ pub const NAMESPACE_ROOTS: &[&str] = &[
     "mqfs.",
     "crashenum.",
     "fabric.",
+    "cluster.",
     "ploc.",
     "obs.",
     "blackbox.",

@@ -31,6 +31,11 @@ pub struct FioConfig {
     /// file system — the per-op latency then measures remote commit
     /// acks. Client `i` runs on core `i % threads`.
     pub clients: usize,
+    /// Fabric targets the clients fan out across (client `i` dials
+    /// target `i % targets`, each target serving the same file system
+    /// with its own handler daemons and sessions). `0`/`1` keep the
+    /// single-target shape; only meaningful with `clients > 0`.
+    pub targets: usize,
 }
 
 impl FioConfig {
@@ -42,6 +47,7 @@ impl FioConfig {
             ops_per_thread,
             sync: SyncMode::Fsync,
             clients: 0,
+            targets: 1,
         }
     }
 }
@@ -130,22 +136,28 @@ pub fn run_fio(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
     }
 }
 
-/// The remote flavour of the FIO job: a fabric target serves `fs` and
-/// [`FioConfig::clients`] loopback initiators append + sync through it.
-/// The recorded per-op latency is the *commit-ack* latency — write
-/// capsule plus sync capsule, including both network hops.
+/// The remote flavour of the FIO job: [`FioConfig::targets`] fabric
+/// targets serve `fs` and [`FioConfig::clients`] loopback initiators
+/// append + sync through them, client `i` pinned to target
+/// `i % targets`. The recorded per-op latency is the *commit-ack*
+/// latency — write capsule plus sync capsule, including both network
+/// hops.
 pub fn run_fio_fabric(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
     use ccnvme_fabric::{Backend, ClientCfg, FabricClient, FabricConfig, SyncKind};
 
-    let target = ccnvme_fabric::FabricTarget::new(
-        Backend::Fs(Arc::clone(fs)),
-        FabricConfig::new(cfg.threads.max(1)),
-    );
+    let targets: Vec<_> = (0..cfg.targets.max(1))
+        .map(|_| {
+            ccnvme_fabric::FabricTarget::new(
+                Backend::Fs(Arc::clone(fs)),
+                FabricConfig::new(cfg.threads.max(1)),
+            )
+        })
+        .collect();
     let hist = Arc::new(Histogram::new());
     let t0 = ccnvme_sim::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for c in 0..cfg.clients {
-        let target = Arc::clone(&target);
+        let target = Arc::clone(&targets[c % targets.len()]);
         let hist = Arc::clone(&hist);
         let cfg = cfg.clone();
         let core = c % cfg.threads.max(1);

@@ -56,6 +56,7 @@ fn fio_fdataatomic_beats_fsync() {
                 ops_per_thread: 50,
                 sync: SyncMode::Fsync,
                 clients: 0,
+                targets: 1,
             },
         );
         let atomic = run_fio(
@@ -66,6 +67,7 @@ fn fio_fdataatomic_beats_fsync() {
                 ops_per_thread: 50,
                 sync: SyncMode::Fdataatomic,
                 clients: 0,
+                targets: 1,
             },
         );
         assert!(
@@ -94,6 +96,7 @@ fn fio_fabric_clients_measure_commit_ack_latency() {
                 ops_per_thread: 30,
                 sync: SyncMode::Fsync,
                 clients: 0,
+                targets: 1,
             },
         );
         let remote = run_fio(
@@ -104,6 +107,7 @@ fn fio_fabric_clients_measure_commit_ack_latency() {
                 ops_per_thread: 30,
                 sync: SyncMode::Fsync,
                 clients: 4,
+                targets: 2,
             },
         );
         assert_eq!(remote.ops, 4 * 30);

@@ -5,9 +5,10 @@
 #     ccnvme-lint protocol-invariant analyzer over the workspace, the
 #     bench metrics-schema smoke run, the bounded crash-enumeration
 #     smoke (every event-prefix of a small workload, full re-crash
-#     sweep of the final image's recovery), and the ploc smoke
+#     sweep of the final image's recovery), the ploc smoke
 #     (detectable structures, remote exactly-once capsules, the
-#     bounded ploc crash-surface sweep).
+#     bounded ploc crash-surface sweep), and the cluster smoke (the
+#     sharded 2PC suite plus the bounded cluster crash-surface sweep).
 #
 #   deep (CHECK_DEEP=1): the loom model-checking suites for the
 #     lock-free observability hot structures and DetectableCas,
@@ -16,7 +17,8 @@
 #     without miri still run the loom tier), and the deep crash
 #     enumerations (CCNVME_ENUM_DEEP=1: torn posted-write expansion
 #     plus a crash-during-recovery sweep over every explored image,
-#     for both the driver workload and the ploc surface).
+#     for the driver workload and the ploc surface, and the every-cut
+#     cluster sweep).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,12 +66,22 @@ cargo test -q --release -p ccnvme-fabric
 cargo test -q -p ccnvme-ploc
 cargo test -q --release -p ccnvme-fabric --test ploc_fabric
 cargo test -q --release -p ccnvme-crashtest --test ploc_enum
+# Cluster smoke: the sharded 2PC unit/integration suite (hash ring,
+# prepare/decide/verdict/resolve, degradation ladder) and the bounded
+# cluster crash-surface sweep — coordinator plus every shard subset
+# crashed at every persistence-event prefix, atomic visibility and
+# exactly-once checked after two-wave recovery (the every-cut deep
+# sweep runs in the deep tier).
+cargo test -q -p ccnvme-cluster
+cargo test -q --release -p ccnvme-crashtest --test cluster_enum
 
 if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
     echo "== deep tier: crash enumeration (torn tails + full re-crash sweep) =="
     CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test enumerate deep_
     echo "== deep tier: ploc crash surface (torn tails, every-image re-crash, fabric) =="
     CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test ploc_enum deep_
+    echo "== deep tier: cluster crash surface (every cut, coordinator x shard subsets) =="
+    CCNVME_ENUM_DEEP=1 cargo test -q --release -p ccnvme-crashtest --test cluster_enum deep_
     echo "== deep tier: fabric TCP soak (real sockets, reconnect mid-commit) =="
     CCNVME_TCP_SOAK=1 cargo test -q --release -p ccnvme-fabric --test tcp
     echo "== deep tier: loom model checking =="

@@ -1,6 +1,7 @@
 //! Workspace root crate: re-exports for examples and integration tests.
 pub use ccnvme;
 pub use ccnvme_block as block;
+pub use ccnvme_cluster as cluster;
 pub use ccnvme_crashtest as crashtest;
 pub use ccnvme_fabric as fabric;
 pub use ccnvme_fault as fault;
