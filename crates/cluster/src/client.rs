@@ -6,10 +6,14 @@
 //! [`FabricClient`] (ack timeout → reconnect → replay); this layer only
 //! sees [`FabricError::Unreachable`] after that ladder is exhausted, at
 //! which point it retries a bounded number of times and then *degrades*
-//! the shard: the shard's key range starts failing fast with
-//! [`ClusterError::ShardDown`] while every other shard keeps serving.
-//! The first successful call heals the shard. The degraded count is
-//! exported as the `cluster.degraded_shards` gauge.
+//! the shard. A call into a degraded shard's key range first probes the
+//! wire with one cheap dial ([`FabricClient::probe`] — no backoff, no
+//! timeout ladder): while the target stays dead the call fails fast
+//! with [`ClusterError::ShardDown`] at the cost of a refused
+//! connection, while every other shard keeps serving; once the target
+//! answers the dial, the call proceeds normally and its success heals
+//! the shard. The degraded count is exported as the
+//! `cluster.degraded_shards` gauge.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -155,12 +159,20 @@ impl ClusterClient {
     }
 
     /// Runs `f` against shard `shard` with the retry ladder; marks the
-    /// shard degraded on exhaustion and heals it on success.
+    /// shard degraded on exhaustion and heals it on success. A degraded
+    /// shard fails fast: one cheap dial decides between `ShardDown` now
+    /// and proceeding on the freshly adopted wire.
     fn with_shard<T>(
         &mut self,
         shard: usize,
         mut f: impl FnMut(&mut FabricClient) -> Result<T, FabricError>,
     ) -> Result<T, ClusterError> {
+        if self.degraded.contains(&shard) && !self.shards[shard].probe() {
+            return Err(ClusterError::ShardDown {
+                shard,
+                err: FabricError::Unreachable,
+            });
+        }
         let mut last = FabricError::Unreachable;
         for _ in 0..self.cfg.attempts.max(1) {
             match f(&mut self.shards[shard]) {

@@ -26,6 +26,9 @@ pub const INTENT_MAGIC: u64 = 0x4343_5458_5052_4550; // "CCTXPREP"
 /// Magic of a decision record block.
 pub const DECISION_MAGIC: u64 = 0x4343_5458_4443_4944; // "CCTXDCID"
 
+/// Magic of the gtx high-water-mark record block.
+pub const GTX_HWM_MAGIC: u64 = 0x4343_5458_4857_4d4b; // "CCTXHWMK"
+
 /// Data blocks per intent slot — the most member writes one prepared
 /// transaction may stage on one shard.
 pub const SLOT_WRITE_CAP: usize = 8;
@@ -94,9 +97,15 @@ impl ShardLayout {
         self.base + self.data_blocks + self.intent_slots * Self::slot_blocks() + i
     }
 
+    /// Device LBA of the gtx high-water-mark record (coordinator role):
+    /// the durable ceiling of the ids ever handed out by `alloc_gtx`.
+    pub fn gtx_hwm_lba(&self) -> u64 {
+        self.base + self.data_blocks + self.intent_slots * Self::slot_blocks() + self.decision_slots
+    }
+
     /// Total window length in blocks.
     pub fn total_blocks(&self) -> u64 {
-        self.data_blocks + self.intent_slots * Self::slot_blocks() + self.decision_slots
+        self.data_blocks + self.intent_slots * Self::slot_blocks() + self.decision_slots + 1
     }
 }
 
@@ -147,6 +156,33 @@ pub fn decode_intent(block: &[u8]) -> Option<(u64, Vec<u64>)> {
         .map(|j| u64::from_le_bytes(block[18 + 8 * j..26 + 8 * j].try_into().unwrap()))
         .collect();
     Some((gtx, lbas))
+}
+
+/// Encodes a gtx high-water-mark record block.
+pub fn encode_gtx_hwm(hwm: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(24);
+    p.extend_from_slice(&GTX_HWM_MAGIC.to_le_bytes());
+    p.extend_from_slice(&hwm.to_le_bytes());
+    let sum = fnv64(&p);
+    p.extend_from_slice(&sum.to_le_bytes());
+    block_with(&p)
+}
+
+/// Decodes the gtx high-water-mark record; `None` for a free (never
+/// reserved) or damaged block.
+pub fn decode_gtx_hwm(block: &[u8]) -> Option<u64> {
+    if block.len() < 24 {
+        return None;
+    }
+    let magic = u64::from_le_bytes(block[0..8].try_into().unwrap());
+    if magic != GTX_HWM_MAGIC {
+        return None;
+    }
+    let stored = u64::from_le_bytes(block[16..24].try_into().unwrap());
+    if fnv64(&block[..16]) != stored {
+        return None;
+    }
+    Some(u64::from_le_bytes(block[8..16].try_into().unwrap()))
 }
 
 /// Encodes a decision record block.
@@ -225,9 +261,27 @@ mod tests {
         assert!(l.slot_data(0, SLOT_WRITE_CAP as u64 - 1) < l.slot_header(1));
         let last_slot_end = l.slot_data(l.intent_slots - 1, SLOT_WRITE_CAP as u64 - 1);
         assert!(last_slot_end < l.decision_lba(0));
+        assert!(l.decision_lba(l.decision_slots - 1) < l.gtx_hwm_lba());
+        assert_eq!(l.gtx_hwm_lba(), l.base + l.total_blocks() - 1);
+    }
+
+    #[test]
+    fn gtx_hwm_round_trips() {
+        assert_eq!(decode_gtx_hwm(&encode_gtx_hwm(4096)), Some(4096));
+        assert_eq!(decode_gtx_hwm(&vec![0u8; BLOCK_SIZE as usize]), None);
+        let mut b = encode_gtx_hwm(7);
+        b[9] ^= 0xff; // Damage the mark under the checksum.
+        assert_eq!(decode_gtx_hwm(&b), None);
+    }
+
+    /// The wire cap on a `TX_PREPARE` capsule and the storage cap of an
+    /// intent slot are the same limit; a client that passes the codec
+    /// must never be bounced by the slot geometry.
+    #[test]
+    fn wire_prepare_cap_matches_intent_slot_cap() {
         assert_eq!(
-            l.decision_lba(l.decision_slots - 1),
-            l.base + l.total_blocks() - 1
+            ccnvme_fabric::capsule::MAX_PREPARE_WRITES as usize,
+            SLOT_WRITE_CAP
         );
     }
 }

@@ -9,8 +9,11 @@
 //!
 //! * **Prepare** (`TX_PREPARE`) — the participant durably stages the
 //!   transaction's member writes in an *intent slot* of its block
-//!   window, as one local transaction whose ack fires at the ccNVMe
-//!   atomicity point. From that ack on, the shard can redo the writes
+//!   window, as one local transaction acked only once its bios
+//!   complete (crash-atomicity holds earlier, at the ccNVMe atomicity
+//!   point; the completion wait is what lets an injected media error
+//!   surface in the ack instead of silently diverging node state from
+//!   the media). From that ack on, the shard can redo the writes
 //!   after any crash, whichever way the decision goes.
 //! * **Verdict** (`TX_VERDICT`) — the coordinator records the decision
 //!   as one single-block transaction in its *decision region*.

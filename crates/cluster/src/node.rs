@@ -36,9 +36,15 @@ use ccnvme_sim::SimMutex;
 use parking_lot::Mutex;
 
 use crate::layout::{
-    decode_decision, decode_intent, encode_decision, encode_intent, ShardLayout, DECISION_ABORT,
-    DECISION_COMMIT, SLOT_WRITE_CAP,
+    decode_decision, decode_gtx_hwm, decode_intent, encode_decision, encode_gtx_hwm, encode_intent,
+    ShardLayout, DECISION_ABORT, DECISION_COMMIT, SLOT_WRITE_CAP,
 };
+
+/// Global tx ids the coordinator durably reserves per high-water-mark
+/// write. A larger batch amortizes the reservation transaction; every
+/// id below the durable mark is burned by a crash, which only costs
+/// address space.
+const GTX_RESERVE_BATCH: u64 = 1024;
 
 /// `cluster.*` counters and gauges of one node, registered into the
 /// node stack's metrics registry.
@@ -97,6 +103,12 @@ pub struct ClusterNode {
     /// durable cursor.
     decision_seq: AtomicU64,
     next_gtx: AtomicU64,
+    /// In-memory mirror of the durable gtx high-water mark: ids are
+    /// only ever handed out below it, so a remounted coordinator —
+    /// which reseeds `next_gtx` *from* the mark — can never re-issue a
+    /// gtx that an earlier incarnation gave to a client, even one that
+    /// only left traces on remote shards.
+    gtx_hwm: AtomicU64,
     stats: NodeStats,
 }
 
@@ -118,10 +130,11 @@ fn pad_block(data: &[u8]) -> Vec<u8> {
 
 impl ClusterNode {
     /// Mounts a node on `drv`'s window `layout`, scanning the intent
-    /// and decision regions left by the device's journal replay.
-    /// Returns the node and the in-doubt gtx list (prepared intents
-    /// with no local decision) for the caller to resolve against the
-    /// coordinator.
+    /// and decision regions and the gtx high-water mark left by the
+    /// device's journal replay — a pure read, so re-mounting a settled
+    /// image is byte-idempotent. Returns the node and the in-doubt gtx
+    /// list (prepared intents with no local decision) for the caller
+    /// to resolve against the coordinator.
     ///
     /// Must be called from a simulated thread, after
     /// [`CcNvmeDriver::probe`] has run recovery.
@@ -157,6 +170,13 @@ impl ClusterNode {
         let mut in_doubt: Vec<u64> = prepared.keys().copied().collect();
         in_doubt.sort_unstable();
         stats.in_doubt.set(in_doubt.len() as i64);
+        // Any id this node's earlier incarnations handed out is below
+        // the durable high-water mark (the reservation transaction
+        // completes before the ids are served), so seeding at the mark
+        // makes allocation crash-unique — including for gtxs whose only
+        // traces live on remote shards. The scan maximum is a
+        // defensive floor for pre-mark media.
+        let hwm = decode_gtx_hwm(&read_abs(&drv, layout.gtx_hwm_lba())).unwrap_or(0);
         let node = Arc::new(ClusterNode {
             drv,
             layout,
@@ -166,7 +186,8 @@ impl ClusterNode {
             free_slots: Mutex::new(free_slots),
             decisions: Mutex::new(decisions),
             decision_seq: AtomicU64::new(cursor),
-            next_gtx: AtomicU64::new(max_gtx + 1),
+            next_gtx: AtomicU64::new((max_gtx + 1).max(hwm)),
+            gtx_hwm: AtomicU64::new(hwm),
             stats,
         });
         (node, in_doubt)
@@ -189,16 +210,14 @@ impl ClusterNode {
     }
 
     /// Submits one local ccNVMe transaction: `members` as `REQ_TX`
-    /// writes, then `commit` as the `REQ_TX_COMMIT` write. Without
-    /// `durable` the ack fires at the atomicity point (after the two
-    /// persistent MMIOs); with it, after media completion — used where
-    /// a subsequent read must observe the write.
-    fn local_tx(
-        &self,
-        members: Vec<(u64, Vec<u8>)>,
-        commit: (u64, Vec<u8>),
-        durable: bool,
-    ) -> Status {
+    /// writes, then `commit` as the `REQ_TX_COMMIT` write, and waits
+    /// for every bio to complete. Crash-atomicity already holds at the
+    /// atomicity point (the two persistent MMIOs of §4.3); the wait is
+    /// for *error* visibility — a 2PC step's `Ok` mutates this node's
+    /// in-memory protocol maps and is acked to the client, so an
+    /// injected media/timeout failure must surface in the returned
+    /// status, never after the state has diverged from the media.
+    fn local_tx(&self, members: Vec<(u64, Vec<u8>)>, commit: (u64, Vec<u8>)) -> Status {
         let tx_id = self.drv.alloc_tx_id();
         let waiter = BioWaiter::new();
         for (lba, data) in members {
@@ -212,16 +231,12 @@ impl ClusterNode {
         let mut bio = Bio::write(lba, buf, BioFlags::TX_COMMIT).with_tx_id(tx_id);
         waiter.attach(&mut bio);
         self.drv.submit_bio(bio);
-        if durable {
-            match waiter.wait() {
-                Ok(()) => Status::Ok,
-                Err(_) => waiter
-                    .first_error()
-                    .map(bio_status)
-                    .unwrap_or(Status::BioError),
-            }
-        } else {
-            Status::Ok
+        match waiter.wait() {
+            Ok(()) => Status::Ok,
+            Err(_) => waiter
+                .first_error()
+                .map(bio_status)
+                .unwrap_or(Status::BioError),
         }
     }
 
@@ -236,7 +251,6 @@ impl ClusterNode {
         let st = self.local_tx(
             Vec::new(),
             (self.layout.decision_lba(idx), encode_decision(gtx, commit)),
-            false,
         );
         if st.is_ok() {
             self.decisions.lock().insert(gtx, commit);
@@ -259,11 +273,48 @@ impl ClusterBackend for ClusterNode {
         Arc::clone(&self.obs)
     }
 
-    fn alloc_gtx(&self) -> u64 {
-        // ord: SeqCst — gtx ids must be unique across handler cores and
-        // are reseeded from durable state at mount; a stale read here
-        // would hand out a collision.
-        self.next_gtx.fetch_add(1, Ordering::SeqCst)
+    fn alloc_gtx(&self) -> (Status, u64) {
+        loop {
+            // ord: SeqCst — gtx ids must be unique across handler
+            // cores; a stale next_gtx/hwm read would hand a collision.
+            let cur = self.next_gtx.load(Ordering::SeqCst);
+            // ord: SeqCst — pairs with the hwm store after reservation.
+            if cur < self.gtx_hwm.load(Ordering::SeqCst) {
+                if self
+                    .next_gtx
+                    // ord: SeqCst — the CAS is the uniqueness point.
+                    .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return (Status::Ok, cur);
+                }
+                continue;
+            }
+            // The reserved range is spent: durably raise the mark
+            // before serving past it, so a crash+remount (which seeds
+            // from the mark) can never re-issue an id this incarnation
+            // handed out — even one whose only traces are prepared
+            // intents on remote shards.
+            let _exec = self.exec.lock();
+            // ord: SeqCst — re-check under the exec lock; another core
+            // may have reserved while we queued.
+            if self.next_gtx.load(Ordering::SeqCst) < self.gtx_hwm.load(Ordering::SeqCst) {
+                continue;
+            }
+            // ord: SeqCst — the reservation base must see every CAS
+            // that won before we took the lock.
+            let new_hwm = self.next_gtx.load(Ordering::SeqCst) + GTX_RESERVE_BATCH;
+            let st = self.local_tx(
+                Vec::new(),
+                (self.layout.gtx_hwm_lba(), encode_gtx_hwm(new_hwm)),
+            );
+            if !st.is_ok() {
+                return (st, 0);
+            }
+            // ord: SeqCst — publish the raised mark only after it is
+            // durable; allocator readers race this store.
+            self.gtx_hwm.store(new_hwm, Ordering::SeqCst);
+        }
     }
 
     fn prepare(&self, gtx: u64, writes: &[ShardWrite]) -> Status {
@@ -295,7 +346,6 @@ impl ClusterBackend for ClusterNode {
         let st = self.local_tx(
             members,
             (self.layout.slot_header(slot), encode_intent(gtx, &lbas)),
-            false,
         );
         if st.is_ok() {
             self.prepared.lock().insert(
@@ -325,16 +375,16 @@ impl ClusterBackend for ClusterNode {
             // Apply + free in one transaction: the staged writes land
             // on their final LBAs and the intent header clears
             // atomically, so "visible" and "no longer in-doubt" cannot
-            // come apart in a crash. Durable ack: a read issued after
-            // this decide must observe the data.
+            // come apart in a crash. A read issued after this decide
+            // must observe the data.
             let members: Vec<(u64, Vec<u8>)> = tx
                 .writes
                 .iter()
                 .map(|(lba, data)| (self.layout.base + lba, data.clone()))
                 .collect();
-            self.local_tx(members, (header, vec![0u8; BLOCK_SIZE as usize]), true)
+            self.local_tx(members, (header, vec![0u8; BLOCK_SIZE as usize]))
         } else {
-            self.local_tx(Vec::new(), (header, vec![0u8; BLOCK_SIZE as usize]), false)
+            self.local_tx(Vec::new(), (header, vec![0u8; BLOCK_SIZE as usize]))
         };
         if st.is_ok() {
             self.free_slots.lock().push(tx.slot);

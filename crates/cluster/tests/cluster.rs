@@ -11,9 +11,10 @@ use ccnvme_fabric::{
     Backend, ClientCfg, ClientStats, ClusterBackend, Connector, FabricConfig, FabricTarget,
     ShardWrite,
 };
+use ccnvme_fault::{FaultKind, FaultPlan, FaultRule, Trigger};
 use ccnvme_obs::Registry;
 use ccnvme_sim::Sim;
-use ccnvme_ssd::{CtrlConfig, NvmeController, SsdProfile};
+use ccnvme_ssd::{CrashMode, CtrlConfig, NvmeController, SsdProfile};
 use parking_lot::Mutex;
 
 /// Host cores serving fabric connections in these tests.
@@ -286,5 +287,80 @@ fn down_shard_degrades_only_its_key_range() {
         assert!(client.degraded_shards().is_empty());
         assert_eq!(gauge.get(), 0);
         client.bye();
+    });
+}
+
+/// Global tx ids are durable across coordinator crashes: allocation
+/// raises a persisted high-water mark before an id is ever served, so
+/// a remounted coordinator — whose decision region and intent slots
+/// can be completely empty, as after a single-shard fast path or a
+/// pre-verdict crash — never re-issues an id an earlier incarnation
+/// handed out (a re-issue would alias a still-prepared intent on some
+/// shard and silently commit the old transaction's data).
+#[test]
+fn gtx_ids_survive_coordinator_crashes() {
+    in_sim(|| {
+        let coord_config = || {
+            let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+            cc.device_core = CORES;
+            cc
+        };
+        let ctrl = NvmeController::new(coord_config());
+        let (drv, _report) = CcNvmeDriver::probe(ctrl, sim_cores() as u16, 64);
+        let (coord, _) = ClusterNode::mount(Arc::new(drv), ShardLayout::small(0));
+        let (st, first) = coord.alloc_gtx();
+        assert!(st.is_ok(), "alloc before crash: {st:?}");
+        // Harsh crash: volatile state gone, no decision record and no
+        // local intent ever mentioned `first`.
+        let img = coord.driver().controller().crash_snapshot(CrashMode {
+            pmr_extra_prefix: 0,
+            cache_keep_prob: 0.0,
+            seed: 7,
+        });
+        let ctrl = NvmeController::from_image(coord_config(), &img);
+        let (drv, _report) = CcNvmeDriver::probe(ctrl, sim_cores() as u16, 64);
+        let (remounted, in_doubt) = ClusterNode::mount(Arc::new(drv), ShardLayout::small(0));
+        assert!(in_doubt.is_empty(), "coordinator remounted in doubt");
+        let (st, second) = remounted.alloc_gtx();
+        assert!(st.is_ok(), "alloc after remount: {st:?}");
+        assert!(
+            second > first,
+            "gtx {second} re-issued after a coordinator crash (pre-crash id {first})"
+        );
+    });
+}
+
+/// A 2PC step whose backing local transaction fails with an injected
+/// media error must surface the failure in its status — never ack `Ok`
+/// and mutate the node's protocol maps while the media diverges.
+#[test]
+fn prepare_surfaces_injected_media_errors() {
+    in_sim(|| {
+        let layout = ShardLayout::small(0);
+        // Fail every media write into the intent-slot region; reads and
+        // the rest of the window stay healthy, so probe and mount work.
+        let plan = FaultPlan::new(1).rule(FaultRule::new(
+            FaultKind::MediaWrite,
+            Trigger::LbaRange {
+                start: layout.slot_header(0),
+                end: layout.decision_lba(0),
+            },
+        ));
+        let mut cc = CtrlConfig::new(SsdProfile::optane_905p());
+        cc.device_core = CORES;
+        cc.fault = Some(Arc::new(plan.injector()));
+        let ctrl = NvmeController::new(cc);
+        let (drv, _report) = CcNvmeDriver::probe(ctrl, sim_cores() as u16, 64);
+        let (node, _) = ClusterNode::mount(Arc::new(drv), layout);
+        let st = node.prepare(
+            1,
+            &[ShardWrite {
+                lba: 3,
+                data: block(0x9c),
+            }],
+        );
+        assert!(!st.is_ok(), "prepare acked Ok over a failing medium");
+        assert_eq!(node.stats().prepares.get(), 0, "failed prepare counted");
+        assert_eq!(node.stats().in_doubt.get(), 0, "failed prepare left doubt");
     });
 }

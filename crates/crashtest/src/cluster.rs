@@ -208,7 +208,8 @@ fn record_workload(cfg: &ClusterEnumConfig) -> ClusterRun {
             let t0 = ccnvme_sim::now();
             let mut txs = Vec::new();
             for tx in 0..cfg.txs {
-                let gtx = coord.alloc_gtx();
+                let (st, gtx) = coord.alloc_gtx();
+                assert!(st.is_ok(), "alloc gtx for tx {tx}: {st:?}");
                 let kind = scripted_kind(tx);
                 let participants = scripted_participants(tx, cfg.shards);
                 let lba = tx as u64;

@@ -70,10 +70,13 @@ const OP_TX_RESOLVE: u8 = 0x11;
 const OP_BLK_READ: u8 = 0x12;
 const OP_RESPONSE: u8 = 0x80;
 
-/// Most member writes one `TX_PREPARE` capsule may carry. Matches the
-/// spirit of [`crate::FabricConfig::tx_member_cap`]: a prepared intent
-/// must fit one intent slot on the participant shard.
-pub const MAX_PREPARE_WRITES: u16 = 64;
+/// Most member writes one `TX_PREPARE` capsule may carry. A prepared
+/// intent must fit one intent slot on the participant shard, so this
+/// wire cap equals the cluster's `SLOT_WRITE_CAP` (asserted by a
+/// `ccnvme-cluster` layout test) — an overlong prepare dies in the
+/// codec with a typed [`CodecError::Overflow`] instead of bouncing off
+/// the shard's slot geometry with an undiagnostic protocol error.
+pub const MAX_PREPARE_WRITES: u16 = 8;
 
 /// Which persistence primitive an `FsSync` capsule invokes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,10 +202,10 @@ pub enum Capsule {
     PlocRecover,
     /// 2PC phase 1 on a participant shard (cluster backend): durably
     /// stage the transaction's member writes for global transaction
-    /// `gtx` in an intent slot. The ack fires at the intent
-    /// transaction's atomicity point — from then on the shard can
-    /// redo the writes after any crash, whatever the decision turns
-    /// out to be. Idempotent on retransmit and on client restart.
+    /// `gtx` in an intent slot. The `Ok` ack means the intent
+    /// transaction completed — from then on the shard can redo the
+    /// writes after any crash, whatever the decision turns out to be.
+    /// Idempotent on retransmit and on client restart.
     TxPrepare {
         /// Global (cross-shard) transaction id.
         gtx: u64,

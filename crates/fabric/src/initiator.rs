@@ -193,6 +193,32 @@ impl FabricClient {
         Ok(())
     }
 
+    /// One cheap connectivity check: a single dial with no backoff and
+    /// no retries, so a dead target answers `false` in one refused
+    /// connection instead of a full timeout/reconnect/backoff episode.
+    /// On success the fresh wire is adopted — resume handshake plus
+    /// go-back-N retransmit — and the next call runs on it.
+    pub fn probe(&mut self) -> bool {
+        let Ok(t) = self.connector.connect() else {
+            return false;
+        };
+        self.transport.close();
+        self.transport = t;
+        if self.hello(true).is_err() {
+            self.transport.close();
+            return false;
+        }
+        let pending: Vec<Vec<u8>> = self.unacked.values().cloned().collect();
+        for frame in pending {
+            if self.transport.send(&frame).is_err() {
+                // The fresh wire died already; the frames stay unacked
+                // and the next real call's reconnect retries them.
+                return false;
+            }
+        }
+        true
+    }
+
     /// Pulls one ack off the wire and banks it. `Ok(false)` means the
     /// wait timed out without the wire dying.
     fn pump(&mut self) -> Result<bool, FabricError> {

@@ -98,8 +98,11 @@ pub trait ClusterBackend: Send + Sync {
     fn obs(&self) -> Arc<Obs>;
 
     /// Allocates a fresh global transaction id (coordinator role;
-    /// served to clients through `AllocTx`).
-    fn alloc_gtx(&self) -> u64;
+    /// served to clients through `AllocTx`). Allocation is durable:
+    /// the id is below a persisted high-water mark, so a crashed and
+    /// remounted coordinator never re-issues it. Raising the mark is
+    /// itself a local transaction and can fail — hence the status.
+    fn alloc_gtx(&self) -> (Status, u64);
 
     /// Phase 1: durably stage `writes` for `gtx` in an intent slot.
     /// The `Ok` ack means prepared — the shard can redo the writes
@@ -556,7 +559,10 @@ impl FabricTarget {
             Capsule::Hello { .. } | Capsule::Bye => Response::status(cid, Status::Protocol),
             Capsule::AllocTx => match &self.backend {
                 Backend::Raw { drv, .. } => Response::ok_val(cid, drv.alloc_tx_id()),
-                Backend::Cluster(node) => Response::ok_val(cid, node.alloc_gtx()),
+                Backend::Cluster(node) => match node.alloc_gtx() {
+                    (st, gtx) if st.is_ok() => Response::ok_val(cid, gtx),
+                    (st, _) => Response::status(cid, st),
+                },
                 Backend::Fs(_) | Backend::Ploc(_) => Response::status(cid, Status::NotSupported),
             },
             Capsule::TxWrite {
