@@ -47,6 +47,7 @@ fn current() -> Ctx {
 enum TState {
     Runnable,
     BlockedMutex(usize),
+    BlockedCondvar(usize),
     BlockedJoin(usize),
     Finished,
 }
@@ -297,6 +298,42 @@ impl Execution {
         drop(st);
     }
 
+    /// Condvar wait entry: atomically (under the one state lock, baton
+    /// held) releases `mutex_id` — waking its contenders — and parks
+    /// the caller on condvar `cv_id`. The atomicity is what rules out
+    /// the classic lost-wakeup window between "unlock" and "sleep".
+    fn condvar_block(&self, me: usize, cv_id: usize, mutex_id: usize) {
+        let mut st = relock(self.state.lock());
+        if st.poisoned {
+            drop(st);
+            abort_unwind();
+        }
+        st.held_locks.remove(&mutex_id);
+        for i in 0..st.threads.len() {
+            if st.threads[i] == TState::BlockedMutex(mutex_id) {
+                st.threads[i] = TState::Runnable;
+            }
+        }
+        st.threads[me] = TState::BlockedCondvar(cv_id);
+        match self.choose_next(&mut st, me, false) {
+            Ok(next) => {
+                st.active = next;
+                self.cv.notify_all();
+            }
+            Err(()) => {
+                if !st.poisoned {
+                    st.poisoned = true;
+                    st.panic_msg = Some("deadlock: every live thread is blocked".to_string());
+                }
+                self.cv.notify_all();
+                drop(st);
+                abort_unwind();
+            }
+        }
+        st = self.wait_for_baton(st, me);
+        drop(st);
+    }
+
     /// Thread epilogue: record an optional real panic, mark finished,
     /// wake joiners, pass the baton on.
     fn thread_exit(&self, me: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
@@ -408,6 +445,33 @@ pub(crate) fn release(id: usize) {
 pub(crate) fn block_on_mutex(id: usize) {
     let ctx = current();
     ctx.exec.block_on(ctx.tid, TState::BlockedMutex(id));
+}
+
+/// Condvar wait: releases `mutex_id` and parks on `cv_id` atomically,
+/// then — once notified — re-contends for the mutex before returning.
+pub(crate) fn condvar_wait(cv_id: usize, mutex_id: usize) {
+    let ctx = current();
+    ctx.exec.condvar_block(ctx.tid, cv_id, mutex_id);
+    while !try_acquire(mutex_id) {
+        block_on_mutex(mutex_id);
+    }
+}
+
+/// Wakes one (or all) threads parked on condvar `cv_id`. Woken threads
+/// become runnable and re-contend for their mutex at their own next
+/// scheduling turn. Notifying with no waiters is a lost signal, the
+/// same as a real condvar.
+pub(crate) fn condvar_notify(cv_id: usize, all: bool) {
+    let ctx = current();
+    let mut st = relock(ctx.exec.state.lock());
+    for i in 0..st.threads.len() {
+        if st.threads[i] == TState::BlockedCondvar(cv_id) {
+            st.threads[i] = TState::Runnable;
+            if !all {
+                break;
+            }
+        }
+    }
 }
 
 /// Parks the calling thread until loom thread `target` finishes.

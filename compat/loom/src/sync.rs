@@ -291,4 +291,73 @@ impl<T> Drop for MutexGuard<'_, T> {
 
 /// `Arc` re-export: plain `std::sync::Arc` is already deterministic
 /// under the engine (refcount ops never branch an execution).
+/// Scheduler-aware condition variable. `wait` releases the guard's
+/// mutex and parks *atomically in the engine* (one state-lock critical
+/// section), so the lost-wakeup window between unlock and sleep that a
+/// naive release-then-poll shim would have does not exist here. There
+/// are no spurious wakeups: a parked thread only becomes runnable via
+/// `notify_one` / `notify_all` — callers should still loop on their
+/// predicate, as with any condvar.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    /// Lazily assigned, same discipline as [`Mutex::id`].
+    id: UnsafeCell<Option<usize>>,
+}
+
+// SAFETY: `id` is only touched while the accessing thread holds the
+// execution baton (inside `wait`/`notify_*`, each of which passes a
+// scheduling point first) — loom threads are serialized, so there is
+// no concurrent access.
+unsafe impl Send for Condvar {}
+// SAFETY: as above — baton discipline serializes access to the cell.
+unsafe impl Sync for Condvar {}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self {
+            id: UnsafeCell::new(None),
+        }
+    }
+
+    fn cv_id(&self) -> usize {
+        // SAFETY: baton held (callers pass a scheduling point before
+        // calling), so the lazy id cell cannot be accessed
+        // concurrently.
+        unsafe {
+            let slot = &mut *self.id.get();
+            *slot.get_or_insert_with(rt::alloc_lock_id)
+        }
+    }
+
+    /// Releases `guard`'s mutex and parks until notified, then
+    /// re-acquires the mutex and returns a fresh guard.
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        rt::switch();
+        let m = guard.m;
+        let id = guard.id;
+        // The engine releases the lock inside `condvar_wait`'s single
+        // critical section; skipping the guard's Drop keeps release
+        // and park atomic.
+        std::mem::forget(guard);
+        rt::condvar_wait(self.cv_id(), id);
+        Ok(MutexGuard { m, id })
+    }
+
+    /// Wakes one parked waiter, if any (a lost signal otherwise).
+    pub fn notify_one(&self) {
+        rt::switch();
+        rt::condvar_notify(self.cv_id(), false);
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        rt::switch();
+        rt::condvar_notify(self.cv_id(), true);
+    }
+}
+
 pub use std::sync::Arc;

@@ -1,0 +1,76 @@
+//! Runtime scaling — the same MQFS fio append+fsync workload on both
+//! execution substrates:
+//!
+//! * `--runtime sim` (virtual time): N simulated threads on the
+//!   discrete-event kernel, the configuration every figure/table bench
+//!   runs in.
+//! * `--runtime os` (wall clock): the identical stack and workload on
+//!   N real OS threads — the first true multi-core measurement in this
+//!   reproduction. `cpu()` costs vanish (real work takes real time) and
+//!   modeled device waits become real waits, so absolute numbers are
+//!   not comparable across substrates; the *scaling shape* (speedup vs
+//!   one thread) is the result.
+//!
+//! With no `--runtime` flag both curves are produced. `QUICK=1` shrinks
+//! the per-thread op counts as usual.
+
+use ccnvme_bench::{f1, header, measure_fs_on, quick, row, scaled, write_metrics, Workload};
+use ccnvme_runtime::RuntimeKind;
+use ccnvme_workloads::SyncMode;
+use mqfs::FsVariant;
+
+fn thread_sweep() -> Vec<usize> {
+    if quick() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+fn curve(kind: RuntimeKind) {
+    header(&format!(
+        "Runtime scaling — MQFS fio 4K append+fsync, runtime={kind}"
+    ));
+    row(
+        "threads",
+        &thread_sweep()
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>(),
+    );
+    let mut kiops = Vec::new();
+    for threads in thread_sweep() {
+        let wl = Workload::Fio {
+            threads,
+            write_size: 4_096,
+            ops: scaled(1_500),
+            sync: SyncMode::Fsync,
+        };
+        let p = measure_fs_on(kind, FsVariant::Mqfs, &wl);
+        kiops.push(p.kiops);
+    }
+    row("kIOPS", &kiops.iter().map(|v| f1(*v)).collect::<Vec<_>>());
+    let base = kiops[0].max(f64::MIN_POSITIVE);
+    row(
+        "speedup vs 1 thread",
+        &kiops.iter().map(|v| f1(v / base)).collect::<Vec<_>>(),
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut kinds: Option<Vec<RuntimeKind>> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runtime" => {
+                let v = args.next().expect("--runtime needs a value (sim|os)");
+                kinds = Some(vec![v.parse().unwrap_or_else(|e| panic!("{e}"))]);
+            }
+            other => panic!("unknown argument {other:?} (expected --runtime sim|os)"),
+        }
+    }
+    for kind in kinds.unwrap_or_else(|| vec![RuntimeKind::Sim, RuntimeKind::Os]) {
+        curve(kind);
+    }
+    write_metrics("runtime");
+}

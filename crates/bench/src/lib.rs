@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use ccnvme_obs::MetricsSnapshot;
+use ccnvme_runtime::{run_on, RuntimeKind};
 use ccnvme_sim::Sim;
 use ccnvme_ssd::SsdProfile;
 use ccnvme_workloads::{
@@ -142,6 +143,40 @@ pub fn measure_fs(variant: FsVariant, profile: SsdProfile, workload: &Workload) 
     let workload = workload.clone();
     let prof2 = profile.clone();
     let (point, snap) = in_sim(scfg.sim_cores(), move || {
+        let (stack, fs) = Stack::format(&scfg);
+        let t0 = stack.controller().link().traffic.snapshot();
+        let res = run_workload(&fs, &workload);
+        let t1 = stack.controller().link().traffic.snapshot();
+        let point = FsPoint::from_result(&res, t1.since(&t0).block_bytes, &prof2);
+        (point, stack.metrics())
+    });
+    record_run_seq(&label, snap);
+    point
+}
+
+/// Like [`measure_fs`] but on an explicitly chosen execution substrate:
+/// `RuntimeKind::Sim` gives the usual deterministic virtual-time run,
+/// `RuntimeKind::Os` builds the same stack on real OS threads and
+/// measures wall-clock time — the mode behind `runtime --runtime os`.
+/// Runs are labelled `run<NNN>.<kind>.<variant>.<workload>` so the two
+/// substrates stay distinct in the metrics document.
+pub fn measure_fs_on(kind: RuntimeKind, variant: FsVariant, workload: &Workload) -> FsPoint {
+    let profile = SsdProfile::optane_905p();
+    let threads = match workload {
+        Workload::Fio { threads, .. }
+        | Workload::Varmail { threads, .. }
+        | Workload::Fillsync { threads, .. } => *threads,
+    };
+    let w = match workload {
+        Workload::Fio { .. } => "fio",
+        Workload::Varmail { .. } => "varmail",
+        Workload::Fillsync { .. } => "fillsync",
+    };
+    let label = format!("{kind}.{variant:?}.{w}").to_lowercase();
+    let scfg = StackConfig::new(variant, profile.clone(), threads);
+    let workload = workload.clone();
+    let prof2 = profile;
+    let (point, snap) = run_on(kind, scfg.sim_cores(), move || {
         let (stack, fs) = Stack::format(&scfg);
         let t0 = stack.controller().link().traffic.snapshot();
         let res = run_workload(&fs, &workload);

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use ccnvme_sim::{SimCondvar, SimMutex};
+use ccnvme_runtime::{RtCondvar, RtMutex};
 use parking_lot::Mutex;
 
 /// A shared data buffer attached to a bio (one or more 4 KB blocks).
@@ -277,8 +277,8 @@ pub struct BioWaiter {
 }
 
 struct WaiterInner {
-    st: SimMutex<WaitSt>,
-    cv: SimCondvar,
+    st: RtMutex<WaitSt>,
+    cv: RtCondvar,
 }
 
 struct WaitSt {
@@ -293,13 +293,13 @@ impl BioWaiter {
     pub fn new() -> Self {
         BioWaiter {
             inner: Arc::new(WaiterInner {
-                st: SimMutex::new(WaitSt {
+                st: RtMutex::new(WaitSt {
                     outstanding: 0,
                     errors: 0,
                     irq_wakeups: 0,
                     first_error: None,
                 }),
-                cv: SimCondvar::new(),
+                cv: RtCondvar::new(),
             }),
         }
     }
@@ -366,7 +366,7 @@ impl BioWaiter {
             // The waiter was woken by the completion interrupt: charge
             // the context switch and the interrupt-handler work that the
             // paper's Table 1 and §7.4 attribute to block-I/O waiting.
-            ccnvme_sim::cpu(
+            ccnvme_runtime::cpu(
                 ccnvme_pcie::cost::CONTEXT_SWITCH
                     + ccnvme_pcie::cost::IRQ_HANDLER_CPU * wakeups.max(1) as u64,
             );

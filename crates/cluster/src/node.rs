@@ -32,7 +32,7 @@ use ccnvme::CcNvmeDriver;
 use ccnvme_block::{submit_and_wait, Bio, BioFlags, BioStatus, BioWaiter, BlockDevice, BLOCK_SIZE};
 use ccnvme_fabric::{ClusterBackend, FabricClient, FabricError, ShardWrite, Status};
 use ccnvme_obs::{Counter, Gauge, Obs};
-use ccnvme_sim::SimMutex;
+use ccnvme_runtime::RtMutex;
 use parking_lot::Mutex;
 
 use crate::layout::{
@@ -95,7 +95,7 @@ pub struct ClusterNode {
     /// a device transaction, and the get-or-set contract of the
     /// decision region only holds if check and write are one critical
     /// section.
-    exec: SimMutex<()>,
+    exec: RtMutex<()>,
     prepared: Mutex<HashMap<u64, PreparedTx>>,
     free_slots: Mutex<Vec<u64>>,
     decisions: Mutex<HashMap<u64, bool>>,
@@ -181,7 +181,7 @@ impl ClusterNode {
             drv,
             layout,
             obs,
-            exec: SimMutex::new(()),
+            exec: RtMutex::new(()),
             prepared: Mutex::new(prepared),
             free_slots: Mutex::new(free_slots),
             decisions: Mutex::new(decisions),

@@ -30,7 +30,8 @@ use std::{
 use ccnvme_block::{Bio, BioOp, BioStatus, BlockDevice};
 use ccnvme_obs::{EventKind, Obs};
 use ccnvme_pcie::MmioRegion;
-use ccnvme_sim::{mpsc_channel, Histogram, Ns, Receiver, Sender, SimCondvar, SimMutex};
+use ccnvme_runtime::{mpsc_channel, Receiver, RtCondvar, RtMutex, Sender};
+use ccnvme_sim::{Histogram, Ns};
 use ccnvme_ssd::{
     CompletionEntry, DoorbellLoc, HostMemory, NvmeCommand, NvmeController, Opcode, QueueParams,
     SqBacking, Status, TxFlags,
@@ -114,8 +115,8 @@ struct CcQueue {
     /// Submit-to-complete latency of this queue's bios
     /// (`ccnvme.q{qid}.complete_ns`).
     complete_hist: Arc<Histogram>,
-    st: SimMutex<CcqSt>,
-    cv: SimCondvar,
+    st: RtMutex<CcqSt>,
+    cv: RtCondvar,
 }
 
 /// A command scheduled for resubmission once its backoff elapses.
@@ -321,7 +322,7 @@ impl CcNvmeDriver {
                 abort_cap: layout.abort_capacity(),
                 obs: Arc::clone(&obs),
                 complete_hist: obs.metrics.histogram(&format!("ccnvme.q{qid}.complete_ns")),
-                st: SimMutex::new(CcqSt {
+                st: RtMutex::new(CcqSt {
                     tail: 0,
                     head_idx: 0,
                     slots: VecDeque::new(),
@@ -331,7 +332,7 @@ impl CcNvmeDriver {
                     // land after the preserved prefix.
                     abort_logged: counts[i as usize],
                 }),
-                cv: SimCondvar::new(),
+                cv: RtCondvar::new(),
             });
             let cb_q = Arc::clone(&q);
             let cb_pmr = Arc::clone(&pmr);
@@ -366,9 +367,9 @@ impl CcNvmeDriver {
             }),
         };
         let wd = Arc::clone(&driver.inner);
-        ccnvme_sim::spawn_daemon("ccnvme-wdog", 0, move || cc_watchdog_loop(wd));
+        ccnvme_runtime::spawn_daemon("ccnvme-wdog", 0, move || cc_watchdog_loop(wd));
         let rt = Arc::clone(&driver.inner);
-        ccnvme_sim::spawn_daemon("ccnvme-errd", 0, move || cc_retry_loop(rt, retry_rx));
+        ccnvme_runtime::spawn_daemon("ccnvme-errd", 0, move || cc_retry_loop(rt, retry_rx));
         (driver, report)
     }
 
@@ -434,7 +435,7 @@ impl CcNvmeDriver {
     }
 
     fn queue_for_current_core(&self) -> &Arc<CcQueue> {
-        let core = ccnvme_sim::current_core();
+        let core = ccnvme_runtime::current_core();
         &self.inner.queues[core % self.inner.queues.len()]
     }
 
@@ -459,7 +460,7 @@ impl CcNvmeDriver {
         // one per bio keeps the recorder's posted-write tax off the
         // per-bio hot path. The volatile ring still sees every bio.
         q.obs.trace.event_ctx_persist(
-            ccnvme_sim::now(),
+            ccnvme_runtime::now(),
             EventKind::TxBegin,
             q.qid,
             tx_id,
@@ -498,7 +499,7 @@ impl CcNvmeDriver {
                 is_tx: tx_flags.tx || tx_flags.tx_commit,
                 tx_id,
                 cmd: Some(cmd.clone()),
-                submitted_at: ccnvme_sim::now(),
+                submitted_at: ccnvme_runtime::now(),
                 attempts: 0,
                 last_kick: 0,
                 retry_for: None,
@@ -514,7 +515,7 @@ impl CcNvmeDriver {
         crate::layout::seal_sqe(&mut raw, self.inner.generation.load(Ordering::SeqCst));
         self.inner.pmr.write(q.ring_off + cmd.cid as u64 * 64, &raw);
         q.obs.trace.event_ctx(
-            ccnvme_sim::now(),
+            ccnvme_runtime::now(),
             EventKind::SqeStore,
             q.qid,
             tx_id,
@@ -528,7 +529,7 @@ impl CcNvmeDriver {
                 // the PMR (step 2a).
                 self.inner.pmr.flush();
                 q.obs.trace.event_ctx(
-                    ccnvme_sim::now(),
+                    ccnvme_runtime::now(),
                     EventKind::MmioFlush,
                     q.qid,
                     tx_id,
@@ -559,7 +560,7 @@ impl CcNvmeDriver {
         };
         self.inner.pmr.write(q.db_off, &tail_now.to_le_bytes());
         q.obs.trace.event_ctx(
-            ccnvme_sim::now(),
+            ccnvme_runtime::now(),
             EventKind::Doorbell,
             q.qid,
             tx_id,
@@ -634,7 +635,7 @@ fn log_aborted_tx(
     // Posted after the log entry + count: a durable tx_abort record is
     // proof the abort-log append itself is durable.
     q.obs.trace.event_ctx(
-        ccnvme_sim::now(),
+        ccnvme_runtime::now(),
         EventKind::TxAbort,
         q.qid,
         tx_id,
@@ -663,9 +664,9 @@ fn apply_result(
         if status == Status::Busy && s.attempts < errctx.policy.max_retries {
             s.attempts += 1;
             s.last_kick = 0;
-            s.submitted_at = ccnvme_sim::now();
+            s.submitted_at = ccnvme_runtime::now();
             errctx.stats.busy_completions.inc();
-            let due = ccnvme_sim::now() + errctx.policy.backoff(s.attempts);
+            let due = ccnvme_runtime::now() + errctx.policy.backoff(s.attempts);
             let _ = errctx.retry_tx.send(CcRetryReq {
                 q: Arc::clone(q),
                 cid: ring_idx as u16,
@@ -760,7 +761,7 @@ fn advance_queue(
                 }
                 if let Some(bio) = s.bio.take() {
                     q.complete_hist
-                        .record(ccnvme_sim::now().saturating_sub(s.submitted_at));
+                        .record(ccnvme_runtime::now().saturating_sub(s.submitted_at));
                     finished.push((bio, status));
                 }
             }
@@ -779,7 +780,7 @@ fn advance_queue(
     // upper layer as failures, so recovery must never replay them.
     pmr.write(q.head_off, &new_head.to_le_bytes());
     regs.write(q.cqdb_off, &new_head.to_le_bytes());
-    let done_at = ccnvme_sim::now();
+    let done_at = ccnvme_runtime::now();
     for (mut bio, status) in finished {
         // Same thinning as TxBegin: the commit bio's completion is the
         // one durable witness per transaction (it rides right after the
@@ -857,9 +858,9 @@ fn cc_watchdog_loop(inner: Arc<CcInner>) {
     let policy = inner.errctx.policy;
     let period = (policy.kick_after / 2).max(1_000_000);
     loop {
-        ccnvme_sim::delay(period);
+        ccnvme_runtime::delay(period);
         for q in &inner.queues {
-            let now = ccnvme_sim::now();
+            let now = ccnvme_runtime::now();
             let mut kick = false;
             let mut aborted = false;
             {
@@ -924,7 +925,7 @@ fn cc_resubmit(inner: &Arc<CcInner>, q: &Arc<CcQueue>, orig_cid: u16) {
                 st.tail = (st.tail + 1) % q.depth;
                 let (mut cmd, tx_id) = {
                     let o = &mut st.slots[opos];
-                    o.submitted_at = ccnvme_sim::now();
+                    o.submitted_at = ccnvme_runtime::now();
                     o.last_kick = 0;
                     (
                         o.cmd.clone().expect("original slots carry their command"),
@@ -941,7 +942,7 @@ fn cc_resubmit(inner: &Arc<CcInner>, q: &Arc<CcQueue>, orig_cid: u16) {
                     is_tx: false,
                     tx_id,
                     cmd: None,
-                    submitted_at: ccnvme_sim::now(),
+                    submitted_at: ccnvme_runtime::now(),
                     attempts: 0,
                     last_kick: 0,
                     retry_for: Some(orig_cid),
@@ -973,7 +974,7 @@ fn cc_resubmit(inner: &Arc<CcInner>, q: &Arc<CcQueue>, orig_cid: u16) {
 fn cc_retry_loop(inner: Arc<CcInner>, rx: Receiver<CcRetryReq>) {
     let mut pending: Vec<CcRetryReq> = Vec::new();
     loop {
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         let mut i = 0;
         while i < pending.len() {
             if pending[i].due <= now {
@@ -989,7 +990,7 @@ fn cc_retry_loop(inner: Arc<CcInner>, rx: Receiver<CcRetryReq>) {
                 Err(_) => return,
             },
             Some(due) => {
-                let now = ccnvme_sim::now();
+                let now = ccnvme_runtime::now();
                 if due <= now {
                     continue;
                 }
@@ -1003,7 +1004,7 @@ fn cc_retry_loop(inner: Arc<CcInner>, rx: Receiver<CcRetryReq>) {
 
 impl BlockDevice for CcNvmeDriver {
     fn submit_bio(&self, mut bio: Bio) {
-        ccnvme_sim::cpu(SUBMIT_CPU);
+        ccnvme_runtime::cpu(SUBMIT_CPU);
         let q = Arc::clone(self.queue_for_current_core());
         match bio.op {
             BioOp::Flush => {

@@ -19,7 +19,8 @@ use std::{collections::HashMap, sync::Arc};
 
 use ccnvme_block::{Bio, BioOp, BioStatus, BioWaiter, BlockDevice};
 use ccnvme_obs::{EventKind, Obs};
-use ccnvme_sim::{mpsc_channel, Histogram, Ns, Receiver, Sender, SimCondvar, SimMutex};
+use ccnvme_runtime::{mpsc_channel, Receiver, RtCondvar, RtMutex, Sender};
+use ccnvme_sim::{Histogram, Ns};
 use ccnvme_ssd::{
     CompletionEntry, DoorbellLoc, HostMemory, NvmeCommand, NvmeController, Opcode, QueueParams,
     SqBacking, Status, TxFlags,
@@ -71,8 +72,8 @@ struct DrvQueue {
     /// Submit-to-complete latency of this queue's bios
     /// (`nvme.q{qid}.complete_ns`).
     complete_hist: Arc<Histogram>,
-    st: SimMutex<DqSt>,
-    cv: SimCondvar,
+    st: RtMutex<DqSt>,
+    cv: RtCondvar,
 }
 
 /// A command scheduled for resubmission after its backoff elapses.
@@ -139,13 +140,13 @@ impl NvmeDriver {
                 cqdb_off: DB_BASE + qid as u64 * 8 + 4,
                 obs: Arc::clone(&obs),
                 complete_hist: obs.metrics.histogram(&format!("nvme.q{qid}.complete_ns")),
-                st: SimMutex::new(DqSt {
+                st: RtMutex::new(DqSt {
                     tail: 0,
                     inflight: HashMap::new(),
                     free_cids: (0..depth as u16).collect(),
                     epoch: 0,
                 }),
-                cv: SimCondvar::new(),
+                cv: RtCondvar::new(),
             });
             attach_queue(&ctrl, &regs, &hostmem, &errctx, &q, 0);
             queues.push(q);
@@ -161,9 +162,9 @@ impl NvmeDriver {
             obs,
         });
         let wd = Arc::clone(&inner);
-        ccnvme_sim::spawn_daemon("nvme-wdog", 0, move || watchdog_loop(wd));
+        ccnvme_runtime::spawn_daemon("nvme-wdog", 0, move || watchdog_loop(wd));
         let rd = Arc::clone(&inner);
-        ccnvme_sim::spawn_daemon("nvme-errd", 0, move || retry_loop(rd, retry_rx));
+        ccnvme_runtime::spawn_daemon("nvme-errd", 0, move || retry_loop(rd, retry_rx));
         NvmeDriver { inner }
     }
 
@@ -178,7 +179,7 @@ impl NvmeDriver {
     }
 
     fn queue_for_current_core(&self) -> &Arc<DrvQueue> {
-        let core = ccnvme_sim::current_core();
+        let core = ccnvme_runtime::current_core();
         &self.inner.queues[core % self.inner.queues.len()]
     }
 
@@ -234,7 +235,7 @@ impl NvmeDriver {
                     bio,
                     token,
                     cmd: cmd.clone(),
-                    submitted_at: ccnvme_sim::now(),
+                    submitted_at: ccnvme_runtime::now(),
                     attempts: 0,
                     last_kick: 0,
                 },
@@ -242,7 +243,7 @@ impl NvmeDriver {
             (cmd, slot, st.tail)
         };
         q.obs.trace.event_ctx(
-            ccnvme_sim::now(),
+            ccnvme_runtime::now(),
             EventKind::TxBegin,
             q.qid,
             tx_id,
@@ -250,14 +251,14 @@ impl NvmeDriver {
             trace,
         );
         // Write the SQE into host memory (plain stores, no PCIe traffic).
-        ccnvme_sim::cpu(SQE_WRITE_CPU);
+        ccnvme_runtime::cpu(SQE_WRITE_CPU);
         {
             let mut mem = q.sqmem.lock();
             let off = slot as usize * 64;
             mem[off..off + 64].copy_from_slice(&cmd.encode());
         }
         q.obs.trace.event_ctx(
-            ccnvme_sim::now(),
+            ccnvme_runtime::now(),
             EventKind::SqeStore,
             q.qid,
             tx_id,
@@ -267,7 +268,7 @@ impl NvmeDriver {
         // Eager per-request doorbell — original NVMe behaviour.
         self.inner.regs.write(q.sqdb_off, &new_tail.to_le_bytes());
         q.obs.trace.event_ctx(
-            ccnvme_sim::now(),
+            ccnvme_runtime::now(),
             EventKind::Doorbell,
             q.qid,
             tx_id,
@@ -346,7 +347,7 @@ fn complete_one(
         Next::Ignore => {}
         Next::Retry(attempt) => {
             ctx.stats.busy_completions.inc();
-            let due = ccnvme_sim::now() + ctx.policy.backoff(attempt);
+            let due = ccnvme_runtime::now() + ctx.policy.backoff(attempt);
             let _ = ctx.retry_tx.send(RetryReq {
                 q: Arc::clone(q),
                 cid: entry.cid,
@@ -355,7 +356,7 @@ fn complete_one(
         }
         Next::Done(inf) => {
             q.cv.notify_all();
-            let done_at = ccnvme_sim::now();
+            let done_at = ccnvme_runtime::now();
             q.complete_hist
                 .record(done_at.saturating_sub(inf.submitted_at));
             q.obs.trace.event_ctx(
@@ -388,7 +389,7 @@ fn complete_one(
 fn resubmit(inner: &DrvInner, q: &Arc<DrvQueue>, cid: u16) {
     let (cmd, slot, new_tail) = {
         let mut st = q.st.lock();
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         let Some(inf) = st.inflight.get_mut(&cid) else {
             // Aborted (queue drained) while waiting out the backoff.
             return;
@@ -399,7 +400,7 @@ fn resubmit(inner: &DrvInner, q: &Arc<DrvQueue>, cid: u16) {
         st.tail = (st.tail + 1) % q.depth;
         (cmd, slot, st.tail)
     };
-    ccnvme_sim::cpu(SQE_WRITE_CPU);
+    ccnvme_runtime::cpu(SQE_WRITE_CPU);
     {
         let mut mem = q.sqmem.lock();
         let off = slot as usize * 64;
@@ -413,7 +414,7 @@ fn resubmit(inner: &DrvInner, q: &Arc<DrvQueue>, cid: u16) {
 fn retry_loop(inner: Arc<DrvInner>, rx: Receiver<RetryReq>) {
     let mut pending: Vec<RetryReq> = Vec::new();
     loop {
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         let mut i = 0;
         while i < pending.len() {
             if pending[i].due <= now {
@@ -429,7 +430,7 @@ fn retry_loop(inner: Arc<DrvInner>, rx: Receiver<RetryReq>) {
                 Err(_) => return, // Driver dropped.
             },
             Some(due) => {
-                let now = ccnvme_sim::now();
+                let now = ccnvme_runtime::now();
                 if due <= now {
                     continue;
                 }
@@ -449,9 +450,9 @@ fn retry_loop(inner: Arc<DrvInner>, rx: Receiver<RetryReq>) {
 fn watchdog_loop(inner: Arc<DrvInner>) {
     let period = (inner.errctx.policy.kick_after / 2).max(1_000_000);
     loop {
-        ccnvme_sim::delay(period);
+        ccnvme_runtime::delay(period);
         for q in &inner.queues {
-            let now = ccnvme_sim::now();
+            let now = ccnvme_runtime::now();
             let mut kick = false;
             let mut reinit = false;
             {
@@ -515,7 +516,7 @@ fn reinit_queue(inner: &Arc<DrvInner>, q: &Arc<DrvQueue>) {
 
 impl BlockDevice for NvmeDriver {
     fn submit_bio(&self, mut bio: Bio) {
-        ccnvme_sim::cpu(SUBMIT_CPU);
+        ccnvme_runtime::cpu(SUBMIT_CPU);
         let q = Arc::clone(self.queue_for_current_core());
         // The classic ordering point: drain the device write cache before
         // the payload write. If the drain itself fails, the barrier

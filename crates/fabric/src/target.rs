@@ -26,7 +26,8 @@ use ccnvme_block::{Bio, BioFlags, BioStatus, BioWaiter, BlockDevice, BLOCK_SIZE}
 use ccnvme_fault::FaultInjector;
 use ccnvme_obs::{Counter, Obs};
 use ccnvme_ploc::{PlocError, PlocService, RecoverVerdict};
-use ccnvme_sim::{Ns, SimMutex};
+use ccnvme_runtime::RtMutex;
+use ccnvme_sim::Ns;
 use mqfs::FileSystem;
 use parking_lot::Mutex;
 
@@ -230,7 +231,7 @@ struct Session {
     /// start while the old handler is still finishing a durable commit;
     /// this lock makes the retransmitted commit wait and then hit the
     /// response cache instead of double-executing.
-    exec: SimMutex<()>,
+    exec: RtMutex<()>,
     st: Mutex<SessSt>,
 }
 
@@ -238,7 +239,7 @@ impl Session {
     fn fresh(client_id: u64) -> Arc<Session> {
         Arc::new(Session {
             client_id,
-            exec: SimMutex::new(()),
+            exec: RtMutex::new(()),
             st: Mutex::new(SessSt {
                 expected_cid: 1,
                 stash: BTreeMap::new(),
@@ -343,7 +344,7 @@ impl FabricTarget {
     ) -> Result<Box<dyn Transport>, FabricError> {
         if self
             .partitions
-            .blocked(client_id, ccnvme_sim::now())
+            .blocked(client_id, ccnvme_runtime::now())
             .is_some()
         {
             return Err(FabricError::Unreachable);
@@ -359,7 +360,7 @@ impl FabricTarget {
             Arc::clone(&self.partitions),
         );
         let me = Arc::clone(self);
-        ccnvme_sim::spawn_daemon(&format!("fabric-conn{conn}"), core, move || {
+        ccnvme_runtime::spawn_daemon(&format!("fabric-conn{conn}"), core, move || {
             me.serve_conn(&mut server_side, core as u16);
         });
         Ok(Box::new(client_side))
@@ -913,6 +914,6 @@ impl Connector for LoopbackConnector {
     }
 
     fn backoff(&self, ns: Ns) {
-        ccnvme_sim::delay(ns);
+        ccnvme_runtime::delay(ns);
     }
 }

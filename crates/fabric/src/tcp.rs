@@ -206,7 +206,7 @@ impl Transport for TcpServerTransport {
                         return Err(FabricError::Timeout);
                     }
                     std::thread::sleep(ACCEPT_POLL);
-                    ccnvme_sim::delay(ACCEPT_POLL_NS);
+                    ccnvme_runtime::delay(ACCEPT_POLL_NS);
                     waited += ACCEPT_POLL_NS;
                 }
             }
@@ -281,12 +281,14 @@ impl TcpFabricServer {
                                 outbox: conn.outbox,
                                 dead: false,
                             };
-                            ccnvme_sim::spawn_daemon(&format!("fabric-tcp{id}"), core, move || {
-                                t.serve_conn(&mut wire, core as u16)
-                            });
+                            ccnvme_runtime::spawn_daemon(
+                                &format!("fabric-tcp{id}"),
+                                core,
+                                move || t.serve_conn(&mut wire, core as u16),
+                            );
                         }
                         std::thread::sleep(ACCEPT_POLL);
-                        ccnvme_sim::delay(ACCEPT_POLL_NS);
+                        ccnvme_runtime::delay(ACCEPT_POLL_NS);
                     }
                 });
                 sim.run();

@@ -11,7 +11,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ccnvme_fault::{FaultInjector, NetDir, NetFaultKind, NetOp};
-use ccnvme_sim::{Ns, Receiver, Sender};
+use ccnvme_runtime::{Receiver, Sender};
+use ccnvme_sim::Ns;
 use parking_lot::Mutex;
 
 use crate::error::FabricError;
@@ -117,8 +118,8 @@ impl LoopbackTransport {
         injector: Option<Arc<FaultInjector>>,
         partitions: Arc<PartitionMap>,
     ) -> (LoopbackTransport, LoopbackTransport) {
-        let (c2t_tx, c2t_rx) = ccnvme_sim::mpsc_channel(None);
-        let (t2c_tx, t2c_rx) = ccnvme_sim::mpsc_channel(None);
+        let (c2t_tx, c2t_rx) = ccnvme_runtime::mpsc_channel(None);
+        let (t2c_tx, t2c_rx) = ccnvme_runtime::mpsc_channel(None);
         let client = LoopbackTransport {
             side: NetDir::ToTarget,
             conn,
@@ -146,7 +147,7 @@ impl LoopbackTransport {
 
     fn ship(&mut self, frame: Vec<u8>) -> Result<(), FabricError> {
         let wire = Wire {
-            sent_at: ccnvme_sim::now(),
+            sent_at: ccnvme_runtime::now(),
             payload: Payload::Data(frame),
         };
         if self.tx.send(wire).is_err() {
@@ -167,7 +168,7 @@ impl Transport for LoopbackTransport {
                 dir: self.side,
                 conn: self.conn,
                 shard: self.shard,
-                now: ccnvme_sim::now(),
+                now: ccnvme_runtime::now(),
             })
         });
         match decision.map(|d| (d.kind, d.heal_ns)) {
@@ -197,7 +198,7 @@ impl Transport for LoopbackTransport {
                 }
             }
             Some((NetFaultKind::Partition, heal_ns)) => {
-                let now = ccnvme_sim::now();
+                let now = ccnvme_runtime::now();
                 self.partitions.cut(self.conn, now + heal_ns);
                 let _ = self.tx.send(Wire {
                     sent_at: now,
@@ -221,16 +222,16 @@ impl Transport for LoopbackTransport {
         if self.dead {
             return Err(FabricError::Disconnected);
         }
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         match self.rx.recv_timeout(timeout_ns) {
             Some(Wire { sent_at, payload }) => match payload {
                 Payload::Data(frame) => {
                     // Model the propagation delay on the receive side so
                     // the sender never blocks on the wire.
-                    let now = ccnvme_sim::now();
+                    let now = ccnvme_runtime::now();
                     let arrives = sent_at + LOOPBACK_HOP_NS;
                     if arrives > now {
-                        ccnvme_sim::delay(arrives - now);
+                        ccnvme_runtime::delay(arrives - now);
                     }
                     Ok(frame)
                 }
@@ -247,7 +248,7 @@ impl Transport for LoopbackTransport {
             // it to `Timeout` instead would make the handler's poll
             // loop spin without advancing virtual time — a livelock.
             None => {
-                if ccnvme_sim::now().saturating_sub(t0) < timeout_ns {
+                if ccnvme_runtime::now().saturating_sub(t0) < timeout_ns {
                     self.dead = true;
                     Err(FabricError::Disconnected)
                 } else {
@@ -260,7 +261,7 @@ impl Transport for LoopbackTransport {
     fn close(&mut self) {
         if !self.dead {
             let _ = self.tx.send(Wire {
-                sent_at: ccnvme_sim::now(),
+                sent_at: ccnvme_runtime::now(),
                 payload: Payload::Hangup,
             });
             self.dead = true;

@@ -24,7 +24,8 @@ use std::{
 };
 
 use ccnvme_block::{Bio, BioBuf, BioFlags, BioStatus, BioWaiter};
-use ccnvme_sim::{Counter, Histogram, Ns, SimCondvar, SimMutex};
+use ccnvme_runtime::{RtCondvar, RtMutex};
+use ccnvme_sim::{Counter, Histogram, Ns};
 
 use crate::{
     area::{AreaRing, AreaSpec},
@@ -69,8 +70,8 @@ struct TicketSt {
 }
 
 struct Ticket {
-    st: SimMutex<TicketSt>,
-    cv: SimCondvar,
+    st: RtMutex<TicketSt>,
+    cv: RtCondvar,
 }
 
 struct PendingTx {
@@ -97,14 +98,14 @@ struct ClassicInner {
     /// Highest committed compound transaction ID.
     max_committed: AtomicU64,
     next_tx: AtomicU64,
-    q: SimMutex<CommitQ>,
-    q_cv: SimCondvar,
+    q: RtMutex<CommitQ>,
+    q_cv: RtCondvar,
     /// Journaled-but-not-checkpointed blocks, keyed by home LBA.
-    /// A `SimMutex` because checkpointing holds it across device waits.
-    pending: SimMutex<HashMap<u64, CheckpointEntry>>,
+    /// A `RtMutex` because checkpointing holds it across device waits.
+    pending: RtMutex<HashMap<u64, CheckpointEntry>>,
     /// Home LBAs whose stale journal copies must be revoked in the next
     /// compound commit.
-    revokes: SimMutex<Vec<u64>>,
+    revokes: RtMutex<Vec<u64>>,
     /// Set after an unrecoverable commit- or checkpoint-path error;
     /// further commits are refused.
     aborted: AtomicBool,
@@ -143,13 +144,13 @@ impl ClassicJournal {
             horizon_lba,
             max_committed: AtomicU64::new(0),
             next_tx: AtomicU64::new(1),
-            q: SimMutex::new(CommitQ {
+            q: RtMutex::new(CommitQ {
                 queue: Vec::new(),
                 shutdown: false,
             }),
-            q_cv: SimCondvar::new(),
-            pending: SimMutex::new(HashMap::new()),
-            revokes: SimMutex::new(Vec::new()),
+            q_cv: RtCondvar::new(),
+            pending: RtMutex::new(HashMap::new()),
+            revokes: RtMutex::new(Vec::new()),
             aborted: AtomicBool::new(false),
             commits: obs.metrics.counter("journal.classic.commits"),
             commit_hist: obs.metrics.histogram("journal.classic.commit_ns"),
@@ -162,7 +163,7 @@ impl ClassicJournal {
             CommitStyle::Horae => "horae-journald",
             CommitStyle::CcTx => "cc-journald",
         };
-        ccnvme_sim::spawn_daemon(name, thread_core, move || commit_thread(worker));
+        ccnvme_runtime::spawn_daemon(name, thread_core, move || commit_thread(worker));
         ClassicJournal { inner }
     }
 
@@ -188,12 +189,12 @@ fn commit_thread(inner: Arc<ClassicInner>) {
         };
         // Waking up and assembling the compound costs CPU (the overhead
         // §3 attributes to the separate journaling thread).
-        ccnvme_sim::cpu(CTX_SWITCH + COMMIT_PREP_CPU);
+        ccnvme_runtime::cpu(CTX_SWITCH + COMMIT_PREP_CPU);
         let mut batch = batch;
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         let res = commit_compound(&inner, &mut batch);
         inner.commits.inc();
-        inner.commit_hist.record(ccnvme_sim::now() - t0);
+        inner.commit_hist.record(ccnvme_runtime::now() - t0);
         if res.is_err() {
             // ord: SeqCst — the abort flag must publish before any
             // later commit on another thread can report success.
@@ -550,7 +551,7 @@ fn commit_chunk(
 /// Runs in the commit thread; holds the pending map for the duration so
 /// block reuse cannot race with the checkpoint writes.
 fn checkpoint_now(inner: &Arc<ClassicInner>) {
-    let t0 = ccnvme_sim::now();
+    let t0 = ccnvme_runtime::now();
     inner.checkpoints.inc();
     let mut pending = inner.pending.lock();
     if !pending.is_empty() {
@@ -604,7 +605,7 @@ fn checkpoint_now(inner: &Arc<ClassicInner>) {
     inner.dev.submit_bio(hbio);
     let _ = hw.wait();
     inner.ring.release_all();
-    inner.checkpoint_hist.record(ccnvme_sim::now() - t0);
+    inner.checkpoint_hist.record(ccnvme_runtime::now() - t0);
 }
 
 impl Journal for ClassicJournal {
@@ -637,11 +638,11 @@ impl Journal for ClassicJournal {
             }
         }
         let ticket = Arc::new(Ticket {
-            st: SimMutex::new(TicketSt {
+            st: RtMutex::new(TicketSt {
                 done: false,
                 err: None,
             }),
-            cv: SimCondvar::new(),
+            cv: RtCondvar::new(),
         });
         {
             let mut q = self.inner.q.lock();
@@ -659,7 +660,7 @@ impl Journal for ClassicJournal {
             st.err
         };
         // Returning from the journald handoff costs a context switch.
-        ccnvme_sim::cpu(CTX_SWITCH);
+        ccnvme_runtime::cpu(CTX_SWITCH);
         match err {
             None => Ok(()),
             Some(status) => Err(CommitError::Io(status)),
@@ -686,11 +687,11 @@ impl Journal for ClassicJournal {
         // Drain queued commits first so their blocks are checkpointed.
         // Push an empty marker through the commit thread to serialize.
         let ticket = Arc::new(Ticket {
-            st: SimMutex::new(TicketSt {
+            st: RtMutex::new(TicketSt {
                 done: false,
                 err: None,
             }),
-            cv: SimCondvar::new(),
+            cv: RtCondvar::new(),
         });
         {
             let mut q = self.inner.q.lock();

@@ -40,7 +40,8 @@ use std::{
 };
 
 use ccnvme_block::{Bio, BioBuf, BioFlags, BioStatus, BioWaiter};
-use ccnvme_sim::{Counter, Histogram, SimMutex};
+use ccnvme_runtime::RtMutex;
+use ccnvme_sim::{Counter, Histogram};
 
 use crate::{
     area::{AreaRing, AreaSpec},
@@ -79,7 +80,7 @@ struct Chain {
     floor: u64,
 }
 
-type Tree = SimMutex<HashMap<u64, Chain>>;
+type Tree = RtMutex<HashMap<u64, Chain>>;
 
 struct LoggedTx {
     tx_id: u64,
@@ -98,7 +99,7 @@ struct AreaSt {
 
 struct MqArea {
     ring: AreaRing,
-    st: SimMutex<AreaSt>,
+    st: RtMutex<AreaSt>,
     /// Oldest live transaction ID in this area (u64::MAX when empty);
     /// feeds the global horizon computation without cross-area locks.
     oldest_live: AtomicU64,
@@ -152,7 +153,7 @@ impl MqJournal {
                 let _ = idx;
                 Arc::new(MqArea {
                     ring: AreaRing::new(spec),
-                    st: SimMutex::new(AreaSt {
+                    st: RtMutex::new(AreaSt {
                         logged: VecDeque::new(),
                     }),
                     oldest_live: AtomicU64::new(u64::MAX),
@@ -163,7 +164,7 @@ impl MqJournal {
             inner: Arc::new(MqInner {
                 dev,
                 areas,
-                trees: (0..NTREES).map(|_| SimMutex::new(HashMap::new())).collect(),
+                trees: (0..NTREES).map(|_| RtMutex::new(HashMap::new())).collect(),
                 next_tx: AtomicU64::new(1),
                 horizon_lba,
                 horizon_written: AtomicU64::new(0),
@@ -182,7 +183,7 @@ impl MqJournal {
     }
 
     fn area_for_current_core(&self) -> usize {
-        ccnvme_sim::current_core() % self.inner.areas.len()
+        ccnvme_runtime::current_core() % self.inner.areas.len()
     }
 
     /// Splits an oversized transaction into chained chunks sharing its
@@ -257,7 +258,7 @@ impl MqJournal {
     /// persistent horizon. Runs in the caller's context; other areas keep
     /// logging throughout (§5.2).
     fn checkpoint_area(&self, area_idx: usize) {
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         let inner = &self.inner;
         let area = &inner.areas[area_idx];
         let mut st = area.st.lock();
@@ -409,7 +410,7 @@ impl MqJournal {
         }
         drop(st);
         inner.checkpoints.inc();
-        inner.checkpoint_hist.record(ccnvme_sim::now() - t0);
+        inner.checkpoint_hist.record(ccnvme_runtime::now() - t0);
     }
 
     /// Finds which areas hold versions older than the front of
@@ -460,7 +461,7 @@ impl Journal for MqJournal {
         if tx.meta.len() > CHUNK_META || tx.data.len() + tx.meta.len() > CHUNK_TOTAL {
             return self.commit_chunked(tx, durability);
         }
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         let inner = &self.inner;
         let area_idx = self.area_for_current_core();
         let area = &inner.areas[area_idx];
@@ -511,7 +512,7 @@ impl Journal for MqJournal {
             if let Some(w) = front_waiter {
                 let _ = w.wait();
             }
-            ccnvme_sim::delay(1_000);
+            ccnvme_runtime::delay(1_000);
         };
         let (jd_lba, block_lbas) = lbas.split_last().expect("need >= 1");
         // Register versions before any I/O so concurrent checkpoints and
@@ -599,7 +600,7 @@ impl Journal for MqJournal {
             return Err(CommitError::Io(status));
         }
         inner.commits.inc();
-        inner.commit_hist.record(ccnvme_sim::now() - t0);
+        inner.commit_hist.record(ccnvme_runtime::now() - t0);
         Ok(())
     }
 

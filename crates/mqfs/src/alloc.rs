@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use ccnvme_sim::SimMutex;
+use ccnvme_runtime::RtMutex;
 
 use crate::{
     buffer::BufferCache,
@@ -79,7 +79,7 @@ struct AllocSt {
 pub struct Allocator {
     layout: Layout,
     cache: Arc<BufferCache>,
-    st: SimMutex<AllocSt>,
+    st: RtMutex<AllocSt>,
 }
 
 impl Allocator {
@@ -90,7 +90,7 @@ impl Allocator {
         let alloc = Allocator {
             layout,
             cache: Arc::clone(&cache),
-            st: SimMutex::new(AllocSt {
+            st: RtMutex::new(AllocSt {
                 blocks: Bitmap::new(layout.capacity),
                 inodes: Bitmap::new(layout.ninodes),
             }),
@@ -139,7 +139,7 @@ impl Allocator {
         Allocator {
             layout,
             cache,
-            st: SimMutex::new(AllocSt { blocks, inodes }),
+            st: RtMutex::new(AllocSt { blocks, inodes }),
         }
     }
 
@@ -154,7 +154,7 @@ impl Allocator {
     /// allocation: a file's blocks stay near its block group, and
     /// unrelated files dirty *different* bitmap blocks).
     pub fn alloc_block_near(&self, goal: u64) -> FsResult<(u64, u64)> {
-        ccnvme_sim::cpu(500);
+        ccnvme_runtime::cpu(500);
         let goal = goal.clamp(self.layout.data_start(), self.layout.capacity - 1);
         let lba = {
             let mut st = self.st.lock();

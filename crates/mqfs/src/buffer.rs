@@ -10,7 +10,7 @@
 use std::{collections::HashMap, sync::Arc};
 
 use ccnvme_block::{submit_and_wait, Bio, BioBuf, BioStatus, BLOCK_SIZE};
-use ccnvme_sim::{SimCondvar, SimMutex};
+use ccnvme_runtime::{RtCondvar, RtMutex};
 use mqfs_journal::Dev;
 use parking_lot::Mutex;
 
@@ -37,8 +37,8 @@ struct Gate {
 /// One cached metadata block with an explicit page lock.
 pub struct MetaBlock {
     lba: u64,
-    gate: SimMutex<Gate>,
-    gate_cv: SimCondvar,
+    gate: RtMutex<Gate>,
+    gate_cv: RtCondvar,
     data: Mutex<MetaData>,
 }
 
@@ -46,8 +46,8 @@ impl MetaBlock {
     fn new(lba: u64, loaded: bool) -> Self {
         MetaBlock {
             lba,
-            gate: SimMutex::new(Gate::default()),
-            gate_cv: SimCondvar::new(),
+            gate: RtMutex::new(Gate::default()),
+            gate_cv: RtCondvar::new(),
             data: Mutex::new(MetaData {
                 data: vec![0; BLOCK_SIZE as usize],
                 dirty: false,
@@ -122,7 +122,7 @@ impl MetaBlock {
 /// The metadata buffer cache.
 pub struct BufferCache {
     dev: Dev,
-    map: SimMutex<HashMap<u64, Arc<MetaBlock>>>,
+    map: RtMutex<HashMap<u64, Arc<MetaBlock>>>,
 }
 
 impl BufferCache {
@@ -130,7 +130,7 @@ impl BufferCache {
     pub fn new(dev: Dev) -> Self {
         BufferCache {
             dev,
-            map: SimMutex::new(HashMap::new()),
+            map: RtMutex::new(HashMap::new()),
         }
     }
 

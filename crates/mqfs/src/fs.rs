@@ -28,7 +28,8 @@ use std::{
 };
 
 use ccnvme_block::{submit_and_wait, Bio, BioBuf, BioStatus, BLOCK_SIZE};
-use ccnvme_sim::{Counter, Histogram, Ns, SimMutex, SimRwLock};
+use ccnvme_runtime::{RtMutex, RtRwLock};
+use ccnvme_sim::{Counter, Histogram, Ns};
 use mqfs_journal::{
     AreaSpec, ClassicJournal, CommitStyle, Dev, Durability, Journal, MqJournal, NoJournal,
     ReuseAction, TxBlock, TxDescriptor,
@@ -213,7 +214,7 @@ struct InodeSt {
 }
 
 struct InodeHandle {
-    st: SimMutex<InodeSt>,
+    st: RtMutex<InodeSt>,
 }
 
 /// Index of *open operation groups*: each namespace operation (create,
@@ -289,15 +290,15 @@ pub struct FileSystem {
     cache: Arc<BufferCache>,
     alloc: Allocator,
     journal: Arc<dyn Journal>,
-    icache: SimMutex<HashMap<u64, Arc<InodeHandle>>>,
+    icache: RtMutex<HashMap<u64, Arc<InodeHandle>>>,
     /// Open namespace-operation groups (see [`OpIndex`]).
-    ops: SimMutex<OpIndex>,
+    ops: RtMutex<OpIndex>,
     /// Capture barrier: namespace operations hold it shared for their
     /// multi-block mutation span; `fsync`'s capture phase takes it
     /// exclusively so it never snapshots a half-applied operation (the
     /// running-transaction `t_updates` discipline of JBD2). Lock order:
     /// barrier before inode handles.
-    op_barrier: SimRwLock<()>,
+    op_barrier: RtRwLock<()>,
     /// Statistics counters.
     pub stats: FsStats,
     /// Syscall-level latency histograms (`mqfs.<op>_ns`).
@@ -338,9 +339,9 @@ impl FileSystem {
             cache,
             alloc,
             journal,
-            icache: SimMutex::new(HashMap::new()),
-            ops: SimMutex::new(OpIndex::default()),
-            op_barrier: SimRwLock::new(()),
+            icache: RtMutex::new(HashMap::new()),
+            ops: RtMutex::new(OpIndex::default()),
+            op_barrier: RtRwLock::new(()),
             stats: FsStats::default(),
             sys,
             trace_enabled: AtomicBool::new(false),
@@ -422,9 +423,9 @@ impl FileSystem {
             cache,
             alloc,
             journal,
-            icache: SimMutex::new(HashMap::new()),
-            ops: SimMutex::new(OpIndex::default()),
-            op_barrier: SimRwLock::new(()),
+            icache: RtMutex::new(HashMap::new()),
+            ops: RtMutex::new(OpIndex::default()),
+            op_barrier: RtRwLock::new(()),
             stats: FsStats::default(),
             sys,
             trace_enabled: AtomicBool::new(false),
@@ -514,7 +515,7 @@ impl FileSystem {
         let blk = self.cache.get(iblk_lba);
         let inode = blk.with_data(|d| Inode::decode(&d.data[off..off + 256]));
         let handle = Arc::new(InodeHandle {
-            st: SimMutex::new(InodeSt {
+            st: RtMutex::new(InodeSt {
                 inode,
                 pages: HashMap::new(),
                 dirty_pages: BTreeSet::new(),
@@ -725,15 +726,15 @@ impl FileSystem {
     /// Writes `data` at byte `offset`, growing the file as needed. Data
     /// stays in the page cache until `fsync`/`fatomic`.
     pub fn write(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         self.write_impl(ino, offset, data)?;
-        self.sys.write.record(ccnvme_sim::now() - t0);
+        self.sys.write.record(ccnvme_runtime::now() - t0);
         Ok(())
     }
 
     fn write_impl(&self, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
         self.ensure_writable()?;
-        ccnvme_sim::cpu(WRITE_BASE_CPU);
+        ccnvme_runtime::cpu(WRITE_BASE_CPU);
         let h = self.handle(ino);
         let mut st = h.st.lock();
         if st.inode.kind == InodeKind::Dir {
@@ -743,7 +744,7 @@ impl FileSystem {
         let mut pos = offset;
         let mut src = 0usize;
         while pos < end {
-            ccnvme_sim::cpu(WRITE_PAGE_CPU);
+            ccnvme_runtime::cpu(WRITE_PAGE_CPU);
             let fb = pos / BLOCK_SIZE;
             let in_page = (pos % BLOCK_SIZE) as usize;
             let n = ((BLOCK_SIZE as usize - in_page) as u64).min(end - pos) as usize;
@@ -771,7 +772,7 @@ impl FileSystem {
         } else if st.meta_dirty == MetaDirty::Clean {
             st.meta_dirty = MetaDirty::Timestamps;
         }
-        st.inode.mtime = ccnvme_sim::now();
+        st.inode.mtime = ccnvme_runtime::now();
         self.stats.bytes_written.add(data.len() as u64);
         Ok(())
     }
@@ -793,7 +794,7 @@ impl FileSystem {
 
     /// Reads up to `len` bytes at `offset`; short reads happen at EOF.
     pub fn read(&self, ino: u64, offset: u64, len: usize) -> FsResult<Vec<u8>> {
-        ccnvme_sim::cpu(READ_BASE_CPU);
+        ccnvme_runtime::cpu(READ_BASE_CPU);
         let h = self.handle(ino);
         let mut st = h.st.lock();
         if st.inode.kind == InodeKind::Dir {
@@ -806,7 +807,7 @@ impl FileSystem {
         let mut out = Vec::with_capacity((end - offset) as usize);
         let mut pos = offset;
         while pos < end {
-            ccnvme_sim::cpu(READ_PAGE_CPU);
+            ccnvme_runtime::cpu(READ_PAGE_CPU);
             let fb = pos / BLOCK_SIZE;
             let in_page = (pos % BLOCK_SIZE) as usize;
             let n = ((BLOCK_SIZE as usize - in_page) as u64).min(end - pos) as usize;
@@ -857,8 +858,8 @@ impl FileSystem {
 
     fn sync_inner(&self, ino: u64, durability: Durability, data_only: bool) -> FsResult<()> {
         self.ensure_writable()?;
-        ccnvme_sim::cpu(FSYNC_ENTRY_CPU);
-        let t0 = ccnvme_sim::now();
+        ccnvme_runtime::cpu(FSYNC_ENTRY_CPU);
+        let t0 = ccnvme_runtime::now();
         // Exclusive capture barrier: no namespace operation is mid-
         // flight while this transaction snapshots metadata (lock order:
         // barrier, then inode).
@@ -869,7 +870,7 @@ impl FileSystem {
         // --- S-iD: collect dirty data pages (ordered-mode data). ---
         let dirty: Vec<u64> = st.dirty_pages.iter().copied().collect();
         for fb in dirty {
-            ccnvme_sim::cpu(PAGE_COLLECT_CPU);
+            ccnvme_runtime::cpu(PAGE_COLLECT_CPU);
             let lba = self.bmap(&st, fb).expect("dirty page must be mapped");
             let buf: BioBuf = Arc::new(Mutex::new(st.pages[&fb].data.clone()));
             if st.inode.kind == InodeKind::Dir {
@@ -895,12 +896,12 @@ impl FileSystem {
             }
         }
         st.dirty_pages.clear();
-        let t_data = ccnvme_sim::now();
+        let t_data = ccnvme_runtime::now();
         // --- S-iM: serialize the inode into its table block. ---
         let mut seed: BTreeSet<u64> = std::mem::take(&mut st.dep_meta);
         let skip_inode = data_only && st.meta_dirty != MetaDirty::Full && seed.is_empty();
         if !skip_inode {
-            ccnvme_sim::cpu(INODE_SER_CPU);
+            ccnvme_runtime::cpu(INODE_SER_CPU);
             let (iblk_lba, off) = self.layout.inode_pos(ino);
             let blk = self.cache.get(iblk_lba);
             blk.acquire();
@@ -919,10 +920,10 @@ impl FileSystem {
             let ops = self.ops.lock();
             ops.closure(&seed)
         };
-        let t_inode = ccnvme_sim::now();
+        let t_inode = ccnvme_runtime::now();
         // --- S-pM + S-JH: capture the dependent metadata blocks. ---
         for lba in &meta_lbas {
-            ccnvme_sim::cpu(META_COPY_CPU);
+            ccnvme_runtime::cpu(META_COPY_CPU);
             let blk = self.cache.get(*lba);
             if self.cfg.variant.shadow_paging() {
                 // Shadow paging: freeze, copy, thaw (§5.3). Writers can
@@ -949,7 +950,7 @@ impl FileSystem {
                 tx.unpin.push(Box::new(move || blk2.thaw()));
             }
         }
-        let t_parent = ccnvme_sim::now();
+        let t_parent = ccnvme_runtime::now();
         // Snapshots taken; operations may proceed during the commit.
         drop(barrier);
         // The absorbed operation groups are covered by this transaction.
@@ -976,7 +977,7 @@ impl FileSystem {
         if commit_failed {
             return Err(FsError::Io);
         }
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         match durability {
             Durability::Durable => {
                 self.stats.fsyncs.inc();
@@ -1007,24 +1008,24 @@ impl FileSystem {
 
     /// Creates a regular file in `parent`; returns the new inode number.
     pub fn create(&self, parent: u64, name: &str) -> FsResult<u64> {
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         let ino = self.make_node(parent, name, InodeKind::File)?;
-        self.sys.create.record(ccnvme_sim::now() - t0);
+        self.sys.create.record(ccnvme_runtime::now() - t0);
         Ok(ino)
     }
 
     /// Creates a directory in `parent`.
     pub fn mkdir(&self, parent: u64, name: &str) -> FsResult<u64> {
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         let ino = self.make_node(parent, name, InodeKind::Dir)?;
-        self.sys.mkdir.record(ccnvme_sim::now() - t0);
+        self.sys.mkdir.record(ccnvme_runtime::now() - t0);
         Ok(ino)
     }
 
     fn make_node(&self, parent: u64, name: &str, kind: InodeKind) -> FsResult<u64> {
         self.ensure_writable()?;
         dir::check_name(name)?;
-        ccnvme_sim::cpu(CREATE_CPU);
+        ccnvme_runtime::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         let ph = self.handle(parent);
         let mut pst = ph.st.lock();
@@ -1056,7 +1057,7 @@ impl FileSystem {
         if kind == InodeKind::Dir {
             pst.inode.nlink += 1;
         }
-        pst.inode.mtime = ccnvme_sim::now();
+        pst.inode.mtime = ccnvme_runtime::now();
         if pst.meta_dirty == MetaDirty::Clean {
             pst.meta_dirty = MetaDirty::Timestamps;
         }
@@ -1105,7 +1106,7 @@ impl FileSystem {
         name: &str,
         ino: u64,
     ) -> FsResult<BTreeSet<u64>> {
-        ccnvme_sim::cpu(DIRENT_CPU);
+        ccnvme_runtime::cpu(DIRENT_CPU);
         let mut deps = BTreeSet::new();
         // Capture only the metadata THIS operation dirties: stash the
         // parent's accumulated dependency set aside so a directory-grow
@@ -1155,7 +1156,7 @@ impl FileSystem {
 
     /// Looks up `name` in directory `parent`.
     pub fn lookup(&self, parent: u64, name: &str) -> FsResult<u64> {
-        ccnvme_sim::cpu(NAMEI_CPU);
+        ccnvme_runtime::cpu(NAMEI_CPU);
         let ph = self.handle(parent);
         let mut pst = ph.st.lock();
         if pst.inode.kind != InodeKind::Dir {
@@ -1194,15 +1195,15 @@ impl FileSystem {
     /// Removes a file entry; frees the inode when the link count drops
     /// to zero.
     pub fn unlink(&self, parent: u64, name: &str) -> FsResult<()> {
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         self.unlink_impl(parent, name)?;
-        self.sys.unlink.record(ccnvme_sim::now() - t0);
+        self.sys.unlink.record(ccnvme_runtime::now() - t0);
         Ok(())
     }
 
     fn unlink_impl(&self, parent: u64, name: &str) -> FsResult<()> {
         self.ensure_writable()?;
-        ccnvme_sim::cpu(CREATE_CPU);
+        ccnvme_runtime::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         let mut op_lbas: BTreeSet<u64> = BTreeSet::new();
         let ph = self.handle(parent);
@@ -1223,7 +1224,7 @@ impl FileSystem {
         }
         let dir_lba = self.bmap(&pst, blk_idx as u64).expect("dir block mapped");
         self.rewrite_dir_block(&pst, blk_idx, dir_lba);
-        pst.inode.mtime = ccnvme_sim::now();
+        pst.inode.mtime = ccnvme_runtime::now();
         self.serialize_inode_locked(&pst, parent);
         let (pblk, _) = self.layout.inode_pos(parent);
         op_lbas.insert(dir_lba);
@@ -1289,7 +1290,7 @@ impl FileSystem {
     /// Removes an empty directory.
     pub fn rmdir(&self, parent: u64, name: &str) -> FsResult<()> {
         self.ensure_writable()?;
-        ccnvme_sim::cpu(CREATE_CPU);
+        ccnvme_runtime::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         let mut op_lbas: BTreeSet<u64> = BTreeSet::new();
         let ph = self.handle(parent);
@@ -1315,7 +1316,7 @@ impl FileSystem {
         let dir_lba = self.bmap(&pst, blk_idx as u64).expect("dir block mapped");
         self.rewrite_dir_block(&pst, blk_idx, dir_lba);
         pst.inode.nlink -= 1;
-        pst.inode.mtime = ccnvme_sim::now();
+        pst.inode.mtime = ccnvme_runtime::now();
         self.serialize_inode_locked(&pst, parent);
         let (pblk, _) = self.layout.inode_pos(parent);
         op_lbas.insert(dir_lba);
@@ -1341,7 +1342,7 @@ impl FileSystem {
     pub fn link(&self, ino: u64, parent: u64, name: &str) -> FsResult<()> {
         self.ensure_writable()?;
         dir::check_name(name)?;
-        ccnvme_sim::cpu(CREATE_CPU);
+        ccnvme_runtime::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         let ph = self.handle(parent);
         let mut pst = ph.st.lock();
@@ -1357,7 +1358,7 @@ impl FileSystem {
         cst.inode.nlink += 1;
         self.serialize_inode_locked(&cst, ino);
         let deps = self.dir_insert(&mut pst, parent, name, ino)?;
-        pst.inode.mtime = ccnvme_sim::now();
+        pst.inode.mtime = ccnvme_runtime::now();
         self.serialize_inode_locked(&pst, parent);
         let (pblk, _) = self.layout.inode_pos(parent);
         let (iblk, _) = self.layout.inode_pos(ino);
@@ -1380,9 +1381,9 @@ impl FileSystem {
         dst_parent: u64,
         dst_name: &str,
     ) -> FsResult<()> {
-        let t0 = ccnvme_sim::now();
+        let t0 = ccnvme_runtime::now();
         self.rename_impl(src_parent, src_name, dst_parent, dst_name)?;
-        self.sys.rename.record(ccnvme_sim::now() - t0);
+        self.sys.rename.record(ccnvme_runtime::now() - t0);
         Ok(())
     }
 
@@ -1395,7 +1396,7 @@ impl FileSystem {
     ) -> FsResult<()> {
         self.ensure_writable()?;
         dir::check_name(dst_name)?;
-        ccnvme_sim::cpu(CREATE_CPU);
+        ccnvme_runtime::cpu(CREATE_CPU);
         let _op = self.op_barrier.read();
         // Lock parents in inode order to avoid deadlock.
         let (ph1, ph2) = (self.handle(src_parent), self.handle(dst_parent));
@@ -1514,12 +1515,12 @@ impl FileSystem {
             pst2_opt.as_mut().expect("different parents").inode.nlink += 1;
         }
         // Serialize both parents.
-        pst1.inode.mtime = ccnvme_sim::now();
+        pst1.inode.mtime = ccnvme_runtime::now();
         self.serialize_inode_locked(&pst1, src_parent);
         let (p1blk, _) = self.layout.inode_pos(src_parent);
         deps.insert(p1blk);
         if let Some(pst2) = pst2_opt.as_mut() {
-            pst2.inode.mtime = ccnvme_sim::now();
+            pst2.inode.mtime = ccnvme_runtime::now();
             self.serialize_inode_locked(pst2, dst_parent);
             let (p2blk, _) = self.layout.inode_pos(dst_parent);
             deps.insert(p2blk);
@@ -1543,7 +1544,7 @@ impl FileSystem {
         name: &str,
         ino: u64,
     ) -> FsResult<BTreeSet<u64>> {
-        ccnvme_sim::cpu(DIRENT_CPU);
+        ccnvme_runtime::cpu(DIRENT_CPU);
         let mut deps = BTreeSet::new();
         // Only the metadata THIS operation dirties (see `dir_insert`).
         let saved = std::mem::take(&mut pst.dep_meta);

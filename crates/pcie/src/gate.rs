@@ -55,7 +55,7 @@ impl BandwidthGate {
     pub fn acquire(&self, bytes: u64) -> Ns {
         self.account(bytes);
         let dur = transfer_ns(bytes, self.bytes_per_sec);
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         let mut busy = self.busy_until.lock();
         let start = now.max(*busy);
         let end = start + dur;
@@ -68,7 +68,7 @@ impl BandwidthGate {
     pub fn acquire_after(&self, not_before: Ns, bytes: u64) -> Ns {
         self.account(bytes);
         let dur = transfer_ns(bytes, self.bytes_per_sec);
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         let mut busy = self.busy_until.lock();
         let start = now.max(*busy).max(not_before);
         let end = start + dur;
@@ -120,7 +120,7 @@ impl ChannelBank {
     /// Books one command that cannot start before `not_before` (e.g. its
     /// data DMA has not finished); returns its completion instant.
     pub fn book_after(&self, not_before: Ns, occupancy: Ns, latency: Ns) -> Ns {
-        let now = ccnvme_sim::now().max(not_before);
+        let now = ccnvme_runtime::now().max(not_before);
         let mut ch = self.channels.lock();
         let (idx, _) = ch
             .iter()

@@ -71,8 +71,8 @@ impl PcieLink {
     pub fn dma_to_device(&self, bytes: u64, kind: DmaKind) {
         self.account(bytes, kind);
         let end = self.downstream.acquire(bytes + cost::TLP_HEADER);
-        let now = ccnvme_sim::now();
-        ccnvme_sim::delay(cost::DMA_SETUP + end.saturating_sub(now));
+        let now = ccnvme_runtime::now();
+        ccnvme_runtime::delay(cost::DMA_SETUP + end.saturating_sub(now));
     }
 
     /// Reserves link time for a host→device DMA without blocking the
@@ -89,8 +89,8 @@ impl PcieLink {
     pub fn dma_to_host(&self, bytes: u64, kind: DmaKind) {
         self.account(bytes, kind);
         let end = self.upstream.acquire(bytes + cost::TLP_HEADER);
-        let now = ccnvme_sim::now();
-        ccnvme_sim::delay(cost::DMA_SETUP + end.saturating_sub(now));
+        let now = ccnvme_runtime::now();
+        ccnvme_runtime::delay(cost::DMA_SETUP + end.saturating_sub(now));
     }
 
     /// Records delivery of an MSI-X interrupt (the IRQ column of Table 1)

@@ -146,7 +146,7 @@ impl MmioRegion {
                 self.link.traffic.mmio_doorbells.inc();
             }
         }
-        ccnvme_sim::cpu(cost::MMIO_OP_BASE + cost::wc_lines(len) * cost::STORE_PER_LINE);
+        ccnvme_runtime::cpu(cost::MMIO_OP_BASE + cost::wc_lines(len) * cost::STORE_PER_LINE);
         // The link and the device-side PMR write engine are pipelined
         // stages: the arrival time is gated by whichever stage drains
         // later, and sustained bandwidth is the minimum of the two.
@@ -166,9 +166,9 @@ impl MmioRegion {
             cost::POSTED_BACKLOG_BYTES,
             self.link.pmr_write_engine.bytes_per_sec(),
         );
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         if arrive_at > now + backlog_window {
-            ccnvme_sim::delay(arrive_at - now - backlog_window);
+            ccnvme_runtime::delay(arrive_at - now - backlog_window);
         }
         let hook = self.hook.lock();
         if let Some(h) = hook.as_ref() {
@@ -181,14 +181,14 @@ impl MmioRegion {
     /// issued posted write has provably reached the device.
     pub fn flush(&self) {
         self.link.traffic.mmio_flushes.inc();
-        let t0 = ccnvme_sim::now();
-        ccnvme_sim::cpu(cost::CLFLUSH_COST);
+        let t0 = ccnvme_runtime::now();
+        ccnvme_runtime::cpu(cost::CLFLUSH_COST);
         // The zero-byte read may not pass the posted writes, so it pushes
         // them to the device and its completion proves their arrival.
         self.read_internal(0, 0);
         // The flush wait varies with the posted-write backlog — the cost
         // the paper's §4.3 pays once per transaction. Export it.
-        self.flush_hist.record(ccnvme_sim::now() - t0);
+        self.flush_hist.record(ccnvme_runtime::now() - t0);
     }
 
     /// Issues a non-posted MMIO read of `len` bytes at `off`, blocking the
@@ -211,9 +211,9 @@ impl MmioRegion {
             st.in_flight.back().map(|w| w.arrive_at)
         };
         if let Some(t) = last_arrival {
-            let now = ccnvme_sim::now();
+            let now = ccnvme_runtime::now();
             if t > now {
-                ccnvme_sim::delay(t - now);
+                ccnvme_runtime::delay(t - now);
             }
         }
         self.commit_arrived();
@@ -221,16 +221,16 @@ impl MmioRegion {
         let mut wait = self.link.rtt;
         if len > 0 {
             let end = self.link.pmr_read_engine.acquire(len);
-            let now = ccnvme_sim::now();
+            let now = ccnvme_runtime::now();
             wait += end.saturating_sub(now);
         }
-        ccnvme_sim::delay(wait);
+        ccnvme_runtime::delay(wait);
         // Every write posted before this read has now arrived — report
         // the drain point to the sanitizer (or any other observer).
         {
             let fh = self.flush_hook.lock();
             if let Some(h) = fh.as_ref() {
-                h(ccnvme_sim::now());
+                h(ccnvme_runtime::now());
             }
         }
         let st = self.st.lock();
@@ -265,7 +265,7 @@ impl MmioRegion {
 
     /// Applies every in-flight write whose arrival time has passed.
     pub fn commit_arrived(&self) {
-        let now = ccnvme_sim::now();
+        let now = ccnvme_runtime::now();
         let mut st = self.st.lock();
         while let Some(front) = st.in_flight.front() {
             if front.arrive_at > now {

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use ccnvme::layout::{seal_sqe, verify_sqe};
 use ccnvme_obs::{Counter, Obs};
 use ccnvme_pcie::MmioRegion;
-use ccnvme_sim::{SimMutex, SimMutexGuard};
+use ccnvme_runtime::{RtMutex, RtMutexGuard};
 
 /// Magic identifying a ploc-formatted sub-region ("plocPMR1").
 pub const PLOC_MAGIC: u64 = 0x706c_6f63_504d_5231;
@@ -166,8 +166,8 @@ pub struct PlocRegion {
     geo: PlocGeometry,
     generation: u32,
     shadow: Vec<AtomicU64>,
-    cell_locks: Vec<SimMutex<()>>,
-    help_locks: Vec<SimMutex<()>>,
+    cell_locks: Vec<RtMutex<()>>,
+    help_locks: Vec<RtMutex<()>>,
     helps: Arc<Counter>,
 }
 
@@ -194,8 +194,8 @@ impl PlocRegion {
             geo,
             generation,
             shadow: (0..words).map(|_| AtomicU64::new(0)).collect(),
-            cell_locks: (0..STRIPES).map(|_| SimMutex::new(())).collect(),
-            help_locks: (0..geo.clients).map(|_| SimMutex::new(())).collect(),
+            cell_locks: (0..STRIPES).map(|_| RtMutex::new(())).collect(),
+            help_locks: (0..geo.clients).map(|_| RtMutex::new(())).collect(),
             helps: obs.metrics.counter("ploc.helps"),
         }
     }
@@ -246,7 +246,7 @@ impl PlocRegion {
     /// Serializes the read-modify-write of the cell (or claim word) that
     /// `off` falls in. Strict lock order: cell stripe, then help lock —
     /// help locks are leaves and never taken first.
-    pub fn lock_cell(&self, off: u64) -> SimMutexGuard<'_, ()> {
+    pub fn lock_cell(&self, off: u64) -> RtMutexGuard<'_, ()> {
         self.cell_locks[((off >> 4) as usize) % STRIPES].lock()
     }
 

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use ccnvme_obs::{Counter, Histogram, Obs};
 use ccnvme_pcie::MmioRegion;
-use ccnvme_sim::{now, SimMutex};
+use ccnvme_runtime::{now, RtMutex};
 use parking_lot::Mutex;
 
 use crate::cas::owner_word;
@@ -124,8 +124,8 @@ impl RecoverVerdict {
 /// from the durable checkpoints).
 struct ClientState {
     /// Serializes the client's operations across connections. A
-    /// `SimMutex` because the critical section issues MMIO (sim time).
-    exec: SimMutex<()>,
+    /// `RtMutex` because the critical section issues MMIO (sim time).
+    exec: RtMutex<()>,
     last_seq: AtomicU32,
     last_result: Mutex<Option<OpResult>>,
 }
@@ -503,7 +503,7 @@ impl PlocService {
 impl ClientState {
     fn fresh() -> ClientState {
         ClientState {
-            exec: SimMutex::new(()),
+            exec: RtMutex::new(()),
             last_seq: AtomicU32::new(0),
             last_result: Mutex::new(None),
         }

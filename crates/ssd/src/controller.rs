@@ -28,7 +28,8 @@ use ccnvme_obs::EventKind;
 use ccnvme_pcie::{
     cost, mmio::RegionKind, BandwidthGate, ChannelBank, DmaKind, MmioRegion, PcieLink,
 };
-use ccnvme_sim::{Histogram, Ns, SimCondvar, SimMutex};
+use ccnvme_runtime::{RtCondvar, RtMutex};
+use ccnvme_sim::{Histogram, Ns};
 use parking_lot::Mutex;
 
 use crate::{
@@ -233,8 +234,8 @@ struct CompleterSt {
 }
 
 struct CompleterShared {
-    st: SimMutex<CompleterSt>,
-    cv: SimCondvar,
+    st: RtMutex<CompleterSt>,
+    cv: RtCondvar,
 }
 
 struct QSt {
@@ -251,8 +252,8 @@ struct QueueShared {
     depth: u32,
     sq: SqBacking,
     on_complete: CompletionFn,
-    st: SimMutex<QSt>,
-    cv: SimCondvar,
+    st: RtMutex<QSt>,
+    cv: RtCondvar,
 }
 
 struct CtrlInner {
@@ -348,12 +349,12 @@ impl NvmeController {
             regs,
             hostmem: Arc::new(HostMemory::new()),
             completer: CompleterShared {
-                st: SimMutex::new(CompleterSt {
+                st: RtMutex::new(CompleterSt {
                     heap: BinaryHeap::new(),
                     seq: 0,
                     shutdown: false,
                 }),
-                cv: SimCondvar::new(),
+                cv: RtCondvar::new(),
             },
             queues: Mutex::new(HashMap::new()),
             db_targets: Mutex::new(HashMap::new()),
@@ -384,7 +385,7 @@ impl NvmeController {
                             PersistEventKind::PmrWrite {
                                 off,
                                 data: data.to_vec(),
-                                issued_at: ccnvme_sim::now(),
+                                issued_at: ccnvme_runtime::now(),
                             },
                         );
                     }
@@ -404,7 +405,7 @@ impl NvmeController {
         // The completer daemon.
         let inner2 = Arc::clone(&inner);
         let device_core = inner.cfg.device_core;
-        ccnvme_sim::spawn_daemon("ssd-completer", device_core, move || completer_loop(inner2));
+        ccnvme_runtime::spawn_daemon("ssd-completer", device_core, move || completer_loop(inner2));
         NvmeController { inner }
     }
 
@@ -449,12 +450,12 @@ impl NvmeController {
             depth: params.depth,
             sq: params.sq,
             on_complete: params.on_complete,
-            st: SimMutex::new(QSt {
+            st: RtMutex::new(QSt {
                 tail: 0,
                 tail_visible_at: 0,
                 shutdown: false,
             }),
-            cv: SimCondvar::new(),
+            cv: RtCondvar::new(),
         });
         let prev = self.inner.queues.lock().insert(params.qid, Arc::clone(&q));
         assert!(prev.is_none(), "queue {} already exists", params.qid);
@@ -465,7 +466,7 @@ impl NvmeController {
         self.inner.db_targets.lock().insert(key, Arc::clone(&q));
         let inner = Arc::clone(&self.inner);
         let device_core = self.inner.cfg.device_core;
-        ccnvme_sim::spawn_daemon(&format!("ssd-q{}", params.qid), device_core, move || {
+        ccnvme_runtime::spawn_daemon(&format!("ssd-q{}", params.qid), device_core, move || {
             worker_loop(inner, q)
         });
     }
@@ -626,16 +627,16 @@ fn worker_loop(inner: Arc<CtrlInner>, q: Arc<QueueShared>) {
             // Honour PCIe posted-write ordering: the doorbell (and hence
             // every entry written before it) is only device-visible once
             // the posted write physically arrives.
-            let now = ccnvme_sim::now();
+            let now = ccnvme_runtime::now();
             if visible_at > now {
-                ccnvme_sim::delay(visible_at - now);
+                ccnvme_runtime::delay(visible_at - now);
             }
             let raw = fetch_entry(&inner, &q, head);
             head = (head + 1) % q.depth;
             match NvmeCommand::decode(&raw) {
                 Some(cmd) => {
                     inner.link.obs.trace.event_ctx(
-                        ccnvme_sim::now(),
+                        ccnvme_runtime::now(),
                         EventKind::DmaFetch,
                         q.qid,
                         cmd.tx_id,
@@ -665,7 +666,7 @@ fn fetch_entry(inner: &CtrlInner, q: &QueueShared, slot: u32) -> [u8; 64] {
             raw.copy_from_slice(&mem[off..off + 64]);
         }
         SqBacking::Pmr { offset } => {
-            ccnvme_sim::delay(PMR_FETCH_NS);
+            ccnvme_runtime::delay(PMR_FETCH_NS);
             let bytes = inner.pmr.device_read(offset + slot as u64 * 64, 64);
             raw.copy_from_slice(&bytes);
         }
@@ -674,7 +675,7 @@ fn fetch_entry(inner: &CtrlInner, q: &QueueShared, slot: u32) -> [u8; 64] {
 }
 
 fn complete_error(inner: &CtrlInner, q: &QueueShared, cid: u16, sq_head: u32) {
-    let now = ccnvme_sim::now();
+    let now = ccnvme_runtime::now();
     let job = Job {
         at: now + cost::IRQ_DELIVERY,
         seq: 0, // Overwritten below.
@@ -706,7 +707,7 @@ fn push_with_seq(inner: &CtrlInner, mut job: Job) {
 
 fn execute(inner: &CtrlInner, q: &QueueShared, cmd: NvmeCommand, sq_head: u32) {
     let profile = &inner.cfg.profile;
-    let now = ccnvme_sim::now();
+    let now = ccnvme_runtime::now();
     // §4.6 transaction-aware interrupt coalescing: only the commit
     // request of a transaction raises MSI-X.
     let irq = !inner.cfg.irq_coalesce_tx || !cmd.tx_flags.is_tx() || cmd.tx_flags.tx_commit;
@@ -893,7 +894,7 @@ fn completer_loop(inner: Arc<CtrlInner>) {
                 match due {
                     None => st = inner.completer.cv.wait(st),
                     Some(at) => {
-                        let now = ccnvme_sim::now();
+                        let now = ccnvme_runtime::now();
                         if at <= now {
                             break st.heap.pop().expect("peeked above").0;
                         }
@@ -940,17 +941,17 @@ fn fire(inner: &CtrlInner, job: Job) {
                             data: block,
                         }
                     };
-                    p.record(ccnvme_sim::now(), kind);
+                    p.record(ccnvme_runtime::now(), kind);
                 }
             }
             if also_flush {
                 inner.store.flush();
                 if let Some(p) = &inner.persist {
-                    p.record(ccnvme_sim::now(), PersistEventKind::Flush);
+                    p.record(ccnvme_runtime::now(), PersistEventKind::Flush);
                 }
             }
             inner.link.obs.trace.event_ctx(
-                ccnvme_sim::now(),
+                ccnvme_runtime::now(),
                 EventKind::MediaWrite,
                 job.qid,
                 job.tx_id,
@@ -976,7 +977,7 @@ fn fire(inner: &CtrlInner, job: Job) {
         Action::Flush => {
             inner.store.flush();
             if let Some(p) = &inner.persist {
-                p.record(ccnvme_sim::now(), PersistEventKind::Flush);
+                p.record(ccnvme_runtime::now(), PersistEventKind::Flush);
             }
         }
         Action::Nop => {}
@@ -984,7 +985,7 @@ fn fire(inner: &CtrlInner, job: Job) {
     // CQE posting: a 16 B DMA to the host-side completion queue.
     inner.link.upstream.acquire(16 + cost::TLP_HEADER);
     inner.link.traffic.dma_queue.inc();
-    let now = ccnvme_sim::now();
+    let now = ccnvme_runtime::now();
     inner.link.obs.trace.event_ctx(
         now,
         EventKind::CqePost,

@@ -97,13 +97,13 @@ pub fn run_fio(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
         return run_fio_fabric(fs, cfg);
     }
     let hist = Arc::new(Histogram::new());
-    let t0 = ccnvme_sim::now();
+    let t0 = ccnvme_runtime::now();
     let mut handles = Vec::with_capacity(cfg.threads);
     for t in 0..cfg.threads {
         let fs = Arc::clone(fs);
         let hist = Arc::clone(&hist);
         let cfg = cfg.clone();
-        handles.push(ccnvme_sim::spawn(&format!("fio-{t}"), t, move || {
+        handles.push(ccnvme_runtime::spawn(&format!("fio-{t}"), t, move || {
             let path = format!("/fio-{t}");
             let ino = fs
                 .resolve(&path)
@@ -112,13 +112,13 @@ pub fn run_fio(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
             let payload = vec![0xf1u8; cfg.write_size as usize];
             let (mut offset, _, _) = fs.stat(ino);
             for _ in 0..cfg.ops_per_thread {
-                let op0 = ccnvme_sim::now();
+                let op0 = ccnvme_runtime::now();
                 fs.write(ino, offset, &payload).expect("append");
                 match cfg.sync {
                     SyncMode::Fsync => fs.fsync(ino).expect("fsync"),
                     SyncMode::Fdataatomic => fs.fdataatomic(ino).expect("fdataatomic"),
                 }
-                hist.record(ccnvme_sim::now() - op0);
+                hist.record(ccnvme_runtime::now() - op0);
                 offset += cfg.write_size;
             }
         }));
@@ -126,7 +126,7 @@ pub fn run_fio(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
     for h in handles {
         h.join();
     }
-    let elapsed = ccnvme_sim::now() - t0;
+    let elapsed = ccnvme_runtime::now() - t0;
     let ops = cfg.threads as u64 * cfg.ops_per_thread;
     WorkloadResult {
         ops,
@@ -154,14 +154,14 @@ pub fn run_fio_fabric(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
         })
         .collect();
     let hist = Arc::new(Histogram::new());
-    let t0 = ccnvme_sim::now();
+    let t0 = ccnvme_runtime::now();
     let mut handles = Vec::with_capacity(cfg.clients);
     for c in 0..cfg.clients {
         let target = Arc::clone(&targets[c % targets.len()]);
         let hist = Arc::clone(&hist);
         let cfg = cfg.clone();
         let core = c % cfg.threads.max(1);
-        handles.push(ccnvme_sim::spawn(
+        handles.push(ccnvme_runtime::spawn(
             &format!("fio-client-{c}"),
             core,
             move || {
@@ -182,10 +182,10 @@ pub fn run_fio_fabric(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
                     SyncMode::Fdataatomic => SyncKind::Fdataatomic,
                 };
                 for _ in 0..cfg.ops_per_thread {
-                    let op0 = ccnvme_sim::now();
+                    let op0 = ccnvme_runtime::now();
                     client.write(ino, offset, &payload).expect("append");
                     client.sync(ino, mode).expect("sync");
-                    hist.record(ccnvme_sim::now() - op0);
+                    hist.record(ccnvme_runtime::now() - op0);
                     offset += cfg.write_size;
                 }
                 client.bye();
@@ -195,7 +195,7 @@ pub fn run_fio_fabric(fs: &Arc<FileSystem>, cfg: &FioConfig) -> WorkloadResult {
     for h in handles {
         h.join();
     }
-    let elapsed = ccnvme_sim::now() - t0;
+    let elapsed = ccnvme_runtime::now() - t0;
     let ops = cfg.clients as u64 * cfg.ops_per_thread;
     WorkloadResult {
         ops,

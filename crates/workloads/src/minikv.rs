@@ -12,7 +12,8 @@
 
 use std::{collections::BTreeMap, sync::Arc};
 
-use ccnvme_sim::{DetRng, Histogram, SimCondvar, SimMutex};
+use ccnvme_runtime::{RtCondvar, RtMutex};
+use ccnvme_sim::{DetRng, Histogram};
 use mqfs::FileSystem;
 
 use crate::fio::WorkloadResult;
@@ -42,8 +43,8 @@ struct KvSt {
 /// The KV store.
 pub struct MiniKv {
     fs: Arc<FileSystem>,
-    st: SimMutex<KvSt>,
-    cv: SimCondvar,
+    st: RtMutex<KvSt>,
+    cv: RtCondvar,
     /// Completed puts.
     pub puts: ccnvme_sim::Counter,
     /// Memtable flushes performed.
@@ -101,7 +102,7 @@ impl MiniKv {
         let (wal_off, _, _) = fs.stat(wal_ino);
         Arc::new(MiniKv {
             fs,
-            st: SimMutex::new(KvSt {
+            st: RtMutex::new(KvSt {
                 memtable,
                 mem_bytes,
                 wal_ino,
@@ -113,7 +114,7 @@ impl MiniKv {
                 done_ticket: 0,
                 committing: false,
             }),
-            cv: SimCondvar::new(),
+            cv: RtCondvar::new(),
             puts: ccnvme_sim::Counter::new(),
             flushes: ccnvme_sim::Counter::new(),
         })
@@ -306,29 +307,29 @@ impl Default for FillsyncConfig {
 pub fn run_fillsync(fs: &Arc<FileSystem>, cfg: &FillsyncConfig) -> WorkloadResult {
     let kv = MiniKv::open(Arc::clone(fs));
     let hist = Arc::new(Histogram::new());
-    let t0 = ccnvme_sim::now();
+    let t0 = ccnvme_runtime::now();
     let mut handles = Vec::with_capacity(cfg.threads);
     for t in 0..cfg.threads {
         let kv = Arc::clone(&kv);
         let hist = Arc::clone(&hist);
         let cfg = cfg.clone();
-        handles.push(ccnvme_sim::spawn(&format!("kv-{t}"), t, move || {
+        handles.push(ccnvme_runtime::spawn(&format!("kv-{t}"), t, move || {
             let mut rng = DetRng::derive(cfg.seed, t as u64);
             let mut key = vec![0u8; cfg.key_size];
             let value = vec![0xabu8; cfg.value_size];
             for _ in 0..cfg.puts_per_thread {
                 rng.fill(&mut key);
                 key[0] = key[0].max(1); // Keys must be non-empty/nonzero-length markers.
-                let op0 = ccnvme_sim::now();
+                let op0 = ccnvme_runtime::now();
                 kv.put_sync(&key, &value);
-                hist.record(ccnvme_sim::now() - op0);
+                hist.record(ccnvme_runtime::now() - op0);
             }
         }));
     }
     for h in handles {
         h.join();
     }
-    let elapsed = ccnvme_sim::now() - t0;
+    let elapsed = ccnvme_runtime::now() - t0;
     let ops = cfg.threads as u64 * cfg.puts_per_thread;
     WorkloadResult {
         ops,

@@ -67,7 +67,7 @@ pub fn run_varmail(fs: &Arc<FileSystem>, cfg: &VarmailConfig) -> WorkloadResult 
     let hist = Arc::new(Histogram::new());
     let ops = Arc::new(ccnvme_sim::Counter::new());
     let bytes = Arc::new(ccnvme_sim::Counter::new());
-    let t0 = ccnvme_sim::now();
+    let t0 = ccnvme_runtime::now();
     let mut handles = Vec::with_capacity(cfg.threads);
     for t in 0..cfg.threads {
         let fs = Arc::clone(fs);
@@ -75,13 +75,13 @@ pub fn run_varmail(fs: &Arc<FileSystem>, cfg: &VarmailConfig) -> WorkloadResult 
         let ops = Arc::clone(&ops);
         let bytes = Arc::clone(&bytes);
         let cfg = cfg.clone();
-        handles.push(ccnvme_sim::spawn(&format!("vmail-{t}"), t, move || {
+        handles.push(ccnvme_runtime::spawn(&format!("vmail-{t}"), t, move || {
             let mut rng = DetRng::derive(cfg.seed, t as u64 + 1);
             let mut next_new = 0u64;
             for _ in 0..cfg.iterations {
                 // Flow 1: delete a random file (ignore losers of races).
                 let victim = rng.below(cfg.nfiles as u64) as usize;
-                let op0 = ccnvme_sim::now();
+                let op0 = ccnvme_runtime::now();
                 match fs.unlink_path(&file_name(victim)) {
                     Ok(()) | Err(FsError::NotFound) => {}
                     Err(e) => panic!("unlink: {e}"),
@@ -116,14 +116,14 @@ pub fn run_varmail(fs: &Arc<FileSystem>, cfg: &VarmailConfig) -> WorkloadResult 
                     let _ = fs.read(ino, 0, sz as usize);
                     ops.inc();
                 }
-                hist.record(ccnvme_sim::now() - op0);
+                hist.record(ccnvme_runtime::now() - op0);
             }
         }));
     }
     for h in handles {
         h.join();
     }
-    let elapsed = ccnvme_sim::now() - t0;
+    let elapsed = ccnvme_runtime::now() - t0;
     WorkloadResult {
         ops: ops.get(),
         elapsed,

@@ -74,6 +74,13 @@ cargo test -q --release -p ccnvme-crashtest --test ploc_enum
 # sweep runs in the deep tier).
 cargo test -q -p ccnvme-cluster
 cargo test -q --release -p ccnvme-crashtest --test cluster_enum
+# Runtime smoke: the sim/OS differential test (same workload on both
+# substrates must reach the same durable state) and a short wall-clock
+# bench run proving the OS backend actually drives real threads. The
+# OS run depends on wall-clock scheduling, so it gets a hard timeout
+# instead of trusting it to converge.
+cargo test -q --release --test runtime_differential
+QUICK=1 timeout 300 cargo run -q --release -p ccnvme-bench --bin runtime -- --runtime os > /dev/null
 
 if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
     echo "== deep tier: crash enumeration (torn tails + full re-crash sweep) =="
@@ -91,6 +98,9 @@ if [[ "${CHECK_DEEP:-0}" == "1" ]]; then
     # DetectableCas interleavings: owner evidence is durable before the
     # overwritten value becomes visible, under every schedule.
     cargo test -q -p ccnvme-ploc --features loom --lib loom_
+    # The OS runtime's MPSC channel: no lost wakeups / lost messages
+    # under every interleaving of its mutex+condvar internals.
+    cargo test -q -p ccnvme-runtime --features loom --lib loom_
     cargo test -q -p loom
     echo "== deep tier: miri =="
     if rustup component list 2>/dev/null | grep -q "^miri.*(installed)"; then

@@ -8,6 +8,7 @@ pub use ccnvme_fault as fault;
 pub use ccnvme_obs as obs;
 pub use ccnvme_pcie as pcie;
 pub use ccnvme_ploc as ploc;
+pub use ccnvme_runtime as runtime;
 pub use ccnvme_sim as sim;
 pub use ccnvme_ssd as ssd;
 pub use ccnvme_workloads as workloads;
